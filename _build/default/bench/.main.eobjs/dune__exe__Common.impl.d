@@ -1,0 +1,1 @@
+bench/common.ml: Poc_core Poc_util Printf String Unix

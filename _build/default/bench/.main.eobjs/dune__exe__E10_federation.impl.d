@@ -1,0 +1,1 @@
+bench/e10_federation.ml: Common List Poc_auction Poc_core Poc_federation Printf

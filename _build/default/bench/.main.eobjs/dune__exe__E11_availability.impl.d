@@ -1,0 +1,1 @@
+bench/e11_availability.ml: Common List Poc_auction Poc_core Poc_sim Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e12_services.ml: Common List Poc_auction Poc_core Poc_sim Poc_util Printf

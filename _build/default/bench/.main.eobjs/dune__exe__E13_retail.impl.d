@@ -1,0 +1,1 @@
+bench/e13_retail.ml: Common List Poc_econ Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e14_transition.ml: Array Common List Poc_baseline Poc_util Printf

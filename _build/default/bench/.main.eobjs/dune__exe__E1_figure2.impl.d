@@ -1,0 +1,1 @@
+bench/e1_figure2.ml: Array Common Format List Option Poc_auction Poc_core Poc_topology Poc_traffic Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e2_collusion.ml: Array Common List Poc_auction Poc_core Poc_topology Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e3_welfare.ml: Common List Poc_econ Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e4_doublemarg.ml: Common List Poc_econ Poc_util

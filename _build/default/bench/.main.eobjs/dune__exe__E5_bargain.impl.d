@@ -1,0 +1,1 @@
+bench/e5_bargain.ml: Common Float List Poc_econ Poc_util Printf

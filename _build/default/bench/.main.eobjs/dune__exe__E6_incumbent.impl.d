@@ -1,0 +1,1 @@
+bench/e6_incumbent.ml: Array Common List Poc_econ Poc_util Printf

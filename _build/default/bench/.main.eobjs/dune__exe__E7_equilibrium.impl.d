@@ -1,0 +1,1 @@
+bench/e7_equilibrium.ml: Common List Poc_econ Poc_util Printf

@@ -1,0 +1,1 @@
+bench/e8_settlement.ml: Array Common List Poc_auction Poc_baseline Poc_core Poc_traffic Poc_util Printf

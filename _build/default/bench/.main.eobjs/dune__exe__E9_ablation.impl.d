@@ -1,0 +1,1 @@
+bench/e9_ablation.ml: Array Common List Poc_auction Poc_core Poc_graph Poc_mcf Poc_topology Poc_traffic Poc_util Printf

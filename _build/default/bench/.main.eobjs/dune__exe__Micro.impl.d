@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Float Hashtbl List Poc_auction Poc_baseline Poc_core Poc_econ Poc_graph Poc_mcf Poc_topology Poc_traffic Poc_util Printf Staged Test Time Toolkit

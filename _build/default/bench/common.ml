@@ -1,0 +1,30 @@
+(* Shared configuration and formatting for the experiment harness. *)
+
+module Planner = Poc_core.Planner
+
+let header title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subheader title = Printf.printf "\n--- %s ---\n" title
+
+(* Quick mode reproduces every experiment's shape in a couple of
+   minutes; paper mode runs the full Figure 2 scale (20 BPs, ~4-5k
+   offered links) and takes tens of minutes. *)
+type scale = Quick | Paper
+
+let scale_name = function Quick -> "quick" | Paper -> "paper"
+
+let plan_config ~scale ~seed ~rule =
+  let base = { Planner.default_config with Planner.seed; rule } in
+  match scale with
+  | Paper -> base
+  | Quick -> Planner.scaled_config ~sites:44 ~bps:14 base
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s: %.1fs]\n" label (Unix.gettimeofday () -. t0);
+  result
+
+let fmt = Poc_util.Table.fmt_float

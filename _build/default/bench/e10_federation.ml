@@ -1,0 +1,47 @@
+(* E10 (extension) — several coexisting, interconnected POCs
+   (Section 1.2): per-region break-even prices and the fragmentation
+   overhead of running R regional nonprofits instead of one global
+   one. *)
+
+module Federation = Poc_federation.Federation
+module Planner = Poc_core.Planner
+
+let run ~scale ~seed =
+  Common.header "E10 — federated POCs: regional prices and fragmentation overhead";
+  let config =
+    (* Regional re-auctions each pay a full mechanism run; keep the
+       default instance mid-size. *)
+    match scale with
+    | Common.Paper ->
+      Common.plan_config ~scale ~seed ~rule:Poc_auction.Acceptability.Handle_load
+    | Common.Quick ->
+      Planner.scaled_config ~sites:30 ~bps:8
+        { Planner.default_config with Planner.seed;
+          rule = Poc_auction.Acceptability.Handle_load }
+  in
+  match Planner.build config with
+  | Error msg -> Printf.printf "plan failed: %s\n" msg
+  | Ok plan ->
+    Printf.printf "single POC spend: $%.0f\n"
+      plan.Planner.outcome.Poc_auction.Vcg.total_payment;
+    List.iter
+      (fun regions ->
+        match
+          Common.timed
+            (Printf.sprintf "federation of %d" regions)
+            (fun () -> Federation.build plan ~regions)
+        with
+        | Error msg -> Printf.printf "%d regions: %s\n" regions msg
+        | Ok f ->
+          Printf.printf "\n%d regional POCs (inter-region traffic %.0f Gbps):\n"
+            regions f.Federation.inter_gbps;
+          print_string (Federation.render plan f);
+          Printf.printf
+            "federation spend $%.0f (+ interconnect $%.0f) -> overhead %+.1f%% vs single POC\n"
+            f.Federation.federation_spend f.Federation.interconnect.Poc_auction.Vcg.cost
+            (100.0 *. Federation.fragmentation_overhead f))
+      [ 2; 3 ];
+    print_endline
+      "\nexpected shape: regional posted prices diverge (sparse regions pay\n\
+       more per Gbps — the NBN cross-subsidy debate), and fragmentation\n\
+       costs a few percent because regions cannot pool link choices."

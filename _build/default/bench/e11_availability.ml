@@ -1,0 +1,53 @@
+(* E11 (extension) — what Figure 2's constraints buy at runtime:
+   traffic-weighted availability under stochastic link failures for
+   plans selected under Constraints #1 and #2. *)
+
+module Planner = Poc_core.Planner
+module Availability = Poc_sim.Availability
+module Acc = Poc_auction.Acceptability
+module Vcg = Poc_auction.Vcg
+module Table = Poc_util.Table
+
+let run ~scale ~seed =
+  Common.header "E11 — availability under link failures (#1 vs #2 plans)";
+  let sim_config =
+    { Availability.default_config with Availability.seed = seed + 1 }
+  in
+  let rows =
+    List.filter_map
+      (fun rule ->
+        let config = Common.plan_config ~scale ~seed ~rule in
+        match
+          Common.timed (Acc.name rule) (fun () -> Planner.build config)
+        with
+        | Error msg ->
+          Printf.printf "%s: %s\n" (Acc.name rule) msg;
+          None
+        | Ok plan ->
+          let r = Availability.simulate plan sim_config in
+          Some
+            [
+              Acc.name rule;
+              Printf.sprintf "%.0f"
+                plan.Planner.outcome.Vcg.selection.Vcg.cost;
+              string_of_int r.Availability.failure_events;
+              string_of_int r.Availability.max_concurrent_failures;
+              Printf.sprintf "%.6f" r.Availability.availability;
+              Printf.sprintf "%.4f" r.Availability.worst_fraction;
+            ])
+      [ Acc.Handle_load; Acc.Single_link_failure ]
+  in
+  Table.print
+    ~align:
+      Table.[ Left; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "plan"; "C(SL) $"; "failures"; "max concurrent"; "availability";
+        "worst fraction" ]
+    rows;
+  Printf.printf
+    "(one simulated month, per-link MTBF %.0fh, MTTR %.0fh)\n"
+    sim_config.Availability.mtbf_hours sim_config.Availability.mttr_hours;
+  print_endline
+    "expected shape: the #2 plan's availability is strictly higher and\n\
+     its worst-case delivered fraction stays near 1.0 except under\n\
+     overlapping failures — that is what its extra cost buys."

@@ -1,0 +1,59 @@
+(* E13 (extension) — retail pricing on the last mile (Section 3.4):
+   flat-rate pricing congests shared access capacity; usage pricing at
+   the market-clearing level allocates it to the users who value it
+   most.  The welfare gap widens as capacity tightens. *)
+
+module Retail = Poc_econ.Retail
+module Table = Poc_util.Table
+
+let users =
+  [
+    { Retail.satiation = 100.0; sensitivity = 0.02; mass = 60.0 };
+    { Retail.satiation = 300.0; sensitivity = 0.01; mass = 30.0 };
+    { Retail.satiation = 800.0; sensitivity = 0.005; mass = 10.0 };
+  ]
+
+let run ~scale ~seed =
+  ignore scale;
+  ignore seed;
+  Common.header "E13 — last-mile retail pricing: flat vs usage vs tiered";
+  let satiation =
+    List.fold_left (fun acc u -> acc +. (u.Retail.mass *. u.Retail.satiation))
+      0.0 users
+  in
+  Printf.printf "population satiation demand: %.0f units\n\n" satiation;
+  let rows =
+    List.map
+      (fun frac ->
+        let capacity = frac *. satiation in
+        let p = Retail.market_clearing_price ~users ~capacity in
+        let flat = Retail.equilibrium ~users ~capacity Retail.Flat in
+        let usage = Retail.equilibrium ~users ~capacity (Retail.Usage p) in
+        let tiered =
+          Retail.equilibrium ~users ~capacity
+            (Retail.Tiered { allowance = 80.0; overage = p })
+        in
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. frac);
+          Printf.sprintf "%.3f" p;
+          Printf.sprintf "%.2f" flat.Retail.quality;
+          Printf.sprintf "%.0f" flat.Retail.welfare;
+          Printf.sprintf "%.0f" usage.Retail.welfare;
+          Printf.sprintf "%.0f" tiered.Retail.welfare;
+          Printf.sprintf "%+.1f%%"
+            (100.0 *. (usage.Retail.welfare -. flat.Retail.welfare)
+            /. flat.Retail.welfare);
+        ])
+      [ 1.2; 0.8; 0.6; 0.4; 0.2 ]
+  in
+  Table.print
+    ~align:Table.[ Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "capacity"; "clearing $"; "flat quality"; "W flat"; "W usage";
+        "W tiered"; "usage gain" ]
+    rows;
+  print_endline
+    "expected shape: at slack capacity the schemes coincide; as capacity\n\
+     tightens, flat-rate quality collapses (tragedy of the last mile)\n\
+     while market-clearing usage pricing holds welfare up — the paper's\n\
+     argument for usage-based charging, without termination fees."

@@ -1,0 +1,124 @@
+(* E1 — Figure 2: payment-over-bid margins (PoB) of the five largest
+   BPs under Constraints #1, #2 and #3.
+
+   The paper's figure shows, per BP (ordered by decreasing size), three
+   bars: PoB = (Pα − Cα(SLα)) / Cα(SLα) under each constraint.  We
+   regenerate the whole pipeline — synthetic zoo-like WAN, gravity
+   traffic matrix, truthful bids, VCG mechanism — and print the same
+   series. *)
+
+module Planner = Poc_core.Planner
+module Vcg = Poc_auction.Vcg
+module Acc = Poc_auction.Acceptability
+module Wan = Poc_topology.Wan
+module Table = Poc_util.Table
+
+let rules = [ Acc.Handle_load; Acc.Single_link_failure; Acc.Per_pair_failure ]
+
+let run ~scale ~seed =
+  Common.header
+    (Printf.sprintf "E1 / Figure 2 — PoB margins of the 5 largest BPs (%s scale, seed %d)"
+       (Common.scale_name scale) seed);
+  let outcomes =
+    List.map
+      (fun rule ->
+        let config = Common.plan_config ~scale ~seed ~rule in
+        let label = Acc.name rule in
+        Common.timed label (fun () ->
+            match Planner.build config with
+            | Ok plan -> (rule, Some plan)
+            | Error msg ->
+              Printf.printf "%s: %s\n" label msg;
+              (rule, None)))
+      rules
+  in
+  (match List.find_opt (fun (_, p) -> p <> None) outcomes with
+  | Some (_, Some plan) ->
+    Printf.printf "\ninstance: %s\n" (Wan.summary plan.Planner.wan);
+    Printf.printf "traffic:  %s\n"
+      (Format.asprintf "%a" Poc_traffic.Matrix.pp plan.Planner.matrix)
+  | _ -> ());
+  (* Selection summary per constraint. *)
+  Common.subheader "selection per constraint";
+  let sel_rows =
+    List.filter_map
+      (fun (rule, plan) ->
+        match plan with
+        | None -> None
+        | Some plan ->
+          let o = plan.Planner.outcome in
+          Some
+            [
+              Acc.name rule;
+              string_of_int (List.length o.Vcg.selection.Vcg.selected);
+              Printf.sprintf "%.0f" o.Vcg.selection.Vcg.cost;
+              Printf.sprintf "%.0f" o.Vcg.total_payment;
+            ])
+      outcomes
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "constraint"; "|SL|"; "C(SL) $"; "POC spend $" ]
+    sel_rows;
+  (* The Figure 2 series proper. *)
+  Common.subheader "PoB per BP (5 largest, decreasing size) — the Figure 2 bars";
+  (match outcomes with
+  | (_, Some plan0) :: _ ->
+    let top5 =
+      Wan.bps_by_size plan0.Planner.wan |> List.filteri (fun i _ -> i < 5)
+    in
+    let pob_of rule bp =
+      match List.assoc rule (List.map (fun (r, p) -> (r, p)) outcomes) with
+      | None -> nan
+      | Some plan -> plan.Planner.outcome.Vcg.bp_results.(bp).Vcg.pob
+    in
+    let rows =
+      List.mapi
+        (fun i bp ->
+          let share = plan0.Planner.wan.Wan.bps.(bp).Wan.share in
+          [
+            Printf.sprintf "BP%d (%s)" (i + 1)
+              plan0.Planner.wan.Wan.bps.(bp).Wan.bp_name;
+            Printf.sprintf "%.1f%%" (100.0 *. share);
+            Common.fmt (pob_of Acc.Handle_load bp);
+            Common.fmt (pob_of Acc.Single_link_failure bp);
+            Common.fmt (pob_of Acc.Per_pair_failure bp);
+          ])
+        top5
+    in
+    Table.print
+      ~align:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ~header:
+        [ "BP (size order)"; "share"; "PoB #1"; "PoB #2"; "PoB #3" ]
+      rows;
+    print_endline
+      "paper shape: PoB varies strongly across BPs (favoritism-optics\n\
+       argument) and is larger under tighter constraints; values in the\n\
+       0-0.2 band.";
+    (* Also report the dispersion the paper remarks on. *)
+    let all_pobs rule =
+      List.filter_map
+        (fun (r, p) ->
+          if r = rule then
+            Option.map
+              (fun plan ->
+                Array.to_list plan.Planner.outcome.Vcg.bp_results
+                |> List.filter_map (fun (b : Vcg.bp_result) ->
+                       if b.Vcg.bid_cost > 0.0 then Some b.Vcg.pob else None))
+              p
+          else None)
+        outcomes
+      |> List.concat
+    in
+    Common.subheader "PoB dispersion across all winning BPs";
+    List.iter
+      (fun rule ->
+        match all_pobs rule with
+        | [] -> ()
+        | pobs ->
+          let s = Poc_util.Stats.summarize (Array.of_list pobs) in
+          Printf.printf "%-22s %s\n" (Acc.name rule)
+            (Format.asprintf "%a" Poc_util.Stats.pp_summary s))
+      rules
+  | _ -> print_endline "no feasible plan; nothing to report")

@@ -1,0 +1,56 @@
+(* E7 — the renegotiation fixed point t = (p*(t) − <rc>)/2
+   (Section 4.5, third model): convergence, the fee's dependence on
+   <rc>, and the heavy-tail caveat found during this reproduction. *)
+
+module Demand = Poc_econ.Demand
+module Pricing = Poc_econ.Pricing
+module Equilibrium = Poc_econ.Equilibrium
+module Table = Poc_util.Table
+
+let rcs = [ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0 ]
+
+let run ~scale ~seed =
+  ignore scale;
+  ignore seed;
+  Common.header "E7 — renegotiation equilibrium t = (p*(t) - <rc>)/2";
+  List.iter
+    (fun d ->
+      Common.subheader (Demand.name d);
+      let rows =
+        List.filter_map
+          (fun rc ->
+            match Equilibrium.solve_rc ~demand:d ~rc () with
+            | None -> Some [ Common.fmt ~decimals:1 rc; "diverged"; ""; ""; "" ]
+            | Some eq ->
+              Some
+                [
+                  Common.fmt ~decimals:1 rc;
+                  Common.fmt ~decimals:4 eq.Equilibrium.fee;
+                  Common.fmt ~decimals:4 eq.Equilibrium.price;
+                  string_of_int eq.Equilibrium.iterations;
+                  Printf.sprintf "%.1e" eq.Equilibrium.residual;
+                ])
+          rcs
+      in
+      Table.print
+        ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+        ~header:[ "<rc>"; "fee t~"; "price p*(t~)"; "iters"; "residual" ]
+        rows)
+    Demand.all_families;
+  Common.subheader "bargained vs unilateral fee (<rc> = 1)";
+  List.iter
+    (fun d ->
+      match Equilibrium.solve_rc ~demand:d ~rc:1.0 () with
+      | None -> ()
+      | Some eq ->
+        let uni = Pricing.unilateral_fee d in
+        Printf.printf "%-28s bargained %.3f vs unilateral %.3f  (%s)\n"
+          (Demand.name d) eq.Equilibrium.fee uni
+          (if eq.Equilibrium.fee <= uni then "bargaining softer, as the paper expects"
+           else "REVERSED: heavy tail escalates bargained fees"))
+    Demand.all_families;
+  print_endline
+    "\npaper shape: the fixed point converges quickly for every family and\n\
+     the fee falls with <rc>.  Reproduction finding: for Lomax (heavy\n\
+     tail) demand the bargained equilibrium fee EXCEEDS the unilateral\n\
+     fee — the paper's 'likely less' hedge is warranted."

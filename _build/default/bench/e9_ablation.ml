@@ -1,0 +1,167 @@
+(* E9 — ablations of the design choices DESIGN.md calls out:
+
+   (a) payment rule: the paper's strategy-proof VCG vs naive
+       pay-as-bid — what the POC spends at truthful bids, and what a
+       BP gains by inflating its bid under each rule;
+   (b) the optimizer's two-ranking ensemble vs either ranking alone;
+   (c) the router's congestion-awareness (alpha) vs pure
+       shortest-path routing. *)
+
+module Planner = Poc_core.Planner
+module Vcg = Poc_auction.Vcg
+module Bid = Poc_auction.Bid
+module Router = Poc_mcf.Router
+module Matrix = Poc_traffic.Matrix
+module Wan = Poc_topology.Wan
+module Table = Poc_util.Table
+
+let markups = [ 0.0; 0.1; 0.25; 0.5; 1.0 ]
+
+let run ~scale ~seed =
+  ignore scale;
+  Common.header "E9 — ablations (payment rule, ranking ensemble, congestion-aware routing)";
+  (* A small instance keeps the markup sweep affordable. *)
+  let config =
+    Planner.scaled_config ~sites:26 ~bps:8
+      { Planner.default_config with Planner.seed }
+  in
+  match Planner.build config with
+  | Error msg -> Printf.printf "plan failed: %s\n" msg
+  | Ok plan ->
+    let problem = plan.Planner.problem in
+    (* (a) payment rule, truthful bids. *)
+    Common.subheader "(a) POC spend at truthful bids";
+    (match (Vcg.run problem, Vcg.run_pay_as_bid problem) with
+    | Some vcg, Some pab ->
+      Printf.printf "VCG (strategy-proof): $%.0f\npay-as-bid:           $%.0f\n"
+        vcg.Vcg.total_payment pab.Vcg.total_payment;
+      Printf.printf
+        "information rent the POC pays for truthfulness: $%.0f (%.1f%%)\n"
+        (vcg.Vcg.total_payment -. pab.Vcg.total_payment)
+        (100.0
+        *. (vcg.Vcg.total_payment -. pab.Vcg.total_payment)
+        /. pab.Vcg.total_payment)
+    | _, _ -> print_endline "mechanism failed");
+    (* ...and the incentive story: the largest BP inflates its bid. *)
+    let bp = match Wan.bps_by_size plan.Planner.wan with b :: _ -> b | [] -> 0 in
+    let true_bid = problem.Vcg.bids.(bp) in
+    let utility mechanism factor =
+      let bids = Array.copy problem.Vcg.bids in
+      bids.(bp) <- Bid.scale true_bid (1.0 +. factor);
+      match mechanism { problem with Vcg.bids } with
+      | None -> nan
+      | Some (o : Vcg.outcome) ->
+        let r = o.Vcg.bp_results.(bp) in
+        r.Vcg.payment -. Bid.cost true_bid r.Vcg.selected_links
+    in
+    Common.subheader
+      (Printf.sprintf "(a') %s inflates its bid: profit under each rule"
+         plan.Planner.wan.Wan.bps.(bp).Wan.bp_name);
+    let rows =
+      List.map
+        (fun m ->
+          [
+            Printf.sprintf "+%.0f%%" (100.0 *. m);
+            Printf.sprintf "%.0f" (utility Vcg.run m);
+            Printf.sprintf "%.0f" (utility Vcg.run_pay_as_bid m);
+          ])
+        markups
+    in
+    Table.print
+      ~align:[ Table.Right; Table.Right; Table.Right ]
+      ~header:[ "bid markup"; "profit (VCG) $"; "profit (pay-as-bid) $" ]
+      rows;
+    print_endline
+      "under pay-as-bid, inflating is monotonically profitable until the\n\
+       BP prices itself out; under VCG with the deployed heuristic\n\
+       optimizer there is residual manipulability (a reproduction\n\
+       finding: VCG's guarantee holds only relative to the optimizer's\n\
+       exactness), but no monotone inflate-and-win gradient.";
+    (* Exact VCG on a small instance: the guarantee itself. *)
+    Common.subheader "(a'') exact VCG on a 6-link instance: truth is optimal";
+    let exact_problem, exact_bp =
+      let g = Poc_graph.Graph.create () in
+      Poc_graph.Graph.add_nodes g 3;
+      let a = Poc_graph.Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0 in
+      let b = Poc_graph.Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0 in
+      let c = Poc_graph.Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0 in
+      let d = Poc_graph.Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0 in
+      let e = Poc_graph.Graph.add_edge g 0 2 ~weight:1.0 ~capacity:10.0 in
+      let v = Poc_graph.Graph.add_edge g 0 2 ~weight:1.0 ~capacity:20.0 in
+      ( {
+          Vcg.graph = g;
+          demands = [ (0, 1, 5.0); (1, 2, 5.0) ];
+          bids =
+            [|
+              Bid.additive [ (a, 100.0); (b, 100.0) ];
+              Bid.additive [ (c, 120.0); (d, 90.0); (e, 250.0) ];
+            |];
+          virtual_prices = [ (v, 1000.0) ];
+          rule = Poc_auction.Acceptability.Handle_load;
+        },
+        0 )
+    in
+    let exact_utility factor =
+      let true_bid = exact_problem.Vcg.bids.(exact_bp) in
+      let bids = Array.copy exact_problem.Vcg.bids in
+      bids.(exact_bp) <- Bid.scale true_bid (1.0 +. factor);
+      match Vcg.run ~select:Vcg.select_exact { exact_problem with Vcg.bids } with
+      | None -> nan
+      | Some o ->
+        let r = o.Vcg.bp_results.(exact_bp) in
+        r.Vcg.payment -. Bid.cost true_bid r.Vcg.selected_links
+    in
+    Table.print
+      ~align:[ Table.Right; Table.Right ]
+      ~header:[ "bid markup"; "profit (exact VCG) $" ]
+      (List.map
+         (fun m ->
+           [ Printf.sprintf "+%.0f%%" (100.0 *. m);
+             Printf.sprintf "%.2f" (exact_utility m) ])
+         markups);
+    (* (b) ranking ensemble. *)
+    Common.subheader "(b) selection cost by candidate ranking";
+    let cost_of label selection =
+      match selection with
+      | Some (s : Vcg.selection) ->
+        [ label; string_of_int (List.length s.Vcg.selected);
+          Printf.sprintf "%.0f" s.Vcg.cost ]
+      | None -> [ label; "-"; "infeasible" ]
+    in
+    Table.print
+      ~align:[ Table.Left; Table.Right; Table.Right ]
+      ~header:[ "ranking"; "|SL|"; "C(SL) $" ]
+      [
+        cost_of "price per Gbps only"
+          (Vcg.select_greedy_single ~ranking:`Unit_price problem);
+        cost_of "absolute price only"
+          (Vcg.select_greedy_single ~ranking:`Absolute_price problem);
+        cost_of "ensemble (shipped)" (Vcg.select_greedy problem);
+      ];
+    (* (c) congestion-aware routing. *)
+    Common.subheader "(c) router congestion penalty alpha";
+    let demands = Matrix.undirected_pair_demands plan.Planner.matrix in
+    let enabled = Planner.backbone_enabled plan in
+    let rows =
+      List.map
+        (fun alpha ->
+          let r =
+            Router.route ~enabled ~congestion_alpha:alpha
+              plan.Planner.wan.Wan.graph ~demands
+          in
+          [
+            Printf.sprintf "%.1f" alpha;
+            (if r.Router.feasible then "yes" else "no");
+            Printf.sprintf "%.3f"
+              (Router.max_utilization plan.Planner.wan.Wan.graph r);
+            string_of_int (Array.length r.Router.chunks);
+          ])
+        [ 0.0; 0.5; 1.0; 2.0; 4.0 ]
+    in
+    Table.print
+      ~align:[ Table.Right; Table.Left; Table.Right; Table.Right ]
+      ~header:[ "alpha"; "feasible"; "max util"; "path chunks" ]
+      rows;
+    print_endline
+      "alpha = 0 is pure latency-shortest routing; the penalty spreads\n\
+       load, which is what lets the oracle certify tighter link sets."

@@ -1,0 +1,282 @@
+(* poc-cli: command-line front end to the POC library.
+
+   Subcommands:
+     plan      generate a substrate + traffic matrix and run the auction
+     auction   auction details (per-BP payments, PoB)
+     econ      NN-vs-UR regime comparison for the reference economy
+     market    multi-epoch bandwidth-market simulation
+     topology  describe a generated substrate
+     baseline  describe the traditional-Internet comparator *)
+
+open Cmdliner
+module Planner = Poc_core.Planner
+module Settlement = Poc_core.Settlement
+module Vcg = Poc_auction.Vcg
+module Acc = Poc_auction.Acceptability
+module Wan = Poc_topology.Wan
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* Shared options. *)
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let sites_arg =
+  Arg.(
+    value & opt int 34
+    & info [ "sites" ] ~docv:"N" ~doc:"Number of cities in the substrate.")
+
+let bps_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "bps" ] ~docv:"N" ~doc:"Number of bandwidth providers.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let rule_arg =
+  let rules =
+    [ ("load", Acc.Handle_load); ("single-failure", Acc.Single_link_failure);
+      ("per-pair-failure", Acc.Per_pair_failure) ]
+  in
+  Arg.(
+    value
+    & opt (enum rules) Acc.Handle_load
+    & info [ "rule" ] ~docv:"RULE"
+        ~doc:"Acceptability rule: $(b,load), $(b,single-failure) or \
+              $(b,per-pair-failure).")
+
+let config ~sites ~bps ~seed ~rule =
+  Planner.scaled_config ~sites ~bps
+    { Planner.default_config with Planner.seed; rule }
+
+let build_plan ~sites ~bps ~seed ~rule =
+  match Planner.build (config ~sites ~bps ~seed ~rule) with
+  | Ok plan -> plan
+  | Error msg ->
+    Printf.eprintf "planning failed: %s\n" msg;
+    exit 1
+
+(* --- plan ---------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run verbose seed sites bps rule =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule in
+    Printf.printf "substrate: %s\n" (Wan.summary plan.Planner.wan);
+    Printf.printf "traffic:   %s\n"
+      (Format.asprintf "%a" Poc_traffic.Matrix.pp plan.Planner.matrix);
+    let o = plan.Planner.outcome in
+    Printf.printf "rule:      %s\n" (Acc.name rule);
+    Printf.printf "selected:  %d links, C(SL) = $%.0f, POC spend = $%.0f\n"
+      (List.length o.Vcg.selection.Vcg.selected)
+      o.Vcg.selection.Vcg.cost o.Vcg.total_payment;
+    Printf.printf "backbone:  %s\n"
+      (Format.asprintf "%a" Poc_util.Stats.pp_summary
+         (Planner.utilization_summary plan));
+    let ledger = Settlement.of_plan plan () in
+    Printf.printf "price:     $%.2f per Gbps-month (POC net $%.4f)\n"
+      ledger.Settlement.usage_price (Settlement.poc_net ledger)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ rule_arg)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Plan a POC backbone end-to-end") term
+
+(* --- auction -------------------------------------------------------------- *)
+
+let auction_cmd =
+  let run verbose seed sites bps rule =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule in
+    let o = plan.Planner.outcome in
+    let rows =
+      Array.to_list o.Vcg.bp_results
+      |> List.filter (fun (r : Vcg.bp_result) -> r.Vcg.payment > 0.0)
+      |> List.map (fun (r : Vcg.bp_result) ->
+             [
+               plan.Planner.wan.Wan.bps.(r.Vcg.bp).Wan.bp_name;
+               string_of_int (List.length r.Vcg.selected_links);
+               Printf.sprintf "%.0f" r.Vcg.bid_cost;
+               Printf.sprintf "%.0f" r.Vcg.payment;
+               Printf.sprintf "%.4f" r.Vcg.pob;
+             ])
+    in
+    Poc_util.Table.print
+      ~align:
+        Poc_util.Table.[ Left; Right; Right; Right; Right ]
+      ~header:[ "BP"; "links"; "bid $"; "payment $"; "PoB" ]
+      rows;
+    Printf.printf "virtual links: $%.0f contracted\n" o.Vcg.virtual_cost
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ rule_arg)
+  in
+  Cmd.v (Cmd.info "auction" ~doc:"Show the VCG auction outcome") term
+
+(* --- econ ------------------------------------------------------------------ *)
+
+let econ_cmd =
+  let run verbose =
+    setup_logs verbose;
+    let module Regime = Poc_econ.Regime in
+    let economy = Regime.default_economy in
+    List.iter
+      (fun regime ->
+        let o = Regime.evaluate economy regime in
+        Printf.printf "%-14s social %8.3f  consumer %8.3f  CSP %8.3f  LMP fees %8.3f\n"
+          (Regime.regime_name regime) o.Regime.total_social
+          o.Regime.total_consumer o.Regime.total_csp_profit
+          o.Regime.total_lmp_fee_revenue)
+      [ Regime.Nn; Regime.Ur_bargained; Regime.Ur_unilateral ]
+  in
+  let term = Term.(const run $ verbose_arg) in
+  Cmd.v (Cmd.info "econ" ~doc:"NN vs UR regime comparison") term
+
+(* --- market ----------------------------------------------------------------- *)
+
+let market_cmd =
+  let epochs_arg =
+    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Months to simulate.")
+  in
+  let run verbose seed sites bps epochs =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
+    let module Epochs = Poc_market.Epochs in
+    let results =
+      Epochs.run plan { Epochs.default_config with Epochs.epochs; seed }
+    in
+    List.iter
+      (fun (r : Epochs.epoch_result) ->
+        if r.Epochs.failed then Printf.printf "%2d: auction failed\n" r.Epochs.epoch
+        else
+          Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
+            r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
+            r.Epochs.selected_links r.Epochs.supplier_hhi)
+      results
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg)
+  in
+  Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
+
+(* --- topology ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run verbose seed sites bps =
+    setup_logs verbose;
+    let cfg = config ~sites ~bps ~seed ~rule:Acc.Handle_load in
+    let wan = Wan.generate ~params:cfg.Planner.params ~seed () in
+    Printf.printf "%s\n\n" (Wan.summary wan);
+    Array.iter
+      (fun (bp : Wan.bp) ->
+        Printf.printf "%-8s %3d sites, %4d links, share %5.1f%%\n" bp.Wan.bp_name
+          (Array.length bp.Wan.footprint)
+          (Array.length bp.Wan.link_ids)
+          (100.0 *. bp.Wan.share))
+      wan.Wan.bps
+  in
+  let term = Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg) in
+  Cmd.v (Cmd.info "topology" ~doc:"Describe a generated substrate") term
+
+(* --- export ----------------------------------------------------------------------- *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt string "poc" & info [ "out" ] ~docv:"PREFIX"
+           ~doc:"Output file prefix (writes PREFIX.graphml, PREFIX-links.csv, PREFIX-sites.csv).")
+  in
+  let run verbose seed sites bps rule out =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule in
+    let wan = plan.Planner.wan in
+    let selected = Planner.backbone_enabled plan in
+    let module Export = Poc_topology.Export in
+    Export.write_file (out ^ ".graphml") (Export.graphml wan ~selected ());
+    Export.write_file (out ^ "-links.csv") (Export.links_csv wan);
+    Export.write_file (out ^ "-sites.csv") (Export.sites_csv wan);
+    Printf.printf "wrote %s.graphml, %s-links.csv, %s-sites.csv\n" out out out
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ rule_arg
+          $ out_arg)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export the substrate and selection (GraphML/CSV)") term
+
+(* --- federation ------------------------------------------------------------------ *)
+
+let federation_cmd =
+  let regions_arg =
+    Arg.(value & opt int 2 & info [ "regions" ] ~docv:"N" ~doc:"Regional POCs.")
+  in
+  let run verbose seed sites bps regions =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
+    match Poc_federation.Federation.build plan ~regions with
+    | Error msg ->
+      Printf.eprintf "federation failed: %s\n" msg;
+      exit 1
+    | Ok f ->
+      print_string (Poc_federation.Federation.render plan f);
+      Printf.printf "federation spend $%.0f (%+.1f%% vs single POC)\n"
+        f.Poc_federation.Federation.federation_spend
+        (100.0 *. Poc_federation.Federation.fragmentation_overhead f)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ regions_arg)
+  in
+  Cmd.v (Cmd.info "federation" ~doc:"Split the POC into regional POCs") term
+
+(* --- availability ----------------------------------------------------------------- *)
+
+let availability_cmd =
+  let mtbf_arg =
+    Arg.(value & opt float 2000.0 & info [ "mtbf" ] ~docv:"HOURS" ~doc:"Per-link MTBF.")
+  in
+  let run verbose seed sites bps rule mtbf =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule in
+    let module A = Poc_sim.Availability in
+    let r =
+      A.simulate plan
+        { A.default_config with A.mtbf_hours = mtbf; seed = seed + 1 }
+    in
+    Printf.printf
+      "plan %s: availability %.6f over a month (%d failures, worst %.4f, max %d concurrent)\n"
+      (Acc.name rule) r.A.availability r.A.failure_events r.A.worst_fraction
+      r.A.max_concurrent_failures
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ rule_arg
+      $ mtbf_arg)
+  in
+  Cmd.v (Cmd.info "availability" ~doc:"Simulate link failures on the plan") term
+
+(* --- baseline -------------------------------------------------------------------- *)
+
+let baseline_cmd =
+  let run verbose seed =
+    setup_logs verbose;
+    let module As_graph = Poc_baseline.As_graph in
+    let module Bgp = Poc_baseline.Bgp in
+    let g = As_graph.generate ~seed () in
+    let n = As_graph.size g in
+    Printf.printf "AS hierarchy: %d ASes, %d links, %d stub networks\n" n
+      (Array.length g.As_graph.links)
+      (List.length (As_graph.stubs g));
+    Printf.printf "policy-reachable ordered pairs: %d / %d\n"
+      (Bgp.reachable_pairs g) (n * (n - 1))
+  in
+  let term = Term.(const run $ verbose_arg $ seed_arg) in
+  Cmd.v (Cmd.info "baseline" ~doc:"Describe the traditional-Internet comparator") term
+
+let () =
+  let doc = "A Public Option for the Core — planning, auction and policy toolkit" in
+  let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; topology_cmd;
+      federation_cmd; availability_cmd; export_cmd; baseline_cmd ]))

@@ -1,0 +1,1 @@
+examples/bandwidth_market.ml: List Poc_core Poc_market Poc_topology Printf

@@ -1,0 +1,1 @@
+examples/federated_pocs.ml: List Poc_auction Poc_core Poc_federation Poc_topology Printf

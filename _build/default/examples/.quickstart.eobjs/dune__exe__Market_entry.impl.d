@@ -1,0 +1,1 @@
+examples/market_entry.ml: Array Poc_econ Printf

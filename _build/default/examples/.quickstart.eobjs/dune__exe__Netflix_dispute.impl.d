@@ -1,0 +1,1 @@
+examples/netflix_dispute.ml: Array Float List Poc_baseline Poc_econ Printf String

@@ -1,0 +1,1 @@
+examples/neutrality_watch.ml: List Poc_core Poc_sim Poc_util Printf

@@ -1,0 +1,1 @@
+examples/neutrality_watch.mli:

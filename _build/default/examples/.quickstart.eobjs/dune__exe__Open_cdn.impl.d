@@ -1,0 +1,1 @@
+examples/open_cdn.ml: List Poc_core Poc_sim Poc_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Poc_auction Poc_core Poc_topology Poc_util Printf

@@ -1,0 +1,1 @@
+examples/resilience_planning.ml: List Poc_auction Poc_core Poc_mcf Poc_topology Poc_traffic Printf

@@ -1,0 +1,90 @@
+(* Open CDN services at the edge (Section 3.2).
+
+   LMPs may host CDN replicas — as long as the hosting is open to
+   every CSP at a posted price.  This example measures what edge
+   replicas do to the POC backbone (offload, utilization), then
+   contrasts a compliant open-hosting policy with the selective deal
+   the terms forbid (hosting only the incumbent's replicas).
+
+   Run with:  dune exec examples/open_cdn.exe *)
+
+module Planner = Poc_core.Planner
+module Member = Poc_core.Member
+module Fabric = Poc_sim.Fabric
+module Cdn = Poc_sim.Cdn
+module Prng = Poc_util.Prng
+
+let () =
+  let config =
+    Planner.scaled_config ~sites:28 ~bps:8
+      { Planner.default_config with Planner.seed = 17 }
+  in
+  match Planner.build config with
+  | Error msg ->
+    prerr_endline ("planning failed: " ^ msg);
+    exit 1
+  | Ok plan ->
+    let flows = Fabric.synthesize_flows (Prng.create 3) plan ~flows_per_pair:3 in
+    let csps =
+      List.filter (fun m -> m.Member.kind = Member.Direct_csp) plan.Planner.members
+    in
+    let lmps =
+      List.filter (fun m -> m.Member.kind = Member.Lmp) plan.Planner.members
+    in
+    (* Every CSP deploys replicas (70% hit rate) at every LMP that
+       actually receives its traffic. *)
+    let deployments =
+      List.concat_map
+        (fun (csp : Member.t) ->
+          List.filter_map
+            (fun (lmp : Member.t) ->
+              let receives =
+                List.exists
+                  (fun f ->
+                    f.Fabric.src_member = csp.Member.id
+                    && f.Fabric.dst_member = lmp.Member.id)
+                  flows
+              in
+              if receives then
+                Some { Cdn.host_lmp = lmp.Member.id; csp = csp.Member.id;
+                       hit_rate = 0.7 }
+              else None)
+            lmps)
+        csps
+    in
+    let before = Fabric.run plan Fabric.neutral_config flows in
+    let offload = Cdn.apply deployments flows in
+    let after = Fabric.run plan Fabric.neutral_config offload.Cdn.served_flows in
+    Printf.printf "replica deployments: %d (%d CSPs x hosting LMPs)\n"
+      (List.length deployments) (List.length csps);
+    Printf.printf "\n%-28s %12s %12s\n" "" "no CDN" "with CDN";
+    Printf.printf "%-28s %12.0f %12.0f\n" "backbone offered Gbps"
+      before.Fabric.offered_gbps after.Fabric.offered_gbps;
+    Printf.printf "%-28s %12.2f %12.2f\n" "max link utilization"
+      before.Fabric.max_utilization after.Fabric.max_utilization;
+    Printf.printf "%-28s %12s %12.0f\n" "served at the edge (Gbps)" "-"
+      offload.Cdn.offloaded_gbps;
+    (* Policy check: open hosting vs a selective deal. *)
+    let host = (List.hd lmps).Member.id in
+    let applicants = List.map (fun (m : Member.t) -> m.Member.id) csps in
+    let open_violations =
+      Cdn.judge_policy ~host_lmp:host ~policy:(Cdn.Open_hosting 2500.0)
+        ~applicants
+    in
+    let selective_violations =
+      Cdn.judge_policy ~host_lmp:host
+        ~policy:
+          (Cdn.Selective_hosting { allowed = [ List.hd applicants ]; fee = 2500.0 })
+        ~applicants
+    in
+    Printf.printf
+      "\nterms-of-service check at %s:\n\
+      \  open hosting at a posted $2500/month: %d violations\n\
+      \  hosting only the first CSP's replicas: %d violations (condition iii)\n"
+      (List.hd lmps).Member.name
+      (List.length open_violations)
+      (List.length selective_violations);
+    print_endline
+      "\nedge replicas relieve the backbone exactly as Section 2.4 observes\n\
+       for today's Internet — the POC's contribution is that deploying\n\
+       them cannot be a favor the LMP grants selectively."

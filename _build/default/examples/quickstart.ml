@@ -1,0 +1,49 @@
+(* Quickstart: stand up a Public Option for the Core end-to-end.
+
+   Generates a synthetic wide-area substrate (cities, 10 bandwidth
+   providers, POC routers where they colocate), estimates a traffic
+   matrix, runs the strategy-proof VCG bandwidth auction, and prints
+   who the POC pays, what members are billed, and how loaded the leased
+   backbone is.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Planner = Poc_core.Planner
+module Settlement = Poc_core.Settlement
+module Vcg = Poc_auction.Vcg
+module Wan = Poc_topology.Wan
+
+let () =
+  (* A laptop-friendly instance; bump ~sites/~bps toward the paper's
+     scale (70 sites, 20 BPs) if you have a few minutes. *)
+  let config =
+    Planner.scaled_config ~sites:30 ~bps:8
+      { Planner.default_config with Planner.seed = 2020 }
+  in
+  match Planner.build config with
+  | Error msg ->
+    prerr_endline ("planning failed: " ^ msg);
+    exit 1
+  | Ok plan ->
+    Printf.printf "substrate: %s\n\n" (Wan.summary plan.Planner.wan);
+    let outcome = plan.Planner.outcome in
+    Printf.printf "auction selected %d links; C(SL) = $%.0f; POC spend = $%.0f\n"
+      (List.length outcome.Vcg.selection.Vcg.selected)
+      outcome.Vcg.selection.Vcg.cost outcome.Vcg.total_payment;
+    print_endline "\nper-BP auction results (winners only):";
+    Array.iter
+      (fun (r : Vcg.bp_result) ->
+        if r.Vcg.payment > 0.0 then
+          Printf.printf "  %s  %3d links  bid $%8.0f  paid $%8.0f  PoB %.3f\n"
+            plan.Planner.wan.Wan.bps.(r.Vcg.bp).Wan.bp_name
+            (List.length r.Vcg.selected_links)
+            r.Vcg.bid_cost r.Vcg.payment r.Vcg.pob)
+      outcome.Vcg.bp_results;
+    let ledger = Settlement.of_plan plan () in
+    Printf.printf "\nposted member price: $%.2f per Gbps-month (break-even)\n"
+      ledger.Settlement.usage_price;
+    Printf.printf "POC net position: $%.4f (nonprofit: expect 0)\n"
+      (Settlement.poc_net ledger);
+    let util = Planner.utilization_summary plan in
+    Printf.printf "\nbackbone utilization: %s\n"
+      (Format.asprintf "%a" Poc_util.Stats.pp_summary util)

@@ -1,0 +1,1 @@
+lib/auction/acceptability.ml: Array Hashtbl List Poc_graph Poc_mcf

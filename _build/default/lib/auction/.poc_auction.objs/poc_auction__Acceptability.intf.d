@@ -1,0 +1,1 @@
+lib/auction/acceptability.mli: Poc_graph Poc_mcf

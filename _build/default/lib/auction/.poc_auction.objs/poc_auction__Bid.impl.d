@@ -1,0 +1,1 @@
+lib/auction/bid.ml: Float Hashtbl List

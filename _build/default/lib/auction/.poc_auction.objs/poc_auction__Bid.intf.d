@@ -1,0 +1,1 @@
+lib/auction/bid.mli:

@@ -1,0 +1,1 @@
+lib/auction/collusion.ml: Array Bid Fun Hashtbl List Vcg

@@ -1,0 +1,1 @@
+lib/auction/setup.ml: Array Bid List Poc_topology Poc_traffic Vcg

@@ -1,0 +1,1 @@
+lib/auction/setup.mli: Acceptability Bid Poc_topology Poc_traffic Vcg

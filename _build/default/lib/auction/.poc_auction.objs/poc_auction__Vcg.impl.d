@@ -1,0 +1,1 @@
+lib/auction/vcg.ml: Acceptability Array Bid Float Fun Hashtbl List Logs Option Poc_graph Poc_mcf

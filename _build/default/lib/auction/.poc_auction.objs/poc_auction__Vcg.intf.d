@@ -1,0 +1,1 @@
+lib/auction/vcg.mli: Acceptability Bid Poc_graph Poc_mcf

@@ -1,0 +1,43 @@
+(** The auction's acceptability predicate A(OL).
+
+    Figure 2 runs the auction under three constraints, "always looking
+    for the cheapest solution that satisfies each constraint":
+
+    - Constraint #1: the selected links can carry the traffic matrix.
+    - Constraint #2: ... even after the failure of any single logical
+      link ("any single path between a pair of routers has failed").
+    - Constraint #3: ... even after one logical link between {e each}
+      pair of routers has failed simultaneously.  The paper does not
+      say which parallel link per pair fails; we remove the
+      highest-capacity selected link of every pair, the worst single
+      deterministic choice.
+
+    Feasibility is delegated to {!Poc_mcf.Router}, which is
+    conservative: a set judged acceptable really can carry the load
+    (up to routing heuristics); a rejected set might be carriable by an
+    optimal router. *)
+
+type t =
+  | Handle_load
+  | Single_link_failure
+  | Per_pair_failure
+
+val name : t -> string
+(** "#1 load" / "#2 single-failure" / "#3 per-pair-failure". *)
+
+val all : t list
+
+val satisfied :
+  Poc_graph.Graph.t ->
+  demands:Poc_mcf.Router.demand list ->
+  enabled:(int -> bool) ->
+  t ->
+  bool
+(** [satisfied g ~demands ~enabled rule] decides whether the enabled
+    link set is acceptable under [rule]. *)
+
+val per_pair_failure_scenario :
+  Poc_graph.Graph.t -> enabled:(int -> bool) -> int list
+(** The edge ids removed by the Constraint #3 scenario: for every node
+    pair with at least one enabled link, the highest-capacity enabled
+    link (ties broken by lower edge id). *)

@@ -1,0 +1,69 @@
+type report = {
+  withholder : int;
+  withheld_links : int list;
+  payment_before : float array;
+  payment_after : float array;
+  selection_changed : bool;
+}
+
+let payments_of (outcome : Vcg.outcome) =
+  Array.map (fun (r : Vcg.bp_result) -> r.payment) outcome.bp_results
+
+(* Withholding is expressed by shrinking the withholders' bids: the
+   links simply are not offered, and the standard mechanism (with its
+   warm-started pivots) runs on the reduced problem. *)
+let restrict_bid bid withheld =
+  let keep = List.filter (fun id -> not (Hashtbl.mem withheld id)) (Bid.links bid) in
+  Bid.additive (List.map (fun id -> (id, Bid.single_price bid id)) keep)
+
+let rerun_with_withheld (problem : Vcg.problem) (outcome : Vcg.outcome) withheld =
+  let tbl = Hashtbl.create (List.length withheld) in
+  List.iter (fun id -> Hashtbl.replace tbl id ()) withheld;
+  let bids = Array.map (fun bid -> restrict_bid bid tbl) problem.Vcg.bids in
+  match Vcg.run { problem with Vcg.bids } with
+  | None -> None
+  | Some after ->
+    let selection_changed =
+      after.Vcg.selection.Vcg.selected <> outcome.Vcg.selection.Vcg.selected
+    in
+    Some (payments_of after, selection_changed)
+
+let unselected_links (problem : Vcg.problem) (outcome : Vcg.outcome) bp =
+  let in_sl = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_sl id ()) outcome.Vcg.selection.Vcg.selected;
+  Bid.links problem.Vcg.bids.(bp)
+  |> List.filter (fun id -> not (Hashtbl.mem in_sl id))
+
+let withhold_unselected problem outcome ~bp =
+  if bp < 0 || bp >= Array.length problem.Vcg.bids then
+    invalid_arg "Collusion.withhold_unselected: unknown BP";
+  let withheld = unselected_links problem outcome bp in
+  match rerun_with_withheld problem outcome withheld with
+  | None -> None
+  | Some (payment_after, selection_changed) ->
+    Some
+      {
+        withholder = bp;
+        withheld_links = withheld;
+        payment_before = payments_of outcome;
+        payment_after;
+        selection_changed;
+      }
+
+let all_withhold_unselected problem outcome =
+  let n = Array.length problem.Vcg.bids in
+  let withheld =
+    List.concat_map (fun bp -> unselected_links problem outcome bp)
+      (List.init n Fun.id)
+  in
+  match rerun_with_withheld problem outcome withheld with
+  | None -> None
+  | Some (payment_after, selection_changed) ->
+    Some
+      {
+        withholder = -1;
+        withheld_links = withheld;
+        payment_before = payments_of outcome;
+        payment_after;
+        selection_changed;
+      }

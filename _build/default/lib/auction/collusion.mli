@@ -1,0 +1,28 @@
+(** Link-withholding experiments (Section 3.3's collusion discussion).
+
+    "If the BPs can guess in advance what the set SL is, they can
+    decide to not offer any links not in this set without changing
+    their own payoff, but possibly changing that of others."  This
+    module measures exactly that: BP β withdraws Lβ − SL and we rerun
+    the mechanism, reporting everyone's payment deltas. *)
+
+type report = {
+  withholder : int;
+  withheld_links : int list;
+  payment_before : float array; (** per BP, indexed by BP id *)
+  payment_after : float array;
+  selection_changed : bool;
+}
+
+val withhold_unselected : Vcg.problem -> Vcg.outcome -> bp:int -> report option
+(** [withhold_unselected problem outcome ~bp] reruns the auction with
+    [bp]'s unselected links withdrawn.  [None] if the reduced offer
+    set admits no acceptable selection.  When the withholder guessed
+    SL correctly (i.e. the selection is unchanged) the paper predicts
+    [payment_after.(bp) = payment_before.(bp)] and
+    [payment_after.(i) >= payment_before.(i)] for others. *)
+
+val all_withhold_unselected :
+  Vcg.problem -> Vcg.outcome -> report option
+(** Every BP simultaneously withholds its unselected links (the
+    coordinated variant the paper says can make them all gain). *)

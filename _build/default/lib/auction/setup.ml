@@ -1,0 +1,27 @@
+module Wan = Poc_topology.Wan
+module Matrix = Poc_traffic.Matrix
+
+let truthful_bids ?(margin = 0.0) (wan : Wan.t) =
+  if margin < 0.0 then invalid_arg "Setup.truthful_bids: negative margin";
+  Array.map
+    (fun (bp : Wan.bp) ->
+      let prices =
+        Array.to_list bp.link_ids
+        |> List.map (fun id ->
+               (id, wan.links.(id).Wan.true_cost *. (1.0 +. margin)))
+      in
+      Bid.additive prices)
+    wan.bps
+
+let virtual_prices (wan : Wan.t) =
+  Wan.virtual_link_ids wan
+  |> List.map (fun id -> (id, wan.links.(id).Wan.true_cost))
+
+let problem ?margin (wan : Wan.t) matrix ~rule =
+  {
+    Vcg.graph = wan.graph;
+    demands = Matrix.undirected_pair_demands matrix;
+    bids = truthful_bids ?margin wan;
+    virtual_prices = virtual_prices wan;
+    rule;
+  }

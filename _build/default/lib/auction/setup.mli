@@ -1,0 +1,18 @@
+(** Glue from the generated WAN to an auction problem. *)
+
+val truthful_bids : ?margin:float -> Poc_topology.Wan.t -> Bid.t array
+(** One additive bid per BP at its private link cost times
+    [1 + margin] (default margin 0: fully truthful). *)
+
+val virtual_prices : Poc_topology.Wan.t -> (int * float) list
+(** The external ISPs' contracted virtual-link prices. *)
+
+val problem :
+  ?margin:float ->
+  Poc_topology.Wan.t ->
+  Poc_traffic.Matrix.t ->
+  rule:Acceptability.t ->
+  Vcg.problem
+(** Assembles the full Figure 2 auction problem: graph, undirected
+    pair demands from the traffic matrix, truthful bids, contracted
+    virtual links, and the acceptability rule. *)

@@ -1,0 +1,1 @@
+lib/baseline/as_graph.ml: Array Fun Hashtbl List Poc_util Printf

@@ -1,0 +1,1 @@
+lib/baseline/as_graph.mli:

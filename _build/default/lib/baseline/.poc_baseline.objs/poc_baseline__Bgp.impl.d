@@ -1,0 +1,1 @@
+lib/baseline/bgp.ml: Array As_graph List Queue

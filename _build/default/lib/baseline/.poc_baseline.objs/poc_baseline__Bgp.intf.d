@@ -1,0 +1,1 @@
+lib/baseline/bgp.mli: As_graph

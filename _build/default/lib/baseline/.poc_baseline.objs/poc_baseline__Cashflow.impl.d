@@ -1,0 +1,1 @@
+lib/baseline/cashflow.ml: Array As_graph Bgp Hashtbl List Printf

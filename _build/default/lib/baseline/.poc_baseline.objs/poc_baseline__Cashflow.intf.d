@@ -1,0 +1,1 @@
+lib/baseline/cashflow.mli: As_graph

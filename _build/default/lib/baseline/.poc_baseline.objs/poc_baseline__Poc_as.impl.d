@@ -1,0 +1,1 @@
+lib/baseline/poc_as.ml: Array As_graph Bgp Cashflow List Poc_util

@@ -1,0 +1,1 @@
+lib/baseline/poc_as.mli: As_graph

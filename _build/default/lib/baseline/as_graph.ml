@@ -1,0 +1,158 @@
+module Prng = Poc_util.Prng
+
+type kind = Tier1 | Transit | Eyeball_stub | Content_stub
+
+type relationship = Customer_provider | Peer_peer
+
+type link = { a : int; b : int; rel : relationship }
+
+type t = {
+  kinds : kind array;
+  names : string array;
+  links : link array;
+  providers : int list array;
+  customers : int list array;
+  peers : int list array;
+}
+
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_eyeball : int;
+  n_content : int;
+  transit_multihoming : int;
+  stub_multihoming : int;
+  peering_prob : float;
+}
+
+let default_params =
+  {
+    n_tier1 = 4;
+    n_transit = 12;
+    n_eyeball = 30;
+    n_content = 10;
+    transit_multihoming = 2;
+    stub_multihoming = 2;
+    peering_prob = 0.25;
+  }
+
+let kind_name = function
+  | Tier1 -> "tier1"
+  | Transit -> "transit"
+  | Eyeball_stub -> "eyeball"
+  | Content_stub -> "content"
+
+let size t = Array.length t.kinds
+
+let is_stub t i =
+  match t.kinds.(i) with
+  | Eyeball_stub | Content_stub -> true
+  | Tier1 | Transit -> false
+
+let stubs t =
+  List.filter (is_stub t) (List.init (size t) Fun.id)
+
+let generate ?(params = default_params) ~seed () =
+  let p = params in
+  if p.n_tier1 < 1 || p.n_transit < 1 then
+    invalid_arg "As_graph.generate: need at least one tier1 and one transit";
+  let rng = Prng.create seed in
+  let n = p.n_tier1 + p.n_transit + p.n_eyeball + p.n_content in
+  let kinds =
+    Array.init n (fun i ->
+        if i < p.n_tier1 then Tier1
+        else if i < p.n_tier1 + p.n_transit then Transit
+        else if i < p.n_tier1 + p.n_transit + p.n_eyeball then Eyeball_stub
+        else Content_stub)
+  in
+  let names =
+    Array.mapi
+      (fun i k ->
+        match k with
+        | Tier1 -> Printf.sprintf "T1-%d" i
+        | Transit -> Printf.sprintf "Transit-%d" i
+        | Eyeball_stub -> Printf.sprintf "Eyeball-%d" i
+        | Content_stub -> Printf.sprintf "Content-%d" i)
+      kinds
+  in
+  let links = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add_link a b rel =
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      links := { a; b; rel } :: !links
+    end
+  in
+  (* Tier-1 full peer mesh. *)
+  for i = 0 to p.n_tier1 - 1 do
+    for j = i + 1 to p.n_tier1 - 1 do
+      add_link i j Peer_peer
+    done
+  done;
+  let tier1s = Array.init p.n_tier1 Fun.id in
+  let transits = Array.init p.n_transit (fun i -> p.n_tier1 + i) in
+  (* Transits buy from 1..transit_multihoming tier-1s, and sometimes
+     peer with each other. *)
+  Array.iter
+    (fun tr ->
+      let count = 1 + Prng.int rng p.transit_multihoming in
+      let provs = Prng.sample_without_replacement rng (min count p.n_tier1) tier1s in
+      Array.iter (fun t1 -> add_link tr t1 Customer_provider) provs)
+    transits;
+  Array.iteri
+    (fun i tr ->
+      Array.iteri
+        (fun j tr' ->
+          if j > i && Prng.bernoulli rng p.peering_prob then
+            add_link tr tr' Peer_peer)
+        transits)
+    transits;
+  (* Stubs buy from transits (content stubs occasionally straight from
+     a tier-1, like a big CSP). *)
+  for s = p.n_tier1 + p.n_transit to n - 1 do
+    let count = 1 + Prng.int rng p.stub_multihoming in
+    let provs = Prng.sample_without_replacement rng (min count p.n_transit) transits in
+    Array.iter (fun tr -> add_link s tr Customer_provider) provs;
+    if kinds.(s) = Content_stub && Prng.bernoulli rng 0.3 then
+      add_link s (Prng.pick rng tier1s) Customer_provider
+  done;
+  let links = Array.of_list (List.rev !links) in
+  let providers = Array.make n [] in
+  let customers = Array.make n [] in
+  let peers = Array.make n [] in
+  Array.iter
+    (fun l ->
+      match l.rel with
+      | Customer_provider ->
+        providers.(l.a) <- l.b :: providers.(l.a);
+        customers.(l.b) <- l.a :: customers.(l.b)
+      | Peer_peer ->
+        peers.(l.a) <- l.b :: peers.(l.a);
+        peers.(l.b) <- l.a :: peers.(l.b))
+    links;
+  { kinds; names; links; providers; customers; peers }
+
+let validate t =
+  let n = size t in
+  let problem = ref None in
+  let fail msg = if !problem = None then problem := Some msg in
+  Array.iter
+    (fun l ->
+      if l.a = l.b then fail "self link";
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n then fail "link out of range")
+    t.links;
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Tier1 -> if t.providers.(i) <> [] then fail "tier1 with a provider"
+      | Transit -> if t.providers.(i) = [] then fail "transit without provider"
+      | Eyeball_stub | Content_stub ->
+        if t.customers.(i) <> [] then fail "stub with customers";
+        if t.providers.(i) = [] then fail "stub without provider")
+    t.kinds;
+  (* Cross-check adjacency lists against the link array. *)
+  let count_cp = Array.fold_left (fun acc l -> if l.rel = Customer_provider then acc + 1 else acc) 0 t.links in
+  let sum_providers = Array.fold_left (fun acc l -> acc + List.length l) 0 t.providers in
+  if count_cp <> sum_providers then fail "provider lists inconsistent with links";
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,59 @@
+(** A synthetic Autonomous-System hierarchy with business relationships.
+
+    The status-quo comparator for the POC: tier-1 providers in a full
+    peering mesh, mid-tier transit providers buying from them, and stub
+    networks (eyeball LMP-like and content CSP-like) multi-homing to
+    transits.  Edges carry customer-provider or peer-peer semantics,
+    which drive both BGP route selection ({!Bgp}) and money flows
+    ({!Cashflow}). *)
+
+type kind =
+  | Tier1
+  | Transit
+  | Eyeball_stub  (** consumes content; sells access to users *)
+  | Content_stub  (** originates content/services *)
+
+type relationship =
+  | Customer_provider (** first AS pays the second *)
+  | Peer_peer
+
+type link = { a : int; b : int; rel : relationship }
+(** For [Customer_provider], [a] is the customer and [b] the provider. *)
+
+type t = {
+  kinds : kind array;          (** AS index -> kind *)
+  names : string array;
+  links : link array;
+  providers : int list array;  (** per AS: its transit providers *)
+  customers : int list array;
+  peers : int list array;
+}
+
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_eyeball : int;
+  n_content : int;
+  transit_multihoming : int; (** providers per transit (max) *)
+  stub_multihoming : int;    (** providers per stub (max) *)
+  peering_prob : float;      (** transit-transit peering probability *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> t
+(** Deterministic hierarchy; guarantees every AS has a path to a tier-1
+    through providers and tier-1s form a full peer mesh. *)
+
+val size : t -> int
+
+val kind_name : kind -> string
+
+val stubs : t -> int list
+(** Indices of all stub ASes. *)
+
+val is_stub : t -> int -> bool
+
+val validate : t -> (unit, string) result
+(** Structural checks: relationship arrays consistent with links, no
+    self links, tier-1s have no providers, stubs have no customers. *)

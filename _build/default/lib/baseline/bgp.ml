@@ -1,0 +1,143 @@
+type route_kind = Self | Via_customer | Via_peer | Via_provider
+
+type route = { kind : route_kind; next_hop : int; as_path_len : int }
+
+type table = route option array
+
+let kind_rank = function
+  | Self -> 0
+  | Via_customer -> 1
+  | Via_peer -> 2
+  | Via_provider -> 3
+
+let better a b =
+  match b with
+  | None -> true
+  | Some b ->
+    let ka = kind_rank a.kind and kb = kind_rank b.kind in
+    ka < kb
+    || (ka = kb && a.as_path_len < b.as_path_len)
+    || (ka = kb && a.as_path_len = b.as_path_len && a.next_hop < b.next_hop)
+
+(* Standard three-phase propagation (cf. Gill-Schapira-Goldberg's BGP
+   simulation algorithm):
+   1. customer routes climb provider edges from the destination;
+   2. peers of any customer-routed AS pick up a peer route;
+   3. routes descend provider->customer edges to everyone else. *)
+let routes_to (g : As_graph.t) dst =
+  let n = As_graph.size g in
+  if dst < 0 || dst >= n then invalid_arg "Bgp.routes_to: unknown AS";
+  let table : table = Array.make n None in
+  table.(dst) <- Some { kind = Self; next_hop = dst; as_path_len = 0 };
+  (* Phase 1: BFS along customer->provider edges.  A provider of an AS
+     with a customer route (or of the destination) learns a customer
+     route; shorter paths win, BFS order guarantees minimality. *)
+  let queue = Queue.create () in
+  Queue.push dst queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    let len =
+      match table.(x) with Some r -> r.as_path_len | None -> assert false
+    in
+    List.iter
+      (fun p ->
+        let candidate = { kind = Via_customer; next_hop = x; as_path_len = len + 1 } in
+        match table.(p) with
+        | None ->
+          table.(p) <- Some candidate;
+          Queue.push p queue
+        | Some existing ->
+          if better candidate (Some existing) then table.(p) <- Some candidate)
+      g.providers.(x)
+  done;
+  (* Phase 2: one peer hop.  Peer routes are only accepted when no
+     customer route exists, and are not re-exported to peers/providers. *)
+  let peer_routes = ref [] in
+  for x = 0 to n - 1 do
+    match table.(x) with
+    | Some { kind = Self | Via_customer; as_path_len; _ } ->
+      List.iter
+        (fun y ->
+          let candidate =
+            { kind = Via_peer; next_hop = x; as_path_len = as_path_len + 1 }
+          in
+          peer_routes := (y, candidate) :: !peer_routes)
+        g.peers.(x)
+    | Some { kind = Via_peer | Via_provider; _ } | None -> ()
+  done;
+  List.iter
+    (fun (y, candidate) ->
+      if better candidate table.(y) then table.(y) <- Some candidate)
+    !peer_routes;
+  (* Phase 3: provider routes descend to customers, propagating further
+     downward.  Process by increasing path length for shortest paths. *)
+  (* (queue-based relaxation; path lengths grow by 1 per hop) *)
+  let pending = Queue.create () in
+  for x = 0 to n - 1 do
+    if table.(x) <> None then Queue.push x pending
+  done;
+  while not (Queue.is_empty pending) do
+    let x = Queue.pop pending in
+    match table.(x) with
+    | None -> ()
+    | Some r ->
+      List.iter
+        (fun c ->
+          let candidate =
+            { kind = Via_provider; next_hop = x; as_path_len = r.as_path_len + 1 }
+          in
+          if better candidate table.(c) then begin
+            table.(c) <- Some candidate;
+            Queue.push c pending
+          end)
+        g.customers.(x)
+  done;
+  table
+
+let as_path g ~src ~dst =
+  let table = routes_to g dst in
+  let rec walk node acc guard =
+    if guard > As_graph.size g then None
+    else begin
+      match table.(node) with
+      | None -> None
+      | Some { kind = Self; _ } -> Some (List.rev (node :: acc))
+      | Some { next_hop; _ } -> walk next_hop (node :: acc) (guard + 1)
+    end
+  in
+  walk src [] 0
+
+let reachable_pairs g =
+  let n = As_graph.size g in
+  let count = ref 0 in
+  for dst = 0 to n - 1 do
+    let table = routes_to g dst in
+    Array.iteri (fun src r -> if src <> dst && r <> None then incr count) table
+  done;
+  !count
+
+let valley_free g path =
+  (* Classify consecutive relationships and check up* peer? down*. *)
+  let rel a b =
+    if List.mem b g.As_graph.providers.(a) then `Up
+    else if List.mem b g.As_graph.customers.(a) then `Down
+    else if List.mem b g.As_graph.peers.(a) then `Peer
+    else `None
+  in
+  let rec steps = function
+    | [] | [ _ ] -> []
+    | a :: (b :: _ as rest) -> rel a b :: steps rest
+  in
+  let moves = steps path in
+  if List.mem `None moves then false
+  else begin
+    (* state machine: Up -> (Peer | Down); at most one Peer *)
+    let rec check state = function
+      | [] -> true
+      | `Up :: rest -> if state = `Climbing then check `Climbing rest else false
+      | `Peer :: rest -> if state = `Climbing then check `Descending rest else false
+      | `Down :: rest -> check `Descending rest
+      | `None :: _ -> false
+    in
+    check `Climbing moves
+  end

@@ -1,0 +1,34 @@
+(** Policy routing over the AS hierarchy (Gao–Rexford).
+
+    Routes obey the standard export rules: routes learned from a peer
+    or provider are re-exported only to customers; customer routes go
+    to everyone.  Selection prefers customer routes over peer routes
+    over provider routes, then shorter AS paths, then the lowest
+    next-hop id (deterministic tie-break).  The result is the familiar
+    valley-free routing. *)
+
+type route_kind = Self | Via_customer | Via_peer | Via_provider
+
+type route = {
+  kind : route_kind;
+  next_hop : int;
+  as_path_len : int; (** hops to the destination (0 for Self) *)
+}
+
+type table = route option array
+(** Indexed by source AS: the best route toward a fixed destination. *)
+
+val routes_to : As_graph.t -> int -> table
+(** [routes_to g dst] computes every AS's best route toward [dst]. *)
+
+val as_path : As_graph.t -> src:int -> dst:int -> int list option
+(** The AS-level path actually taken (inclusive of both ends), [None]
+    if policy leaves [src] without a route to [dst]. *)
+
+val reachable_pairs : As_graph.t -> int
+(** Number of ordered AS pairs (src <> dst) with a policy-compliant
+    route — under Gao-Rexford this can be less than n·(n−1) even on a
+    connected topology. *)
+
+val valley_free : As_graph.t -> int list -> bool
+(** Check a path follows up* peer? down* (for property tests). *)

@@ -1,0 +1,102 @@
+type params = {
+  transit_price : int -> float;
+  termination_fee : float;
+}
+
+type transfer = { payer : int; payee : int; amount : float; reason : string }
+
+type report = {
+  transfers : transfer list;
+  net : float array;
+  undelivered : (int * int * float) list;
+  total_volume : float;
+}
+
+let default_transit_price (g : As_graph.t) a =
+  match g.kinds.(a) with
+  | As_graph.Tier1 -> 400.0
+  | As_graph.Transit -> 700.0
+  | As_graph.Eyeball_stub | As_graph.Content_stub -> infinity
+
+let relationship (g : As_graph.t) a b =
+  if List.mem b g.providers.(a) then `My_provider
+  else if List.mem b g.customers.(a) then `My_customer
+  else if List.mem b g.peers.(a) then `My_peer
+  else `None
+
+let settle g params ~demands =
+  let n = As_graph.size g in
+  let transfers = ref [] in
+  let net = Array.make n 0.0 in
+  let undelivered = ref [] in
+  let total_volume = ref 0.0 in
+  let pay payer payee amount reason =
+    if amount > 0.0 then begin
+      transfers := { payer; payee; amount; reason } :: !transfers;
+      net.(payer) <- net.(payer) -. amount;
+      net.(payee) <- net.(payee) +. amount
+    end
+  in
+  (* Cache per-destination tables: demands often share destinations. *)
+  let tables = Hashtbl.create 16 in
+  let table_for dst =
+    match Hashtbl.find_opt tables dst with
+    | Some t -> t
+    | None ->
+      let t = Bgp.routes_to g dst in
+      Hashtbl.replace tables dst t;
+      t
+  in
+  List.iter
+    (fun (src, dst, gbps) ->
+      if src = dst then invalid_arg "Cashflow.settle: self demand";
+      if gbps < 0.0 then invalid_arg "Cashflow.settle: negative demand";
+      let table = table_for dst in
+      let rec walk node acc guard =
+        if guard > n then None
+        else begin
+          match table.(node) with
+          | None -> None
+          | Some { Bgp.kind = Bgp.Self; _ } -> Some (List.rev (node :: acc))
+          | Some { Bgp.next_hop; _ } -> walk next_hop (node :: acc) (guard + 1)
+        end
+      in
+      match walk src [] 0 with
+      | None -> undelivered := (src, dst, gbps) :: !undelivered
+      | Some path ->
+        total_volume := !total_volume +. gbps;
+        let rec charge = function
+          | [] | [ _ ] -> ()
+          | a :: (b :: _ as rest) ->
+            (match relationship g a b with
+            | `My_provider ->
+              pay a b (gbps *. params.transit_price b)
+                (Printf.sprintf "transit %s->%s" g.names.(a) g.names.(b))
+            | `My_customer ->
+              (* Traffic descending to a customer: the customer pays
+                 its provider for the bits it receives. *)
+              pay b a (gbps *. params.transit_price a)
+                (Printf.sprintf "transit %s->%s" g.names.(b) g.names.(a))
+            | `My_peer -> ()
+            | `None -> invalid_arg "Cashflow.settle: path uses a non-edge");
+            charge rest
+        in
+        charge path;
+        (* Termination fee: the destination eyeball charges the
+           originating content stub for delivery. *)
+        if
+          params.termination_fee > 0.0
+          && g.kinds.(dst) = As_graph.Eyeball_stub
+          && g.kinds.(src) = As_graph.Content_stub
+        then
+          pay src dst (gbps *. params.termination_fee)
+            (Printf.sprintf "termination %s->%s" g.names.(src) g.names.(dst)))
+    demands;
+  {
+    transfers = List.rev !transfers;
+    net;
+    undelivered = List.rev !undelivered;
+    total_volume = !total_volume;
+  }
+
+let conservation_check r = Array.fold_left ( +. ) 0.0 r.net

@@ -1,0 +1,41 @@
+(** Money flows in the traditional transit Internet.
+
+    For a traffic matrix between stub ASes, traffic rides the BGP
+    paths; every customer-provider edge crossed generates a transit
+    charge (per Gbps per month, at the provider's posted rate), and
+    peer-peer edges settle free.  Optionally, eyeball stubs levy a
+    termination fee on content traffic entering their network — the
+    practice the POC's terms-of-service forbid.  This is the
+    comparator for the POC settlement examples and benches. *)
+
+type params = {
+  transit_price : int -> float;
+      (** provider AS -> $/Gbps/month charged to its customers *)
+  termination_fee : float;
+      (** $/Gbps/month an eyeball stub charges the originating content
+          stub; 0 under network neutrality *)
+}
+
+type transfer = { payer : int; payee : int; amount : float; reason : string }
+
+type report = {
+  transfers : transfer list;
+  net : float array;        (** per AS: income − outlay *)
+  undelivered : (int * int * float) list;
+      (** demands with no policy-compliant route *)
+  total_volume : float;     (** Gbps delivered *)
+}
+
+val settle :
+  As_graph.t -> params -> demands:(int * int * float) list -> report
+(** [settle g params ~demands] routes each [(src, dst, gbps)] demand
+    over BGP paths and accumulates monthly transfers.  Demands must
+    join distinct ASes. *)
+
+val default_transit_price : As_graph.t -> int -> float
+(** A simple posted-price schedule: tier-1s cheapest per Gbps, transit
+    mid, stubs do not sell transit. *)
+
+val conservation_check : report -> float
+(** Σ net over all ASes — zero (up to float noise) because every
+    transfer has a payer and a payee. *)

@@ -1,0 +1,102 @@
+module Prng = Poc_util.Prng
+
+type integration = {
+  graph : As_graph.t;
+  poc_as : int;
+  attached_stubs : int list;
+}
+
+let integrate ?(attach_fraction = 1.0) ~seed (g : As_graph.t) =
+  if attach_fraction < 0.0 || attach_fraction > 1.0 then
+    invalid_arg "Poc_as.integrate: fraction out of [0,1]";
+  let rng = Prng.create seed in
+  let n = As_graph.size g in
+  let poc_as = n in
+  let kinds = Array.append g.As_graph.kinds [| As_graph.Transit |] in
+  let names = Array.append g.As_graph.names [| "POC" |] in
+  let attached =
+    As_graph.stubs g
+    |> List.filter (fun _ -> Prng.bernoulli rng attach_fraction)
+  in
+  (* POC buys general access from the first tier-1; attached stubs add
+     the POC as a provider. *)
+  let new_links =
+    { As_graph.a = poc_as; b = 0; rel = As_graph.Customer_provider }
+    :: List.map
+         (fun s -> { As_graph.a = s; b = poc_as; rel = As_graph.Customer_provider })
+         attached
+  in
+  let links = Array.append g.As_graph.links (Array.of_list new_links) in
+  let grow arr extra = Array.append (Array.map (fun l -> l) arr) [| extra |] in
+  let providers = grow g.As_graph.providers [ 0 ] in
+  let customers = grow g.As_graph.customers attached in
+  let peers = grow g.As_graph.peers [] in
+  (* Register the new relationships on the pre-existing ASes (copy the
+     rows first so the original graph is untouched). *)
+  let providers = Array.copy providers and customers = Array.copy customers in
+  List.iter
+    (fun s -> providers.(s) <- poc_as :: providers.(s))
+    attached;
+  customers.(0) <- poc_as :: customers.(0);
+  let graph =
+    { As_graph.kinds; names; links; providers; customers; peers }
+  in
+  { graph; poc_as; attached_stubs = attached }
+
+type capture = {
+  via_poc_gbps : float;
+  total_gbps : float;
+  capture_fraction : float;
+  stub_outlay_before : float;
+  stub_outlay_after : float;
+  savings_fraction : float;
+}
+
+let stub_outlay (g : As_graph.t) (report : Cashflow.report) =
+  (* Stubs only pay (they have no transit customers); their outlay is
+     minus their net. *)
+  Array.to_list report.Cashflow.net
+  |> List.mapi (fun i v -> (i, v))
+  |> List.filter (fun (i, _) -> i < As_graph.size g && As_graph.is_stub g i)
+  |> List.fold_left (fun acc (_, v) -> acc -. v) 0.0
+
+let measure (before_g : As_graph.t) integration ~demands ~poc_price
+    ~incumbent_price =
+  let after_g = integration.graph in
+  let price_after a =
+    if a = integration.poc_as then poc_price else incumbent_price a
+  in
+  let before =
+    Cashflow.settle before_g
+      { Cashflow.transit_price = incumbent_price; termination_fee = 0.0 }
+      ~demands
+  in
+  let after =
+    Cashflow.settle after_g
+      { Cashflow.transit_price = price_after; termination_fee = 0.0 }
+      ~demands
+  in
+  (* Traffic crossing the POC: check each demand's path. *)
+  let via_poc = ref 0.0 in
+  let total = ref 0.0 in
+  List.iter
+    (fun (src, dst, gbps) ->
+      total := !total +. gbps;
+      match Bgp.as_path after_g ~src ~dst with
+      | Some path when List.mem integration.poc_as path ->
+        via_poc := !via_poc +. gbps
+      | Some _ | None -> ())
+    demands;
+  let outlay_before = stub_outlay before_g before in
+  let outlay_after = stub_outlay before_g after in
+  {
+    via_poc_gbps = !via_poc;
+    total_gbps = !total;
+    capture_fraction = (if !total > 0.0 then !via_poc /. !total else 0.0);
+    stub_outlay_before = outlay_before;
+    stub_outlay_after = outlay_after;
+    savings_fraction =
+      (if outlay_before > 0.0 then
+         (outlay_before -. outlay_after) /. outlay_before
+       else 0.0);
+  }

@@ -1,0 +1,43 @@
+(** Incremental deployability (Section 5): dropping a POC into the
+    existing AS ecosystem.
+
+    "While the POC is radically different from the status quo, it is
+    incrementally deployable" — it starts as one more transit AS that
+    stubs can multihome to, pays an incumbent for general access to
+    everything it cannot reach, and wins traffic by being cheaper and
+    closer (stub-POC-stub is a two-hop transit path).  This module
+    splices a POC AS into an {!As_graph.t} and measures how much of
+    the stub-to-stub traffic and transit spend it captures. *)
+
+type integration = {
+  graph : As_graph.t;
+  poc_as : int;                 (** index of the new AS *)
+  attached_stubs : int list;    (** stubs that multihomed to the POC *)
+}
+
+val integrate :
+  ?attach_fraction:float -> seed:int -> As_graph.t -> integration
+(** Add a POC transit AS: it buys general access from the first
+    tier-1 (the paper's "pays one or more ISPs"), and a deterministic
+    pseudo-random [attach_fraction] (default 1.0) of stubs add it as a
+    provider.  The original graph is not modified. *)
+
+type capture = {
+  via_poc_gbps : float;     (** traffic whose BGP path crosses the POC *)
+  total_gbps : float;
+  capture_fraction : float;
+  stub_outlay_before : float; (** Σ stub transit payments, status quo *)
+  stub_outlay_after : float;
+  savings_fraction : float;
+}
+
+val measure :
+  As_graph.t ->
+  integration ->
+  demands:(int * int * float) list ->
+  poc_price:float ->
+  incumbent_price:(int -> float) ->
+  capture
+(** Settle the same demands on both graphs; the POC AS charges
+    [poc_price] per Gbps (its break-even posted price), incumbents
+    keep their schedule. *)

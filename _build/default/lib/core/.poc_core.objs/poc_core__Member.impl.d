@@ -1,0 +1,1 @@
+lib/core/member.ml: Array Float Fun Hashtbl List Poc_topology Poc_traffic Printf

@@ -1,0 +1,1 @@
+lib/core/member.mli: Poc_topology Poc_traffic

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Hashtbl List Member Poc_auction Poc_graph Poc_mcf Poc_topology Poc_traffic Poc_util

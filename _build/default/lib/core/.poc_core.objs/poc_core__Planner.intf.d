@@ -1,0 +1,1 @@
+lib/core/planner.mli: Member Poc_auction Poc_mcf Poc_topology Poc_traffic Poc_util

@@ -1,0 +1,1 @@
+lib/core/settlement.ml: Array Float Hashtbl List Member Planner Poc_auction Poc_topology Poc_util Printf

@@ -1,0 +1,1 @@
+lib/core/terms.ml: List Printf

@@ -1,0 +1,76 @@
+module Wan = Poc_topology.Wan
+module Site = Poc_topology.Site
+module Matrix = Poc_traffic.Matrix
+
+type kind = Lmp | Direct_csp | External_isp
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  attachment : int;
+  monthly_gbps : float;
+}
+
+let kind_name = function
+  | Lmp -> "LMP"
+  | Direct_csp -> "CSP"
+  | External_isp -> "ext-ISP"
+
+let validate t ~node_count =
+  if t.name = "" then Error "empty name"
+  else if t.attachment < 0 || t.attachment >= node_count then
+    Error "attachment out of range"
+  else if t.monthly_gbps < 0.0 || not (Float.is_finite t.monthly_gbps) then
+    Error "bad usage"
+  else Ok ()
+
+let of_wan (wan : Wan.t) matrix ?(csp_share = 0.5) () =
+  if csp_share < 0.0 || csp_share > 1.0 then
+    invalid_arg "Member.of_wan: csp_share out of [0,1]";
+  let n = Array.length wan.poc_sites in
+  if Matrix.dim matrix <> n then
+    invalid_arg "Member.of_wan: matrix dimension mismatch";
+  (* Node volume: everything sent plus everything received there. *)
+  let volume = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, d) ->
+      volume.(i) <- volume.(i) +. d;
+      volume.(j) <- volume.(j) +. d)
+    (Matrix.pair_demands matrix);
+  let pop node = wan.sites.(wan.poc_sites.(node)).Site.population in
+  let content_nodes =
+    let order =
+      List.init n Fun.id |> List.sort (fun a b -> compare (pop b) (pop a))
+    in
+    let count = max 1 (n / 4) in
+    List.filteri (fun rank _ -> rank < count) order
+  in
+  let is_content = Hashtbl.create 16 in
+  List.iter (fun node -> Hashtbl.replace is_content node ()) content_nodes;
+  let members = ref [] in
+  let next_id = ref 0 in
+  let add name kind attachment monthly_gbps =
+    members := { id = !next_id; name; kind; attachment; monthly_gbps } :: !members;
+    incr next_id
+  in
+  for node = 0 to n - 1 do
+    let site = wan.sites.(wan.poc_sites.(node)) in
+    if Hashtbl.mem is_content node then begin
+      add (Printf.sprintf "LMP-%s" site.Site.name) Lmp node
+        (volume.(node) *. (1.0 -. csp_share));
+      add (Printf.sprintf "CSP-%s" site.Site.name) Direct_csp node
+        (volume.(node) *. csp_share)
+    end
+    else add (Printf.sprintf "LMP-%s" site.Site.name) Lmp node volume.(node)
+  done;
+  Array.iter
+    (fun (isp : Wan.external_isp) ->
+      let attachment =
+        match Array.to_list isp.attachments with
+        | a :: _ -> a
+        | [] -> 0
+      in
+      add isp.isp_name External_isp attachment 0.0)
+    wan.external_isps;
+  List.rev !members

@@ -1,0 +1,35 @@
+(** POC membership: who is attached to the fabric.
+
+    Figure 1 of the paper: customers (users, enterprises) connect to
+    Last-Mile Providers; LMPs connect to the POC; large content and
+    service providers may attach directly.  External ISPs connect the
+    POC to the rest of the Internet and provide virtual links. *)
+
+type kind =
+  | Lmp            (** last-mile provider: sells access, buys transit here *)
+  | Direct_csp     (** large CSP attached straight to the POC *)
+  | External_isp   (** connectivity to the non-POC Internet *)
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  attachment : int;      (** POC router (graph node) *)
+  monthly_gbps : float;  (** sent + received across the POC *)
+}
+
+val kind_name : kind -> string
+
+val validate : t -> node_count:int -> (unit, string) result
+(** Attachment in range, non-negative usage, non-empty name. *)
+
+val of_wan :
+  Poc_topology.Wan.t -> Poc_traffic.Matrix.t -> ?csp_share:float -> unit ->
+  t list
+(** Derive a member population from the planning inputs: one LMP per
+    POC router carrying that router's traffic; at each content-heavy
+    router (top population quartile) a directly-attached CSP takes
+    [csp_share] (default 0.5) of the router's volume; one external-ISP
+    member per external ISP in the WAN.  Total member usage equals
+    (twice) the traffic-matrix volume: every Gbps is sent by one
+    member and received by another. *)

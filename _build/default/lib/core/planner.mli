@@ -1,0 +1,50 @@
+(** End-to-end POC planning: topology → traffic → auction → backbone.
+
+    This is the orchestration a POC operator runs each leasing epoch:
+    take the offered-link pool and an upper-bound traffic matrix,
+    select the cheapest acceptable link set under the chosen
+    resilience constraint via the VCG auction, and produce the
+    operating backbone with its routing and membership. *)
+
+type config = {
+  seed : int;
+  params : Poc_topology.Wan.params;
+  demand_fraction : float;
+      (** traffic-matrix volume as a fraction of total offered link
+          capacity (Figure 2 uses a matrix the offer pool can carry
+          with reasonable slack; default 1/40) *)
+  rule : Poc_auction.Acceptability.t;
+  csp_share : float;  (** direct-CSP share of content-node volume *)
+  bid_margin : float; (** BP bid mark-up over true cost *)
+}
+
+val default_config : config
+
+val scaled_config : ?sites:int -> ?bps:int -> config -> config
+(** Shrink the instance (for tests and quick benches) while keeping
+    proportions: fewer sites, operators and BPs. *)
+
+type plan = {
+  config : config;
+  wan : Poc_topology.Wan.t;
+  matrix : Poc_traffic.Matrix.t;
+  problem : Poc_auction.Vcg.problem;
+  outcome : Poc_auction.Vcg.outcome;
+  routing : Poc_mcf.Router.routing; (** base routing over the selection *)
+  members : Member.t list;
+}
+
+val build : config -> (plan, string) result
+(** Generates the WAN and matrix from the seed and runs the full
+    mechanism.  [Error] when no acceptable selection exists (raise the
+    demand fraction or relax the rule). *)
+
+val backbone_enabled : plan -> int -> bool
+(** Predicate over link ids: is this link part of the leased backbone? *)
+
+val utilization_summary : plan -> Poc_util.Stats.summary
+(** Distribution of per-link utilization over selected, loaded links. *)
+
+val monthly_cost : plan -> float
+(** What the POC pays per month: VCG payments plus virtual-link
+    contracts. *)

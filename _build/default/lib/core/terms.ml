@@ -1,0 +1,83 @@
+type traffic_selector =
+  | By_source of int
+  | By_destination of int
+  | By_application of string
+  | All_traffic
+
+type action =
+  | Prioritize of int
+  | Deprioritize
+  | Block
+  | Provide_cdn
+  | Deny_cdn
+  | Allow_third_party_service of string
+  | Deny_third_party_service of string
+
+type basis =
+  | Posted_price of float
+  | Security
+  | Maintenance
+  | Commercial_preference
+  | No_basis
+
+type observation = {
+  actor : int;
+  selector : traffic_selector;
+  action : action;
+  basis : basis;
+}
+
+type verdict = Compliant | Violation of string
+
+let selective obs =
+  match obs.selector with
+  | By_source _ | By_destination _ | By_application _ -> true
+  | All_traffic -> false
+
+let excused obs =
+  match obs.basis with
+  | Security | Maintenance -> true
+  | Posted_price price -> price >= 0.0 && not (selective obs)
+  (* A posted price excuses differential service only when the offer
+     itself is open to all traffic; a "posted price" available to one
+     source is just discrimination with an invoice. *)
+  | Commercial_preference | No_basis -> false
+
+let condition_violated obs =
+  let discriminatory = selective obs && not (excused obs) in
+  match obs.action with
+  | Prioritize _ | Deprioritize | Block ->
+    (* Condition (i): differential forwarding treatment. *)
+    if discriminatory then Some 1
+    else if (not (selective obs)) && obs.action = Block
+            && not (excused obs) then Some 1
+      (* Blanket blocking without a security/maintenance excuse still
+         violates the service obligation. *)
+    else None
+  | Provide_cdn | Deny_cdn ->
+    (* Condition (ii): differential CDN / enhancement service. *)
+    if discriminatory then Some 2 else None
+  | Allow_third_party_service _ | Deny_third_party_service _ ->
+    (* Condition (iii): third-party services for only some traffic. *)
+    if discriminatory then Some 3 else None
+
+let describe = function
+  | 1 -> "condition (i): differential treatment of traffic"
+  | 2 -> "condition (ii): differential CDN/enhancement service"
+  | 3 -> "condition (iii): selective third-party service placement"
+  | n -> Printf.sprintf "condition (%d)" n
+
+let judge obs =
+  match condition_violated obs with
+  | None -> Compliant
+  | Some c -> Violation (describe c)
+
+let judge_all observations = List.map (fun o -> (o, judge o)) observations
+
+let violations observations =
+  List.filter_map
+    (fun o ->
+      match judge o with
+      | Compliant -> None
+      | Violation reason -> Some (o, reason))
+    observations

@@ -1,0 +1,63 @@
+(** Terms-of-service: the contractual network-neutrality conditions.
+
+    Section 3.4 makes the peering conditions precise.  A POC-connected
+    LMP must not:
+
+    {ol
+    {- differentially treat (prioritize or block) incoming traffic by
+       source or application, or outgoing traffic by destination or
+       application;}
+    {- differentially provide CDN or application-enhancement services
+       by source/destination;}
+    {- differentially allow third parties to deploy such services for
+       only a subset of traffic.}}
+
+    Exceptions: security blocking and internal maintenance traffic.
+    Openly-priced QoS tiers are explicitly allowed — the paper
+    distinguishes {e service discrimination} (forbidden) from QoS
+    (permitted when offered to everyone at posted prices).
+
+    This module is the rule engine: it classifies observed forwarding
+    or service decisions as compliant or violating. *)
+
+type traffic_selector =
+  | By_source of int          (** member id *)
+  | By_destination of int
+  | By_application of string
+  | All_traffic
+
+type action =
+  | Prioritize of int  (** QoS class index, higher = better *)
+  | Deprioritize
+  | Block
+  | Provide_cdn
+  | Deny_cdn
+  | Allow_third_party_service of string
+  | Deny_third_party_service of string
+
+type basis =
+  | Posted_price of float (** openly offered tier anyone can buy *)
+  | Security
+  | Maintenance
+  | Commercial_preference (** "we favor our own/paying partners" *)
+  | No_basis
+
+type observation = {
+  actor : int;   (** member id of the LMP acting *)
+  selector : traffic_selector;
+  action : action;
+  basis : basis;
+}
+
+type verdict = Compliant | Violation of string
+
+val judge : observation -> verdict
+(** Apply the three conditions with their exceptions. *)
+
+val condition_violated : observation -> int option
+(** Which numbered condition (1-3) an observation violates, if any. *)
+
+val judge_all : observation list -> (observation * verdict) list
+
+val violations : observation list -> (observation * string) list
+(** Just the violating observations with reasons. *)

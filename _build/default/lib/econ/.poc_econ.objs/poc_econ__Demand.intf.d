@@ -1,0 +1,1 @@
+lib/econ/demand.mli:

@@ -1,0 +1,1 @@
+lib/econ/equilibrium.ml: Bargaining Float List Poc_util Pricing

@@ -1,0 +1,1 @@
+lib/econ/equilibrium.mli: Bargaining Demand

@@ -1,0 +1,1 @@
+lib/econ/pricing.ml: Demand Float Poc_util

@@ -1,0 +1,1 @@
+lib/econ/pricing.mli: Demand

@@ -1,0 +1,1 @@
+lib/econ/regime.ml: Array Bargaining Demand Equilibrium Float List Pricing Welfare

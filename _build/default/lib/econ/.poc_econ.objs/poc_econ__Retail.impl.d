@@ -1,0 +1,1 @@
+lib/econ/retail.ml: Float List Poc_util

@@ -1,0 +1,36 @@
+let check ~price ~churn ~access_price =
+  if price < 0.0 then invalid_arg "Bargaining: negative price";
+  if churn < 0.0 || churn > 1.0 then invalid_arg "Bargaining: churn out of [0,1]";
+  if access_price < 0.0 then invalid_arg "Bargaining: negative access price"
+
+let bilateral_fee ~price ~churn ~access_price =
+  check ~price ~churn ~access_price;
+  (price -. (churn *. access_price)) /. 2.0
+
+let nash_product ~demand ~price ~churn ~access_price ~fee =
+  check ~price ~churn ~access_price;
+  let q = Demand.demand demand price in
+  q *. (price -. fee) *. (q *. (fee +. (churn *. access_price)))
+
+type lmp = { subscribers : float; access_price : float; churn : float }
+
+let average_rc lmps =
+  let num, den =
+    List.fold_left
+      (fun (num, den) l ->
+        if l.subscribers < 0.0 then invalid_arg "Bargaining: negative subscribers";
+        check ~price:0.0 ~churn:l.churn ~access_price:l.access_price;
+        ( num +. (l.subscribers *. l.churn *. l.access_price),
+          den +. l.subscribers ))
+      (0.0, 0.0) lmps
+  in
+  if den = 0.0 then 0.0 else num /. den
+
+let average_fee ~price lmps =
+  if price < 0.0 then invalid_arg "Bargaining: negative price";
+  (price -. average_rc lmps) /. 2.0
+
+let per_lmp_fees ~price lmps =
+  List.map
+    (fun l -> bilateral_fee ~price ~churn:l.churn ~access_price:l.access_price)
+    lmps

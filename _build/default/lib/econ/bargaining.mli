@@ -1,0 +1,36 @@
+(** Nash-bargained termination fees (Section 4.5).
+
+    A CSP s and LMP l bargain over the fee tₛ.  On agreement s earns
+    Dₛ(pₛ)(pₛ − tₛ) and l earns Dₛ(pₛ)tₛ from these customers; on
+    disagreement s earns nothing from l's customers and l loses the
+    fraction r of its customers (paying access charge c) who leave
+    when s is unavailable.  The Nash bargaining solution maximizes the
+    product of gains from agreement, giving
+
+        tₛ = (pₛ − r·c) / 2.
+
+    The fee falls as churn r rises — big incumbents (low churn) extract
+    more, popular CSPs (high churn) pay less, which is the paper's
+    incumbent-advantage result. *)
+
+val bilateral_fee : price:float -> churn:float -> access_price:float -> float
+(** The raw NBS fee (pₛ − r·c)/2; may be negative (LMP pays the CSP)
+    when the LMP's disagreement loss dominates.  Requires
+    [0 <= churn <= 1], [price >= 0], [access_price >= 0]. *)
+
+val nash_product :
+  demand:Demand.t -> price:float -> churn:float -> access_price:float ->
+  fee:float -> float
+(** The objective the NBS maximizes (for tests):
+    [D(p)(p − t)] · [D(p)(t + r·c)]. *)
+
+type lmp = { subscribers : float; access_price : float; churn : float }
+(** One LMP bargaining with a given CSP: [subscribers] is nₗ, [churn]
+    the rate rₗˢ at which its customers defect when the CSP is dropped. *)
+
+val average_fee : price:float -> lmp list -> float
+(** The population-weighted average fee t̄ = (p − ⟨rc⟩)/2 with
+    ⟨rc⟩ = Σ nₗ rₗ cₗ / Σ nₗ (the paper's second bargaining model). *)
+
+val per_lmp_fees : price:float -> lmp list -> float list
+(** Each LMP's bilateral fee at the given price. *)

@@ -1,0 +1,90 @@
+type t =
+  | Uniform of float
+  | Exponential of float
+  | Lomax of float * float
+  | Kinked of float * float
+
+let kink_level = 0.3 (* demand remaining at the knee of a Kinked family *)
+
+let validate = function
+  | Uniform vmax ->
+    if vmax > 0.0 then Ok () else Error "Uniform: vmax must be positive"
+  | Exponential mean ->
+    if mean > 0.0 then Ok () else Error "Exponential: mean must be positive"
+  | Lomax (alpha, scale) ->
+    if alpha <= 1.0 then Error "Lomax: alpha must exceed 1"
+    else if scale <= 0.0 then Error "Lomax: scale must be positive"
+    else Ok ()
+  | Kinked (vmax, knee) ->
+    if knee <= 0.0 || knee >= vmax then Error "Kinked: need 0 < knee < vmax"
+    else Ok ()
+
+let check t =
+  match validate t with Ok () -> () | Error msg -> invalid_arg ("Demand: " ^ msg)
+
+let demand t p =
+  check t;
+  if p <= 0.0 then 1.0
+  else begin
+    match t with
+    | Uniform vmax -> Float.max 0.0 (1.0 -. (p /. vmax))
+    | Exponential mean -> exp (-.p /. mean)
+    | Lomax (alpha, scale) -> (1.0 +. (p /. scale)) ** -.alpha
+    | Kinked (vmax, knee) ->
+      if p >= vmax then 0.0
+      else if p <= knee then 1.0 -. ((1.0 -. kink_level) *. p /. knee)
+      else kink_level *. (vmax -. p) /. (vmax -. knee)
+  end
+
+let survival_integral t p =
+  check t;
+  let p = Float.max 0.0 p in
+  match t with
+  | Uniform vmax ->
+    if p >= vmax then 0.0 else (vmax -. p) *. (vmax -. p) /. (2.0 *. vmax)
+  | Exponential mean -> mean *. exp (-.p /. mean)
+  | Lomax (alpha, scale) ->
+    scale /. (alpha -. 1.0) *. ((1.0 +. (p /. scale)) ** (1.0 -. alpha))
+  | Kinked (vmax, knee) ->
+    (* Triangle/trapezoid areas under the piecewise-linear demand. *)
+    let tail_from q =
+      (* area on [q, vmax] of the low segment, q >= knee *)
+      if q >= vmax then 0.0
+      else begin
+        let d = kink_level *. (vmax -. q) /. (vmax -. knee) in
+        d *. (vmax -. q) /. 2.0
+      end
+    in
+    if p >= knee then tail_from p
+    else begin
+      let d_p = 1.0 -. ((1.0 -. kink_level) *. p /. knee) in
+      let upper_trapezoid = (d_p +. kink_level) *. (knee -. p) /. 2.0 in
+      upper_trapezoid +. tail_from knee
+    end
+
+let quantile t q =
+  check t;
+  if q <= 0.0 || q > 1.0 then invalid_arg "Demand.quantile: q out of (0,1]";
+  match t with
+  | Uniform vmax -> vmax *. (1.0 -. q)
+  | Exponential mean -> -.mean *. log q
+  | Lomax (alpha, scale) -> scale *. ((q ** (-1.0 /. alpha)) -. 1.0)
+  | Kinked (vmax, knee) ->
+    if q >= kink_level then knee *. (1.0 -. q) /. (1.0 -. kink_level)
+    else vmax -. (q *. (vmax -. knee) /. kink_level)
+
+let mean_value t = survival_integral t 0.0
+
+let name = function
+  | Uniform vmax -> Printf.sprintf "uniform(vmax=%g)" vmax
+  | Exponential mean -> Printf.sprintf "exponential(mean=%g)" mean
+  | Lomax (alpha, scale) -> Printf.sprintf "lomax(alpha=%g,scale=%g)" alpha scale
+  | Kinked (vmax, knee) -> Printf.sprintf "kinked(vmax=%g,knee=%g)" vmax knee
+
+let all_families =
+  [
+    Uniform 20.0;
+    Exponential 10.0;
+    Lomax (2.5, 15.0);
+    Kinked (25.0, 12.5);
+  ]

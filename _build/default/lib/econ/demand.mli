@@ -1,0 +1,46 @@
+(** Consumer demand for CSP services (Section 4.2).
+
+    A unit mass of consumers attaches value [v] to a service, with
+    cumulative distribution F; a consumer buys when [v >= p], so the
+    demand at price [p] is [D(p) = 1 - F(p)].  We provide the
+    parametric families used across the experiments:
+
+    - {e Uniform} on [\[0, vmax\]]: the textbook linear demand.
+    - {e Exponential}: [D(p) = exp(-p/mean)] — smooth, strictly convex,
+      satisfies every hypothesis of Lemma 1.
+    - {e Lomax} (Pareto type II): heavy-tailed willingness to pay,
+      [D(p) = (1 + p/scale)^-alpha]; Lemma 1 hypotheses hold and the
+      monopoly problem is well-posed for [alpha > 1].
+    - {e Kinked}: piecewise-linear demand with a kink, for stress
+      tests (violates smoothness, monotonicity results still hold
+      empirically). *)
+
+type t =
+  | Uniform of float      (** vmax > 0 *)
+  | Exponential of float  (** mean willingness to pay > 0 *)
+  | Lomax of float * float(** (alpha > 1, scale > 0) *)
+  | Kinked of float * float
+      (** [Kinked (vmax, knee)]: demand falls fast to the knee, slow
+          after; requires [0 < knee < vmax]. *)
+
+val demand : t -> float -> float
+(** [demand t p] = D(p) in [\[0, 1\]]; 1 for [p <= 0]. *)
+
+val survival_integral : t -> float -> float
+(** [survival_integral t p] = ∫ₚ^∞ D(v) dv — the consumer surplus at
+    price [p] (closed form where available). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] is the price at which demand has fallen to [q]
+    (used to bound numerical searches). Requires [0 < q <= 1]. *)
+
+val mean_value : t -> float
+(** Expected willingness to pay, ∫₀^∞ D(v) dv. *)
+
+val validate : t -> (unit, string) result
+
+val name : t -> string
+
+val all_families : t list
+(** One representative of each family, normalized to mean willingness
+    to pay 10 (handy for sweeps over families). *)

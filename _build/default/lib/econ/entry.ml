@@ -1,0 +1,103 @@
+type access_regime =
+  | Build_last_mile of { capex_per_sub : float; amortization_months : float }
+  | Unbundled_loop of { lease_per_sub : float }
+
+type transit_regime =
+  | Incumbent_transit of { price_per_gbps : float; margin_squeeze : float }
+  | Poc_transit of { price_per_gbps : float }
+
+type params = {
+  subscribers : float;
+  arpu : float;
+  gbps_per_sub : float;
+  opex_per_sub : float;
+  termination_handicap : float;
+}
+
+let default_params =
+  {
+    subscribers = 20_000.0;
+    arpu = 55.0;
+    gbps_per_sub = 0.004; (* 4 Mbps busy-hour average *)
+    opex_per_sub = 14.0;
+    termination_handicap = 0.12;
+  }
+
+type verdict = {
+  monthly_cost_per_sub : float;
+  monthly_revenue_per_sub : float;
+  margin_per_sub : float;
+  viable : bool;
+}
+
+(* Hold-up exposure: transit sellers squeeze harder when the buyer has
+   sunk capital it cannot walk away from (classic hold-up). *)
+let capital_lock = function
+  | Build_last_mile _ -> 1.0
+  | Unbundled_loop _ -> 0.25
+
+let access_cost = function
+  | Build_last_mile { capex_per_sub; amortization_months } ->
+    if amortization_months <= 0.0 then invalid_arg "Entry: bad amortization";
+    capex_per_sub /. amortization_months
+  | Unbundled_loop { lease_per_sub } ->
+    if lease_per_sub < 0.0 then invalid_arg "Entry: negative lease";
+    lease_per_sub
+
+let transit_cost ~gbps_per_sub ~lock = function
+  | Incumbent_transit { price_per_gbps; margin_squeeze } ->
+    if margin_squeeze < 0.0 then invalid_arg "Entry: negative squeeze";
+    gbps_per_sub *. price_per_gbps *. (1.0 +. (margin_squeeze *. (1.0 +. lock)))
+  | Poc_transit { price_per_gbps } -> gbps_per_sub *. price_per_gbps
+
+let revenue params = function
+  | Incumbent_transit _ ->
+    (* Outside the POC's contractual NN, the incumbent's bargained
+       termination-fee advantage bites into the entrant's service
+       revenue (Section 4.5). *)
+    params.arpu *. (1.0 -. params.termination_handicap)
+  | Poc_transit _ -> params.arpu
+
+let evaluate params access transit =
+  if params.subscribers <= 0.0 then invalid_arg "Entry: no subscribers";
+  if params.termination_handicap < 0.0 || params.termination_handicap >= 1.0
+  then invalid_arg "Entry: handicap out of [0,1)";
+  let lock = capital_lock access in
+  let monthly_cost_per_sub =
+    access_cost access
+    +. transit_cost ~gbps_per_sub:params.gbps_per_sub ~lock transit
+    +. params.opex_per_sub
+  in
+  let monthly_revenue_per_sub = revenue params transit in
+  let margin_per_sub = monthly_revenue_per_sub -. monthly_cost_per_sub in
+  { monthly_cost_per_sub; monthly_revenue_per_sub; margin_per_sub;
+    viable = margin_per_sub > 0.0 }
+
+type matrix = {
+  build_incumbent : verdict;
+  build_poc : verdict;
+  unbundled_incumbent : verdict;
+  unbundled_poc : verdict;
+}
+
+let complementarity ?(params = default_params) ~build ~unbundled ~incumbent
+    ~poc () =
+  {
+    build_incumbent = evaluate params build incumbent;
+    build_poc = evaluate params build poc;
+    unbundled_incumbent = evaluate params unbundled incumbent;
+    unbundled_poc = evaluate params unbundled poc;
+  }
+
+let weakest_link_complements m =
+  m.unbundled_poc.viable
+  && (not m.build_poc.viable)
+  && (not m.unbundled_incumbent.viable)
+  && not m.build_incumbent.viable
+
+let superadditive m =
+  let base = m.build_incumbent.margin_per_sub in
+  let both = m.unbundled_poc.margin_per_sub -. base in
+  let poc_only = m.build_poc.margin_per_sub -. base in
+  let unbundling_only = m.unbundled_incumbent.margin_per_sub -. base in
+  both > poc_only +. unbundling_only

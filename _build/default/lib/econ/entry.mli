@@ -1,0 +1,83 @@
+(** Market entry economics: the POC and loop unbundling are
+    complements (Section 2.5).
+
+    The paper argues the two reforms remove different barriers:
+    unbundling removes the last-mile capital barrier, the POC removes
+    the transit barrier (new LMPs otherwise buy transit from an
+    incumbent that competes with them, and face termination-fee
+    asymmetries).  This module prices an entrant LMP's first years
+    under the four combinations and reports whether entry is viable.
+
+    The model is deliberately simple: monthly per-subscriber economics
+    with an amortized capital component, a transit component whose
+    price depends on who sells it, and a revenue component reduced by
+    the incumbent's termination-fee advantage in the UR regime. *)
+
+type access_regime =
+  | Build_last_mile of { capex_per_sub : float; amortization_months : float }
+      (** dig fiber: amortized build cost per subscriber *)
+  | Unbundled_loop of { lease_per_sub : float }
+      (** lease the incumbent's loops at a regulated monthly price *)
+
+type transit_regime =
+  | Incumbent_transit of { price_per_gbps : float; margin_squeeze : float }
+      (** buy transit from a competitor; [margin_squeeze] is the
+          markup the incumbent can impose knowing the entrant has no
+          alternative, as a fraction of the base price *)
+  | Poc_transit of { price_per_gbps : float }
+      (** the POC's posted break-even price *)
+
+type params = {
+  subscribers : float;         (** entrant scale (for per-sub economics) *)
+  arpu : float;                (** $/month revenue per subscriber *)
+  gbps_per_sub : float;        (** peak-hour transit demand per subscriber *)
+  opex_per_sub : float;        (** support, power, billing *)
+  termination_handicap : float;
+      (** fraction of ARPU lost to the incumbent's bargained-fee
+          advantage when termination fees are legal (0 under the
+          POC's contractual NN) *)
+}
+
+val default_params : params
+
+type verdict = {
+  monthly_cost_per_sub : float;
+  monthly_revenue_per_sub : float;
+  margin_per_sub : float;
+  viable : bool; (** positive margin *)
+}
+
+val evaluate : params -> access_regime -> transit_regime -> verdict
+
+type matrix = {
+  build_incumbent : verdict;  (** status quo: build + rival transit *)
+  build_poc : verdict;
+  unbundled_incumbent : verdict;
+  unbundled_poc : verdict;    (** both reforms *)
+}
+
+val complementarity :
+  ?params:params ->
+  build:access_regime ->
+  unbundled:access_regime ->
+  incumbent:transit_regime ->
+  poc:transit_regime ->
+  unit ->
+  matrix
+(** Evaluate all four combinations.  Section 2.5's complementarity is
+    of the weakest-link kind: each reform removes a different fatal
+    barrier, so entry can require both even though the marginal gains
+    partially overlap (removing the transit squeeze helps less once
+    you no longer sink last-mile capital — the margins are typically
+    SUBadditive while viability is weakest-link). *)
+
+val weakest_link_complements : matrix -> bool
+(** True when entry is viable with both reforms but not with either
+    alone (nor with neither) — the operational form of the paper's
+    "highly complementary solutions". *)
+
+val superadditive : matrix -> bool
+(** margin(unbundled_poc) − margin(build_incumbent)
+    > (margin(build_poc) − margin(build_incumbent))
+    + (margin(unbundled_incumbent) − margin(build_incumbent)).
+    Not implied by complementarity; exposed for the bench's ablation. *)

@@ -1,0 +1,33 @@
+module Numeric = Poc_util.Numeric
+
+type t = { fee : float; price : float; iterations : int; residual : float }
+
+let solve_rc ?(tol = 1e-9) ~demand ~rc () =
+  if rc < 0.0 then invalid_arg "Equilibrium.solve_rc: negative <rc>";
+  let map t =
+    let price = Pricing.price_given_fee demand ~fee:(Float.max 0.0 t) in
+    Float.max 0.0 ((price -. rc) /. 2.0)
+  in
+  let init = Float.max 0.0 ((Pricing.monopoly_price demand -. rc) /. 2.0) in
+  match Numeric.fixed_point ~tol ~init map with
+  | None -> None
+  | Some (fee, iterations) ->
+    let price = Pricing.price_given_fee demand ~fee in
+    let residual = Float.abs (fee -. map fee) in
+    Some { fee; price; iterations; residual }
+
+let solve ?tol ~demand ~lmps () =
+  let rc =
+    match lmps with
+    | [] -> 0.0
+    | _ :: _ ->
+      let num, den =
+        List.fold_left
+          (fun (num, den) (l : Bargaining.lmp) ->
+            ( num +. (l.subscribers *. l.churn *. l.access_price),
+              den +. l.subscribers ))
+          (0.0, 0.0) lmps
+      in
+      if den = 0.0 then 0.0 else num /. den
+  in
+  solve_rc ?tol ~demand ~rc ()

@@ -1,0 +1,27 @@
+(** The renegotiation fixed point (Section 4.5, third model).
+
+    Facing average fee t̄ the CSP reprices to p*(t̄); the fees are then
+    renegotiated at the new price, and so on.  The equilibrium solves
+
+        t̄ = (p*(t̄) − ⟨rc⟩) / 2.
+
+    Iteration with damping converges for every demand family we ship
+    (p*(·) is a contraction there); the solver reports the residual so
+    callers can verify. *)
+
+type t = {
+  fee : float;          (** equilibrium average fee t̄ *)
+  price : float;        (** equilibrium CSP price p*(t̄) *)
+  iterations : int;
+  residual : float;     (** |t̄ − (p*(t̄) − ⟨rc⟩)/2| at the solution *)
+}
+
+val solve :
+  ?tol:float -> demand:Demand.t -> lmps:Bargaining.lmp list -> unit ->
+  t option
+(** [None] when the iteration fails to converge (not observed for the
+    shipped families; guarded anyway). Fees are floored at 0 — the
+    paper restricts attention to the regime of positive fees. *)
+
+val solve_rc : ?tol:float -> demand:Demand.t -> rc:float -> unit -> t option
+(** Same, parameterized directly by ⟨rc⟩. *)

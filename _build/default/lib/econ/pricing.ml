@@ -1,0 +1,44 @@
+module Numeric = Poc_util.Numeric
+
+let search_bound d =
+  match d with
+  | Demand.Uniform vmax -> vmax
+  | Demand.Kinked (vmax, _) -> vmax
+  | Demand.Exponential _ | Demand.Lomax _ -> Demand.quantile d 1e-6
+
+let price_given_fee d ~fee =
+  if fee < 0.0 then invalid_arg "Pricing.price_given_fee: negative fee";
+  match d with
+  | Demand.Uniform vmax ->
+    (* argmax (p-t)(1 - p/vmax) on [t, vmax] *)
+    Float.min vmax ((vmax +. fee) /. 2.0)
+  | Demand.Exponential mean -> fee +. mean
+  | Demand.Lomax (alpha, scale) ->
+    (* FOC: 1 + p/s = alpha (p - t)/s  =>  p = (alpha t + s)/(alpha - 1) *)
+    ((alpha *. fee) +. scale) /. (alpha -. 1.0)
+  | Demand.Kinked _ ->
+    let hi = search_bound d in
+    let objective p = (p -. fee) *. Demand.demand d p in
+    (* The objective is unimodal on each linear piece; search both
+       pieces and keep the better argmax. *)
+    (match d with
+    | Demand.Kinked (vmax, knee) ->
+      let lo_piece =
+        Numeric.maximize_unimodal ~lo:(Float.min fee knee) ~hi:knee objective
+      in
+      let hi_piece =
+        Numeric.maximize_unimodal ~lo:knee ~hi:(Float.min vmax hi) objective
+      in
+      if objective lo_piece >= objective hi_piece then lo_piece else hi_piece
+    | Demand.Uniform _ | Demand.Exponential _ | Demand.Lomax _ ->
+      Numeric.maximize_unimodal ~lo:fee ~hi objective)
+
+let monopoly_price d = price_given_fee d ~fee:0.0
+
+let csp_revenue d ~price ~fee = (price -. fee) *. Demand.demand d price
+
+let lmp_revenue d ~fee = fee *. Demand.demand d (price_given_fee d ~fee)
+
+let unilateral_fee d =
+  let hi = search_bound d in
+  Numeric.maximize_unimodal ~lo:0.0 ~hi (fun t -> lmp_revenue d ~fee:t)

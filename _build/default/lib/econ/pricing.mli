@@ -1,0 +1,26 @@
+(** CSP pricing and LMP fee setting (Sections 4.3-4.4).
+
+    Under network neutrality a CSP posts the monopoly price
+    p* = argmax p·D(p).  Facing a termination fee t its margin is
+    p − t, so it posts p*(t) = argmax (p − t)·D(p) — Lemma 1 shows
+    p*(t) is increasing in t (double marginalization).  An LMP setting
+    fees unilaterally then solves t* = argmax t·D(p*(t)). *)
+
+val monopoly_price : Demand.t -> float
+(** argmax p·D(p): closed form per family, numeric fallback. *)
+
+val price_given_fee : Demand.t -> fee:float -> float
+(** p*(t) of Equation (1).  Requires [fee >= 0]. *)
+
+val csp_revenue : Demand.t -> price:float -> fee:float -> float
+(** Per-unit-mass revenue (p − t)·D(p). *)
+
+val lmp_revenue : Demand.t -> fee:float -> float
+(** t·D(p*(t)): what an LMP collects per unit mass at fee [t]. *)
+
+val unilateral_fee : Demand.t -> float
+(** t* = argmax t·D(p*(t)) — the unilateral (monopoly-LMP) fee. *)
+
+val search_bound : Demand.t -> float
+(** Price bound used by the numeric searches: the 1e-6 demand
+    quantile. *)

@@ -1,0 +1,166 @@
+type csp = { csp_name : string; demand : Demand.t; popularity : float }
+
+type lmp = {
+  lmp_name : string;
+  subscribers : float;
+  access_price : float;
+  loyalty : float;
+}
+
+type economy = { csps : csp array; lmps : lmp array }
+
+type regime = Nn | Ur_unilateral | Ur_bargained
+
+let regime_name = function
+  | Nn -> "NN"
+  | Ur_unilateral -> "UR-unilateral"
+  | Ur_bargained -> "UR-bargained"
+
+let churn c l =
+  Float.max 0.0 (Float.min 1.0 (c.popularity *. (1.0 -. l.loyalty)))
+
+type csp_outcome = {
+  csp : csp;
+  price : float;
+  fees : float array;
+  avg_fee : float;
+  csp_profit : float;
+  lmp_fee_revenue : float array;
+  social : float;
+  consumer : float;
+}
+
+type outcome = {
+  regime : regime;
+  per_csp : csp_outcome array;
+  total_social : float;
+  total_consumer : float;
+  total_csp_profit : float;
+  total_lmp_fee_revenue : float;
+}
+
+let validate economy =
+  let problem = ref None in
+  let fail msg = if !problem = None then problem := Some msg in
+  if Array.length economy.csps = 0 then fail "no CSPs";
+  if Array.length economy.lmps = 0 then fail "no LMPs";
+  Array.iter
+    (fun c ->
+      (match Demand.validate c.demand with
+      | Ok () -> ()
+      | Error msg -> fail (c.csp_name ^ ": " ^ msg));
+      if c.popularity < 0.0 || c.popularity > 1.0 then
+        fail (c.csp_name ^ ": popularity out of [0,1]"))
+    economy.csps;
+  Array.iter
+    (fun l ->
+      if l.subscribers <= 0.0 then fail (l.lmp_name ^ ": non-positive subscribers");
+      if l.access_price < 0.0 then fail (l.lmp_name ^ ": negative access price");
+      if l.loyalty < 0.0 || l.loyalty >= 1.0 then
+        fail (l.lmp_name ^ ": loyalty out of [0,1)"))
+    economy.lmps;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let bargaining_lmps economy c =
+  Array.to_list economy.lmps
+  |> List.map (fun l ->
+         {
+           Bargaining.subscribers = l.subscribers;
+           access_price = l.access_price;
+           churn = churn c l;
+         })
+
+let evaluate_csp economy regime c =
+  let lmps = economy.lmps in
+  let n_total = Array.fold_left (fun acc l -> acc +. l.subscribers) 0.0 lmps in
+  let price, fees =
+    match regime with
+    | Nn ->
+      (Pricing.monopoly_price c.demand, Array.map (fun _ -> 0.0) lmps)
+    | Ur_unilateral ->
+      let fee = Pricing.unilateral_fee c.demand in
+      (Pricing.price_given_fee c.demand ~fee, Array.map (fun _ -> fee) lmps)
+    | Ur_bargained -> (
+      let blmps = bargaining_lmps economy c in
+      match Equilibrium.solve ~demand:c.demand ~lmps:blmps () with
+      | None -> invalid_arg "Regime.evaluate: bargaining failed to converge"
+      | Some eq ->
+        let fees =
+          Array.map
+            (fun l ->
+              Float.max 0.0
+                (Bargaining.bilateral_fee ~price:eq.price ~churn:(churn c l)
+                   ~access_price:l.access_price))
+            lmps
+        in
+        (eq.price, fees))
+  in
+  let q = Demand.demand c.demand price in
+  let csp_profit =
+    Array.to_list lmps
+    |> List.mapi (fun i l -> l.subscribers *. q *. (price -. fees.(i)))
+    |> List.fold_left ( +. ) 0.0
+  in
+  let lmp_fee_revenue =
+    Array.mapi (fun i l -> l.subscribers *. fees.(i) *. q) lmps
+  in
+  let avg_fee =
+    if n_total = 0.0 then 0.0
+    else begin
+      let weighted = Array.to_list lmps
+        |> List.mapi (fun i l -> l.subscribers *. fees.(i))
+        |> List.fold_left ( +. ) 0.0
+      in
+      weighted /. n_total
+    end
+  in
+  {
+    csp = c;
+    price;
+    fees;
+    avg_fee;
+    csp_profit;
+    lmp_fee_revenue;
+    social = n_total *. Welfare.social c.demand ~price;
+    consumer = n_total *. Welfare.consumer c.demand ~price;
+  }
+
+let evaluate economy regime =
+  (match validate economy with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Regime.evaluate: " ^ msg));
+  let per_csp = Array.map (evaluate_csp economy regime) economy.csps in
+  let sum f = Array.fold_left (fun acc o -> acc +. f o) 0.0 per_csp in
+  {
+    regime;
+    per_csp;
+    total_social = sum (fun o -> o.social);
+    total_consumer = sum (fun o -> o.consumer);
+    total_csp_profit = sum (fun o -> o.csp_profit);
+    total_lmp_fee_revenue =
+      sum (fun o -> Array.fold_left ( +. ) 0.0 o.lmp_fee_revenue);
+  }
+
+let default_economy =
+  {
+    csps =
+      [|
+        { csp_name = "StreamCo (incumbent video)"; demand = Demand.Uniform 20.0;
+          popularity = 0.8 };
+        { csp_name = "SocialNet"; demand = Demand.Exponential 10.0;
+          popularity = 0.6 };
+        { csp_name = "CloudGame (entrant)"; demand = Demand.Lomax (2.5, 15.0);
+          popularity = 0.15 };
+        { csp_name = "NicheNews (entrant)"; demand = Demand.Kinked (25.0, 12.5);
+          popularity = 0.05 };
+      |];
+    lmps =
+      [|
+        { lmp_name = "MegaCable (incumbent)"; subscribers = 0.55;
+          access_price = 60.0; loyalty = 0.85 };
+        { lmp_name = "RegionalTel"; subscribers = 0.35; access_price = 50.0;
+          loyalty = 0.6 };
+        { lmp_name = "FiberStart (entrant)"; subscribers = 0.10;
+          access_price = 40.0; loyalty = 0.2 };
+      |];
+  }

@@ -1,0 +1,70 @@
+(** Side-by-side evaluation of the NN and UR regimes (Section 4).
+
+    An economy is a set of CSPs (independent goods, one demand family
+    each) and LMPs (static customer partitions).  We evaluate three
+    regimes:
+
+    - {e NN}: network neutrality — no termination fees; every CSP
+      posts its monopoly price.
+    - {e UR unilateral}: every LMP unilaterally sets the
+      double-marginalization fee t* (Section 4.4); fees are uniform
+      across LMPs because they all solve the same program.
+    - {e UR bargained}: fees follow the Nash-bargaining renegotiation
+      equilibrium (Section 4.5); each LMP's fee depends on its churn,
+      so incumbents (low churn) extract more.
+
+    Churn is derived as rₗˢ = popularityₛ · (1 − loyaltyₗ): dropping a
+    popular CSP costs an LMP more customers, and loyal (incumbent)
+    customer bases defect less. *)
+
+type csp = {
+  csp_name : string;
+  demand : Demand.t;
+  popularity : float; (** in [0,1]: fraction of subscribers who care *)
+}
+
+type lmp = {
+  lmp_name : string;
+  subscribers : float;  (** customer mass *)
+  access_price : float; (** cₗ, monthly *)
+  loyalty : float;      (** in [0,1); incumbents high, entrants low *)
+}
+
+type economy = { csps : csp array; lmps : lmp array }
+
+type regime = Nn | Ur_unilateral | Ur_bargained
+
+val regime_name : regime -> string
+
+val churn : csp -> lmp -> float
+(** rₗˢ = popularityₛ · (1 − loyaltyₗ), clamped to [0, 1]. *)
+
+type csp_outcome = {
+  csp : csp;
+  price : float;
+  fees : float array;        (** per LMP, same order as economy.lmps *)
+  avg_fee : float;           (** subscriber-weighted *)
+  csp_profit : float;        (** Σₗ nₗ·D(p)·(p − tₗ) *)
+  lmp_fee_revenue : float array; (** per LMP: nₗ·tₗ·D(p) *)
+  social : float;            (** Σₗ nₗ·SW(p) *)
+  consumer : float;
+}
+
+type outcome = {
+  regime : regime;
+  per_csp : csp_outcome array;
+  total_social : float;
+  total_consumer : float;
+  total_csp_profit : float;
+  total_lmp_fee_revenue : float;
+}
+
+val validate : economy -> (unit, string) result
+
+val evaluate : economy -> regime -> outcome
+(** Raises [Invalid_argument] on an invalid economy. *)
+
+val default_economy : economy
+(** A small reference economy: four CSPs spanning the demand families
+    (one incumbent-popular, one niche entrant) and three LMPs (a large
+    incumbent, a mid-size carrier, a new entrant). *)

@@ -1,0 +1,131 @@
+module Numeric = Poc_util.Numeric
+
+type user_class = { satiation : float; sensitivity : float; mass : float }
+
+type pricing =
+  | Flat
+  | Usage of float
+  | Tiered of { allowance : float; overage : float }
+
+type equilibrium = {
+  quality : float;
+  total_demand : float;
+  per_class_demand : float list;
+  welfare : float;
+  usage_revenue : float;
+  congested : bool;
+}
+
+let validate_class u =
+  if u.satiation <= 0.0 then Error "satiation must be positive"
+  else if u.sensitivity <= 0.0 then Error "sensitivity must be positive"
+  else if u.mass < 0.0 then Error "negative mass"
+  else Ok ()
+
+let check_inputs users capacity =
+  if capacity <= 0.0 then invalid_arg "Retail: capacity must be positive";
+  if users = [] then invalid_arg "Retail: no users";
+  List.iter
+    (fun u ->
+      match validate_class u with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Retail: " ^ msg))
+    users
+
+(* Marginal utility is b(s − x); utility is b(s·x − x²/2). *)
+let utility u x =
+  u.sensitivity *. ((u.satiation *. x) -. (x *. x /. 2.0))
+
+let demand_at u pricing ~quality =
+  match pricing with
+  | Flat -> u.satiation
+  | Usage p ->
+    Float.max 0.0 (u.satiation -. (p /. (quality *. u.sensitivity)))
+  | Tiered { allowance; overage } ->
+    if u.satiation <= allowance then u.satiation
+    else begin
+      let marginal_at_allowance =
+        quality *. u.sensitivity *. (u.satiation -. allowance)
+      in
+      if marginal_at_allowance > overage then
+        Float.max allowance
+          (u.satiation -. (overage /. (quality *. u.sensitivity)))
+      else allowance
+    end
+
+let total_demand users pricing ~quality =
+  List.fold_left
+    (fun acc u -> acc +. (u.mass *. demand_at u pricing ~quality))
+    0.0 users
+
+let equilibrium ~users ~capacity pricing =
+  check_inputs users capacity;
+  (match pricing with
+  | Usage p when p < 0.0 -> invalid_arg "Retail: negative usage price"
+  | Tiered { allowance; overage } when allowance < 0.0 || overage < 0.0 ->
+    invalid_arg "Retail: negative tier parameters"
+  | Flat | Usage _ | Tiered _ -> ());
+  let quality_given q =
+    let d = total_demand users pricing ~quality:(Float.max 1e-9 q) in
+    if d <= 0.0 then 1.0 else Float.min 1.0 (capacity /. d)
+  in
+  let quality =
+    match Numeric.fixed_point ~tol:1e-10 ~init:1.0 quality_given with
+    | Some (q, _) -> Float.max 1e-9 q
+    | None -> Float.max 1e-9 (quality_given 0.5)
+  in
+  let per_class_demand =
+    List.map (fun u -> demand_at u pricing ~quality) users
+  in
+  let total =
+    List.fold_left2
+      (fun acc u x -> acc +. (u.mass *. x))
+      0.0 users per_class_demand
+  in
+  let welfare =
+    List.fold_left2
+      (fun acc u x -> acc +. (u.mass *. quality *. utility u x))
+      0.0 users per_class_demand
+  in
+  let usage_revenue =
+    match pricing with
+    | Flat -> 0.0
+    | Usage p ->
+      List.fold_left2 (fun acc u x -> acc +. (u.mass *. p *. x)) 0.0 users
+        per_class_demand
+    | Tiered { allowance; overage } ->
+      List.fold_left2
+        (fun acc u x -> acc +. (u.mass *. overage *. Float.max 0.0 (x -. allowance)))
+        0.0 users per_class_demand
+  in
+  {
+    quality;
+    total_demand = total;
+    per_class_demand;
+    welfare;
+    usage_revenue;
+    congested = quality < 1.0 -. 1e-9;
+  }
+
+let market_clearing_price ~users ~capacity =
+  check_inputs users capacity;
+  let demand_at_price p = total_demand users (Usage p) ~quality:1.0 in
+  if demand_at_price 0.0 <= capacity then 0.0
+  else begin
+    let p_max =
+      List.fold_left
+        (fun acc u -> Float.max acc (u.satiation *. u.sensitivity))
+        0.0 users
+    in
+    match
+      Numeric.bisect ~lo:0.0 ~hi:p_max (fun p -> demand_at_price p -. capacity)
+    with
+    | Some p -> p
+    | None -> p_max
+  end
+
+let welfare_gain_of_usage_pricing ~users ~capacity =
+  let p = market_clearing_price ~users ~capacity in
+  let usage = equilibrium ~users ~capacity (Usage p) in
+  let flat = equilibrium ~users ~capacity Flat in
+  usage.welfare -. flat.welfare

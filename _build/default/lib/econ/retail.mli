@@ -1,0 +1,57 @@
+(** Retail pricing and last-mile congestion (Section 3.4).
+
+    "This does require that users pay for their bandwidth usage. ...
+    it is better to have costs borne by the entities that caused those
+    costs."  The paper also cites work showing better-adapted pricing
+    substantially improves broadband usage.
+
+    Model: a heterogeneous user population with quadratic utility
+    u(x) = a·x − b·x²/2 over monthly consumption x, served by an LMP
+    with access capacity C.  Congestion degrades quality
+    q = min(1, C / total demand) and scales everyone's utility.
+
+    - Flat pricing: marginal price zero, every user consumes to
+      satiation (x = a/b) regardless of congestion — the tragedy of
+      the commons on the last mile.
+    - Usage pricing: price p per unit; users consume to qu'(x) = p.
+      The market-clearing p allocates exactly C to the users who value
+      it most, eliminating congestion.
+    - Tiered: a free allowance then an overage price — the practical
+      compromise the paper expects the market to find. *)
+
+type user_class = {
+  satiation : float;   (** a/b: consumption at zero marginal price *)
+  sensitivity : float; (** b > 0: how fast marginal utility falls *)
+  mass : float;        (** number of such users *)
+}
+
+type pricing =
+  | Flat
+  | Usage of float      (** $ per unit *)
+  | Tiered of { allowance : float; overage : float }
+
+type equilibrium = {
+  quality : float;       (** q in (0, 1] *)
+  total_demand : float;
+  per_class_demand : float list;
+  welfare : float;       (** Σ mass·q·u(x), transfers excluded *)
+  usage_revenue : float; (** Σ usage payments (0 under Flat) *)
+  congested : bool;
+}
+
+val validate_class : user_class -> (unit, string) result
+
+val equilibrium :
+  users:user_class list -> capacity:float -> pricing -> equilibrium
+(** Fixed point of (demand given quality, quality given demand).
+    Raises [Invalid_argument] on bad inputs. *)
+
+val market_clearing_price :
+  users:user_class list -> capacity:float -> float
+(** The usage price at which total demand equals capacity (0 when
+    capacity exceeds satiation demand). *)
+
+val welfare_gain_of_usage_pricing :
+  users:user_class list -> capacity:float -> float
+(** welfare(Usage at market clearing) − welfare(Flat): non-negative,
+    zero when capacity is slack, growing as capacity tightens. *)

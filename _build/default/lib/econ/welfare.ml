@@ -1,0 +1,12 @@
+let social d ~price =
+  let price = Float.max 0.0 price in
+  (price *. Demand.demand d price) +. Demand.survival_integral d price
+
+let consumer d ~price = Demand.survival_integral d (Float.max 0.0 price)
+
+let producer d ~price ~fee =
+  let q = Demand.demand d price in
+  ((price -. fee) *. q, fee *. q)
+
+let deadweight_loss d ~price_nn ~price_ur =
+  social d ~price:price_nn -. social d ~price:price_ur

@@ -1,0 +1,20 @@
+(** Welfare accounting (Sections 4.3 and 4.6).
+
+    Social welfare for one service at posted price p is the total
+    utility of the consumers who buy: ∫ₚ^∞ v dF(v).  Payments are pure
+    transfers and cancel out of social welfare; consumer welfare nets
+    them off.  Both are monotone decreasing in p, which is the engine
+    of every Section 4 conclusion. *)
+
+val social : Demand.t -> price:float -> float
+(** ∫ₚ^∞ v dF(v) = p·D(p) + ∫ₚ^∞ D(v) dv. *)
+
+val consumer : Demand.t -> price:float -> float
+(** ∫ₚ^∞ (v − p) dF(v) = ∫ₚ^∞ D(v) dv. *)
+
+val producer : Demand.t -> price:float -> fee:float -> float * float
+(** [(csp_revenue, lmp_fee_revenue)] per unit mass at the given price
+    and fee. *)
+
+val deadweight_loss : Demand.t -> price_nn:float -> price_ur:float -> float
+(** Social welfare lost moving from price [price_nn] to [price_ur]. *)

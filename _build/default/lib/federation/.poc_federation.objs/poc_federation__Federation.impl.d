@@ -1,0 +1,1 @@
+lib/federation/federation.ml: Array Fun Hashtbl List Poc_auction Poc_core Poc_topology Poc_traffic Poc_util Printf

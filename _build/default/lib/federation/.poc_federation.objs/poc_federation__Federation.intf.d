@@ -1,0 +1,1 @@
+lib/federation/federation.mli: Poc_auction Poc_core Poc_topology

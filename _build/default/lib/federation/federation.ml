@@ -1,0 +1,198 @@
+module Wan = Poc_topology.Wan
+module Site = Poc_topology.Site
+module Matrix = Poc_traffic.Matrix
+module Vcg = Poc_auction.Vcg
+module Bid = Poc_auction.Bid
+module Planner = Poc_core.Planner
+
+type regional_poc = {
+  region : int;
+  nodes : int list;
+  outcome : Vcg.outcome;
+  intra_gbps : float;
+  price_per_gbps : float;
+}
+
+type t = {
+  assignment : int array;
+  pocs : regional_poc array;
+  interconnect : Vcg.selection;
+  inter_gbps : float;
+  federation_spend : float;
+  single_poc_spend : float;
+}
+
+let partition (wan : Wan.t) ~regions =
+  let n = Array.length wan.poc_sites in
+  if regions < 1 || regions > n then invalid_arg "Federation.partition";
+  (* Balanced bands along the x axis: sort routers by longitude and cut
+     into equal slices. *)
+  let order =
+    List.init n Fun.id
+    |> List.sort (fun a b ->
+           compare
+             wan.sites.(wan.poc_sites.(a)).Site.x
+             wan.sites.(wan.poc_sites.(b)).Site.x)
+  in
+  let assignment = Array.make n 0 in
+  List.iteri
+    (fun rank node -> assignment.(node) <- rank * regions / n)
+    order;
+  assignment
+
+(* Restrict a bid to a subset of its links. *)
+let restrict_bid bid keep =
+  let links = List.filter keep (Bid.links bid) in
+  Bid.additive
+    (List.map (fun id -> (id, Bid.single_price bid id)) links)
+
+let build (plan : Planner.plan) ~regions =
+  let wan = plan.Planner.wan in
+  let assignment = partition wan ~regions in
+  let base = plan.Planner.problem in
+  let link_region id =
+    let l = wan.Wan.links.(id) in
+    let ra = assignment.(l.Wan.node_a) and rb = assignment.(l.Wan.node_b) in
+    if ra = rb then `Internal ra else `Crossing
+  in
+  let demands = Matrix.undirected_pair_demands plan.Planner.matrix in
+  let intra r =
+    List.filter (fun (i, j, _) -> assignment.(i) = r && assignment.(j) = r) demands
+  in
+  let inter =
+    List.filter (fun (i, j, _) -> assignment.(i) <> assignment.(j)) demands
+  in
+  let volume ds = List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 ds in
+  (* Each regional POC auctions only the links internal to its region;
+     its external-ISP virtual links are those internal to the region
+     too. *)
+  let regional r =
+    let keep id = link_region id = `Internal r in
+    let bids = Array.map (fun bid -> restrict_bid bid keep) base.Vcg.bids in
+    let virtual_prices =
+      List.filter (fun (id, _) -> keep id) base.Vcg.virtual_prices
+    in
+    let problem = { base with Vcg.bids; virtual_prices; demands = intra r } in
+    let run_result =
+      match intra r with
+      | [] ->
+        (* Nothing to carry: a trivial empty outcome, no auction. *)
+        Some
+          {
+            Vcg.selection = { Vcg.selected = []; cost = 0.0 };
+            virtual_cost = 0.0;
+            bp_results =
+              Array.mapi
+                (fun bp _ ->
+                  { Vcg.bp; selected_links = []; bid_cost = 0.0;
+                    payment = 0.0; pob = 0.0 })
+                bids;
+            total_payment = 0.0;
+          }
+      | _ :: _ -> Vcg.run problem
+    in
+    match run_result with
+    | None -> Error (Printf.sprintf "region %d cannot carry its traffic" r)
+    | Some outcome ->
+      let intra_gbps = volume (intra r) in
+      Ok
+        {
+          region = r;
+          nodes =
+            List.filter
+              (fun node -> assignment.(node) = r)
+              (List.init (Array.length assignment) Fun.id);
+          outcome;
+          intra_gbps;
+          price_per_gbps =
+            (if intra_gbps > 0.0 then
+               outcome.Vcg.total_payment /. intra_gbps
+             else 0.0);
+        }
+  in
+  let rec build_regions r acc =
+    if r >= regions then Ok (List.rev acc)
+    else begin
+      match regional r with
+      | Error msg -> Error msg
+      | Ok poc -> build_regions (r + 1) (poc :: acc)
+    end
+  in
+  match build_regions 0 [] with
+  | Error msg -> Error msg
+  | Ok pocs_list ->
+    let pocs = Array.of_list pocs_list in
+    (* Interconnect: inter-region demands ride the union of the
+       regional backbones plus contracted region-crossing links; the
+       federation only *pays extra* for the crossing links it picks.
+       Model: one pseudo-owner offering every crossing link at its true
+       cost, with the regional selections available for free (their
+       cost is already recovered regionally). *)
+    let regional_links = Hashtbl.create 256 in
+    Array.iter
+      (fun poc ->
+        List.iter
+          (fun id -> Hashtbl.replace regional_links id ())
+          poc.outcome.Vcg.selection.Vcg.selected)
+      pocs;
+    let crossing_prices =
+      Array.to_list wan.Wan.links
+      |> List.filter_map (fun (l : Wan.logical_link) ->
+             if link_region l.Wan.id = `Crossing then
+               Some (l.Wan.id, l.Wan.true_cost)
+             else None)
+    in
+    let free_regional =
+      Hashtbl.fold (fun id () acc -> (id, 0.0) :: acc) regional_links []
+    in
+    let inter_problem =
+      {
+        base with
+        Vcg.bids = [||];
+        virtual_prices = crossing_prices @ free_regional;
+        demands = inter;
+      }
+    in
+    (match Vcg.select_greedy inter_problem with
+    | None -> Error "interconnect cannot carry inter-region traffic"
+    | Some interconnect ->
+      let regional_spend =
+        Array.fold_left
+          (fun acc poc -> acc +. poc.outcome.Vcg.total_payment)
+          0.0 pocs
+      in
+      let federation_spend = regional_spend +. interconnect.Vcg.cost in
+      Ok
+        {
+          assignment;
+          pocs;
+          interconnect;
+          inter_gbps = volume inter;
+          federation_spend;
+          single_poc_spend = plan.Planner.outcome.Vcg.total_payment;
+        })
+
+let fragmentation_overhead t =
+  if t.single_poc_spend <= 0.0 then 0.0
+  else (t.federation_spend /. t.single_poc_spend) -. 1.0
+
+let render (plan : Planner.plan) t =
+  ignore plan;
+  let rows =
+    Array.to_list t.pocs
+    |> List.map (fun poc ->
+           [
+             Printf.sprintf "POC-%d" poc.region;
+             string_of_int (List.length poc.nodes);
+             Printf.sprintf "%.0f" poc.intra_gbps;
+             string_of_int
+               (List.length poc.outcome.Vcg.selection.Vcg.selected);
+             Printf.sprintf "%.0f" poc.outcome.Vcg.total_payment;
+             Printf.sprintf "%.2f" poc.price_per_gbps;
+           ])
+  in
+  Poc_util.Table.render
+    ~align:
+      Poc_util.Table.[ Left; Right; Right; Right; Right; Right ]
+    ~header:[ "POC"; "routers"; "Gbps"; "|SL|"; "spend $"; "$/Gbps" ]
+    rows

@@ -1,0 +1,55 @@
+(** Several coexisting, interconnected POCs (Section 1.2).
+
+    "There could be several coexisting (and interconnected) POCs, run
+    by different entities but adopting the same basic principles
+    (nonprofit, focusing on transit, enforcing network neutrality)."
+
+    This module splits the substrate into geographic regions, runs one
+    auction per regional POC over the links internal to its region,
+    leases the region-crossing links under a federation-wide contract
+    (the same role external ISPs play for a single POC), and routes
+    inter-region traffic across the interconnect.  POCs peer
+    settlement-free, like the tier-1 mesh — each recovers its own
+    costs from its own members.
+
+    The interesting outputs are the fragmentation overhead (a
+    federation cannot pool link choices across regions, so it pays
+    more than one global POC for the same matrix) and the per-region
+    posted prices (sparse regions are more expensive per Gbps — the
+    cross-subsidy question the paper raises about Australia's NBN). *)
+
+type regional_poc = {
+  region : int;
+  nodes : int list;               (** POC routers in this region *)
+  outcome : Poc_auction.Vcg.outcome;
+  intra_gbps : float;             (** traffic volume it carries *)
+  price_per_gbps : float;         (** regional break-even posted price *)
+}
+
+type t = {
+  assignment : int array;         (** POC router -> region *)
+  pocs : regional_poc array;
+  interconnect : Poc_auction.Vcg.selection;
+      (** contracted cross-region links carrying inter-region traffic *)
+  inter_gbps : float;
+  federation_spend : float;       (** Σ regional spends + interconnect *)
+  single_poc_spend : float;       (** the one-POC baseline on the same inputs *)
+}
+
+val partition : Poc_topology.Wan.t -> regions:int -> int array
+(** Geographic bands by site x-coordinate, balanced in router count.
+    Requires [1 <= regions <= router count]. *)
+
+val build :
+  Poc_core.Planner.plan -> regions:int -> (t, string) result
+(** Federate an already-planned single POC: re-auction each region
+    over its internal links, select interconnect links for the
+    inter-region demands, and compare spends.  [Error] when some
+    region cannot carry its intra-region matrix or the interconnect
+    cannot carry the inter-region matrix. *)
+
+val fragmentation_overhead : t -> float
+(** federation_spend / single_poc_spend − 1. *)
+
+val render : Poc_core.Planner.plan -> t -> string
+(** Per-region table: routers, traffic, spend, posted price. *)

@@ -1,0 +1,120 @@
+type result = {
+  value : float;
+  cut_edges : int list;
+  source_side : bool array;
+}
+
+type arc = {
+  dst : int;
+  edge_id : int;
+  mutable residual : float;
+  mutable rev : int; (* index of the reverse arc in the flat arc array *)
+}
+
+let always_enabled _ = true
+
+let max_flow ?(enabled = always_enabled) g s t =
+  if s = t then invalid_arg "Flow.max_flow: source equals sink";
+  let n = Graph.node_count g in
+  let adjacency = Array.make n [] in
+  let arcs = ref [] in
+  let arc_count = ref 0 in
+  let add_arc src dst edge_id cap =
+    let a = { dst; edge_id; residual = cap; rev = 0 } in
+    arcs := a :: !arcs;
+    adjacency.(src) <- !arc_count :: adjacency.(src);
+    incr arc_count;
+    !arc_count - 1
+  in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      if enabled e.id then begin
+        (* Undirected edge: both directions get full capacity and each
+           arc is the other's reverse. *)
+        let a = add_arc e.u e.v e.id e.capacity in
+        let b = add_arc e.v e.u e.id e.capacity in
+        ignore a;
+        ignore b
+      end)
+    (Graph.edges g);
+  let arcs = Array.of_list (List.rev !arcs) in
+  (* Fix up reverse pointers: arcs were added in pairs. *)
+  let i = ref 0 in
+  while !i + 1 < Array.length arcs do
+    arcs.(!i).rev <- !i + 1;
+    arcs.(!i + 1).rev <- !i;
+    i := !i + 2
+  done;
+  let total = ref 0.0 in
+  let parent_arc = Array.make n (-1) in
+  let rec bfs_augment () =
+    Array.fill parent_arc 0 n (-1);
+    let queue = Queue.create () in
+    Queue.push s queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let try_arc ai =
+        let a = arcs.(ai) in
+        if a.residual > 1e-12 && a.dst <> s && parent_arc.(a.dst) < 0 then begin
+          parent_arc.(a.dst) <- ai;
+          if a.dst = t then found := true else Queue.push a.dst queue
+        end
+      in
+      List.iter try_arc adjacency.(u)
+    done;
+    if !found then begin
+      (* Find bottleneck along the path, then augment. *)
+      let rec bottleneck node acc =
+        if node = s then acc
+        else begin
+          let ai = parent_arc.(node) in
+          let a = arcs.(ai) in
+          let src = arcs.(a.rev).dst in
+          bottleneck src (Float.min acc a.residual)
+        end
+      in
+      let delta = bottleneck t infinity in
+      let rec apply node =
+        if node <> s then begin
+          let ai = parent_arc.(node) in
+          let a = arcs.(ai) in
+          a.residual <- a.residual -. delta;
+          arcs.(a.rev).residual <- arcs.(a.rev).residual +. delta;
+          apply arcs.(a.rev).dst
+        end
+      in
+      apply t;
+      total := !total +. delta;
+      bfs_augment ()
+    end
+  in
+  bfs_augment ();
+  (* Residual reachability from s gives the min cut. *)
+  let source_side = Array.make n false in
+  let queue = Queue.create () in
+  source_side.(s) <- true;
+  Queue.push s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit ai =
+      let a = arcs.(ai) in
+      if a.residual > 1e-12 && not source_side.(a.dst) then begin
+        source_side.(a.dst) <- true;
+        Queue.push a.dst queue
+      end
+    in
+    List.iter visit adjacency.(u)
+  done;
+  let cut_edges =
+    Graph.fold_edges
+      (fun e acc ->
+        if enabled e.id && source_side.(e.u) <> source_side.(e.v) then e.id :: acc
+        else acc)
+      g []
+    |> List.sort compare
+  in
+  { value = !total; cut_edges; source_side }
+
+let cut_capacity g ids =
+  List.fold_left (fun acc id -> acc +. (Graph.edge g id).capacity) 0.0 ids

@@ -1,0 +1,19 @@
+(** Maximum flow on the capacitated (sub)graph.
+
+    Used for capacity sanity checks in planning (is there enough raw
+    capacity between two attachment points?) and in tests (max-flow =
+    min-cut as a property check).  Undirected edges may carry up to
+    their capacity in either direction. *)
+
+type result = {
+  value : float;            (** max s-t flow value *)
+  cut_edges : int list;     (** edge ids forming a minimum s-t cut *)
+  source_side : bool array; (** node partition: true = source side *)
+}
+
+val max_flow :
+  ?enabled:(int -> bool) -> Graph.t -> Graph.node -> Graph.node -> result
+(** [max_flow g s t] by Edmonds-Karp.  Requires [s <> t]. *)
+
+val cut_capacity : Graph.t -> int list -> float
+(** Total capacity of a set of edge ids. *)

@@ -1,0 +1,64 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let ndata = Array.make ncap entry in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end
+
+let push h key value =
+  let entry = { key; value } in
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let i = ref (h.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.data.(parent).key > h.data.(!i).key then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && h.data.(l).key < h.data.(!smallest).key then smallest := l;
+        if r < h.len && h.data.(r).key < h.data.(!smallest).key then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end

@@ -1,0 +1,13 @@
+(** Minimal binary min-heap keyed by floats, used by the path algorithms. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key entry. *)

@@ -1,0 +1,1 @@
+lib/market/epochs.ml: Array Float Hashtbl List Poc_auction Poc_core Poc_traffic Poc_util

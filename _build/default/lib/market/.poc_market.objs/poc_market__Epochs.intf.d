@@ -1,0 +1,1 @@
+lib/market/epochs.mli: Poc_auction Poc_core

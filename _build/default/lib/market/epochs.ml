@@ -1,0 +1,142 @@
+module Prng = Poc_util.Prng
+module Vcg = Poc_auction.Vcg
+module Bid = Poc_auction.Bid
+module Matrix = Poc_traffic.Matrix
+module Planner = Poc_core.Planner
+
+type bp_strategy = Truthful | Markup of float | Recallable of float
+
+type config = {
+  epochs : int;
+  cost_trend : float;
+  cost_volatility : float;
+  demand_growth : float;
+  strategies : (int * bp_strategy) list;
+  seed : int;
+}
+
+let default_config =
+  {
+    epochs = 12;
+    cost_trend = -0.02;
+    cost_volatility = 0.05;
+    demand_growth = 1.02;
+    strategies = [];
+    seed = 1;
+  }
+
+type epoch_result = {
+  epoch : int;
+  spend : float;
+  price_per_gbps : float;
+  selected_links : int;
+  recalled_links : int;
+  supplier_hhi : float;
+  failed : bool;
+}
+
+let supplier_hhi (outcome : Vcg.outcome) =
+  let payments =
+    Array.to_list outcome.bp_results
+    |> List.map (fun (r : Vcg.bp_result) -> r.payment)
+    |> List.filter (fun p -> p > 0.0)
+  in
+  let total = List.fold_left ( +. ) 0.0 payments in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc p ->
+        let share = p /. total in
+        acc +. (share *. share))
+      0.0 payments
+
+let strategy_of config bp =
+  match List.assoc_opt bp config.strategies with
+  | Some s -> s
+  | None -> Truthful
+
+let run (plan : Planner.plan) config =
+  if config.epochs <= 0 then invalid_arg "Epochs.run: epochs must be positive";
+  if config.demand_growth <= 0.0 then invalid_arg "Epochs.run: bad demand growth";
+  let rng = Prng.create config.seed in
+  let base_problem = plan.Planner.problem in
+  let n_bps = Array.length base_problem.Vcg.bids in
+  (* Per-BP cost level, drifting each epoch. *)
+  let cost_level = Array.make n_bps 1.0 in
+  let results = ref [] in
+  let matrix = ref plan.Planner.matrix in
+  for epoch = 1 to config.epochs do
+    (* Drift costs. *)
+    for bp = 0 to n_bps - 1 do
+      let noise =
+        1.0 +. (config.cost_volatility *. ((2.0 *. Prng.float rng) -. 1.0))
+      in
+      cost_level.(bp) <-
+        Float.max 0.05 (cost_level.(bp) *. (1.0 +. config.cost_trend) *. noise)
+    done;
+    (* Recalls: strategy-driven withdrawal of offered links. *)
+    let recalled = Hashtbl.create 64 in
+    Array.iteri
+      (fun bp bid ->
+        match strategy_of config bp with
+        | Recallable fraction ->
+          List.iter
+            (fun id ->
+              if Prng.bernoulli rng fraction then Hashtbl.replace recalled id ())
+            (Bid.links bid)
+        | Truthful | Markup _ -> ())
+      base_problem.Vcg.bids;
+    (* Epoch bids: cost level times strategy markup. *)
+    let bids =
+      Array.mapi
+        (fun bp bid ->
+          let markup =
+            match strategy_of config bp with
+            | Markup m -> 1.0 +. m
+            | Truthful | Recallable _ -> 1.0
+          in
+          Bid.scale bid (cost_level.(bp) *. markup))
+        base_problem.Vcg.bids
+    in
+    matrix := Matrix.scale !matrix config.demand_growth;
+    let problem =
+      {
+        base_problem with
+        Vcg.bids;
+        demands = Matrix.undirected_pair_demands !matrix;
+      }
+    in
+    let select ?(banned = fun _ -> false) p =
+      Vcg.select_greedy
+        ~banned:(fun id -> banned id || Hashtbl.mem recalled id)
+        p
+    in
+    let volume = Matrix.total !matrix in
+    (match Vcg.run ~select problem with
+    | None ->
+      results :=
+        {
+          epoch;
+          spend = nan;
+          price_per_gbps = nan;
+          selected_links = 0;
+          recalled_links = Hashtbl.length recalled;
+          supplier_hhi = nan;
+          failed = true;
+        }
+        :: !results
+    | Some outcome ->
+      results :=
+        {
+          epoch;
+          spend = outcome.Vcg.total_payment;
+          price_per_gbps =
+            (if volume > 0.0 then outcome.Vcg.total_payment /. volume else 0.0);
+          selected_links = List.length outcome.Vcg.selection.selected;
+          recalled_links = Hashtbl.length recalled;
+          supplier_hhi = supplier_hhi outcome;
+          failed = false;
+        }
+        :: !results)
+  done;
+  List.rev !results

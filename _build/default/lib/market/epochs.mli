@@ -1,0 +1,49 @@
+(** The open bandwidth market over time (Section 3.3's motivation).
+
+    The POC re-runs its auction every leasing epoch.  Between epochs:
+
+    - long-haul costs drift down (the paper cites 24-27% annual lease
+      price declines) with per-BP volatility;
+    - CSP-backed BPs that overbought capacity may {e recall} leased
+      links when they need them internally, and return them later;
+    - the traffic matrix grows.
+
+    The simulation reports, per epoch, what the POC spends, the posted
+    break-even price, the selection, and supplier concentration — the
+    evidence that a leased-line POC tracks falling market prices
+    instead of locking in incumbent rates. *)
+
+type bp_strategy =
+  | Truthful
+  | Markup of float     (** bid = cost × (1 + m) *)
+  | Recallable of float (** truthful, but each epoch this fraction of
+                            its links is recalled (unavailable) *)
+
+type config = {
+  epochs : int;
+  cost_trend : float;      (** per-epoch multiplicative drift, e.g. -0.02 *)
+  cost_volatility : float; (** per-BP per-epoch lognormal-ish noise *)
+  demand_growth : float;   (** per-epoch traffic multiplier, e.g. 1.03 *)
+  strategies : (int * bp_strategy) list; (** default Truthful *)
+  seed : int;
+}
+
+val default_config : config
+
+type epoch_result = {
+  epoch : int;
+  spend : float;            (** POC monthly spend (payments + contracts) *)
+  price_per_gbps : float;   (** spend / traffic volume *)
+  selected_links : int;
+  recalled_links : int;
+  supplier_hhi : float;     (** Herfindahl index over BP payments, in [0,1] *)
+  failed : bool;            (** no acceptable selection this epoch *)
+}
+
+val run : Poc_core.Planner.plan -> config -> epoch_result list
+(** Replays [config.epochs] auctions over the plan's offer pool with
+    evolving costs, recalls and demand.  Uses the plan's acceptability
+    rule. *)
+
+val supplier_hhi : Poc_auction.Vcg.outcome -> float
+(** Concentration of the POC's BP payments. *)

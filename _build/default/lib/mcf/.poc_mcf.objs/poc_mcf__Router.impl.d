@@ -1,0 +1,1 @@
+lib/mcf/router.ml: Array Float Hashtbl List Option Poc_graph

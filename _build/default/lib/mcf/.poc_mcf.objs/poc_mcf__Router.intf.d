@@ -1,0 +1,1 @@
+lib/mcf/router.mli: Poc_graph

@@ -1,0 +1,256 @@
+module Graph = Poc_graph.Graph
+module Heap = Poc_graph.Heap
+
+type demand = int * int * float
+
+type chunk = { src : int; dst : int; gbps : float; edge_ids : int list }
+
+type routing = {
+  feasible : bool;
+  chunks : chunk array;
+  unrouted : demand list;
+  usage : float array;
+  enabled_capacity : float;
+}
+
+let eps = 1e-6
+
+let max_paths_per_demand = 64
+
+let validate_demand n (a, b, d) =
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Router: unknown node";
+  if a = b then invalid_arg "Router: self demand";
+  if d < 0.0 || not (Float.is_finite d) then invalid_arg "Router: bad demand"
+
+(* Congestion-aware Dijkstra on the residual graph: returns the edge-id
+   path or None.  Weight of an edge is latency * (1 + alpha * u) where
+   u is current utilization, which spreads load before links saturate. *)
+let residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst =
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (_, u) when settled.(dst) -> ignore u
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Array.iter
+          (fun (v, eid, latency) ->
+            if (not settled.(v)) && residual.(eid) > eps then begin
+              let cap = capacity.(eid) in
+              let util = if cap > 0.0 then usage.(eid) /. cap else 0.0 in
+              let w = latency *. (1.0 +. (alpha *. util)) in
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                pred.(v) <- eid;
+                Heap.push heap nd v
+              end
+            end)
+          adj.(u)
+      end;
+      loop ()
+  in
+  loop ();
+  if dist.(dst) = infinity then None else Some pred
+
+let build_adjacency g enabled =
+  let n = Graph.node_count g in
+  Array.init n (fun u ->
+      Graph.neighbors g u
+      |> List.filter (fun (_, (e : Graph.edge)) -> enabled e.id)
+      |> List.map (fun (v, (e : Graph.edge)) -> (v, e.id, e.weight))
+      |> Array.of_list)
+
+let path_from_pred g pred src dst =
+  let rec walk node acc =
+    if node = src then acc
+    else begin
+      let eid = pred.(node) in
+      let e = Graph.edge g eid in
+      walk (Graph.other_endpoint e node) (eid :: acc)
+    end
+  in
+  walk dst []
+
+(* Route one demand (possibly splitting) on the residual state.
+   Returns the list of chunks created and the unrouted remainder. *)
+let route_one g ~adj ~residual ~usage ~capacity ~alpha (src, dst, gbps) =
+  let n = Graph.node_count g in
+  let chunks = ref [] in
+  let rec go remaining attempts =
+    if remaining <= eps then 0.0
+    else if attempts >= max_paths_per_demand then remaining
+    else begin
+      match residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst with
+      | None -> remaining
+      | Some pred ->
+        let path = path_from_pred g pred src dst in
+        let bottleneck =
+          List.fold_left (fun acc eid -> Float.min acc residual.(eid)) infinity path
+        in
+        if bottleneck <= eps then remaining
+        else begin
+          let send = Float.min remaining bottleneck in
+          List.iter
+            (fun eid ->
+              residual.(eid) <- residual.(eid) -. send;
+              usage.(eid) <- usage.(eid) +. send)
+            path;
+          chunks := { src; dst; gbps = send; edge_ids = path } :: !chunks;
+          go (remaining -. send) (attempts + 1)
+        end
+    end
+  in
+  let leftover = go gbps 0 in
+  (List.rev !chunks, leftover)
+
+let route ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g ~demands =
+  let n = Graph.node_count g in
+  List.iter (validate_demand n) demands;
+  let m = Graph.edge_count g in
+  let residual = Array.make m 0.0 in
+  let capacity = Array.make m 0.0 in
+  let usage = Array.make m 0.0 in
+  let enabled_capacity = ref 0.0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      capacity.(e.id) <- e.capacity;
+      if enabled e.id then begin
+        residual.(e.id) <- e.capacity;
+        enabled_capacity := !enabled_capacity +. e.capacity
+      end)
+    (Graph.edges g);
+  let adj = build_adjacency g enabled in
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> compare b a) demands
+  in
+  let all_chunks = ref [] in
+  let unrouted = ref [] in
+  List.iter
+    (fun ((src, dst, _) as demand) ->
+      let chunks, leftover =
+        route_one g ~adj ~residual ~usage ~capacity ~alpha:congestion_alpha demand
+      in
+      all_chunks := List.rev_append chunks !all_chunks;
+      if leftover > eps then unrouted := (src, dst, leftover) :: !unrouted)
+    sorted;
+  {
+    feasible = !unrouted = [];
+    chunks = Array.of_list (List.rev !all_chunks);
+    unrouted = List.rev !unrouted;
+    usage;
+    enabled_capacity = !enabled_capacity;
+  }
+
+let max_utilization g r =
+  Graph.fold_edges
+    (fun e acc ->
+      if e.capacity > 0.0 then Float.max acc (r.usage.(e.id) /. e.capacity)
+      else acc)
+    g 0.0
+
+let total_routed r =
+  Array.fold_left (fun acc c -> acc +. c.gbps) 0.0 r.chunks
+
+let used_edges r =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri (fun eid u -> if u > eps then Hashtbl.replace tbl eid ()) r.usage;
+  Hashtbl.fold (fun eid () acc -> eid :: acc) tbl [] |> List.sort compare
+
+(* Shared core: [adj] may be a prebuilt adjacency for the enabled set
+   {e including} the failed edge; the failed edge is excluded by
+   forcing its residual to zero, which the path search respects. *)
+let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
+  let failed_capacity = (Graph.edge g failed_edge).capacity in
+  if base.usage.(failed_edge) <= eps then
+    (* Nothing crossed the edge: the routing is already valid without
+       it; only the available capacity shrinks. *)
+    Some { base with enabled_capacity = base.enabled_capacity -. failed_capacity }
+  else begin
+    let m = Graph.edge_count g in
+    let residual = Array.make m 0.0 in
+    let capacity = Array.make m 0.0 in
+    let usage = Array.make m 0.0 in
+    Array.iter
+      (fun (e : Graph.edge) ->
+        capacity.(e.id) <- e.capacity;
+        if enabled e.id && e.id <> failed_edge then begin
+          residual.(e.id) <- e.capacity -. base.usage.(e.id);
+          usage.(e.id) <- base.usage.(e.id)
+        end)
+      (Graph.edges g);
+    (* Give back the capacity held by chunks that crossed the failed
+       edge, and collect their demand for re-routing. *)
+    let affected = Hashtbl.create 16 in
+    let kept = ref [] in
+    Array.iter
+      (fun c ->
+        if List.mem failed_edge c.edge_ids then begin
+          List.iter
+            (fun eid ->
+              if eid <> failed_edge then begin
+                residual.(eid) <- residual.(eid) +. c.gbps;
+                usage.(eid) <- usage.(eid) -. c.gbps
+              end)
+            c.edge_ids;
+          let key = (c.src, c.dst) in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt affected key) in
+          Hashtbl.replace affected key (prev +. c.gbps)
+        end
+        else kept := c :: !kept)
+      base.chunks;
+    let new_chunks = ref [] in
+    let ok = ref true in
+    Hashtbl.iter
+      (fun (src, dst) gbps ->
+        if !ok then begin
+          let chunks, leftover =
+            route_one g ~adj ~residual ~usage ~capacity ~alpha:1.0 (src, dst, gbps)
+          in
+          new_chunks := List.rev_append chunks !new_chunks;
+          if leftover > eps then ok := false
+        end)
+      affected;
+    if not !ok then None
+    else
+      Some
+        {
+          feasible = true;
+          chunks = Array.of_list (List.rev_append !kept !new_chunks);
+          unrouted = [];
+          usage;
+          enabled_capacity = base.enabled_capacity -. failed_capacity;
+        }
+  end
+
+let reroute_without_edge ?(enabled = fun _ -> true) g ~base ~failed_edge =
+  let adj = build_adjacency g enabled in
+  reroute_core ~adj ~enabled g ~base ~failed_edge
+
+let survives_failure ?(enabled = fun _ -> true) g ~demands ~base ~failed_edge =
+  ignore demands;
+  match reroute_without_edge ~enabled g ~base ~failed_edge with
+  | Some _ -> true
+  | None -> false
+
+let survives_all_single_failures ?(enabled = fun _ -> true) g ~demands base =
+  ignore demands;
+  let adj = build_adjacency g enabled in
+  (* Most-loaded edges are the likeliest to be irreplaceable: check
+     them first so infeasible sets fail fast. *)
+  let by_load_desc =
+    used_edges base
+    |> List.sort (fun a b -> compare base.usage.(b) base.usage.(a))
+  in
+  List.for_all
+    (fun eid ->
+      match reroute_core ~adj ~enabled g ~base ~failed_edge:eid with
+      | Some _ -> true
+      | None -> false)
+    by_load_desc

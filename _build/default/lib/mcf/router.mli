@@ -1,0 +1,84 @@
+(** Multi-commodity routing / feasibility oracle.
+
+    The auction's acceptability predicate A(OL) asks: does a candidate
+    link subset provide "enough bandwidth to handle the traffic
+    matrix"?  Exact multi-commodity flow is an LP; we use the standard
+    path-based heuristic — demands in decreasing order, each split
+    across successive congestion-aware shortest paths — which is
+    deterministic, fast, and conservative (it may call a feasible set
+    infeasible, never the reverse).  The same oracle, restricted to
+    surviving links, expresses the failure constraints of Figure 2.
+
+    Demands are given per unordered node pair (links are undirected);
+    use {!Poc_traffic.Matrix.undirected_pair_demands} upstream. *)
+
+type demand = int * int * float
+(** [(node_a, node_b, gbps)] with [node_a <> node_b] and [gbps >= 0]. *)
+
+type chunk = {
+  src : int;
+  dst : int;
+  gbps : float;
+  edge_ids : int list; (** path taken, in order *)
+}
+(** One routed piece of a demand (demands may split across paths). *)
+
+type routing = {
+  feasible : bool;
+  chunks : chunk array;
+  unrouted : demand list;        (** residual demand that found no path *)
+  usage : float array;           (** per edge id, Gbps carried *)
+  enabled_capacity : float;      (** total capacity of enabled edges *)
+}
+
+val route :
+  ?enabled:(int -> bool) ->
+  ?congestion_alpha:float ->
+  Poc_graph.Graph.t ->
+  demands:demand list ->
+  routing
+(** [route g ~demands] routes every demand over the enabled subgraph.
+    [congestion_alpha] (default 1.0) scales the utilization penalty in
+    the path metric; 0 gives pure-latency shortest paths. *)
+
+val max_utilization : Poc_graph.Graph.t -> routing -> float
+(** Highest usage/capacity ratio over enabled edges with capacity. *)
+
+val total_routed : routing -> float
+
+val used_edges : routing -> int list
+(** Edge ids carrying positive flow, sorted. *)
+
+val reroute_without_edge :
+  ?enabled:(int -> bool) ->
+  Poc_graph.Graph.t ->
+  base:routing ->
+  failed_edge:int ->
+  routing option
+(** [reroute_without_edge g ~base ~failed_edge] produces a complete
+    routing over the enabled set minus [failed_edge], reusing [base]:
+    chunks not crossing the failed edge keep their paths, the rest are
+    re-routed on the residual capacity.  [None] when the re-route does
+    not fit.  This is the incremental primitive behind both failure
+    checks and the auction's prune loop. *)
+
+val survives_failure :
+  ?enabled:(int -> bool) ->
+  Poc_graph.Graph.t ->
+  demands:demand list ->
+  base:routing ->
+  failed_edge:int ->
+  bool
+(** [survives_failure g ~demands ~base ~failed_edge] checks feasibility
+    with one edge removed, reusing [base]: demands not touching the
+    failed edge keep their paths; affected demand is re-routed on the
+    residual capacity.  Conservative in the same sense as {!route}. *)
+
+val survives_all_single_failures :
+  ?enabled:(int -> bool) ->
+  Poc_graph.Graph.t ->
+  demands:demand list ->
+  routing ->
+  bool
+(** True when the routing survives the failure of each used edge in
+    turn (unused edges cannot hurt and are skipped). *)

@@ -1,0 +1,1 @@
+lib/sim/anycast.ml: Array Float List Poc_core Poc_graph Poc_topology

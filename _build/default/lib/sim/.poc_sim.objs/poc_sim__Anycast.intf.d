@@ -1,0 +1,1 @@
+lib/sim/anycast.mli: Poc_core

@@ -1,0 +1,1 @@
+lib/sim/availability.ml: Float Hashtbl List Poc_auction Poc_core Poc_graph Poc_mcf Poc_topology Poc_traffic Poc_util

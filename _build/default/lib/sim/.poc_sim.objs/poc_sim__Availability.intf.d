@@ -1,0 +1,1 @@
+lib/sim/availability.mli: Poc_core

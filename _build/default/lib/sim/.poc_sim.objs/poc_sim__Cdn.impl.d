@@ -1,0 +1,1 @@
+lib/sim/cdn.ml: Fabric Float List Poc_core

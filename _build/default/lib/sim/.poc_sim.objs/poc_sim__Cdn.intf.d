@@ -1,0 +1,1 @@
+lib/sim/cdn.mli: Fabric Poc_core

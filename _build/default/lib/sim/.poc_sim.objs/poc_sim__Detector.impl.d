@@ -1,0 +1,1 @@
+lib/sim/detector.ml: Array Fabric Float Hashtbl List Option Poc_core

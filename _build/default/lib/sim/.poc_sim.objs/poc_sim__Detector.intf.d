@@ -1,0 +1,1 @@
+lib/sim/detector.mli: Fabric Poc_core

@@ -1,0 +1,1 @@
+lib/sim/fabric.ml: Array Float Hashtbl List Poc_core Poc_graph Poc_topology Poc_traffic Poc_util

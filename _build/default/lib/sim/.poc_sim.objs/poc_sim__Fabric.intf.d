@@ -1,0 +1,1 @@
+lib/sim/fabric.mli: Poc_core Poc_util

@@ -1,0 +1,1 @@
+lib/sim/multicast.ml: Array Hashtbl List Poc_core Poc_graph Poc_topology

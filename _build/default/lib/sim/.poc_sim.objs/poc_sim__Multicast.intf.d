@@ -1,0 +1,1 @@
+lib/sim/multicast.mli: Poc_core

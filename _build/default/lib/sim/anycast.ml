@@ -1,0 +1,74 @@
+module Graph = Poc_graph.Graph
+module Paths = Poc_graph.Paths
+module Planner = Poc_core.Planner
+module Member = Poc_core.Member
+
+type assignment = { client : int; replica : int; latency_ms : float }
+
+type report = {
+  assignments : assignment list;
+  mean_latency_ms : float;
+  mean_unicast_latency_ms : float;
+  improvement : float;
+  unreachable : int list;
+}
+
+let attachment (plan : Planner.plan) id =
+  match List.find_opt (fun (m : Member.t) -> m.Member.id = id) plan.members with
+  | Some m -> m.Member.attachment
+  | None -> invalid_arg "Anycast: unknown member"
+
+let evaluate (plan : Planner.plan) ~home ~replicas ~clients =
+  let g = plan.Planner.wan.Poc_topology.Wan.graph in
+  let n = Graph.node_count g in
+  let all_replicas = List.sort_uniq compare (home :: replicas) in
+  List.iter
+    (fun r -> if r < 0 || r >= n then invalid_arg "Anycast: unknown node")
+    all_replicas;
+  let enabled = Planner.backbone_enabled plan in
+  (* One Dijkstra per replica gives latency from every client node. *)
+  let distances =
+    List.map (fun r -> (r, fst (Paths.dijkstra ~enabled g r))) all_replicas
+  in
+  let home_dist =
+    match List.assoc_opt home distances with
+    | Some d -> d
+    | None -> fst (Paths.dijkstra ~enabled g home)
+  in
+  let assignments = ref [] in
+  let unreachable = ref [] in
+  let any_sum = ref 0.0 and uni_sum = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun client ->
+      let node = attachment plan client in
+      let best =
+        List.fold_left
+          (fun acc (r, dist) ->
+            match acc with
+            | Some (_, d) when d <= dist.(node) -> acc
+            | _ when dist.(node) = infinity -> acc
+            | _ -> Some (r, dist.(node)))
+          None distances
+      in
+      match best with
+      | None -> unreachable := client :: !unreachable
+      | Some (replica, latency_ms) ->
+        if home_dist.(node) = infinity then unreachable := client :: !unreachable
+        else begin
+          assignments := { client; replica; latency_ms } :: !assignments;
+          any_sum := !any_sum +. latency_ms;
+          uni_sum := !uni_sum +. home_dist.(node);
+          incr count
+        end)
+    clients;
+  let c = float_of_int (max 1 !count) in
+  let mean_any = !any_sum /. c and mean_uni = !uni_sum /. c in
+  {
+    assignments = List.rev !assignments;
+    mean_latency_ms = mean_any;
+    mean_unicast_latency_ms = mean_uni;
+    improvement =
+      (if mean_uni > 0.0 then Float.max 0.0 (1.0 -. (mean_any /. mean_uni))
+       else 0.0);
+    unreachable = List.rev !unreachable;
+  }

@@ -1,0 +1,33 @@
+(** Anycast delivery over the POC fabric (Section 3.1).
+
+    A service announced from several attachment points is reached at
+    the replica nearest (by backbone latency) to each client — the
+    other delivery mechanism, besides multicast, that the paper says
+    the POC could support.  We compute per-client replica assignment
+    and the latency improvement over serving everything from the
+    service's home site. *)
+
+type assignment = {
+  client : int;        (** member id *)
+  replica : int;       (** chosen attachment node *)
+  latency_ms : float;  (** backbone latency to that replica *)
+}
+
+type report = {
+  assignments : assignment list;
+  mean_latency_ms : float;
+  mean_unicast_latency_ms : float; (** everything served from [home] *)
+  improvement : float;             (** 1 − anycast/unicast, in [0, 1) *)
+  unreachable : int list;          (** clients with no backbone path *)
+}
+
+val evaluate :
+  Poc_core.Planner.plan ->
+  home:int ->
+  replicas:int list ->
+  clients:int list ->
+  report
+(** [evaluate plan ~home ~replicas ~clients]: [home] and [replicas]
+    are attachment nodes (the home counts as a replica); [clients]
+    are member ids.  Raises [Invalid_argument] on unknown nodes or an
+    empty replica set. *)

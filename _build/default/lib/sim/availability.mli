@@ -1,0 +1,45 @@
+(** Availability under stochastic link failures.
+
+    Figure 2's constraints buy resilience at a price; this simulator
+    measures what that buys at runtime.  Each leased link fails as a
+    Poisson process (exponential time-to-failure) and is repaired
+    after an exponential delay; between events, the traffic matrix is
+    re-routed over the surviving links and the delivered fraction is
+    recorded.  Traffic-weighted availability is the time integral of
+    that fraction.
+
+    Plans selected under Constraint #1 should dip on single failures;
+    Constraint #2 plans should ride through any single failure and dip
+    only when failures overlap. *)
+
+type config = {
+  horizon_hours : float; (** simulated wall-clock, e.g. 720 for a month *)
+  mtbf_hours : float;    (** per-link mean time between failures *)
+  mttr_hours : float;    (** mean time to repair *)
+  seed : int;
+}
+
+val default_config : config
+(** A month at MTBF 2000h / MTTR 12h per link. *)
+
+type event = Fail of int | Repair of int
+
+type sample = {
+  time_h : float;
+  event : event;
+  delivered_fraction : float; (** fraction of the traffic matrix
+                                  carried after this event *)
+  concurrent_failures : int;
+}
+
+type report = {
+  samples : sample list;        (** chronological *)
+  availability : float;         (** time-weighted delivered fraction *)
+  worst_fraction : float;
+  failure_events : int;
+  max_concurrent_failures : int;
+}
+
+val simulate : Poc_core.Planner.plan -> config -> report
+(** Requires a feasible plan; raises [Invalid_argument] on a
+    non-positive horizon or rates. *)

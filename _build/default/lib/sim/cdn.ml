@@ -1,0 +1,80 @@
+module Terms = Poc_core.Terms
+
+type hosting_policy =
+  | Open_hosting of float
+  | Selective_hosting of { allowed : int list; fee : float }
+
+type deployment = { host_lmp : int; csp : int; hit_rate : float }
+
+type offload = {
+  served_flows : Fabric.flow list;
+  offloaded_gbps : float;
+  backbone_gbps : float;
+}
+
+let apply deployments flows =
+  List.iter
+    (fun d ->
+      if d.hit_rate < 0.0 || d.hit_rate > 1.0 then
+        invalid_arg "Cdn.apply: hit rate out of [0,1]")
+    deployments;
+  let rate_for flow =
+    List.fold_left
+      (fun acc d ->
+        if d.csp = flow.Fabric.src_member && d.host_lmp = flow.Fabric.dst_member
+        then Float.max acc d.hit_rate
+        else acc)
+      0.0 deployments
+  in
+  let offloaded = ref 0.0 in
+  let backbone = ref 0.0 in
+  let served =
+    List.filter_map
+      (fun flow ->
+        let rate = rate_for flow in
+        let edge_part = flow.Fabric.gbps *. rate in
+        let core_part = flow.Fabric.gbps -. edge_part in
+        offloaded := !offloaded +. edge_part;
+        if core_part <= 1e-12 then None
+        else begin
+          backbone := !backbone +. core_part;
+          Some { flow with Fabric.gbps = core_part }
+        end)
+      flows
+  in
+  { served_flows = served; offloaded_gbps = !offloaded; backbone_gbps = !backbone }
+
+let observations ~host_lmp ~policy ~applicants =
+  match policy with
+  | Open_hosting fee ->
+    (* One open offer, available to all traffic at a posted price. *)
+    [
+      {
+        Terms.actor = host_lmp;
+        selector = Terms.All_traffic;
+        action = Terms.Allow_third_party_service "cdn";
+        basis = Terms.Posted_price fee;
+      };
+    ]
+  | Selective_hosting { allowed; fee = _ } ->
+    (* Per-applicant decisions based on who is asking: condition (iii). *)
+    List.map
+      (fun csp ->
+        if List.mem csp allowed then
+          {
+            Terms.actor = host_lmp;
+            selector = Terms.By_source csp;
+            action = Terms.Allow_third_party_service "cdn";
+            basis = Terms.Commercial_preference;
+          }
+        else
+          {
+            Terms.actor = host_lmp;
+            selector = Terms.By_source csp;
+            action = Terms.Deny_third_party_service "cdn";
+            basis = Terms.Commercial_preference;
+          })
+      applicants
+
+let judge_policy ~host_lmp ~policy ~applicants =
+  Terms.violations (observations ~host_lmp ~policy ~applicants)

@@ -1,0 +1,52 @@
+(** Edge CDN deployments under the POC's terms of service.
+
+    Section 3.2: LMPs (and the POC itself) may host CDN replicas "on a
+    fee for service basis", or let CSPs install their own "for a set
+    fee" — what they cannot do is allow only certain parties to deploy
+    (condition (iii) of the peering terms).  This module models replica
+    deployments: flows whose content is replicated at the destination
+    LMP are served at the edge and leave the backbone, and deployment
+    policies are translated into terms-of-service observations so the
+    compliance engine can judge selective hosting. *)
+
+type hosting_policy =
+  | Open_hosting of float
+      (** posted monthly fee; any CSP may deploy at that price *)
+  | Selective_hosting of { allowed : int list; fee : float }
+      (** only the listed CSP members may deploy — a violation *)
+
+type deployment = {
+  host_lmp : int;  (** member id of the hosting LMP *)
+  csp : int;       (** member id of the CSP whose replica this is *)
+  hit_rate : float;(** fraction of that CSP's traffic to this LMP
+                       served from the replica, in [0, 1] *)
+}
+
+type offload = {
+  served_flows : Fabric.flow list;
+      (** flows (or fractions) still crossing the backbone *)
+  offloaded_gbps : float;
+  backbone_gbps : float;
+}
+
+val apply : deployment list -> Fabric.flow list -> offload
+(** Shrink each flow covered by a deployment by its hit rate; flows
+    fully served at the edge disappear from the backbone workload.
+    Raises [Invalid_argument] on hit rates outside [0, 1]. *)
+
+val observations :
+  host_lmp:int ->
+  policy:hosting_policy ->
+  applicants:int list ->
+  Poc_core.Terms.observation list
+(** What the compliance engine sees when [applicants] (CSP member ids)
+    ask to deploy at [host_lmp]: open hosting yields posted-price
+    allowances for everyone; selective hosting yields a denial
+    observation per rejected applicant (condition (iii)). *)
+
+val judge_policy :
+  host_lmp:int ->
+  policy:hosting_policy ->
+  applicants:int list ->
+  (Poc_core.Terms.observation * string) list
+(** The violations, if any, that the policy produces. *)

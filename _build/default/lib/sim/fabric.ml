@@ -1,0 +1,282 @@
+module Prng = Poc_util.Prng
+module Graph = Poc_graph.Graph
+module Paths = Poc_graph.Paths
+module Planner = Poc_core.Planner
+module Member = Poc_core.Member
+
+type qos = Standard | Premium
+
+type flow = {
+  flow_id : int;
+  src_member : int;
+  dst_member : int;
+  gbps : float;
+  app : string;
+  qos : qos;
+}
+
+type policy =
+  | Neutral
+  | Throttle of { app : string option; src : int option; factor : float }
+  | Block_src of int
+
+type config = {
+  policies : (int * policy) list;
+  premium_boost : float;
+}
+
+let neutral_config = { policies = []; premium_boost = 1.0 }
+
+type flow_result = {
+  flow : flow;
+  delivered : float;
+  latency_ms : float;
+  hops : int;
+  congestion_share : float;
+  policy_applied : bool;
+}
+
+type report = {
+  results : flow_result array;
+  offered_gbps : float;
+  delivered_gbps : float;
+  link_load : float array;
+  max_utilization : float;
+}
+
+(* Roughly the Internet's application mix: video dominates. *)
+let app_mix = [| (0.55, "video"); (0.2, "web"); (0.15, "cloud"); (0.1, "gaming") |]
+
+let pick_app rng =
+  let x = Prng.float rng in
+  let rec walk i acc =
+    if i >= Array.length app_mix - 1 then snd app_mix.(i)
+    else begin
+      let w, a = app_mix.(i) in
+      if acc +. w >= x then a else walk (i + 1) (acc +. w)
+    end
+  in
+  walk 0 0.0
+
+let synthesize_flows rng (plan : Planner.plan) ~flows_per_pair =
+  if flows_per_pair <= 0 then invalid_arg "Fabric.synthesize_flows";
+  (* Member lookup by attachment node; content nodes host both an LMP
+     and a CSP member, and the CSP originates the content share. *)
+  let members = Array.of_list plan.members in
+  let lmp_at = Hashtbl.create 64 in
+  let csp_at = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Member.t) ->
+      match m.kind with
+      | Member.Lmp -> Hashtbl.replace lmp_at m.attachment m.id
+      | Member.Direct_csp -> Hashtbl.replace csp_at m.attachment m.id
+      | Member.External_isp -> ())
+    members;
+  let flows = ref [] in
+  let next = ref 0 in
+  List.iter
+    (fun (i, j, gbps) ->
+      let src_member =
+        (* Content share of the node's output is sourced by the CSP. *)
+        match Hashtbl.find_opt csp_at i with
+        | Some csp when Prng.bernoulli rng plan.config.Planner.csp_share -> csp
+        | Some _ | None -> (
+          match Hashtbl.find_opt lmp_at i with
+          | Some lmp -> lmp
+          | None -> -1)
+      in
+      let dst_member =
+        match Hashtbl.find_opt lmp_at j with Some lmp -> lmp | None -> -1
+      in
+      if src_member >= 0 && dst_member >= 0 && gbps > 0.0 then begin
+        let per = gbps /. float_of_int flows_per_pair in
+        for _ = 1 to flows_per_pair do
+          let qos = if Prng.bernoulli rng 0.15 then Premium else Standard in
+          flows :=
+            {
+              flow_id = !next;
+              src_member;
+              dst_member;
+              gbps = per;
+              app = pick_app rng;
+              qos;
+            }
+            :: !flows;
+          incr next
+        done
+      end)
+    (Poc_traffic.Matrix.pair_demands plan.matrix);
+  List.rev !flows
+
+let member_attachment (plan : Planner.plan) id =
+  match List.find_opt (fun (m : Member.t) -> m.id = id) plan.members with
+  | Some m -> m.attachment
+  | None -> invalid_arg "Fabric: unknown member"
+
+let policy_for config dst_member =
+  match List.assoc_opt dst_member config.policies with
+  | Some p -> p
+  | None -> Neutral
+
+let policy_factor policy (flow : flow) =
+  match policy with
+  | Neutral -> 1.0
+  | Block_src src -> if flow.src_member = src then 0.0 else 1.0
+  | Throttle { app; src; factor } ->
+    let app_match = match app with None -> true | Some a -> a = flow.app in
+    let src_match = match src with None -> true | Some s -> s = flow.src_member in
+    if app_match && src_match then factor else 1.0
+
+let run (plan : Planner.plan) config flows =
+  if config.premium_boost < 1.0 then invalid_arg "Fabric.run: premium boost < 1";
+  let g = plan.wan.Poc_topology.Wan.graph in
+  let m = Graph.edge_count g in
+  let enabled = Planner.backbone_enabled plan in
+  (* Phase 1: route flows largest-first over the backbone with a
+     congestion-aware metric (latency inflated by current utilization,
+     sharply once a link is full), accumulating load as we go.  This
+     approximates the traffic engineering a real fabric performs. *)
+  let load = Array.make m 0.0 in
+  let adjacency =
+    Array.init (Graph.node_count g) (fun u ->
+        Graph.neighbors g u
+        |> List.filter (fun (_, (e : Graph.edge)) -> enabled e.id)
+        |> Array.of_list)
+  in
+  let congestion_path src dst =
+    let n = Graph.node_count g in
+    let dist = Array.make n infinity in
+    let pred = Array.make n (-1) in
+    let settled = Array.make n false in
+    let heap = Poc_graph.Heap.create () in
+    dist.(src) <- 0.0;
+    Poc_graph.Heap.push heap 0.0 src;
+    let rec loop () =
+      match Poc_graph.Heap.pop heap with
+      | None -> ()
+      | Some _ when settled.(dst) -> ()
+      | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          Array.iter
+            (fun (v, (e : Graph.edge)) ->
+              if not settled.(v) then begin
+                let util =
+                  if e.capacity > 0.0 then load.(e.id) /. e.capacity else 1.0
+                in
+                let penalty =
+                  if util >= 1.0 then 1000.0 *. util else 1.0 +. (4.0 *. util)
+                in
+                let nd = d +. (e.weight *. penalty) in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  pred.(v) <- e.id;
+                  Poc_graph.Heap.push heap nd v
+                end
+              end)
+            adjacency.(u)
+        end;
+        loop ()
+    in
+    loop ();
+    if dist.(dst) = infinity then None
+    else begin
+      let rec walk node acc =
+        if node = src then acc
+        else begin
+          let e = Graph.edge g pred.(node) in
+          walk (Graph.other_endpoint e node) (e :: acc)
+        end
+      in
+      Some (walk dst [])
+    end
+  in
+  let by_size =
+    List.sort (fun a b -> compare b.gbps a.gbps) flows
+  in
+  let routed =
+    List.map
+      (fun flow ->
+        let src_node = member_attachment plan flow.src_member in
+        let dst_node = member_attachment plan flow.dst_member in
+        let path =
+          if src_node = dst_node then Some [] else congestion_path src_node dst_node
+        in
+        (match path with
+        | Some p ->
+          let weight =
+            flow.gbps *. (if flow.qos = Premium then config.premium_boost else 1.0)
+          in
+          List.iter
+            (fun (e : Graph.edge) -> load.(e.id) <- load.(e.id) +. weight)
+            p
+        | None -> ());
+        (flow, path))
+      by_size
+  in
+  (* Phase 2: proportional share on congested links, then destination
+     policy. *)
+  let results =
+    List.map
+      (fun (flow, path) ->
+        match path with
+        | None ->
+          {
+            flow;
+            delivered = 0.0;
+            latency_ms = infinity;
+            hops = 0;
+            congestion_share = 1.0;
+            policy_applied = false;
+          }
+        | Some p ->
+          let share =
+            List.fold_left
+              (fun acc (e : Graph.edge) ->
+                if load.(e.id) > e.capacity && load.(e.id) > 0.0 then
+                  Float.min acc (e.capacity /. load.(e.id))
+                else acc)
+              1.0 p
+          in
+          let boost = if flow.qos = Premium then config.premium_boost else 1.0 in
+          let congested = Float.min 1.0 (share *. boost) in
+          let policy = policy_for config flow.dst_member in
+          let factor = policy_factor policy flow in
+          let delivered = flow.gbps *. congested *. factor in
+          let base_latency = Paths.path_weight p in
+          let latency_ms =
+            (* Queueing penalty grows as links run hot. *)
+            base_latency *. (1.0 +. (0.5 *. (1.0 -. congested)))
+          in
+          {
+            flow;
+            delivered;
+            latency_ms;
+            hops = List.length p;
+            congestion_share = congested;
+            policy_applied = factor < 1.0;
+          })
+      routed
+  in
+  let offered = List.fold_left (fun acc f -> acc +. f.gbps) 0.0 flows in
+  let delivered =
+    List.fold_left (fun acc r -> acc +. r.delivered) 0.0 results
+  in
+  let max_utilization =
+    Graph.fold_edges
+      (fun e acc ->
+        if enabled e.Graph.id && e.capacity > 0.0 then
+          Float.max acc (load.(e.id) /. e.capacity)
+        else acc)
+      g 0.0
+  in
+  {
+    results = Array.of_list results;
+    offered_gbps = offered;
+    delivered_gbps = delivered;
+    link_load = load;
+    max_utilization;
+  }
+
+let delivery_ratio r =
+  if r.offered_gbps <= 0.0 then 1.0 else r.delivered_gbps /. r.offered_gbps

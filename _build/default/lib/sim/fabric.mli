@@ -1,0 +1,71 @@
+(** Flow-level simulation of the operating POC fabric.
+
+    Once the planner has leased a backbone, members exchange traffic
+    over it.  This module synthesizes member-to-member flows from the
+    planning traffic matrix, routes them over the leased links,
+    applies each LMP's (possibly non-neutral) local policy, and
+    reports achieved throughput and latency per flow.  It is the
+    workload generator for the compliance experiments: inject a
+    discriminating policy, watch the detector catch it. *)
+
+type qos = Standard | Premium
+
+type flow = {
+  flow_id : int;
+  src_member : int;
+  dst_member : int;
+  gbps : float;
+  app : string;     (** "video", "web", ... *)
+  qos : qos;
+}
+
+type policy =
+  | Neutral
+  | Throttle of { app : string option; src : int option; factor : float }
+      (** scale matching incoming flows by [factor] in (0,1);
+          [None] selectors match everything *)
+  | Block_src of int
+      (** drop flows from one member — the termination-fee threat *)
+
+type config = {
+  policies : (int * policy) list; (** destination LMP member id -> policy *)
+  premium_boost : float;
+      (** capacity share multiplier for Premium flows on congested
+          links (openly-priced QoS, allowed by the terms) *)
+}
+
+val neutral_config : config
+
+type flow_result = {
+  flow : flow;
+  delivered : float;        (** Gbps actually delivered *)
+  latency_ms : float;
+  hops : int;
+  congestion_share : float; (** fraction explained by congestion alone,
+                                as a measurement system would estimate
+                                from control flows on the same path *)
+  policy_applied : bool;
+}
+
+type report = {
+  results : flow_result array;
+  offered_gbps : float;
+  delivered_gbps : float;
+  link_load : float array; (** per link id *)
+  max_utilization : float;
+}
+
+val synthesize_flows :
+  Poc_util.Prng.t -> Poc_core.Planner.plan -> flows_per_pair:int -> flow list
+(** Split each member-pair demand into [flows_per_pair] flows with
+    application labels drawn from a fixed mix (video-heavy, like the
+    Internet) and ~15% Premium QoS. *)
+
+val run : Poc_core.Planner.plan -> config -> flow list -> report
+(** Route over the leased backbone (latency-shortest paths), compute
+    proportional-share congestion, then apply destination policies.
+    Conservation: [delivered <= offered] per flow, with equality when
+    links are uncongested and no policy matches. *)
+
+val delivery_ratio : report -> float
+(** delivered / offered (1.0 when nothing is dropped). *)

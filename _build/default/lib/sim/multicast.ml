@@ -1,0 +1,94 @@
+module Graph = Poc_graph.Graph
+module Paths = Poc_graph.Paths
+module Planner = Poc_core.Planner
+module Member = Poc_core.Member
+
+type group = { source : int; receivers : int list; gbps : float }
+
+type tree = {
+  edge_ids : int list;
+  reached : int list;
+  unreachable : int list;
+}
+
+type comparison = {
+  unicast_link_gbps : float;
+  multicast_link_gbps : float;
+  savings_fraction : float;
+}
+
+let attachment (plan : Planner.plan) id =
+  match List.find_opt (fun (m : Member.t) -> m.Member.id = id) plan.members with
+  | Some m -> m.Member.attachment
+  | None -> invalid_arg "Multicast: unknown member"
+
+(* One Dijkstra from the source gives nested shortest paths; the tree
+   is the union of the predecessor edges on each receiver's path. *)
+let paths_from plan src_node =
+  let g = plan.Planner.wan.Poc_topology.Wan.graph in
+  let enabled = Planner.backbone_enabled plan in
+  Paths.dijkstra ~enabled g src_node
+
+let walk_path g pred src_node node =
+  let rec walk node acc =
+    if node = src_node then Some acc
+    else begin
+      match pred.(node) with
+      | None -> None
+      | Some eid ->
+        let e = Graph.edge g eid in
+        walk (Graph.other_endpoint e node) (eid :: acc)
+    end
+  in
+  if node = src_node then Some [] else walk node []
+
+let build_tree (plan : Planner.plan) group =
+  if group.gbps < 0.0 then invalid_arg "Multicast: negative rate";
+  let g = plan.Planner.wan.Poc_topology.Wan.graph in
+  let src_node = attachment plan group.source in
+  let _, pred = paths_from plan src_node in
+  let edges = Hashtbl.create 64 in
+  let reached = ref [] in
+  let unreachable = ref [] in
+  List.iter
+    (fun r ->
+      let node = attachment plan r in
+      match walk_path g pred src_node node with
+      | Some path ->
+        reached := r :: !reached;
+        List.iter (fun eid -> Hashtbl.replace edges eid ()) path
+      | None -> unreachable := r :: !unreachable)
+    group.receivers;
+  {
+    edge_ids = Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare;
+    reached = List.rev !reached;
+    unreachable = List.rev !unreachable;
+  }
+
+let compare_unicast (plan : Planner.plan) groups =
+  let g = plan.Planner.wan.Poc_topology.Wan.graph in
+  let unicast = ref 0.0 in
+  let multicast = ref 0.0 in
+  List.iter
+    (fun group ->
+      let src_node = attachment plan group.source in
+      let _, pred = paths_from plan src_node in
+      let tree = build_tree plan group in
+      multicast :=
+        !multicast +. (group.gbps *. float_of_int (List.length tree.edge_ids));
+      List.iter
+        (fun r ->
+          let node = attachment plan r in
+          match walk_path g pred src_node node with
+          | Some path ->
+            unicast :=
+              !unicast +. (group.gbps *. float_of_int (List.length path))
+          | None -> ())
+        tree.reached)
+    groups;
+  {
+    unicast_link_gbps = !unicast;
+    multicast_link_gbps = !multicast;
+    savings_fraction =
+      (if !unicast <= 0.0 then 0.0 else 1.0 -. (!multicast /. !unicast));
+  }

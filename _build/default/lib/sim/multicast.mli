@@ -1,0 +1,36 @@
+(** Multicast delivery over the POC fabric (Section 3.1).
+
+    The POC "could support multicast and anycast delivery mechanisms".
+    For one-to-many distribution (live video, software updates) the
+    fabric builds a shortest-path delivery tree from the source's
+    attachment point and replicates at branch routers, so each backbone
+    link carries the stream once instead of once per receiver.  This
+    module builds such trees over the leased backbone and quantifies
+    the capacity saved against per-receiver unicast. *)
+
+type group = {
+  source : int;         (** member id originating the stream *)
+  receivers : int list; (** member ids subscribed *)
+  gbps : float;         (** stream rate *)
+}
+
+type tree = {
+  edge_ids : int list;   (** links in the delivery tree (each once) *)
+  reached : int list;    (** receivers actually connected *)
+  unreachable : int list;
+}
+
+val build_tree : Poc_core.Planner.plan -> group -> tree
+(** Union of latency-shortest backbone paths from the source's
+    attachment to each receiver's attachment (a shortest-path tree:
+    paths from one Dijkstra run, so they nest). *)
+
+type comparison = {
+  unicast_link_gbps : float;   (** Σ over receivers of rate x path links *)
+  multicast_link_gbps : float; (** rate x tree links *)
+  savings_fraction : float;    (** 1 − multicast/unicast (0 when equal) *)
+}
+
+val compare_unicast : Poc_core.Planner.plan -> group list -> comparison
+(** Aggregate capacity comparison over several groups; unreachable
+    receivers are excluded from both sides. *)

@@ -1,0 +1,1 @@
+lib/topology/export.ml: Array Buffer Printf Site String Wan

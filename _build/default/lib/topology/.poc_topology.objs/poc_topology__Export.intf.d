@@ -1,0 +1,1 @@
+lib/topology/export.mli: Wan

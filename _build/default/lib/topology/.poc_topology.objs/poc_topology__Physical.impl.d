@@ -1,0 +1,1 @@
+lib/topology/physical.ml: Array Float Hashtbl List Poc_graph Poc_util Site

@@ -1,0 +1,1 @@
+lib/topology/physical.mli: Poc_graph Poc_util Site

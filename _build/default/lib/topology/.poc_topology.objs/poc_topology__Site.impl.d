@@ -1,0 +1,1 @@
+lib/topology/site.ml: Array Float Format Poc_util Printf

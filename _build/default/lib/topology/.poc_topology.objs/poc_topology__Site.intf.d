@@ -1,0 +1,1 @@
+lib/topology/site.mli: Format Poc_util

@@ -1,0 +1,1 @@
+lib/topology/wan.ml: Array Float Fun Hashtbl List Option Physical Poc_graph Poc_util Printf Site

@@ -1,0 +1,1 @@
+lib/topology/wan.mli: Poc_graph Site

@@ -1,0 +1,89 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let graphml (wan : Wan.t) ?selected () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  add "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  add "  <key id=\"name\" for=\"node\" attr.name=\"name\" attr.type=\"string\"/>\n";
+  add "  <key id=\"x\" for=\"node\" attr.name=\"x_km\" attr.type=\"double\"/>\n";
+  add "  <key id=\"y\" for=\"node\" attr.name=\"y_km\" attr.type=\"double\"/>\n";
+  add "  <key id=\"owner\" for=\"edge\" attr.name=\"owner\" attr.type=\"string\"/>\n";
+  add "  <key id=\"capacity\" for=\"edge\" attr.name=\"capacity_gbps\" attr.type=\"double\"/>\n";
+  add "  <key id=\"latency\" for=\"edge\" attr.name=\"latency_ms\" attr.type=\"double\"/>\n";
+  add "  <key id=\"cost\" for=\"edge\" attr.name=\"monthly_cost\" attr.type=\"double\"/>\n";
+  (match selected with
+  | Some _ ->
+    add "  <key id=\"selected\" for=\"edge\" attr.name=\"selected\" attr.type=\"boolean\"/>\n"
+  | None -> ());
+  add "  <graph id=\"poc\" edgedefault=\"undirected\">\n";
+  Array.iteri
+    (fun node site_id ->
+      let site = wan.Wan.sites.(site_id) in
+      add "    <node id=\"n%d\">\n" node;
+      add "      <data key=\"name\">%s</data>\n" (escape site.Site.name);
+      add "      <data key=\"x\">%f</data>\n" site.Site.x;
+      add "      <data key=\"y\">%f</data>\n" site.Site.y;
+      add "    </node>\n")
+    wan.Wan.poc_sites;
+  Array.iter
+    (fun (l : Wan.logical_link) ->
+      add "    <edge id=\"e%d\" source=\"n%d\" target=\"n%d\">\n" l.Wan.id
+        l.Wan.node_a l.Wan.node_b;
+      add "      <data key=\"owner\">%s</data>\n"
+        (escape (Wan.link_owner_name wan l));
+      add "      <data key=\"capacity\">%f</data>\n" l.Wan.capacity;
+      add "      <data key=\"latency\">%f</data>\n" l.Wan.latency_ms;
+      add "      <data key=\"cost\">%f</data>\n" l.Wan.true_cost;
+      (match selected with
+      | Some f -> add "      <data key=\"selected\">%b</data>\n" (f l.Wan.id)
+      | None -> ());
+      add "    </edge>\n")
+    wan.Wan.links;
+  add "  </graph>\n</graphml>\n";
+  Buffer.contents buf
+
+let links_csv (wan : Wan.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "id,owner,node_a,node_b,capacity_gbps,latency_ms,distance_km,true_cost\n";
+  Array.iter
+    (fun (l : Wan.logical_link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%d,%f,%f,%f,%f\n" l.Wan.id
+           (Wan.link_owner_name wan l)
+           l.Wan.node_a l.Wan.node_b l.Wan.capacity l.Wan.latency_ms
+           l.Wan.distance_km l.Wan.true_cost))
+    wan.Wan.links;
+  Buffer.contents buf
+
+let sites_csv (wan : Wan.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "id,name,x_km,y_km,population,poc_router\n";
+  Array.iter
+    (fun (site : Site.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%f,%f,%f,%b\n" site.Site.id site.Site.name
+           site.Site.x site.Site.y site.Site.population
+           (wan.Wan.node_of_site.(site.Site.id) <> None)))
+    wan.Wan.sites;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,23 @@
+(** Interchange formats for generated substrates and auction results.
+
+    The paper's instance came from TopologyZoo's GraphML files; this
+    module closes the loop by emitting our synthetic substrates in
+    GraphML (nodes = POC routers with coordinates, edges = offered
+    logical links with owner/capacity/cost attributes) plus flat CSV
+    for links, so instances can be inspected in standard graph tooling
+    or diffed across seeds. *)
+
+val graphml : Wan.t -> ?selected:(int -> bool) -> unit -> string
+(** GraphML document for the offered-link graph; when [selected] is
+    given, each edge carries a [selected] boolean attribute. *)
+
+val links_csv : Wan.t -> string
+(** One row per offered logical link:
+    [id,owner,node_a,node_b,capacity_gbps,latency_ms,distance_km,true_cost]. *)
+
+val sites_csv : Wan.t -> string
+(** One row per city: [id,name,x_km,y_km,population,poc_router]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper so examples need no extra
+    dependencies.  Overwrites. *)

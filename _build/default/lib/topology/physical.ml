@@ -1,0 +1,123 @@
+module Prng = Poc_util.Prng
+module Graph = Poc_graph.Graph
+module Paths = Poc_graph.Paths
+
+type t = {
+  graph : Graph.t;
+  node_sites : int array; (* graph node -> site id *)
+  node_of_site : (int, int) Hashtbl.t;
+}
+
+let sites t = Array.copy t.node_sites
+
+let graph t = t.graph
+
+let sample_tier rng tiers =
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 tiers in
+  let target = Prng.float rng *. total in
+  let rec walk i acc =
+    if i >= Array.length tiers - 1 then snd tiers.(i)
+    else begin
+      let w, v = tiers.(i) in
+      if acc +. w >= target then v else walk (i + 1) (acc +. w)
+    end
+  in
+  walk 0 0.0
+
+let build rng all_sites ~footprint ~capacity_tiers ~shortcut_fraction =
+  let n = Array.length footprint in
+  if n = 0 then invalid_arg "Physical.build: empty footprint";
+  let g = Graph.create () in
+  Graph.add_nodes g n;
+  let node_sites = Array.copy footprint in
+  let node_of_site = Hashtbl.create n in
+  Array.iteri
+    (fun node site ->
+      if Hashtbl.mem node_of_site site then
+        invalid_arg "Physical.build: duplicate site in footprint";
+      Hashtbl.replace node_of_site site node)
+    footprint;
+  let site node = all_sites.(node_sites.(node)) in
+  let dist a b = Site.distance (site a) (site b) in
+  (* Prim's MST over Euclidean distances keeps the footprint connected
+     with realistic short spans. *)
+  if n > 1 then begin
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_from = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best_dist.(v) <- dist 0 v;
+      best_from.(v) <- 0
+    done;
+    for _ = 1 to n - 1 do
+      let pick = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!pick < 0 || best_dist.(v) < best_dist.(!pick))
+        then pick := v
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      let d = dist best_from.(v) v in
+      let capacity = sample_tier rng capacity_tiers in
+      ignore (Graph.add_edge g best_from.(v) v ~weight:(Float.max 1.0 d) ~capacity);
+      for u = 0 to n - 1 do
+        if (not in_tree.(u)) && dist v u < best_dist.(u) then begin
+          best_dist.(u) <- dist v u;
+          best_from.(u) <- v
+        end
+      done
+    done
+  end;
+  (* Waxman-style shortcuts: sample random pairs, accept with
+     probability decaying in distance, until we have added roughly
+     shortcut_fraction * (n-1) extra edges. *)
+  if n > 2 && shortcut_fraction > 0.0 then begin
+    let wanted =
+      int_of_float (Float.round (shortcut_fraction *. float_of_int (n - 1)))
+    in
+    let max_span =
+      let acc = ref 1.0 in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          acc := Float.max !acc (dist a b)
+        done
+      done;
+      !acc
+    in
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < wanted && !attempts < 50 * wanted do
+      incr attempts;
+      let a = Prng.int rng n in
+      let b = Prng.int rng n in
+      if a <> b then begin
+        let d = dist a b in
+        let accept = exp (-.d /. (0.25 *. max_span)) in
+        if Prng.bernoulli rng accept then begin
+          let capacity = sample_tier rng capacity_tiers in
+          ignore (Graph.add_edge g a b ~weight:(Float.max 1.0 d) ~capacity);
+          incr added
+        end
+      end
+    done
+  end;
+  { graph = g; node_sites; node_of_site }
+
+let path_metrics t site_a site_b =
+  match (Hashtbl.find_opt t.node_of_site site_a, Hashtbl.find_opt t.node_of_site site_b) with
+  | None, _ | _, None -> None
+  | Some a, Some b ->
+    if a = b then Some (0.0, infinity)
+    else begin
+      match Paths.shortest_path t.graph a b with
+      | None -> None
+      | Some path ->
+        let d = Paths.path_weight path in
+        let bottleneck =
+          List.fold_left
+            (fun acc (e : Graph.edge) -> Float.min acc e.capacity)
+            infinity path
+        in
+        Some (d, bottleneck)
+    end

@@ -1,0 +1,36 @@
+(** Per-operator physical wide-area networks.
+
+    Each Bandwidth Provider's offered logical links are backed by a
+    physical fiber network over its footprint of cities; a logical link
+    between two POC sites rides the BP-internal shortest physical path
+    (the paper: logical links "may involve several physical links").
+    We build each footprint network as a Euclidean minimum spanning
+    tree plus Waxman-style shortcut edges, the standard synthetic-WAN
+    recipe. *)
+
+type t
+
+val build :
+  Poc_util.Prng.t ->
+  Site.t array ->
+  footprint:int array ->
+  capacity_tiers:(float * float) array ->
+  shortcut_fraction:float ->
+  t
+(** [build rng sites ~footprint ~capacity_tiers ~shortcut_fraction]
+    builds a connected network over the site ids in [footprint].
+    [capacity_tiers] is a [(weight, gbps)] distribution for physical
+    link capacities; [shortcut_fraction] adds roughly that fraction of
+    extra edges relative to the MST edge count, biased toward short
+    spans.  Requires a non-empty footprint of distinct site ids. *)
+
+val sites : t -> int array
+(** Footprint site ids, in graph-node order. *)
+
+val graph : t -> Poc_graph.Graph.t
+
+val path_metrics : t -> int -> int -> (float * float) option
+(** [path_metrics t site_a site_b] is [(distance_km, bottleneck_gbps)]
+    along the internal shortest (by distance) path, or [None] when the
+    sites are not both in the footprint.  [Some (0., inf)] when
+    [site_a = site_b]. *)

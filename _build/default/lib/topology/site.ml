@@ -1,0 +1,58 @@
+type t = { id : int; name : string; x : float; y : float; population : float }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+(* Flavor names for the biggest metros; the rest are synthetic. *)
+let metro_names =
+  [|
+    "New York"; "Los Angeles"; "Chicago"; "Dallas"; "Ashburn"; "Seattle";
+    "San Jose"; "Atlanta"; "Miami"; "Denver"; "London"; "Frankfurt";
+    "Amsterdam"; "Paris"; "Madrid"; "Milan"; "Stockholm"; "Warsaw";
+    "Tokyo"; "Singapore"; "Sydney"; "Sao Paulo"; "Toronto"; "Mexico City";
+  |]
+
+let name_of_rank i =
+  if i < Array.length metro_names then metro_names.(i)
+  else Printf.sprintf "City-%03d" i
+
+let generate rng ~count ~extent_km =
+  if count <= 0 then invalid_arg "Site.generate: count must be positive";
+  if extent_km <= 0.0 then invalid_arg "Site.generate: extent must be positive";
+  (* A handful of metro anchors; smaller cities scatter around them with
+     some fully random fill, mimicking continental clustering. *)
+  let anchor_count = max 3 (count / 12) in
+  let anchors =
+    Array.init anchor_count (fun _ ->
+        (Poc_util.Prng.float_range rng 0.0 extent_km,
+         Poc_util.Prng.float_range rng 0.0 extent_km))
+  in
+  let clamp v = Float.max 0.0 (Float.min extent_km v) in
+  let position i =
+    if i < anchor_count then anchors.(i)
+    else if Poc_util.Prng.bernoulli rng 0.7 then begin
+      (* Satellite of a random anchor. *)
+      let ax, ay = Poc_util.Prng.pick rng anchors in
+      let radius = extent_km /. 12.0 in
+      ( clamp (ax +. Poc_util.Prng.gaussian rng ~mu:0.0 ~sigma:radius),
+        clamp (ay +. Poc_util.Prng.gaussian rng ~mu:0.0 ~sigma:radius) )
+    end
+    else
+      ( Poc_util.Prng.float_range rng 0.0 extent_km,
+        Poc_util.Prng.float_range rng 0.0 extent_km )
+  in
+  let zipf_weight i = 1.0 /. ((float_of_int i +. 1.0) ** 0.9) in
+  let raw =
+    Array.init count (fun i ->
+        let x, y = position i in
+        (i, x, y, zipf_weight i))
+  in
+  let total = Array.fold_left (fun acc (_, _, _, w) -> acc +. w) 0.0 raw in
+  Array.map
+    (fun (i, x, y, w) ->
+      { id = i; name = name_of_rank i; x; y; population = w /. total })
+    raw
+
+let pp ppf s =
+  Format.fprintf ppf "%s#%d(%.0f,%.0f pop=%.4f)" s.name s.id s.x s.y s.population

@@ -1,0 +1,26 @@
+(** Geographic sites (cities) for the synthetic wide-area substrate.
+
+    The paper builds its POC network from the Internet TopologyZoo
+    dataset; offline we generate a city map with the same relevant
+    structure: a few large metros, many mid-size cities, and a heavy
+    tail of small ones (population weights drive the gravity traffic
+    model and the colocation pattern). *)
+
+type t = {
+  id : int;
+  name : string;
+  x : float;          (** abstract map coordinate, in km *)
+  y : float;
+  population : float; (** relative weight, normalized to sum to 1 later *)
+}
+
+val distance : t -> t -> float
+(** Euclidean distance in km. *)
+
+val generate : Poc_util.Prng.t -> count:int -> extent_km:float -> t array
+(** [generate rng ~count ~extent_km] places [count] cities on an
+    [extent_km]-square map.  Cities cluster around a handful of metro
+    anchors and carry Zipf-distributed population weights (rank 1 is
+    the largest). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,465 @@
+module Prng = Poc_util.Prng
+module Graph = Poc_graph.Graph
+
+type owner = Bp of int | External_isp of int
+
+type logical_link = {
+  id : int;
+  owner : owner;
+  node_a : int;
+  node_b : int;
+  site_a : int;
+  site_b : int;
+  capacity : float;
+  latency_ms : float;
+  distance_km : float;
+  true_cost : float;
+}
+
+type bp = {
+  bp_id : int;
+  bp_name : string;
+  footprint : int array;
+  link_ids : int array;
+  share : float;
+  unit_cost_factor : float;
+}
+
+type external_isp = {
+  isp_id : int;
+  isp_name : string;
+  attachments : int array;
+  virtual_link_ids : int array;
+}
+
+type t = {
+  sites : Site.t array;
+  poc_sites : int array;
+  node_of_site : int option array;
+  graph : Graph.t;
+  links : logical_link array;
+  bps : bp array;
+  external_isps : external_isp array;
+}
+
+type params = {
+  n_sites : int;
+  extent_km : float;
+  n_operators : int;
+  n_bps : int;
+  operator_min_sites : int;
+  operator_max_sites : int;
+  colocation_threshold : int;
+  capacity_tiers : (float * float) array;
+  lease_fraction : float;
+  stretch_limit : float;
+  cost_fixed : float;
+  cost_per_gbps_km : float;
+  cost_noise : float;
+  n_external_isps : int;
+  external_attachments : int;
+  external_premium : float;
+}
+
+let default_params =
+  {
+    n_sites = 70;
+    extent_km = 5000.0;
+    n_operators = 32;
+    n_bps = 20;
+    operator_min_sites = 12;
+    operator_max_sites = 30;
+    colocation_threshold = 5;
+    capacity_tiers = [| (0.35, 100.0); (0.35, 200.0); (0.2, 400.0); (0.1, 800.0) |];
+    lease_fraction = 0.5;
+    stretch_limit = 1.5;
+    cost_fixed = 2_000.0;
+    cost_per_gbps_km = 0.45;
+    cost_noise = 0.08;
+    n_external_isps = 2;
+    external_attachments = 8;
+    external_premium = 3.0;
+  }
+
+(* Speed of light in fiber: roughly 200 km per millisecond. *)
+let latency_of_km km = Float.max 0.1 (km /. 200.0)
+
+let fiber_stretch = 1.2 (* fiber routes are longer than great-circle *)
+
+(* Sample an operator footprint: an anchor city (population-weighted)
+   plus a size-biased neighborhood around it, with a little long-range
+   scatter so large operators become continental. *)
+let sample_footprint rng (sites : Site.t array) ~size =
+  let n = Array.length sites in
+  let size = min size n in
+  let anchor =
+    (* population-weighted anchor *)
+    let target = Prng.float rng in
+    let rec walk i acc =
+      if i >= n - 1 then i
+      else begin
+        let acc = acc +. sites.(i).Site.population in
+        if acc >= target then i else walk (i + 1) acc
+      end
+    in
+    walk 0 0.0
+  in
+  let by_proximity =
+    Array.init n (fun i -> i)
+    |> Array.to_list
+    |> List.filter (fun i -> i <> anchor)
+    |> List.map (fun i -> (Site.distance sites.(anchor) sites.(i), i))
+    |> List.sort compare
+    |> List.map snd
+    |> Array.of_list
+  in
+  let chosen = Hashtbl.create size in
+  Hashtbl.replace chosen anchor ();
+  (* Mostly nearby sites, occasionally a far one. *)
+  let cursor = ref 0 in
+  while Hashtbl.length chosen < size do
+    let candidate =
+      if Prng.bernoulli rng 0.85 && !cursor < Array.length by_proximity then begin
+        let c = by_proximity.(!cursor) in
+        incr cursor;
+        c
+      end
+      else Prng.int rng n
+    in
+    if not (Hashtbl.mem chosen candidate) then Hashtbl.replace chosen candidate ()
+  done;
+  Hashtbl.fold (fun site () acc -> site :: acc) chosen []
+  |> List.sort compare |> Array.of_list
+
+let generate ?(params = default_params) ~seed () =
+  let p = params in
+  if p.n_bps <= 0 || p.n_operators < p.n_bps then
+    invalid_arg "Wan.generate: need n_operators >= n_bps > 0";
+  let rng = Prng.create seed in
+  let site_rng = Prng.split rng in
+  let op_rng = Prng.split rng in
+  let phys_rng = Prng.split rng in
+  let cost_rng = Prng.split rng in
+  let ext_rng = Prng.split rng in
+  let sites = Site.generate site_rng ~count:p.n_sites ~extent_km:p.extent_km in
+  (* Operators with heterogeneous sizes; operator o belongs to BP
+     (o mod n_bps), so BP 0 tends to aggregate more operators when
+     n_operators is not a multiple: combined with size skew this yields
+     the paper's 2%-12% share spread. *)
+  let op_size _ =
+    (* Mild power-law skew toward small operators with a heavy head. *)
+    let u = Prng.float op_rng in
+    let span = float_of_int (p.operator_max_sites - p.operator_min_sites) in
+    p.operator_min_sites + int_of_float ((u ** 1.6) *. span)
+  in
+  let operator_footprints =
+    Array.init p.n_operators (fun o ->
+        sample_footprint op_rng sites ~size:(op_size o))
+  in
+  let bp_sites = Array.make p.n_bps [] in
+  Array.iteri
+    (fun o fp ->
+      let b = o mod p.n_bps in
+      bp_sites.(b) <- Array.to_list fp @ bp_sites.(b))
+    operator_footprints;
+  let bp_footprints =
+    Array.map (fun l -> List.sort_uniq compare l |> Array.of_list) bp_sites
+  in
+  (* POC routers where enough BPs colocate. *)
+  let presence = Array.make p.n_sites 0 in
+  Array.iter
+    (fun fp -> Array.iter (fun s -> presence.(s) <- presence.(s) + 1) fp)
+    bp_footprints;
+  let poc_sites =
+    Array.to_list (Array.init p.n_sites (fun s -> s))
+    |> List.filter (fun s -> presence.(s) >= p.colocation_threshold)
+    |> Array.of_list
+  in
+  if Array.length poc_sites < 2 then
+    invalid_arg "Wan.generate: fewer than two POC sites; lower the threshold";
+  let node_of_site = Array.make p.n_sites None in
+  Array.iteri (fun node s -> node_of_site.(s) <- Some node) poc_sites;
+  let graph = Graph.create () in
+  Graph.add_nodes graph (Array.length poc_sites);
+  (* Physical networks and logical-link extraction per BP. *)
+  let links = ref [] in
+  let link_count = ref 0 in
+  let bp_records = ref [] in
+  for b = 0 to p.n_bps - 1 do
+    (* A BP whose footprint covers fewer than two POC sites leases
+       colocation at the nearest ones so it can offer at least one
+       logical link. *)
+    let footprint =
+      let fp = bp_footprints.(b) in
+      let poc_count =
+        Array.fold_left
+          (fun acc s -> if node_of_site.(s) <> None then acc + 1 else acc)
+          0 fp
+      in
+      if poc_count >= 2 then fp
+      else begin
+        let anchor = sites.(fp.(0)) in
+        let extra =
+          Array.to_list poc_sites
+          |> List.filter (fun s -> not (Array.exists (fun x -> x = s) fp))
+          |> List.map (fun s -> (Site.distance anchor sites.(s), s))
+          |> List.sort compare
+          |> List.filteri (fun i _ -> i < 2 - poc_count)
+          |> List.map snd
+        in
+        Array.of_list (List.sort_uniq compare (Array.to_list fp @ extra))
+      end
+    in
+    let unit_cost_factor = Prng.float_range cost_rng 0.95 1.08 in
+    let phys =
+      Physical.build phys_rng sites ~footprint ~capacity_tiers:p.capacity_tiers
+        ~shortcut_fraction:0.35
+    in
+    let poc_in_fp =
+      Array.to_list footprint
+      |> List.filter (fun s -> node_of_site.(s) <> None)
+      |> Array.of_list
+    in
+    let my_links = ref [] in
+    let m = Array.length poc_in_fp in
+    (* Candidate pairs with physical metrics, then the stretch filter;
+       when the filter would leave a BP with nothing, offer its single
+       straightest pair anyway. *)
+    let candidates = ref [] in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        let sa = poc_in_fp.(i) and sb = poc_in_fp.(j) in
+        match Physical.path_metrics phys sa sb with
+        | None -> ()
+        | Some (dist_km, bottleneck) ->
+          let euclid = Site.distance sites.(sa) sites.(sb) in
+          let stretch = if euclid < 1.0 then 1.0 else dist_km /. euclid in
+          candidates := (stretch, sa, sb, dist_km, bottleneck) :: !candidates
+      done
+    done;
+    let candidates = List.rev !candidates in
+    let offered =
+      match
+        List.filter (fun (stretch, _, _, _, _) -> stretch <= p.stretch_limit)
+          candidates
+      with
+      | _ :: _ as kept -> kept
+      | [] ->
+        (match List.sort compare candidates with
+        | best :: _ -> [ best ]
+        | [] -> [])
+    in
+    List.iter
+      (fun (_, sa, sb, dist_km, bottleneck) ->
+        let capacity =
+          Float.max 10.0 (Float.min 400.0 (bottleneck *. p.lease_fraction))
+        in
+        let distance_km = Float.max 1.0 (dist_km *. fiber_stretch) in
+        let noise =
+          1.0 +. (p.cost_noise *. ((2.0 *. Prng.float cost_rng) -. 1.0))
+        in
+        let true_cost =
+          (p.cost_fixed +. (p.cost_per_gbps_km *. capacity *. distance_km))
+          *. unit_cost_factor *. noise
+        in
+        let node_a = Option.get node_of_site.(sa) in
+        let node_b = Option.get node_of_site.(sb) in
+        let latency_ms = latency_of_km distance_km in
+        let id = !link_count in
+        let edge_id =
+          Graph.add_edge graph node_a node_b ~weight:latency_ms ~capacity
+        in
+        assert (edge_id = id);
+        let link =
+          { id; owner = Bp b; node_a; node_b; site_a = sa; site_b = sb;
+            capacity; latency_ms; distance_km; true_cost }
+        in
+        links := link :: !links;
+        my_links := id :: !my_links;
+        incr link_count)
+      offered;
+    bp_records :=
+      (b, footprint, Array.of_list (List.rev !my_links), unit_cost_factor)
+      :: !bp_records
+  done;
+  (* External ISPs: attach at the highest-population POC sites and
+     provide contracted virtual links between their attachment points. *)
+  let poc_by_population =
+    Array.to_list poc_sites
+    |> List.mapi (fun node s -> (sites.(s).Site.population, node))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd |> Array.of_list
+  in
+  let external_isps = ref [] in
+  for e = 0 to p.n_external_isps - 1 do
+    let k = min p.external_attachments (Array.length poc_by_population) in
+    (* Overlapping but distinct attachment sets: slide a window and add
+       one random site for variety. *)
+    let base =
+      Array.init k (fun i ->
+          poc_by_population.((i + (e * 2)) mod Array.length poc_by_population))
+    in
+    let attachments = Array.of_list (List.sort_uniq compare (Array.to_list base)) in
+    let vlinks = ref [] in
+    let m = Array.length attachments in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        let na = attachments.(i) and nb = attachments.(j) in
+        let sa = poc_sites.(na) and sb = poc_sites.(nb) in
+        let euclid = Site.distance sites.(sa) sites.(sb) in
+        let distance_km = Float.max 1.0 (euclid *. fiber_stretch *. 1.15) in
+        let capacity = 400.0 in
+        let true_cost =
+          p.external_premium
+          *. (p.cost_fixed +. (p.cost_per_gbps_km *. capacity *. distance_km))
+        in
+        let latency_ms = latency_of_km distance_km *. 1.25 in
+        let id = !link_count in
+        let edge_id = Graph.add_edge graph na nb ~weight:latency_ms ~capacity in
+        assert (edge_id = id);
+        let link =
+          { id; owner = External_isp e; node_a = na; node_b = nb;
+            site_a = sa; site_b = sb; capacity; latency_ms; distance_km;
+            true_cost }
+        in
+        links := link :: !links;
+        vlinks := id :: !vlinks;
+        incr link_count
+      done
+    done;
+    ignore (Prng.float ext_rng);
+    external_isps :=
+      { isp_id = e; isp_name = Printf.sprintf "ExtISP-%d" e;
+        attachments; virtual_link_ids = Array.of_list (List.rev !vlinks) }
+      :: !external_isps
+  done;
+  (* Thinly-served POC routers (fewer than two offered links) reach the
+     fabric through external transit: add virtual links from external
+     ISP 0 to their two nearest peers, so the offer pool is 2-connected
+     at every router and the per-pair failure constraint is meaningful. *)
+  if p.n_external_isps > 0 then begin
+    let n_nodes = Array.length poc_sites in
+    let extra_vlinks = ref [] in
+    for node = 0 to n_nodes - 1 do
+      let deficit = 2 - Graph.degree graph node in
+      if deficit > 0 then begin
+        let here = sites.(poc_sites.(node)) in
+        let neighbors_now =
+          Graph.neighbors graph node |> List.map fst
+          |> List.sort_uniq compare
+        in
+        let nearest =
+          List.init n_nodes Fun.id
+          |> List.filter (fun other ->
+                 other <> node && not (List.mem other neighbors_now))
+          |> List.map (fun other ->
+                 (Site.distance here sites.(poc_sites.(other)), other))
+          |> List.sort compare
+          |> List.filteri (fun i _ -> i < deficit)
+          |> List.map snd
+        in
+        List.iter
+          (fun other ->
+            let sa = poc_sites.(node) and sb = poc_sites.(other) in
+            let euclid = Site.distance sites.(sa) sites.(sb) in
+            let distance_km = Float.max 1.0 (euclid *. fiber_stretch *. 1.15) in
+            let capacity = 400.0 in
+            let true_cost =
+              p.external_premium
+              *. (p.cost_fixed +. (p.cost_per_gbps_km *. capacity *. distance_km))
+            in
+            let latency_ms = latency_of_km distance_km *. 1.25 in
+            let id = !link_count in
+            let edge_id =
+              Graph.add_edge graph node other ~weight:latency_ms ~capacity
+            in
+            assert (edge_id = id);
+            let link =
+              { id; owner = External_isp 0; node_a = node; node_b = other;
+                site_a = sa; site_b = sb; capacity; latency_ms; distance_km;
+                true_cost }
+            in
+            links := link :: !links;
+            extra_vlinks := id :: !extra_vlinks;
+            incr link_count)
+          nearest
+      end
+    done;
+    match !extra_vlinks with
+    | [] -> ()
+    | extra ->
+      external_isps :=
+        List.map
+          (fun isp ->
+            if isp.isp_id = 0 then
+              {
+                isp with
+                virtual_link_ids =
+                  Array.append isp.virtual_link_ids
+                    (Array.of_list (List.rev extra));
+              }
+            else isp)
+          !external_isps
+  end;
+  let links = Array.of_list (List.rev !links) in
+  let bp_total =
+    Array.fold_left
+      (fun acc l -> match l.owner with Bp _ -> acc + 1 | External_isp _ -> acc)
+      0 links
+  in
+  let bps =
+    List.rev !bp_records
+    |> List.map (fun (b, footprint, link_ids, unit_cost_factor) ->
+           {
+             bp_id = b;
+             bp_name = Printf.sprintf "BP-%02d" b;
+             footprint;
+             link_ids;
+             share =
+               (if bp_total = 0 then 0.0
+                else float_of_int (Array.length link_ids) /. float_of_int bp_total);
+             unit_cost_factor;
+           })
+    |> Array.of_list
+  in
+  {
+    sites;
+    poc_sites;
+    node_of_site;
+    graph;
+    links;
+    bps = Array.of_list (Array.to_list bps); (* dense copy *)
+    external_isps = Array.of_list (List.rev !external_isps);
+  }
+
+let bp_link_ids t b =
+  if b < 0 || b >= Array.length t.bps then invalid_arg "Wan.bp_link_ids";
+  Array.to_list t.bps.(b).link_ids
+
+let virtual_link_ids t =
+  Array.to_list t.external_isps
+  |> List.concat_map (fun isp -> Array.to_list isp.virtual_link_ids)
+
+let bps_by_size t =
+  Array.to_list t.bps
+  |> List.sort (fun a b -> compare (Array.length b.link_ids) (Array.length a.link_ids))
+  |> List.map (fun bp -> bp.bp_id)
+
+let total_offered_links t = Array.length t.links
+
+let link_owner_name t link =
+  match link.owner with
+  | Bp b -> t.bps.(b).bp_name
+  | External_isp e -> t.external_isps.(e).isp_name
+
+let summary t =
+  let bp_links = Array.length t.links - List.length (virtual_link_ids t) in
+  let shares = Array.map (fun bp -> bp.share) t.bps in
+  let smin = Array.fold_left Float.min infinity shares in
+  let smax = Array.fold_left Float.max 0.0 shares in
+  Printf.sprintf
+    "%d sites, %d POC routers, %d BPs offering %d logical links (shares %.1f%%-%.1f%%), %d external ISPs with %d virtual links"
+    (Array.length t.sites) (Array.length t.poc_sites) (Array.length t.bps)
+    bp_links (100.0 *. smin) (100.0 *. smax)
+    (Array.length t.external_isps)
+    (List.length (virtual_link_ids t))

@@ -1,0 +1,102 @@
+(** The POC-facing wide-area substrate: Bandwidth Providers, POC router
+    sites, and the pool of offered logical links.
+
+    This reproduces the Figure 2 setup of the paper offline: the paper
+    took TopologyZoo, merged networks into 20 BPs, placed POC routers
+    where four or more BPs colocate, and obtained 4674 logical links
+    between POC routers with BP shares ranging from ~2% to ~12%.  We
+    generate a synthetic map with the same structural properties (see
+    DESIGN.md for the substitution argument). *)
+
+type owner =
+  | Bp of int            (** indexed into {!field:t.bps} *)
+  | External_isp of int  (** indexed into {!field:t.external_isps} *)
+
+type logical_link = {
+  id : int;            (** dense id; equals the edge id in {!field:t.graph} *)
+  owner : owner;
+  node_a : int;        (** POC router index (graph node) *)
+  node_b : int;
+  site_a : int;        (** underlying site ids *)
+  site_b : int;
+  capacity : float;    (** leasable bandwidth, Gbps *)
+  latency_ms : float;
+  distance_km : float; (** physical path length *)
+  true_cost : float;   (** owner's private monthly cost (USD); for
+                           virtual links, the contracted price *)
+}
+
+type bp = {
+  bp_id : int;
+  bp_name : string;
+  footprint : int array;      (** site ids where the BP has presence *)
+  link_ids : int array;       (** offered logical links *)
+  share : float;              (** fraction of all BP logical links *)
+  unit_cost_factor : float;   (** BP-specific cost efficiency *)
+}
+
+type external_isp = {
+  isp_id : int;
+  isp_name : string;
+  attachments : int array;    (** POC router indices *)
+  virtual_link_ids : int array;
+}
+
+type t = {
+  sites : Site.t array;
+  poc_sites : int array;          (** POC router index -> site id *)
+  node_of_site : int option array;(** site id -> POC router index *)
+  graph : Poc_graph.Graph.t;      (** nodes = POC routers, edges = all
+                                      offered links (BP + virtual);
+                                      weight = latency, capacity = Gbps *)
+  links : logical_link array;     (** indexed by link id *)
+  bps : bp array;
+  external_isps : external_isp array;
+}
+
+type params = {
+  n_sites : int;
+  extent_km : float;
+  n_operators : int;         (** raw operator networks merged into BPs *)
+  n_bps : int;
+  operator_min_sites : int;
+  operator_max_sites : int;
+  colocation_threshold : int;(** #BPs present for a site to host a POC router *)
+  capacity_tiers : (float * float) array; (** (weight, gbps) physical tiers *)
+  lease_fraction : float;    (** leasable share of physical bottleneck *)
+  stretch_limit : float;     (** max physical/euclidean distance ratio offered *)
+  cost_fixed : float;        (** $/month per link *)
+  cost_per_gbps_km : float;  (** $/month per Gbps*km *)
+  cost_noise : float;        (** lognormal-ish multiplicative noise amplitude *)
+  n_external_isps : int;
+  external_attachments : int;(** POC sites per external ISP *)
+  external_premium : float;  (** contracted virtual-link price multiplier *)
+}
+
+val default_params : params
+(** Tuned so that the generated instance matches the paper's scale:
+    20 BPs, BP link shares spanning roughly 2%-12%, and on the order
+    of 4-5k offered logical links. *)
+
+val generate : ?params:params -> seed:int -> unit -> t
+(** Deterministic generation from a seed.  Guarantees: the offered-link
+    graph over POC routers is connected, every BP owns at least one
+    link, and every virtual link connects distinct POC routers. *)
+
+val bp_link_ids : t -> int -> int list
+(** Link ids owned by a BP. *)
+
+val virtual_link_ids : t -> int list
+(** All virtual (external-ISP) link ids. *)
+
+val bps_by_size : t -> int list
+(** BP ids sorted by decreasing number of offered links (the paper's
+    "five largest BPs" ordering). *)
+
+val total_offered_links : t -> int
+
+val link_owner_name : t -> logical_link -> string
+
+val summary : t -> string
+(** Human-readable one-paragraph description (sites, POC routers,
+    links, share range). *)

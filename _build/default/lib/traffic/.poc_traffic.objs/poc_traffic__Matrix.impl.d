@@ -1,0 +1,1 @@
+lib/traffic/matrix.ml: Array Float Format Hashtbl List Poc_topology Poc_util

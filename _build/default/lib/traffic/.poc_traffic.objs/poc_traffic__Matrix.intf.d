@@ -1,0 +1,1 @@
+lib/traffic/matrix.mli: Format Poc_topology Poc_util

@@ -1,0 +1,122 @@
+module Prng = Poc_util.Prng
+module Wan = Poc_topology.Wan
+module Site = Poc_topology.Site
+
+type t = { demand : float array array }
+
+let dim t = Array.length t.demand
+
+let get t i j = t.demand.(i).(j)
+
+let total t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left ( +. ) acc row)
+    0.0 t.demand
+
+let max_entry t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Float.max acc row)
+    0.0 t.demand
+
+let scale t factor =
+  { demand = Array.map (Array.map (fun x -> x *. factor)) t.demand }
+
+let pair_demands t =
+  let n = dim t in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j && t.demand.(i).(j) > 0.0 then
+        acc := (i, j, t.demand.(i).(j)) :: !acc
+    done
+  done;
+  !acc
+
+let undirected_pair_demands t =
+  let n = dim t in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      let d = t.demand.(i).(j) +. t.demand.(j).(i) in
+      if d > 0.0 then acc := (i, j, d) :: !acc
+    done
+  done;
+  !acc
+
+let rescale_to demand target =
+  let current =
+    Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 demand
+  in
+  if current <= 0.0 then demand
+  else begin
+    let f = target /. current in
+    Array.map (Array.map (fun x -> x *. f)) demand
+  end
+
+let gravity rng (wan : Wan.t) ~total_gbps ?(content_skew = 0.3) () =
+  if total_gbps < 0.0 then invalid_arg "Matrix.gravity: negative total";
+  let n = Array.length wan.poc_sites in
+  let pop node = wan.sites.(wan.poc_sites.(node)).Site.population in
+  (* Top-population quartile plays the role of content-heavy nodes. *)
+  let order =
+    Array.init n (fun i -> i) |> Array.to_list
+    |> List.sort (fun a b -> compare (pop b) (pop a))
+  in
+  let content = Hashtbl.create 16 in
+  List.iteri (fun rank node -> if rank < max 1 (n / 4) then Hashtbl.replace content node ()) order;
+  let demand =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0
+            else begin
+              let noise = 0.5 +. Prng.float rng in
+              let base = pop i *. pop j *. noise in
+              let skew =
+                if Hashtbl.mem content i || Hashtbl.mem content j then
+                  1.0 +. content_skew
+                else 1.0 -. content_skew
+              in
+              base *. skew
+            end))
+  in
+  { demand = rescale_to demand total_gbps }
+
+let uniform (wan : Wan.t) ~total_gbps =
+  let n = Array.length wan.poc_sites in
+  let pairs = float_of_int (n * (n - 1)) in
+  let per = if pairs = 0.0 then 0.0 else total_gbps /. pairs in
+  { demand = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else per)) }
+
+let with_hotspots rng t ~count ~multiplier =
+  if count < 0 || multiplier < 0.0 then invalid_arg "Matrix.with_hotspots";
+  let n = dim t in
+  if n < 2 then t
+  else begin
+    let before = total t in
+    let demand = Array.map Array.copy t.demand in
+    for _ = 1 to count do
+      let i = Prng.int rng n in
+      let j = Prng.int rng n in
+      if i <> j then demand.(i).(j) <- demand.(i).(j) *. multiplier
+    done;
+    { demand = rescale_to demand before }
+  end
+
+let validate t =
+  let n = dim t in
+  let problem = ref None in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then problem := Some "matrix is not square";
+      Array.iteri
+        (fun j x ->
+          if not (Float.is_finite x) then problem := Some "non-finite demand"
+          else if x < 0.0 then problem := Some "negative demand"
+          else if i = j && x <> 0.0 then problem := Some "nonzero diagonal")
+        row)
+    t.demand;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "traffic(%dx%d, total=%.1f Gbps, max=%.2f Gbps)" (dim t)
+    (dim t) (total t) (max_entry t)

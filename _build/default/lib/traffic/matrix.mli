@@ -1,0 +1,54 @@
+(** Traffic matrices between POC attachment points.
+
+    The auction (Section 3.3) assumes "some upper-bound estimate of its
+    traffic matrix".  We provide the standard synthetic choices: a
+    gravity model driven by site populations (the default for
+    Figure 2), a uniform matrix, and hotspot/scaling transforms for
+    sensitivity sweeps.  Entries are demands in Gbps from row node to
+    column node; diagonals are zero. *)
+
+type t = { demand : float array array }
+
+val dim : t -> int
+
+val get : t -> int -> int -> float
+
+val total : t -> float
+(** Sum of all entries. *)
+
+val max_entry : t -> float
+
+val scale : t -> float -> t
+(** Multiply every entry. *)
+
+val pair_demands : t -> (int * int * float) list
+(** All [(src, dst, gbps)] triples with positive demand. *)
+
+val undirected_pair_demands : t -> (int * int * float) list
+(** Demand aggregated per unordered pair [(i, j, d_ij + d_ji)] with
+    [i < j]; this is what capacity planning on undirected links uses. *)
+
+val gravity :
+  Poc_util.Prng.t -> Poc_topology.Wan.t -> total_gbps:float ->
+  ?content_skew:float -> unit -> t
+(** [gravity rng wan ~total_gbps ()] builds a gravity-model matrix over
+    the POC routers of [wan]: demand between nodes is proportional to
+    the product of their site populations, with multiplicative noise.
+    [content_skew] (default 0.3) moves that fraction of each node's
+    outbound volume toward the top-population ("content-heavy") nodes,
+    mimicking eyeball-to-content asymmetry.  The result sums to
+    [total_gbps]. *)
+
+val uniform : Poc_topology.Wan.t -> total_gbps:float -> t
+(** Equal demand between every ordered pair. *)
+
+val with_hotspots :
+  Poc_util.Prng.t -> t -> count:int -> multiplier:float -> t
+(** Amplify [count] random ordered pairs by [multiplier], then rescale
+    so the total is unchanged. *)
+
+val validate : t -> (unit, string) result
+(** Checks: square, non-negative, zero diagonal, finite. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dimension and aggregate volume; not the full matrix. *)

@@ -1,0 +1,73 @@
+let golden = (sqrt 5.0 -. 1.0) /. 2.0
+
+let maximize_unimodal ?(tol = 1e-9) ?(max_iter = 500) ~lo ~hi f =
+  if lo > hi then invalid_arg "Numeric.maximize_unimodal: lo > hi";
+  let rec loop a b x1 x2 f1 f2 iter =
+    if iter >= max_iter || b -. a < tol then (a +. b) /. 2.0
+    else if f1 < f2 then begin
+      let a = x1 in
+      let x1 = x2 in
+      let f1 = f2 in
+      let x2 = a +. (golden *. (b -. a)) in
+      loop a b x1 x2 f1 (f x2) (iter + 1)
+    end
+    else begin
+      let b = x2 in
+      let x2 = x1 in
+      let f2 = f1 in
+      let x1 = b -. (golden *. (b -. a)) in
+      loop a b x1 x2 (f x1) f2 (iter + 1)
+    end
+  in
+  let x1 = hi -. (golden *. (hi -. lo)) in
+  let x2 = lo +. (golden *. (hi -. lo)) in
+  loop lo hi x1 x2 (f x1) (f x2) 0
+
+let bisect ?(tol = 1e-10) ?(max_iter = 200) ~lo ~hi f =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then Some lo
+  else if fhi = 0.0 then Some hi
+  else if flo *. fhi > 0.0 then None
+  else begin
+    let rec loop lo hi flo iter =
+      let mid = (lo +. hi) /. 2.0 in
+      if hi -. lo < tol || iter >= max_iter then Some mid
+      else begin
+        let fmid = f mid in
+        if fmid = 0.0 then Some mid
+        else if flo *. fmid < 0.0 then loop lo mid flo (iter + 1)
+        else loop mid hi fmid (iter + 1)
+      end
+    in
+    loop lo hi flo 0
+  end
+
+let fixed_point ?(tol = 1e-9) ?(max_iter = 10_000) ?(damping = 0.5) ~init g =
+  let rec loop x iter =
+    if iter >= max_iter then None
+    else begin
+      let gx = g x in
+      if Float.abs (gx -. x) < tol then Some (gx, iter)
+      else loop (((1.0 -. damping) *. x) +. (damping *. gx)) (iter + 1)
+    end
+  in
+  loop init 0
+
+let derivative ?(h = 1e-6) f x = (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+let integrate ?(n = 1000) ~lo ~hi f =
+  if hi <= lo then 0.0
+  else begin
+    let n = if n mod 2 = 0 then n else n + 1 in
+    let h = (hi -. lo) /. float_of_int n in
+    let rec sum i acc =
+      if i >= n then acc
+      else begin
+        let x = lo +. (float_of_int i *. h) in
+        let coeff = if i mod 2 = 1 then 4.0 else 2.0 in
+        sum (i + 1) (acc +. (coeff *. f x))
+      end
+    in
+    let interior = sum 1 0.0 in
+    h /. 3.0 *. (f lo +. interior +. f hi)
+  end

@@ -1,0 +1,32 @@
+(** Scalar numerical routines used by the economic model.
+
+    The Section 4 model needs three primitives: maximizing a unimodal
+    revenue curve (CSP and LMP pricing), finding the root of a
+    first-order condition, and iterating a renegotiation map to its
+    fixed point. *)
+
+val maximize_unimodal :
+  ?tol:float -> ?max_iter:int -> lo:float -> hi:float -> (float -> float) -> float
+(** [maximize_unimodal ~lo ~hi f] returns the argmax of a unimodal [f]
+    on [\[lo, hi\]] by golden-section search.  Accurate to [tol]
+    (default [1e-9]) in the argument. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> lo:float -> hi:float -> (float -> float) -> float option
+(** [bisect ~lo ~hi f] finds a root of [f] assuming a sign change over
+    [\[lo, hi\]]; [None] when [f lo] and [f hi] share a sign. *)
+
+val fixed_point :
+  ?tol:float -> ?max_iter:int -> ?damping:float -> init:float -> (float -> float) ->
+  (float * int) option
+(** [fixed_point ~init g] iterates [x <- (1-d)*x + d*g(x)] (damping [d],
+    default 0.5) until [|g(x) - x| < tol]; returns the point and the
+    iteration count, or [None] if it fails to converge within
+    [max_iter] (default 10_000). *)
+
+val derivative : ?h:float -> (float -> float) -> float -> float
+(** Central-difference numerical derivative. *)
+
+val integrate : ?n:int -> lo:float -> hi:float -> (float -> float) -> float
+(** Composite Simpson integration with [n] panels (default 1000,
+    rounded up to even). *)

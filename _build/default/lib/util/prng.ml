@@ -1,0 +1,96 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: mixes the incremented counter into a
+   high-quality 64-bit output. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix s }
+
+let float t =
+  (* Use the top 53 bits for a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t lo hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (int64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.add Int64.max_int 1L) b then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Prng.int_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  let u = 1.0 -. float t in
+  -.log u /. rate
+
+let pareto t ~alpha ~xmin =
+  if alpha <= 0.0 || xmin <= 0.0 then invalid_arg "Prng.pareto";
+  let u = 1.0 -. float t in
+  xmin /. (u ** (1.0 /. alpha))
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t and u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > length";
+  let copy = Array.copy arr in
+  (* Partial Fisher-Yates: the first k slots become the sample. *)
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

@@ -1,0 +1,82 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = mn;
+    max = mx;
+    p50 = percentile xs 0.5;
+    p90 = percentile xs 0.9;
+    p99 = percentile xs 0.99;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+let weighted_mean pairs =
+  let wsum = Array.fold_left (fun a (w, _) -> a +. w) 0.0 pairs in
+  if wsum = 0.0 then 0.0
+  else Array.fold_left (fun a (w, v) -> a +. (w *. v)) 0.0 pairs /. wsum
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.histogram: empty sample";
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  let width = if mx = mn then 1.0 else (mx -. mn) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. mn) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (mn +. (float_of_int i *. width), c)) counts

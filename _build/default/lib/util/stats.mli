@@ -1,0 +1,38 @@
+(** Small descriptive-statistics toolkit used by experiments and tests. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** One-pass summary of a sample. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [\[0,1\]], by linear interpolation on the
+    sorted sample.  Raises [Invalid_argument] on an empty array. *)
+
+val summarize : float array -> summary
+(** Full summary.  Raises [Invalid_argument] on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean pairs] where each pair is [(weight, value)];
+    0 when total weight is 0. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] is [(bin_lower_bound, count)] per bin over the
+    sample range.  Requires [bins > 0] and a non-empty sample. *)

@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let fmt_float ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
+
+let normalize width row =
+  let n = List.length row in
+  if n = width then row
+  else if n > width then List.filteri (fun i _ -> i < width) row
+  else row @ List.init (width - n) (fun _ -> "")
+
+let render ?align ~header rows =
+  let width = List.length header in
+  let rows = List.map (normalize width) rows in
+  let align =
+    match align with
+    | Some a -> normalize width (List.map (fun _ -> "") a) |> List.mapi (fun i _ ->
+        match List.nth_opt a i with Some x -> x | None -> Left)
+    | None -> List.init width (fun _ -> Left)
+  in
+  let cells = header :: rows in
+  let col_width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 cells
+  in
+  let widths = List.init width col_width in
+  let pad a w s =
+    let missing = w - String.length s in
+    if missing <= 0 then s
+    else begin
+      match a with
+      | Left -> s ^ String.make missing ' '
+      | Right -> String.make missing ' ' ^ s
+    end
+  in
+  let render_row row =
+    List.mapi (fun i cell -> pad (List.nth align i) (List.nth widths i) cell) row
+    |> String.concat "  "
+  in
+  let sep = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: sep :: body) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

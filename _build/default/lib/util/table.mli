@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output.
+
+    Benches print paper-style rows; this keeps the formatting in one
+    place so every experiment reports through the same look. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a monospace table with a separator
+    under the header.  Rows shorter than the header are padded with
+    empty cells; longer rows are truncated.  [align] defaults to
+    left-aligned for every column. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-decimal rendering used across experiment tables
+    (default 4 decimals). *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

@@ -1,0 +1,1 @@
+test/test_auction.ml: Alcotest Array Lazy List Poc_auction Poc_graph Poc_topology Poc_traffic Poc_util Printf QCheck QCheck_alcotest String

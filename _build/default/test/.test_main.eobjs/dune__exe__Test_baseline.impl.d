@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Float Fun Lazy List Poc_baseline Poc_util QCheck QCheck_alcotest String

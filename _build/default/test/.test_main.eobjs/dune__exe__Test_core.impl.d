@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fixtures Float Fun Lazy List Poc_auction Poc_core Poc_graph Poc_mcf Poc_topology Poc_traffic Poc_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_econ.ml: Alcotest Array Float List Poc_econ Poc_util Printf QCheck QCheck_alcotest

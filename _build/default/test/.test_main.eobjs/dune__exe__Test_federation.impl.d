@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Array Fixtures Lazy List Poc_auction Poc_core Poc_federation Poc_topology Poc_traffic String

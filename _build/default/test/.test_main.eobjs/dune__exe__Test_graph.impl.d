@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun List Poc_graph Poc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_market.ml: Alcotest Array Fixtures Lazy List Poc_auction Poc_core Poc_market

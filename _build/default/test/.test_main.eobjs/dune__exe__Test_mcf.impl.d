@@ -1,0 +1,1 @@
+test/test_mcf.ml: Alcotest Array Float List Poc_graph Poc_mcf Poc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fixtures Lazy List Poc_core Poc_sim Poc_traffic Poc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Filename Fun Lazy List Poc_graph Poc_topology Poc_util QCheck QCheck_alcotest String Sys

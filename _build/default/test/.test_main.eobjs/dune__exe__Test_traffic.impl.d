@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Lazy List Poc_topology Poc_traffic Poc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List Poc_util QCheck QCheck_alcotest String

@@ -1,0 +1,13 @@
+(* Shared expensive fixtures, built lazily once per test run. *)
+
+module Planner = Poc_core.Planner
+
+let small_config =
+  Planner.scaled_config ~sites:24 ~bps:6
+    { Planner.default_config with Planner.seed = 11 }
+
+let small_plan =
+  lazy
+    (match Planner.build small_config with
+    | Ok plan -> plan
+    | Error msg -> failwith ("fixture plan failed: " ^ msg))

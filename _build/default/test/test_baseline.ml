@@ -1,0 +1,316 @@
+(* Tests for Poc_baseline: AS hierarchy generation, Gao-Rexford BGP
+   routing (valley-freeness, preference order) and transit cash flows. *)
+
+module As_graph = Poc_baseline.As_graph
+module Bgp = Poc_baseline.Bgp
+module Cashflow = Poc_baseline.Cashflow
+
+let graph = lazy (As_graph.generate ~seed:5 ())
+
+(* A hand-built hierarchy where every route is known:
+
+     T1a --peer-- T1b
+      |            |
+     TrA          TrB        (customers of T1a / T1b)
+      |  \        |
+     Ea   Cb     Eb          (stubs; Cb multihomes to TrA and TrB)   *)
+let tiny () =
+  let kinds =
+    [| As_graph.Tier1; As_graph.Tier1; As_graph.Transit; As_graph.Transit;
+       As_graph.Eyeball_stub; As_graph.Content_stub; As_graph.Eyeball_stub |]
+  in
+  let names = Array.map As_graph.kind_name kinds in
+  let links =
+    [|
+      { As_graph.a = 0; b = 1; rel = As_graph.Peer_peer };
+      { As_graph.a = 2; b = 0; rel = As_graph.Customer_provider };
+      { As_graph.a = 3; b = 1; rel = As_graph.Customer_provider };
+      { As_graph.a = 4; b = 2; rel = As_graph.Customer_provider };
+      { As_graph.a = 5; b = 2; rel = As_graph.Customer_provider };
+      { As_graph.a = 5; b = 3; rel = As_graph.Customer_provider };
+      { As_graph.a = 6; b = 3; rel = As_graph.Customer_provider };
+    |]
+  in
+  let n = Array.length kinds in
+  let providers = Array.make n [] in
+  let customers = Array.make n [] in
+  let peers = Array.make n [] in
+  Array.iter
+    (fun (l : As_graph.link) ->
+      match l.As_graph.rel with
+      | As_graph.Customer_provider ->
+        providers.(l.As_graph.a) <- l.As_graph.b :: providers.(l.As_graph.a);
+        customers.(l.As_graph.b) <- l.As_graph.a :: customers.(l.As_graph.b)
+      | As_graph.Peer_peer ->
+        peers.(l.As_graph.a) <- l.As_graph.b :: peers.(l.As_graph.a);
+        peers.(l.As_graph.b) <- l.As_graph.a :: peers.(l.As_graph.b))
+    links;
+  { As_graph.kinds; names; links; providers; customers; peers }
+
+let test_generated_validates () =
+  match As_graph.validate (Lazy.force graph) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_tiny_validates () =
+  match As_graph.validate (tiny ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_stub_classification () =
+  let g = Lazy.force graph in
+  let stubs = As_graph.stubs g in
+  Alcotest.(check int) "30 eyeballs + 10 content" 40 (List.length stubs);
+  List.iter
+    (fun s -> Alcotest.(check bool) "is_stub" true (As_graph.is_stub g s))
+    stubs
+
+(* --- BGP ------------------------------------------------------------------- *)
+
+let test_customer_route_preferred () =
+  let g = tiny () in
+  (* From TrA (2) to Ea (4): customer route, one hop. *)
+  let table = Bgp.routes_to g 4 in
+  match table.(2) with
+  | Some r ->
+    Alcotest.(check bool) "via customer" true (r.Bgp.kind = Bgp.Via_customer);
+    Alcotest.(check int) "one hop" 1 r.Bgp.as_path_len
+  | None -> Alcotest.fail "route must exist"
+
+let test_peer_route_used_across_tier1 () =
+  let g = tiny () in
+  (* Ea (4) to Eb (6): up to TrA, T1a, peer to T1b, down TrB, Eb. *)
+  match Bgp.as_path g ~src:4 ~dst:6 with
+  | None -> Alcotest.fail "must be reachable"
+  | Some path ->
+    Alcotest.(check (list int)) "the valley-free path" [ 4; 2; 0; 1; 3; 6 ] path;
+    Alcotest.(check bool) "valley free" true (Bgp.valley_free g path)
+
+let test_multihomed_stub_shortcut () =
+  let g = tiny () in
+  (* Cb (5) reaches Eb (6) via TrB (3) directly: 5-3-6. *)
+  match Bgp.as_path g ~src:5 ~dst:6 with
+  | None -> Alcotest.fail "must be reachable"
+  | Some path -> Alcotest.(check (list int)) "short branch" [ 5; 3; 6 ] path
+
+let test_no_transit_through_stub () =
+  let g = tiny () in
+  (* Ea (4) to Cb (5): must go 4-2-5, never through another stub. *)
+  match Bgp.as_path g ~src:4 ~dst:5 with
+  | None -> Alcotest.fail "must be reachable"
+  | Some path ->
+    Alcotest.(check (list int)) "via shared transit" [ 4; 2; 5 ] path
+
+let test_full_reachability_tiny () =
+  let g = tiny () in
+  Alcotest.(check int) "all ordered pairs reachable" (7 * 6)
+    (Bgp.reachable_pairs g)
+
+let test_valley_free_rejects_valleys () =
+  let g = tiny () in
+  (* 2-5-3: down to a stub then up again — a valley. *)
+  Alcotest.(check bool) "valley rejected" false (Bgp.valley_free g [ 2; 5; 3 ]);
+  (* 0-1 then 1-0 peer twice is also invalid. *)
+  Alcotest.(check bool) "double peer rejected" false (Bgp.valley_free g [ 2; 0; 1; 0 ])
+
+let qcheck_generated_paths_valley_free =
+  QCheck.Test.make ~name:"all BGP paths valley-free (random hierarchies)"
+    ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = As_graph.generate ~seed () in
+      let n = As_graph.size g in
+      let ok = ref true in
+      for dst = 0 to min (n - 1) 15 do
+        for src = 0 to n - 1 do
+          if src <> dst then begin
+            match Bgp.as_path g ~src ~dst with
+            | None -> ()
+            | Some path -> if not (Bgp.valley_free g path) then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let qcheck_high_reachability =
+  QCheck.Test.make ~name:"generated hierarchies are mostly reachable" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = As_graph.generate ~seed () in
+      let n = As_graph.size g in
+      Bgp.reachable_pairs g = n * (n - 1))
+
+(* --- Cashflow ------------------------------------------------------------------ *)
+
+let params g =
+  {
+    Cashflow.transit_price = Cashflow.default_transit_price g;
+    termination_fee = 0.0;
+  }
+
+let test_cashflow_conservation () =
+  let g = tiny () in
+  let report =
+    Cashflow.settle g (params g) ~demands:[ (5, 4, 10.0); (5, 6, 4.0); (4, 6, 1.0) ]
+  in
+  Alcotest.(check (float 1e-6)) "money conserved" 0.0
+    (Cashflow.conservation_check report);
+  Alcotest.(check (float 1e-6)) "all delivered" 15.0 report.Cashflow.total_volume;
+  Alcotest.(check bool) "no undelivered" true (report.Cashflow.undelivered = [])
+
+let test_cashflow_stub_pays_up () =
+  let g = tiny () in
+  (* Cb (5) to Ea (4) rides 5-2-4: Cb pays TrA; Ea also pays TrA for
+     the descent. Tier1s see nothing. *)
+  let report = Cashflow.settle g (params g) ~demands:[ (5, 4, 10.0) ] in
+  Alcotest.(check bool) "content stub pays" true (report.Cashflow.net.(5) < 0.0);
+  Alcotest.(check bool) "eyeball pays too" true (report.Cashflow.net.(4) < 0.0);
+  Alcotest.(check bool) "transit profits" true (report.Cashflow.net.(2) > 0.0);
+  Alcotest.(check (float 1e-6)) "tier1 uninvolved" 0.0 report.Cashflow.net.(0)
+
+let test_termination_fee_flows () =
+  let g = tiny () in
+  let base = Cashflow.settle g (params g) ~demands:[ (5, 4, 10.0) ] in
+  let fee_params = { (params g) with Cashflow.termination_fee = 7.0 } in
+  let report = Cashflow.settle g fee_params ~demands:[ (5, 4, 10.0) ] in
+  Alcotest.(check (float 1e-6)) "content pays 70 more"
+    (base.Cashflow.net.(5) -. 70.0)
+    report.Cashflow.net.(5);
+  Alcotest.(check (float 1e-6)) "eyeball collects 70"
+    (base.Cashflow.net.(4) +. 70.0)
+    report.Cashflow.net.(4)
+
+let test_termination_fee_only_content_to_eyeball () =
+  let g = tiny () in
+  let fee_params = { (params g) with Cashflow.termination_fee = 7.0 } in
+  (* Eyeball-to-eyeball traffic never pays termination. *)
+  let report = Cashflow.settle g fee_params ~demands:[ (4, 6, 10.0) ] in
+  let has_termination =
+    List.exists
+      (fun (t : Cashflow.transfer) ->
+        String.length t.Cashflow.reason >= 11
+        && String.sub t.Cashflow.reason 0 11 = "termination")
+      report.Cashflow.transfers
+  in
+  Alcotest.(check bool) "no termination entry" false has_termination
+
+let test_peering_settlement_free () =
+  let g = tiny () in
+  (* Ea->Eb crosses the T1a-T1b peering: no money moves between them. *)
+  let report = Cashflow.settle g (params g) ~demands:[ (4, 6, 2.0) ] in
+  let t1_pair_transfers =
+    List.filter
+      (fun (t : Cashflow.transfer) ->
+        (t.Cashflow.payer = 0 && t.Cashflow.payee = 1)
+        || (t.Cashflow.payer = 1 && t.Cashflow.payee = 0))
+      report.Cashflow.transfers
+  in
+  Alcotest.(check int) "settlement-free peering" 0 (List.length t1_pair_transfers)
+
+let test_settle_validates_demands () =
+  let g = tiny () in
+  Alcotest.check_raises "self demand"
+    (Invalid_argument "Cashflow.settle: self demand") (fun () ->
+      ignore (Cashflow.settle g (params g) ~demands:[ (4, 4, 1.0) ]))
+
+let qcheck_cashflow_conserved_random =
+  QCheck.Test.make ~name:"cash conservation on random hierarchies" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = As_graph.generate ~seed () in
+      let stubs = Array.of_list (As_graph.stubs g) in
+      let rng = Poc_util.Prng.create seed in
+      let demands =
+        List.init 20 (fun _ ->
+            let a = Poc_util.Prng.pick rng stubs in
+            let b = Poc_util.Prng.pick rng stubs in
+            if a = b then None else Some (a, b, 1.0 +. Poc_util.Prng.float rng))
+        |> List.filter_map Fun.id
+      in
+      let report = Cashflow.settle g (params g) ~demands in
+      Float.abs (Cashflow.conservation_check report) < 1e-6)
+
+
+(* --- POC as an AS (incremental deployability) ------------------------------------ *)
+
+module Poc_as = Poc_baseline.Poc_as
+
+let test_poc_integration_valid () =
+  let g = Lazy.force graph in
+  let i = Poc_as.integrate ~seed:2 g in
+  (match As_graph.validate i.Poc_as.graph with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "one new AS" (As_graph.size g + 1)
+    (As_graph.size i.Poc_as.graph);
+  Alcotest.(check bool) "all stubs attached by default" true
+    (List.length i.Poc_as.attached_stubs = List.length (As_graph.stubs g));
+  (* Original graph untouched. *)
+  match As_graph.validate g with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("original mutated: " ^ msg)
+
+let test_poc_captures_traffic () =
+  let g = Lazy.force graph in
+  let i = Poc_as.integrate ~seed:2 g in
+  let stubs = Array.of_list (As_graph.stubs g) in
+  let rng = Poc_util.Prng.create 9 in
+  let demands =
+    List.init 30 (fun _ ->
+        let rec pick () =
+          let a = Poc_util.Prng.pick rng stubs in
+          let b = Poc_util.Prng.pick rng stubs in
+          if a = b then pick () else (a, b, 2.0)
+        in
+        pick ())
+  in
+  let c =
+    Poc_as.measure g i ~demands ~poc_price:250.0
+      ~incumbent_price:(Cashflow.default_transit_price g)
+  in
+  (* Everyone multihomed to a cheap 2-hop transit: it wins every pair
+     that does not already share an incumbent transit (ties break to
+     the lower AS id, i.e. the incumbent — existing relationships are
+     sticky). *)
+  Alcotest.(check bool) "captures most traffic" true (c.Poc_as.capture_fraction > 0.5);
+  Alcotest.(check bool) "stubs save money" true
+    (c.Poc_as.stub_outlay_after < c.Poc_as.stub_outlay_before);
+  Alcotest.(check bool) "savings fraction consistent" true
+    (c.Poc_as.savings_fraction > 0.0 && c.Poc_as.savings_fraction <= 1.0)
+
+let test_poc_partial_attachment () =
+  let g = Lazy.force graph in
+  let i = Poc_as.integrate ~attach_fraction:0.3 ~seed:2 g in
+  let attached = List.length i.Poc_as.attached_stubs in
+  let total = List.length (As_graph.stubs g) in
+  Alcotest.(check bool) "partial attachment" true
+    (attached > 0 && attached < total);
+  match As_graph.validate i.Poc_as.graph with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [
+    Alcotest.test_case "generated hierarchy validates" `Quick test_generated_validates;
+    Alcotest.test_case "tiny hierarchy validates" `Quick test_tiny_validates;
+    Alcotest.test_case "stub classification" `Quick test_stub_classification;
+    Alcotest.test_case "customer route preferred" `Quick test_customer_route_preferred;
+    Alcotest.test_case "peer route across tier1" `Quick test_peer_route_used_across_tier1;
+    Alcotest.test_case "multihomed stub shortcut" `Quick test_multihomed_stub_shortcut;
+    Alcotest.test_case "no transit through stubs" `Quick test_no_transit_through_stub;
+    Alcotest.test_case "tiny fully reachable" `Quick test_full_reachability_tiny;
+    Alcotest.test_case "valley detector" `Quick test_valley_free_rejects_valleys;
+    QCheck_alcotest.to_alcotest qcheck_generated_paths_valley_free;
+    QCheck_alcotest.to_alcotest qcheck_high_reachability;
+    Alcotest.test_case "cashflow conservation" `Quick test_cashflow_conservation;
+    Alcotest.test_case "stub pays its provider" `Quick test_cashflow_stub_pays_up;
+    Alcotest.test_case "termination fee flows" `Quick test_termination_fee_flows;
+    Alcotest.test_case "termination only content->eyeball" `Quick
+      test_termination_fee_only_content_to_eyeball;
+    Alcotest.test_case "peering settlement-free" `Quick test_peering_settlement_free;
+    Alcotest.test_case "settle validates demands" `Quick test_settle_validates_demands;
+    QCheck_alcotest.to_alcotest qcheck_cashflow_conserved_random;
+    Alcotest.test_case "poc integration valid" `Quick test_poc_integration_valid;
+    Alcotest.test_case "poc captures traffic" `Quick test_poc_captures_traffic;
+    Alcotest.test_case "poc partial attachment" `Quick test_poc_partial_attachment;
+  ]

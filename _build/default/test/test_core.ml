@@ -1,0 +1,325 @@
+(* Tests for Poc_core: membership, terms-of-service rule engine, the
+   planning pipeline and the settlement ledger. *)
+
+module Member = Poc_core.Member
+module Terms = Poc_core.Terms
+module Planner = Poc_core.Planner
+module Settlement = Poc_core.Settlement
+module Vcg = Poc_auction.Vcg
+module Matrix = Poc_traffic.Matrix
+
+let plan () = Lazy.force Fixtures.small_plan
+
+(* --- Members ------------------------------------------------------------- *)
+
+let test_members_validate () =
+  let plan = plan () in
+  let nodes = Poc_graph.Graph.node_count plan.Planner.wan.Poc_topology.Wan.graph in
+  List.iter
+    (fun m ->
+      match Member.validate m ~node_count:nodes with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (m.Member.name ^ ": " ^ msg))
+    plan.Planner.members
+
+let test_member_usage_conservation () =
+  let plan = plan () in
+  (* Every Gbps is sent by one member and received by another, so the
+     sum of member usage is twice the matrix volume. *)
+  let usage =
+    List.fold_left (fun acc m -> acc +. m.Member.monthly_gbps) 0.0
+      plan.Planner.members
+  in
+  Alcotest.(check (float 1e-3))
+    "usage = 2 x volume"
+    (2.0 *. Matrix.total plan.Planner.matrix)
+    usage
+
+let test_member_kinds_present () =
+  let plan = plan () in
+  let count k =
+    List.length (List.filter (fun m -> m.Member.kind = k) plan.Planner.members)
+  in
+  Alcotest.(check bool) "has LMPs" true (count Member.Lmp > 0);
+  Alcotest.(check bool) "has CSPs" true (count Member.Direct_csp > 0);
+  Alcotest.(check int) "external ISPs" 2 (count Member.External_isp)
+
+let test_member_validate_errors () =
+  let bad =
+    { Member.id = 0; name = ""; kind = Member.Lmp; attachment = 0;
+      monthly_gbps = 1.0 }
+  in
+  Alcotest.(check bool) "empty name" true (Member.validate bad ~node_count:5 <> Ok ());
+  let out =
+    { Member.id = 0; name = "x"; kind = Member.Lmp; attachment = 9;
+      monthly_gbps = 1.0 }
+  in
+  Alcotest.(check bool) "attachment range" true
+    (Member.validate out ~node_count:5 <> Ok ())
+
+(* --- Terms of service ------------------------------------------------------- *)
+
+let obs ?(actor = 1) selector action basis =
+  { Terms.actor; selector; action; basis }
+
+let test_terms_neutral_forwarding_ok () =
+  Alcotest.(check bool) "uniform priority fine" true
+    (Terms.judge (obs Terms.All_traffic (Terms.Prioritize 2) (Terms.Posted_price 5.0))
+    = Terms.Compliant)
+
+let test_terms_source_discrimination_violates () =
+  match
+    Terms.judge (obs (Terms.By_source 7) Terms.Deprioritize Terms.Commercial_preference)
+  with
+  | Terms.Violation _ -> ()
+  | Terms.Compliant -> Alcotest.fail "source-based deprioritization must violate"
+
+let test_terms_condition_numbers () =
+  Alcotest.(check (option int)) "condition 1" (Some 1)
+    (Terms.condition_violated
+       (obs (Terms.By_application "video") Terms.Block Terms.No_basis));
+  Alcotest.(check (option int)) "condition 2" (Some 2)
+    (Terms.condition_violated
+       (obs (Terms.By_source 3) Terms.Deny_cdn Terms.Commercial_preference));
+  Alcotest.(check (option int)) "condition 3" (Some 3)
+    (Terms.condition_violated
+       (obs (Terms.By_source 3) (Terms.Deny_third_party_service "cdn")
+          Terms.No_basis))
+
+let test_terms_security_exception () =
+  Alcotest.(check bool) "security blocking allowed" true
+    (Terms.judge (obs (Terms.By_source 9) Terms.Block Terms.Security)
+    = Terms.Compliant);
+  Alcotest.(check bool) "maintenance priority allowed" true
+    (Terms.judge
+       (obs (Terms.By_application "ops") (Terms.Prioritize 7) Terms.Maintenance)
+    = Terms.Compliant)
+
+let test_terms_posted_price_must_be_open () =
+  (* A "posted price" offered only to one source is still discrimination. *)
+  match
+    Terms.judge (obs (Terms.By_source 2) (Terms.Prioritize 1) (Terms.Posted_price 9.0))
+  with
+  | Terms.Violation _ -> ()
+  | Terms.Compliant -> Alcotest.fail "selective posted price must violate"
+
+let test_terms_blanket_block_violates () =
+  match Terms.judge (obs Terms.All_traffic Terms.Block Terms.No_basis) with
+  | Terms.Violation _ -> ()
+  | Terms.Compliant -> Alcotest.fail "blanket unexcused blocking must violate"
+
+let test_terms_violations_filter () =
+  let observations =
+    [
+      obs Terms.All_traffic (Terms.Prioritize 1) (Terms.Posted_price 2.0);
+      obs (Terms.By_source 4) Terms.Block Terms.Commercial_preference;
+      obs (Terms.By_destination 5) Terms.Provide_cdn Terms.No_basis;
+    ]
+  in
+  Alcotest.(check int) "two violations" 2
+    (List.length (Terms.violations observations));
+  Alcotest.(check int) "all judged" 3 (List.length (Terms.judge_all observations))
+
+(* --- Planner ------------------------------------------------------------------ *)
+
+let test_plan_builds () =
+  let plan = plan () in
+  Alcotest.(check bool) "selection non-empty" true
+    (plan.Planner.outcome.Vcg.selection.Vcg.selected <> []);
+  Alcotest.(check bool) "routing feasible" true
+    plan.Planner.routing.Poc_mcf.Router.feasible
+
+let test_plan_backbone_enabled () =
+  let plan = plan () in
+  let enabled = Planner.backbone_enabled plan in
+  List.iter
+    (fun id -> Alcotest.(check bool) "selected enabled" true (enabled id))
+    plan.Planner.outcome.Vcg.selection.Vcg.selected;
+  let all = Poc_graph.Graph.edge_count plan.Planner.wan.Poc_topology.Wan.graph in
+  let enabled_count =
+    List.length (List.filter enabled (List.init all Fun.id))
+  in
+  Alcotest.(check int) "exactly the selection"
+    (List.length plan.Planner.outcome.Vcg.selection.Vcg.selected)
+    enabled_count
+
+let test_plan_utilization () =
+  let plan = plan () in
+  let s = Planner.utilization_summary plan in
+  Alcotest.(check bool) "max utilization <= 1" true
+    (s.Poc_util.Stats.max <= 1.0 +. 1e-6);
+  Alcotest.(check bool) "some load" true (s.Poc_util.Stats.count > 0)
+
+let test_plan_cost_positive () =
+  let plan = plan () in
+  Alcotest.(check bool) "POC pays something" true (Planner.monthly_cost plan > 0.0)
+
+let test_plan_rejects_bad_config () =
+  match
+    Planner.build { Fixtures.small_config with Planner.demand_fraction = -1.0 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative demand fraction must fail"
+
+let test_plan_infeasible_demand () =
+  (* A demand far beyond total capacity has no acceptable selection. *)
+  match
+    Planner.build { Fixtures.small_config with Planner.demand_fraction = 50.0 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "infeasible demand must fail"
+
+(* --- Settlement ------------------------------------------------------------------ *)
+
+let ledger () = Settlement.of_plan (plan ()) ()
+
+let test_settlement_conservation () =
+  Alcotest.(check (float 1e-3)) "double entry" 0.0
+    (Settlement.conservation (ledger ()))
+
+let test_settlement_poc_breaks_even () =
+  Alcotest.(check (float 1e-3)) "nonprofit" 0.0 (Settlement.poc_net (ledger ()))
+
+let test_settlement_margin () =
+  let l = Settlement.of_plan (plan ()) ~margin:0.1 () in
+  let spend =
+    List.fold_left
+      (fun acc (e : Settlement.entry) ->
+        match e.Settlement.src with
+        | Settlement.Poc -> acc +. e.Settlement.amount
+        | _ -> acc)
+      0.0 l.Settlement.entries
+  in
+  Alcotest.(check (float 1e-3)) "margin retained" (0.1 *. spend)
+    (Settlement.poc_net l)
+
+let test_settlement_bps_paid_their_vcg_payment () =
+  let plan = plan () in
+  let l = Settlement.of_plan plan () in
+  Array.iter
+    (fun (r : Vcg.bp_result) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "BP %d net" r.Vcg.bp)
+        r.Vcg.payment
+        (Settlement.net l (Settlement.Bp_party r.Vcg.bp)))
+    plan.Planner.outcome.Vcg.bp_results
+
+let test_settlement_no_termination_entries () =
+  (* Structural neutrality: no member-to-member transfers exist. *)
+  let l = ledger () in
+  List.iter
+    (fun (e : Settlement.entry) ->
+      match (e.Settlement.src, e.Settlement.dst) with
+      | Settlement.Member_party _, Settlement.Member_party _ ->
+        Alcotest.fail "termination-fee-like entry found"
+      | _, _ -> ())
+    l.Settlement.entries
+
+let test_settlement_usage_price_positive () =
+  Alcotest.(check bool) "posted price positive" true
+    ((ledger ()).Settlement.usage_price > 0.0)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_settlement_render () =
+  let plan = plan () in
+  let s = Settlement.render plan (ledger ()) in
+  Alcotest.(check bool) "has a BP row" true (contains s "BP-");
+  Alcotest.(check bool) "has a header" true (contains s "party")
+
+
+let qcheck_terms_posted_price_open_always_ok =
+  QCheck.Test.make ~name:"open posted-price actions are compliant" ~count:100
+    QCheck.(pair (int_range 0 3) (float_range 0.0 100.0))
+    (fun (action_ix, price) ->
+      let action =
+        match action_ix with
+        | 0 -> Terms.Prioritize 1
+        | 1 -> Terms.Provide_cdn
+        | 2 -> Terms.Allow_third_party_service "cdn"
+        | _ -> Terms.Prioritize 3
+      in
+      Terms.judge
+        { Terms.actor = 1; selector = Terms.All_traffic; action;
+          basis = Terms.Posted_price price }
+      = Terms.Compliant)
+
+let qcheck_terms_selective_preference_always_violates =
+  QCheck.Test.make ~name:"selective commercial preference always violates"
+    ~count:100
+    QCheck.(pair (int_range 0 2) (int_range 0 20))
+    (fun (sel_ix, member) ->
+      let selector =
+        match sel_ix with
+        | 0 -> Terms.By_source member
+        | 1 -> Terms.By_destination member
+        | _ -> Terms.By_application "video"
+      in
+      match
+        Terms.judge
+          { Terms.actor = 0; selector; action = Terms.Deprioritize;
+            basis = Terms.Commercial_preference }
+      with
+      | Terms.Violation _ -> true
+      | Terms.Compliant -> false)
+
+let qcheck_settlement_conserves_for_any_margin =
+  QCheck.Test.make ~name:"settlement conserves for any margin" ~count:20
+    QCheck.(pair (float_range 0.0 0.5) (float_range 1.0 4.0))
+    (fun (margin, retail_multiplier) ->
+      let l = Settlement.of_plan (plan ()) ~margin ~retail_multiplier () in
+      let spend =
+        List.fold_left
+          (fun acc (e : Settlement.entry) ->
+            match e.Settlement.src with
+            | Settlement.Poc -> acc +. e.Settlement.amount
+            | _ -> acc)
+          0.0 l.Settlement.entries
+      in
+      Float.abs (Settlement.conservation l) < 1e-3
+      && Float.abs (Settlement.poc_net l -. (margin *. spend)) < 1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "members validate" `Quick test_members_validate;
+    Alcotest.test_case "member usage conservation" `Quick test_member_usage_conservation;
+    Alcotest.test_case "member kinds present" `Quick test_member_kinds_present;
+    Alcotest.test_case "member validation errors" `Quick test_member_validate_errors;
+    Alcotest.test_case "terms: neutral forwarding ok" `Quick
+      test_terms_neutral_forwarding_ok;
+    Alcotest.test_case "terms: source discrimination" `Quick
+      test_terms_source_discrimination_violates;
+    Alcotest.test_case "terms: condition numbers" `Quick test_terms_condition_numbers;
+    Alcotest.test_case "terms: security exception" `Quick test_terms_security_exception;
+    Alcotest.test_case "terms: posted price openness" `Quick
+      test_terms_posted_price_must_be_open;
+    Alcotest.test_case "terms: blanket block" `Quick test_terms_blanket_block_violates;
+    Alcotest.test_case "terms: violations filter" `Quick test_terms_violations_filter;
+    Alcotest.test_case "plan builds" `Quick test_plan_builds;
+    Alcotest.test_case "plan backbone mask" `Quick test_plan_backbone_enabled;
+    Alcotest.test_case "plan utilization" `Quick test_plan_utilization;
+    Alcotest.test_case "plan cost positive" `Quick test_plan_cost_positive;
+    Alcotest.test_case "plan rejects bad config" `Quick test_plan_rejects_bad_config;
+    Alcotest.test_case "plan infeasible demand" `Quick test_plan_infeasible_demand;
+    Alcotest.test_case "settlement conservation" `Quick test_settlement_conservation;
+    Alcotest.test_case "settlement POC break-even" `Quick
+      test_settlement_poc_breaks_even;
+    Alcotest.test_case "settlement margin" `Quick test_settlement_margin;
+    Alcotest.test_case "settlement pays VCG amounts" `Quick
+      test_settlement_bps_paid_their_vcg_payment;
+    Alcotest.test_case "settlement has no termination entries" `Quick
+      test_settlement_no_termination_entries;
+    Alcotest.test_case "settlement posted price" `Quick
+      test_settlement_usage_price_positive;
+    Alcotest.test_case "settlement render" `Quick test_settlement_render;
+    QCheck_alcotest.to_alcotest qcheck_terms_posted_price_open_always_ok;
+    QCheck_alcotest.to_alcotest qcheck_terms_selective_preference_always_violates;
+    QCheck_alcotest.to_alcotest qcheck_settlement_conserves_for_any_margin;
+  ]

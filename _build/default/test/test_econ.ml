@@ -1,0 +1,581 @@
+(* Tests for Poc_econ: demand families, pricing, Lemma 1, welfare,
+   Nash bargaining, the renegotiation equilibrium and regime
+   comparison — the Section 4 results, mechanized. *)
+
+module Demand = Poc_econ.Demand
+module Pricing = Poc_econ.Pricing
+module Welfare = Poc_econ.Welfare
+module Bargaining = Poc_econ.Bargaining
+module Equilibrium = Poc_econ.Equilibrium
+module Regime = Poc_econ.Regime
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let check_close msg tol expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* --- Demand families ---------------------------------------------------------- *)
+
+let test_demand_at_zero () =
+  List.iter
+    (fun d -> check_float (Demand.name d ^ " at 0") 1.0 (Demand.demand d 0.0))
+    Demand.all_families
+
+let test_demand_decreasing () =
+  List.iter
+    (fun d ->
+      let prev = ref 1.0 in
+      for i = 1 to 60 do
+        let p = float_of_int i in
+        let q = Demand.demand d p in
+        Alcotest.(check bool)
+          (Demand.name d ^ " non-increasing")
+          true (q <= !prev +. 1e-12);
+        prev := q
+      done)
+    Demand.all_families
+
+let test_demand_validation () =
+  Alcotest.(check bool) "bad uniform" true (Demand.validate (Demand.Uniform 0.0) <> Ok ());
+  Alcotest.(check bool) "bad lomax alpha" true
+    (Demand.validate (Demand.Lomax (0.9, 1.0)) <> Ok ());
+  Alcotest.(check bool) "bad kink" true
+    (Demand.validate (Demand.Kinked (10.0, 20.0)) <> Ok ())
+
+let test_mean_values_normalized () =
+  (* all_families is normalized to mean willingness-to-pay 10. *)
+  List.iter
+    (fun d -> check_close (Demand.name d) 1e-6 10.0 (Demand.mean_value d))
+    Demand.all_families
+
+let test_quantile_inverts_demand () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun q ->
+          let p = Demand.quantile d q in
+          check_close (Demand.name d) 1e-6 q (Demand.demand d p))
+        [ 0.9; 0.5; 0.25; 0.1 ])
+    Demand.all_families
+
+let test_survival_integral_matches_numeric () =
+  List.iter
+    (fun d ->
+      let p = 5.0 in
+      let numeric =
+        Poc_util.Numeric.integrate ~n:20_000 ~lo:p ~hi:(Demand.quantile d 1e-9)
+          (fun v -> Demand.demand d v)
+      in
+      check_close (Demand.name d) 1e-2 numeric (Demand.survival_integral d p))
+    Demand.all_families
+
+(* --- Pricing -------------------------------------------------------------------- *)
+
+let test_monopoly_prices_closed_form () =
+  check_close "uniform vmax/2" 1e-6 10.0 (Pricing.monopoly_price (Demand.Uniform 20.0));
+  check_close "exponential mean" 1e-6 10.0
+    (Pricing.monopoly_price (Demand.Exponential 10.0));
+  (* Lomax: p* = s/(a-1) *)
+  check_close "lomax s/(a-1)" 1e-6 10.0
+    (Pricing.monopoly_price (Demand.Lomax (2.5, 15.0)))
+
+let test_price_given_fee_closed_form () =
+  check_close "uniform (vmax+t)/2" 1e-6 13.0
+    (Pricing.price_given_fee (Demand.Uniform 20.0) ~fee:6.0);
+  check_close "exponential mean+t" 1e-6 16.0
+    (Pricing.price_given_fee (Demand.Exponential 10.0) ~fee:6.0);
+  check_close "lomax (at+s)/(a-1)" 1e-6 20.0
+    (Pricing.price_given_fee (Demand.Lomax (2.5, 15.0)) ~fee:6.0)
+
+let test_price_maximizes_revenue () =
+  (* The returned price must actually beat a grid of alternatives. *)
+  List.iter
+    (fun d ->
+      let fee = 3.0 in
+      let p_star = Pricing.price_given_fee d ~fee in
+      let r_star = Pricing.csp_revenue d ~price:p_star ~fee in
+      let hi = Demand.quantile d 1e-6 in
+      for i = 0 to 100 do
+        let p = fee +. (float_of_int i /. 100.0 *. (hi -. fee)) in
+        let r = Pricing.csp_revenue d ~price:p ~fee in
+        Alcotest.(check bool) (Demand.name d ^ " optimal") true (r <= r_star +. 1e-6)
+      done)
+    Demand.all_families
+
+(* Lemma 1: p*(t) is monotone increasing in t. *)
+let test_lemma1_monotonicity () =
+  List.iter
+    (fun d ->
+      let prev = ref (Pricing.price_given_fee d ~fee:0.0) in
+      for i = 1 to 40 do
+        let fee = 0.25 *. float_of_int i in
+        let p = Pricing.price_given_fee d ~fee in
+        Alcotest.(check bool)
+          (Demand.name d ^ " p*(t) increasing")
+          true (p >= !prev -. 1e-9);
+        prev := p
+      done)
+    Demand.all_families
+
+let qcheck_lemma1 =
+  QCheck.Test.make ~name:"Lemma 1: p*(t2) >= p*(t1) for t2 > t1" ~count:200
+    QCheck.(triple (int_range 0 3) (float_range 0.0 20.0) (float_range 0.0 20.0))
+    (fun (family, t1, t2) ->
+      let d = List.nth Demand.all_families family in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      Pricing.price_given_fee d ~fee:hi >= Pricing.price_given_fee d ~fee:lo -. 1e-7)
+
+let test_unilateral_fee_positive () =
+  List.iter
+    (fun d ->
+      let t = Pricing.unilateral_fee d in
+      Alcotest.(check bool) (Demand.name d ^ " fee > 0") true (t > 0.0);
+      (* And it is the best on a grid. *)
+      let r_star = Pricing.lmp_revenue d ~fee:t in
+      for i = 0 to 60 do
+        let fee = float_of_int i /. 2.0 in
+        Alcotest.(check bool) "fee optimal" true
+          (Pricing.lmp_revenue d ~fee <= r_star +. 1e-6)
+      done)
+    Demand.all_families
+
+(* --- Welfare --------------------------------------------------------------------- *)
+
+let test_welfare_uniform_closed_form () =
+  (* Uniform(20) at price 10: SW = p*D + survival = 10*0.5 + 2.5 = 7.5. *)
+  check_close "social welfare" 1e-9 7.5 (Welfare.social (Demand.Uniform 20.0) ~price:10.0);
+  check_close "consumer welfare" 1e-9 2.5
+    (Welfare.consumer (Demand.Uniform 20.0) ~price:10.0)
+
+let test_welfare_decreasing_in_price () =
+  List.iter
+    (fun d ->
+      let prev = ref (Welfare.social d ~price:0.0) in
+      for i = 1 to 50 do
+        let p = float_of_int i /. 2.0 in
+        let w = Welfare.social d ~price:p in
+        Alcotest.(check bool) (Demand.name d ^ " SW decreasing") true
+          (w <= !prev +. 1e-9);
+        prev := w
+      done)
+    Demand.all_families
+
+let test_producer_split () =
+  let csp, lmp = Welfare.producer (Demand.Uniform 20.0) ~price:10.0 ~fee:4.0 in
+  check_float "csp gets (p-t)D" 3.0 csp;
+  check_float "lmp gets tD" 2.0 lmp
+
+let test_deadweight_loss_nonnegative () =
+  List.iter
+    (fun d ->
+      let p_nn = Pricing.monopoly_price d in
+      let t = Pricing.unilateral_fee d in
+      let p_ur = Pricing.price_given_fee d ~fee:t in
+      Alcotest.(check bool) (Demand.name d ^ " DWL >= 0") true
+        (Welfare.deadweight_loss d ~price_nn:p_nn ~price_ur:p_ur >= -1e-9))
+    Demand.all_families
+
+(* The paper's headline: termination fees strictly decrease social
+   welfare. *)
+let test_nn_dominates_ur () =
+  List.iter
+    (fun d ->
+      let p_nn = Pricing.monopoly_price d in
+      let t = Pricing.unilateral_fee d in
+      let p_ur = Pricing.price_given_fee d ~fee:t in
+      Alcotest.(check bool) (Demand.name d ^ " NN strictly better") true
+        (Welfare.social d ~price:p_nn > Welfare.social d ~price:p_ur))
+    Demand.all_families
+
+(* --- Bargaining -------------------------------------------------------------------- *)
+
+let test_nbs_formula () =
+  check_float "t = (p - rc)/2" 4.0
+    (Bargaining.bilateral_fee ~price:10.0 ~churn:0.2 ~access_price:10.0);
+  check_float "negative fee possible" (-5.0)
+    (Bargaining.bilateral_fee ~price:10.0 ~churn:0.5 ~access_price:40.0)
+
+let test_nbs_maximizes_nash_product () =
+  let demand = Demand.Exponential 10.0 in
+  let price = 12.0 and churn = 0.3 and access_price = 20.0 in
+  let t_star = Bargaining.bilateral_fee ~price ~churn ~access_price in
+  let np fee = Bargaining.nash_product ~demand ~price ~churn ~access_price ~fee in
+  let best = np t_star in
+  for i = -20 to 20 do
+    let fee = t_star +. (float_of_int i /. 5.0) in
+    Alcotest.(check bool) "argmax" true (np fee <= best +. 1e-9)
+  done
+
+let test_fee_decreasing_in_churn () =
+  let fee r = Bargaining.bilateral_fee ~price:10.0 ~churn:r ~access_price:15.0 in
+  let prev = ref (fee 0.0) in
+  for i = 1 to 10 do
+    let r = float_of_int i /. 10.0 in
+    Alcotest.(check bool) "monotone down in churn" true (fee r <= !prev);
+    prev := fee r
+  done
+
+let test_average_fee () =
+  let lmps =
+    [
+      { Bargaining.subscribers = 1.0; access_price = 10.0; churn = 0.2 };
+      { Bargaining.subscribers = 3.0; access_price = 20.0; churn = 0.1 };
+    ]
+  in
+  (* <rc> = (1*0.2*10 + 3*0.1*20)/4 = (2 + 6)/4 = 2 *)
+  check_float "population weighting" 4.0 (Bargaining.average_fee ~price:10.0 lmps);
+  check_float "no lmps" 5.0 (Bargaining.average_fee ~price:10.0 [])
+
+let test_bargaining_validation () =
+  Alcotest.check_raises "churn out of range"
+    (Invalid_argument "Bargaining: churn out of [0,1]") (fun () ->
+      ignore (Bargaining.bilateral_fee ~price:1.0 ~churn:1.5 ~access_price:1.0))
+
+(* --- Equilibrium ---------------------------------------------------------------------- *)
+
+let test_equilibrium_residual_zero () =
+  List.iter
+    (fun d ->
+      match Equilibrium.solve_rc ~demand:d ~rc:2.0 () with
+      | None -> Alcotest.fail (Demand.name d ^ ": no convergence")
+      | Some eq ->
+        Alcotest.(check bool) (Demand.name d ^ " residual ~ 0") true
+          (eq.Equilibrium.residual < 1e-6);
+        Alcotest.(check bool) "consistent price" true
+          (Float.abs
+             (eq.Equilibrium.price
+             -. Pricing.price_given_fee d ~fee:eq.Equilibrium.fee)
+          < 1e-6))
+    Demand.all_families
+
+let test_equilibrium_uniform_closed_form () =
+  (* Uniform(vmax): p(t) = (vmax+t)/2, fixed point of
+     t = (p - rc)/2 = ((vmax+t)/2 - rc)/2 => t = (vmax - 2 rc)/3. *)
+  match Equilibrium.solve_rc ~demand:(Demand.Uniform 20.0) ~rc:2.0 () with
+  | None -> Alcotest.fail "no convergence"
+  | Some eq ->
+    check_close "closed form" 1e-6 (16.0 /. 3.0) eq.Equilibrium.fee
+
+let test_equilibrium_fee_below_unilateral () =
+  (* The paper says the bargained price increase is "likely" below the
+     unilateral one.  It holds for light-tailed demand... *)
+  List.iter
+    (fun d ->
+      match Equilibrium.solve_rc ~demand:d ~rc:1.0 () with
+      | None -> Alcotest.fail "no convergence"
+      | Some eq ->
+        Alcotest.(check bool) (Demand.name d) true
+          (eq.Equilibrium.fee <= Pricing.unilateral_fee d +. 1e-6))
+    [ Demand.Uniform 20.0; Demand.Exponential 10.0; Demand.Kinked (25.0, 12.5) ]
+
+let test_equilibrium_lomax_counterexample () =
+  (* ...but NOT for heavy tails: under Lomax demand the renegotiation
+     equilibrium fee exceeds the unilateral monopoly fee, because the
+     repeated fee/price escalation feeds on the slowly-decaying tail.
+     Recorded as a finding in EXPERIMENTS.md. *)
+  let d = Demand.Lomax (2.5, 15.0) in
+  match Equilibrium.solve_rc ~demand:d ~rc:1.0 () with
+  | None -> Alcotest.fail "no convergence"
+  | Some eq ->
+    Alcotest.(check bool) "heavy tail reverses the comparison" true
+      (eq.Equilibrium.fee > Pricing.unilateral_fee d)
+
+let test_equilibrium_decreasing_in_rc () =
+  let d = Demand.Exponential 10.0 in
+  let fee rc =
+    match Equilibrium.solve_rc ~demand:d ~rc () with
+    | Some eq -> eq.Equilibrium.fee
+    | None -> Alcotest.fail "no convergence"
+  in
+  Alcotest.(check bool) "higher churn cost, lower fee" true (fee 4.0 < fee 0.5)
+
+(* --- Regime comparison ------------------------------------------------------------------ *)
+
+let economy = Regime.default_economy
+
+let test_regime_validate () =
+  Alcotest.(check bool) "default economy valid" true (Regime.validate economy = Ok ());
+  let bad = { economy with Regime.lmps = [||] } in
+  Alcotest.(check bool) "no lmps invalid" true (Regime.validate bad <> Ok ())
+
+let test_nn_zero_fees () =
+  let o = Regime.evaluate economy Regime.Nn in
+  Array.iter
+    (fun (c : Regime.csp_outcome) ->
+      check_float "no fees under NN" 0.0 c.Regime.avg_fee)
+    o.Regime.per_csp
+
+let test_welfare_ordering_across_regimes () =
+  let nn = Regime.evaluate economy Regime.Nn in
+  let bar = Regime.evaluate economy Regime.Ur_bargained in
+  let uni = Regime.evaluate economy Regime.Ur_unilateral in
+  Alcotest.(check bool) "NN >= bargained" true
+    (nn.Regime.total_social >= bar.Regime.total_social -. 1e-9);
+  Alcotest.(check bool) "bargained >= unilateral" true
+    (bar.Regime.total_social >= uni.Regime.total_social -. 1e-9);
+  Alcotest.(check bool) "NN strictly beats unilateral" true
+    (nn.Regime.total_social > uni.Regime.total_social)
+
+let test_incumbent_lmp_extracts_more () =
+  let o = Regime.evaluate economy Regime.Ur_bargained in
+  (* economy.lmps.(0) is the loyal incumbent, .(2) the entrant. *)
+  Array.iter
+    (fun (c : Regime.csp_outcome) ->
+      if c.Regime.avg_fee > 0.0 then
+        Alcotest.(check bool)
+          (c.Regime.csp.Regime.csp_name ^ ": incumbent fee >= entrant fee")
+          true
+          (c.Regime.fees.(0) >= c.Regime.fees.(2) -. 1e-9))
+    o.Regime.per_csp
+
+let test_popular_csp_pays_less () =
+  let o = Regime.evaluate economy Regime.Ur_bargained in
+  (* CSP 0 (popularity .8) vs CSP 3 (popularity .05), same LMPs.
+     Compare the churn-driven discount: fee relative to the
+     no-churn fee p/2. *)
+  let discount (c : Regime.csp_outcome) =
+    let p = c.Regime.price in
+    if p <= 0.0 then 0.0 else (p /. 2.0 -. c.Regime.avg_fee) /. p
+  in
+  let popular = o.Regime.per_csp.(0) and niche = o.Regime.per_csp.(3) in
+  Alcotest.(check bool) "popularity earns a bigger fee discount" true
+    (discount popular >= discount niche -. 1e-9)
+
+let test_consumer_welfare_highest_under_nn () =
+  let nn = Regime.evaluate economy Regime.Nn in
+  let uni = Regime.evaluate economy Regime.Ur_unilateral in
+  Alcotest.(check bool) "consumers prefer NN" true
+    (nn.Regime.total_consumer > uni.Regime.total_consumer)
+
+let test_churn_model () =
+  let c = economy.Regime.csps.(0) and l = economy.Regime.lmps.(0) in
+  let r = Regime.churn c l in
+  Alcotest.(check bool) "in range" true (r >= 0.0 && r <= 1.0);
+  let entrant = economy.Regime.lmps.(2) in
+  Alcotest.(check bool) "entrant churns more" true (Regime.churn c entrant > r)
+
+let qcheck_nn_dominance_random_economies =
+  QCheck.Test.make ~name:"NN social welfare dominates UR (random economies)"
+    ~count:40
+    QCheck.(
+      triple (int_range 0 3) (float_range 0.05 0.95) (float_range 5.0 80.0))
+    (fun (family, popularity, access_price) ->
+      let d = List.nth Demand.all_families family in
+      let economy =
+        {
+          Regime.csps = [| { Regime.csp_name = "s"; demand = d; popularity } |];
+          lmps =
+            [|
+              { Regime.lmp_name = "l"; subscribers = 1.0; access_price;
+                loyalty = 0.5 };
+            |];
+        }
+      in
+      let nn = Regime.evaluate economy Regime.Nn in
+      let uni = Regime.evaluate economy Regime.Ur_unilateral in
+      let bar = Regime.evaluate economy Regime.Ur_bargained in
+      nn.Regime.total_social >= uni.Regime.total_social -. 1e-9
+      && nn.Regime.total_social >= bar.Regime.total_social -. 1e-9)
+
+
+(* --- Entry / unbundling complementarity --------------------------------------------- *)
+
+module Entry = Poc_econ.Entry
+
+let entry_matrix () =
+  (* Calibrated so each barrier is fatal on its own: heavy build capex,
+     and an incumbent transit squeeze plus termination handicap that
+     eat the whole margin. *)
+  Entry.complementarity
+    ~params:{ Entry.default_params with Entry.termination_handicap = 0.2 }
+    ~build:(Entry.Build_last_mile { capex_per_sub = 3000.0; amortization_months = 84.0 })
+    ~unbundled:(Entry.Unbundled_loop { lease_per_sub = 9.0 })
+    ~incumbent:(Entry.Incumbent_transit { price_per_gbps = 3500.0; margin_squeeze = 0.6 })
+    ~poc:(Entry.Poc_transit { price_per_gbps = 1400.0 })
+    ()
+
+let test_entry_margins_ordered () =
+  let m = entry_matrix () in
+  (* Both reforms dominate either alone, which dominates the status quo. *)
+  Alcotest.(check bool) "both > poc-only" true
+    (m.Entry.unbundled_poc.Entry.margin_per_sub
+    > m.Entry.build_poc.Entry.margin_per_sub);
+  Alcotest.(check bool) "both > unbundling-only" true
+    (m.Entry.unbundled_poc.Entry.margin_per_sub
+    > m.Entry.unbundled_incumbent.Entry.margin_per_sub);
+  Alcotest.(check bool) "either reform beats status quo" true
+    (m.Entry.build_poc.Entry.margin_per_sub
+     > m.Entry.build_incumbent.Entry.margin_per_sub
+    && m.Entry.unbundled_incumbent.Entry.margin_per_sub
+       > m.Entry.build_incumbent.Entry.margin_per_sub)
+
+let test_entry_weakest_link () =
+  (* The Section 2.5 claim: only both reforms together make entry
+     viable. *)
+  Alcotest.(check bool) "weakest-link complements" true
+    (Entry.weakest_link_complements (entry_matrix ()));
+  (* And the margins are honestly SUBadditive here — the reforms
+     overlap in the transit penalty they remove. *)
+  Alcotest.(check bool) "margins subadditive" false
+    (Entry.superadditive (entry_matrix ()))
+
+let test_entry_verdict_consistency () =
+  let m = entry_matrix () in
+  List.iter
+    (fun (v : Entry.verdict) ->
+      Alcotest.(check bool) "viable iff positive margin" true
+        (v.Entry.viable = (v.Entry.margin_per_sub > 0.0));
+      Alcotest.(check (float 1e-9)) "margin = revenue - cost"
+        (v.Entry.monthly_revenue_per_sub -. v.Entry.monthly_cost_per_sub)
+        v.Entry.margin_per_sub)
+    [ m.Entry.build_incumbent; m.Entry.build_poc; m.Entry.unbundled_incumbent;
+      m.Entry.unbundled_poc ]
+
+let test_entry_validation () =
+  Alcotest.check_raises "bad amortization"
+    (Invalid_argument "Entry: bad amortization") (fun () ->
+      ignore
+        (Entry.evaluate Entry.default_params
+           (Entry.Build_last_mile { capex_per_sub = 1.0; amortization_months = 0.0 })
+           (Entry.Poc_transit { price_per_gbps = 1.0 })))
+
+
+(* --- Retail pricing / last-mile congestion ------------------------------------------- *)
+
+module Retail = Poc_econ.Retail
+
+let retail_users =
+  [
+    { Retail.satiation = 100.0; sensitivity = 0.02; mass = 60.0 };
+    { Retail.satiation = 300.0; sensitivity = 0.01; mass = 30.0 };
+    { Retail.satiation = 800.0; sensitivity = 0.005; mass = 10.0 };
+  ]
+
+let satiation_demand =
+  List.fold_left (fun acc u -> acc +. (u.Retail.mass *. u.Retail.satiation))
+    0.0 retail_users
+
+let test_retail_slack_capacity () =
+  (* Plenty of capacity: no congestion, flat = usage(0). *)
+  let e = Retail.equilibrium ~users:retail_users ~capacity:(2.0 *. satiation_demand) Retail.Flat in
+  Alcotest.(check (float 1e-9)) "full quality" 1.0 e.Retail.quality;
+  Alcotest.(check bool) "not congested" false e.Retail.congested;
+  Alcotest.(check (float 1e-6)) "clearing price zero" 0.0
+    (Retail.market_clearing_price ~users:retail_users
+       ~capacity:(2.0 *. satiation_demand));
+  Alcotest.(check (float 1e-3)) "no gain from usage pricing" 0.0
+    (Retail.welfare_gain_of_usage_pricing ~users:retail_users
+       ~capacity:(2.0 *. satiation_demand))
+
+let test_retail_flat_congests () =
+  let capacity = 0.4 *. satiation_demand in
+  let e = Retail.equilibrium ~users:retail_users ~capacity Retail.Flat in
+  Alcotest.(check bool) "congested" true e.Retail.congested;
+  (* Flat demand ignores congestion entirely. *)
+  Alcotest.(check (float 1e-6)) "demand at satiation" satiation_demand
+    e.Retail.total_demand
+
+let test_retail_clearing_price_clears () =
+  let capacity = 0.4 *. satiation_demand in
+  let p = Retail.market_clearing_price ~users:retail_users ~capacity in
+  Alcotest.(check bool) "positive price" true (p > 0.0);
+  let e = Retail.equilibrium ~users:retail_users ~capacity (Retail.Usage p) in
+  Alcotest.(check bool) "uncongested at clearing" false e.Retail.congested;
+  Alcotest.(check (float 1.0)) "demand ~ capacity" capacity e.Retail.total_demand
+
+let test_retail_usage_beats_flat_under_scarcity () =
+  List.iter
+    (fun frac ->
+      let capacity = frac *. satiation_demand in
+      Alcotest.(check bool)
+        (Printf.sprintf "gain at %.0f%% capacity" (100.0 *. frac))
+        true
+        (Retail.welfare_gain_of_usage_pricing ~users:retail_users ~capacity
+         > 0.0))
+    [ 0.2; 0.4; 0.6; 0.8 ]
+
+let test_retail_tiered_between () =
+  let capacity = 0.4 *. satiation_demand in
+  let p = Retail.market_clearing_price ~users:retail_users ~capacity in
+  let flat = Retail.equilibrium ~users:retail_users ~capacity Retail.Flat in
+  let usage = Retail.equilibrium ~users:retail_users ~capacity (Retail.Usage p) in
+  let tiered =
+    Retail.equilibrium ~users:retail_users ~capacity
+      (Retail.Tiered { allowance = 50.0; overage = p })
+  in
+  Alcotest.(check bool) "tiered demand between" true
+    (tiered.Retail.total_demand >= usage.Retail.total_demand -. 1e-6
+    && tiered.Retail.total_demand <= flat.Retail.total_demand +. 1e-6)
+
+let test_retail_validation () =
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Retail: capacity must be positive") (fun () ->
+      ignore (Retail.equilibrium ~users:retail_users ~capacity:0.0 Retail.Flat));
+  Alcotest.(check bool) "class validation" true
+    (Retail.validate_class
+       { Retail.satiation = -1.0; sensitivity = 1.0; mass = 1.0 }
+    <> Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "demand at zero" `Quick test_demand_at_zero;
+    Alcotest.test_case "demand decreasing" `Quick test_demand_decreasing;
+    Alcotest.test_case "demand validation" `Quick test_demand_validation;
+    Alcotest.test_case "mean values normalized" `Quick test_mean_values_normalized;
+    Alcotest.test_case "quantile inverts demand" `Quick test_quantile_inverts_demand;
+    Alcotest.test_case "survival integral" `Quick test_survival_integral_matches_numeric;
+    Alcotest.test_case "monopoly prices (closed forms)" `Quick
+      test_monopoly_prices_closed_form;
+    Alcotest.test_case "price given fee (closed forms)" `Quick
+      test_price_given_fee_closed_form;
+    Alcotest.test_case "price maximizes revenue" `Quick test_price_maximizes_revenue;
+    Alcotest.test_case "Lemma 1 monotonicity" `Quick test_lemma1_monotonicity;
+    QCheck_alcotest.to_alcotest qcheck_lemma1;
+    Alcotest.test_case "unilateral fee positive & optimal" `Quick
+      test_unilateral_fee_positive;
+    Alcotest.test_case "welfare closed form" `Quick test_welfare_uniform_closed_form;
+    Alcotest.test_case "welfare decreasing in price" `Quick
+      test_welfare_decreasing_in_price;
+    Alcotest.test_case "producer split" `Quick test_producer_split;
+    Alcotest.test_case "deadweight loss nonnegative" `Quick
+      test_deadweight_loss_nonnegative;
+    Alcotest.test_case "NN dominates UR per family" `Quick test_nn_dominates_ur;
+    Alcotest.test_case "NBS formula" `Quick test_nbs_formula;
+    Alcotest.test_case "NBS maximizes Nash product" `Quick
+      test_nbs_maximizes_nash_product;
+    Alcotest.test_case "fee decreasing in churn" `Quick test_fee_decreasing_in_churn;
+    Alcotest.test_case "average fee weighting" `Quick test_average_fee;
+    Alcotest.test_case "bargaining validation" `Quick test_bargaining_validation;
+    Alcotest.test_case "equilibrium residual zero" `Quick test_equilibrium_residual_zero;
+    Alcotest.test_case "equilibrium closed form (uniform)" `Quick
+      test_equilibrium_uniform_closed_form;
+    Alcotest.test_case "equilibrium fee below unilateral" `Quick
+      test_equilibrium_fee_below_unilateral;
+    Alcotest.test_case "equilibrium Lomax counterexample" `Quick
+      test_equilibrium_lomax_counterexample;
+    Alcotest.test_case "equilibrium decreasing in <rc>" `Quick
+      test_equilibrium_decreasing_in_rc;
+    Alcotest.test_case "regime validation" `Quick test_regime_validate;
+    Alcotest.test_case "NN means zero fees" `Quick test_nn_zero_fees;
+    Alcotest.test_case "welfare ordering across regimes" `Quick
+      test_welfare_ordering_across_regimes;
+    Alcotest.test_case "incumbent LMP extracts more" `Quick
+      test_incumbent_lmp_extracts_more;
+    Alcotest.test_case "popular CSP pays less" `Quick test_popular_csp_pays_less;
+    Alcotest.test_case "consumer welfare highest under NN" `Quick
+      test_consumer_welfare_highest_under_nn;
+    Alcotest.test_case "churn model" `Quick test_churn_model;
+    QCheck_alcotest.to_alcotest qcheck_nn_dominance_random_economies;
+    Alcotest.test_case "entry margins ordered" `Quick test_entry_margins_ordered;
+    Alcotest.test_case "entry weakest-link complements" `Quick
+      test_entry_weakest_link;
+    Alcotest.test_case "entry verdict consistency" `Quick test_entry_verdict_consistency;
+    Alcotest.test_case "entry validation" `Quick test_entry_validation;
+    Alcotest.test_case "retail slack capacity" `Quick test_retail_slack_capacity;
+    Alcotest.test_case "retail flat congests" `Quick test_retail_flat_congests;
+    Alcotest.test_case "retail clearing price" `Quick test_retail_clearing_price_clears;
+    Alcotest.test_case "retail usage beats flat" `Quick
+      test_retail_usage_beats_flat_under_scarcity;
+    Alcotest.test_case "retail tiered between" `Quick test_retail_tiered_between;
+    Alcotest.test_case "retail validation" `Quick test_retail_validation;
+  ]

@@ -1,0 +1,100 @@
+(* Tests for Poc_federation: regional partition, per-region auctions,
+   interconnect and the fragmentation comparison. *)
+
+module Federation = Poc_federation.Federation
+module Vcg = Poc_auction.Vcg
+module Wan = Poc_topology.Wan
+
+let plan () = Lazy.force Fixtures.small_plan
+
+let federation = lazy (Federation.build (Lazy.force Fixtures.small_plan) ~regions:2)
+
+let get () =
+  match Lazy.force federation with
+  | Ok f -> f
+  | Error msg -> Alcotest.fail ("federation build failed: " ^ msg)
+
+let test_partition_covers_everything () =
+  let wan = (plan ()).Poc_core.Planner.wan in
+  let assignment = Federation.partition wan ~regions:3 in
+  Alcotest.(check int) "every router assigned"
+    (Array.length wan.Wan.poc_sites)
+    (Array.length assignment);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "region in range" true (r >= 0 && r < 3))
+    assignment;
+  (* Balanced within one router. *)
+  let counts = Array.make 3 0 in
+  Array.iter (fun r -> counts.(r) <- counts.(r) + 1) assignment;
+  let mn = Array.fold_left min counts.(0) counts in
+  let mx = Array.fold_left max counts.(0) counts in
+  Alcotest.(check bool) "balanced" true (mx - mn <= 1)
+
+let test_partition_validates () =
+  let wan = (plan ()).Poc_core.Planner.wan in
+  Alcotest.check_raises "zero regions" (Invalid_argument "Federation.partition")
+    (fun () -> ignore (Federation.partition wan ~regions:0))
+
+let test_regional_selections_stay_internal () =
+  let f = get () in
+  let wan = (plan ()).Poc_core.Planner.wan in
+  Array.iter
+    (fun (poc : Federation.regional_poc) ->
+      List.iter
+        (fun id ->
+          let l = wan.Wan.links.(id) in
+          Alcotest.(check int) "endpoint a in region" poc.Federation.region
+            f.Federation.assignment.(l.Wan.node_a);
+          Alcotest.(check int) "endpoint b in region" poc.Federation.region
+            f.Federation.assignment.(l.Wan.node_b))
+        poc.Federation.outcome.Vcg.selection.Vcg.selected)
+    f.Federation.pocs
+
+let test_federation_carries_all_traffic () =
+  let f = get () in
+  let total_intra =
+    Array.fold_left
+      (fun acc (p : Federation.regional_poc) -> acc +. p.Federation.intra_gbps)
+      0.0 f.Federation.pocs
+  in
+  let matrix_total =
+    Poc_traffic.Matrix.total (plan ()).Poc_core.Planner.matrix
+  in
+  Alcotest.(check (float 1e-6)) "intra + inter = matrix"
+    matrix_total
+    (total_intra +. f.Federation.inter_gbps)
+
+let test_fragmentation_overhead_positive () =
+  let f = get () in
+  Alcotest.(check bool) "spend positive" true (f.Federation.federation_spend > 0.0);
+  (* A federation cannot pool link selection across regions; it should
+     not be cheaper than the single POC (up to heuristic noise). *)
+  Alcotest.(check bool) "overhead > -5%" true
+    (Federation.fragmentation_overhead f > -0.05)
+
+let test_regional_prices_positive () =
+  let f = get () in
+  Array.iter
+    (fun (p : Federation.regional_poc) ->
+      if p.Federation.intra_gbps > 0.0 then
+        Alcotest.(check bool) "positive price" true (p.Federation.price_per_gbps > 0.0))
+    f.Federation.pocs
+
+let test_render () =
+  let f = get () in
+  let s = Federation.render (plan ()) f in
+  Alcotest.(check bool) "has rows" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "partition covers everything" `Quick
+      test_partition_covers_everything;
+    Alcotest.test_case "partition validates" `Quick test_partition_validates;
+    Alcotest.test_case "regional selections internal" `Quick
+      test_regional_selections_stay_internal;
+    Alcotest.test_case "carries all traffic" `Quick test_federation_carries_all_traffic;
+    Alcotest.test_case "fragmentation overhead" `Quick
+      test_fragmentation_overhead_positive;
+    Alcotest.test_case "regional prices" `Quick test_regional_prices_positive;
+    Alcotest.test_case "render" `Quick test_render;
+  ]

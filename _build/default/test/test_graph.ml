@@ -1,0 +1,299 @@
+(* Tests for Poc_graph: structure, heap, shortest paths, k-shortest
+   paths, connectivity, bridges and max-flow. *)
+
+module Graph = Poc_graph.Graph
+module Heap = Poc_graph.Heap
+module Paths = Poc_graph.Paths
+module Flow = Poc_graph.Flow
+module Prng = Poc_util.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A small diamond: 0-1-3 and 0-2-3 with a direct 0-3 chord. *)
+let diamond () =
+  let g = Graph.create () in
+  Graph.add_nodes g 4;
+  let e01 = Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0 in
+  let e13 = Graph.add_edge g 1 3 ~weight:1.0 ~capacity:10.0 in
+  let e02 = Graph.add_edge g 0 2 ~weight:2.0 ~capacity:5.0 in
+  let e23 = Graph.add_edge g 2 3 ~weight:2.0 ~capacity:5.0 in
+  let e03 = Graph.add_edge g 0 3 ~weight:5.0 ~capacity:1.0 in
+  (g, e01, e13, e02, e23, e03)
+
+let random_graph seed ~nodes ~edges =
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  Graph.add_nodes g nodes;
+  (* Spanning chain for connectivity, then random extras. *)
+  for v = 1 to nodes - 1 do
+    ignore
+      (Graph.add_edge g (v - 1) v
+         ~weight:(1.0 +. Prng.float rng)
+         ~capacity:(1.0 +. (10.0 *. Prng.float rng)))
+  done;
+  let added = ref 0 in
+  while !added < edges do
+    let a = Prng.int rng nodes and b = Prng.int rng nodes in
+    if a <> b then begin
+      ignore
+        (Graph.add_edge g a b
+           ~weight:(1.0 +. Prng.float rng)
+           ~capacity:(1.0 +. (10.0 *. Prng.float rng)));
+      incr added
+    end
+  done;
+  g
+
+(* --- Graph structure ---------------------------------------------------- *)
+
+let test_graph_basics () =
+  let g, e01, _, _, _, _ = diamond () in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "edges" 5 (Graph.edge_count g);
+  Alcotest.(check int) "degree 0" 3 (Graph.degree g 0);
+  let e = Graph.edge g e01 in
+  Alcotest.(check int) "other endpoint" 1 (Graph.other_endpoint e 0);
+  Alcotest.(check int) "other endpoint rev" 0 (Graph.other_endpoint e 1)
+
+let test_graph_rejects_bad_edges () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> ignore (Graph.add_edge g 0 0 ~weight:1.0 ~capacity:1.0));
+  Alcotest.check_raises "unknown endpoint"
+    (Invalid_argument "Graph.add_edge: unknown endpoint") (fun () ->
+      ignore (Graph.add_edge g 0 5 ~weight:1.0 ~capacity:1.0));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Graph.add_edge: negative weight or capacity") (fun () ->
+      ignore (Graph.add_edge g 0 1 ~weight:(-1.0) ~capacity:1.0))
+
+let test_graph_parallel_edges () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  let a = Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0 in
+  let b = Graph.add_edge g 0 1 ~weight:2.0 ~capacity:2.0 in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "degree counts both" 2 (Graph.degree g 0)
+
+let test_fold_edges () =
+  let g, _, _, _, _, _ = diamond () in
+  let total = Graph.fold_edges (fun e acc -> acc +. e.Graph.capacity) g 0.0 in
+  check_float "total capacity" 31.0 total
+
+(* --- Heap --------------------------------------------------------------- *)
+
+let test_heap_sorted_pops () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain [])
+
+let qcheck_heap_property =
+  QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, ()) -> k >= prev && drain k
+      in
+      drain neg_infinity)
+
+(* --- Shortest paths ------------------------------------------------------ *)
+
+let test_dijkstra_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let dist, _ = Paths.dijkstra g 0 in
+  check_float "dist 3 via 1" 2.0 dist.(3);
+  check_float "dist 2" 2.0 dist.(2)
+
+let test_shortest_path_structure () =
+  let g, e01, e13, _, _, _ = diamond () in
+  match Paths.shortest_path g 0 3 with
+  | None -> Alcotest.fail "should be connected"
+  | Some p ->
+    Alcotest.(check (list int)) "takes the cheap branch" [ e01; e13 ]
+      (List.map (fun (e : Graph.edge) -> e.id) p);
+    check_float "weight" 2.0 (Paths.path_weight p);
+    Alcotest.(check (list int)) "node walk" [ 0; 1; 3 ] (Paths.path_nodes ~src:0 p)
+
+let test_shortest_path_respects_enabled () =
+  let g, e01, _, e02, e23, _ = diamond () in
+  let enabled id = id <> e01 in
+  match Paths.shortest_path ~enabled g 0 3 with
+  | None -> Alcotest.fail "still connected"
+  | Some p ->
+    Alcotest.(check (list int)) "detours" [ e02; e23 ]
+      (List.map (fun (e : Graph.edge) -> e.id) p)
+
+let test_disconnected () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  Alcotest.(check bool) "no path" true (Paths.shortest_path g 0 2 = None);
+  Alcotest.(check bool) "not connected" false (Paths.is_connected g);
+  Alcotest.(check int) "two components" 2 (Paths.component_count g)
+
+let test_hop_distance () =
+  let g, _, _, _, _, _ = diamond () in
+  Alcotest.(check (option int)) "one hop via chord" (Some 1)
+    (Paths.hop_distance g 0 3);
+  Alcotest.(check (option int)) "self" (Some 0) (Paths.hop_distance g 1 1)
+
+let qcheck_dijkstra_matches_bfs_on_unit_weights =
+  QCheck.Test.make ~name:"dijkstra = bfs on unit weights" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Graph.create () in
+      let n = 12 in
+      Graph.add_nodes g n;
+      for v = 1 to n - 1 do
+        ignore (Graph.add_edge g (Prng.int rng v) v ~weight:1.0 ~capacity:1.0)
+      done;
+      for _ = 1 to 6 do
+        let a = Prng.int rng n and b = Prng.int rng n in
+        if a <> b then ignore (Graph.add_edge g a b ~weight:1.0 ~capacity:1.0)
+      done;
+      let dist, _ = Paths.dijkstra g 0 in
+      List.for_all
+        (fun v ->
+          match Paths.hop_distance g 0 v with
+          | None -> dist.(v) = infinity
+          | Some h -> Float.abs (dist.(v) -. float_of_int h) < 1e-9)
+        (List.init n Fun.id))
+
+(* --- k shortest paths ----------------------------------------------------- *)
+
+let test_yen_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let paths = Paths.k_shortest_paths g 0 3 3 in
+  Alcotest.(check int) "three distinct paths" 3 (List.length paths);
+  let weights = List.map Paths.path_weight paths in
+  Alcotest.(check (list (float 1e-9))) "sorted weights" [ 2.0; 4.0; 5.0 ] weights
+
+let test_yen_k_larger_than_paths () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  Alcotest.(check int) "only one path exists" 1
+    (List.length (Paths.k_shortest_paths g 0 1 5))
+
+let qcheck_yen_sorted_and_distinct =
+  QCheck.Test.make ~name:"yen paths sorted and loopless" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed ~nodes:9 ~edges:8 in
+      let paths = Paths.k_shortest_paths g 0 8 4 in
+      let weights = List.map Paths.path_weight paths in
+      let sorted = List.sort compare weights in
+      let ids = List.map (List.map (fun (e : Graph.edge) -> e.id)) paths in
+      let distinct = List.sort_uniq compare ids in
+      let loopless p =
+        let nodes = Paths.path_nodes ~src:0 p in
+        List.length (List.sort_uniq compare nodes) = List.length nodes
+      in
+      weights = sorted
+      && List.length distinct = List.length ids
+      && List.for_all loopless paths)
+
+(* --- Bridges -------------------------------------------------------------- *)
+
+let test_bridges_chain () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  let a = Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0 in
+  let b = Graph.add_edge g 1 2 ~weight:1.0 ~capacity:1.0 in
+  Alcotest.(check (list int)) "both are bridges" [ a; b ] (Paths.bridges g)
+
+let test_bridges_cycle () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  ignore (Graph.add_edge g 1 2 ~weight:1.0 ~capacity:1.0);
+  ignore (Graph.add_edge g 2 0 ~weight:1.0 ~capacity:1.0);
+  Alcotest.(check (list int)) "no bridges in a cycle" [] (Paths.bridges g)
+
+let test_bridges_parallel_edges () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  Alcotest.(check (list int)) "parallel edges are not bridges" []
+    (Paths.bridges g)
+
+(* --- Max flow -------------------------------------------------------------- *)
+
+let test_max_flow_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let r = Flow.max_flow g 0 3 in
+  (* 10 via top, 5 via bottom, 1 via chord *)
+  check_float "flow value" 16.0 r.Flow.value
+
+let test_max_flow_bottleneck () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:100.0);
+  let bottleneck = Graph.add_edge g 1 2 ~weight:1.0 ~capacity:3.0 in
+  let r = Flow.max_flow g 0 2 in
+  check_float "bottleneck limits" 3.0 r.Flow.value;
+  Alcotest.(check (list int)) "cut is the bottleneck" [ bottleneck ]
+    r.Flow.cut_edges
+
+let test_max_flow_disconnected () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  let r = Flow.max_flow g 0 1 in
+  check_float "zero flow" 0.0 r.Flow.value
+
+let qcheck_maxflow_equals_mincut =
+  QCheck.Test.make ~name:"max-flow = min-cut capacity" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed ~nodes:8 ~edges:10 in
+      let r = Flow.max_flow g 0 7 in
+      Float.abs (r.Flow.value -. Flow.cut_capacity g r.Flow.cut_edges) < 1e-6)
+
+let qcheck_maxflow_bounded_by_degree_capacity =
+  QCheck.Test.make ~name:"max-flow bounded by incident capacity" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed ~nodes:8 ~edges:10 in
+      let r = Flow.max_flow g 0 7 in
+      let cap_at v =
+        List.fold_left
+          (fun acc (e : Graph.edge) -> acc +. e.capacity)
+          0.0 (Graph.incident g v)
+      in
+      r.Flow.value <= cap_at 0 +. 1e-9 && r.Flow.value <= cap_at 7 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph rejects bad edges" `Quick test_graph_rejects_bad_edges;
+    Alcotest.test_case "parallel edges" `Quick test_graph_parallel_edges;
+    Alcotest.test_case "fold over edges" `Quick test_fold_edges;
+    Alcotest.test_case "heap sorted pops" `Quick test_heap_sorted_pops;
+    QCheck_alcotest.to_alcotest qcheck_heap_property;
+    Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+    Alcotest.test_case "shortest path structure" `Quick test_shortest_path_structure;
+    Alcotest.test_case "shortest path enabled mask" `Quick test_shortest_path_respects_enabled;
+    Alcotest.test_case "disconnected graphs" `Quick test_disconnected;
+    Alcotest.test_case "hop distance" `Quick test_hop_distance;
+    QCheck_alcotest.to_alcotest qcheck_dijkstra_matches_bfs_on_unit_weights;
+    Alcotest.test_case "yen on diamond" `Quick test_yen_diamond;
+    Alcotest.test_case "yen exhausts paths" `Quick test_yen_k_larger_than_paths;
+    QCheck_alcotest.to_alcotest qcheck_yen_sorted_and_distinct;
+    Alcotest.test_case "bridges on a chain" `Quick test_bridges_chain;
+    Alcotest.test_case "no bridges on a cycle" `Quick test_bridges_cycle;
+    Alcotest.test_case "parallel edges never bridge" `Quick test_bridges_parallel_edges;
+    Alcotest.test_case "max flow diamond" `Quick test_max_flow_diamond;
+    Alcotest.test_case "max flow bottleneck & cut" `Quick test_max_flow_bottleneck;
+    Alcotest.test_case "max flow disconnected" `Quick test_max_flow_disconnected;
+    QCheck_alcotest.to_alcotest qcheck_maxflow_equals_mincut;
+    QCheck_alcotest.to_alcotest qcheck_maxflow_bounded_by_degree_capacity;
+  ]

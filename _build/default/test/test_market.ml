@@ -1,0 +1,109 @@
+(* Tests for Poc_market.Epochs: repeated auctions, cost drift, recalls
+   and supplier concentration. *)
+
+module Epochs = Poc_market.Epochs
+module Vcg = Poc_auction.Vcg
+
+let plan () = Lazy.force Fixtures.small_plan
+
+let run_market ?(epochs = 6) ?(trend = -0.03) ?(strategies = []) () =
+  Epochs.run (plan ())
+    {
+      Epochs.epochs;
+      cost_trend = trend;
+      cost_volatility = 0.02;
+      demand_growth = 1.0;
+      strategies;
+      seed = 3;
+    }
+
+let test_epoch_count () =
+  Alcotest.(check int) "one result per epoch" 6 (List.length (run_market ()))
+
+let test_epochs_numbered () =
+  List.iteri
+    (fun i r -> Alcotest.(check int) "sequential" (i + 1) r.Epochs.epoch)
+    (run_market ())
+
+let test_no_failures_on_healthy_market () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "selection found" false r.Epochs.failed)
+    (run_market ())
+
+let test_spend_tracks_declining_costs () =
+  let results = run_market ~epochs:8 ~trend:(-0.05) () in
+  match (results, List.rev results) with
+  | first :: _, last :: _ ->
+    Alcotest.(check bool) "POC spend falls with market prices" true
+      (last.Epochs.spend < first.Epochs.spend)
+  | _, _ -> Alcotest.fail "results expected"
+
+let test_rising_costs_raise_spend () =
+  let results = run_market ~epochs:8 ~trend:0.05 () in
+  match (results, List.rev results) with
+  | first :: _, last :: _ ->
+    Alcotest.(check bool) "spend rises" true
+      (last.Epochs.spend > first.Epochs.spend)
+  | _, _ -> Alcotest.fail "results expected"
+
+let test_hhi_range () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "HHI in (0,1]" true
+        (r.Epochs.supplier_hhi > 0.0 && r.Epochs.supplier_hhi <= 1.0))
+    (run_market ())
+
+let test_recall_strategy_counts () =
+  let results =
+    run_market ~strategies:[ (0, Epochs.Recallable 0.5) ] ()
+  in
+  let any_recalls =
+    List.exists (fun r -> r.Epochs.recalled_links > 0) results
+  in
+  Alcotest.(check bool) "recalls happen" true any_recalls;
+  List.iter
+    (fun r -> Alcotest.(check bool) "still clears" false r.Epochs.failed)
+    results
+
+let test_markup_strategy_raises_spend () =
+  let honest = run_market () in
+  let marked =
+    run_market
+      ~strategies:
+        (List.init (Array.length (plan ()).Poc_core.Planner.problem.Vcg.bids)
+           (fun bp -> (bp, Epochs.Markup 0.5)))
+      ()
+  in
+  let avg results =
+    let xs = List.map (fun r -> r.Epochs.spend) results in
+    List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Alcotest.(check bool) "universal markup costs the POC more" true
+    (avg marked > avg honest)
+
+let test_config_validation () =
+  Alcotest.check_raises "epochs must be positive"
+    (Invalid_argument "Epochs.run: epochs must be positive") (fun () ->
+      ignore
+        (Epochs.run (plan ()) { Epochs.default_config with Epochs.epochs = 0 }))
+
+let test_supplier_hhi_of_outcome () =
+  let outcome = (plan ()).Poc_core.Planner.outcome in
+  let h = Epochs.supplier_hhi outcome in
+  Alcotest.(check bool) "in (0,1]" true (h > 0.0 && h <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "epoch count" `Quick test_epoch_count;
+    Alcotest.test_case "epochs numbered" `Quick test_epochs_numbered;
+    Alcotest.test_case "no failures when healthy" `Quick
+      test_no_failures_on_healthy_market;
+    Alcotest.test_case "spend tracks declining costs" `Quick
+      test_spend_tracks_declining_costs;
+    Alcotest.test_case "rising costs raise spend" `Quick test_rising_costs_raise_spend;
+    Alcotest.test_case "HHI range" `Quick test_hhi_range;
+    Alcotest.test_case "recall strategy" `Quick test_recall_strategy_counts;
+    Alcotest.test_case "markup raises spend" `Quick test_markup_strategy_raises_spend;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "supplier HHI of outcome" `Quick test_supplier_hhi_of_outcome;
+  ]

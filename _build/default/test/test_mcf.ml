@@ -1,0 +1,217 @@
+(* Tests for Poc_mcf.Router: feasibility, splitting, conservation,
+   incremental re-routing and failure checks. *)
+
+module Graph = Poc_graph.Graph
+module Router = Poc_mcf.Router
+module Prng = Poc_util.Prng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* 0 --10--> 1 --10--> 2 plus a parallel 0-2 link of capacity 4. *)
+let chain_with_shortcut () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  let e01 = Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0 in
+  let e12 = Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0 in
+  let e02 = Graph.add_edge g 0 2 ~weight:5.0 ~capacity:4.0 in
+  (g, e01, e12, e02)
+
+let test_simple_route () =
+  let g, e01, e12, _ = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 2, 6.0) ] in
+  Alcotest.(check bool) "feasible" true r.Router.feasible;
+  check_float "total routed" 6.0 (Router.total_routed r);
+  check_float "uses cheap path" 6.0 r.Router.usage.(e01);
+  check_float "uses cheap path (2nd hop)" 6.0 r.Router.usage.(e12)
+
+let test_split_when_needed () =
+  let g, _, _, e02 = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 2, 12.0) ] in
+  Alcotest.(check bool) "feasible by splitting" true r.Router.feasible;
+  check_float "total" 12.0 (Router.total_routed r);
+  Alcotest.(check bool) "overflow takes the long link" true
+    (r.Router.usage.(e02) > 0.0)
+
+let test_infeasible_detected () =
+  let g, _, _, _ = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 2, 15.0) ] in
+  Alcotest.(check bool) "infeasible" false r.Router.feasible;
+  Alcotest.(check bool) "leftover reported" true (r.Router.unrouted <> []);
+  let _, _, leftover = List.hd r.Router.unrouted in
+  check_float "exactly one Gbps missing" 1.0 leftover
+
+let test_capacity_never_exceeded () =
+  let g, _, _, _ = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 2, 14.0); (0, 1, 0.0) ] in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check bool) "usage <= capacity" true
+        (r.Router.usage.(e.id) <= e.capacity +. 1e-6))
+    (Graph.edges g);
+  Alcotest.(check bool) "max utilization <= 1" true
+    (Router.max_utilization g r <= 1.0 +. 1e-6)
+
+let test_enabled_mask_respected () =
+  let g, e01, _, e02 = chain_with_shortcut () in
+  let r = Router.route ~enabled:(fun id -> id <> e01) g ~demands:[ (0, 2, 3.0) ] in
+  Alcotest.(check bool) "feasible via shortcut" true r.Router.feasible;
+  check_float "no use of disabled edge" 0.0 r.Router.usage.(e01);
+  check_float "shortcut carries it" 3.0 r.Router.usage.(e02)
+
+let test_multiple_demands_sorted_by_size () =
+  let g, _, _, _ = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 1, 2.0); (1, 2, 3.0); (0, 2, 5.0) ] in
+  Alcotest.(check bool) "feasible" true r.Router.feasible;
+  check_float "everything routed" 10.0 (Router.total_routed r)
+
+let test_bad_demands_rejected () =
+  let g, _, _, _ = chain_with_shortcut () in
+  Alcotest.check_raises "self demand" (Invalid_argument "Router: self demand")
+    (fun () -> ignore (Router.route g ~demands:[ (1, 1, 1.0) ]));
+  Alcotest.check_raises "unknown node" (Invalid_argument "Router: unknown node")
+    (fun () -> ignore (Router.route g ~demands:[ (0, 9, 1.0) ]));
+  Alcotest.check_raises "negative" (Invalid_argument "Router: bad demand")
+    (fun () -> ignore (Router.route g ~demands:[ (0, 1, -2.0) ]))
+
+let test_used_edges () =
+  let g, e01, e12, e02 = chain_with_shortcut () in
+  let r = Router.route g ~demands:[ (0, 2, 1.0) ] in
+  Alcotest.(check (list int)) "only the cheap path" [ e01; e12 ]
+    (Router.used_edges r);
+  ignore e02
+
+(* --- Incremental re-route / failures --------------------------------------- *)
+
+let test_reroute_without_unused_edge () =
+  let g, _, _, e02 = chain_with_shortcut () in
+  let base = Router.route g ~demands:[ (0, 2, 5.0) ] in
+  match Router.reroute_without_edge g ~base ~failed_edge:e02 with
+  | None -> Alcotest.fail "unused edge removal must succeed"
+  | Some r ->
+    check_float "capacity shrinks" (base.Router.enabled_capacity -. 4.0)
+      r.Router.enabled_capacity
+
+let test_reroute_shifts_traffic () =
+  let g, e01, _, e02 = chain_with_shortcut () in
+  let base = Router.route g ~demands:[ (0, 2, 4.0) ] in
+  match Router.reroute_without_edge g ~base ~failed_edge:e01 with
+  | None -> Alcotest.fail "shortcut can absorb the demand"
+  | Some r ->
+    check_float "moved to shortcut" 4.0 r.Router.usage.(e02);
+    check_float "failed edge idle" 0.0 r.Router.usage.(e01)
+
+let test_reroute_infeasible () =
+  let g, e01, _, _ = chain_with_shortcut () in
+  let base = Router.route g ~demands:[ (0, 2, 6.0) ] in
+  Alcotest.(check bool) "cannot absorb 6 on a 4-capacity detour" true
+    (Router.reroute_without_edge g ~base ~failed_edge:e01 = None)
+
+let test_survives_all_failures_triangle () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0);
+  ignore (Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0);
+  ignore (Graph.add_edge g 2 0 ~weight:1.0 ~capacity:10.0);
+  let demands = [ (0, 1, 4.0); (1, 2, 4.0) ] in
+  let base = Router.route g ~demands in
+  Alcotest.(check bool) "triangle survives any single failure" true
+    (Router.survives_all_single_failures g ~demands base)
+
+let test_does_not_survive_on_chain () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0);
+  ignore (Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0);
+  let demands = [ (0, 2, 1.0) ] in
+  let base = Router.route g ~demands in
+  Alcotest.(check bool) "chain dies with either link" false
+    (Router.survives_all_single_failures g ~demands base)
+
+(* --- Properties -------------------------------------------------------------- *)
+
+let random_instance seed =
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let n = 8 in
+  Graph.add_nodes g n;
+  for v = 1 to n - 1 do
+    ignore
+      (Graph.add_edge g (Prng.int rng v) v ~weight:(1.0 +. Prng.float rng)
+         ~capacity:(5.0 +. (10.0 *. Prng.float rng)))
+  done;
+  for _ = 1 to 8 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if a <> b then
+      ignore
+        (Graph.add_edge g a b ~weight:(1.0 +. Prng.float rng)
+           ~capacity:(5.0 +. (10.0 *. Prng.float rng)))
+  done;
+  let demands = ref [] in
+  for _ = 1 to 6 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if a <> b then demands := (a, b, 3.0 *. Prng.float rng) :: !demands
+  done;
+  (g, !demands)
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"routed + unrouted = offered" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, demands = random_instance seed in
+      let r = Router.route g ~demands in
+      let offered = List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 demands in
+      let unrouted =
+        List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 r.Router.unrouted
+      in
+      Float.abs (Router.total_routed r +. unrouted -. offered) < 1e-6)
+
+let qcheck_capacity_respected =
+  QCheck.Test.make ~name:"usage never exceeds capacity" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, demands = random_instance seed in
+      let r = Router.route g ~demands in
+      Graph.fold_edges
+        (fun e acc -> acc && r.Router.usage.(e.Graph.id) <= e.capacity +. 1e-6)
+        g true)
+
+let qcheck_chunks_are_real_paths =
+  QCheck.Test.make ~name:"chunks are contiguous src->dst paths" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, demands = random_instance seed in
+      let r = Router.route g ~demands in
+      Array.for_all
+        (fun (c : Router.chunk) ->
+          let rec walk node = function
+            | [] -> node = c.Router.dst
+            | eid :: rest ->
+              let e = Graph.edge g eid in
+              if e.Graph.u = node then walk e.Graph.v rest
+              else if e.Graph.v = node then walk e.Graph.u rest
+              else false
+          in
+          walk c.Router.src c.Router.edge_ids)
+        r.Router.chunks)
+
+let suite =
+  [
+    Alcotest.test_case "simple route" `Quick test_simple_route;
+    Alcotest.test_case "splits across paths" `Quick test_split_when_needed;
+    Alcotest.test_case "infeasibility detected" `Quick test_infeasible_detected;
+    Alcotest.test_case "capacity never exceeded" `Quick test_capacity_never_exceeded;
+    Alcotest.test_case "enabled mask respected" `Quick test_enabled_mask_respected;
+    Alcotest.test_case "multiple demands" `Quick test_multiple_demands_sorted_by_size;
+    Alcotest.test_case "bad demands rejected" `Quick test_bad_demands_rejected;
+    Alcotest.test_case "used edges" `Quick test_used_edges;
+    Alcotest.test_case "reroute without unused edge" `Quick
+      test_reroute_without_unused_edge;
+    Alcotest.test_case "reroute shifts traffic" `Quick test_reroute_shifts_traffic;
+    Alcotest.test_case "reroute infeasible" `Quick test_reroute_infeasible;
+    Alcotest.test_case "triangle survives failures" `Quick
+      test_survives_all_failures_triangle;
+    Alcotest.test_case "chain does not survive" `Quick test_does_not_survive_on_chain;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    QCheck_alcotest.to_alcotest qcheck_capacity_respected;
+    QCheck_alcotest.to_alcotest qcheck_chunks_are_real_paths;
+  ]

@@ -1,0 +1,417 @@
+(* Tests for Poc_sim: flow synthesis, fabric behavior, QoS, policy
+   injection and neutrality-violation detection. *)
+
+module Fabric = Poc_sim.Fabric
+module Detector = Poc_sim.Detector
+module Member = Poc_core.Member
+module Terms = Poc_core.Terms
+module Prng = Poc_util.Prng
+
+let plan () = Lazy.force Fixtures.small_plan
+
+let flows ?(seed = 21) ?(per_pair = 2) () =
+  Fabric.synthesize_flows (Prng.create seed) (plan ()) ~flows_per_pair:per_pair
+
+let test_flow_synthesis_conserves_volume () =
+  let fs = flows () in
+  let total = List.fold_left (fun acc f -> acc +. f.Fabric.gbps) 0.0 fs in
+  (* Every demand entry with resolvable endpoints becomes flows; all
+     endpoints resolve in the fixture, so totals match the matrix. *)
+  Alcotest.(check (float 1e-3)) "volume preserved"
+    (Poc_traffic.Matrix.total (plan ()).Poc_core.Planner.matrix)
+    total
+
+let test_flows_have_distinct_ids () =
+  let fs = flows () in
+  let ids = List.map (fun f -> f.Fabric.flow_id) fs in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_flow_endpoints_are_members () =
+  let plan = plan () in
+  let member_ids =
+    List.map (fun m -> m.Member.id) plan.Poc_core.Planner.members
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "src known" true (List.mem f.Fabric.src_member member_ids);
+      Alcotest.(check bool) "dst known" true (List.mem f.Fabric.dst_member member_ids))
+    (flows ())
+
+let test_neutral_run_delivers () =
+  let report = Fabric.run (plan ()) Fabric.neutral_config (flows ()) in
+  Alcotest.(check bool) "delivers most traffic" true
+    (Fabric.delivery_ratio report > 0.95);
+  Alcotest.(check bool) "conservation" true
+    (report.Fabric.delivered_gbps <= report.Fabric.offered_gbps +. 1e-6)
+
+let test_neutral_run_no_policy_hits () =
+  let report = Fabric.run (plan ()) Fabric.neutral_config (flows ()) in
+  Array.iter
+    (fun (r : Fabric.flow_result) ->
+      Alcotest.(check bool) "no policy applied" false r.Fabric.policy_applied)
+    report.Fabric.results
+
+let find_busy_pair () =
+  (* A (src, dst) member pair that actually exchanges traffic. *)
+  let fs = flows () in
+  match fs with
+  | [] -> Alcotest.fail "no flows"
+  | f :: _ -> (f.Fabric.src_member, f.Fabric.dst_member)
+
+let test_throttle_policy_reduces_delivery () =
+  let src, dst = find_busy_pair () in
+  let config =
+    {
+      Fabric.policies =
+        [ (dst, Fabric.Throttle { app = None; src = Some src; factor = 0.3 }) ];
+      premium_boost = 1.0;
+    }
+  in
+  let neutral = Fabric.run (plan ()) Fabric.neutral_config (flows ()) in
+  let shaped = Fabric.run (plan ()) config (flows ()) in
+  Alcotest.(check bool) "delivery strictly lower" true
+    (shaped.Fabric.delivered_gbps < neutral.Fabric.delivered_gbps);
+  let hit =
+    Array.exists (fun r -> r.Fabric.policy_applied) shaped.Fabric.results
+  in
+  Alcotest.(check bool) "policy recorded" true hit
+
+let test_block_policy_zeroes_flows () =
+  let src, dst = find_busy_pair () in
+  let config =
+    { Fabric.policies = [ (dst, Fabric.Block_src src) ]; premium_boost = 1.0 }
+  in
+  let report = Fabric.run (plan ()) config (flows ()) in
+  Array.iter
+    (fun (r : Fabric.flow_result) ->
+      if
+        r.Fabric.flow.Fabric.src_member = src
+        && r.Fabric.flow.Fabric.dst_member = dst
+      then Alcotest.(check (float 1e-9)) "blocked" 0.0 r.Fabric.delivered)
+    report.Fabric.results
+
+let test_premium_boost_validation () =
+  Alcotest.check_raises "boost < 1"
+    (Invalid_argument "Fabric.run: premium boost < 1") (fun () ->
+      ignore
+        (Fabric.run (plan ())
+           { Fabric.policies = []; premium_boost = 0.5 }
+           (flows ())))
+
+(* --- Detection ----------------------------------------------------------------- *)
+
+let test_detector_quiet_on_neutral_fabric () =
+  let report = Fabric.run (plan ()) Fabric.neutral_config (flows ()) in
+  Alcotest.(check int) "no suspicions" 0 (List.length (Detector.detect report))
+
+let test_detector_catches_throttling () =
+  let src, dst = find_busy_pair () in
+  let config =
+    {
+      Fabric.policies =
+        [ (dst, Fabric.Throttle { app = None; src = Some src; factor = 0.2 }) ];
+      premium_boost = 1.0;
+    }
+  in
+  let report = Fabric.run (plan ()) config (flows ()) in
+  let suspicions = Detector.detect report in
+  let caught =
+    List.exists
+      (fun s ->
+        s.Detector.lmp = dst
+        &&
+        match s.Detector.against with
+        | Detector.Src m -> m = src
+        | Detector.App _ -> false)
+      suspicions
+  in
+  Alcotest.(check bool) "throttling detected" true caught
+
+let test_detector_audit_produces_violations () =
+  let src, dst = find_busy_pair () in
+  let config =
+    { Fabric.policies = [ (dst, Fabric.Block_src src) ]; premium_boost = 1.0 }
+  in
+  let report = Fabric.run (plan ()) config (flows ()) in
+  let violations = Detector.audit report in
+  Alcotest.(check bool) "at least one violation" true (violations <> []);
+  List.iter
+    (fun ((o : Terms.observation), _reason) ->
+      Alcotest.(check int) "attributed to the blocking LMP" dst o.Terms.actor)
+    violations
+
+let test_observations_reference_condition_one () =
+  let suspicion =
+    { Detector.lmp = 3; against = Detector.Src 1; delivery = 0.1; baseline = 1.0 }
+  in
+  match Detector.to_observations [ suspicion ] with
+  | [ o ] ->
+    Alcotest.(check (option int)) "condition (i)" (Some 1)
+      (Terms.condition_violated o)
+  | _ -> Alcotest.fail "one observation expected"
+
+
+(* --- CDN ------------------------------------------------------------------------- *)
+
+module Cdn = Poc_sim.Cdn
+
+let mk_flow id src dst gbps =
+  { Fabric.flow_id = id; src_member = src; dst_member = dst; gbps;
+    app = "video"; qos = Fabric.Standard }
+
+let test_cdn_offload_arithmetic () =
+  let flows = [ mk_flow 0 1 2 10.0; mk_flow 1 1 3 6.0; mk_flow 2 4 2 5.0 ] in
+  let deployments = [ { Cdn.host_lmp = 2; csp = 1; hit_rate = 0.8 } ] in
+  let o = Cdn.apply deployments flows in
+  Alcotest.(check (float 1e-9)) "offloaded" 8.0 o.Cdn.offloaded_gbps;
+  Alcotest.(check (float 1e-9)) "backbone" 13.0 o.Cdn.backbone_gbps;
+  Alcotest.(check int) "flows kept" 3 (List.length o.Cdn.served_flows)
+
+let test_cdn_full_hit_drops_flow () =
+  let flows = [ mk_flow 0 1 2 10.0 ] in
+  let deployments = [ { Cdn.host_lmp = 2; csp = 1; hit_rate = 1.0 } ] in
+  let o = Cdn.apply deployments flows in
+  Alcotest.(check int) "flow gone" 0 (List.length o.Cdn.served_flows);
+  Alcotest.(check (float 1e-9)) "all at the edge" 10.0 o.Cdn.offloaded_gbps
+
+let test_cdn_bad_hit_rate () =
+  Alcotest.check_raises "hit rate"
+    (Invalid_argument "Cdn.apply: hit rate out of [0,1]") (fun () ->
+      ignore (Cdn.apply [ { Cdn.host_lmp = 1; csp = 2; hit_rate = 1.5 } ] []))
+
+let test_cdn_open_hosting_compliant () =
+  Alcotest.(check int) "no violations" 0
+    (List.length
+       (Cdn.judge_policy ~host_lmp:3 ~policy:(Cdn.Open_hosting 500.0)
+          ~applicants:[ 1; 2; 4 ]))
+
+let test_cdn_selective_hosting_violates () =
+  let violations =
+    Cdn.judge_policy ~host_lmp:3
+      ~policy:(Cdn.Selective_hosting { allowed = [ 1 ]; fee = 500.0 })
+      ~applicants:[ 1; 2; 4 ]
+  in
+  (* All three per-applicant decisions are selective (condition iii):
+     both allowing favorites and denying the rest. *)
+  Alcotest.(check int) "three violations" 3 (List.length violations);
+  List.iter
+    (fun ((o : Terms.observation), _) ->
+      Alcotest.(check (option int)) "condition (iii)" (Some 3)
+        (Terms.condition_violated o))
+    violations
+
+
+(* --- Multicast --------------------------------------------------------------------- *)
+
+module Multicast = Poc_sim.Multicast
+
+let lmp_members () =
+  List.filter (fun m -> m.Member.kind = Member.Lmp) (plan ()).Poc_core.Planner.members
+
+let test_multicast_tree_reaches_receivers () =
+  let members = lmp_members () in
+  match members with
+  | src :: rest when List.length rest >= 3 ->
+    let receivers =
+      List.filteri (fun i _ -> i < 5) rest |> List.map (fun m -> m.Member.id)
+    in
+    let tree =
+      Multicast.build_tree (plan ())
+        { Multicast.source = src.Member.id; receivers; gbps = 2.0 }
+    in
+    Alcotest.(check int) "all reached"
+      (List.length receivers)
+      (List.length tree.Multicast.reached);
+    Alcotest.(check (list int)) "nothing unreachable" [] tree.Multicast.unreachable;
+    Alcotest.(check bool) "tree uses links" true (tree.Multicast.edge_ids <> [])
+  | _ -> Alcotest.fail "fixture too small"
+
+let test_multicast_saves_capacity () =
+  let members = lmp_members () in
+  match members with
+  | src :: rest when List.length rest >= 4 ->
+    let receivers =
+      List.filteri (fun i _ -> i < 6) rest |> List.map (fun m -> m.Member.id)
+    in
+    let c =
+      Multicast.compare_unicast (plan ())
+        [ { Multicast.source = src.Member.id; receivers; gbps = 3.0 } ]
+    in
+    Alcotest.(check bool) "tree never exceeds unicast" true
+      (c.Multicast.multicast_link_gbps <= c.Multicast.unicast_link_gbps +. 1e-9);
+    Alcotest.(check bool) "savings in [0,1)" true
+      (c.Multicast.savings_fraction >= 0.0 && c.Multicast.savings_fraction < 1.0)
+  | _ -> Alcotest.fail "fixture too small"
+
+let test_multicast_single_receiver_no_savings () =
+  let members = lmp_members () in
+  match members with
+  | src :: dst :: _ ->
+    let c =
+      Multicast.compare_unicast (plan ())
+        [ { Multicast.source = src.Member.id; receivers = [ dst.Member.id ];
+            gbps = 1.0 } ]
+    in
+    Alcotest.(check (float 1e-9)) "tree = path" 0.0 c.Multicast.savings_fraction
+  | _ -> Alcotest.fail "fixture too small"
+
+(* --- Availability ------------------------------------------------------------------- *)
+
+module Availability = Poc_sim.Availability
+
+let test_availability_no_failures_is_one () =
+  (* An MTBF far beyond the horizon yields no failure events. *)
+  let r =
+    Availability.simulate (plan ())
+      { Availability.horizon_hours = 10.0; mtbf_hours = 1e9; mttr_hours = 1.0;
+        seed = 4 }
+  in
+  Alcotest.(check (float 1e-9)) "full availability" 1.0 r.Availability.availability;
+  Alcotest.(check int) "no events" 0 r.Availability.failure_events
+
+let test_availability_with_failures () =
+  let r =
+    Availability.simulate (plan ())
+      { Availability.horizon_hours = 720.0; mtbf_hours = 2000.0;
+        mttr_hours = 12.0; seed = 4 }
+  in
+  Alcotest.(check bool) "some failures" true (r.Availability.failure_events > 0);
+  Alcotest.(check bool) "availability in (0,1]" true
+    (r.Availability.availability > 0.0 && r.Availability.availability <= 1.0);
+  Alcotest.(check bool) "worst <= availability bound" true
+    (r.Availability.worst_fraction <= 1.0);
+  (* Samples are chronological. *)
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      a.Availability.time_h <= b.Availability.time_h && sorted rest
+  in
+  Alcotest.(check bool) "chronological" true (sorted r.Availability.samples)
+
+let test_availability_validates () =
+  Alcotest.check_raises "bad config"
+    (Invalid_argument "Availability.simulate: non-positive config") (fun () ->
+      ignore
+        (Availability.simulate (plan ())
+           { Availability.horizon_hours = 0.0; mtbf_hours = 1.0;
+             mttr_hours = 1.0; seed = 0 }))
+
+
+(* --- Anycast ----------------------------------------------------------------------- *)
+
+module Anycast = Poc_sim.Anycast
+
+let test_anycast_improves_latency () =
+  let plan = plan () in
+  let members = lmp_members () in
+  match members with
+  | home_m :: rest when List.length rest >= 6 ->
+    let home = home_m.Member.attachment in
+    let replicas =
+      List.filteri (fun i _ -> i = 2 || i = 4) rest
+      |> List.map (fun m -> m.Member.attachment)
+    in
+    let clients = List.map (fun m -> m.Member.id) rest in
+    let r = Anycast.evaluate plan ~home ~replicas ~clients in
+    Alcotest.(check (list int)) "everyone reachable" [] r.Anycast.unreachable;
+    Alcotest.(check bool) "anycast never slower" true
+      (r.Anycast.mean_latency_ms <= r.Anycast.mean_unicast_latency_ms +. 1e-9);
+    Alcotest.(check bool) "improvement in [0,1)" true
+      (r.Anycast.improvement >= 0.0 && r.Anycast.improvement < 1.0)
+  | _ -> Alcotest.fail "fixture too small"
+
+let test_anycast_home_only_equals_unicast () =
+  let plan = plan () in
+  let members = lmp_members () in
+  match members with
+  | home_m :: rest when rest <> [] ->
+    let home = home_m.Member.attachment in
+    let clients = List.map (fun m -> m.Member.id) rest in
+    let r = Anycast.evaluate plan ~home ~replicas:[] ~clients in
+    Alcotest.(check (float 1e-9)) "no replicas, no improvement" 0.0
+      r.Anycast.improvement
+  | _ -> Alcotest.fail "fixture too small"
+
+let test_anycast_picks_local_replica () =
+  let plan = plan () in
+  let members = lmp_members () in
+  match members with
+  | home_m :: client_m :: _ ->
+    (* A replica at the client's own attachment gives zero latency. *)
+    let r =
+      Anycast.evaluate plan ~home:home_m.Member.attachment
+        ~replicas:[ client_m.Member.attachment ]
+        ~clients:[ client_m.Member.id ]
+    in
+    (match r.Anycast.assignments with
+    | [ a ] ->
+      Alcotest.(check int) "local replica" client_m.Member.attachment
+        a.Anycast.replica;
+      Alcotest.(check (float 1e-9)) "zero latency" 0.0 a.Anycast.latency_ms
+    | _ -> Alcotest.fail "one assignment expected")
+  | _ -> Alcotest.fail "fixture too small"
+
+let test_anycast_validation () =
+  Alcotest.check_raises "unknown node" (Invalid_argument "Anycast: unknown node")
+    (fun () ->
+      ignore
+        (Anycast.evaluate (plan ()) ~home:(-1) ~replicas:[] ~clients:[]))
+
+let qcheck_delivery_never_exceeds_offer =
+  QCheck.Test.make ~name:"delivered <= offered for any seed" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let fs =
+        Fabric.synthesize_flows (Prng.create seed) (plan ()) ~flows_per_pair:1
+      in
+      let report = Fabric.run (plan ()) Fabric.neutral_config fs in
+      report.Fabric.delivered_gbps <= report.Fabric.offered_gbps +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "flow synthesis conserves volume" `Quick
+      test_flow_synthesis_conserves_volume;
+    Alcotest.test_case "flow ids distinct" `Quick test_flows_have_distinct_ids;
+    Alcotest.test_case "flow endpoints are members" `Quick
+      test_flow_endpoints_are_members;
+    Alcotest.test_case "neutral run delivers" `Quick test_neutral_run_delivers;
+    Alcotest.test_case "neutral run, no policy hits" `Quick
+      test_neutral_run_no_policy_hits;
+    Alcotest.test_case "throttle reduces delivery" `Quick
+      test_throttle_policy_reduces_delivery;
+    Alcotest.test_case "block zeroes flows" `Quick test_block_policy_zeroes_flows;
+    Alcotest.test_case "premium boost validation" `Quick test_premium_boost_validation;
+    Alcotest.test_case "detector quiet when neutral" `Quick
+      test_detector_quiet_on_neutral_fabric;
+    Alcotest.test_case "detector catches throttling" `Quick
+      test_detector_catches_throttling;
+    Alcotest.test_case "audit produces violations" `Quick
+      test_detector_audit_produces_violations;
+    Alcotest.test_case "observations map to condition (i)" `Quick
+      test_observations_reference_condition_one;
+    Alcotest.test_case "cdn offload arithmetic" `Quick test_cdn_offload_arithmetic;
+    Alcotest.test_case "cdn full hit drops flow" `Quick test_cdn_full_hit_drops_flow;
+    Alcotest.test_case "cdn bad hit rate" `Quick test_cdn_bad_hit_rate;
+    Alcotest.test_case "cdn open hosting compliant" `Quick
+      test_cdn_open_hosting_compliant;
+    Alcotest.test_case "cdn selective hosting violates" `Quick
+      test_cdn_selective_hosting_violates;
+    Alcotest.test_case "multicast tree reaches receivers" `Quick
+      test_multicast_tree_reaches_receivers;
+    Alcotest.test_case "multicast saves capacity" `Quick test_multicast_saves_capacity;
+    Alcotest.test_case "multicast single receiver" `Quick
+      test_multicast_single_receiver_no_savings;
+    Alcotest.test_case "availability without failures" `Quick
+      test_availability_no_failures_is_one;
+    Alcotest.test_case "availability with failures" `Quick
+      test_availability_with_failures;
+    Alcotest.test_case "availability validates" `Quick test_availability_validates;
+    Alcotest.test_case "anycast improves latency" `Quick test_anycast_improves_latency;
+    Alcotest.test_case "anycast home-only baseline" `Quick
+      test_anycast_home_only_equals_unicast;
+    Alcotest.test_case "anycast picks local replica" `Quick
+      test_anycast_picks_local_replica;
+    Alcotest.test_case "anycast validation" `Quick test_anycast_validation;
+    QCheck_alcotest.to_alcotest qcheck_delivery_never_exceeds_offer;
+  ]

@@ -1,0 +1,310 @@
+(* Tests for Poc_topology: site generation, physical networks, and the
+   WAN / logical-link generator that backs Figure 2. *)
+
+module Site = Poc_topology.Site
+module Physical = Poc_topology.Physical
+module Wan = Poc_topology.Wan
+module Graph = Poc_graph.Graph
+module Paths = Poc_graph.Paths
+module Prng = Poc_util.Prng
+
+let small_params =
+  {
+    Wan.default_params with
+    Wan.n_sites = 24;
+    n_operators = 10;
+    n_bps = 6;
+    operator_min_sites = 5;
+    operator_max_sites = 12;
+    colocation_threshold = 2;
+    external_attachments = 4;
+  }
+
+let small_wan = lazy (Wan.generate ~params:small_params ~seed:11 ())
+
+(* --- Sites ---------------------------------------------------------------- *)
+
+let test_site_generation () =
+  let rng = Prng.create 1 in
+  let sites = Site.generate rng ~count:30 ~extent_km:1000.0 in
+  Alcotest.(check int) "count" 30 (Array.length sites);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int) "dense ids" i s.Site.id;
+      Alcotest.(check bool) "in bounds" true
+        (s.Site.x >= 0.0 && s.Site.x <= 1000.0 && s.Site.y >= 0.0
+       && s.Site.y <= 1000.0))
+    sites;
+  let total = Array.fold_left (fun acc s -> acc +. s.Site.population) 0.0 sites in
+  Alcotest.(check (float 1e-9)) "population normalized" 1.0 total
+
+let test_site_zipf_ordering () =
+  let rng = Prng.create 2 in
+  let sites = Site.generate rng ~count:10 ~extent_km:500.0 in
+  for i = 1 to 9 do
+    Alcotest.(check bool) "non-increasing population" true
+      (sites.(i).Site.population <= sites.(i - 1).Site.population)
+  done
+
+let test_site_distance () =
+  let a = { Site.id = 0; name = "a"; x = 0.0; y = 0.0; population = 0.5 } in
+  let b = { Site.id = 1; name = "b"; x = 3.0; y = 4.0; population = 0.5 } in
+  Alcotest.(check (float 1e-9)) "euclidean" 5.0 (Site.distance a b)
+
+let test_site_bad_args () =
+  let rng = Prng.create 3 in
+  Alcotest.check_raises "zero count"
+    (Invalid_argument "Site.generate: count must be positive") (fun () ->
+      ignore (Site.generate rng ~count:0 ~extent_km:100.0))
+
+(* --- Physical networks ----------------------------------------------------- *)
+
+let test_physical_connected () =
+  let rng = Prng.create 4 in
+  let sites = Site.generate rng ~count:20 ~extent_km:1000.0 in
+  let footprint = Array.init 12 Fun.id in
+  let phys =
+    Physical.build rng sites ~footprint
+      ~capacity_tiers:[| (1.0, 100.0) |]
+      ~shortcut_fraction:0.3
+  in
+  Alcotest.(check bool) "connected" true (Paths.is_connected (Physical.graph phys));
+  Alcotest.(check int) "all sites present" 12 (Array.length (Physical.sites phys))
+
+let test_physical_path_metrics () =
+  let rng = Prng.create 5 in
+  let sites = Site.generate rng ~count:10 ~extent_km:500.0 in
+  let footprint = [| 0; 1; 2; 3 |] in
+  let phys =
+    Physical.build rng sites ~footprint
+      ~capacity_tiers:[| (1.0, 40.0) |]
+      ~shortcut_fraction:0.0
+  in
+  (match Physical.path_metrics phys 0 1 with
+  | None -> Alcotest.fail "footprint sites must be reachable"
+  | Some (dist, cap) ->
+    Alcotest.(check bool) "positive distance" true (dist > 0.0);
+    Alcotest.(check (float 1e-9)) "tier capacity" 40.0 cap);
+  Alcotest.(check bool) "same-site metrics" true
+    (Physical.path_metrics phys 2 2 = Some (0.0, infinity));
+  Alcotest.(check bool) "outside footprint" true
+    (Physical.path_metrics phys 0 9 = None)
+
+let test_physical_duplicate_footprint_rejected () =
+  let rng = Prng.create 6 in
+  let sites = Site.generate rng ~count:5 ~extent_km:100.0 in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Physical.build: duplicate site in footprint") (fun () ->
+      ignore
+        (Physical.build rng sites ~footprint:[| 1; 1 |]
+           ~capacity_tiers:[| (1.0, 10.0) |]
+           ~shortcut_fraction:0.0))
+
+(* --- WAN -------------------------------------------------------------------- *)
+
+let test_wan_determinism () =
+  let a = Wan.generate ~params:small_params ~seed:11 () in
+  let b = Wan.generate ~params:small_params ~seed:11 () in
+  Alcotest.(check int) "same link count" (Array.length a.Wan.links)
+    (Array.length b.Wan.links);
+  Alcotest.(check (float 1e-9)) "same first cost"
+    a.Wan.links.(0).Wan.true_cost b.Wan.links.(0).Wan.true_cost
+
+let test_wan_link_graph_alignment () =
+  let wan = Lazy.force small_wan in
+  Alcotest.(check int) "one edge per link" (Array.length wan.Wan.links)
+    (Graph.edge_count wan.Wan.graph);
+  Array.iteri
+    (fun i (l : Wan.logical_link) ->
+      Alcotest.(check int) "dense ids" i l.Wan.id;
+      let e = Graph.edge wan.Wan.graph i in
+      Alcotest.(check bool) "endpoints match" true
+        ((e.Graph.u = l.Wan.node_a && e.Graph.v = l.Wan.node_b)
+        || (e.Graph.u = l.Wan.node_b && e.Graph.v = l.Wan.node_a));
+      Alcotest.(check (float 1e-9)) "capacity matches" l.Wan.capacity
+        e.Graph.capacity)
+    wan.Wan.links
+
+let test_wan_ownership_consistency () =
+  let wan = Lazy.force small_wan in
+  (* Every BP's link list points back to itself; virtual links to
+     external ISPs. *)
+  Array.iter
+    (fun (bp : Wan.bp) ->
+      Array.iter
+        (fun id ->
+          match wan.Wan.links.(id).Wan.owner with
+          | Wan.Bp b -> Alcotest.(check int) "owner" bp.Wan.bp_id b
+          | Wan.External_isp _ -> Alcotest.fail "bp list holds a virtual link")
+        bp.Wan.link_ids)
+    wan.Wan.bps;
+  List.iter
+    (fun id ->
+      match wan.Wan.links.(id).Wan.owner with
+      | Wan.External_isp _ -> ()
+      | Wan.Bp _ -> Alcotest.fail "virtual list holds a BP link")
+    (Wan.virtual_link_ids wan)
+
+let test_wan_shares_sum_to_one () =
+  let wan = Lazy.force small_wan in
+  let total = Array.fold_left (fun acc bp -> acc +. bp.Wan.share) 0.0 wan.Wan.bps in
+  Alcotest.(check (float 1e-9)) "shares" 1.0 total
+
+let test_wan_every_bp_offers () =
+  let wan = Lazy.force small_wan in
+  Array.iter
+    (fun (bp : Wan.bp) ->
+      Alcotest.(check bool) (bp.Wan.bp_name ^ " offers links") true
+        (Array.length bp.Wan.link_ids > 0))
+    wan.Wan.bps
+
+let test_wan_connected () =
+  let wan = Lazy.force small_wan in
+  Alcotest.(check bool) "offer pool connects all POC routers" true
+    (Paths.is_connected wan.Wan.graph)
+
+let test_wan_colocation_threshold () =
+  let wan = Lazy.force small_wan in
+  (* Each POC site must host at least threshold BP footprints. *)
+  Array.iter
+    (fun site ->
+      let presence =
+        Array.to_list wan.Wan.bps
+        |> List.filter (fun (bp : Wan.bp) ->
+               Array.exists (fun s -> s = site) bp.Wan.footprint)
+        |> List.length
+      in
+      Alcotest.(check bool) "enough colocated BPs" true
+        (presence >= small_params.Wan.colocation_threshold))
+    wan.Wan.poc_sites
+
+let test_wan_node_site_inverse () =
+  let wan = Lazy.force small_wan in
+  Array.iteri
+    (fun node site ->
+      Alcotest.(check (option int)) "inverse map" (Some node)
+        wan.Wan.node_of_site.(site))
+    wan.Wan.poc_sites
+
+let test_wan_ordering_by_size () =
+  let wan = Lazy.force small_wan in
+  let order = Wan.bps_by_size wan in
+  let sizes = List.map (fun b -> Array.length wan.Wan.bps.(b).Wan.link_ids) order in
+  let sorted = List.sort (fun a b -> compare b a) sizes in
+  Alcotest.(check (list int)) "descending" sorted sizes
+
+let test_wan_costs_positive () =
+  let wan = Lazy.force small_wan in
+  Array.iter
+    (fun (l : Wan.logical_link) ->
+      Alcotest.(check bool) "positive cost" true (l.Wan.true_cost > 0.0);
+      Alcotest.(check bool) "positive capacity" true (l.Wan.capacity > 0.0);
+      Alcotest.(check bool) "latency consistent" true (l.Wan.latency_ms > 0.0))
+    wan.Wan.links
+
+let test_wan_bad_params_rejected () =
+  Alcotest.check_raises "operators < bps"
+    (Invalid_argument "Wan.generate: need n_operators >= n_bps > 0") (fun () ->
+      ignore
+        (Wan.generate ~params:{ small_params with Wan.n_operators = 2 } ~seed:1 ()))
+
+
+(* --- Export ------------------------------------------------------------------ *)
+
+module Export = Poc_topology.Export
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_graphml_well_formed () =
+  let wan = Lazy.force small_wan in
+  let xml = Export.graphml wan () in
+  Alcotest.(check bool) "has header" true (contains xml "<?xml version");
+  Alcotest.(check bool) "has graphml root" true (contains xml "<graphml");
+  Alcotest.(check bool) "closes root" true (contains xml "</graphml>");
+  (* One node element per POC router, one edge per offered link. *)
+  let count needle =
+    let rec go i acc =
+      match String.index_from_opt xml i '<' with
+      | None -> acc
+      | Some j ->
+        if j + String.length needle <= String.length xml
+           && String.sub xml j (String.length needle) = needle
+        then go (j + 1) (acc + 1)
+        else go (j + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "node count" (Array.length wan.Wan.poc_sites)
+    (count "<node id=");
+  Alcotest.(check int) "edge count" (Array.length wan.Wan.links)
+    (count "<edge id=")
+
+let test_graphml_selected_attribute () =
+  let wan = Lazy.force small_wan in
+  let xml = Export.graphml wan ~selected:(fun id -> id = 0) () in
+  Alcotest.(check bool) "selected key declared" true
+    (contains xml "attr.name=\"selected\"");
+  Alcotest.(check bool) "true value present" true
+    (contains xml "<data key=\"selected\">true</data>")
+
+let test_csv_row_counts () =
+  let wan = Lazy.force small_wan in
+  let rows s = List.length (String.split_on_char '\n' (String.trim s)) in
+  Alcotest.(check int) "links csv rows" (Array.length wan.Wan.links + 1)
+    (rows (Export.links_csv wan));
+  Alcotest.(check int) "sites csv rows" (Array.length wan.Wan.sites + 1)
+    (rows (Export.sites_csv wan))
+
+let test_export_write_file () =
+  let path = Filename.temp_file "poc_export" ".csv" in
+  Export.write_file path "a,b\n1,2\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" "a,b" line
+
+let qcheck_wan_seeds_structurally_sane =
+  QCheck.Test.make ~name:"wan generator sane across seeds" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let wan = Wan.generate ~params:small_params ~seed () in
+      Array.length wan.Wan.poc_sites >= 2
+      && Paths.is_connected wan.Wan.graph
+      && Array.for_all (fun (bp : Wan.bp) -> Array.length bp.Wan.link_ids > 0)
+           wan.Wan.bps)
+
+let suite =
+  [
+    Alcotest.test_case "site generation" `Quick test_site_generation;
+    Alcotest.test_case "site zipf ordering" `Quick test_site_zipf_ordering;
+    Alcotest.test_case "site distance" `Quick test_site_distance;
+    Alcotest.test_case "site bad args" `Quick test_site_bad_args;
+    Alcotest.test_case "physical connected" `Quick test_physical_connected;
+    Alcotest.test_case "physical path metrics" `Quick test_physical_path_metrics;
+    Alcotest.test_case "physical duplicate rejected" `Quick
+      test_physical_duplicate_footprint_rejected;
+    Alcotest.test_case "wan determinism" `Quick test_wan_determinism;
+    Alcotest.test_case "wan link/graph alignment" `Quick test_wan_link_graph_alignment;
+    Alcotest.test_case "wan ownership consistency" `Quick test_wan_ownership_consistency;
+    Alcotest.test_case "wan shares sum to 1" `Quick test_wan_shares_sum_to_one;
+    Alcotest.test_case "wan every bp offers" `Quick test_wan_every_bp_offers;
+    Alcotest.test_case "wan offer pool connected" `Quick test_wan_connected;
+    Alcotest.test_case "wan colocation threshold" `Quick test_wan_colocation_threshold;
+    Alcotest.test_case "wan node/site inverse" `Quick test_wan_node_site_inverse;
+    Alcotest.test_case "wan bps_by_size ordering" `Quick test_wan_ordering_by_size;
+    Alcotest.test_case "wan link attributes positive" `Quick test_wan_costs_positive;
+    Alcotest.test_case "wan bad params" `Quick test_wan_bad_params_rejected;
+    QCheck_alcotest.to_alcotest qcheck_wan_seeds_structurally_sane;
+    Alcotest.test_case "graphml well-formed" `Quick test_graphml_well_formed;
+    Alcotest.test_case "graphml selected attr" `Quick test_graphml_selected_attribute;
+    Alcotest.test_case "csv row counts" `Quick test_csv_row_counts;
+    Alcotest.test_case "export write_file" `Quick test_export_write_file;
+  ]

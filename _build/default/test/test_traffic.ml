@@ -1,0 +1,127 @@
+(* Tests for Poc_traffic.Matrix: gravity model, transforms, validation. *)
+
+module Matrix = Poc_traffic.Matrix
+module Wan = Poc_topology.Wan
+module Prng = Poc_util.Prng
+
+let wan =
+  lazy
+    (Wan.generate
+       ~params:
+         {
+           Wan.default_params with
+           Wan.n_sites = 24;
+           n_operators = 10;
+           n_bps = 6;
+           operator_min_sites = 5;
+           operator_max_sites = 12;
+           colocation_threshold = 2;
+           external_attachments = 4;
+         }
+       ~seed:11 ())
+
+let gravity ?(seed = 3) ?(total = 1000.0) () =
+  Matrix.gravity (Prng.create seed) (Lazy.force wan) ~total_gbps:total ()
+
+let test_gravity_total () =
+  let m = gravity () in
+  Alcotest.(check (float 1e-6)) "total" 1000.0 (Matrix.total m)
+
+let test_gravity_valid () =
+  match Matrix.validate (gravity ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_gravity_dimension () =
+  let m = gravity () in
+  let n = Array.length (Lazy.force wan).Wan.poc_sites in
+  Alcotest.(check int) "square over POC routers" n (Matrix.dim m)
+
+let test_gravity_zero_diagonal () =
+  let m = gravity () in
+  for i = 0 to Matrix.dim m - 1 do
+    Alcotest.(check (float 0.0)) "diagonal" 0.0 (Matrix.get m i i)
+  done
+
+let test_uniform () =
+  let m = Matrix.uniform (Lazy.force wan) ~total_gbps:500.0 in
+  Alcotest.(check (float 1e-6)) "total" 500.0 (Matrix.total m);
+  let n = Matrix.dim m in
+  let expected = 500.0 /. float_of_int (n * (n - 1)) in
+  Alcotest.(check (float 1e-9)) "uniform entries" expected (Matrix.get m 0 1)
+
+let test_scale () =
+  let m = gravity () in
+  let doubled = Matrix.scale m 2.0 in
+  Alcotest.(check (float 1e-6)) "doubled" 2000.0 (Matrix.total doubled);
+  Alcotest.(check (float 1e-6)) "original untouched" 1000.0 (Matrix.total m)
+
+let test_hotspots_preserve_total () =
+  let m = gravity () in
+  let hot = Matrix.with_hotspots (Prng.create 5) m ~count:10 ~multiplier:8.0 in
+  Alcotest.(check (float 1e-6)) "total preserved" (Matrix.total m) (Matrix.total hot);
+  Alcotest.(check bool) "still valid" true (Matrix.validate hot = Ok ());
+  let changed = ref false in
+  for i = 0 to Matrix.dim m - 1 do
+    for j = 0 to Matrix.dim m - 1 do
+      if Float.abs (Matrix.get hot i j -. Matrix.get m i j) > 1e-9 then
+        changed := true
+    done
+  done;
+  Alcotest.(check bool) "distribution changed" true !changed
+
+let test_pair_demands_cover_everything () =
+  let m = gravity () in
+  let directed = Matrix.pair_demands m in
+  let sum = List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 directed in
+  Alcotest.(check (float 1e-6)) "directed sum" (Matrix.total m) sum;
+  let undirected = Matrix.undirected_pair_demands m in
+  let usum = List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 undirected in
+  Alcotest.(check (float 1e-6)) "undirected sum" (Matrix.total m) usum;
+  List.iter
+    (fun (i, j, _) ->
+      Alcotest.(check bool) "canonical order" true (i < j))
+    undirected
+
+let test_validate_catches_bad_matrices () =
+  let bad = { Matrix.demand = [| [| 0.0; -1.0 |]; [| 1.0; 0.0 |] |] } in
+  (match Matrix.validate bad with
+  | Error "negative demand" -> ()
+  | Ok () | Error _ -> Alcotest.fail "negative demand undetected");
+  let diag = { Matrix.demand = [| [| 1.0; 0.0 |]; [| 0.0; 0.0 |] |] } in
+  match Matrix.validate diag with
+  | Error "nonzero diagonal" -> ()
+  | Ok () | Error _ -> Alcotest.fail "nonzero diagonal undetected"
+
+let test_content_skew_changes_matrix () =
+  let base = Matrix.gravity (Prng.create 7) (Lazy.force wan) ~total_gbps:100.0 () in
+  let skewed =
+    Matrix.gravity (Prng.create 7) (Lazy.force wan) ~total_gbps:100.0
+      ~content_skew:0.9 ()
+  in
+  Alcotest.(check bool) "different distribution" true
+    (Matrix.max_entry skewed <> Matrix.max_entry base)
+
+let qcheck_gravity_valid_across_seeds =
+  QCheck.Test.make ~name:"gravity matrices always validate" ~count:20
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let m = gravity ~seed ~total:250.0 () in
+      Matrix.validate m = Ok ()
+      && Float.abs (Matrix.total m -. 250.0) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "gravity total" `Quick test_gravity_total;
+    Alcotest.test_case "gravity validates" `Quick test_gravity_valid;
+    Alcotest.test_case "gravity dimension" `Quick test_gravity_dimension;
+    Alcotest.test_case "gravity zero diagonal" `Quick test_gravity_zero_diagonal;
+    Alcotest.test_case "uniform matrix" `Quick test_uniform;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "hotspots preserve total" `Quick test_hotspots_preserve_total;
+    Alcotest.test_case "pair demand views" `Quick test_pair_demands_cover_everything;
+    Alcotest.test_case "validation catches bad input" `Quick
+      test_validate_catches_bad_matrices;
+    Alcotest.test_case "content skew has effect" `Quick test_content_skew_changes_matrix;
+    QCheck_alcotest.to_alcotest qcheck_gravity_valid_across_seeds;
+  ]

@@ -1,0 +1,264 @@
+(* Unit and property tests for Poc_util: PRNG, statistics, numerics,
+   table rendering. *)
+
+module Prng = Poc_util.Prng
+module Stats = Poc_util.Stats
+module Numeric = Poc_util.Numeric
+module Table = Poc_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* --- PRNG --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.int64 a <> Prng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_prng_split_decorrelated () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let equal = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int64 a = Prng.int64 b then incr equal
+  done;
+  Alcotest.(check int) "no collisions" 0 !equal
+
+let test_prng_float_range () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_int_uniformity () =
+  let rng = Prng.create 5 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let x = Prng.int rng 4 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      check_close "roughly uniform" 0.02 0.25 frac)
+    counts
+
+let test_prng_mean_of_float () =
+  let rng = Prng.create 6 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float rng
+  done;
+  check_close "mean ~ 0.5" 0.01 0.5 (!acc /. float_of_int n)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 8 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.exponential rng 2.0
+  done;
+  check_close "mean ~ 1/rate" 0.02 0.5 (!acc /. float_of_int n)
+
+let test_prng_shuffle_is_permutation () =
+  let rng = Prng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 10 in
+  let arr = Array.init 20 Fun.id in
+  let sample = Prng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length sample);
+  let distinct = List.sort_uniq compare (Array.to_list sample) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct)
+
+let test_pick_empty_rejected () =
+  let rng = Prng.create 11 in
+  Alcotest.check_raises "empty pick"
+    (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng [||]))
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_mean_variance () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100 = max" 4.0 (Stats.percentile xs 1.0);
+  check_float "median interpolates" 2.5 (Stats.percentile xs 0.5)
+
+let test_stats_summary () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "count" 101 s.Stats.count;
+  check_float "mean" 50.0 s.Stats.mean;
+  check_float "p50" 50.0 s.Stats.p50;
+  check_float "p90" 90.0 s.Stats.p90;
+  check_float "min" 0.0 s.Stats.min;
+  check_float "max" 100.0 s.Stats.max
+
+let test_stats_weighted_mean () =
+  check_float "weighted" 3.0
+    (Stats.weighted_mean [| (1.0, 1.0); (1.0, 5.0) |]);
+  check_float "zero weight" 0.0 (Stats.weighted_mean [| (0.0, 10.0) |])
+
+let test_stats_histogram () =
+  let xs = [| 0.0; 0.1; 0.9; 1.0 |] in
+  let h = Stats.histogram ~bins:2 xs in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "counts sum" 4 total
+
+(* --- Numeric ------------------------------------------------------------ *)
+
+let test_maximize_parabola () =
+  let f x = -.((x -. 3.0) ** 2.0) in
+  let x = Numeric.maximize_unimodal ~lo:0.0 ~hi:10.0 f in
+  check_close "argmax" 1e-6 3.0 x
+
+let test_maximize_at_boundary () =
+  let f x = x in
+  let x = Numeric.maximize_unimodal ~lo:0.0 ~hi:1.0 f in
+  check_close "argmax at hi" 1e-6 1.0 x
+
+let test_bisect_root () =
+  match Numeric.bisect ~lo:0.0 ~hi:4.0 (fun x -> (x *. x) -. 2.0) with
+  | Some root -> check_close "sqrt 2" 1e-8 (sqrt 2.0) root
+  | None -> Alcotest.fail "root not found"
+
+let test_bisect_no_sign_change () =
+  Alcotest.(check bool) "none" true
+    (Numeric.bisect ~lo:0.0 ~hi:1.0 (fun _ -> 1.0) = None)
+
+let test_fixed_point_converges () =
+  match Numeric.fixed_point ~init:1.0 (fun x -> cos x) with
+  | Some (x, _) -> check_close "dottie number" 1e-7 0.7390851332 x
+  | None -> Alcotest.fail "did not converge"
+
+let test_fixed_point_divergence_guard () =
+  (* x -> 2x + 1 has fixed point -1 but iteration from 1 diverges with
+     damping 1.0. *)
+  Alcotest.(check bool) "reported failure or converged" true
+    (match Numeric.fixed_point ~damping:1.0 ~max_iter:50 ~init:1.0
+             (fun x -> (2.0 *. x) +. 1.0) with
+    | None -> true
+    | Some _ -> false)
+
+let test_integrate_polynomial () =
+  let v = Numeric.integrate ~lo:0.0 ~hi:1.0 (fun x -> x *. x) in
+  check_close "x^2 integral" 1e-8 (1.0 /. 3.0) v
+
+let test_derivative () =
+  let d = Numeric.derivative (fun x -> x ** 3.0) 2.0 in
+  check_close "3x^2 at 2" 1e-4 12.0 d
+
+(* --- Table -------------------------------------------------------------- *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "has separator" true
+    (String.length s > 0 && String.contains s '-');
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines)
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "default decimals" "1.2346" (Table.fmt_float 1.23456789);
+  Alcotest.(check string) "2 decimals" "1.23" (Table.fmt_float ~decimals:2 1.23456789)
+
+(* --- QCheck properties --------------------------------------------------- *)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within sample bounds" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.)) (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let arr = Array.of_list xs in
+      let p = Stats.percentile arr q in
+      let mn = Array.fold_left Float.min arr.(0) arr in
+      let mx = Array.fold_left Float.max arr.(0) arr in
+      p >= mn -. 1e-9 && p <= mx +. 1e-9)
+
+let qcheck_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun xs -> Stats.variance (Array.of_list xs) >= 0.0)
+
+let qcheck_int_range_inclusive =
+  QCheck.Test.make ~name:"int_range hits inclusive bounds" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Prng.create (a + (b * 1000) + 17) in
+      let x = Prng.int_range rng lo hi in
+      x >= lo && x <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng split decorrelated" `Quick test_prng_split_decorrelated;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int uniformity" `Quick test_prng_int_uniformity;
+    Alcotest.test_case "prng float mean" `Quick test_prng_mean_of_float;
+    Alcotest.test_case "prng exponential mean" `Quick test_prng_exponential_mean;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "pick on empty array" `Quick test_pick_empty_rejected;
+    Alcotest.test_case "stats mean/variance" `Quick test_stats_mean_variance;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats weighted mean" `Quick test_stats_weighted_mean;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "maximize parabola" `Quick test_maximize_parabola;
+    Alcotest.test_case "maximize at boundary" `Quick test_maximize_at_boundary;
+    Alcotest.test_case "bisect finds root" `Quick test_bisect_root;
+    Alcotest.test_case "bisect needs sign change" `Quick test_bisect_no_sign_change;
+    Alcotest.test_case "fixed point converges" `Quick test_fixed_point_converges;
+    Alcotest.test_case "fixed point divergence guard" `Quick test_fixed_point_divergence_guard;
+    Alcotest.test_case "simpson integration" `Quick test_integrate_polynomial;
+    Alcotest.test_case "central derivative" `Quick test_derivative;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table pads rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
+    QCheck_alcotest.to_alcotest qcheck_int_range_inclusive;
+  ]
