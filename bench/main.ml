@@ -23,6 +23,7 @@ let experiments =
     ("e12", "multicast & CDN services (extension)", E12_services.run);
     ("e13", "retail pricing & last-mile congestion (extension)", E13_retail.run);
     ("e14", "incremental POC deployment (extension)", E14_transition.run);
+    ("e15", "chaos: faults & graceful degradation (extension)", E15_chaos.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

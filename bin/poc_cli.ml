@@ -151,8 +151,11 @@ let market_cmd =
     in
     List.iter
       (fun (r : Epochs.epoch_result) ->
-        if r.Epochs.failed then Printf.printf "%2d: auction failed\n" r.Epochs.epoch
-        else
+        match r.Epochs.failure with
+        | Some reason ->
+          Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
+            (Epochs.failure_name reason)
+        | None ->
           Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
             r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
             r.Epochs.selected_links r.Epochs.supplier_hhi)

@@ -43,8 +43,11 @@ let () =
       "$/Gbps" "|SL|" "recalled" "HHI";
     List.iter
       (fun (r : Epochs.epoch_result) ->
-        if r.Epochs.failed then Printf.printf "%-6d auction failed\n" r.Epochs.epoch
-        else
+        match r.Epochs.failure with
+        | Some reason ->
+          Printf.printf "%-6d auction failed: %s\n" r.Epochs.epoch
+            (Epochs.failure_name reason)
+        | None ->
           Printf.printf "%-6d %12.0f %12.2f %6d %9d %8.3f\n" r.Epochs.epoch
             r.Epochs.spend r.Epochs.price_per_gbps r.Epochs.selected_links
             r.Epochs.recalled_links r.Epochs.supplier_hhi)

@@ -1,0 +1,85 @@
+(* A chaos month for the POC (fault injection + graceful degradation).
+
+   The paper's operational claim is that a leased-line POC stays
+   viable under churn: links fail, CSP-backed BPs recall capacity or
+   exit the market, and an epoch's auction can come up infeasible.
+   This walkthrough injects exactly that — a BP bankruptcy plus two
+   concurrent link failures mid-run, then a one-epoch wave in which
+   every BP recalls its whole portfolio — and shows the supervised
+   control loop degrade gracefully instead of aborting: the
+   degradation ladder keeps some service priced and running, the
+   incident log records epochs-to-recovery and the spend penalty, and
+   the settlement ledger still nets to zero at the end.
+
+   Run with:  dune exec examples/chaos_month.exe *)
+
+module Planner = Poc_core.Planner
+module Settlement = Poc_core.Settlement
+module Epochs = Poc_market.Epochs
+module Wan = Poc_topology.Wan
+module Fault = Poc_resilience.Fault
+module Supervisor = Poc_resilience.Supervisor
+
+let () =
+  let config =
+    Planner.scaled_config ~sites:24 ~bps:6
+      { Planner.default_config with Planner.seed = 11 }
+  in
+  match Planner.build config with
+  | Error msg ->
+    prerr_endline ("planning failed: " ^ msg);
+    exit 1
+  | Ok plan ->
+    Printf.printf "offer pool: %s\n" (Wan.summary plan.Planner.wan);
+    let biggest =
+      match Wan.bps_by_size plan.Planner.wan with b :: _ -> b | [] -> 0
+    in
+    let n_bps = Array.length plan.Planner.wan.Wan.bps in
+    let specs =
+      [
+        (* month 3: the largest BP goes bankrupt while two of its
+           competitors' links are down at the same time. *)
+        Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest };
+        Fault.Link_failure { at_epoch = 3; count = 2; duration = 2 };
+        (* month 5: every surviving BP recalls its whole portfolio for
+           one epoch — the auction is infeasible and the degradation
+           ladder must keep the lights on. *)
+      ]
+      @ List.init n_bps (fun bp ->
+            Fault.Capacity_recall
+              { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
+    in
+    let schedule =
+      match Fault.compile plan.Planner.wan ~seed:2020 specs with
+      | Ok s -> s
+      | Error msg ->
+        prerr_endline ("bad fault schedule: " ^ msg);
+        exit 1
+    in
+    let report =
+      Supervisor.run plan
+        ~market:{ Epochs.default_config with Epochs.epochs = 8; seed = 7 }
+        ~schedule
+    in
+    print_endline "\nservice under chaos:";
+    print_string (Supervisor.render_epochs report);
+    print_endline "\nincident log:";
+    print_string (Supervisor.render_incidents report);
+    Printf.printf "\nladder activations: %d\n" report.Supervisor.ladder_activations;
+    (match report.Supervisor.violations with
+    | [] -> print_endline "invariants: all hold (ledger, price, capacity)"
+    | vs ->
+      List.iter
+        (fun (v : Supervisor.violation) ->
+          Printf.printf "INVARIANT VIOLATED at epoch %d: %s (%s)\n"
+            v.Supervisor.epoch v.Supervisor.invariant v.Supervisor.detail)
+        vs);
+    (match report.Supervisor.final_plan with
+    | None -> print_endline "no epoch produced an outcome"
+    | Some final ->
+      let ledger = Settlement.of_plan final () in
+      Printf.printf
+        "\nclosing ledger: conservation $%.6f (must be 0), posted price \
+         $%.2f/Gbps-month\n"
+        (Settlement.conservation ledger)
+        ledger.Settlement.usage_price)

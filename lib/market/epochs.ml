@@ -25,6 +25,48 @@ let default_config =
     seed = 1;
   }
 
+(* Every bad field is reported at once so a caller fixing a config
+   does not play whack-a-mole with successive Invalid_argument. *)
+let config_problems config =
+  let bad = ref [] in
+  let check ok msg = if not ok then bad := msg :: !bad in
+  check (config.epochs > 0) "epochs must be positive";
+  check
+    (Float.is_finite config.cost_trend && config.cost_trend > -1.0)
+    "cost_trend must be finite and > -1";
+  check
+    (Float.is_finite config.cost_volatility && config.cost_volatility >= 0.0)
+    "cost_volatility must be finite and non-negative";
+  check
+    (Float.is_finite config.demand_growth && config.demand_growth > 0.0)
+    "demand_growth must be positive";
+  List.iter
+    (fun (bp, strategy) ->
+      check (bp >= 0) (Printf.sprintf "strategy for negative BP id %d" bp);
+      match strategy with
+      | Truthful -> ()
+      | Markup m ->
+        check
+          (Float.is_finite m && m >= 0.0)
+          (Printf.sprintf "markup for BP %d must be finite and non-negative" bp)
+      | Recallable f ->
+        check
+          (Float.is_finite f && f >= 0.0 && f <= 1.0)
+          (Printf.sprintf "recall fraction for BP %d must be in [0,1]" bp))
+    config.strategies;
+  List.rev !bad
+
+let validate_config config =
+  match config_problems config with
+  | [] -> Ok ()
+  | problems -> Error ("Epochs: " ^ String.concat "; " problems)
+
+type failure = No_acceptable_selection | Empty_offer_pool
+
+let failure_name = function
+  | No_acceptable_selection -> "no acceptable selection"
+  | Empty_offer_pool -> "empty offer pool"
+
 type epoch_result = {
   epoch : int;
   spend : float;
@@ -32,7 +74,7 @@ type epoch_result = {
   selected_links : int;
   recalled_links : int;
   supplier_hhi : float;
-  failed : bool;
+  failure : failure option;
 }
 
 let supplier_hhi (outcome : Vcg.outcome) =
@@ -56,8 +98,9 @@ let strategy_of config bp =
   | None -> Truthful
 
 let run (plan : Planner.plan) config =
-  if config.epochs <= 0 then invalid_arg "Epochs.run: epochs must be positive";
-  if config.demand_growth <= 0.0 then invalid_arg "Epochs.run: bad demand growth";
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
   let rng = Prng.create config.seed in
   let base_problem = plan.Planner.problem in
   let n_bps = Array.length base_problem.Vcg.bids in
@@ -112,8 +155,14 @@ let run (plan : Planner.plan) config =
         p
     in
     let volume = Matrix.total !matrix in
-    (match Vcg.run ~select problem with
-    | None ->
+    let pool_nonempty =
+      problem.Vcg.virtual_prices <> []
+      || Array.exists
+           (fun bid ->
+             List.exists (fun id -> not (Hashtbl.mem recalled id)) (Bid.links bid))
+           bids
+    in
+    let fail reason =
       results :=
         {
           epoch;
@@ -122,21 +171,27 @@ let run (plan : Planner.plan) config =
           selected_links = 0;
           recalled_links = Hashtbl.length recalled;
           supplier_hhi = nan;
-          failed = true;
+          failure = Some reason;
         }
         :: !results
-    | Some outcome ->
-      results :=
-        {
-          epoch;
-          spend = outcome.Vcg.total_payment;
-          price_per_gbps =
-            (if volume > 0.0 then outcome.Vcg.total_payment /. volume else 0.0);
-          selected_links = List.length outcome.Vcg.selection.selected;
-          recalled_links = Hashtbl.length recalled;
-          supplier_hhi = supplier_hhi outcome;
-          failed = false;
-        }
-        :: !results)
+    in
+    if not pool_nonempty then fail Empty_offer_pool
+    else begin
+      match Vcg.run ~select problem with
+      | None -> fail No_acceptable_selection
+      | Some outcome ->
+        results :=
+          {
+            epoch;
+            spend = outcome.Vcg.total_payment;
+            price_per_gbps =
+              (if volume > 0.0 then outcome.Vcg.total_payment /. volume else 0.0);
+            selected_links = List.length outcome.Vcg.selection.selected;
+            recalled_links = Hashtbl.length recalled;
+            supplier_hhi = supplier_hhi outcome;
+            failure = None;
+          }
+          :: !results
+    end
   done;
   List.rev !results

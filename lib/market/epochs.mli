@@ -30,6 +30,20 @@ type config = {
 
 val default_config : config
 
+val validate_config : config -> (unit, string) result
+(** Checks every field and reports all offending ones in a single
+    message, e.g. ["Epochs: epochs must be positive; demand_growth
+    must be positive"]. *)
+
+type failure =
+  | No_acceptable_selection
+      (** the offer pool is non-empty but no acceptable subset exists
+          under the plan's rule *)
+  | Empty_offer_pool
+      (** every offered link was recalled or withdrawn this epoch *)
+
+val failure_name : failure -> string
+
 type epoch_result = {
   epoch : int;
   spend : float;            (** POC monthly spend (payments + contracts) *)
@@ -37,7 +51,7 @@ type epoch_result = {
   selected_links : int;
   recalled_links : int;
   supplier_hhi : float;     (** Herfindahl index over BP payments, in [0,1] *)
-  failed : bool;            (** no acceptable selection this epoch *)
+  failure : failure option; (** [None] when the auction cleared *)
 }
 
 val run : Poc_core.Planner.plan -> config -> epoch_result list

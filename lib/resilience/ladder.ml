@@ -1,0 +1,153 @@
+module Vcg = Poc_auction.Vcg
+module Bid = Poc_auction.Bid
+module Acceptability = Poc_auction.Acceptability
+module Graph = Poc_graph.Graph
+
+type step =
+  | Relax_demand of float
+  | Step_down of Acceptability.t
+  | Connectivity_only
+  | External_transit
+
+type config = {
+  relax_factors : float list;
+  step_rules : bool;
+  max_attempts : int;
+}
+
+let default_config =
+  { relax_factors = [ 0.9; 0.75; 0.5 ]; step_rules = true; max_attempts = 8 }
+
+let config_problems config =
+  let bad = ref [] in
+  let check ok msg = if not ok then bad := msg :: !bad in
+  List.iter
+    (fun f ->
+      check
+        (Float.is_finite f && f > 0.0 && f <= 1.0)
+        (Printf.sprintf "relax factor %g must be in (0,1]" f))
+    config.relax_factors;
+  check (config.max_attempts >= 1) "max_attempts must be >= 1";
+  List.rev !bad
+
+let validate_config config =
+  match config_problems config with
+  | [] -> Ok ()
+  | problems -> Error ("Ladder: " ^ String.concat "; " problems)
+
+type engaged = {
+  step : step;
+  attempts : int;
+  outcome : Vcg.outcome;
+  demand_scale : float;
+}
+
+let weaker_rules = function
+  | Acceptability.Per_pair_failure ->
+    [ Acceptability.Single_link_failure; Acceptability.Handle_load ]
+  | Acceptability.Single_link_failure -> [ Acceptability.Handle_load ]
+  | Acceptability.Handle_load -> []
+
+let rungs ~rule config =
+  let relax = List.map (fun f -> Relax_demand f) config.relax_factors in
+  let stepped =
+    if config.step_rules then List.map (fun r -> Step_down r) (weaker_rules rule)
+    else []
+  in
+  let all = relax @ stepped @ [ Connectivity_only; External_transit ] in
+  List.filteri (fun i _ -> i < config.max_attempts) all
+
+(* Offered (id, standalone price) pairs of the problem, unbanned only. *)
+let offered_prices ~banned (problem : Vcg.problem) =
+  let bp_links =
+    Array.to_list problem.Vcg.bids
+    |> List.concat_map (fun bid ->
+           List.map (fun id -> (id, Bid.single_price bid id)) (Bid.links bid))
+  in
+  (bp_links @ problem.Vcg.virtual_prices)
+  |> List.filter (fun (id, _) -> not (banned id))
+  |> List.sort (fun (a, pa) (b, pb) -> compare (pa, a) (pb, b))
+
+(* Cheapest spanning forest of the unbanned offer pool (Kruskal). *)
+let spanning_forest ~banned (problem : Vcg.problem) =
+  let n = Graph.node_count problem.Vcg.graph in
+  let parent = Array.init n Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra = rb then false
+    else begin
+      parent.(ra) <- rb;
+      true
+    end
+  in
+  let chosen =
+    List.filter
+      (fun (id, _) ->
+        let e = Graph.edge problem.Vcg.graph id in
+        union e.Graph.u e.Graph.v)
+      (offered_prices ~banned problem)
+    |> List.map fst |> List.sort compare
+  in
+  chosen
+
+let selection_of problem links =
+  { Vcg.selected = links; cost = Vcg.selection_cost problem links }
+
+let pay_as_bid problem links =
+  match links with
+  | [] -> None
+  | _ :: _ ->
+    let sel = selection_of problem links in
+    Vcg.run_pay_as_bid ~select:(fun ?banned:_ _ -> Some sel) problem
+
+let scale_demands factor demands =
+  List.map (fun (a, b, d) -> (a, b, d *. factor)) demands
+
+let try_step ~banned (problem : Vcg.problem) = function
+  | Relax_demand f ->
+    let select ?banned:(extra = fun _ -> false) p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+    in
+    let relaxed =
+      { problem with Vcg.demands = scale_demands f problem.Vcg.demands }
+    in
+    Option.map (fun o -> (o, f)) (Vcg.run ~select relaxed)
+  | Step_down rule ->
+    let select ?banned:(extra = fun _ -> false) p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+    in
+    Option.map (fun o -> (o, 1.0)) (Vcg.run ~select { problem with Vcg.rule = rule })
+  | Connectivity_only ->
+    Option.map
+      (fun o -> (o, 1.0))
+      (pay_as_bid problem (spanning_forest ~banned problem))
+  | External_transit ->
+    let links =
+      List.filter_map
+        (fun (id, _) -> if banned id then None else Some id)
+        problem.Vcg.virtual_prices
+      |> List.sort compare
+    in
+    Option.map (fun o -> (o, 1.0)) (pay_as_bid problem links)
+
+let engage ~banned config (problem : Vcg.problem) =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let rec go attempts = function
+    | [] -> None
+    | step :: rest -> (
+      let attempts = attempts + 1 in
+      match try_step ~banned problem step with
+      | Some (outcome, demand_scale) ->
+        Some { step; attempts; outcome; demand_scale }
+      | None -> go attempts rest)
+  in
+  go 0 (rungs ~rule:problem.Vcg.rule config)
+
+let step_to_string = function
+  | Relax_demand f -> Printf.sprintf "relax(%.2f)" f
+  | Step_down rule -> Printf.sprintf "step_down(%s)" (Acceptability.name rule)
+  | Connectivity_only -> "connectivity_only"
+  | External_transit -> "external_transit"

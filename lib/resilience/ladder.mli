@@ -1,0 +1,60 @@
+(** The degradation ladder: what the POC does when an auction comes up
+    infeasible instead of aborting the epoch.
+
+    Rungs are tried in order, each costing one attempt against a
+    bounded retry budget:
+
+    + retry under the {e same} acceptability rule with the demand
+      matrix relaxed by each configured factor (shed load, keep the
+      resilience guarantee);
+    + step the rule down — Constraint #3 -> #2 -> #1 — at full demand
+      (keep the load, shed the failure guarantee);
+    + connectivity only: lease the cheapest spanning forest of the
+      surviving offer pool, pay-as-bid, and deliver what routes;
+    + contracted external transit: fall back to the external ISPs'
+      virtual links alone.
+
+    The first rung that produces a priced outcome wins; [None] means
+    even external transit is gone (blackout). *)
+
+type step =
+  | Relax_demand of float        (** same rule, demand scaled by the factor *)
+  | Step_down of Poc_auction.Acceptability.t
+  | Connectivity_only
+  | External_transit
+
+type config = {
+  relax_factors : float list;  (** tried in order, e.g. [0.9; 0.75; 0.5] *)
+  step_rules : bool;           (** enable the rule step-down rungs *)
+  max_attempts : int;          (** total rung budget per engagement *)
+}
+
+val default_config : config
+(** [relax_factors = [0.9; 0.75; 0.5]], rule step-down enabled,
+    [max_attempts = 8]. *)
+
+val validate_config : config -> (unit, string) result
+(** All offending fields in one message. *)
+
+type engaged = {
+  step : step;                      (** the rung that succeeded *)
+  attempts : int;                   (** rungs tried, including this one *)
+  outcome : Poc_auction.Vcg.outcome;
+  demand_scale : float;             (** 1.0 except under [Relax_demand] *)
+}
+
+val rungs : rule:Poc_auction.Acceptability.t -> config -> step list
+(** The ladder for a plan using [rule], truncated to [max_attempts]. *)
+
+val engage :
+  banned:(int -> bool) -> config -> Poc_auction.Vcg.problem -> engaged option
+(** Runs the ladder over the problem restricted to unbanned links. *)
+
+val pay_as_bid :
+  Poc_auction.Vcg.problem -> int list -> Poc_auction.Vcg.outcome option
+(** Price an explicit link selection at its bids (plus contracted
+    virtual prices); [None] on an empty selection.  The supervisor
+    uses this to carry a previous epoch's selection forward. *)
+
+val step_to_string : step -> string
+(** Stable rendering for the incident log, e.g. ["relax(0.75)"]. *)

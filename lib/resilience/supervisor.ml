@@ -1,0 +1,337 @@
+module Prng = Poc_util.Prng
+module Vcg = Poc_auction.Vcg
+module Bid = Poc_auction.Bid
+module Matrix = Poc_traffic.Matrix
+module Router = Poc_mcf.Router
+module Planner = Poc_core.Planner
+module Settlement = Poc_core.Settlement
+module Epochs = Poc_market.Epochs
+module Wan = Poc_topology.Wan
+
+type status = Healthy | Degraded of Ladder.step | Carried | Blackout
+
+type epoch_report = {
+  epoch : int;
+  status : status;
+  spend : float;
+  price_per_gbps : float;
+  delivered_fraction : float;
+  selected_links : int;
+  recalled_links : int;
+  active_faults : int;
+  ladder_attempts : int;
+  ledger_conservation : float option;
+  posted_price : float option;
+}
+
+type incident = {
+  start_epoch : int;
+  trigger : string;
+  response : status;
+  attempts : int;
+  recovery_epoch : int option;
+  spend_penalty : float;
+}
+
+type violation = { epoch : int; invariant : string; detail : string }
+
+type report = {
+  epochs : epoch_report list;
+  incidents : incident list;
+  violations : violation list;
+  ladder_activations : int;
+  final_plan : Planner.plan option;
+}
+
+let status_to_string = function
+  | Healthy -> "healthy"
+  | Degraded step -> Printf.sprintf "degraded[%s]" (Ladder.step_to_string step)
+  | Carried -> "carried_forward"
+  | Blackout -> "blackout"
+
+let strategy_of (market : Epochs.config) bp =
+  match List.assoc_opt bp market.Epochs.strategies with
+  | Some s -> s
+  | None -> Epochs.Truthful
+
+let run ?(ladder = Ladder.default_config) (plan : Planner.plan) ~market
+    ~schedule =
+  (match Epochs.validate_config market with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  (match Ladder.validate_config ladder with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let rng = Prng.create market.Epochs.seed in
+  let base_problem = plan.Planner.problem in
+  let n_bps = Array.length base_problem.Vcg.bids in
+  let cost_level = Array.make n_bps 1.0 in
+  (* Injected state: [down] heals on Link_up, [gone] never does. *)
+  let down = Hashtbl.create 64 in
+  let gone = Hashtbl.create 64 in
+  let surge = ref 1.0 in
+  let matrix = ref plan.Planner.matrix in
+  let last_good = ref (Some plan.Planner.outcome.Vcg.selection) in
+  let reports = ref [] in
+  let violations = ref [] in
+  let activations = ref 0 in
+  let final_plan = ref None in
+  for epoch = 1 to market.Epochs.epochs do
+    (* Scheduled faults take effect before the epoch's auction. *)
+    List.iter
+      (function
+        | Fault.Link_down id -> Hashtbl.replace down id ()
+        | Fault.Link_up id -> Hashtbl.remove down id
+        | Fault.Bp_exit bp ->
+          List.iter
+            (fun id -> Hashtbl.replace gone id ())
+            (Wan.bp_link_ids plan.Planner.wan bp)
+        | Fault.Withdraw ids ->
+          List.iter (fun id -> Hashtbl.replace gone id ()) ids
+        | Fault.Surge f -> surge := !surge *. f
+        | Fault.Surge_over f -> surge := !surge /. f)
+      (Fault.at schedule epoch);
+    (* Market drift: the same draws, in the same order, as Epochs.run,
+       so a fault-free supervised run replays the plain market. *)
+    for bp = 0 to n_bps - 1 do
+      let noise =
+        1.0
+        +. (market.Epochs.cost_volatility *. ((2.0 *. Prng.float rng) -. 1.0))
+      in
+      cost_level.(bp) <-
+        Float.max 0.05
+          (cost_level.(bp) *. (1.0 +. market.Epochs.cost_trend) *. noise)
+    done;
+    let recalled = Hashtbl.create 64 in
+    Array.iteri
+      (fun bp bid ->
+        match strategy_of market bp with
+        | Epochs.Recallable fraction ->
+          List.iter
+            (fun id ->
+              if Prng.bernoulli rng fraction then Hashtbl.replace recalled id ())
+            (Bid.links bid)
+        | Epochs.Truthful | Epochs.Markup _ -> ())
+      base_problem.Vcg.bids;
+    let bids =
+      Array.mapi
+        (fun bp bid ->
+          let markup =
+            match strategy_of market bp with
+            | Epochs.Markup m -> 1.0 +. m
+            | Epochs.Truthful | Epochs.Recallable _ -> 1.0
+          in
+          Bid.scale bid (cost_level.(bp) *. markup))
+        base_problem.Vcg.bids
+    in
+    matrix := Matrix.scale !matrix market.Epochs.demand_growth;
+    let epoch_matrix =
+      if !surge = 1.0 then !matrix else Matrix.scale !matrix !surge
+    in
+    let demands = Matrix.undirected_pair_demands epoch_matrix in
+    let volume = Matrix.total epoch_matrix in
+    let problem = { base_problem with Vcg.bids; demands } in
+    let banned id =
+      Hashtbl.mem recalled id || Hashtbl.mem down id || Hashtbl.mem gone id
+    in
+    let select ?banned:(extra = fun _ -> false) p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+    in
+    (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
+    let status, outcome_opt, ladder_attempts, ladder_engaged =
+      match Vcg.run ~select problem with
+      | Some outcome -> (Healthy, Some outcome, 0, false)
+      | None -> (
+        let rung_budget =
+          List.length (Ladder.rungs ~rule:problem.Vcg.rule ladder)
+        in
+        match Ladder.engage ~banned ladder problem with
+        | Some e -> (Degraded e.Ladder.step, Some e.Ladder.outcome,
+                     e.Ladder.attempts, true)
+        | None -> (
+          match !last_good with
+          | None -> (Blackout, None, rung_budget, true)
+          | Some sel -> (
+            let surviving =
+              List.filter (fun id -> not (banned id)) sel.Vcg.selected
+            in
+            match Ladder.pay_as_bid problem surviving with
+            | Some outcome -> (Carried, Some outcome, rung_budget, true)
+            | None -> (Blackout, None, rung_budget, true))))
+    in
+    if ladder_engaged then incr activations;
+    (match status with
+    | Healthy -> (
+      match outcome_opt with
+      | Some o -> last_good := Some o.Vcg.selection
+      | None -> ())
+    | Degraded _ | Carried | Blackout -> ());
+    (* Delivered fraction: route the full (unrelaxed) demand over the
+       surviving selected links. *)
+    let routing_opt, delivered =
+      match outcome_opt with
+      | None -> (None, 0.0)
+      | Some o ->
+        let in_sel = Hashtbl.create 64 in
+        List.iter
+          (fun id -> Hashtbl.replace in_sel id ())
+          o.Vcg.selection.Vcg.selected;
+        let enabled id = Hashtbl.mem in_sel id && not (banned id) in
+        let r = Router.route ~enabled problem.Vcg.graph ~demands in
+        let total =
+          List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 demands
+        in
+        (Some r, if total <= 0.0 then 1.0 else Router.total_routed r /. total)
+    in
+    let spend =
+      match outcome_opt with Some o -> o.Vcg.total_payment | None -> 0.0
+    in
+    let price =
+      match outcome_opt with
+      | Some _ when volume > 0.0 -> spend /. volume
+      | Some _ | None -> 0.0
+    in
+    (* Cross-layer invariants, checked every epoch. *)
+    let violate invariant detail =
+      violations := { epoch; invariant; detail } :: !violations
+    in
+    let conservation, posted =
+      match (outcome_opt, routing_opt) with
+      | Some outcome, Some routing ->
+        let pseudo =
+          { plan with Planner.matrix = epoch_matrix; problem; outcome; routing }
+        in
+        let ledger = Settlement.of_plan pseudo () in
+        final_plan := Some pseudo;
+        ( Some (Settlement.conservation ledger),
+          Some ledger.Settlement.usage_price )
+      | _, _ -> (None, None)
+    in
+    (match conservation with
+    | Some c when Float.abs c > 1e-6 ->
+      violate "ledger-conservation"
+        (Printf.sprintf "nets to %.9f, expected 0" c)
+    | Some _ | None -> ());
+    (match posted with
+    | Some p when not (Float.is_finite p) ->
+      violate "posted-price-finite" (Printf.sprintf "usage price %f" p)
+    | Some _ | None -> ());
+    if not (Float.is_finite price) then
+      violate "epoch-price-finite" (Printf.sprintf "price %f" price);
+    (match routing_opt with
+    | Some r when Router.total_routed r > r.Router.enabled_capacity +. 1e-6 ->
+      violate "delivered-within-capacity"
+        (Printf.sprintf "routed %.3f over capacity %.3f"
+           (Router.total_routed r) r.Router.enabled_capacity)
+    | Some _ | None -> ());
+    reports :=
+      {
+        epoch;
+        status;
+        spend;
+        price_per_gbps = price;
+        delivered_fraction = delivered;
+        selected_links =
+          (match outcome_opt with
+          | Some o -> List.length o.Vcg.selection.Vcg.selected
+          | None -> 0);
+        recalled_links = Hashtbl.length recalled;
+        active_faults = Hashtbl.length down + Hashtbl.length gone;
+        ladder_attempts;
+        ledger_conservation = conservation;
+        posted_price = posted;
+      }
+      :: !reports
+  done;
+  let epochs = List.rev !reports in
+  (* Incidents: one per fault epoch absorbed while healthy, one per
+     maximal degraded span. *)
+  let incidents =
+    let out = ref [] in
+    let open_inc = ref None in
+    let baseline = ref None in
+    let delta spend =
+      match !baseline with Some b -> spend -. b | None -> 0.0
+    in
+    List.iter
+      (fun (er : epoch_report) ->
+        let faults = Fault.describe schedule er.epoch in
+        let has_faults = faults <> "-" in
+        match (!open_inc, er.status) with
+        | None, Healthy ->
+          if has_faults then
+            out :=
+              {
+                start_epoch = er.epoch;
+                trigger = faults;
+                response = Healthy;
+                attempts = er.ladder_attempts;
+                recovery_epoch = Some er.epoch;
+                spend_penalty = delta er.spend;
+              }
+              :: !out;
+          baseline := Some er.spend
+        | None, status ->
+          open_inc :=
+            Some
+              {
+                start_epoch = er.epoch;
+                trigger = (if has_faults then faults else "market stress");
+                response = status;
+                attempts = er.ladder_attempts;
+                recovery_epoch = None;
+                spend_penalty = delta er.spend;
+              }
+        | Some inc, Healthy ->
+          out := { inc with recovery_epoch = Some er.epoch } :: !out;
+          open_inc := None;
+          baseline := Some er.spend
+        | Some inc, _ ->
+          open_inc :=
+            Some { inc with spend_penalty = inc.spend_penalty +. delta er.spend })
+      epochs;
+    (match !open_inc with Some inc -> out := inc :: !out | None -> ());
+    List.rev !out
+  in
+  {
+    epochs;
+    incidents;
+    violations = List.rev !violations;
+    ladder_activations = !activations;
+    final_plan = !final_plan;
+  }
+
+let epochs_to_recovery incident =
+  Option.map (fun r -> r - incident.start_epoch) incident.recovery_epoch
+
+let render_incidents report =
+  let line i =
+    Printf.sprintf
+      "incident start=%d trigger=%s response=%s attempts=%d recovery=%s \
+       epochs_to_recovery=%s spend_penalty=%+.2f"
+      i.start_epoch i.trigger
+      (status_to_string i.response)
+      i.attempts
+      (match i.recovery_epoch with Some e -> string_of_int e | None -> "never")
+      (match epochs_to_recovery i with
+      | Some n -> string_of_int n
+      | None -> "never")
+      i.spend_penalty
+  in
+  match report.incidents with
+  | [] -> "no incidents\n"
+  | incidents -> String.concat "\n" (List.map line incidents) ^ "\n"
+
+let render_epochs report =
+  let header =
+    Printf.sprintf "%-6s %-28s %12s %8s %10s %5s %7s %8s" "epoch" "status"
+      "spend $" "$/Gbps" "delivered" "|SL|" "faults" "attempts"
+  in
+  let line (er : epoch_report) =
+    Printf.sprintf "%-6d %-28s %12.0f %8.2f %9.1f%% %5d %7d %8d" er.epoch
+      (status_to_string er.status)
+      er.spend er.price_per_gbps
+      (100.0 *. er.delivered_fraction)
+      er.selected_links er.active_faults er.ladder_attempts
+  in
+  String.concat "\n" (header :: List.map line report.epochs) ^ "\n"

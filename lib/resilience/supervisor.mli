@@ -1,0 +1,84 @@
+(** Supervised control loop: the epoch market under injected faults.
+
+    A supervised re-run of the repeated-auction loop
+    ([Poc_market.Epochs.run] semantics: cost drift, strategy recalls,
+    demand growth) that additionally applies a compiled {!Fault}
+    schedule, engages the degradation {!Ladder} whenever an epoch's
+    auction is infeasible, carries the last fully-healthy selection
+    forward (minus dead links) when even the ladder is exhausted, and
+    only reports a blackout when nothing at all can be leased.
+
+    After every epoch it asserts the cross-layer invariants the paper's
+    operational story depends on — the settlement ledger nets to zero,
+    the posted price is finite, delivered traffic never exceeds
+    surviving capacity — and collects any breach in
+    {!field:report.violations} (expected empty).
+
+    Everything is deterministic from the market seed and the compiled
+    schedule: identical inputs produce byte-identical incident logs
+    ({!render_incidents}). *)
+
+type status =
+  | Healthy                    (** auction cleared under the plan's rule *)
+  | Degraded of Ladder.step    (** ladder rung that kept service up *)
+  | Carried                    (** last healthy selection carried forward *)
+  | Blackout                   (** nothing leasable this epoch *)
+
+type epoch_report = {
+  epoch : int;
+  status : status;
+  spend : float;               (** POC spend; 0 in a blackout *)
+  price_per_gbps : float;      (** spend / offered volume; 0 in a blackout *)
+  delivered_fraction : float;  (** routed / offered at full (unrelaxed) demand *)
+  selected_links : int;
+  recalled_links : int;        (** strategy-driven recalls this epoch *)
+  active_faults : int;         (** injected links currently down or withdrawn *)
+  ladder_attempts : int;       (** rungs tried this epoch (0 when healthy) *)
+  ledger_conservation : float option; (** Σ net over parties; None in blackout *)
+  posted_price : float option; (** break-even usage price; None in blackout *)
+}
+
+type incident = {
+  start_epoch : int;
+  trigger : string;            (** fault events at the start epoch, or
+                                   ["market stress"] for drift-induced failures *)
+  response : status;           (** service level at the start epoch *)
+  attempts : int;              (** ladder rungs tried at the start epoch *)
+  recovery_epoch : int option; (** first healthy epoch at or after the start;
+                                   [None] when the run ends degraded *)
+  spend_penalty : float;       (** Σ (spend − last healthy spend) over the
+                                   degraded span *)
+}
+
+type violation = { epoch : int; invariant : string; detail : string }
+
+type report = {
+  epochs : epoch_report list;     (** chronological *)
+  incidents : incident list;      (** chronological *)
+  violations : violation list;    (** invariant breaches; expected [] *)
+  ladder_activations : int;       (** epochs on which the ladder engaged *)
+  final_plan : Poc_core.Planner.plan option;
+      (** pseudo-plan of the last epoch that produced an outcome;
+          feed it to [Settlement.of_plan] for the closing ledger *)
+}
+
+val run :
+  ?ladder:Ladder.config ->
+  Poc_core.Planner.plan ->
+  market:Poc_market.Epochs.config ->
+  schedule:Fault.schedule ->
+  report
+(** Raises [Invalid_argument] with the aggregate validation message on
+    a bad market or ladder config; never raises on injected faults. *)
+
+val epochs_to_recovery : incident -> int option
+(** [recovery_epoch - start_epoch]; 0 means absorbed with no outage. *)
+
+val status_to_string : status -> string
+
+val render_incidents : report -> string
+(** Deterministic one-line-per-incident log; identical seed + schedule
+    produce a byte-identical string. *)
+
+val render_epochs : report -> string
+(** Deterministic per-epoch service table. *)

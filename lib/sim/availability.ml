@@ -31,10 +31,25 @@ type report = {
   max_concurrent_failures : int;
 }
 
+(* Every bad field is reported at once, not just the first. *)
+let config_problems config =
+  let bad = ref [] in
+  let check ok msg = if not ok then bad := msg :: !bad in
+  let positive v = Float.is_finite v && v > 0.0 in
+  check (positive config.horizon_hours) "horizon_hours must be positive";
+  check (positive config.mtbf_hours) "mtbf_hours must be positive";
+  check (positive config.mttr_hours) "mttr_hours must be positive";
+  List.rev !bad
+
+let validate_config config =
+  match config_problems config with
+  | [] -> Ok ()
+  | problems -> Error ("Availability: " ^ String.concat "; " problems)
+
 let simulate (plan : Planner.plan) config =
-  if config.horizon_hours <= 0.0 || config.mtbf_hours <= 0.0
-     || config.mttr_hours <= 0.0
-  then invalid_arg "Availability.simulate: non-positive config";
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
   let rng = Prng.create config.seed in
   let g = plan.Planner.wan.Poc_topology.Wan.graph in
   let selected = plan.Planner.outcome.Poc_auction.Vcg.selection.Poc_auction.Vcg.selected in

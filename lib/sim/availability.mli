@@ -22,6 +22,11 @@ type config = {
 val default_config : config
 (** A month at MTBF 2000h / MTTR 12h per link. *)
 
+val validate_config : config -> (unit, string) result
+(** Checks every field and reports all offending ones in one message,
+    e.g. ["Availability: horizon_hours must be positive; mttr_hours
+    must be positive"]. *)
+
 type event = Fail of int | Repair of int
 
 type sample = {
@@ -41,5 +46,5 @@ type report = {
 }
 
 val simulate : Poc_core.Planner.plan -> config -> report
-(** Requires a feasible plan; raises [Invalid_argument] on a
-    non-positive horizon or rates. *)
+(** Requires a feasible plan; raises [Invalid_argument] with the
+    {!validate_config} message when the config is invalid. *)

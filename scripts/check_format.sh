@@ -1,0 +1,27 @@
+#!/bin/sh
+# Formatting gate for CI: no ocamlformat config is checked in, so the
+# enforceable baseline is whitespace hygiene — no tab characters and no
+# trailing whitespace in any OCaml source or dune file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(find lib bin bench test examples -type f \
+  \( -name '*.ml' -o -name '*.mli' -o -name 'dune' \) | sort)
+
+for f in $files; do
+  if grep -n -P '\t' "$f" /dev/null; then
+    echo "error: tab character in $f" >&2
+    status=1
+  fi
+  if grep -n -E ' +$' "$f" /dev/null; then
+    echo "error: trailing whitespace in $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format check passed ($(echo "$files" | wc -l) files)"
+fi
+exit "$status"

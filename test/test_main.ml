@@ -13,4 +13,5 @@ let () =
       ("sim", Test_sim.suite);
       ("market", Test_market.suite);
       ("federation", Test_federation.suite);
+      ("resilience", Test_resilience.suite);
     ]

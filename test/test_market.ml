@@ -27,7 +27,8 @@ let test_epochs_numbered () =
 
 let test_no_failures_on_healthy_market () =
   List.iter
-    (fun r -> Alcotest.(check bool) "selection found" false r.Epochs.failed)
+    (fun r ->
+      Alcotest.(check bool) "selection found" true (r.Epochs.failure = None))
     (run_market ())
 
 let test_spend_tracks_declining_costs () =
@@ -62,7 +63,8 @@ let test_recall_strategy_counts () =
   in
   Alcotest.(check bool) "recalls happen" true any_recalls;
   List.iter
-    (fun r -> Alcotest.(check bool) "still clears" false r.Epochs.failed)
+    (fun r ->
+      Alcotest.(check bool) "still clears" true (r.Epochs.failure = None))
     results
 
 let test_markup_strategy_raises_spend () =
@@ -83,9 +85,60 @@ let test_markup_strategy_raises_spend () =
 
 let test_config_validation () =
   Alcotest.check_raises "epochs must be positive"
-    (Invalid_argument "Epochs.run: epochs must be positive") (fun () ->
+    (Invalid_argument "Epochs: epochs must be positive") (fun () ->
       ignore
         (Epochs.run (plan ()) { Epochs.default_config with Epochs.epochs = 0 }))
+
+let test_config_validation_lists_every_problem () =
+  (* One message naming all three bad fields, not just the first. *)
+  let bad =
+    {
+      Epochs.default_config with
+      Epochs.epochs = 0;
+      demand_growth = -1.0;
+      strategies = [ (2, Epochs.Recallable 1.5) ];
+    }
+  in
+  match Epochs.validate_config bad with
+  | Ok () -> Alcotest.fail "expected a validation error"
+  | Error msg ->
+    let contains needle =
+      let nl = String.length needle and hl = String.length msg in
+      let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions %S" needle)
+        true (go 0)
+    in
+    contains "epochs must be positive";
+    contains "demand_growth must be positive";
+    contains "recall fraction for BP 2"
+
+let test_empty_offer_pool_reported () =
+  (* Recall every BP link each epoch and strip the contracted virtual
+     links: the pool is empty and the failure reason says so. *)
+  let plan = plan () in
+  let plan =
+    {
+      plan with
+      Poc_core.Planner.problem =
+        { plan.Poc_core.Planner.problem with Vcg.virtual_prices = [] };
+    }
+  in
+  let n_bps = Array.length plan.Poc_core.Planner.problem.Vcg.bids in
+  let results =
+    Epochs.run plan
+      {
+        Epochs.default_config with
+        Epochs.epochs = 3;
+        strategies = List.init n_bps (fun bp -> (bp, Epochs.Recallable 1.0));
+        seed = 3;
+      }
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "empty pool" true
+        (r.Epochs.failure = Some Epochs.Empty_offer_pool))
+    results
 
 let test_supplier_hhi_of_outcome () =
   let outcome = (plan ()).Poc_core.Planner.outcome in
@@ -105,5 +158,9 @@ let suite =
     Alcotest.test_case "recall strategy" `Quick test_recall_strategy_counts;
     Alcotest.test_case "markup raises spend" `Quick test_markup_strategy_raises_spend;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "config validation lists every problem" `Quick
+      test_config_validation_lists_every_problem;
+    Alcotest.test_case "empty offer pool reported" `Quick
+      test_empty_offer_pool_reported;
     Alcotest.test_case "supplier HHI of outcome" `Quick test_supplier_hhi_of_outcome;
   ]

@@ -1,0 +1,274 @@
+(* Resilience layer: fault DSL, degradation ladder, supervised loop. *)
+
+module Acceptability = Poc_auction.Acceptability
+module Vcg = Poc_auction.Vcg
+module Epochs = Poc_market.Epochs
+module Settlement = Poc_core.Settlement
+module Planner = Poc_core.Planner
+module Fault = Poc_resilience.Fault
+module Ladder = Poc_resilience.Ladder
+module Supervisor = Poc_resilience.Supervisor
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let plan () = Lazy.force Fixtures.small_plan
+
+let chaos_specs (plan : Planner.plan) =
+  let wan = plan.Planner.wan in
+  let biggest =
+    match Poc_topology.Wan.bps_by_size wan with b :: _ -> b | [] -> 0
+  in
+  let n_bps = Array.length wan.Poc_topology.Wan.bps in
+  [
+    Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest };
+    Fault.Link_failure { at_epoch = 3; count = 2; duration = 2 };
+  ]
+  @ List.init n_bps (fun bp ->
+        Fault.Capacity_recall { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
+
+let compile_chaos plan =
+  match Fault.compile plan.Planner.wan ~seed:2020 (chaos_specs plan) with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "chaos schedule failed to compile: %s" msg
+
+let market = { Epochs.default_config with Epochs.epochs = 8; seed = 7 }
+
+(* --- Fault DSL --- *)
+
+let test_fault_validation_lists_every_problem () =
+  let plan = plan () in
+  let specs =
+    [
+      Fault.Link_failure { at_epoch = 0; count = 0; duration = 1 };
+      Fault.Bp_bankruptcy { at_epoch = 1; bp = 99 };
+      Fault.Capacity_recall { at_epoch = 1; bp = 0; fraction = 1.5; duration = 1 };
+    ]
+  in
+  match Fault.validate plan.Planner.wan specs with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S" needle)
+          true (contains msg needle))
+      [
+        "spec 0: at_epoch must be >= 1";
+        "spec 0: count must be >= 1";
+        "spec 1: unknown BP 99";
+        "spec 2: fraction must be in [0,1]";
+      ]
+
+let test_fault_compile_is_deterministic () =
+  let plan = plan () in
+  let specs = chaos_specs plan in
+  let run () =
+    match Fault.compile plan.Planner.wan ~seed:2020 specs with
+    | Ok s -> Fault.events s
+    | Error msg -> Alcotest.failf "compile failed: %s" msg
+  in
+  Alcotest.(check bool) "identical timelines" true (run () = run ())
+
+let test_fault_failure_emits_repair () =
+  let plan = plan () in
+  let specs = [ Fault.Link_failure { at_epoch = 2; count = 3; duration = 2 } ] in
+  match Fault.compile plan.Planner.wan ~seed:5 specs with
+  | Error msg -> Alcotest.failf "compile failed: %s" msg
+  | Ok s ->
+    let downs =
+      Fault.at s 2
+      |> List.filter_map (function Fault.Link_down id -> Some id | _ -> None)
+    in
+    let ups =
+      Fault.at s 4
+      |> List.filter_map (function Fault.Link_up id -> Some id | _ -> None)
+    in
+    Alcotest.(check int) "three links fail" 3 (List.length downs);
+    Alcotest.(check (list int)) "same links repair after the duration" downs ups
+
+(* --- Ladder --- *)
+
+let test_ladder_rung_order () =
+  let rungs =
+    Ladder.rungs ~rule:Acceptability.Single_link_failure Ladder.default_config
+  in
+  let expected =
+    [
+      Ladder.Relax_demand 0.9;
+      Ladder.Relax_demand 0.75;
+      Ladder.Relax_demand 0.5;
+      Ladder.Step_down Acceptability.Handle_load;
+      Ladder.Connectivity_only;
+      Ladder.External_transit;
+    ]
+  in
+  Alcotest.(check bool) "relax, then step down, then fallbacks" true
+    (rungs = expected)
+
+let test_ladder_respects_attempt_budget () =
+  let config = { Ladder.default_config with Ladder.max_attempts = 2 } in
+  let rungs = Ladder.rungs ~rule:Acceptability.Handle_load config in
+  Alcotest.(check int) "budget truncates the ladder" 2 (List.length rungs)
+
+let test_ladder_validation_lists_every_problem () =
+  let bad =
+    { Ladder.relax_factors = [ 1.5; -0.1 ]; step_rules = true; max_attempts = 0 }
+  in
+  match Ladder.validate_config bad with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S" needle)
+          true (contains msg needle))
+      [ "relax factor 1.5"; "relax factor -0.1"; "max_attempts must be >= 1" ]
+
+(* --- Supervisor --- *)
+
+let chaos_report plan = Supervisor.run plan ~market ~schedule:(compile_chaos plan)
+
+let test_chaos_run_degrades_and_recovers () =
+  let plan = plan () in
+  let report = chaos_report plan in
+  Alcotest.(check int) "all epochs reported" market.Epochs.epochs
+    (List.length report.Supervisor.epochs);
+  Alcotest.(check bool) "ladder engaged at least once" true
+    (report.Supervisor.ladder_activations >= 1);
+  let degraded =
+    List.filter
+      (fun (er : Supervisor.epoch_report) ->
+        er.Supervisor.status <> Supervisor.Healthy)
+      report.Supervisor.epochs
+  in
+  Alcotest.(check bool) "at least one degraded epoch" true (degraded <> []);
+  List.iter
+    (fun (er : Supervisor.epoch_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d delivered some traffic" er.Supervisor.epoch)
+        true
+        (er.Supervisor.delivered_fraction > 0.0))
+    report.Supervisor.epochs;
+  let recovered =
+    List.exists
+      (fun (i : Supervisor.incident) ->
+        match Supervisor.epochs_to_recovery i with
+        | Some n -> n >= 1
+        | None -> false)
+      report.Supervisor.incidents
+  in
+  Alcotest.(check bool) "some incident reports epochs-to-recovery >= 1" true
+    recovered
+
+let test_chaos_invariants_hold () =
+  let plan = plan () in
+  let report = chaos_report plan in
+  Alcotest.(check int) "no invariant violations" 0
+    (List.length report.Supervisor.violations);
+  match report.Supervisor.final_plan with
+  | None -> Alcotest.fail "expected a final plan"
+  | Some final ->
+    let ledger = Settlement.of_plan final () in
+    Alcotest.(check bool) "closing ledger nets to zero" true
+      (Float.abs (Settlement.conservation ledger) < 1e-6)
+
+let test_incident_log_is_byte_identical () =
+  let plan = plan () in
+  let render () =
+    let report = chaos_report plan in
+    Supervisor.render_incidents report ^ Supervisor.render_epochs report
+  in
+  Alcotest.(check string) "same seed + schedule, same bytes" (render ())
+    (render ())
+
+let test_faultfree_supervised_run_matches_epochs () =
+  let plan = plan () in
+  let schedule =
+    match Fault.compile plan.Planner.wan ~seed:1 [] with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "empty schedule failed: %s" msg
+  in
+  let report = Supervisor.run plan ~market ~schedule in
+  let plain = Epochs.run plan market in
+  List.iter2
+    (fun (er : Supervisor.epoch_report) (pr : Epochs.epoch_result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d healthy" er.Supervisor.epoch)
+        true
+        (er.Supervisor.status = Supervisor.Healthy);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "epoch %d spend matches Epochs.run" er.Supervisor.epoch)
+        pr.Epochs.spend er.Supervisor.spend)
+    report.Supervisor.epochs plain;
+  Alcotest.(check int) "no incidents without faults" 0
+    (List.length report.Supervisor.incidents)
+
+let test_total_blackout_reports_never () =
+  let plan = plan () in
+  (* External transit is the designed backstop, so a true blackout
+     needs it gone too: bankrupt every BP and strip the virtual links
+     from the problem (and from the seed selection the supervisor
+     would otherwise carry forward). *)
+  let n_bps = Array.length plan.Planner.wan.Poc_topology.Wan.bps in
+  let specs =
+    List.init n_bps (fun bp -> Fault.Bp_bankruptcy { at_epoch = 1; bp })
+  in
+  let schedule =
+    match Fault.compile plan.Planner.wan ~seed:3 specs with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "compile failed: %s" msg
+  in
+  let is_virtual id =
+    List.mem_assoc id plan.Planner.problem.Vcg.virtual_prices
+  in
+  let problem = { plan.Planner.problem with Vcg.virtual_prices = [] } in
+  let selected =
+    List.filter
+      (fun id -> not (is_virtual id))
+      plan.Planner.outcome.Vcg.selection.Vcg.selected
+  in
+  let selection =
+    { Vcg.selected; cost = Vcg.selection_cost problem selected }
+  in
+  let outcome = { plan.Planner.outcome with Vcg.selection = selection } in
+  let plan = { plan with Planner.problem = problem; outcome } in
+  let report = Supervisor.run plan ~market ~schedule in
+  List.iter
+    (fun (er : Supervisor.epoch_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d blacked out" er.Supervisor.epoch)
+        true
+        (er.Supervisor.status = Supervisor.Blackout))
+    report.Supervisor.epochs;
+  match report.Supervisor.incidents with
+  | [ inc ] ->
+    Alcotest.(check bool) "no recovery" true
+      (Supervisor.epochs_to_recovery inc = None)
+  | incs -> Alcotest.failf "expected one open incident, got %d" (List.length incs)
+
+let suite =
+  [
+    Alcotest.test_case "fault validation lists every problem" `Quick
+      test_fault_validation_lists_every_problem;
+    Alcotest.test_case "fault compile is deterministic" `Quick
+      test_fault_compile_is_deterministic;
+    Alcotest.test_case "link failure emits matching repair" `Quick
+      test_fault_failure_emits_repair;
+    Alcotest.test_case "ladder rungs in order" `Quick test_ladder_rung_order;
+    Alcotest.test_case "ladder respects attempt budget" `Quick
+      test_ladder_respects_attempt_budget;
+    Alcotest.test_case "ladder validation lists every problem" `Quick
+      test_ladder_validation_lists_every_problem;
+    Alcotest.test_case "chaos run degrades and recovers" `Slow
+      test_chaos_run_degrades_and_recovers;
+    Alcotest.test_case "chaos invariants hold" `Slow test_chaos_invariants_hold;
+    Alcotest.test_case "incident log is byte-identical" `Slow
+      test_incident_log_is_byte_identical;
+    Alcotest.test_case "fault-free supervised run matches Epochs.run" `Slow
+      test_faultfree_supervised_run_matches_epochs;
+    Alcotest.test_case "total blackout reports no recovery" `Slow
+      test_total_blackout_reports_never;
+  ]

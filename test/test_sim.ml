@@ -105,6 +105,27 @@ let test_detector_quiet_on_neutral_fabric () =
   let report = Fabric.run (plan ()) Fabric.neutral_config (flows ()) in
   Alcotest.(check int) "no suspicions" 0 (List.length (Detector.detect report))
 
+let test_detector_quiet_under_pure_congestion () =
+  (* Scale every flow up until links saturate: delivery drops, but the
+     loss is explained by congestion, so the false-positive discount
+     path must yield zero suspicions — across several seeds. *)
+  List.iter
+    (fun seed ->
+      let fs =
+        flows ~seed ()
+        |> List.map (fun f -> { f with Fabric.gbps = f.Fabric.gbps *. 40.0 })
+      in
+      let report = Fabric.run (plan ()) Fabric.neutral_config fs in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d actually congested" seed)
+        true
+        (Fabric.delivery_ratio report < 0.999);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: congestion alone raises no suspicion" seed)
+        0
+        (List.length (Detector.detect report)))
+    [ 1; 7; 21; 42; 99 ]
+
 let test_detector_catches_throttling () =
   let src, dst = find_busy_pair () in
   let config =
@@ -291,11 +312,24 @@ let test_availability_with_failures () =
 
 let test_availability_validates () =
   Alcotest.check_raises "bad config"
-    (Invalid_argument "Availability.simulate: non-positive config") (fun () ->
+    (Invalid_argument "Availability: horizon_hours must be positive") (fun () ->
       ignore
         (Availability.simulate (plan ())
            { Availability.horizon_hours = 0.0; mtbf_hours = 1.0;
              mttr_hours = 1.0; seed = 0 }))
+
+let test_availability_validation_lists_every_problem () =
+  match
+    Availability.validate_config
+      { Availability.horizon_hours = 0.0; mtbf_hours = nan; mttr_hours = -3.0;
+        seed = 0 }
+  with
+  | Ok () -> Alcotest.fail "expected a validation error"
+  | Error msg ->
+    Alcotest.(check string) "every bad field named"
+      "Availability: horizon_hours must be positive; mtbf_hours must be \
+       positive; mttr_hours must be positive"
+      msg
 
 
 (* --- Anycast ----------------------------------------------------------------------- *)
@@ -384,6 +418,10 @@ let suite =
     Alcotest.test_case "premium boost validation" `Quick test_premium_boost_validation;
     Alcotest.test_case "detector quiet when neutral" `Quick
       test_detector_quiet_on_neutral_fabric;
+    Alcotest.test_case "detector quiet under pure congestion" `Quick
+      test_detector_quiet_under_pure_congestion;
+    Alcotest.test_case "availability validation lists every problem" `Quick
+      test_availability_validation_lists_every_problem;
     Alcotest.test_case "detector catches throttling" `Quick
       test_detector_catches_throttling;
     Alcotest.test_case "audit produces violations" `Quick
