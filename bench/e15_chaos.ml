@@ -98,6 +98,36 @@ let run ~scale ~seed =
       "unsupervised baseline (no fault model): %d/%d epochs cleared\n"
       (List.length plain - List.length failed)
       (List.length plain);
+    (* Journal overhead: the same supervised run with durability on
+       (one flushed record per epoch + periodic snapshots), and the
+       cost of replaying the file back. *)
+    Common.subheader "journal overhead";
+    let path = Filename.temp_file "bench_journal" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let journaled =
+          Common.timed "supervised run (journaled)" (fun () ->
+              Supervisor.run plan ~journal:path ~market ~schedule)
+        in
+        let replayed =
+          Common.timed "journal replay" (fun () ->
+              Poc_resilience.Journal.replay path)
+        in
+        match replayed with
+        | Error msg -> Printf.printf "replay failed: %s\n" msg
+        | Ok r ->
+          Printf.printf
+            "journal: %d bytes for %d epochs (%d records, snapshot every \
+             %d); rendered output %s\n"
+            r.Poc_resilience.Journal.valid_bytes market.Epochs.epochs
+            (List.length r.Poc_resilience.Journal.records)
+            r.Poc_resilience.Journal.header.Poc_resilience.Journal.snapshot_every
+            (if
+               Supervisor.render_epochs journaled
+               = Supervisor.render_epochs report
+             then "identical to the unjournaled run"
+             else "DIVERGED from the unjournaled run"));
     print_endline
       "expected shape: every epoch keeps a priced outcome (no blackout),\n\
      the recall wave degrades to a ladder rung and recovers the next\n\

@@ -5,6 +5,8 @@
      auction   auction details (per-BP payments, PoB)
      econ      NN-vs-UR regime comparison for the reference economy
      market    multi-epoch bandwidth-market simulation
+     chaos     supervised market under injected faults, with a durable
+               journal and crash/resume support
      topology  describe a generated substrate
      baseline  describe the traditional-Internet comparator *)
 
@@ -14,6 +16,8 @@ module Settlement = Poc_core.Settlement
 module Vcg = Poc_auction.Vcg
 module Acc = Poc_auction.Acceptability
 module Wan = Poc_topology.Wan
+module Fault = Poc_resilience.Fault
+module Supervisor = Poc_resilience.Supervisor
 
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
@@ -136,35 +140,174 @@ let econ_cmd =
   let term = Term.(const run $ verbose_arg) in
   Cmd.v (Cmd.info "econ" ~doc:"NN vs UR regime comparison") term
 
-(* --- market ----------------------------------------------------------------- *)
+(* --- market / chaos -------------------------------------------------------- *)
+
+let epochs_arg =
+  Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Months to simulate.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:"Write a crash-safe journal of the run to $(docv); a killed run \
+              can be finished later with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"PATH"
+        ~doc:"Resume a crashed run from the journal at $(docv) and append to \
+              it.  Fails with a clear error if the journal is corrupt, \
+              complete, or was written under a different configuration.")
+
+(* Run the supervised loop, honoring --journal/--resume.  Exit codes:
+   10 for an injected crash (the journal is left ready to resume), 1
+   for a journal that cannot be resumed. *)
+let run_supervised ~journal ~resume plan ~market ~schedule =
+  match resume with
+  | Some path -> (
+    match Supervisor.resume ~journal:path plan ~market ~schedule with
+    | Ok r ->
+      Printf.eprintf "resumed from %s\n" path;
+      r
+    | Error msg ->
+      Printf.eprintf "resume failed: %s\n" msg;
+      exit 1)
+  | None -> (
+    try Supervisor.run ?journal plan ~market ~schedule with
+    | Supervisor.Injected_crash { epoch; phase } ->
+      Printf.eprintf
+        "injected crash at epoch %d (%s); finish the run with --resume\n" epoch
+        (Fault.phase_to_string phase);
+      exit 10)
+
+let print_supervised (report : Supervisor.report) =
+  print_string (Supervisor.render_epochs report);
+  print_endline "\nincident log:";
+  print_string (Supervisor.render_incidents report);
+  List.iter
+    (fun (v : Supervisor.violation) ->
+      Printf.printf "INVARIANT VIOLATED at epoch %d: %s (%s)\n"
+        v.Supervisor.epoch v.Supervisor.invariant v.Supervisor.detail)
+    report.Supervisor.violations
 
 let market_cmd =
-  let epochs_arg =
-    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Months to simulate.")
-  in
-  let run verbose seed sites bps epochs =
+  let run verbose seed sites bps epochs journal resume =
     setup_logs verbose;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
-    let results =
-      Epochs.run plan { Epochs.default_config with Epochs.epochs; seed }
-    in
-    List.iter
-      (fun (r : Epochs.epoch_result) ->
-        match r.Epochs.failure with
-        | Some reason ->
-          Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
-            (Epochs.failure_name reason)
-        | None ->
-          Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
-            r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
-            r.Epochs.selected_links r.Epochs.supplier_hhi)
-      results
+    let market = { Epochs.default_config with Epochs.epochs; seed } in
+    if journal <> None || resume <> None then
+      (* Durable mode: the supervised loop (fault-free schedule) so the
+         run is journaled and resumable. *)
+      let schedule =
+        match Fault.compile plan.Planner.wan ~seed [] with
+        | Ok s -> s
+        | Error msg ->
+          Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
+          exit 1
+      in
+      print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
+    else
+      let results = Epochs.run plan market in
+      List.iter
+        (fun (r : Epochs.epoch_result) ->
+          match r.Epochs.failure with
+          | Some reason ->
+            Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
+              (Epochs.failure_name reason)
+          | None ->
+            Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
+              r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
+              r.Epochs.selected_links r.Epochs.supplier_hhi)
+        results
   in
   let term =
-    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg)
+    Term.(
+      const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
+      $ journal_arg $ resume_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
+
+let chaos_cmd =
+  let crash_conv =
+    let parse s =
+      match String.index_opt s ':' with
+      | None -> Error (`Msg "expected EPOCH:PHASE")
+      | Some i -> (
+        let e = String.sub s 0 i in
+        let p = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt e, Fault.phase_of_string p) with
+        | Some e, Some p -> Ok (e, p)
+        | None, _ -> Error (`Msg (Printf.sprintf "bad epoch %S" e))
+        | _, None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "bad phase %S: expected pre_auction, pre_settle or post_settle"
+                 p)))
+    in
+    let print ppf (e, p) =
+      Format.fprintf ppf "%d:%s" e (Fault.phase_to_string p)
+    in
+    Arg.conv (parse, print)
+  in
+  let crash_arg =
+    Arg.(
+      value & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"EPOCH:PHASE"
+          ~doc:"Inject a process crash at the given epoch and phase \
+                ($(b,pre_auction), $(b,pre_settle) or $(b,post_settle)).  \
+                The process exits with code 10 and the journal is left \
+                ready for $(b,--resume).  Repeatable.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 2020
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for compiling the fault schedule.")
+  in
+  let run verbose seed sites bps epochs fault_seed crashes journal resume =
+    setup_logs verbose;
+    let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
+    let module Epochs = Poc_market.Epochs in
+    let biggest =
+      match Wan.bps_by_size plan.Planner.wan with b :: _ -> b | [] -> 0
+    in
+    let n_bps = Array.length plan.Planner.wan.Wan.bps in
+    let specs =
+      [
+        Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest };
+        Fault.Link_failure { at_epoch = 3; count = 2; duration = 2 };
+      ]
+      @ List.init n_bps (fun bp ->
+            Fault.Capacity_recall
+              { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
+      @ List.map
+          (fun (at_epoch, phase) -> Fault.Crash { at_epoch; phase })
+          crashes
+    in
+    let schedule =
+      match Fault.compile plan.Planner.wan ~seed:fault_seed specs with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "bad fault schedule: %s\n" msg;
+        exit 1
+    in
+    let market = { Epochs.default_config with Epochs.epochs; seed } in
+    print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
+      $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Supervised market under injected faults (journal + crash/resume)")
+    term
 
 (* --- topology ------------------------------------------------------------------ *)
 
@@ -281,5 +424,5 @@ let () =
   let doc = "A Public Option for the Core — planning, auction and policy toolkit" in
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; topology_cmd;
+    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; topology_cmd;
       federation_cmd; availability_cmd; export_cmd; baseline_cmd ]))

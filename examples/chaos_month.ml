@@ -11,7 +11,17 @@
    incident log records epochs-to-recovery and the spend penalty, and
    the settlement ledger still nets to zero at the end.
 
-   Run with:  dune exec examples/chaos_month.exe *)
+   Run with:  dune exec examples/chaos_month.exe
+
+   Durability flags (the kill-and-resume walkthrough in README.md):
+
+     --journal PATH        write a crash-safe journal of the run
+     --crash EPOCH:PHASE   inject a process crash (phases: pre_auction,
+                           pre_settle, post_settle); exits with code 10
+     --resume PATH         recover from a journal and finish the run
+
+   Crash/resume chatter goes to stderr, so the stdout of a resumed run
+   is byte-identical to an uninterrupted one — diff them to check. *)
 
 module Planner = Poc_core.Planner
 module Settlement = Poc_core.Settlement
@@ -20,7 +30,44 @@ module Wan = Poc_topology.Wan
 module Fault = Poc_resilience.Fault
 module Supervisor = Poc_resilience.Supervisor
 
+let usage () =
+  prerr_endline
+    "usage: chaos_month [--journal PATH] [--resume PATH] [--crash EPOCH:PHASE]";
+  exit 2
+
+let parse_crash spec =
+  let bad () =
+    Printf.eprintf
+      "bad --crash %S: expected EPOCH:PHASE with PHASE one of pre_auction, \
+       pre_settle, post_settle\n"
+      spec;
+    exit 2
+  in
+  match String.index_opt spec ':' with
+  | None -> bad ()
+  | Some i -> (
+    let epoch = String.sub spec 0 i in
+    let phase = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match (int_of_string_opt epoch, Fault.phase_of_string phase) with
+    | Some at_epoch, Some phase -> Fault.Crash { at_epoch; phase }
+    | _ -> bad ())
+
 let () =
+  let journal = ref None and resume = ref None and crashes = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--journal" :: path :: rest ->
+      journal := Some path;
+      parse rest
+    | "--resume" :: path :: rest ->
+      resume := Some path;
+      parse rest
+    | "--crash" :: spec :: rest ->
+      crashes := parse_crash spec :: !crashes;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let config =
     Planner.scaled_config ~sites:24 ~bps:6
       { Planner.default_config with Planner.seed = 11 }
@@ -48,6 +95,7 @@ let () =
       @ List.init n_bps (fun bp ->
             Fault.Capacity_recall
               { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
+      @ List.rev !crashes
     in
     let schedule =
       match Fault.compile plan.Planner.wan ~seed:2020 specs with
@@ -56,10 +104,25 @@ let () =
         prerr_endline ("bad fault schedule: " ^ msg);
         exit 1
     in
+    let market = { Epochs.default_config with Epochs.epochs = 8; seed = 7 } in
     let report =
-      Supervisor.run plan
-        ~market:{ Epochs.default_config with Epochs.epochs = 8; seed = 7 }
-        ~schedule
+      match !resume with
+      | Some path -> (
+        match Supervisor.resume ~journal:path plan ~market ~schedule with
+        | Ok r ->
+          Printf.eprintf "resumed from %s\n" path;
+          r
+        | Error msg ->
+          Printf.eprintf "resume failed: %s\n" msg;
+          exit 1)
+      | None -> (
+        try Supervisor.run ?journal:!journal plan ~market ~schedule with
+        | Supervisor.Injected_crash { epoch; phase } ->
+          Printf.eprintf
+            "injected crash at epoch %d (%s); journal retained for --resume\n"
+            epoch
+            (Fault.phase_to_string phase);
+          exit 10)
     in
     print_endline "\nservice under chaos:";
     print_string (Supervisor.render_epochs report);

@@ -94,6 +94,19 @@ let parties ledger =
 let conservation ledger =
   List.fold_left (fun acc p -> acc +. net ledger p) 0.0 (parties ledger)
 
+let check ?(tolerance = 1e-6) ledger =
+  let problems = ref [] in
+  let bad msg = problems := msg :: !problems in
+  let c = conservation ledger in
+  (* [not (<=)] rather than [>] so a NaN conservation sum also fails. *)
+  if not (Float.abs c <= tolerance) then
+    bad (Printf.sprintf "ledger nets to %.9f, expected 0 within %g" c tolerance);
+  if not (Float.is_finite ledger.usage_price) then
+    bad (Printf.sprintf "posted usage price %f is not finite" ledger.usage_price);
+  match List.rev !problems with
+  | [] -> Ok ()
+  | ps -> Error ("Settlement: " ^ String.concat "; " ps)
+
 let party_name (plan : Planner.plan) = function
   | Poc -> "POC"
   | Bp_party b -> plan.wan.bps.(b).Wan.bp_name

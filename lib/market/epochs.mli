@@ -54,6 +54,15 @@ type epoch_result = {
   failure : failure option; (** [None] when the auction cleared *)
 }
 
+val encode_result : epoch_result -> string
+(** One framed, checksummed binary record ([Poc_util.Codec] framing).
+    Floats round-trip bit-exactly, including the NaN sentinels of
+    failed epochs. *)
+
+val decode_result : string -> (epoch_result, string) result
+(** Inverse of {!encode_result}.  [Error] (never an exception) on a
+    torn, truncated or checksum-corrupted record. *)
+
 val run : Poc_core.Planner.plan -> config -> epoch_result list
 (** Replays [config.epochs] auctions over the plan's offer pool with
     evolving costs, recalls and demand.  Uses the plan's acceptability

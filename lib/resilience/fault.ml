@@ -1,12 +1,26 @@
 module Prng = Poc_util.Prng
 module Wan = Poc_topology.Wan
 
+type phase = Pre_auction | Pre_settle | Post_settle
+
+let phase_to_string = function
+  | Pre_auction -> "pre_auction"
+  | Pre_settle -> "pre_settle"
+  | Post_settle -> "post_settle"
+
+let phase_of_string = function
+  | "pre_auction" -> Some Pre_auction
+  | "pre_settle" -> Some Pre_settle
+  | "post_settle" -> Some Post_settle
+  | _ -> None
+
 type spec =
   | Link_failure of { at_epoch : int; count : int; duration : int }
   | Bp_bankruptcy of { at_epoch : int; bp : int }
   | Capacity_recall of { at_epoch : int; bp : int; fraction : float; duration : int }
   | Offer_shrinkage of { at_epoch : int; fraction : float }
   | Traffic_surge of { at_epoch : int; factor : float; duration : int }
+  | Crash of { at_epoch : int; phase : phase }
 
 type event =
   | Link_down of int
@@ -15,6 +29,7 @@ type event =
   | Withdraw of int list
   | Surge of float
   | Surge_over of float
+  | Crash_point of phase
 
 type schedule = { timeline : (int * event) list }
 
@@ -57,7 +72,8 @@ let spec_problems (wan : Wan.t) specs =
         duration d;
         check
           (Float.is_finite factor && factor > 0.0)
-          (where "factor must be positive"))
+          (where "factor must be positive")
+      | Crash { at_epoch; phase = _ } -> epoch at_epoch)
     specs;
   List.rev !bad
 
@@ -114,7 +130,11 @@ let compile wan ~seed specs =
           emit at_epoch (Withdraw (pick_links rng pool count))
         | Traffic_surge { at_epoch; factor; duration } ->
           emit at_epoch (Surge factor);
-          emit (at_epoch + duration) (Surge_over factor))
+          emit (at_epoch + duration) (Surge_over factor)
+        (* No random draw: adding a Crash spec never perturbs the
+           links the other specs pick, so a crashed-and-resumed run is
+           comparable to the same schedule without the crash. *)
+        | Crash { at_epoch; phase } -> emit at_epoch (Crash_point phase))
       specs;
     (* Stable sort keeps compile order within an epoch. *)
     Ok { timeline = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !timeline) }
@@ -135,6 +155,7 @@ let event_to_string = function
       (String.concat "," (List.map string_of_int ids))
   | Surge f -> Printf.sprintf "surge(x%.2f)" f
   | Surge_over f -> Printf.sprintf "surge_over(x%.2f)" f
+  | Crash_point phase -> Printf.sprintf "crash(%s)" (phase_to_string phase)
 
 let describe schedule epoch =
   (* Mass events (a full-portfolio recall downs a hundred links at
@@ -147,8 +168,15 @@ let describe schedule epoch =
     | Withdraw _ -> "withdraw"
     | Surge _ -> "surge"
     | Surge_over _ -> "surge_over"
+    | Crash_point _ -> "crash"
   in
-  match at schedule epoch with
+  (* Crash points kill the process, they are not market faults: hiding
+     them here keeps the incident log of a crashed-and-resumed run
+     byte-identical to the same schedule run uninterrupted. *)
+  match
+    at schedule epoch
+    |> List.filter (function Crash_point _ -> false | _ -> true)
+  with
   | [] -> "-"
   | evs ->
     let groups = ref [] in

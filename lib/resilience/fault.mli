@@ -8,6 +8,18 @@
     seed and specs always produce byte-identical fault timelines and,
     downstream, byte-identical incident logs. *)
 
+type phase =
+  | Pre_auction  (** after the epoch's faults land, before its auction *)
+  | Pre_settle   (** after the auction/ladder decision, before settlement
+                     — the epoch's journal record is left torn mid-write *)
+  | Post_settle  (** after the epoch settled and its record was flushed *)
+
+val phase_to_string : phase -> string
+(** ["pre_auction"], ["pre_settle"], ["post_settle"]. *)
+
+val phase_of_string : string -> phase option
+(** Inverse of {!phase_to_string}; [None] on anything else. *)
+
 type spec =
   | Link_failure of { at_epoch : int; count : int; duration : int }
       (** [count] distinct BP links picked at compile time go down at
@@ -22,6 +34,12 @@ type spec =
   | Traffic_surge of { at_epoch : int; factor : float; duration : int }
       (** the traffic matrix is multiplied by [factor] for [duration]
           epochs *)
+  | Crash of { at_epoch : int; phase : phase }
+      (** kill the supervised process at the given point of the epoch.
+          Compiling a [Crash] draws no randomness, so adding one to a
+          spec list never changes which links the other specs pick; a
+          resumed run ignores crash points, so kill + resume is
+          comparable to the same schedule without the crash. *)
 
 type event =
   | Link_down of int
@@ -30,6 +48,7 @@ type event =
   | Withdraw of int list (** sorted link ids, permanent *)
   | Surge of float
   | Surge_over of float
+  | Crash_point of phase (** process dies here (supervisor raises) *)
 
 type schedule
 (** Concrete events keyed by epoch; immutable once compiled. *)
@@ -57,4 +76,7 @@ val event_to_string : event -> string
 val describe : schedule -> int -> string
 (** All events at an epoch joined with ["; "]; ["-"] when none.  Runs
     of more than four events of the same kind are compressed to a
-    count, e.g. ["link_down x139"], so mass recalls stay readable. *)
+    count, e.g. ["link_down x139"], so mass recalls stay readable.
+    Crash points are omitted: they kill the process rather than the
+    market, and hiding them keeps a resumed run's incident log
+    byte-identical to an uninterrupted one. *)

@@ -1,0 +1,436 @@
+module Codec = Poc_util.Codec
+module Epochs = Poc_market.Epochs
+module Acceptability = Poc_auction.Acceptability
+
+type status =
+  | Healthy
+  | Degraded of Ladder.step
+  | Carried
+  | Blackout
+
+type epoch_report = {
+  epoch : int;
+  status : status;
+  spend : float;
+  price_per_gbps : float;
+  delivered_fraction : float;
+  selected_links : int;
+  recalled_links : int;
+  active_faults : int;
+  ladder_attempts : int;
+  ledger_conservation : float option;
+  posted_price : float option;
+}
+
+type violation = { epoch : int; invariant : string; detail : string }
+
+type epoch_record = {
+  report : epoch_report;
+  events : Fault.event list;
+  selected : int list;
+  violations : violation list;
+}
+
+type snapshot = {
+  at_epoch : int;
+  prng_state : int64;
+  cost_level : float array;
+  down : int list;
+  gone : int list;
+  surge : float;
+  demand_scale : float;
+  last_good : (int list * float) option;
+}
+
+type header = {
+  version : int;
+  market_seed : int;
+  market_epochs : int;
+  n_bps : int;
+  snapshot_every : int;
+  digest : int64;
+}
+
+let version = 1
+let magic = 0x504F434A (* "POCJ" *)
+
+(* --- field codecs ------------------------------------------------------- *)
+
+let put_rule w rule =
+  Codec.put_u8 w
+    (match rule with
+    | Acceptability.Handle_load -> 0
+    | Acceptability.Single_link_failure -> 1
+    | Acceptability.Per_pair_failure -> 2)
+
+let get_rule r =
+  match Codec.get_u8 r with
+  | 0 -> Acceptability.Handle_load
+  | 1 -> Acceptability.Single_link_failure
+  | 2 -> Acceptability.Per_pair_failure
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad acceptability tag %d" n))
+
+let put_phase w phase =
+  Codec.put_u8 w
+    (match phase with
+    | Fault.Pre_auction -> 0
+    | Fault.Pre_settle -> 1
+    | Fault.Post_settle -> 2)
+
+let get_phase r =
+  match Codec.get_u8 r with
+  | 0 -> Fault.Pre_auction
+  | 1 -> Fault.Pre_settle
+  | 2 -> Fault.Post_settle
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad phase tag %d" n))
+
+let put_event w = function
+  | Fault.Link_down id ->
+    Codec.put_u8 w 0;
+    Codec.put_int w id
+  | Fault.Link_up id ->
+    Codec.put_u8 w 1;
+    Codec.put_int w id
+  | Fault.Bp_exit bp ->
+    Codec.put_u8 w 2;
+    Codec.put_int w bp
+  | Fault.Withdraw ids ->
+    Codec.put_u8 w 3;
+    Codec.put_list w Codec.put_int ids
+  | Fault.Surge f ->
+    Codec.put_u8 w 4;
+    Codec.put_f64 w f
+  | Fault.Surge_over f ->
+    Codec.put_u8 w 5;
+    Codec.put_f64 w f
+  | Fault.Crash_point phase ->
+    Codec.put_u8 w 6;
+    put_phase w phase
+
+let get_event r =
+  match Codec.get_u8 r with
+  | 0 -> Fault.Link_down (Codec.get_int r)
+  | 1 -> Fault.Link_up (Codec.get_int r)
+  | 2 -> Fault.Bp_exit (Codec.get_int r)
+  | 3 -> Fault.Withdraw (Codec.get_list r Codec.get_int)
+  | 4 -> Fault.Surge (Codec.get_f64 r)
+  | 5 -> Fault.Surge_over (Codec.get_f64 r)
+  | 6 -> Fault.Crash_point (get_phase r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad event tag %d" n))
+
+let put_status w = function
+  | Healthy -> Codec.put_u8 w 0
+  | Degraded step -> (
+    Codec.put_u8 w 1;
+    match step with
+    | Ladder.Relax_demand f ->
+      Codec.put_u8 w 0;
+      Codec.put_f64 w f
+    | Ladder.Step_down rule ->
+      Codec.put_u8 w 1;
+      put_rule w rule
+    | Ladder.Connectivity_only -> Codec.put_u8 w 2
+    | Ladder.External_transit -> Codec.put_u8 w 3)
+  | Carried -> Codec.put_u8 w 2
+  | Blackout -> Codec.put_u8 w 3
+
+let get_status r =
+  match Codec.get_u8 r with
+  | 0 -> Healthy
+  | 1 ->
+    Degraded
+      (match Codec.get_u8 r with
+      | 0 -> Ladder.Relax_demand (Codec.get_f64 r)
+      | 1 -> Ladder.Step_down (get_rule r)
+      | 2 -> Ladder.Connectivity_only
+      | 3 -> Ladder.External_transit
+      | n -> raise (Codec.Corrupt (Printf.sprintf "bad ladder-step tag %d" n)))
+  | 2 -> Carried
+  | 3 -> Blackout
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad status tag %d" n))
+
+let put_report w (er : epoch_report) =
+  Codec.put_int w er.epoch;
+  put_status w er.status;
+  Codec.put_f64 w er.spend;
+  Codec.put_f64 w er.price_per_gbps;
+  Codec.put_f64 w er.delivered_fraction;
+  Codec.put_int w er.selected_links;
+  Codec.put_int w er.recalled_links;
+  Codec.put_int w er.active_faults;
+  Codec.put_int w er.ladder_attempts;
+  Codec.put_option w Codec.put_f64 er.ledger_conservation;
+  Codec.put_option w Codec.put_f64 er.posted_price
+
+let get_report r =
+  let epoch = Codec.get_int r in
+  let status = get_status r in
+  let spend = Codec.get_f64 r in
+  let price_per_gbps = Codec.get_f64 r in
+  let delivered_fraction = Codec.get_f64 r in
+  let selected_links = Codec.get_int r in
+  let recalled_links = Codec.get_int r in
+  let active_faults = Codec.get_int r in
+  let ladder_attempts = Codec.get_int r in
+  let ledger_conservation = Codec.get_option r Codec.get_f64 in
+  let posted_price = Codec.get_option r Codec.get_f64 in
+  {
+    epoch;
+    status;
+    spend;
+    price_per_gbps;
+    delivered_fraction;
+    selected_links;
+    recalled_links;
+    active_faults;
+    ladder_attempts;
+    ledger_conservation;
+    posted_price;
+  }
+
+let put_violation w (v : violation) =
+  Codec.put_int w v.epoch;
+  Codec.put_string w v.invariant;
+  Codec.put_string w v.detail
+
+let get_violation r =
+  let epoch = Codec.get_int r in
+  let invariant = Codec.get_string r in
+  let detail = Codec.get_string r in
+  { epoch; invariant; detail }
+
+(* --- digest ------------------------------------------------------------- *)
+
+let digest ~(market : Epochs.config) ~(ladder : Ladder.config) schedule =
+  let w = Codec.writer () in
+  Codec.put_int w market.Epochs.epochs;
+  Codec.put_f64 w market.Epochs.cost_trend;
+  Codec.put_f64 w market.Epochs.cost_volatility;
+  Codec.put_f64 w market.Epochs.demand_growth;
+  Codec.put_int w market.Epochs.seed;
+  Codec.put_list w
+    (fun w (bp, strategy) ->
+      Codec.put_int w bp;
+      match strategy with
+      | Epochs.Truthful -> Codec.put_u8 w 0
+      | Epochs.Markup m ->
+        Codec.put_u8 w 1;
+        Codec.put_f64 w m
+      | Epochs.Recallable f ->
+        Codec.put_u8 w 2;
+        Codec.put_f64 w f)
+    market.Epochs.strategies;
+  Codec.put_list w Codec.put_f64 ladder.Ladder.relax_factors;
+  Codec.put_bool w ladder.Ladder.step_rules;
+  Codec.put_int w ladder.Ladder.max_attempts;
+  (* Crash points are excluded: they kill the process, not the market,
+     and a resumed run ignores them — so a journal written under a
+     crash-injecting schedule can be resumed under the same schedule
+     with or without its [Crash] specs. *)
+  Codec.put_list w
+    (fun w (epoch, ev) ->
+      Codec.put_int w epoch;
+      put_event w ev)
+    (List.filter
+       (fun (_, ev) -> match ev with Fault.Crash_point _ -> false | _ -> true)
+       (Fault.events schedule));
+  Int64.of_int (Codec.crc32 (Codec.contents w))
+
+(* --- record payloads ---------------------------------------------------- *)
+
+let header_payload (h : header) =
+  let w = Codec.writer () in
+  Codec.put_u8 w 0;
+  Codec.put_u32 w magic;
+  Codec.put_int w h.version;
+  Codec.put_int w h.market_seed;
+  Codec.put_int w h.market_epochs;
+  Codec.put_int w h.n_bps;
+  Codec.put_int w h.snapshot_every;
+  Codec.put_i64 w h.digest;
+  Codec.contents w
+
+let epoch_payload (rec_ : epoch_record) =
+  let w = Codec.writer () in
+  Codec.put_u8 w 1;
+  put_report w rec_.report;
+  Codec.put_list w put_event rec_.events;
+  Codec.put_list w Codec.put_int rec_.selected;
+  Codec.put_list w put_violation rec_.violations;
+  Codec.contents w
+
+let snapshot_payload (s : snapshot) =
+  let w = Codec.writer () in
+  Codec.put_u8 w 2;
+  Codec.put_int w s.at_epoch;
+  Codec.put_i64 w s.prng_state;
+  Codec.put_f64_array w s.cost_level;
+  Codec.put_list w Codec.put_int s.down;
+  Codec.put_list w Codec.put_int s.gone;
+  Codec.put_f64 w s.surge;
+  Codec.put_f64 w s.demand_scale;
+  Codec.put_option w
+    (fun w (ids, cost) ->
+      Codec.put_list w Codec.put_int ids;
+      Codec.put_f64 w cost)
+    s.last_good;
+  Codec.contents w
+
+let complete_payload incidents =
+  let w = Codec.writer () in
+  Codec.put_u8 w 3;
+  Codec.put_string w incidents;
+  Codec.contents w
+
+(* --- writer ------------------------------------------------------------- *)
+
+type t = { oc : out_channel }
+
+let write_frame t payload =
+  output_string t.oc (Codec.frame payload);
+  flush t.oc
+
+let create path header =
+  let oc = open_out_bin path in
+  let t = { oc } in
+  write_frame t (header_payload header);
+  t
+
+let reopen path ~at =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  if at < 0 || at > String.length contents then
+    invalid_arg
+      (Printf.sprintf "Journal.reopen: offset %d outside file of %d bytes" at
+         (String.length contents));
+  let oc = open_out_bin path in
+  output_string oc (String.sub contents 0 at);
+  flush oc;
+  { oc }
+
+let append_epoch t rec_ = write_frame t (epoch_payload rec_)
+let append_snapshot t s = write_frame t (snapshot_payload s)
+let append_complete t ~incidents = write_frame t (complete_payload incidents)
+
+let append_torn t ~epoch =
+  (* Exactly what a crash between auction and settlement leaves on
+     disk: a frame header promising more payload than ever arrived. *)
+  let w = Codec.writer () in
+  Codec.put_u8 w 1;
+  Codec.put_int w epoch;
+  let partial = Codec.contents w in
+  Codec.put_string w "unsettled epoch lost to the crash";
+  let framed = Codec.frame (Codec.contents w) in
+  output_string t.oc (String.sub framed 0 (8 + String.length partial));
+  flush t.oc
+
+let close t = close_out t.oc
+
+(* --- replay ------------------------------------------------------------- *)
+
+type replayed = {
+  header : header;
+  records : epoch_record list;
+  snapshot : snapshot option;
+  complete : string option;
+  torn_tail : bool;
+  valid_bytes : int;
+  resume_offset : int;
+}
+
+let parse_header payload =
+  let r = Codec.reader payload in
+  if Codec.get_u8 r <> 0 then Error "first record is not a journal header"
+  else if Codec.get_u32 r <> magic then Error "bad magic: not a POC journal"
+  else
+    let v = Codec.get_int r in
+    if v <> version then
+      Error
+        (Printf.sprintf
+           "journal format version %d, but this build reads version %d" v
+           version)
+    else
+      let market_seed = Codec.get_int r in
+      let market_epochs = Codec.get_int r in
+      let n_bps = Codec.get_int r in
+      let snapshot_every = Codec.get_int r in
+      let digest = Codec.get_i64 r in
+      Ok { version = v; market_seed; market_epochs; n_bps; snapshot_every; digest }
+
+let parse_record payload =
+  let r = Codec.reader payload in
+  match Codec.get_u8 r with
+  | 1 ->
+    let report = get_report r in
+    let events = Codec.get_list r get_event in
+    let selected = Codec.get_list r Codec.get_int in
+    let violations = Codec.get_list r get_violation in
+    `Epoch { report; events; selected; violations }
+  | 2 ->
+    let at_epoch = Codec.get_int r in
+    let prng_state = Codec.get_i64 r in
+    let cost_level = Codec.get_f64_array r in
+    let down = Codec.get_list r Codec.get_int in
+    let gone = Codec.get_list r Codec.get_int in
+    let surge = Codec.get_f64 r in
+    let demand_scale = Codec.get_f64 r in
+    let last_good =
+      Codec.get_option r (fun r ->
+          let ids = Codec.get_list r Codec.get_int in
+          let cost = Codec.get_f64 r in
+          (ids, cost))
+    in
+    `Snapshot
+      { at_epoch; prng_state; cost_level; down; gone; surge; demand_scale; last_good }
+  | 3 -> `Complete (Codec.get_string r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown record kind %d" n))
+
+let replay path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error ("cannot read journal: " ^ msg)
+  | data -> (
+    match Codec.next_frame data ~pos:0 with
+    | End -> Error "empty file: not a POC journal"
+    | Torn -> Error "unreadable header: not a POC journal"
+    | Frame { payload; next } -> (
+      match parse_header payload with
+      | exception Codec.Corrupt _ -> Error "corrupt header: not a POC journal"
+      | Error msg -> Error msg
+      | Ok header ->
+        let records = ref [] in
+        let snapshot = ref None in
+        let complete = ref None in
+        let torn = ref false in
+        let valid = ref next in
+        let resume = ref next in
+        let rec loop pos =
+          match Codec.next_frame data ~pos with
+          | End -> ()
+          | Torn -> torn := true
+          | Frame { payload; next } -> (
+            match parse_record payload with
+            | exception Codec.Corrupt _ -> torn := true
+            | `Epoch rec_ ->
+              records := rec_ :: !records;
+              valid := next;
+              loop next
+            | `Snapshot s ->
+              snapshot := Some s;
+              valid := next;
+              resume := next;
+              loop next
+            | `Complete incidents ->
+              complete := Some incidents;
+              valid := next;
+              loop next)
+        in
+        loop next;
+        Ok
+          {
+            header;
+            records = List.rev !records;
+            snapshot = !snapshot;
+            complete = !complete;
+            torn_tail = !torn;
+            valid_bytes = !valid;
+            resume_offset = !resume;
+          }))

@@ -1,0 +1,132 @@
+(** Durable run journal for the supervised epoch loop.
+
+    The settlement ledger and incident history are the non-regulatory
+    accountability a public option offers; a process crash mid-month
+    must not erase them.  The journal is an append-only binary file of
+    length-prefixed, CRC-32-checksummed records (framing in
+    [Poc_util.Codec]), flushed after every epoch:
+
+    - one {!header} record identifying the run (format version, market
+      seed and horizon, a digest of market + ladder config and the
+      compiled fault schedule, snapshot cadence);
+    - one {!epoch_record} per completed epoch — the epoch report with
+      every float stored bit-exact, the fault events applied, the
+      selected link ids, and any invariant violations;
+    - a full {!snapshot} of the carry-forward state every
+      [snapshot_every] epochs — PRNG cursor, per-BP cost levels, injected
+      link state, surge and demand scale, last healthy selection — from
+      which the loop can resume without replaying the whole run;
+    - a completion record once the run finishes, carrying the rendered
+      incident log.
+
+    {!replay} validates checksums record by record and stops at the
+    first torn or corrupted frame: everything before it is recovered,
+    everything after it is discarded (and truncated away when the
+    journal is {!reopen}ed for resumption).  A torn tail is exactly
+    what a crash mid-write leaves behind, so recovery never trusts the
+    final record more than its checksum. *)
+
+type status =
+  | Healthy
+  | Degraded of Ladder.step
+  | Carried
+  | Blackout
+
+type epoch_report = {
+  epoch : int;
+  status : status;
+  spend : float;
+  price_per_gbps : float;
+  delivered_fraction : float;
+  selected_links : int;
+  recalled_links : int;
+  active_faults : int;
+  ladder_attempts : int;
+  ledger_conservation : float option;
+  posted_price : float option;
+}
+
+type violation = { epoch : int; invariant : string; detail : string }
+
+type epoch_record = {
+  report : epoch_report;
+  events : Fault.event list;  (** fault events applied this epoch *)
+  selected : int list;        (** link ids of the epoch's selection *)
+  violations : violation list;
+}
+
+type snapshot = {
+  at_epoch : int;          (** state as of the {e end} of this epoch *)
+  prng_state : int64;      (** market PRNG cursor *)
+  cost_level : float array;
+  down : int list;         (** injected link-down state (heals on repair) *)
+  gone : int list;         (** permanently withdrawn links *)
+  surge : float;
+  demand_scale : float;
+      (** cumulative demand growth since epoch 0 (recorded for
+          inspection; resume re-derives the matrix by repeating the
+          per-epoch scalings so the floats match bit-for-bit) *)
+  last_good : (int list * float) option;
+      (** last fully-healthy selection (ids, cost) for carry-forward *)
+}
+
+type header = {
+  version : int;
+  market_seed : int;
+  market_epochs : int;
+  n_bps : int;
+  snapshot_every : int;
+  digest : int64;  (** {!digest} of market config + ladder + schedule *)
+}
+
+val version : int
+(** Current journal format version. *)
+
+val digest :
+  market:Poc_market.Epochs.config ->
+  ladder:Ladder.config ->
+  Fault.schedule ->
+  int64
+(** Checksum binding a journal to the run that wrote it; resuming under
+    a different market config, ladder config or fault schedule is
+    refused with a clear error instead of silently diverging.  Crash
+    points are excluded from the digest, so the schedule that crashed a
+    run and the same schedule without its [Crash] specs digest
+    identically. *)
+
+type t
+(** An open journal being written.  Every append flushes. *)
+
+val create : string -> header -> t
+(** Truncate/create the file and write the header record. *)
+
+val reopen : string -> at:int -> t
+(** Reopen an existing journal for appending, first truncating it to
+    its initial [at] bytes (a {!replayed.resume_offset}).  Raises
+    [Sys_error] on an unreadable path. *)
+
+val append_epoch : t -> epoch_record -> unit
+val append_snapshot : t -> snapshot -> unit
+val append_complete : t -> incidents:string -> unit
+val append_torn : t -> epoch:int -> unit
+(** Write a deliberately incomplete frame — what a crash between the
+    auction and settlement leaves on disk.  Used by crash injection;
+    {!replay} discards it. *)
+
+val close : t -> unit
+
+type replayed = {
+  header : header;
+  records : epoch_record list;  (** valid epoch records, chronological *)
+  snapshot : snapshot option;   (** last valid snapshot *)
+  complete : string option;     (** rendered incident log, if finished *)
+  torn_tail : bool;             (** a torn/corrupt suffix was discarded *)
+  valid_bytes : int;            (** length of the valid prefix *)
+  resume_offset : int;          (** truncation point for {!reopen}: end of
+                                    the last snapshot, or of the header *)
+}
+
+val replay : string -> (replayed, string) result
+(** Read and validate a journal.  [Error] only on a missing/unreadable
+    file, a file that is not a POC journal, or a version mismatch;
+    torn or corrupted tails are truncated, never fatal. *)

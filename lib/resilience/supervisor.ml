@@ -8,9 +8,13 @@ module Settlement = Poc_core.Settlement
 module Epochs = Poc_market.Epochs
 module Wan = Poc_topology.Wan
 
-type status = Healthy | Degraded of Ladder.step | Carried | Blackout
+type status = Journal.status =
+  | Healthy
+  | Degraded of Ladder.step
+  | Carried
+  | Blackout
 
-type epoch_report = {
+type epoch_report = Journal.epoch_report = {
   epoch : int;
   status : status;
   spend : float;
@@ -33,7 +37,11 @@ type incident = {
   spend_penalty : float;
 }
 
-type violation = { epoch : int; invariant : string; detail : string }
+type violation = Journal.violation = {
+  epoch : int;
+  invariant : string;
+  detail : string;
+}
 
 type report = {
   epochs : epoch_report list;
@@ -42,6 +50,8 @@ type report = {
   ladder_activations : int;
   final_plan : Planner.plan option;
 }
+
+exception Injected_crash of { epoch : int; phase : Fault.phase }
 
 let status_to_string = function
   | Healthy -> "healthy"
@@ -54,252 +64,140 @@ let strategy_of (market : Epochs.config) bp =
   | Some s -> s
   | None -> Epochs.Truthful
 
-let run ?(ladder = Ladder.default_config) (plan : Planner.plan) ~market
-    ~schedule =
-  (match Epochs.validate_config market with
-  | Ok () -> ()
-  | Error msg -> invalid_arg msg);
-  (match Ladder.validate_config ladder with
-  | Ok () -> ()
-  | Error msg -> invalid_arg msg);
-  let rng = Prng.create market.Epochs.seed in
-  let base_problem = plan.Planner.problem in
-  let n_bps = Array.length base_problem.Vcg.bids in
-  let cost_level = Array.make n_bps 1.0 in
-  (* Injected state: [down] heals on Link_up, [gone] never does. *)
-  let down = Hashtbl.create 64 in
-  let gone = Hashtbl.create 64 in
-  let surge = ref 1.0 in
+(* Carry-forward state between epochs: exactly what a snapshot record
+   persists, so checkpoint/resume is a matter of copying this out and
+   back in. *)
+type state = {
+  rng : Prng.t;
+  cost_level : float array;
+  down : (int, unit) Hashtbl.t; (* heals on Link_up *)
+  gone : (int, unit) Hashtbl.t; (* never heals *)
+  mutable surge : float;
+  mutable matrix : Matrix.t;
+  mutable demand_scale : float; (* cumulative growth, journaled *)
+  mutable last_good : Vcg.selection option;
+}
+
+let initial_state (plan : Planner.plan) (market : Epochs.config) =
+  let n_bps = Array.length plan.Planner.problem.Vcg.bids in
+  {
+    rng = Prng.create market.Epochs.seed;
+    cost_level = Array.make n_bps 1.0;
+    down = Hashtbl.create 64;
+    gone = Hashtbl.create 64;
+    surge = 1.0;
+    matrix = plan.Planner.matrix;
+    demand_scale = 1.0;
+    last_good = Some plan.Planner.outcome.Vcg.selection;
+  }
+
+let state_of_snapshot (plan : Planner.plan) (market : Epochs.config)
+    (s : Journal.snapshot) =
+  let down = Hashtbl.create 64 and gone = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace down id ()) s.Journal.down;
+  List.iter (fun id -> Hashtbl.replace gone id ()) s.Journal.gone;
+  (* The live loop grows demand by scaling the matrix once per epoch.
+     Replaying the same number of scalings from the base matrix repeats
+     the same float operations in the same order, so the resumed matrix
+     is bit-identical to the one a crash interrupted — a stored
+     cumulative scalar would not be (float multiplication does not
+     reassociate). *)
   let matrix = ref plan.Planner.matrix in
-  let last_good = ref (Some plan.Planner.outcome.Vcg.selection) in
-  let reports = ref [] in
-  let violations = ref [] in
-  let activations = ref 0 in
-  let final_plan = ref None in
-  for epoch = 1 to market.Epochs.epochs do
-    (* Scheduled faults take effect before the epoch's auction. *)
-    List.iter
-      (function
-        | Fault.Link_down id -> Hashtbl.replace down id ()
-        | Fault.Link_up id -> Hashtbl.remove down id
-        | Fault.Bp_exit bp ->
-          List.iter
-            (fun id -> Hashtbl.replace gone id ())
-            (Wan.bp_link_ids plan.Planner.wan bp)
-        | Fault.Withdraw ids ->
-          List.iter (fun id -> Hashtbl.replace gone id ()) ids
-        | Fault.Surge f -> surge := !surge *. f
-        | Fault.Surge_over f -> surge := !surge /. f)
-      (Fault.at schedule epoch);
-    (* Market drift: the same draws, in the same order, as Epochs.run,
-       so a fault-free supervised run replays the plain market. *)
-    for bp = 0 to n_bps - 1 do
-      let noise =
-        1.0
-        +. (market.Epochs.cost_volatility *. ((2.0 *. Prng.float rng) -. 1.0))
-      in
-      cost_level.(bp) <-
-        Float.max 0.05
-          (cost_level.(bp) *. (1.0 +. market.Epochs.cost_trend) *. noise)
-    done;
-    let recalled = Hashtbl.create 64 in
-    Array.iteri
-      (fun bp bid ->
-        match strategy_of market bp with
-        | Epochs.Recallable fraction ->
-          List.iter
-            (fun id ->
-              if Prng.bernoulli rng fraction then Hashtbl.replace recalled id ())
-            (Bid.links bid)
-        | Epochs.Truthful | Epochs.Markup _ -> ())
-      base_problem.Vcg.bids;
-    let bids =
-      Array.mapi
-        (fun bp bid ->
-          let markup =
-            match strategy_of market bp with
-            | Epochs.Markup m -> 1.0 +. m
-            | Epochs.Truthful | Epochs.Recallable _ -> 1.0
-          in
-          Bid.scale bid (cost_level.(bp) *. markup))
-        base_problem.Vcg.bids
-    in
-    matrix := Matrix.scale !matrix market.Epochs.demand_growth;
-    let epoch_matrix =
-      if !surge = 1.0 then !matrix else Matrix.scale !matrix !surge
-    in
-    let demands = Matrix.undirected_pair_demands epoch_matrix in
-    let volume = Matrix.total epoch_matrix in
-    let problem = { base_problem with Vcg.bids; demands } in
-    let banned id =
-      Hashtbl.mem recalled id || Hashtbl.mem down id || Hashtbl.mem gone id
-    in
-    let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
-    in
-    (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
-    let status, outcome_opt, ladder_attempts, ladder_engaged =
-      match Vcg.run ~select problem with
-      | Some outcome -> (Healthy, Some outcome, 0, false)
-      | None -> (
-        let rung_budget =
-          List.length (Ladder.rungs ~rule:problem.Vcg.rule ladder)
-        in
-        match Ladder.engage ~banned ladder problem with
-        | Some e -> (Degraded e.Ladder.step, Some e.Ladder.outcome,
-                     e.Ladder.attempts, true)
-        | None -> (
-          match !last_good with
-          | None -> (Blackout, None, rung_budget, true)
-          | Some sel -> (
-            let surviving =
-              List.filter (fun id -> not (banned id)) sel.Vcg.selected
-            in
-            match Ladder.pay_as_bid problem surviving with
-            | Some outcome -> (Carried, Some outcome, rung_budget, true)
-            | None -> (Blackout, None, rung_budget, true))))
-    in
-    if ladder_engaged then incr activations;
-    (match status with
-    | Healthy -> (
-      match outcome_opt with
-      | Some o -> last_good := Some o.Vcg.selection
-      | None -> ())
-    | Degraded _ | Carried | Blackout -> ());
-    (* Delivered fraction: route the full (unrelaxed) demand over the
-       surviving selected links. *)
-    let routing_opt, delivered =
-      match outcome_opt with
-      | None -> (None, 0.0)
-      | Some o ->
-        let in_sel = Hashtbl.create 64 in
-        List.iter
-          (fun id -> Hashtbl.replace in_sel id ())
-          o.Vcg.selection.Vcg.selected;
-        let enabled id = Hashtbl.mem in_sel id && not (banned id) in
-        let r = Router.route ~enabled problem.Vcg.graph ~demands in
-        let total =
-          List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 demands
-        in
-        (Some r, if total <= 0.0 then 1.0 else Router.total_routed r /. total)
-    in
-    let spend =
-      match outcome_opt with Some o -> o.Vcg.total_payment | None -> 0.0
-    in
-    let price =
-      match outcome_opt with
-      | Some _ when volume > 0.0 -> spend /. volume
-      | Some _ | None -> 0.0
-    in
-    (* Cross-layer invariants, checked every epoch. *)
-    let violate invariant detail =
-      violations := { epoch; invariant; detail } :: !violations
-    in
-    let conservation, posted =
-      match (outcome_opt, routing_opt) with
-      | Some outcome, Some routing ->
-        let pseudo =
-          { plan with Planner.matrix = epoch_matrix; problem; outcome; routing }
-        in
-        let ledger = Settlement.of_plan pseudo () in
-        final_plan := Some pseudo;
-        ( Some (Settlement.conservation ledger),
-          Some ledger.Settlement.usage_price )
-      | _, _ -> (None, None)
-    in
-    (match conservation with
-    | Some c when Float.abs c > 1e-6 ->
-      violate "ledger-conservation"
-        (Printf.sprintf "nets to %.9f, expected 0" c)
-    | Some _ | None -> ());
-    (match posted with
-    | Some p when not (Float.is_finite p) ->
-      violate "posted-price-finite" (Printf.sprintf "usage price %f" p)
-    | Some _ | None -> ());
-    if not (Float.is_finite price) then
-      violate "epoch-price-finite" (Printf.sprintf "price %f" price);
-    (match routing_opt with
-    | Some r when Router.total_routed r > r.Router.enabled_capacity +. 1e-6 ->
-      violate "delivered-within-capacity"
-        (Printf.sprintf "routed %.3f over capacity %.3f"
-           (Router.total_routed r) r.Router.enabled_capacity)
-    | Some _ | None -> ());
-    reports :=
-      {
-        epoch;
-        status;
-        spend;
-        price_per_gbps = price;
-        delivered_fraction = delivered;
-        selected_links =
-          (match outcome_opt with
-          | Some o -> List.length o.Vcg.selection.Vcg.selected
-          | None -> 0);
-        recalled_links = Hashtbl.length recalled;
-        active_faults = Hashtbl.length down + Hashtbl.length gone;
-        ladder_attempts;
-        ledger_conservation = conservation;
-        posted_price = posted;
-      }
-      :: !reports
+  for _ = 1 to s.Journal.at_epoch do
+    matrix := Matrix.scale !matrix market.Epochs.demand_growth
   done;
-  let epochs = List.rev !reports in
-  (* Incidents: one per fault epoch absorbed while healthy, one per
-     maximal degraded span. *)
-  let incidents =
-    let out = ref [] in
-    let open_inc = ref None in
-    let baseline = ref None in
-    let delta spend =
-      match !baseline with Some b -> spend -. b | None -> 0.0
-    in
-    List.iter
-      (fun (er : epoch_report) ->
-        let faults = Fault.describe schedule er.epoch in
-        let has_faults = faults <> "-" in
-        match (!open_inc, er.status) with
-        | None, Healthy ->
-          if has_faults then
-            out :=
-              {
-                start_epoch = er.epoch;
-                trigger = faults;
-                response = Healthy;
-                attempts = er.ladder_attempts;
-                recovery_epoch = Some er.epoch;
-                spend_penalty = delta er.spend;
-              }
-              :: !out;
-          baseline := Some er.spend
-        | None, status ->
-          open_inc :=
-            Some
-              {
-                start_epoch = er.epoch;
-                trigger = (if has_faults then faults else "market stress");
-                response = status;
-                attempts = er.ladder_attempts;
-                recovery_epoch = None;
-                spend_penalty = delta er.spend;
-              }
-        | Some inc, Healthy ->
-          out := { inc with recovery_epoch = Some er.epoch } :: !out;
-          open_inc := None;
-          baseline := Some er.spend
-        | Some inc, _ ->
-          open_inc :=
-            Some { inc with spend_penalty = inc.spend_penalty +. delta er.spend })
-      epochs;
-    (match !open_inc with Some inc -> out := inc :: !out | None -> ());
-    List.rev !out
+  {
+    rng = Prng.of_state s.Journal.prng_state;
+    cost_level = Array.copy s.Journal.cost_level;
+    down;
+    gone;
+    surge = s.Journal.surge;
+    matrix = !matrix;
+    demand_scale = s.Journal.demand_scale;
+    last_good =
+      Option.map
+        (fun (ids, cost) -> { Vcg.selected = ids; cost })
+        s.Journal.last_good;
+  }
+
+let snapshot_of_state ~epoch st : Journal.snapshot =
+  let ids tbl =
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
   in
   {
-    epochs;
-    incidents;
-    violations = List.rev !violations;
-    ladder_activations = !activations;
-    final_plan = !final_plan;
+    Journal.at_epoch = epoch;
+    prng_state = Prng.state st.rng;
+    cost_level = Array.copy st.cost_level;
+    down = ids st.down;
+    gone = ids st.gone;
+    surge = st.surge;
+    demand_scale = st.demand_scale;
+    last_good =
+      Option.map
+        (fun (sel : Vcg.selection) -> (sel.Vcg.selected, sel.Vcg.cost))
+        st.last_good;
   }
+
+let phase_rank = function
+  | Fault.Pre_auction -> 0
+  | Fault.Pre_settle -> 1
+  | Fault.Post_settle -> 2
+
+let first_crash events =
+  List.filter_map
+    (function Fault.Crash_point p -> Some p | _ -> None)
+    events
+  |> List.sort (fun a b -> compare (phase_rank a) (phase_rank b))
+  |> function
+  | [] -> None
+  | p :: _ -> Some p
+
+let incidents_of ~schedule epochs =
+  (* One incident per fault epoch absorbed while healthy, one per
+     maximal degraded span. *)
+  let out = ref [] in
+  let open_inc = ref None in
+  let baseline = ref None in
+  let delta spend = match !baseline with Some b -> spend -. b | None -> 0.0 in
+  List.iter
+    (fun (er : epoch_report) ->
+      let faults = Fault.describe schedule er.epoch in
+      let has_faults = faults <> "-" in
+      match (!open_inc, er.status) with
+      | None, Healthy ->
+        if has_faults then
+          out :=
+            {
+              start_epoch = er.epoch;
+              trigger = faults;
+              response = Healthy;
+              attempts = er.ladder_attempts;
+              recovery_epoch = Some er.epoch;
+              spend_penalty = delta er.spend;
+            }
+            :: !out;
+        baseline := Some er.spend
+      | None, status ->
+        open_inc :=
+          Some
+            {
+              start_epoch = er.epoch;
+              trigger = (if has_faults then faults else "market stress");
+              response = status;
+              attempts = er.ladder_attempts;
+              recovery_epoch = None;
+              spend_penalty = delta er.spend;
+            }
+      | Some inc, Healthy ->
+        out := { inc with recovery_epoch = Some er.epoch } :: !out;
+        open_inc := None;
+        baseline := Some er.spend
+      | Some inc, _ ->
+        open_inc :=
+          Some { inc with spend_penalty = inc.spend_penalty +. delta er.spend })
+    epochs;
+  (match !open_inc with Some inc -> out := inc :: !out | None -> ());
+  List.rev !out
 
 let epochs_to_recovery incident =
   Option.map (fun r -> r - incident.start_epoch) incident.recovery_epoch
@@ -335,3 +233,319 @@ let render_epochs report =
       er.selected_links er.active_faults er.ladder_attempts
   in
   String.concat "\n" (header :: List.map line report.epochs) ^ "\n"
+
+(* The epoch loop proper.  [prefix] / [prefix_violations] are reports
+   recovered from a journal (resume); [first_epoch] is where live
+   execution picks up.  When [journal] is set every epoch is flushed to
+   disk before the loop moves on, and crash points in the schedule are
+   honored (unless resuming: a resumed run never re-fires them). *)
+let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
+    ~honor_crashes ~state:st ~first_epoch ~prefix ~prefix_violations
+    (plan : Planner.plan) ~(market : Epochs.config) ~schedule =
+  let base_problem = plan.Planner.problem in
+  let n_bps = Array.length base_problem.Vcg.bids in
+  let reports = ref (List.rev prefix) in
+  let violations = ref (List.rev prefix_violations) in
+  let final_plan = ref None in
+  let crash epoch phase =
+    (match journal with Some t -> Journal.close t | None -> ());
+    raise (Injected_crash { epoch; phase })
+  in
+  for epoch = first_epoch to market.Epochs.epochs do
+    (* Scheduled faults take effect before the epoch's auction. *)
+    let events = Fault.at schedule epoch in
+    List.iter
+      (function
+        | Fault.Link_down id -> Hashtbl.replace st.down id ()
+        | Fault.Link_up id -> Hashtbl.remove st.down id
+        | Fault.Bp_exit bp ->
+          List.iter
+            (fun id -> Hashtbl.replace st.gone id ())
+            (Wan.bp_link_ids plan.Planner.wan bp)
+        | Fault.Withdraw ids ->
+          List.iter (fun id -> Hashtbl.replace st.gone id ()) ids
+        | Fault.Surge f -> st.surge <- st.surge *. f
+        | Fault.Surge_over f -> st.surge <- st.surge /. f
+        | Fault.Crash_point _ -> ())
+      events;
+    let crash_phase = if honor_crashes then first_crash events else None in
+    if crash_phase = Some Fault.Pre_auction then crash epoch Fault.Pre_auction;
+    (* Market drift: the same draws, in the same order, as Epochs.run,
+       so a fault-free supervised run replays the plain market. *)
+    for bp = 0 to n_bps - 1 do
+      let noise =
+        1.0
+        +. (market.Epochs.cost_volatility *. ((2.0 *. Prng.float st.rng) -. 1.0))
+      in
+      st.cost_level.(bp) <-
+        Float.max 0.05
+          (st.cost_level.(bp) *. (1.0 +. market.Epochs.cost_trend) *. noise)
+    done;
+    let recalled = Hashtbl.create 64 in
+    Array.iteri
+      (fun bp bid ->
+        match strategy_of market bp with
+        | Epochs.Recallable fraction ->
+          List.iter
+            (fun id ->
+              if Prng.bernoulli st.rng fraction then
+                Hashtbl.replace recalled id ())
+            (Bid.links bid)
+        | Epochs.Truthful | Epochs.Markup _ -> ())
+      base_problem.Vcg.bids;
+    let bids =
+      Array.mapi
+        (fun bp bid ->
+          let markup =
+            match strategy_of market bp with
+            | Epochs.Markup m -> 1.0 +. m
+            | Epochs.Truthful | Epochs.Recallable _ -> 1.0
+          in
+          Bid.scale bid (st.cost_level.(bp) *. markup))
+        base_problem.Vcg.bids
+    in
+    st.matrix <- Matrix.scale st.matrix market.Epochs.demand_growth;
+    st.demand_scale <- st.demand_scale *. market.Epochs.demand_growth;
+    let epoch_matrix =
+      if st.surge = 1.0 then st.matrix else Matrix.scale st.matrix st.surge
+    in
+    let demands = Matrix.undirected_pair_demands epoch_matrix in
+    let volume = Matrix.total epoch_matrix in
+    let problem = { base_problem with Vcg.bids; demands } in
+    let banned id =
+      Hashtbl.mem recalled id || Hashtbl.mem st.down id
+      || Hashtbl.mem st.gone id
+    in
+    let select ?banned:(extra = fun _ -> false) p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+    in
+    (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
+    let status, outcome_opt, ladder_attempts =
+      match Vcg.run ~select problem with
+      | Some outcome -> (Healthy, Some outcome, 0)
+      | None -> (
+        let rung_budget =
+          List.length (Ladder.rungs ~rule:problem.Vcg.rule ladder)
+        in
+        match Ladder.engage ~banned ladder problem with
+        | Some e -> (Degraded e.Ladder.step, Some e.Ladder.outcome, e.Ladder.attempts)
+        | None -> (
+          match st.last_good with
+          | None -> (Blackout, None, rung_budget)
+          | Some sel -> (
+            let surviving =
+              List.filter (fun id -> not (banned id)) sel.Vcg.selected
+            in
+            match Ladder.pay_as_bid problem surviving with
+            | Some outcome -> (Carried, Some outcome, rung_budget)
+            | None -> (Blackout, None, rung_budget))))
+    in
+    (if crash_phase = Some Fault.Pre_settle then (
+       (* The auction decided but nothing settled: what hits the disk
+          is a record cut off mid-write. *)
+       (match journal with Some t -> Journal.append_torn t ~epoch | None -> ());
+       crash epoch Fault.Pre_settle));
+    (match status with
+    | Healthy -> (
+      match outcome_opt with
+      | Some o -> st.last_good <- Some o.Vcg.selection
+      | None -> ())
+    | Degraded _ | Carried | Blackout -> ());
+    (* Delivered fraction: route the full (unrelaxed) demand over the
+       surviving selected links. *)
+    let routing_opt, delivered =
+      match outcome_opt with
+      | None -> (None, 0.0)
+      | Some o ->
+        let in_sel = Hashtbl.create 64 in
+        List.iter
+          (fun id -> Hashtbl.replace in_sel id ())
+          o.Vcg.selection.Vcg.selected;
+        let enabled id = Hashtbl.mem in_sel id && not (banned id) in
+        let r = Router.route ~enabled problem.Vcg.graph ~demands in
+        let total =
+          List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 demands
+        in
+        (Some r, if total <= 0.0 then 1.0 else Router.total_routed r /. total)
+    in
+    let spend =
+      match outcome_opt with Some o -> o.Vcg.total_payment | None -> 0.0
+    in
+    let price =
+      match outcome_opt with
+      | Some _ when volume > 0.0 -> spend /. volume
+      | Some _ | None -> 0.0
+    in
+    (* Cross-layer invariants, checked every epoch. *)
+    let epoch_violations = ref [] in
+    let violate invariant detail =
+      epoch_violations := { epoch; invariant; detail } :: !epoch_violations
+    in
+    let conservation, posted =
+      match (outcome_opt, routing_opt) with
+      | Some outcome, Some routing ->
+        let pseudo =
+          { plan with Planner.matrix = epoch_matrix; problem; outcome; routing }
+        in
+        let ledger = Settlement.of_plan pseudo () in
+        final_plan := Some pseudo;
+        (match Settlement.check ledger with
+        | Ok () -> ()
+        | Error msg -> violate "settlement-ledger" msg);
+        ( Some (Settlement.conservation ledger),
+          Some ledger.Settlement.usage_price )
+      | _, _ -> (None, None)
+    in
+    if not (Float.is_finite price) then
+      violate "epoch-price-finite" (Printf.sprintf "price %f" price);
+    (match routing_opt with
+    | Some r when Router.total_routed r > r.Router.enabled_capacity +. 1e-6 ->
+      violate "delivered-within-capacity"
+        (Printf.sprintf "routed %.3f over capacity %.3f"
+           (Router.total_routed r) r.Router.enabled_capacity)
+    | Some _ | None -> ());
+    let epoch_violations = List.rev !epoch_violations in
+    List.iter (fun v -> violations := v :: !violations) epoch_violations;
+    let er =
+      {
+        epoch;
+        status;
+        spend;
+        price_per_gbps = price;
+        delivered_fraction = delivered;
+        selected_links =
+          (match outcome_opt with
+          | Some o -> List.length o.Vcg.selection.Vcg.selected
+          | None -> 0);
+        recalled_links = Hashtbl.length recalled;
+        active_faults = Hashtbl.length st.down + Hashtbl.length st.gone;
+        ladder_attempts;
+        ledger_conservation = conservation;
+        posted_price = posted;
+      }
+    in
+    reports := er :: !reports;
+    (match journal with
+    | Some t ->
+      Journal.append_epoch t
+        {
+          Journal.report = er;
+          events;
+          selected =
+            (match outcome_opt with
+            | Some o -> o.Vcg.selection.Vcg.selected
+            | None -> []);
+          violations = epoch_violations;
+        };
+      if epoch mod snapshot_every = 0 && epoch < market.Epochs.epochs then
+        Journal.append_snapshot t (snapshot_of_state ~epoch st)
+    | None -> ());
+    if crash_phase = Some Fault.Post_settle then crash epoch Fault.Post_settle
+  done;
+  let epochs = List.rev !reports in
+  let incidents = incidents_of ~schedule epochs in
+  let report =
+    {
+      epochs;
+      incidents;
+      violations = List.rev !violations;
+      ladder_activations =
+        List.length
+          (List.filter (fun (er : epoch_report) -> er.status <> Healthy) epochs);
+      final_plan = !final_plan;
+    }
+  in
+  (match journal with
+  | Some t ->
+    Journal.append_complete t ~incidents:(render_incidents report);
+    Journal.close t
+  | None -> ());
+  report
+
+let validate_or_raise ~ladder ~market =
+  (match Epochs.validate_config market with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  match Ladder.validate_config ladder with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg
+
+let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
+    (plan : Planner.plan) ~market ~schedule =
+  validate_or_raise ~ladder ~market;
+  if snapshot_every < 1 then
+    invalid_arg "Supervisor: snapshot_every must be >= 1";
+  let j =
+    Option.map
+      (fun path ->
+        Journal.create path
+          {
+            Journal.version = Journal.version;
+            market_seed = market.Epochs.seed;
+            market_epochs = market.Epochs.epochs;
+            n_bps = Array.length plan.Planner.problem.Vcg.bids;
+            snapshot_every;
+            digest = Journal.digest ~market ~ladder schedule;
+          })
+      journal
+  in
+  run_span ~ladder ~journal:j ~snapshot_every ~honor_crashes:true
+    ~state:(initial_state plan market) ~first_epoch:1 ~prefix:[]
+    ~prefix_violations:[] plan ~market ~schedule
+
+let resume ?(ladder = Ladder.default_config) ~journal:path
+    (plan : Planner.plan) ~market ~schedule =
+  validate_or_raise ~ladder ~market;
+  match Journal.replay path with
+  | Error msg -> Error msg
+  | Ok r ->
+    let h = r.Journal.header in
+    let n_bps = Array.length plan.Planner.problem.Vcg.bids in
+    let mismatches =
+      List.filter_map
+        (fun (name, journal_has, run_has) ->
+          if journal_has <> run_has then
+            Some
+              (Printf.sprintf "%s: journal has %d, this run has %d" name
+                 journal_has run_has)
+          else None)
+        [
+          ("market seed", h.Journal.market_seed, market.Epochs.seed);
+          ("market epochs", h.Journal.market_epochs, market.Epochs.epochs);
+          ("bandwidth providers", h.Journal.n_bps, n_bps);
+        ]
+      @
+      if Int64.equal h.Journal.digest (Journal.digest ~market ~ladder schedule)
+      then []
+      else
+        [ "config digest differs (market, ladder or fault schedule changed)" ]
+    in
+    if mismatches <> [] then
+      Error ("journal does not match this run: " ^ String.concat "; " mismatches)
+    else if r.Journal.complete <> None then
+      Error "journal records a completed run; nothing to resume"
+    else
+      let state, first_epoch, prefix_records =
+        match r.Journal.snapshot with
+        | Some s ->
+          ( state_of_snapshot plan market s,
+            s.Journal.at_epoch + 1,
+            List.filter
+              (fun (rec_ : Journal.epoch_record) ->
+                rec_.Journal.report.epoch <= s.Journal.at_epoch)
+              r.Journal.records )
+        | None -> (initial_state plan market, 1, [])
+      in
+      let t = Journal.reopen path ~at:r.Journal.resume_offset in
+      Ok
+        (run_span ~ladder ~journal:(Some t)
+           ~snapshot_every:h.Journal.snapshot_every ~honor_crashes:false
+           ~state ~first_epoch
+           ~prefix:
+             (List.map (fun (rec_ : Journal.epoch_record) -> rec_.Journal.report)
+                prefix_records)
+           ~prefix_violations:
+             (List.concat_map
+                (fun (rec_ : Journal.epoch_record) -> rec_.Journal.violations)
+                prefix_records)
+           plan ~market ~schedule)

@@ -9,22 +9,33 @@
     only reports a blackout when nothing at all can be leased.
 
     After every epoch it asserts the cross-layer invariants the paper's
-    operational story depends on — the settlement ledger nets to zero,
-    the posted price is finite, delivered traffic never exceeds
-    surviving capacity — and collects any breach in
-    {!field:report.violations} (expected empty).
+    operational story depends on — the settlement ledger passes
+    [Settlement.check] (zero-sum, finite posted price), the epoch price
+    is finite, delivered traffic never exceeds surviving capacity — and
+    collects any breach in {!field:report.violations} (expected empty).
 
     Everything is deterministic from the market seed and the compiled
     schedule: identical inputs produce byte-identical incident logs
-    ({!render_incidents}). *)
+    ({!render_incidents}).
 
-type status =
+    {2 Durability}
+
+    [run ~journal:path] additionally writes a crash-safe {!Journal}:
+    one flushed record per epoch plus a carry-forward snapshot every
+    [snapshot_every] epochs.  If the process dies mid-run — including
+    at an injected {!Fault.Crash} point — {!resume} replays the
+    journal's valid prefix, restores the snapshot state, and continues
+    the run to completion.  The resumed report (epochs, incidents,
+    rendered strings) is byte-identical to an uninterrupted run with
+    the same seed and schedule. *)
+
+type status = Journal.status =
   | Healthy                    (** auction cleared under the plan's rule *)
   | Degraded of Ladder.step    (** ladder rung that kept service up *)
   | Carried                    (** last healthy selection carried forward *)
   | Blackout                   (** nothing leasable this epoch *)
 
-type epoch_report = {
+type epoch_report = Journal.epoch_report = {
   epoch : int;
   status : status;
   spend : float;               (** POC spend; 0 in a blackout *)
@@ -50,7 +61,11 @@ type incident = {
                                    degraded span *)
 }
 
-type violation = { epoch : int; invariant : string; detail : string }
+type violation = Journal.violation = {
+  epoch : int;
+  invariant : string;
+  detail : string;
+}
 
 type report = {
   epochs : epoch_report list;     (** chronological *)
@@ -62,14 +77,42 @@ type report = {
           feed it to [Settlement.of_plan] for the closing ledger *)
 }
 
+exception Injected_crash of { epoch : int; phase : Fault.phase }
+(** Raised by {!run} when the schedule contains a {!Fault.Crash} spec
+    and the loop reaches that epoch and phase.  The journal (if any) is
+    closed first, leaving on disk exactly what a real crash at that
+    point would: a clean prefix for [Pre_auction] and [Post_settle], a
+    torn final record for [Pre_settle]. *)
+
 val run :
   ?ladder:Ladder.config ->
+  ?journal:string ->
+  ?snapshot_every:int ->
   Poc_core.Planner.plan ->
   market:Poc_market.Epochs.config ->
   schedule:Fault.schedule ->
   report
 (** Raises [Invalid_argument] with the aggregate validation message on
-    a bad market or ladder config; never raises on injected faults. *)
+    a bad market or ladder config; never raises on injected faults
+    other than {!Injected_crash}.  [journal] durably records the run
+    (see {!Journal}); [snapshot_every] (default 4, must be >= 1) sets
+    the snapshot cadence. *)
+
+val resume :
+  ?ladder:Ladder.config ->
+  journal:string ->
+  Poc_core.Planner.plan ->
+  market:Poc_market.Epochs.config ->
+  schedule:Fault.schedule ->
+  (report, string) result
+(** Recover a crashed run from its journal and drive it to completion,
+    appending to the same file.  [Error] on an unreadable or corrupt
+    journal header, a config/seed/schedule mismatch with the journal's
+    digest, or a journal that already records a completed run.  Crash
+    points in [schedule] are {e not} re-fired on resume, so a resumed
+    run always finishes.  The returned report is byte-identical (via
+    {!render_epochs} / {!render_incidents}) to an uninterrupted [run]
+    with the same inputs. *)
 
 val epochs_to_recovery : incident -> int option
 (** [recovery_epoch - start_epoch]; 0 means absorbed with no outage. *)

@@ -1,0 +1,134 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+let put_u8 b v = Buffer.add_uint8 b (v land 0xFF)
+let put_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let put_i64 b v = Buffer.add_int64_le b v
+let put_int b v = put_i64 b (Int64.of_int v)
+let put_f64 b v = put_i64 b (Int64.bits_of_float v)
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put l =
+  put_u32 b (List.length l);
+  List.iter (put b) l
+
+let put_option b put = function
+  | None -> put_u8 b 0
+  | Some v ->
+    put_u8 b 1;
+    put b v
+
+let put_f64_array b a =
+  put_u32 b (Array.length a);
+  Array.iter (put_f64 b) a
+
+exception Corrupt of string
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let pos r = r.pos
+let at_end r = r.pos >= String.length r.data
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    raise (Corrupt (Printf.sprintf "short read: need %d bytes at %d" n r.pos))
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.data r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_int r = Int64.to_int (get_i64 r)
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Corrupt (Printf.sprintf "bad bool byte %d" n))
+
+let get_string r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get = List.init (get_u32 r) (fun _ -> get r)
+let get_f64_array r = Array.init (get_u32 r) (fun _ -> get_f64 r)
+
+let get_option r get =
+  match get_u8 r with
+  | 0 -> None
+  | 1 -> Some (get r)
+  | n -> raise (Corrupt (Printf.sprintf "bad option byte %d" n))
+
+(* CRC-32, IEEE 802.3 reflected polynomial, table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.to_int (Int32.logxor !c 0xFFFFFFFFl) land 0xFFFFFFFF
+
+let frame payload =
+  let b = writer () in
+  put_u32 b (String.length payload);
+  put_u32 b (crc32 payload);
+  Buffer.add_string b payload;
+  contents b
+
+type frame_result =
+  | Frame of { payload : string; next : int }
+  | End
+  | Torn
+
+let next_frame data ~pos =
+  let total = String.length data in
+  if pos >= total then End
+  else if pos + 8 > total then Torn
+  else
+    let r = { data; pos } in
+    let len = get_u32 r in
+    let crc = get_u32 r in
+    if r.pos + len > total then Torn
+    else
+      let payload = String.sub data r.pos len in
+      if crc32 payload <> crc then Torn
+      else Frame { payload; next = r.pos + len }

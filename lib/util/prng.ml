@@ -6,6 +6,10 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 (* splitmix64 finalizer: mixes the incremented counter into a
    high-quality 64-bit output. *)
 let mix z =

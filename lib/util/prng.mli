@@ -15,6 +15,15 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The generator's current cursor.  Persisting it and later feeding it
+    to {!of_state} resumes the exact stream — the journal layer uses
+    this to checkpoint runs. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a saved {!state} cursor.  Unlike
+    {!create}, the argument is the raw cursor, not a seed. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     decorrelated from [t]'s subsequent output.  Use one split per

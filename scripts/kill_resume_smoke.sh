@@ -1,0 +1,45 @@
+#!/bin/sh
+# Kill-and-resume smoke check: crash the journaled chaos month at every
+# injection phase, resume each journal, and require the resumed stdout
+# (epoch table, incident log, closing ledger) to be byte-identical to
+# an uninterrupted run.
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build examples/chaos_month.exe
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+run=_build/default/examples/chaos_month.exe
+
+"$run" > "$workdir/uninterrupted.txt"
+
+for phase in pre_auction pre_settle post_settle; do
+  journal="$workdir/journal-$phase.bin"
+
+  status=0
+  "$run" --journal "$journal" --crash "5:$phase" \
+    > "$workdir/crashed-$phase.txt" 2>/dev/null || status=$?
+  if [ "$status" -ne 10 ]; then
+    echo "FAIL($phase): expected crash exit code 10, got $status" >&2
+    exit 1
+  fi
+
+  "$run" --resume "$journal" > "$workdir/resumed-$phase.txt" 2>/dev/null
+
+  if ! diff -u "$workdir/uninterrupted.txt" "$workdir/resumed-$phase.txt"; then
+    echo "FAIL($phase): resumed output differs from the uninterrupted run" >&2
+    exit 1
+  fi
+  echo "ok: crash at 5:$phase resumed byte-identical"
+done
+
+# A resumed (now complete) journal must be refused, not silently re-run.
+if "$run" --resume "$workdir/journal-post_settle.bin" >/dev/null 2>&1; then
+  echo "FAIL: resuming a completed journal should fail" >&2
+  exit 1
+fi
+echo "ok: completed journal refused"
+
+echo "kill-and-resume smoke: all checks passed"

@@ -270,6 +270,49 @@ let qcheck_terms_selective_preference_always_violates =
       | Terms.Violation _ -> true
       | Terms.Compliant -> false)
 
+let test_settlement_check_accepts_healthy_ledger () =
+  match Settlement.check (Settlement.of_plan (plan ()) ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "healthy ledger must pass: %s" msg
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_settlement_check_rejects_nonfinite_price () =
+  let l = Settlement.of_plan (plan ()) () in
+  match Settlement.check { l with Settlement.usage_price = Float.nan } with
+  | Ok () -> Alcotest.fail "a NaN posted price must fail"
+  | Error msg ->
+    Alcotest.(check bool) "names the posted price" true
+      (contains msg "posted usage price");
+    Alcotest.(check bool) "does not blame conservation" false
+      (contains msg "nets to")
+
+let test_settlement_check_rejects_broken_conservation () =
+  (* A NaN amount poisons every net: the zero-sum check must fail
+     (which is why it is written [not (<=)], not [>]). *)
+  let l = Settlement.of_plan (plan ()) () in
+  let broken =
+    {
+      l with
+      Settlement.entries =
+        [
+          {
+            Settlement.src = Settlement.Poc;
+            dst = Settlement.Bp_party 0;
+            amount = Float.nan;
+            what = "corrupt";
+          };
+        ];
+    }
+  in
+  match Settlement.check broken with
+  | Ok () -> Alcotest.fail "a NaN ledger must fail the zero-sum check"
+  | Error msg ->
+    Alcotest.(check bool) "names conservation" true (contains msg "nets to")
+
 let qcheck_settlement_conserves_for_any_margin =
   QCheck.Test.make ~name:"settlement conserves for any margin" ~count:20
     QCheck.(pair (float_range 0.0 0.5) (float_range 1.0 4.0))
@@ -319,6 +362,12 @@ let suite =
     Alcotest.test_case "settlement posted price" `Quick
       test_settlement_usage_price_positive;
     Alcotest.test_case "settlement render" `Quick test_settlement_render;
+    Alcotest.test_case "settlement check accepts healthy ledger" `Quick
+      test_settlement_check_accepts_healthy_ledger;
+    Alcotest.test_case "settlement check rejects non-finite price" `Quick
+      test_settlement_check_rejects_nonfinite_price;
+    Alcotest.test_case "settlement check rejects broken conservation" `Quick
+      test_settlement_check_rejects_broken_conservation;
     QCheck_alcotest.to_alcotest qcheck_terms_posted_price_open_always_ok;
     QCheck_alcotest.to_alcotest qcheck_terms_selective_preference_always_violates;
     QCheck_alcotest.to_alcotest qcheck_settlement_conserves_for_any_margin;

@@ -8,6 +8,8 @@ module Planner = Poc_core.Planner
 module Fault = Poc_resilience.Fault
 module Ladder = Poc_resilience.Ladder
 module Supervisor = Poc_resilience.Supervisor
+module Journal = Poc_resilience.Journal
+module Codec = Poc_util.Codec
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -249,6 +251,300 @@ let test_total_blackout_reports_never () =
       (Supervisor.epochs_to_recovery inc = None)
   | incs -> Alcotest.failf "expected one open incident, got %d" (List.length incs)
 
+(* --- Fault properties (QCheck) --- *)
+
+let qcheck_fault_compile_seed_determinism =
+  QCheck.Test.make ~name:"same seed compiles byte-identical fault timelines"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let plan = plan () in
+      let specs = chaos_specs plan in
+      let events s =
+        match Fault.compile plan.Planner.wan ~seed:s specs with
+        | Ok sched -> Fault.events sched
+        | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      in
+      events seed = events seed)
+
+let qcheck_fault_compile_seed_sensitivity =
+  QCheck.Test.make ~name:"distinct seeds pick different fault victims"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let plan = plan () in
+      (* A spec with real randomness: which links fail is drawn from
+         the seed.  Over 16 link picks, two seeds agreeing everywhere
+         would be a broken PRNG. *)
+      let specs =
+        [ Fault.Link_failure { at_epoch = 2; count = 16; duration = 1 } ]
+      in
+      let events s =
+        match Fault.compile plan.Planner.wan ~seed:s specs with
+        | Ok sched -> Fault.events sched
+        | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      in
+      events seed <> events (seed + 1))
+
+let test_fault_validation_rejects_crash_epoch () =
+  let plan = plan () in
+  let specs =
+    [
+      Fault.Crash { at_epoch = 0; phase = Fault.Pre_settle };
+      Fault.Traffic_surge { at_epoch = 1; factor = -2.0; duration = 0 };
+      Fault.Offer_shrinkage { at_epoch = 1; fraction = 2.0 };
+    ]
+  in
+  match Fault.validate plan.Planner.wan specs with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S" needle)
+          true (contains msg needle))
+      [ "spec 0: at_epoch must be >= 1"; "spec 1"; "spec 2" ]
+
+(* --- pay-as-bid carry-forward edge cases --- *)
+
+let test_pay_as_bid_empty_selection () =
+  let plan = plan () in
+  Alcotest.(check bool) "nothing to carry forward" true
+    (Ladder.pay_as_bid plan.Planner.problem [] = None)
+
+let test_pay_as_bid_external_transit_selection () =
+  (* The selection a prior External_transit epoch leaves behind:
+     virtual links only.  Carrying it forward must price it at the
+     contracted virtual prices with no BP payments. *)
+  let plan = plan () in
+  let problem = plan.Planner.problem in
+  let links = List.map fst problem.Vcg.virtual_prices |> List.sort compare in
+  if links = [] then Alcotest.fail "fixture has no virtual links"
+  else
+    match Ladder.pay_as_bid problem links with
+    | None -> Alcotest.fail "virtual-only carry-forward must price"
+    | Some o ->
+      let expected =
+        List.fold_left (fun acc (_, p) -> acc +. p) 0.0 problem.Vcg.virtual_prices
+      in
+      Alcotest.(check (float 1e-6)) "pays the contracted virtual prices"
+        expected o.Vcg.total_payment;
+      Alcotest.(check bool) "no BP is paid" true
+        (Array.for_all
+           (fun (r : Vcg.bp_result) -> r.Vcg.payment = 0.0)
+           o.Vcg.bp_results)
+
+let test_pay_as_bid_surviving_subset () =
+  (* The Connectivity_only-style carry: a prior selection survives with
+     one BP's links banned; the rest reprices pay-as-bid. *)
+  let plan = plan () in
+  let problem = plan.Planner.problem in
+  let full = plan.Planner.outcome.Vcg.selection.Vcg.selected in
+  let banned_bp_links =
+    Poc_topology.Wan.bp_link_ids plan.Planner.wan 0
+  in
+  let surviving =
+    List.filter (fun id -> not (List.mem id banned_bp_links)) full
+  in
+  if surviving = [] || surviving = full then
+    Alcotest.fail "fixture selection does not exercise a strict subset"
+  else
+    match Ladder.pay_as_bid problem surviving with
+    | None -> Alcotest.fail "surviving subset must still price"
+    | Some o ->
+      Alcotest.(check (list int)) "prices exactly the surviving links"
+        (List.sort compare surviving)
+        (List.sort compare o.Vcg.selection.Vcg.selected);
+      Alcotest.(check bool) "banned BP earns nothing" true
+        (o.Vcg.bp_results.(0).Vcg.payment = 0.0)
+
+(* --- Journal: crash injection, resume, torn-tail recovery --- *)
+
+let with_tmp_journal f =
+  let path = Filename.temp_file "poc_journal" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let render (r : Supervisor.report) =
+  Supervisor.render_epochs r ^ Supervisor.render_incidents r
+
+let check_crash_resume ~at_epoch phase () =
+  let plan = plan () in
+  let uninterrupted =
+    Supervisor.run plan ~market ~schedule:(compile_chaos plan)
+  in
+  let crashing =
+    match
+      Fault.compile plan.Planner.wan ~seed:2020
+        (chaos_specs plan @ [ Fault.Crash { at_epoch; phase } ])
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "crash schedule failed to compile: %s" msg
+  in
+  with_tmp_journal (fun path ->
+      (match Supervisor.run plan ~journal:path ~market ~schedule:crashing with
+      | _ -> Alcotest.fail "expected an injected crash"
+      | exception Supervisor.Injected_crash { epoch; phase = p } ->
+        Alcotest.(check int) "crashed at the right epoch" at_epoch epoch;
+        Alcotest.(check bool) "crashed in the right phase" true (p = phase));
+      (* Resume under the schedule *without* the crash spec: the digest
+         ignores crash points, so both forms are accepted. *)
+      match
+        Supervisor.resume ~journal:path plan ~market
+          ~schedule:(compile_chaos plan)
+      with
+      | Error msg -> Alcotest.failf "resume failed: %s" msg
+      | Ok resumed ->
+        Alcotest.(check string) "rendered output byte-identical"
+          (render uninterrupted) (render resumed);
+        Alcotest.(check bool) "epoch reports structurally identical" true
+          (compare resumed.Supervisor.epochs uninterrupted.Supervisor.epochs = 0);
+        Alcotest.(check bool) "violations identical" true
+          (compare resumed.Supervisor.violations
+             uninterrupted.Supervisor.violations
+          = 0);
+        Alcotest.(check int) "ladder activations identical"
+          uninterrupted.Supervisor.ladder_activations
+          resumed.Supervisor.ladder_activations)
+
+let test_crash_resume_pre_auction = check_crash_resume ~at_epoch:5 Fault.Pre_auction
+let test_crash_resume_pre_settle = check_crash_resume ~at_epoch:5 Fault.Pre_settle
+let test_crash_resume_post_settle = check_crash_resume ~at_epoch:5 Fault.Post_settle
+
+let test_crash_resume_before_first_snapshot =
+  (* Epoch 2 is before the first snapshot (cadence 4): resume must
+     rebuild from the initial state, not from a snapshot. *)
+  check_crash_resume ~at_epoch:2 Fault.Post_settle
+
+let test_journal_replay_roundtrip () =
+  let plan = plan () in
+  with_tmp_journal (fun path ->
+      let run = Supervisor.run plan ~journal:path ~market ~schedule:(compile_chaos plan) in
+      match Journal.replay path with
+      | Error msg -> Alcotest.failf "replay of a clean journal failed: %s" msg
+      | Ok r ->
+        Alcotest.(check bool) "no torn tail" false r.Journal.torn_tail;
+        Alcotest.(check bool) "completion recorded" true (r.Journal.complete <> None);
+        Alcotest.(check int) "every epoch recorded" market.Epochs.epochs
+          (List.length r.Journal.records);
+        Alcotest.(check bool) "journaled reports match the run" true
+          (compare
+             (List.map (fun (rec_ : Journal.epoch_record) -> rec_.Journal.report)
+                r.Journal.records)
+             run.Supervisor.epochs
+          = 0);
+        Alcotest.(check bool) "completion carries the incident log" true
+          (r.Journal.complete = Some (Supervisor.render_incidents run)))
+
+let test_journal_torn_and_corrupt_tails_truncate () =
+  let plan = plan () in
+  with_tmp_journal (fun path ->
+      let _ = Supervisor.run plan ~journal:path ~market ~schedule:(compile_chaos plan) in
+      let data = read_file path in
+      (* a tail cut mid-write: the last record reads as torn *)
+      write_file path (String.sub data 0 (String.length data - 5));
+      (match Journal.replay path with
+      | Error msg -> Alcotest.failf "a torn tail must not be fatal: %s" msg
+      | Ok r ->
+        Alcotest.(check bool) "torn tail detected" true r.Journal.torn_tail;
+        Alcotest.(check bool) "truncated completion discarded" true
+          (r.Journal.complete = None);
+        Alcotest.(check int) "records before the tear survive"
+          market.Epochs.epochs
+          (List.length r.Journal.records));
+      (* a flipped payload byte: the checksum rejects the record *)
+      let corrupted = Bytes.of_string data in
+      let last = Bytes.length corrupted - 1 in
+      Bytes.set corrupted last
+        (Char.chr (Char.code (Bytes.get corrupted last) lxor 0xFF));
+      write_file path (Bytes.to_string corrupted);
+      match Journal.replay path with
+      | Error msg -> Alcotest.failf "a bad checksum must not be fatal: %s" msg
+      | Ok r ->
+        Alcotest.(check bool) "corrupt record discarded as torn" true
+          r.Journal.torn_tail;
+        Alcotest.(check int) "records before it survive" market.Epochs.epochs
+          (List.length r.Journal.records))
+
+let test_resume_after_external_truncation () =
+  (* Simulate kill -9 mid-write: chop the file mid-record and resume. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let uninterrupted = Supervisor.run plan ~market ~schedule in
+  with_tmp_journal (fun path ->
+      let _ = Supervisor.run plan ~journal:path ~market ~schedule in
+      let data = read_file path in
+      write_file path (String.sub data 0 (String.length data - 7));
+      match Supervisor.resume ~journal:path plan ~market ~schedule with
+      | Error msg -> Alcotest.failf "resume after truncation failed: %s" msg
+      | Ok resumed ->
+        Alcotest.(check string) "resumed run byte-identical"
+          (render uninterrupted) (render resumed))
+
+let test_resume_rejects_mismatch_and_complete () =
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  with_tmp_journal (fun path ->
+      let _ = Supervisor.run plan ~journal:path ~market ~schedule in
+      (match Supervisor.resume ~journal:path plan ~market ~schedule with
+      | Ok _ -> Alcotest.fail "a complete journal must be refused"
+      | Error msg ->
+        Alcotest.(check bool) "says nothing to resume" true
+          (contains msg "nothing to resume"));
+      (match
+         Supervisor.resume ~journal:path plan
+           ~market:{ market with Epochs.seed = market.Epochs.seed + 1 }
+           ~schedule
+       with
+      | Ok _ -> Alcotest.fail "a seed mismatch must be refused"
+      | Error msg ->
+        Alcotest.(check bool) "names the market seed" true
+          (contains msg "market seed"));
+      let other_faults =
+        match Fault.compile plan.Planner.wan ~seed:2021 (chaos_specs plan) with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "compile failed: %s" msg
+      in
+      match Supervisor.resume ~journal:path plan ~market ~schedule:other_faults with
+      | Ok _ -> Alcotest.fail "a different fault schedule must be refused"
+      | Error msg ->
+        Alcotest.(check bool) "names the digest" true (contains msg "digest"))
+
+let test_replay_rejects_garbage_and_versions () =
+  with_tmp_journal (fun path ->
+      write_file path "these are not the records you are looking for";
+      (match Journal.replay path with
+      | Ok _ -> Alcotest.fail "garbage must not replay"
+      | Error msg ->
+        Alcotest.(check bool) "says not a POC journal" true
+          (contains msg "not a POC journal"));
+      (* a well-formed header frame from a future format version *)
+      let w = Codec.writer () in
+      Codec.put_u8 w 0;
+      Codec.put_u32 w 0x504F434A;
+      Codec.put_int w (Journal.version + 1);
+      Codec.put_int w 7;
+      Codec.put_int w 8;
+      Codec.put_int w 6;
+      Codec.put_int w 4;
+      Codec.put_i64 w 0L;
+      write_file path (Codec.frame (Codec.contents w));
+      (match Journal.replay path with
+      | Ok _ -> Alcotest.fail "a future version must not replay"
+      | Error msg ->
+        Alcotest.(check bool) "names the version" true (contains msg "version"));
+      match Journal.replay (path ^ ".does-not-exist") with
+      | Ok _ -> Alcotest.fail "a missing file must not replay"
+      | Error msg ->
+        Alcotest.(check bool) "says it cannot read" true
+          (contains msg "cannot read"))
+
 let suite =
   [
     Alcotest.test_case "fault validation lists every problem" `Quick
@@ -271,4 +567,32 @@ let suite =
       test_faultfree_supervised_run_matches_epochs;
     Alcotest.test_case "total blackout reports no recovery" `Slow
       test_total_blackout_reports_never;
+    QCheck_alcotest.to_alcotest qcheck_fault_compile_seed_determinism;
+    QCheck_alcotest.to_alcotest qcheck_fault_compile_seed_sensitivity;
+    Alcotest.test_case "fault validation rejects bad crash spec" `Quick
+      test_fault_validation_rejects_crash_epoch;
+    Alcotest.test_case "pay-as-bid refuses an empty selection" `Quick
+      test_pay_as_bid_empty_selection;
+    Alcotest.test_case "pay-as-bid prices a virtual-only carry" `Quick
+      test_pay_as_bid_external_transit_selection;
+    Alcotest.test_case "pay-as-bid prices a surviving subset" `Quick
+      test_pay_as_bid_surviving_subset;
+    Alcotest.test_case "crash at pre_auction resumes byte-identical" `Slow
+      test_crash_resume_pre_auction;
+    Alcotest.test_case "crash at pre_settle resumes byte-identical" `Slow
+      test_crash_resume_pre_settle;
+    Alcotest.test_case "crash at post_settle resumes byte-identical" `Slow
+      test_crash_resume_post_settle;
+    Alcotest.test_case "crash before first snapshot resumes byte-identical"
+      `Slow test_crash_resume_before_first_snapshot;
+    Alcotest.test_case "journal replay round-trips a clean run" `Slow
+      test_journal_replay_roundtrip;
+    Alcotest.test_case "torn and corrupt tails truncate, never crash" `Slow
+      test_journal_torn_and_corrupt_tails_truncate;
+    Alcotest.test_case "resume after external truncation" `Slow
+      test_resume_after_external_truncation;
+    Alcotest.test_case "resume refuses mismatched or complete journals" `Slow
+      test_resume_rejects_mismatch_and_complete;
+    Alcotest.test_case "replay refuses garbage and future versions" `Quick
+      test_replay_rejects_garbage_and_versions;
   ]

@@ -229,6 +229,113 @@ let qcheck_int_range_inclusive =
       let x = Prng.int_range rng lo hi in
       x >= lo && x <= hi)
 
+(* --- Codec ------------------------------------------------------------- *)
+
+module Codec = Poc_util.Codec
+
+let test_codec_roundtrip () =
+  let w = Codec.writer () in
+  Codec.put_u8 w 0xAB;
+  Codec.put_u32 w 0xDEADBEEF;
+  Codec.put_i64 w (-1L);
+  Codec.put_int w min_int;
+  Codec.put_int w max_int;
+  Codec.put_f64 w 3.14159;
+  Codec.put_f64 w Float.nan;
+  Codec.put_f64 w Float.neg_infinity;
+  Codec.put_f64 w (-0.0);
+  Codec.put_bool w true;
+  Codec.put_string w "hello \x00 world";
+  Codec.put_list w Codec.put_int [ 1; 2; 3 ];
+  Codec.put_option w Codec.put_f64 (Some 2.5);
+  Codec.put_option w Codec.put_f64 None;
+  Codec.put_f64_array w [| 0.1; 0.2; Float.nan |];
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Codec.get_u8 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Codec.get_u32 r);
+  Alcotest.(check int64) "i64" (-1L) (Codec.get_i64 r);
+  Alcotest.(check int) "min_int" min_int (Codec.get_int r);
+  Alcotest.(check int) "max_int" max_int (Codec.get_int r);
+  check_float "f64" 3.14159 (Codec.get_f64 r);
+  Alcotest.(check bool) "NaN survives bit-exactly" true
+    (Int64.equal (Int64.bits_of_float Float.nan)
+       (Int64.bits_of_float (Codec.get_f64 r)));
+  Alcotest.(check bool) "-inf" true (Codec.get_f64 r = Float.neg_infinity);
+  Alcotest.(check bool) "-0.0 keeps its sign" true
+    (Int64.equal (Int64.bits_of_float (-0.0))
+       (Int64.bits_of_float (Codec.get_f64 r)));
+  Alcotest.(check bool) "bool" true (Codec.get_bool r);
+  Alcotest.(check string) "string with NUL" "hello \x00 world"
+    (Codec.get_string r);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.get_list r Codec.get_int);
+  Alcotest.(check bool) "some" true (Codec.get_option r Codec.get_f64 = Some 2.5);
+  Alcotest.(check bool) "none" true (Codec.get_option r Codec.get_f64 = None);
+  let arr = Codec.get_f64_array r in
+  Alcotest.(check int) "array length" 3 (Array.length arr);
+  Alcotest.(check bool) "array NaN" true (Float.is_nan arr.(2));
+  Alcotest.(check bool) "reader drained" true (Codec.at_end r)
+
+let test_codec_short_read_raises () =
+  let r = Codec.reader "\x01\x02" in
+  match Codec.get_u32 r with
+  | _ -> Alcotest.fail "short read must raise"
+  | exception Codec.Corrupt _ -> ()
+
+let test_codec_crc32_vector () =
+  (* The standard IEEE 802.3 check value. *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Codec.crc32 "123456789");
+  Alcotest.(check int) "crc32 of empty" 0 (Codec.crc32 "")
+
+let test_codec_frames () =
+  let a = Codec.frame "first" and b = Codec.frame "second" in
+  let data = a ^ b in
+  (match Codec.next_frame data ~pos:0 with
+  | Codec.Frame { payload; next } ->
+    Alcotest.(check string) "first frame" "first" payload;
+    (match Codec.next_frame data ~pos:next with
+    | Codec.Frame { payload; next } ->
+      Alcotest.(check string) "second frame" "second" payload;
+      Alcotest.(check bool) "clean end" true
+        (Codec.next_frame data ~pos:next = Codec.End)
+    | Codec.End | Codec.Torn -> Alcotest.fail "second frame unreadable")
+  | Codec.End | Codec.Torn -> Alcotest.fail "first frame unreadable");
+  (* cut mid-payload: torn, not an exception *)
+  (match Codec.next_frame (String.sub a 0 (String.length a - 2)) ~pos:0 with
+  | Codec.Torn -> ()
+  | Codec.Frame _ | Codec.End -> Alcotest.fail "truncated frame must be torn");
+  (* cut mid-header *)
+  (match Codec.next_frame (String.sub a 0 3) ~pos:0 with
+  | Codec.Torn -> ()
+  | Codec.Frame _ | Codec.End -> Alcotest.fail "short header must be torn");
+  (* flip a payload byte: checksum mismatch *)
+  let corrupt = Bytes.of_string a in
+  Bytes.set corrupt (Bytes.length corrupt - 1) 'X';
+  match Codec.next_frame (Bytes.to_string corrupt) ~pos:0 with
+  | Codec.Torn -> ()
+  | Codec.Frame _ | Codec.End -> Alcotest.fail "bad checksum must be torn"
+
+let qcheck_codec_frame_roundtrip =
+  QCheck.Test.make ~name:"framing round-trips arbitrary payloads" ~count:100
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun payload ->
+      match Codec.next_frame (Codec.frame payload) ~pos:0 with
+      | Codec.Frame { payload = p; next } ->
+        p = payload && next = 8 + String.length payload
+      | Codec.End | Codec.Torn -> false)
+
+let test_prng_state_roundtrip () =
+  (* Persisting the cursor and restoring it must continue the same
+     stream — the property journal snapshots rely on. *)
+  let a = Prng.create 99 in
+  for _ = 1 to 57 do
+    ignore (Prng.int64 a)
+  done;
+  let saved = Prng.state a in
+  let rest = List.init 50 (fun _ -> Prng.int64 a) in
+  let b = Prng.of_state saved in
+  let replayed = List.init 50 (fun _ -> Prng.int64 b) in
+  Alcotest.(check bool) "stream continues identically" true (rest = replayed)
+
 let suite =
   [
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
@@ -261,4 +368,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
     QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
     QCheck_alcotest.to_alcotest qcheck_int_range_inclusive;
+    Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec short read raises" `Quick
+      test_codec_short_read_raises;
+    Alcotest.test_case "codec crc32 check vector" `Quick test_codec_crc32_vector;
+    Alcotest.test_case "codec frames and torn tails" `Quick test_codec_frames;
+    QCheck_alcotest.to_alcotest qcheck_codec_frame_roundtrip;
+    Alcotest.test_case "prng state round-trip" `Quick test_prng_state_roundtrip;
   ]
