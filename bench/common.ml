@@ -28,3 +28,20 @@ let timed label f =
   result
 
 let fmt = Poc_util.Table.fmt_float
+
+(* Experiments that opt in snapshot the process-wide metrics registry
+   (per-phase latency histograms plus work counters) into
+   BENCH_<label>_metrics.json in the working directory, so perf
+   regressions show up as diffs in checked artifacts rather than only
+   in wall-clock noise.  Reset first so the snapshot covers one
+   experiment, not the whole harness run. *)
+module Metrics = Poc_obs.Metrics
+
+let reset_metrics () = Metrics.reset Metrics.default
+
+let write_metrics_artifact ~label =
+  let path = Printf.sprintf "BENCH_%s_metrics.json" label in
+  let oc = open_out path in
+  output_string oc (Metrics.to_json Metrics.default);
+  close_out oc;
+  Printf.printf "[metrics snapshot: %s]\n" path

@@ -26,6 +26,7 @@ let chaos_specs (wan : Wan.t) =
 
 let run ~scale ~seed =
   Common.header "E15 — chaos: supervised degradation vs unsupervised epochs";
+  Common.reset_metrics ();
   (* Ten supervised epochs each price a full VCG auction (and the
      recall wave walks the whole ladder), so the default quick
      instance is still too big to finish in bench time; use a smaller
@@ -131,4 +132,5 @@ let run ~scale ~seed =
     print_endline
       "expected shape: every epoch keeps a priced outcome (no blackout),\n\
      the recall wave degrades to a ladder rung and recovers the next\n\
-     epoch, and the ledger nets to zero throughout."
+     epoch, and the ledger nets to zero throughout.";
+    Common.write_metrics_artifact ~label:"e15"

@@ -19,6 +19,7 @@ let run ~scale ~seed =
   Common.header
     (Printf.sprintf "E1 / Figure 2 — PoB margins of the 5 largest BPs (%s scale, seed %d)"
        (Common.scale_name scale) seed);
+  Common.reset_metrics ();
   let outcomes =
     List.map
       (fun rule ->
@@ -121,4 +122,5 @@ let run ~scale ~seed =
           Printf.printf "%-22s %s\n" (Acc.name rule)
             (Format.asprintf "%a" Poc_util.Stats.pp_summary s))
       rules
-  | _ -> print_endline "no feasible plan; nothing to report")
+  | _ -> print_endline "no feasible plan; nothing to report");
+  Common.write_metrics_artifact ~label:"e1"

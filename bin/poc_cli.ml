@@ -7,8 +7,13 @@
      market    multi-epoch bandwidth-market simulation
      chaos     supervised market under injected faults, with a durable
                journal and crash/resume support
+     profile   run N supervised epochs and print per-phase latencies
      topology  describe a generated substrate
-     baseline  describe the traditional-Internet comparator *)
+     baseline  describe the traditional-Internet comparator
+
+   market, chaos and profile accept --trace FILE.json (Chrome
+   trace-event output for chrome://tracing / Perfetto) and
+   --metrics FILE.prom (Prometheus text exposition). *)
 
 open Cmdliner
 module Planner = Poc_core.Planner
@@ -18,11 +23,93 @@ module Acc = Poc_auction.Acceptability
 module Wan = Poc_topology.Wan
 module Fault = Poc_resilience.Fault
 module Supervisor = Poc_resilience.Supervisor
+module Obs_log = Poc_obs.Log
+module Trace = Poc_obs.Trace
+module Metrics = Poc_obs.Metrics
 
 let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+  Obs_log.set_level (if verbose then Some Obs_log.Debug else Some Obs_log.Warn)
+
+(* --- observability plumbing --------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:"Write a Chrome trace-event JSON of the run to $(docv); open \
+              it in chrome://tracing or https://ui.perfetto.dev.  Spans \
+              cover every epoch phase; injected faults, ladder steps and \
+              invariant violations appear as instant events.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE.prom"
+        ~doc:"Write Prometheus text-format metrics (phase latency \
+              histograms, auction/router/journal counters) to $(docv) when \
+              the process exits.")
+
+(* Both files are written from at_exit so an injected crash (exit 10)
+   still leaves a usable trace: set_sink force-finishes the spans the
+   crash cut open. *)
+let setup_obs ~trace ~metrics =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    let chrome = Trace.Chrome.create () in
+    Trace.set_sink (Some (Trace.Chrome.sink chrome));
+    at_exit (fun () ->
+        Trace.set_sink None;
+        Trace.Chrome.write chrome path));
+  match metrics with
+  | None -> ()
+  | Some path ->
+    at_exit (fun () ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc
+              (Metrics.to_prometheus Metrics.default)))
+
+let phase_of_metric name =
+  let prefix = "poc_phase_" and suffix = "_seconds" in
+  let lp = String.length prefix and ls = String.length suffix in
+  let n = String.length name in
+  if
+    n > lp + ls
+    && String.sub name 0 lp = prefix
+    && String.sub name (n - ls) ls = suffix
+  then Some (String.sub name lp (n - lp - ls))
+  else None
+
+let print_phase_table () =
+  let ms v = Printf.sprintf "%.2f" (v *. 1e3) in
+  let rows =
+    List.filter_map
+      (fun (name, h) ->
+        match phase_of_metric name with
+        | Some phase when Metrics.Histogram.count h > 0 ->
+          Some
+            [
+              phase;
+              string_of_int (Metrics.Histogram.count h);
+              Printf.sprintf "%.3f" (Metrics.Histogram.sum h);
+              ms (Metrics.Histogram.p50 h);
+              ms (Metrics.Histogram.p95 h);
+              ms (Metrics.Histogram.p99 h);
+              ms (Metrics.Histogram.max_observed h);
+            ]
+        | Some _ | None -> None)
+      (Metrics.histograms Metrics.default)
+  in
+  if rows <> [] then begin
+    print_endline "\nper-phase wall clock:";
+    Poc_util.Table.print
+      ~align:
+        Poc_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+      ~header:[ "phase"; "count"; "total s"; "p50 ms"; "p95 ms"; "p99 ms"; "max ms" ]
+      rows
+  end
 
 (* Shared options. *)
 let seed_arg =
@@ -194,40 +281,42 @@ let print_supervised (report : Supervisor.report) =
     report.Supervisor.violations
 
 let market_cmd =
-  let run verbose seed sites bps epochs journal resume =
+  let run verbose seed sites bps epochs journal resume trace metrics =
     setup_logs verbose;
+    setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
-    if journal <> None || resume <> None then
-      (* Durable mode: the supervised loop (fault-free schedule) so the
-         run is journaled and resumable. *)
-      let schedule =
-        match Fault.compile plan.Planner.wan ~seed [] with
-        | Ok s -> s
-        | Error msg ->
-          Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
-          exit 1
-      in
-      print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
-    else
-      let results = Epochs.run plan market in
-      List.iter
-        (fun (r : Epochs.epoch_result) ->
-          match r.Epochs.failure with
-          | Some reason ->
-            Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
-              (Epochs.failure_name reason)
-          | None ->
-            Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
-              r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
-              r.Epochs.selected_links r.Epochs.supplier_hhi)
-        results
+    (if journal <> None || resume <> None then
+       (* Durable mode: the supervised loop (fault-free schedule) so the
+          run is journaled and resumable. *)
+       let schedule =
+         match Fault.compile plan.Planner.wan ~seed [] with
+         | Ok s -> s
+         | Error msg ->
+           Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
+           exit 1
+       in
+       print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
+     else
+       let results = Epochs.run plan market in
+       List.iter
+         (fun (r : Epochs.epoch_result) ->
+           match r.Epochs.failure with
+           | Some reason ->
+             Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
+               (Epochs.failure_name reason)
+           | None ->
+             Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
+               r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
+               r.Epochs.selected_links r.Epochs.supplier_hhi)
+         results);
+    print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ journal_arg $ resume_arg)
+      $ journal_arg $ resume_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
@@ -269,8 +358,10 @@ let chaos_cmd =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for compiling the fault schedule.")
   in
-  let run verbose seed sites bps epochs fault_seed crashes journal resume =
+  let run verbose seed sites bps epochs fault_seed crashes journal resume trace
+      metrics =
     setup_logs verbose;
+    setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let biggest =
@@ -297,16 +388,78 @@ let chaos_cmd =
         exit 1
     in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
-    print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
+    print_supervised (run_supervised ~journal ~resume plan ~market ~schedule);
+    print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg)
+      $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Supervised market under injected faults (journal + crash/resume)")
+    term
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run verbose seed sites bps epochs rule trace metrics =
+    setup_logs verbose;
+    setup_obs ~trace ~metrics;
+    let plan = build_plan ~sites ~bps ~seed ~rule in
+    let module Epochs = Poc_market.Epochs in
+    let market = { Epochs.default_config with Epochs.epochs; seed } in
+    let schedule =
+      match Fault.compile plan.Planner.wan ~seed [] with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
+        exit 1
+    in
+    let report = Supervisor.run plan ~market ~schedule in
+    let healthy =
+      List.length
+        (List.filter
+           (fun (er : Supervisor.epoch_report) ->
+             er.Supervisor.status = Supervisor.Healthy)
+           report.Supervisor.epochs)
+    in
+    let total_s =
+      match
+        List.assoc_opt "poc_epoch_seconds"
+          (Metrics.histograms Metrics.default)
+      with
+      | Some h -> Metrics.Histogram.sum h
+      | None -> 0.0
+    in
+    Printf.printf "profiled %d epochs (%d healthy) under rule %s in %.2fs\n"
+      (List.length report.Supervisor.epochs)
+      healthy (Acc.name rule) total_s;
+    print_phase_table ();
+    let counter_rows =
+      List.filter_map
+        (fun (name, c) ->
+          let v = Metrics.Counter.value c in
+          if v > 0.0 then Some [ name; Printf.sprintf "%.0f" v ] else None)
+        (Metrics.counters Metrics.default)
+    in
+    if counter_rows <> [] then begin
+      print_endline "\nwork counters:";
+      Poc_util.Table.print
+        ~align:Poc_util.Table.[ Left; Right ]
+        ~header:[ "counter"; "value" ] counter_rows
+    end
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
+      $ rule_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run N supervised epochs and print the per-phase latency table")
     term
 
 (* --- topology ------------------------------------------------------------------ *)
@@ -424,5 +577,6 @@ let () =
   let doc = "A Public Option for the Core — planning, auction and policy toolkit" in
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; topology_cmd;
-      federation_cmd; availability_cmd; export_cmd; baseline_cmd ]))
+    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; profile_cmd;
+      topology_cmd; federation_cmd; availability_cmd; export_cmd;
+      baseline_cmd ]))

@@ -1,9 +1,23 @@
 module Graph = Poc_graph.Graph
 module Router = Poc_mcf.Router
+module Log = Poc_obs.Log
+module Trace = Poc_obs.Trace
+module Metrics = Poc_obs.Metrics
 
-let log_src = Logs.Src.create "poc.auction" ~doc:"POC bandwidth auction"
+(* Auction work counters: every candidate selection evaluated against
+   the acceptability rule, and every marginal-economy (SL without α)
+   recomputation behind a Clarke pivot. *)
+let m_candidate_evals =
+  Metrics.counter ~help:"Candidate selections checked against the rule"
+    Metrics.default "poc_vcg_candidate_evals_total"
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let m_pivots =
+  Metrics.counter ~help:"Marginal-economy recomputations for Clarke pivots"
+    Metrics.default "poc_vcg_pivot_recomputations_total"
+
+let m_auctions =
+  Metrics.counter ~help:"Full VCG mechanism runs" Metrics.default
+    "poc_vcg_auctions_total"
 
 type problem = {
   graph : Graph.t;
@@ -124,6 +138,7 @@ let prune_limit_single_failure = 400
 let prune_limit_per_pair = 400
 
 let satisfied problem ~enabled =
+  Metrics.Counter.inc m_candidate_evals;
   Acceptability.satisfied problem.graph ~demands:problem.demands ~enabled
     problem.rule
 
@@ -523,10 +538,24 @@ let select_exact ?(banned = fun _ -> false) problem =
 (* --- Full mechanism ---------------------------------------------------- *)
 
 let run ?select problem =
+  Metrics.Counter.inc m_auctions;
+  let sp = Trace.span "vcg.run" in
   let cold =
     match select with
     | Some s -> fun () -> s ?banned:None problem
     | None -> fun () -> select_greedy problem
+  in
+  let cold () =
+    let sel_sp = Trace.span "vcg.select" in
+    let r = cold () in
+    (if Trace.enabled () then
+       match r with
+       | Some s ->
+         Trace.add_attr sel_sp "selected" (Trace.Int (List.length s.selected));
+         Trace.add_attr sel_sp "cost" (Trace.Float s.cost)
+       | None -> Trace.add_attr sel_sp "infeasible" (Trace.Bool true));
+    Trace.finish sel_sp;
+    r
   in
   (* Pivot selections: warm-started from the current SL by default —
      both faster and far less noisy than re-deriving from scratch, since
@@ -534,6 +563,7 @@ let run ?select problem =
      cost.  A caller-provided selector (e.g. the exact optimizer in
      tests) is honored verbatim. *)
   let without_selection base bp =
+    Metrics.Counter.inc m_pivots;
     let mine = Hashtbl.create 16 in
     List.iter (fun id -> Hashtbl.replace mine id ()) (Bid.links problem.bids.(bp));
     let banned id = Hashtbl.mem mine id in
@@ -559,8 +589,19 @@ let run ?select problem =
              (fun best s -> if s.cost < best.cost then s else best)
              first rest))
   in
+  let finish_with result =
+    (if Trace.enabled () then
+       match result with
+       | Some o ->
+         Trace.add_attr sp "total_payment" (Trace.Float o.total_payment);
+         Trace.add_attr sp "selected"
+           (Trace.Int (List.length o.selection.selected))
+       | None -> Trace.add_attr sp "infeasible" (Trace.Bool true));
+    Trace.finish sp;
+    result
+  in
   match cold () with
-  | None -> None
+  | None -> finish_with None
   | Some sl0 ->
     let table = ownership problem in
     let winners selection =
@@ -587,7 +628,9 @@ let run ?select problem =
       | Some better when round < 4 -> settle better (round + 1)
       | Some _ | None -> (current, results)
     in
+    let piv_sp = Trace.span "vcg.pivots" in
     let sl, without_results = settle sl0 0 in
+    Trace.finish piv_sp;
     let without bp = List.assoc_opt bp without_results in
     let by_bp, virtual_cost = partition_by_owner table sl.selected in
     let bp_results =
@@ -605,8 +648,10 @@ let run ?select problem =
               match without bp with
               | Some (Some w) -> Float.max 0.0 (w.cost -. sl.cost)
               | Some None | None ->
-                Log.warn (fun f ->
-                    f "SL without BP %d is unacceptable; clamping pivot to 0" bp);
+                Log.warn (fun () ->
+                    Printf.sprintf
+                      "SL without BP %d is unacceptable; clamping pivot to 0"
+                      bp);
                 0.0
             in
             let payment = bid_cost +. pivot in
@@ -617,7 +662,7 @@ let run ?select problem =
     let total_payment =
       Array.fold_left (fun acc r -> acc +. r.payment) virtual_cost bp_results
     in
-    Some { selection = sl; virtual_cost; bp_results; total_payment }
+    finish_with (Some { selection = sl; virtual_cost; bp_results; total_payment })
 
 let run_pay_as_bid ?(select = select_greedy) problem =
   match select problem with

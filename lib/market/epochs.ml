@@ -3,6 +3,32 @@ module Vcg = Poc_auction.Vcg
 module Bid = Poc_auction.Bid
 module Matrix = Poc_traffic.Matrix
 module Planner = Poc_core.Planner
+module Trace = Poc_obs.Trace
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+
+(* Per-phase wall-clock histograms and epoch counters.  The phase
+   series are shared by name with the supervised loop, so "how long
+   does an auction take" reads the same whichever loop ran it. *)
+let h_epoch =
+  Metrics.histogram ~help:"Whole-epoch wall clock (seconds)" Metrics.default
+    "poc_epoch_seconds"
+
+let h_drift =
+  Metrics.histogram ~help:"Market drift + bid construction phase (seconds)"
+    Metrics.default "poc_phase_drift_seconds"
+
+let h_auction =
+  Metrics.histogram ~help:"Auction phase wall clock (seconds)" Metrics.default
+    "poc_phase_auction_seconds"
+
+let m_epochs =
+  Metrics.counter ~help:"Market epochs simulated" Metrics.default
+    "poc_market_epochs_total"
+
+let m_auction_failures =
+  Metrics.counter ~help:"Epochs whose auction produced no outcome"
+    Metrics.default "poc_market_auction_failures_total"
 
 type bp_strategy = Truthful | Markup of float | Recallable of float
 
@@ -158,6 +184,11 @@ let run (plan : Planner.plan) config =
   let results = ref [] in
   let matrix = ref plan.Planner.matrix in
   for epoch = 1 to config.epochs do
+    let ep_sp = Trace.span "epoch" in
+    if Trace.enabled () then Trace.add_attr ep_sp "epoch" (Trace.Int epoch);
+    let ep_t0 = Clock.now_us () in
+    let drift_sp = Trace.span "drift" in
+    let drift_t0 = Clock.now_us () in
     (* Drift costs. *)
     for bp = 0 to n_bps - 1 do
       let noise =
@@ -198,6 +229,9 @@ let run (plan : Planner.plan) config =
         demands = Matrix.undirected_pair_demands !matrix;
       }
     in
+    Metrics.Histogram.observe h_drift
+      ((Clock.now_us () -. drift_t0) *. 1e-6);
+    Trace.finish drift_sp;
     let select ?(banned = fun _ -> false) p =
       Vcg.select_greedy
         ~banned:(fun id -> banned id || Hashtbl.mem recalled id)
@@ -212,6 +246,10 @@ let run (plan : Planner.plan) config =
            bids
     in
     let fail reason =
+      Metrics.Counter.inc m_auction_failures;
+      if Trace.enabled () then
+        Trace.event "auction_failed"
+          ~attrs:[ ("reason", Trace.Str (failure_name reason)) ];
       results :=
         {
           epoch;
@@ -224,23 +262,32 @@ let run (plan : Planner.plan) config =
         }
         :: !results
     in
-    if not pool_nonempty then fail Empty_offer_pool
-    else begin
-      match Vcg.run ~select problem with
-      | None -> fail No_acceptable_selection
-      | Some outcome ->
-        results :=
-          {
-            epoch;
-            spend = outcome.Vcg.total_payment;
-            price_per_gbps =
-              (if volume > 0.0 then outcome.Vcg.total_payment /. volume else 0.0);
-            selected_links = List.length outcome.Vcg.selection.selected;
-            recalled_links = Hashtbl.length recalled;
-            supplier_hhi = supplier_hhi outcome;
-            failure = None;
-          }
-          :: !results
-    end
+    let auction_sp = Trace.span "auction" in
+    let auction_t0 = Clock.now_us () in
+    (if not pool_nonempty then fail Empty_offer_pool
+     else begin
+       match Vcg.run ~select problem with
+       | None -> fail No_acceptable_selection
+       | Some outcome ->
+         results :=
+           {
+             epoch;
+             spend = outcome.Vcg.total_payment;
+             price_per_gbps =
+               (if volume > 0.0 then outcome.Vcg.total_payment /. volume
+                else 0.0);
+             selected_links = List.length outcome.Vcg.selection.selected;
+             recalled_links = Hashtbl.length recalled;
+             supplier_hhi = supplier_hhi outcome;
+             failure = None;
+           }
+           :: !results
+     end);
+    Metrics.Histogram.observe h_auction
+      ((Clock.now_us () -. auction_t0) *. 1e-6);
+    Trace.finish auction_sp;
+    Metrics.Counter.inc m_epochs;
+    Metrics.Histogram.observe h_epoch ((Clock.now_us () -. ep_t0) *. 1e-6);
+    Trace.finish ep_sp
   done;
   List.rev !results

@@ -1,5 +1,27 @@
 module Graph = Poc_graph.Graph
 module Heap = Poc_graph.Heap
+module Metrics = Poc_obs.Metrics
+
+(* Router work counters: every full solve, every shortest-path search
+   and every committed path chunk, plus the incremental re-routes the
+   auction's pruning and failure checks lean on.  Always on — an
+   increment is one float store — so any run can report how much
+   routing a selection cost. *)
+let m_routes =
+  Metrics.counter ~help:"Full routing solves" Metrics.default
+    "poc_router_routes_total"
+
+let m_dijkstra =
+  Metrics.counter ~help:"Residual-graph shortest-path searches"
+    Metrics.default "poc_router_dijkstra_total"
+
+let m_paths =
+  Metrics.counter ~help:"Path chunks committed by the router"
+    Metrics.default "poc_router_paths_total"
+
+let m_reroutes =
+  Metrics.counter ~help:"Incremental single-edge re-route computations"
+    Metrics.default "poc_router_reroutes_total"
 
 type demand = int * int * float
 
@@ -26,6 +48,7 @@ let validate_demand n (a, b, d) =
    path or None.  Weight of an edge is latency * (1 + alpha * u) where
    u is current utilization, which spreads load before links saturate. *)
 let residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst =
+  Metrics.Counter.inc m_dijkstra;
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
   let settled = Array.make n false in
@@ -102,6 +125,7 @@ let route_one g ~adj ~residual ~usage ~capacity ~alpha (src, dst, gbps) =
               residual.(eid) <- residual.(eid) -. send;
               usage.(eid) <- usage.(eid) +. send)
             path;
+          Metrics.Counter.inc m_paths;
           chunks := { src; dst; gbps = send; edge_ids = path } :: !chunks;
           go (remaining -. send) (attempts + 1)
         end
@@ -111,6 +135,7 @@ let route_one g ~adj ~residual ~usage ~capacity ~alpha (src, dst, gbps) =
   (List.rev !chunks, leftover)
 
 let route ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g ~demands =
+  Metrics.Counter.inc m_routes;
   let n = Graph.node_count g in
   List.iter (validate_demand n) demands;
   let m = Graph.edge_count g in
@@ -167,6 +192,7 @@ let used_edges r =
    {e including} the failed edge; the failed edge is excluded by
    forcing its residual to zero, which the path search respects. *)
 let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
+  Metrics.Counter.inc m_reroutes;
   let failed_capacity = (Graph.edge g failed_edge).capacity in
   if base.usage.(failed_edge) <= eps then
     (* Nothing crossed the edge: the routing is already valid without

@@ -1,0 +1,20 @@
+let origin_us = ref 0.0
+
+let last_us = ref 0.0
+
+let raw_us () = Unix.gettimeofday () *. 1e6
+
+let () =
+  origin_us := raw_us ();
+  last_us := 0.0
+
+let now_us () =
+  let t = raw_us () -. !origin_us in
+  if t > !last_us then last_us := t;
+  !last_us
+
+let origin () = !origin_us
+
+let reset_origin () =
+  origin_us := raw_us ();
+  last_us := 0.0

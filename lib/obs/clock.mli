@@ -1,0 +1,17 @@
+(** Monotonic wall-clock used by every observability reading.
+
+    The OS clock can step backwards (NTP); trace viewers and latency
+    histograms cannot.  [now_us] clamps so consecutive readings never
+    decrease, which is all the span model needs. *)
+
+val now_us : unit -> float
+(** Microseconds since an arbitrary process-local origin; never
+    decreases between calls. *)
+
+val origin : unit -> float
+(** The current origin in raw [Unix.gettimeofday] microseconds.
+    Subtracted from readings so trace timestamps start near zero. *)
+
+val reset_origin : unit -> unit
+(** Re-anchor the origin at the current instant.  Installing a trace
+    sink does this so every trace file starts at t=0. *)

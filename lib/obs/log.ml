@@ -1,0 +1,39 @@
+type level = Error | Warn | Info | Debug
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string = function
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let severity = function Error -> 3 | Warn -> 2 | Info -> 1 | Debug -> 0
+
+let current = ref None
+
+let set_level l = current := l
+
+let level () = !current
+
+let enabled l =
+  match !current with
+  | None -> false
+  | Some threshold -> severity l >= severity threshold
+
+let emit l msg =
+  if enabled l then
+    Printf.eprintf "poc: [%s] %s\n%!" (level_to_string l) (msg ())
+
+let error msg = emit Error msg
+
+let warn msg = emit Warn msg
+
+let info msg = emit Info msg
+
+let debug msg = emit Debug msg

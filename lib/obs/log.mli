@@ -1,0 +1,32 @@
+(** Leveled library logging, quiet by default.
+
+    Library code must never write to stdout uninvited: experiment
+    output is parsed by scripts and diffed byte-for-byte in tests.
+    Diagnostics go through this module instead — to stderr, only when
+    an application has opted in with {!set_level}.
+
+    Messages are built lazily: [Log.warn (fun () -> ...)] costs one
+    branch when the level is off, so call sites can stay in hot
+    paths. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+
+val set_level : level option -> unit
+(** [set_level (Some l)] enables messages at severity [l] and above;
+    [set_level None] (the default) silences everything. *)
+
+val level : unit -> level option
+
+val enabled : level -> bool
+
+val error : (unit -> string) -> unit
+
+val warn : (unit -> string) -> unit
+
+val info : (unit -> string) -> unit
+
+val debug : (unit -> string) -> unit

@@ -1,0 +1,311 @@
+module Counter = struct
+  type t = { mutable c : float }
+
+  let inc t = t.c <- t.c +. 1.0
+
+  let add t v =
+    if v < 0.0 || Float.is_nan v then
+      invalid_arg "Metrics.Counter.add: negative or NaN increment"
+    else t.c <- t.c +. v
+
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = { mutable g : float }
+
+  let set t v = t.g <- v
+
+  let add t v = t.g <- t.g +. v
+
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = {
+    bnds : float array;  (* ascending upper bounds *)
+    counts : int array;  (* one per bound, plus overflow *)
+    mutable n : int;
+    mutable s : float;
+    mutable mx : float;
+  }
+
+  let make ~lo ~growth ~buckets =
+    if not (Float.is_finite lo && lo > 0.0) then
+      invalid_arg "Metrics.histogram: lo must be positive";
+    if not (Float.is_finite growth && growth > 1.0) then
+      invalid_arg "Metrics.histogram: growth must be > 1";
+    if buckets < 1 then invalid_arg "Metrics.histogram: buckets must be >= 1";
+    {
+      bnds = Array.init buckets (fun i -> lo *. (growth ** float_of_int i));
+      counts = Array.make (buckets + 1) 0;
+      n = 0;
+      s = 0.0;
+      mx = neg_infinity;
+    }
+
+  (* Index of the bucket covering [v]: the first bound strictly above
+     it; the trailing slot catches overflow and NaN. *)
+  let bucket_index t v =
+    let nb = Array.length t.bnds in
+    if v < t.bnds.(0) then 0
+    else if not (v < t.bnds.(nb - 1)) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      (* invariant: v >= bnds.(lo), v < bnds.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if v < t.bnds.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
+
+  let observe t v =
+    t.n <- t.n + 1;
+    if Float.is_finite v then t.s <- t.s +. v;
+    if v > t.mx then t.mx <- v;
+    let i = bucket_index t v in
+    t.counts.(i) <- t.counts.(i) + 1
+
+  let count t = t.n
+
+  let sum t = t.s
+
+  let max_observed t = t.mx
+
+  let bounds t = Array.copy t.bnds
+
+  let bucket_counts t = Array.copy t.counts
+
+  let percentile t q =
+    if not (Float.is_finite q && q >= 0.0 && q <= 1.0) then
+      invalid_arg "Metrics.Histogram.percentile: q must be in [0,1]";
+    if t.n = 0 then nan
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+        if r < 1 then 1 else if r > t.n then t.n else r
+      in
+      let nb = Array.length t.bnds in
+      let rec walk i cum =
+        let cum = cum + t.counts.(i) in
+        if cum >= rank || i = nb then i else walk (i + 1) cum
+      in
+      let b = walk 0 0 in
+      let upper = if b < nb then t.bnds.(b) else t.mx in
+      Float.min upper t.mx
+    end
+
+  let p50 t = percentile t 0.5
+
+  let p95 t = percentile t 0.95
+
+  let p99 t = percentile t 0.99
+
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.n <- 0;
+    t.s <- 0.0;
+    t.mx <- neg_infinity
+end
+
+type instrument =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type registry = { tbl : (string, string option * instrument) Hashtbl.t }
+
+let create_registry () = { tbl = Hashtbl.create 64 }
+
+let default = create_registry ()
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let register reg ?help name make_new match_kind =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (_, inst) -> (
+    match match_kind inst with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered as a different kind"
+           name))
+  | None ->
+    let x, inst = make_new () in
+    Hashtbl.replace reg.tbl name (help, inst);
+    x
+
+let counter ?help reg name =
+  register reg ?help name
+    (fun () ->
+      let c = { Counter.c = 0.0 } in
+      (c, C c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let gauge ?help reg name =
+  register reg ?help name
+    (fun () ->
+      let g = { Gauge.g = 0.0 } in
+      (g, G g))
+    (function G g -> Some g | C _ | H _ -> None)
+
+let histogram ?help ?(lo = 1e-6) ?(growth = 1.189207115002721)
+    ?(buckets = 160) reg name =
+  register reg ?help name
+    (fun () ->
+      let h = Histogram.make ~lo ~growth ~buckets in
+      (h, H h))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let reset reg =
+  Hashtbl.iter
+    (fun _ (_, inst) ->
+      match inst with
+      | C c -> c.Counter.c <- 0.0
+      | G g -> g.Gauge.g <- 0.0
+      | H h -> Histogram.reset h)
+    reg.tbl
+
+let sorted reg =
+  Hashtbl.fold (fun name (help, inst) acc -> (name, help, inst) :: acc) reg.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let histograms reg =
+  List.filter_map
+    (fun (name, _, inst) ->
+      match inst with H h -> Some (name, h) | C _ | G _ -> None)
+    (sorted reg)
+
+let counters reg =
+  List.filter_map
+    (fun (name, _, inst) ->
+      match inst with C c -> Some (name, c) | G _ | H _ -> None)
+    (sorted reg)
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+let fmt_num v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus reg =
+  let buf = Buffer.create 1024 in
+  let meta name help kind =
+    (match help with
+    | Some h ->
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name
+           (String.map (function '\n' -> ' ' | c -> c) h))
+    | None -> ());
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, help, inst) ->
+      match inst with
+      | C c ->
+        meta name help "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" name (fmt_num (Counter.value c)))
+      | G g ->
+        meta name help "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" name (fmt_num (Gauge.value g)))
+      | H h ->
+        meta name help "histogram";
+        let bnds = h.Histogram.bnds and counts = h.Histogram.counts in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i b ->
+            if counts.(i) > 0 then begin
+              cum := !cum + counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt_num b)
+                   !cum)
+            end)
+          bnds;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name
+             (Histogram.count h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" name (fmt_num (Histogram.sum h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
+    (sorted reg);
+  Buffer.contents buf
+
+(* --- JSON snapshot ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num v =
+  if Float.is_finite v then Printf.sprintf "%.12g" v else "null"
+
+let to_json reg =
+  let items = sorted reg in
+  let buf = Buffer.create 1024 in
+  let section label filter =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":{" label);
+    let first = ref true in
+    List.iter
+      (fun (name, _, inst) ->
+        match filter inst with
+        | None -> ()
+        | Some body ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":%s" (json_escape name) body))
+      items;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_char buf '{';
+  section "counters" (function
+    | C c -> Some (json_num (Counter.value c))
+    | G _ | H _ -> None);
+  Buffer.add_char buf ',';
+  section "gauges" (function
+    | G g -> Some (json_num (Gauge.value g))
+    | C _ | H _ -> None);
+  Buffer.add_char buf ',';
+  section "histograms" (function
+    | H h ->
+      Some
+        (Printf.sprintf
+           "{\"count\":%d,\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}"
+           (Histogram.count h)
+           (json_num (Histogram.sum h))
+           (json_num (Histogram.p50 h))
+           (json_num (Histogram.p95 h))
+           (json_num (Histogram.p99 h))
+           (json_num (Histogram.max_observed h)))
+    | C _ | G _ -> None);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,116 @@
+(** Counters, gauges, and log-bucketed latency histograms.
+
+    Instruments register in a {!registry} by name; registering the same
+    name twice returns the existing instrument (so module-level
+    instruments in different libraries can share a series).  All
+    instruments are always on — an increment is one unboxed float store
+    — and none of them feeds back into simulation state, so metrics can
+    stay enabled even in runs whose output is diffed byte-for-byte.
+
+    Histograms use logarithmic buckets: boundaries [lo * growth^i],
+    which give a constant {e relative} error across nine-plus decades
+    of latency.  Percentile readout returns the upper bound of the
+    bucket holding the requested rank, clamped to the observed range —
+    an estimate never below the true value by more than one bucket
+    width.
+
+    Export: Prometheus text exposition ({!to_prometheus}) and a JSON
+    snapshot ({!to_json}) for bench artifacts. *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+
+  val add : t -> float -> unit
+  (** Negative increments are rejected with [Invalid_argument]. *)
+
+  val value : t -> float
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Non-finite observations are counted but land in the overflow
+      bucket (negative: underflow). *)
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val max_observed : t -> float
+  (** [neg_infinity] before the first observation. *)
+
+  val bounds : t -> float array
+  (** The bucket upper bounds, ascending; bucket [i] covers
+      [\[bounds.(i-1), bounds.(i))] with bucket 0 covering everything
+      below [bounds.(0)]. *)
+
+  val bucket_counts : t -> int array
+  (** Per-bucket (non-cumulative) counts, one per bound, plus a final
+      overflow bucket: length is [Array.length (bounds t) + 1]. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h q] with [q] in [\[0,1\]]; [nan] when empty. *)
+
+  val p50 : t -> float
+
+  val p95 : t -> float
+
+  val p99 : t -> float
+end
+
+type registry
+
+val create_registry : unit -> registry
+
+val default : registry
+(** The process-wide registry every built-in instrument lives in. *)
+
+val reset : registry -> unit
+(** Zero every instrument (registrations survive); for tests and for
+    isolating one run's readings from the previous run's. *)
+
+val counter : ?help:string -> registry -> string -> Counter.t
+
+val gauge : ?help:string -> registry -> string -> Gauge.t
+
+val histogram :
+  ?help:string ->
+  ?lo:float ->
+  ?growth:float ->
+  ?buckets:int ->
+  registry ->
+  string ->
+  Histogram.t
+(** Defaults: [lo = 1e-6] (1µs expressed in seconds), [growth =
+    2^(1/4)] (≤ 19% relative error), [buckets = 160] (covers to ~10^6
+    s).  Requires [lo > 0], [growth > 1], [buckets >= 1].  Re-registering
+    an existing histogram ignores the bucket parameters. *)
+
+val histograms : registry -> (string * Histogram.t) list
+(** All registered histograms, sorted by name. *)
+
+val counters : registry -> (string * Counter.t) list
+(** All registered counters, sorted by name. *)
+
+val to_prometheus : registry -> string
+(** Prometheus text exposition.  Histogram bucket lines are emitted
+    only where the cumulative count changes (plus ["+Inf"]), keeping
+    160-bucket series readable. *)
+
+val to_json : registry -> string
+(** [{"counters":{..},"gauges":{..},"histograms":{name:
+    {"count","sum","p50","p95","p99","max"}}}] — the perf-baseline
+    artifact shape the bench harness records. *)

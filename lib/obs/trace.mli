@@ -1,0 +1,113 @@
+(** Hierarchical tracing with pluggable sinks.
+
+    A span is an interval of work ("epoch 4's auction") with a name,
+    monotonic start/end timestamps, key/value attributes, and point
+    events ("link 17 went down at t").  Spans nest: a span opened while
+    another is open becomes its child, and the exporter preserves that
+    hierarchy.  Span ids are deterministic — a counter reset when a
+    sink is installed — so two traces of the same run are comparable.
+
+    Tracing is disabled unless a sink is installed.  The disabled path
+    is guaranteed allocation-free: {!span} returns the immediate
+    {!null_span}, and {!finish}/{!add_attr}/{!event} return after one
+    branch.  Instrumentation can therefore live permanently in hot
+    loops; guard only the construction of attribute lists with
+    {!enabled}.
+
+    Three sinks ship with the module: disabled-by-default null
+    behaviour (no sink), an in-memory {!Ring} buffer for tests and
+    always-on flight recording, and a {!Chrome} trace-event JSON
+    exporter whose files load in [chrome://tracing] and Perfetto. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_ts_us : float;
+  ev_attrs : (string * value) list;
+}
+
+type record = {
+  id : int;  (** deterministic: nth span opened since sink install *)
+  parent : int;  (** 0 for roots *)
+  depth : int;  (** 0 for roots *)
+  name : string;
+  start_us : float;
+  end_us : float;
+  attrs : (string * value) list;  (** in [add_attr] order *)
+  events : event list;  (** in time order *)
+}
+
+type sink = {
+  emit : record -> unit;  (** called once per span, as it finishes *)
+  flush : unit -> unit;  (** called when the sink is uninstalled *)
+}
+
+val set_sink : sink option -> unit
+(** Install or remove the sink.  Installing resets span ids and the
+    clock origin; removing (or replacing) force-finishes any spans
+    still open — a crash-interrupted trace keeps its partial epoch —
+    and then calls the outgoing sink's [flush]. *)
+
+val enabled : unit -> bool
+
+type span
+
+val null_span : span
+(** What {!span} returns while disabled; all operations on it are
+    no-ops. *)
+
+val span : string -> span
+(** Open a span as a child of the innermost open span. *)
+
+val finish : span -> unit
+(** Close the span (and, defensively, any child left open inside it).
+    Closing {!null_span} or an already-closed span is a no-op. *)
+
+val add_attr : span -> string -> value -> unit
+(** Attach an attribute to a still-open span. *)
+
+val event : ?attrs:(string * value) list -> string -> unit
+(** Record a point event on the innermost open span.  Dropped when no
+    span is open. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span, finishing it even if
+    [f] raises.  Convenience for non-hot call sites; hot paths use
+    {!span}/{!finish} directly to avoid the closure. *)
+
+val open_spans : unit -> int
+(** Number of currently open spans (0 when disabled); for tests. *)
+
+(** Bounded in-memory sink: keeps the most recent [capacity] finished
+    spans, oldest first. *)
+module Ring : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 4096. *)
+
+  val sink : t -> sink
+
+  val records : t -> record list
+  (** Retained spans, oldest first. *)
+
+  val dropped : t -> int
+  (** Spans evicted since creation. *)
+end
+
+(** Chrome trace-event JSON exporter ([chrome://tracing], Perfetto).
+    Spans become complete ("X") events, span events become instant
+    ("i") events, ordered by timestamp with parents before children. *)
+module Chrome : sig
+  type t
+
+  val create : unit -> t
+
+  val sink : t -> sink
+
+  val to_json : t -> string
+
+  val write : t -> string -> unit
+  (** [write t path] writes {!to_json} to [path]. *)
+end

@@ -284,10 +284,23 @@ let complete_payload incidents =
 
 (* --- writer ------------------------------------------------------------- *)
 
+module Metrics = Poc_obs.Metrics
+
+let m_bytes =
+  Metrics.counter ~help:"Bytes appended to run journals" Metrics.default
+    "poc_journal_bytes_total"
+
+let m_flushes =
+  Metrics.counter ~help:"Journal record flushes" Metrics.default
+    "poc_journal_flushes_total"
+
 type t = { oc : out_channel }
 
 let write_frame t payload =
-  output_string t.oc (Codec.frame payload);
+  let framed = Codec.frame payload in
+  Metrics.Counter.add m_bytes (float_of_int (String.length framed));
+  Metrics.Counter.inc m_flushes;
+  output_string t.oc framed;
   flush t.oc
 
 let create path header =
@@ -320,6 +333,8 @@ let append_torn t ~epoch =
   let partial = Codec.contents w in
   Codec.put_string w "unsettled epoch lost to the crash";
   let framed = Codec.frame (Codec.contents w) in
+  Metrics.Counter.add m_bytes (float_of_int (8 + String.length partial));
+  Metrics.Counter.inc m_flushes;
   output_string t.oc (String.sub framed 0 (8 + String.length partial));
   flush t.oc
 

@@ -7,6 +7,52 @@ module Planner = Poc_core.Planner
 module Settlement = Poc_core.Settlement
 module Epochs = Poc_market.Epochs
 module Wan = Poc_topology.Wan
+module Trace = Poc_obs.Trace
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+
+(* Phase histograms share names with the plain market loop where the
+   phases coincide (drift, auction, whole epoch); routing, settlement
+   and journal appends exist only here. *)
+let h_epoch =
+  Metrics.histogram ~help:"Whole-epoch wall clock (seconds)" Metrics.default
+    "poc_epoch_seconds"
+
+let h_drift =
+  Metrics.histogram ~help:"Market drift + bid construction phase (seconds)"
+    Metrics.default "poc_phase_drift_seconds"
+
+let h_auction =
+  Metrics.histogram ~help:"Auction phase wall clock (seconds)" Metrics.default
+    "poc_phase_auction_seconds"
+
+let h_routing =
+  Metrics.histogram ~help:"Delivered-fraction routing phase (seconds)"
+    Metrics.default "poc_phase_routing_seconds"
+
+let h_settlement =
+  Metrics.histogram ~help:"Settlement + invariant checks phase (seconds)"
+    Metrics.default "poc_phase_settlement_seconds"
+
+let h_journal =
+  Metrics.histogram ~help:"Journal append + flush phase (seconds)"
+    Metrics.default "poc_phase_journal_seconds"
+
+let m_epochs =
+  Metrics.counter ~help:"Supervised epochs completed" Metrics.default
+    "poc_supervisor_epochs_total"
+
+let m_ladder =
+  Metrics.counter ~help:"Epochs that left Healthy (ladder, carry, blackout)"
+    Metrics.default "poc_ladder_engagements_total"
+
+let m_violations =
+  Metrics.counter ~help:"Cross-layer invariant violations" Metrics.default
+    "poc_invariant_violations_total"
+
+let m_crashes =
+  Metrics.counter ~help:"Injected process crashes honored" Metrics.default
+    "poc_injected_crashes_total"
 
 type status = Journal.status =
   | Healthy
@@ -248,14 +294,25 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
   let violations = ref (List.rev prefix_violations) in
   let final_plan = ref None in
   let crash epoch phase =
+    Metrics.Counter.inc m_crashes;
+    if Trace.enabled () then
+      Trace.event "crash_injected"
+        ~attrs:[ ("phase", Trace.Str (Fault.phase_to_string phase)) ];
     (match journal with Some t -> Journal.close t | None -> ());
     raise (Injected_crash { epoch; phase })
   in
   for epoch = first_epoch to market.Epochs.epochs do
+    let ep_sp = Trace.span "epoch" in
+    if Trace.enabled () then Trace.add_attr ep_sp "epoch" (Trace.Int epoch);
+    let ep_t0 = Clock.now_us () in
     (* Scheduled faults take effect before the epoch's auction. *)
     let events = Fault.at schedule epoch in
     List.iter
-      (function
+      (fun ev ->
+        if Trace.enabled () then
+          Trace.event "fault"
+            ~attrs:[ ("event", Trace.Str (Fault.event_to_string ev)) ];
+        match ev with
         | Fault.Link_down id -> Hashtbl.replace st.down id ()
         | Fault.Link_up id -> Hashtbl.remove st.down id
         | Fault.Bp_exit bp ->
@@ -270,6 +327,8 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
       events;
     let crash_phase = if honor_crashes then first_crash events else None in
     if crash_phase = Some Fault.Pre_auction then crash epoch Fault.Pre_auction;
+    let drift_sp = Trace.span "drift" in
+    let drift_t0 = Clock.now_us () in
     (* Market drift: the same draws, in the same order, as Epochs.run,
        so a fault-free supervised run replays the plain market. *)
     for bp = 0 to n_bps - 1 do
@@ -319,6 +378,11 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     let select ?banned:(extra = fun _ -> false) p =
       Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
     in
+    Metrics.Histogram.observe h_drift
+      ((Clock.now_us () -. drift_t0) *. 1e-6);
+    Trace.finish drift_sp;
+    let auction_sp = Trace.span "auction" in
+    let auction_t0 = Clock.now_us () in
     (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
     let status, outcome_opt, ladder_attempts =
       match Vcg.run ~select problem with
@@ -340,6 +404,30 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
             | Some outcome -> (Carried, Some outcome, rung_budget)
             | None -> (Blackout, None, rung_budget))))
     in
+    (match status with
+    | Healthy -> ()
+    | Degraded step ->
+      Metrics.Counter.inc m_ladder;
+      if Trace.enabled () then
+        Trace.event "ladder_engaged"
+          ~attrs:
+            [
+              ("step", Trace.Str (Ladder.step_to_string step));
+              ("attempts", Trace.Int ladder_attempts);
+            ]
+    | Carried ->
+      Metrics.Counter.inc m_ladder;
+      if Trace.enabled () then
+        Trace.event "carry_forward"
+          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ]
+    | Blackout ->
+      Metrics.Counter.inc m_ladder;
+      if Trace.enabled () then
+        Trace.event "blackout"
+          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ]);
+    Metrics.Histogram.observe h_auction
+      ((Clock.now_us () -. auction_t0) *. 1e-6);
+    Trace.finish auction_sp;
     (if crash_phase = Some Fault.Pre_settle then (
        (* The auction decided but nothing settled: what hits the disk
           is a record cut off mid-write. *)
@@ -353,6 +441,8 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     | Degraded _ | Carried | Blackout -> ());
     (* Delivered fraction: route the full (unrelaxed) demand over the
        surviving selected links. *)
+    let routing_sp = Trace.span "routing" in
+    let routing_t0 = Clock.now_us () in
     let routing_opt, delivered =
       match outcome_opt with
       | None -> (None, 0.0)
@@ -368,6 +458,11 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
         in
         (Some r, if total <= 0.0 then 1.0 else Router.total_routed r /. total)
     in
+    Metrics.Histogram.observe h_routing
+      ((Clock.now_us () -. routing_t0) *. 1e-6);
+    if Trace.enabled () then
+      Trace.add_attr routing_sp "delivered_fraction" (Trace.Float delivered);
+    Trace.finish routing_sp;
     let spend =
       match outcome_opt with Some o -> o.Vcg.total_payment | None -> 0.0
     in
@@ -377,8 +472,15 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
       | Some _ | None -> 0.0
     in
     (* Cross-layer invariants, checked every epoch. *)
+    let settle_sp = Trace.span "settlement" in
+    let settle_t0 = Clock.now_us () in
     let epoch_violations = ref [] in
     let violate invariant detail =
+      Metrics.Counter.inc m_violations;
+      if Trace.enabled () then
+        Trace.event "violation"
+          ~attrs:
+            [ ("invariant", Trace.Str invariant); ("detail", Trace.Str detail) ];
       epoch_violations := { epoch; invariant; detail } :: !epoch_violations
     in
     let conservation, posted =
@@ -406,6 +508,9 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     | Some _ | None -> ());
     let epoch_violations = List.rev !epoch_violations in
     List.iter (fun v -> violations := v :: !violations) epoch_violations;
+    Metrics.Histogram.observe h_settlement
+      ((Clock.now_us () -. settle_t0) *. 1e-6);
+    Trace.finish settle_sp;
     let er =
       {
         epoch;
@@ -427,6 +532,8 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     reports := er :: !reports;
     (match journal with
     | Some t ->
+      let journal_sp = Trace.span "journal" in
+      let journal_t0 = Clock.now_us () in
       Journal.append_epoch t
         {
           Journal.report = er;
@@ -438,9 +545,19 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
           violations = epoch_violations;
         };
       if epoch mod snapshot_every = 0 && epoch < market.Epochs.epochs then
-        Journal.append_snapshot t (snapshot_of_state ~epoch st)
+        Journal.append_snapshot t (snapshot_of_state ~epoch st);
+      Metrics.Histogram.observe h_journal
+        ((Clock.now_us () -. journal_t0) *. 1e-6);
+      Trace.finish journal_sp
     | None -> ());
-    if crash_phase = Some Fault.Post_settle then crash epoch Fault.Post_settle
+    if Trace.enabled () then begin
+      Trace.add_attr ep_sp "status" (Trace.Str (status_to_string status));
+      Trace.add_attr ep_sp "spend" (Trace.Float spend)
+    end;
+    Metrics.Counter.inc m_epochs;
+    Metrics.Histogram.observe h_epoch ((Clock.now_us () -. ep_t0) *. 1e-6);
+    if crash_phase = Some Fault.Post_settle then crash epoch Fault.Post_settle;
+    Trace.finish ep_sp
   done;
   let epochs = List.rev !reports in
   let incidents = incidents_of ~schedule epochs in

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Observability smoke check: a traced market run and a traced chaos run
+# must produce loadable Chrome trace-event JSON (spans for every epoch
+# phase, fault events in the chaos trace) and a parseable Prometheus
+# text exposition, and tracing must not change what the run computes.
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build bin/poc_cli.exe
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+cli=_build/default/bin/poc_cli.exe
+
+"$cli" market --epochs 3 --sites 8 --bps 3 \
+  --trace "$workdir/market.json" --metrics "$workdir/market.prom" \
+  > "$workdir/market.txt"
+"$cli" chaos --epochs 8 --sites 8 --bps 3 \
+  --trace "$workdir/chaos.json" --metrics "$workdir/chaos.prom" \
+  > "$workdir/chaos.txt"
+
+# The traces are valid JSON in the trace-event envelope, the chaos one
+# covering every supervised phase and carrying the injected faults.
+python3 - "$workdir/market.json" "$workdir/chaos.json" <<'EOF'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms", path
+    assert events, f"{path}: empty trace"
+    names = {e["name"] for e in events}
+    for e in events:
+        assert e["ph"] in ("X", "i"), f"{path}: unexpected phase {e['ph']}"
+        assert e["ts"] >= 0, f"{path}: negative timestamp"
+    assert "epoch" in names and "auction" in names, f"{path}: {names}"
+
+with open(sys.argv[2]) as f:
+    chaos = json.load(f)["traceEvents"]
+chaos_names = {e["name"] for e in chaos}
+for phase in ("drift", "routing", "settlement"):
+    assert phase in chaos_names, f"chaos trace missing {phase} span"
+assert "fault" in chaos_names, "chaos trace missing injected-fault events"
+print("ok: traces are valid Chrome trace-event JSON")
+EOF
+
+# The Prometheus files expose the per-phase histograms and counters.
+for prom in "$workdir/market.prom" "$workdir/chaos.prom"; do
+  for needle in \
+    "# TYPE poc_epoch_seconds histogram" \
+    "poc_epoch_seconds_count" \
+    "poc_phase_auction_seconds_sum" \
+    "# TYPE poc_vcg_auctions_total counter"; do
+    if ! grep -q "^$needle" "$prom"; then
+      echo "FAIL: $prom lacks '$needle'" >&2
+      exit 1
+    fi
+  done
+done
+echo "ok: Prometheus expositions well-formed"
+
+# Tracing must be observation-only: the same runs without --trace
+# print byte-identical results (everything above the per-phase table,
+# whose wall-clock numbers legitimately vary run to run).
+"$cli" market --epochs 3 --sites 8 --bps 3 > "$workdir/market-plain.txt"
+"$cli" chaos --epochs 8 --sites 8 --bps 3 > "$workdir/chaos-plain.txt"
+for pair in market chaos; do
+  for f in "$workdir/$pair.txt" "$workdir/$pair-plain.txt"; do
+    awk '/per-phase wall clock:/{exit} {print}' "$f" > "$f.head"
+  done
+  diff -u "$workdir/$pair-plain.txt.head" "$workdir/$pair.txt.head"
+done
+echo "ok: traced runs compute identical results to untraced runs"
+
+echo "trace smoke: all checks passed"

@@ -14,4 +14,5 @@ let () =
       ("market", Test_market.suite);
       ("federation", Test_federation.suite);
       ("resilience", Test_resilience.suite);
+      ("obs", Test_obs.suite);
     ]

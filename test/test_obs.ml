@@ -1,0 +1,642 @@
+(* Observability layer: spans, sinks, Chrome export, histograms,
+   Prometheus/JSON export, and the two guarantees instrumentation makes
+   to the rest of the repo — the disabled path allocates nothing, and
+   tracing never perturbs journaled output. *)
+
+module Trace = Poc_obs.Trace
+module Metrics = Poc_obs.Metrics
+module Log = Poc_obs.Log
+module Clock = Poc_obs.Clock
+module Planner = Poc_core.Planner
+module Epochs = Poc_market.Epochs
+module Fault = Poc_resilience.Fault
+module Supervisor = Poc_resilience.Supervisor
+
+(* --- a minimal JSON reader, enough to validate exporter output ---------- *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JArr of json list
+  | JObj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' ->
+          Buffer.add_char buf '"';
+          advance ();
+          go ()
+        | Some '\\' ->
+          Buffer.add_char buf '\\';
+          advance ();
+          go ()
+        | Some '/' ->
+          Buffer.add_char buf '/';
+          advance ();
+          go ()
+        | Some 'n' ->
+          Buffer.add_char buf '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char buf '\t';
+          advance ();
+          go ()
+        | Some 'r' ->
+          Buffer.add_char buf '\r';
+          advance ();
+          go ()
+        | Some 'b' ->
+          Buffer.add_char buf '\b';
+          advance ();
+          go ()
+        | Some 'f' ->
+          Buffer.add_char buf '\012';
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail "bad \\u escape"
+          in
+          (* Test traces are ASCII; encode the BMP code point naively. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> JStr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        JObj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        JObj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        JArr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        JArr (elements [])
+      end
+    | Some 't' -> literal "true" (JBool true)
+    | Some 'f' -> literal "false" (JBool false)
+    | Some 'n' -> literal "null" JNull
+    | Some _ -> JNum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | JObj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let num_field name j =
+  match obj_field name j with
+  | Some (JNum f) -> f
+  | _ -> Alcotest.failf "missing numeric field %S" name
+
+let str_field name j =
+  match obj_field name j with
+  | Some (JStr s) -> s
+  | _ -> Alcotest.failf "missing string field %S" name
+
+(* --- clock and log ------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_us ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_us () in
+    if t < !prev then Alcotest.fail "clock went backwards";
+    prev := t
+  done
+
+let test_log_levels_and_laziness () =
+  let calls = ref 0 in
+  let msg () =
+    incr calls;
+    "boom"
+  in
+  Log.set_level None;
+  Log.error msg;
+  Log.debug msg;
+  Alcotest.(check int) "silent by default" 0 !calls;
+  Log.set_level (Some Log.Warn);
+  Alcotest.(check bool) "warn on" true (Log.enabled Log.Warn);
+  Alcotest.(check bool) "info off" false (Log.enabled Log.Info);
+  Log.info msg;
+  Alcotest.(check int) "below-level closure never runs" 0 !calls;
+  Log.set_level None;
+  Alcotest.(check (option string))
+    "round-trips names" (Some "debug")
+    (Option.map Log.level_to_string (Log.level_of_string "debug"))
+
+(* --- spans and sinks ----------------------------------------------------- *)
+
+let with_ring f =
+  let ring = Trace.Ring.create () in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) (fun () -> f ring)
+
+let test_span_nesting_and_determinism () =
+  let shape () =
+    with_ring (fun ring ->
+        let root = Trace.span "root" in
+        Trace.add_attr root "k" (Trace.Int 7);
+        let child = Trace.span "child" in
+        Trace.event ~attrs:[ ("x", Trace.Bool true) ] "ping";
+        Trace.finish child;
+        let child2 = Trace.span "child2" in
+        Trace.finish child2;
+        Trace.finish root;
+        List.map
+          (fun (r : Trace.record) ->
+            Printf.sprintf "%d<-%d@%d:%s" r.Trace.id r.Trace.parent
+              r.Trace.depth r.Trace.name)
+          (Trace.Ring.records ring))
+  in
+  let first = shape () in
+  (* Finish order: children before the root. *)
+  Alcotest.(check (list string))
+    "ids, parents and depths"
+    [ "2<-1@1:child"; "3<-1@1:child2"; "1<-0@0:root" ]
+    first;
+  Alcotest.(check (list string))
+    "span ids are deterministic across sink installs" first (shape ())
+
+let test_unfinished_spans_flushed_on_uninstall () =
+  let ring = Trace.Ring.create () in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  let _root = Trace.span "interrupted" in
+  let _child = Trace.span "inner" in
+  Alcotest.(check int) "two open spans" 2 (Trace.open_spans ());
+  Trace.set_sink None;
+  Alcotest.(check int) "none open after uninstall" 0 (Trace.open_spans ());
+  let names =
+    List.map (fun (r : Trace.record) -> r.Trace.name) (Trace.Ring.records ring)
+  in
+  Alcotest.(check (list string))
+    "partial spans still exported" [ "inner"; "interrupted" ] names
+
+let test_ring_eviction () =
+  let ring = Trace.Ring.create ~capacity:3 () in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  for i = 1 to 5 do
+    Trace.finish (Trace.span (Printf.sprintf "s%d" i))
+  done;
+  Trace.set_sink None;
+  Alcotest.(check (list string))
+    "keeps the most recent, oldest first" [ "s3"; "s4"; "s5" ]
+    (List.map (fun (r : Trace.record) -> r.Trace.name) (Trace.Ring.records ring));
+  Alcotest.(check int) "eviction count" 2 (Trace.Ring.dropped ring)
+
+let test_disabled_path_allocates_nothing () =
+  Trace.set_sink None;
+  let attr = Trace.Int 1 in
+  (* warm up so any one-time allocation is outside the window *)
+  let s0 = Trace.span "warm" in
+  Trace.add_attr s0 "k" attr;
+  Trace.event "warm";
+  Trace.finish s0;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let s = Trace.span "hot" in
+    Trace.add_attr s "k" attr;
+    Trace.event "tick";
+    Trace.finish s
+  done;
+  let delta = Gc.minor_words () -. before in
+  (* 10k iterations; even one word per iteration would show as 10_000. *)
+  if delta > 256.0 then
+    Alcotest.failf "disabled tracing allocated %.0f minor words" delta
+
+(* --- Chrome exporter ----------------------------------------------------- *)
+
+let chrome_trace_of f =
+  let chrome = Trace.Chrome.create () in
+  Trace.set_sink (Some (Trace.Chrome.sink chrome));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) f;
+  Trace.Chrome.to_json chrome
+
+let test_chrome_export_is_valid_json () =
+  let json_text =
+    chrome_trace_of (fun () ->
+        let root = Trace.span "epoch" in
+        Trace.add_attr root "epoch" (Trace.Int 0);
+        Trace.add_attr root "note" (Trace.Str "quote \" slash \\ tab \t");
+        Trace.add_attr root "nan" (Trace.Float Float.nan);
+        let child = Trace.span "auction" in
+        Trace.event ~attrs:[ ("reason", Trace.Str "test") ] "fault";
+        Trace.finish child;
+        Trace.finish root)
+  in
+  let doc = parse_json json_text in
+  Alcotest.(check (option string))
+    "display unit" (Some "ms")
+    (match obj_field "displayTimeUnit" doc with
+    | Some (JStr s) -> Some s
+    | _ -> None);
+  let events =
+    match obj_field "traceEvents" doc with
+    | Some (JArr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let complete =
+    List.filter (fun e -> str_field "ph" e = "X") events
+  in
+  let instants = List.filter (fun e -> str_field "ph" e = "i") events in
+  Alcotest.(check int) "two complete spans" 2 (List.length complete);
+  Alcotest.(check int) "one instant event" 1 (List.length instants);
+  List.iter
+    (fun e ->
+      ignore (num_field "ts" e);
+      ignore (num_field "dur" e);
+      Alcotest.(check (float 0.0)) "pid" 1.0 (num_field "pid" e);
+      Alcotest.(check (float 0.0)) "tid" 1.0 (num_field "tid" e))
+    complete;
+  let instant = List.hd instants in
+  Alcotest.(check string) "instant name" "fault" (str_field "name" instant);
+  Alcotest.(check string) "instant scope" "t" (str_field "s" instant);
+  (match obj_field "args" instant with
+  | Some args ->
+    Alcotest.(check string) "event attr" "test" (str_field "reason" args)
+  | None -> Alcotest.fail "instant args missing")
+
+let test_chrome_span_ordering () =
+  let json_text =
+    chrome_trace_of (fun () ->
+        let a = Trace.span "a" in
+        let b = Trace.span "b" in
+        Trace.finish b;
+        let c = Trace.span "c" in
+        let d = Trace.span "d" in
+        Trace.finish d;
+        Trace.finish c;
+        Trace.finish a)
+  in
+  let events =
+    match obj_field "traceEvents" (parse_json json_text) with
+    | Some (JArr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let complete = List.filter (fun e -> str_field "ph" e = "X") events in
+  (* Timestamps never decrease along the file ... *)
+  let ts = List.map (num_field "ts") complete in
+  Alcotest.(check bool) "timestamps ascend" true
+    (List.for_all2 (fun a b -> a <= b) ts (List.tl ts @ [ infinity ]));
+  (* ... and every child's parent appears earlier in the array, which
+     is what keeps the viewer's nesting intact. *)
+  let id_of e =
+    match obj_field "args" e with
+    | Some args -> int_of_float (num_field "span_id" args)
+    | None -> Alcotest.fail "span args missing"
+  in
+  let parent_of e =
+    match obj_field "args" e with
+    | Some args -> int_of_float (num_field "parent_id" args)
+    | None -> Alcotest.fail "span args missing"
+  in
+  List.iteri
+    (fun i e ->
+      let p = parent_of e in
+      if p <> 0 then begin
+        let seen = List.filteri (fun j _ -> j < i) complete in
+        if not (List.exists (fun e' -> id_of e' = p) seen) then
+          Alcotest.failf "span %d appears before its parent %d" (id_of e) p
+      end)
+    complete
+
+(* --- histograms ---------------------------------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram ~lo:1e-6 ~growth:2.0 ~buckets:30 reg "h" in
+  let bounds = Metrics.Histogram.bounds h in
+  Alcotest.(check int) "bucket count" 30 (Array.length bounds);
+  Array.iteri
+    (fun i b ->
+      let expect = 1e-6 *. (2.0 ** float_of_int i) in
+      if Float.abs (b -. expect) > 1e-15 *. expect then
+        Alcotest.failf "bound %d: %.17g <> %.17g" i b expect)
+    bounds;
+  (* A value lands in the first bucket whose bound exceeds it. *)
+  Metrics.Histogram.observe h 1.5e-6;
+  (* between 2^0 and 2^1 *)
+  Metrics.Histogram.observe h 0.5e-6;
+  (* below the first bound *)
+  Metrics.Histogram.observe h 1e9;
+  (* beyond the last bound: overflow *)
+  let counts = Metrics.Histogram.bucket_counts h in
+  Alcotest.(check int) "counts include overflow slot" 31 (Array.length counts);
+  Alcotest.(check int) "underflow in bucket 0" 1 counts.(0);
+  Alcotest.(check int) "1.5us in bucket 1" 1 counts.(1);
+  Alcotest.(check int) "giant value in overflow" 1 counts.(30)
+
+let test_histogram_percentiles_known_inputs () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram ~lo:1e-6 ~growth:2.0 ~buckets:40 reg "lat" in
+  for _ = 1 to 50 do
+    Metrics.Histogram.observe h 0.001
+  done;
+  for _ = 1 to 45 do
+    Metrics.Histogram.observe h 0.01
+  done;
+  for _ = 1 to 5 do
+    Metrics.Histogram.observe h 0.1
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1.0 (Metrics.Histogram.sum h);
+  (* 0.001 lands under bound 2^10us = 1024us; 0.01 under 2^14us =
+     16384us; 0.1 under 2^17us but clamped to the observed max. *)
+  Alcotest.(check (float 1e-12)) "p50" 1.024e-3 (Metrics.Histogram.p50 h);
+  Alcotest.(check (float 1e-12)) "p95" 1.6384e-2 (Metrics.Histogram.p95 h);
+  Alcotest.(check (float 1e-12)) "p99 clamps to max" 0.1
+    (Metrics.Histogram.p99 h);
+  Alcotest.(check (float 1e-12)) "max" 0.1 (Metrics.Histogram.max_observed h);
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan
+       (Metrics.Histogram.p50 (Metrics.histogram ~lo:1e-6 reg "empty")))
+
+let test_registry_idempotent_and_typed () =
+  let reg = Metrics.create_registry () in
+  let c1 = Metrics.counter reg "requests_total" in
+  let c2 = Metrics.counter reg "requests_total" in
+  Metrics.Counter.inc c1;
+  Alcotest.(check (float 0.0)) "same instrument" 1.0 (Metrics.Counter.value c2);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       "Metrics: \"requests_total\" already registered as a different kind")
+    (fun () -> ignore (Metrics.gauge reg "requests_total"));
+  Alcotest.check_raises "bad name rejected"
+    (Invalid_argument "Metrics: invalid metric name \"no spaces\"") (fun () ->
+      ignore (Metrics.counter reg "no spaces"));
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.Counter.add: negative or NaN increment")
+    (fun () -> Metrics.Counter.add c1 (-1.0))
+
+let test_prometheus_exposition () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter ~help:"how many" reg "poc_widgets_total" in
+  Metrics.Counter.add c 3.0;
+  let g = Metrics.gauge reg "poc_temperature" in
+  Metrics.Gauge.set g 21.5;
+  let h = Metrics.histogram ~lo:1e-3 ~growth:10.0 ~buckets:4 reg "poc_lat" in
+  Metrics.Histogram.observe h 0.002;
+  Metrics.Histogram.observe h 0.002;
+  Metrics.Histogram.observe h 0.5;
+  let text = Metrics.to_prometheus reg in
+  let expect_lines =
+    [ "# HELP poc_widgets_total how many"; "# TYPE poc_widgets_total counter";
+      "poc_widgets_total 3"; "# TYPE poc_temperature gauge";
+      "poc_temperature 21.5"; "# TYPE poc_lat histogram";
+      "poc_lat_bucket{le=\"0.01\"} 2"; "poc_lat_bucket{le=\"1\"} 3";
+      "poc_lat_bucket{le=\"+Inf\"} 3"; "poc_lat_sum 0.504"; "poc_lat_count 3"
+    ]
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun want ->
+      if not (List.mem want lines) then
+        Alcotest.failf "missing exposition line %S in:\n%s" want text)
+    expect_lines
+
+let test_metrics_json_snapshot () =
+  let reg = Metrics.create_registry () in
+  Metrics.Counter.add (Metrics.counter reg "jobs_total") 4.0;
+  Metrics.Gauge.set (Metrics.gauge reg "depth") 2.0;
+  let h = Metrics.histogram ~lo:1e-6 ~growth:2.0 reg "t" in
+  Metrics.Histogram.observe h 0.001;
+  let doc = parse_json (Metrics.to_json reg) in
+  (match obj_field "counters" doc with
+  | Some counters ->
+    Alcotest.(check (float 0.0)) "counter value" 4.0 (num_field "jobs_total" counters)
+  | None -> Alcotest.fail "counters section missing");
+  match obj_field "histograms" doc with
+  | Some (JObj [ ("t", hist) ]) ->
+    Alcotest.(check (float 0.0)) "count" 1.0 (num_field "count" hist);
+    (* one observation: the bucket bound clamps to the observed max *)
+    Alcotest.(check (float 1e-12)) "p50" 1e-3 (num_field "p50" hist)
+  | _ -> Alcotest.fail "histograms section malformed"
+
+(* --- end-to-end: instrumented supervised run ----------------------------- *)
+
+let plan () = Lazy.force Fixtures.small_plan
+
+let chaos_schedule (plan : Planner.plan) =
+  let wan = plan.Planner.wan in
+  let biggest =
+    match Poc_topology.Wan.bps_by_size wan with b :: _ -> b | [] -> 0
+  in
+  let n_bps = Array.length wan.Poc_topology.Wan.bps in
+  let specs =
+    [
+      Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest };
+      Fault.Link_failure { at_epoch = 3; count = 2; duration = 2 };
+    ]
+    @ List.init n_bps (fun bp ->
+          Fault.Capacity_recall { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
+  in
+  match Fault.compile wan ~seed:2020 specs with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "chaos schedule failed to compile: %s" msg
+
+let market = { Epochs.default_config with Epochs.epochs = 8; seed = 7 }
+
+let test_supervised_run_trace_coverage () =
+  let plan = plan () in
+  let schedule = chaos_schedule plan in
+  let report, records =
+    with_ring (fun ring ->
+        let report = Supervisor.run plan ~market ~schedule in
+        (report, Trace.Ring.records ring))
+  in
+  let names =
+    List.sort_uniq compare
+      (List.map (fun (r : Trace.record) -> r.Trace.name) records)
+  in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase names) then
+        Alcotest.failf "no %S span in supervised trace (got: %s)" phase
+          (String.concat ", " names))
+    [ "epoch"; "drift"; "auction"; "routing"; "settlement" ];
+  let epoch_spans =
+    List.filter (fun (r : Trace.record) -> r.Trace.name = "epoch") records
+  in
+  Alcotest.(check int) "one span per epoch" market.Epochs.epochs
+    (List.length epoch_spans);
+  let all_events =
+    List.concat_map (fun (r : Trace.record) -> r.Trace.events) records
+  in
+  let ev_names =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.Trace.ev_name) all_events)
+  in
+  Alcotest.(check bool) "injected faults appear as events" true
+    (List.mem "fault" ev_names);
+  Alcotest.(check bool) "this schedule engages the ladder" true
+    (report.Supervisor.ladder_activations > 0);
+  Alcotest.(check bool) "ladder engagements appear as events" true
+    (List.mem "ladder_engaged" ev_names)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_journal_byte_identical_with_tracing () =
+  let plan = plan () in
+  let schedule = chaos_schedule plan in
+  let journal_of f =
+    let path = Filename.temp_file "poc_obs_journal" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        f path;
+        read_file path)
+  in
+  let untraced =
+    journal_of (fun path ->
+        ignore (Supervisor.run plan ~journal:path ~market ~schedule))
+  in
+  let traced =
+    journal_of (fun path ->
+        with_ring (fun _ring ->
+            ignore (Supervisor.run plan ~journal:path ~market ~schedule)))
+  in
+  Alcotest.(check bool) "journal bytes unchanged by tracing" true
+    (String.equal untraced traced);
+  Alcotest.(check bool) "journal is non-trivial" true
+    (String.length untraced > 100)
+
+let suite =
+  [
+    Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "log levels gate lazily" `Quick
+      test_log_levels_and_laziness;
+    Alcotest.test_case "span nesting and deterministic ids" `Quick
+      test_span_nesting_and_determinism;
+    Alcotest.test_case "uninstall flushes open spans" `Quick
+      test_unfinished_spans_flushed_on_uninstall;
+    Alcotest.test_case "ring buffer evicts oldest" `Quick test_ring_eviction;
+    Alcotest.test_case "disabled tracing allocates nothing" `Quick
+      test_disabled_path_allocates_nothing;
+    Alcotest.test_case "chrome export is valid JSON" `Quick
+      test_chrome_export_is_valid_json;
+    Alcotest.test_case "chrome spans are ordered parents-first" `Quick
+      test_chrome_span_ordering;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_bucket_boundaries;
+    Alcotest.test_case "histogram percentiles on known inputs" `Quick
+      test_histogram_percentiles_known_inputs;
+    Alcotest.test_case "registry is idempotent and typed" `Quick
+      test_registry_idempotent_and_typed;
+    Alcotest.test_case "prometheus exposition format" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "metrics JSON snapshot" `Quick test_metrics_json_snapshot;
+    Alcotest.test_case "supervised run trace covers every phase" `Slow
+      test_supervised_run_trace_coverage;
+    Alcotest.test_case "journal byte-identical with tracing on" `Slow
+      test_journal_byte_identical_with_tracing;
+  ]
