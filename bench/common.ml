@@ -27,6 +27,15 @@ let timed label f =
   Printf.printf "[%s: %.1fs]\n" label (Unix.gettimeofday () -. t0);
   result
 
+(* Like [timed], but also hands the elapsed seconds back to the caller
+   — for benches that report ratios (e.g. serial vs parallel). *)
+let timed_s label f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "[%s: %.1fs]\n" label dt;
+  (result, dt)
+
 let fmt = Poc_util.Table.fmt_float
 
 (* Experiments that opt in snapshot the process-wide metrics registry
@@ -39,9 +48,23 @@ module Metrics = Poc_obs.Metrics
 
 let reset_metrics () = Metrics.reset Metrics.default
 
-let write_metrics_artifact ~label =
+(* [extra] is a list of (key, raw-JSON-value) pairs spliced into the
+   top-level object — e.g. the E1 serial-vs-parallel speedup block. *)
+let write_metrics_artifact ?(extra = []) ~label () =
   let path = Printf.sprintf "BENCH_%s_metrics.json" label in
+  let json = Metrics.to_json Metrics.default in
+  let json =
+    match extra with
+    | [] -> json
+    | _ :: _ ->
+      (* to_json ends with "}\n"; splice the extras before the brace. *)
+      let body = String.sub json 0 (String.length json - 2) in
+      body
+      ^ String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v) extra)
+      ^ "}\n"
+  in
   let oc = open_out path in
-  output_string oc (Metrics.to_json Metrics.default);
+  output_string oc json;
   close_out oc;
   Printf.printf "[metrics snapshot: %s]\n" path

@@ -133,4 +133,4 @@ let run ~scale ~seed =
       "expected shape: every epoch keeps a priced outcome (no blackout),\n\
      the recall wave degrades to a ladder rung and recovers the next\n\
      epoch, and the ledger nets to zero throughout.";
-    Common.write_metrics_artifact ~label:"e15"
+    Common.write_metrics_artifact ~label:"e15" ()

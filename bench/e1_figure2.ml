@@ -15,23 +15,51 @@ module Table = Poc_util.Table
 
 let rules = [ Acc.Handle_load; Acc.Single_link_failure; Acc.Per_pair_failure ]
 
+(* The full Figure 2 sweep: one plan per constraint.  [?pool]
+   parallelizes each auction's pivots and selector arms; the plans are
+   identical with or without it (asserted below). *)
+let sweep ?pool ~scale ~seed ~quiet () =
+  List.map
+    (fun rule ->
+      let config = Common.plan_config ~scale ~seed ~rule in
+      match Planner.build ?pool config with
+      | Ok plan -> (rule, Some plan)
+      | Error msg ->
+        if not quiet then Printf.printf "%s: %s\n" (Acc.name rule) msg;
+        (rule, None))
+    rules
+
+(* Bit-exact outcome comparison across jobs counts: selections, C(SL),
+   and every BP's payment and PoB must match the serial sweep. *)
+let same_outcomes a b =
+  List.for_all2
+    (fun (ra, pa) (rb, pb) ->
+      ra = rb
+      &&
+      match (pa, pb) with
+      | None, None -> true
+      | Some pa, Some pb ->
+        let oa = pa.Planner.outcome and ob = pb.Planner.outcome in
+        oa.Vcg.selection.Vcg.selected = ob.Vcg.selection.Vcg.selected
+        && oa.Vcg.selection.Vcg.cost = ob.Vcg.selection.Vcg.cost
+        && oa.Vcg.total_payment = ob.Vcg.total_payment
+        && Array.for_all2
+             (fun (x : Vcg.bp_result) (y : Vcg.bp_result) ->
+               x.Vcg.payment = y.Vcg.payment && x.Vcg.pob = y.Vcg.pob)
+             oa.Vcg.bp_results ob.Vcg.bp_results
+      | None, Some _ | Some _, None -> false)
+    a b
+
+let speedup_jobs = 4
+
 let run ~scale ~seed =
   Common.header
     (Printf.sprintf "E1 / Figure 2 — PoB margins of the 5 largest BPs (%s scale, seed %d)"
        (Common.scale_name scale) seed);
   Common.reset_metrics ();
-  let outcomes =
-    List.map
-      (fun rule ->
-        let config = Common.plan_config ~scale ~seed ~rule in
-        let label = Acc.name rule in
-        Common.timed label (fun () ->
-            match Planner.build config with
-            | Ok plan -> (rule, Some plan)
-            | Error msg ->
-              Printf.printf "%s: %s\n" label msg;
-              (rule, None)))
-      rules
+  let outcomes, serial_s =
+    Common.timed_s "serial sweep (--jobs 1)" (fun () ->
+        sweep ~scale ~seed ~quiet:false ())
   in
   (match List.find_opt (fun (_, p) -> p <> None) outcomes with
   | Some (_, Some plan) ->
@@ -123,4 +151,33 @@ let run ~scale ~seed =
             (Format.asprintf "%a" Poc_util.Stats.pp_summary s))
       rules
   | _ -> print_endline "no feasible plan; nothing to report");
+  (* Serial-vs-parallel speedup on the identical sweep.  On a machine
+     with one core this honestly reports < 1 (domain handoff overhead
+     with nothing to run in parallel); the artifact records whatever
+     this hardware measured alongside the equality verdict. *)
+  Common.subheader
+    (Printf.sprintf "domain-pool speedup (--jobs %d vs serial)" speedup_jobs);
+  let par_outcomes, parallel_s =
+    Poc_util.Pool.with_pool ~jobs:speedup_jobs (fun pool ->
+        Common.timed_s
+          (Printf.sprintf "parallel sweep (--jobs %d)" speedup_jobs)
+          (fun () -> sweep ?pool ~scale ~seed ~quiet:true ()))
+  in
+  let identical = same_outcomes outcomes par_outcomes in
+  if not identical then
+    print_endline
+      "ERROR: parallel sweep diverged from serial — determinism broken";
+  let speedup = if parallel_s > 0.0 then serial_s /. parallel_s else nan in
+  Printf.printf "speedup %.2fx (serial %.1fs / parallel %.1fs), outcomes %s\n"
+    speedup serial_s parallel_s
+    (if identical then "identical" else "DIVERGED");
   Common.write_metrics_artifact ~label:"e1"
+    ~extra:
+      [
+        ( "parallel",
+          Printf.sprintf
+            "{\"jobs\":%d,\"serial_seconds\":%.3f,\"parallel_seconds\":%.3f,\
+             \"speedup\":%.3f,\"outcomes_identical\":%b}"
+            speedup_jobs serial_s parallel_s speedup identical );
+      ]
+    ()

@@ -7,12 +7,13 @@ module Wan = Poc_topology.Wan
 module Matrix = Poc_traffic.Matrix
 module Router = Poc_mcf.Router
 module Prng = Poc_util.Prng
+module Pool = Poc_util.Pool
 
 let tiny_config =
   Planner.scaled_config ~sites:20 ~bps:6
     { Planner.default_config with Planner.seed = 5 }
 
-let tests () =
+let tests pool =
   let wan = Wan.generate ~params:tiny_config.Planner.params ~seed:5 () in
   let matrix = Matrix.gravity (Prng.create 9) wan ~total_gbps:600.0 () in
   let demands = Matrix.undirected_pair_demands matrix in
@@ -40,6 +41,14 @@ let tests () =
                 5)));
     Test.make ~name:"vcg-greedy-selection"
       (Staged.stage (fun () -> ignore (Poc_auction.Vcg.select_greedy problem)));
+    Test.make ~name:"vcg-greedy-selection-pool2"
+      (Staged.stage (fun () ->
+           ignore (Poc_auction.Vcg.select_greedy ~pool problem)));
+    Test.make ~name:"pool-map-handoff-64"
+      (let xs = Array.init 64 Fun.id in
+       Staged.stage (fun () -> ignore (Pool.map pool (fun x -> x + 1) xs)));
+    Test.make ~name:"vcg-full-run-pool2"
+      (Staged.stage (fun () -> ignore (Poc_auction.Vcg.run ~pool problem)));
     Test.make ~name:"nbs-equilibrium-fixed-point"
       (Staged.stage (fun () ->
            ignore
@@ -55,6 +64,12 @@ let run ~scale ~seed =
   ignore scale;
   ignore seed;
   Common.header "micro-benchmarks (Bechamel, OLS ns/run)";
+  (* A real 2-worker pool even on small machines, so the handoff and
+     pooled-auction kernels measure actual cross-domain cost. *)
+  let pool = Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+  @@ fun () ->
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let analysis =
@@ -83,7 +98,7 @@ let run ~scale ~seed =
               Printf.sprintf "%.4f" r2 ]
             :: acc)
           analyzed [])
-      (tests ())
+      (tests pool)
   in
   Poc_util.Table.print
     ~align:[ Poc_util.Table.Left; Poc_util.Table.Right; Poc_util.Table.Right ]

@@ -26,6 +26,7 @@ module Supervisor = Poc_resilience.Supervisor
 module Obs_log = Poc_obs.Log
 module Trace = Poc_obs.Trace
 module Metrics = Poc_obs.Metrics
+module Pool = Poc_util.Pool
 
 let setup_logs verbose =
   Obs_log.set_level (if verbose then Some Obs_log.Debug else Some Obs_log.Warn)
@@ -127,6 +128,16 @@ let bps_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.recommended_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the auction layer (default: the runtime's \
+              recommended domain count for this machine).  Auction \
+              outcomes, payments and journal bytes are identical at every \
+              value; $(b,--jobs 1) is the serial path.")
 
 let rule_arg =
   let rules =
@@ -252,10 +263,10 @@ let resume_arg =
 (* Run the supervised loop, honoring --journal/--resume.  Exit codes:
    10 for an injected crash (the journal is left ready to resume), 1
    for a journal that cannot be resumed. *)
-let run_supervised ~journal ~resume plan ~market ~schedule =
+let run_supervised ~journal ~resume ?pool plan ~market ~schedule =
   match resume with
   | Some path -> (
-    match Supervisor.resume ~journal:path plan ~market ~schedule with
+    match Supervisor.resume ~journal:path ?pool plan ~market ~schedule with
     | Ok r ->
       Printf.eprintf "resumed from %s\n" path;
       r
@@ -263,7 +274,7 @@ let run_supervised ~journal ~resume plan ~market ~schedule =
       Printf.eprintf "resume failed: %s\n" msg;
       exit 1)
   | None -> (
-    try Supervisor.run ?journal plan ~market ~schedule with
+    try Supervisor.run ?journal ?pool plan ~market ~schedule with
     | Supervisor.Injected_crash { epoch; phase } ->
       Printf.eprintf
         "injected crash at epoch %d (%s); finish the run with --resume\n" epoch
@@ -281,42 +292,45 @@ let print_supervised (report : Supervisor.report) =
     report.Supervisor.violations
 
 let market_cmd =
-  let run verbose seed sites bps epochs journal resume trace metrics =
+  let run verbose seed sites bps epochs jobs journal resume trace metrics =
     setup_logs verbose;
     setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
-    (if journal <> None || resume <> None then
-       (* Durable mode: the supervised loop (fault-free schedule) so the
-          run is journaled and resumable. *)
-       let schedule =
-         match Fault.compile plan.Planner.wan ~seed [] with
-         | Ok s -> s
-         | Error msg ->
-           Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
-           exit 1
-       in
-       print_supervised (run_supervised ~journal ~resume plan ~market ~schedule)
-     else
-       let results = Epochs.run plan market in
-       List.iter
-         (fun (r : Epochs.epoch_result) ->
-           match r.Epochs.failure with
-           | Some reason ->
-             Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
-               (Epochs.failure_name reason)
-           | None ->
-             Printf.printf "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
-               r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
-               r.Epochs.selected_links r.Epochs.supplier_hhi)
-         results);
+    Pool.with_pool ~jobs (fun pool ->
+        if journal <> None || resume <> None then
+          (* Durable mode: the supervised loop (fault-free schedule) so
+             the run is journaled and resumable. *)
+          let schedule =
+            match Fault.compile plan.Planner.wan ~seed [] with
+            | Ok s -> s
+            | Error msg ->
+              Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
+              exit 1
+          in
+          print_supervised
+            (run_supervised ~journal ~resume ?pool plan ~market ~schedule)
+        else
+          let results = Epochs.run ?pool plan market in
+          List.iter
+            (fun (r : Epochs.epoch_result) ->
+              match r.Epochs.failure with
+              | Some reason ->
+                Printf.printf "%2d: auction failed (%s)\n" r.Epochs.epoch
+                  (Epochs.failure_name reason)
+              | None ->
+                Printf.printf
+                  "%2d: spend $%.0f  $%.2f/Gbps  |SL|=%d  HHI=%.3f\n"
+                  r.Epochs.epoch r.Epochs.spend r.Epochs.price_per_gbps
+                  r.Epochs.selected_links r.Epochs.supplier_hhi)
+            results);
     print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ journal_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ journal_arg $ resume_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
@@ -358,8 +372,8 @@ let chaos_cmd =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for compiling the fault schedule.")
   in
-  let run verbose seed sites bps epochs fault_seed crashes journal resume trace
-      metrics =
+  let run verbose seed sites bps epochs jobs fault_seed crashes journal resume
+      trace metrics =
     setup_logs verbose;
     setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -388,14 +402,16 @@ let chaos_cmd =
         exit 1
     in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
-    print_supervised (run_supervised ~journal ~resume plan ~market ~schedule);
+    Pool.with_pool ~jobs (fun pool ->
+        print_supervised
+          (run_supervised ~journal ~resume ?pool plan ~market ~schedule));
     print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg $ trace_arg
-      $ metrics_arg)
+      $ jobs_arg $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -405,7 +421,7 @@ let chaos_cmd =
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run verbose seed sites bps epochs rule trace metrics =
+  let run verbose seed sites bps epochs jobs rule trace metrics =
     setup_logs verbose;
     setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule in
@@ -418,7 +434,10 @@ let profile_cmd =
         Printf.eprintf "internal: empty schedule rejected: %s\n" msg;
         exit 1
     in
-    let report = Supervisor.run plan ~market ~schedule in
+    let report =
+      Pool.with_pool ~jobs (fun pool ->
+          Supervisor.run ?pool plan ~market ~schedule)
+    in
     let healthy =
       List.length
         (List.filter
@@ -455,7 +474,7 @@ let profile_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ rule_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ rule_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "profile"

@@ -19,9 +19,14 @@
      --crash EPOCH:PHASE   inject a process crash (phases: pre_auction,
                            pre_settle, post_settle); exits with code 10
      --resume PATH         recover from a journal and finish the run
+     --jobs N              worker domains for the auction layer
+                           (default 1 = serial; outputs are identical
+                           at every value)
 
    Crash/resume chatter goes to stderr, so the stdout of a resumed run
-   is byte-identical to an uninterrupted one — diff them to check. *)
+   is byte-identical to an uninterrupted one — diff them to check.
+   The same holds across --jobs values: stdout and the journal are
+   byte-identical whether the auctions ran serial or parallel. *)
 
 module Planner = Poc_core.Planner
 module Settlement = Poc_core.Settlement
@@ -32,7 +37,8 @@ module Supervisor = Poc_resilience.Supervisor
 
 let usage () =
   prerr_endline
-    "usage: chaos_month [--journal PATH] [--resume PATH] [--crash EPOCH:PHASE]";
+    "usage: chaos_month [--journal PATH] [--resume PATH] [--crash EPOCH:PHASE] \
+     [--jobs N]";
   exit 2
 
 let parse_crash spec =
@@ -54,6 +60,7 @@ let parse_crash spec =
 
 let () =
   let journal = ref None and resume = ref None and crashes = ref [] in
+  let jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--journal" :: path :: rest ->
@@ -65,6 +72,14 @@ let () =
     | "--crash" :: spec :: rest ->
       crashes := parse_crash spec :: !crashes;
       parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | Some _ | None ->
+        Printf.eprintf "bad --jobs %S: expected a positive integer\n" n;
+        exit 2)
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -106,23 +121,27 @@ let () =
     in
     let market = { Epochs.default_config with Epochs.epochs = 8; seed = 7 } in
     let report =
-      match !resume with
-      | Some path -> (
-        match Supervisor.resume ~journal:path plan ~market ~schedule with
-        | Ok r ->
-          Printf.eprintf "resumed from %s\n" path;
-          r
-        | Error msg ->
-          Printf.eprintf "resume failed: %s\n" msg;
-          exit 1)
-      | None -> (
-        try Supervisor.run ?journal:!journal plan ~market ~schedule with
-        | Supervisor.Injected_crash { epoch; phase } ->
-          Printf.eprintf
-            "injected crash at epoch %d (%s); journal retained for --resume\n"
-            epoch
-            (Fault.phase_to_string phase);
-          exit 10)
+      Poc_util.Pool.with_pool ~jobs:!jobs (fun pool ->
+          match !resume with
+          | Some path -> (
+            match
+              Supervisor.resume ~journal:path ?pool plan ~market ~schedule
+            with
+            | Ok r ->
+              Printf.eprintf "resumed from %s\n" path;
+              r
+            | Error msg ->
+              Printf.eprintf "resume failed: %s\n" msg;
+              exit 1)
+          | None -> (
+            try Supervisor.run ?journal:!journal ?pool plan ~market ~schedule
+            with Supervisor.Injected_crash { epoch; phase } ->
+              Printf.eprintf
+                "injected crash at epoch %d (%s); journal retained for \
+                 --resume\n"
+                epoch
+                (Fault.phase_to_string phase);
+              exit 10))
     in
     print_endline "\nservice under chaos:";
     print_string (Supervisor.render_epochs report);

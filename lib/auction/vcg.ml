@@ -3,6 +3,7 @@ module Router = Poc_mcf.Router
 module Log = Poc_obs.Log
 module Trace = Poc_obs.Trace
 module Metrics = Poc_obs.Metrics
+module Pool = Poc_util.Pool
 
 (* Auction work counters: every candidate selection evaluated against
    the acceptability rule, and every marginal-economy (SL without α)
@@ -18,6 +19,21 @@ let m_pivots =
 let m_auctions =
   Metrics.counter ~help:"Full VCG mechanism runs" Metrics.default
     "poc_vcg_auctions_total"
+
+let m_feas_hits =
+  Metrics.counter ~help:"Feasibility probes answered from the memo table"
+    Metrics.default "poc_vcg_feasibility_cache_hits_total"
+
+let m_feas_misses =
+  Metrics.counter ~help:"Feasibility probes that required a full rule check"
+    Metrics.default "poc_vcg_feasibility_cache_misses_total"
+
+(* Ordered map over an optional pool: [None] is the serial path.  Both
+   paths visit elements in list order and return results in list order,
+   so for the pure functions the auction hands over the result is
+   independent of the pool — that is the whole determinism story. *)
+let pool_map_list pool f xs =
+  match pool with None -> List.map f xs | Some p -> Pool.map_list p f xs
 
 type problem = {
   graph : Graph.t;
@@ -142,7 +158,8 @@ let satisfied problem ~enabled =
   Acceptability.satisfied problem.graph ~demands:problem.demands ~enabled
     problem.rule
 
-let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false) problem =
+let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
+    ?pool problem =
   let table = ownership problem in
   let m = Array.length table in
   let offered =
@@ -173,7 +190,28 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false) probl
   let current_links () =
     List.filter (fun id -> in_set.(id)) (List.init m Fun.id)
   in
-  let rule_ok () = satisfied problem ~enabled in
+  (* Memo tables for the two pure functions of the enabled set that the
+     pruning stages re-evaluate constantly: the acceptability probe and
+     the selection cost.  Keyed on the canonical bit-string of [in_set];
+     strictly local to this call, so hit/miss totals depend only on the
+     probe sequence — which is the same at every [--jobs] value. *)
+  let key_of_set () =
+    String.init m (fun i -> if in_set.(i) then '1' else '0')
+  in
+  let feas_cache : (string, bool) Hashtbl.t = Hashtbl.create 512 in
+  let cost_cache : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let rule_ok () =
+    let key = key_of_set () in
+    match Hashtbl.find_opt feas_cache key with
+    | Some ok ->
+      Metrics.Counter.inc m_feas_hits;
+      ok
+    | None ->
+      Metrics.Counter.inc m_feas_misses;
+      let ok = satisfied problem ~enabled in
+      Hashtbl.add feas_cache key ok;
+      ok
+  in
   let check_prefix k =
     set_prefix k;
     rule_ok ()
@@ -380,11 +418,18 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false) probl
                  compare r.Router.usage.(b) r.Router.usage.(a))
           |> List.filteri (fun i _ -> i < spot_check_width)
         in
-        List.for_all
-          (fun f ->
-            Router.survives_failure ~enabled problem.graph
-              ~demands:problem.demands ~base:r ~failed_edge:f)
-          top
+        let survives f =
+          Router.survives_failure ~enabled problem.graph
+            ~demands:problem.demands ~base:r ~failed_edge:f
+        in
+        (* The failure checks are independent reads of the frozen
+           routing [r]; fan them out when a pool is available.  The
+           parallel arm evaluates all of them (no short-circuit), so
+           Router work counters read as honest totals, but the boolean
+           — and therefore the selection — is the same either way. *)
+        match pool with
+        | None -> List.for_all survives top
+        | Some p -> List.for_all Fun.id (Pool.map_list p survives top)
       in
       List.iter
         (fun id ->
@@ -419,7 +464,13 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false) probl
        which matters because the Clarke pivots are differences of two
        such costs. *)
     let current_cost () =
-      selection_cost_with_table problem table (current_links ())
+      let key = key_of_set () in
+      match Hashtbl.find_opt cost_cache key with
+      | Some c -> c
+      | None ->
+        let c = selection_cost_with_table problem table (current_links ()) in
+        Hashtbl.add cost_cache key c;
+        c
     in
     let snapshot () = Array.copy in_set in
     let restore saved = Array.blit saved 0 in_set 0 m in
@@ -471,19 +522,23 @@ let unit_price_score problem price id =
 
 let absolute_price_score _problem price id = price id
 
-let select_greedy_single ~ranking ?banned problem =
+let select_greedy_single ~ranking ?banned ?pool problem =
   let score =
     match ranking with
     | `Unit_price -> unit_price_score
     | `Absolute_price -> absolute_price_score
   in
-  optimize_from ~score ?banned problem
+  optimize_from ~score ?banned ?pool problem
 
-let select_greedy ?banned problem =
+let select_greedy ?banned ?pool problem =
+  (* The two arms are fully independent optimizations over immutable
+     inputs, so they run concurrently when a pool is available; the
+     fold keeps the serial tie-break (first arm wins ties). *)
   let candidates =
-    List.filter_map
-      (fun ranking -> select_greedy_single ~ranking ?banned problem)
+    pool_map_list pool
+      (fun ranking -> select_greedy_single ~ranking ?banned ?pool problem)
       [ `Unit_price; `Absolute_price ]
+    |> List.filter_map Fun.id
   in
   match candidates with
   | [] -> None
@@ -493,11 +548,11 @@ let select_greedy ?banned problem =
          (fun best s -> if s.cost < best.cost then s else best)
          (List.hd candidates) (List.tl candidates))
 
-let select_warm ?banned ~base problem =
+let select_warm ?banned ~base ?pool problem =
   (* Light pruning: the base is already pruned, so only the repair
      additions and the links freed by the ban need attention. *)
   optimize_from ~score:unit_price_score ?banned ~init:base.selected ~light:true
-    problem
+    ?pool problem
 
 (* --- Exact selection (small instances) -------------------------------- *)
 
@@ -537,13 +592,13 @@ let select_exact ?(banned = fun _ -> false) problem =
 
 (* --- Full mechanism ---------------------------------------------------- *)
 
-let run ?select problem =
+let run ?select ?pool problem =
   Metrics.Counter.inc m_auctions;
   let sp = Trace.span "vcg.run" in
   let cold =
     match select with
     | Some s -> fun () -> s ?banned:None problem
-    | None -> fun () -> select_greedy problem
+    | None -> fun () -> select_greedy ?pool problem
   in
   let cold () =
     let sel_sp = Trace.span "vcg.select" in
@@ -573,13 +628,18 @@ let run ?select problem =
       (* Two views of the world without α: repair the current SL
          (cheap, finds local substitutes) and re-derive from scratch
          (restructures routes when α carried trunk capacity); the
-         mechanism uses the better one. *)
+         mechanism uses the better one.  When pivots themselves run on
+         pool workers, these nested submissions are detected and run
+         inline — same results, no deadlock. *)
       let candidates =
-        List.filter_map Fun.id
+        pool_map_list pool
+          (fun pick -> pick ())
           [
-            select_warm ~banned ~base problem;
-            select_greedy_single ~ranking:`Unit_price ~banned problem;
+            (fun () -> select_warm ~banned ~base ?pool problem);
+            (fun () ->
+              select_greedy_single ~ranking:`Unit_price ~banned ?pool problem);
           ]
+        |> List.filter_map Fun.id
       in
       (match candidates with
       | [] -> None
@@ -612,8 +672,15 @@ let run ?select problem =
        pivot exploration can stumble on a cheaper solution; adopt it and
        recompute (bounded — each adoption strictly lowers the cost). *)
     let rec settle current round =
+      (* One marginal economy per winning BP — the embarrassingly
+         parallel heart of the mechanism.  Winner order is fixed before
+         the fan-out and results come back in that order, so the
+         best-improvement fold below ties off exactly as it does
+         serially. *)
       let results =
-        List.map (fun bp -> (bp, without_selection current bp)) (winners current)
+        pool_map_list pool
+          (fun bp -> (bp, without_selection current bp))
+          (winners current)
       in
       let best_improvement =
         List.fold_left
@@ -664,7 +731,12 @@ let run ?select problem =
     in
     finish_with (Some { selection = sl; virtual_cost; bp_results; total_payment })
 
-let run_pay_as_bid ?(select = select_greedy) problem =
+let run_pay_as_bid ?select ?pool problem =
+  let select =
+    match select with
+    | Some s -> fun p -> s ?banned:None p
+    | None -> fun p -> select_greedy ?pool p
+  in
   match select problem with
   | None -> None
   | Some sl ->

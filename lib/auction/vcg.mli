@@ -17,7 +17,20 @@
     optimizer is heuristic, the classical VCG guarantees hold exactly
     under {!select_exact} (used in tests on small instances) and to
     heuristic accuracy under {!select_greedy}; payments are clamped so
-    individual rationality Pα ≥ Cα(SLα) always holds. *)
+    individual rationality Pα ≥ Cα(SLα) always holds.
+
+    {2 Parallelism}
+
+    Every entry point takes an optional [?pool] ([Poc_util.Pool.t]).
+    With a pool, the Clarke-pivot marginal economies (one per winning
+    BP), the two ranking arms of the greedy ensemble, the warm/cold
+    pivot candidate pair, and the single-failure spot checks fan out
+    across worker domains.  All parallelized units are pure functions
+    of immutable inputs combined in a fixed order, so selections,
+    payments, and PoB are {e bit-identical} with or without a pool, at
+    any pool size — pinned by property tests over seeded random
+    problems.  Work counters measure honest totals and may differ
+    (e.g. the parallel spot check does not short-circuit). *)
 
 type problem = {
   graph : Poc_graph.Graph.t;
@@ -61,13 +74,16 @@ val selection_cost : problem -> int list -> float
 val owner_of_link : problem -> int -> int option
 (** BP owning the link; [None] for virtual links. *)
 
-val select_greedy : ?banned:(int -> bool) -> problem -> selection option
+val select_greedy :
+  ?banned:(int -> bool) -> ?pool:Poc_util.Pool.t -> problem -> selection option
 (** Cheapest acceptable set found by the open greedy algorithm;
-    [None] when even the full unbanned offer set is unacceptable. *)
+    [None] when even the full unbanned offer set is unacceptable.
+    With [?pool] the two ranking arms run concurrently. *)
 
 val select_greedy_single :
   ranking:[ `Unit_price | `Absolute_price ] ->
   ?banned:(int -> bool) ->
+  ?pool:Poc_util.Pool.t ->
   problem ->
   selection option
 (** One arm of {!select_greedy}'s two-ranking ensemble, exposed for
@@ -75,7 +91,11 @@ val select_greedy_single :
     absolute price. *)
 
 val select_warm :
-  ?banned:(int -> bool) -> base:selection -> problem -> selection option
+  ?banned:(int -> bool) ->
+  base:selection ->
+  ?pool:Poc_util.Pool.t ->
+  problem ->
+  selection option
 (** Warm-started optimization: begin from [base] (minus banned links),
     repair to acceptability, then prune.  Used by {!run} for the pivot
     selections SL−α so that C(SL−α) − C(SL) measures α's replacement
@@ -87,9 +107,14 @@ val select_exact : ?banned:(int -> bool) -> problem -> selection option
 
 val run :
   ?select:(?banned:(int -> bool) -> problem -> selection option) ->
+  ?pool:Poc_util.Pool.t ->
   problem ->
   outcome option
 (** Full mechanism: selection plus a Clarke-pivot payment per BP.
+    With [?pool] the per-winner pivot recomputations fan out across
+    the pool's domains; the outcome is identical to the serial run.
+    A caller-supplied [?select] is honored verbatim (wire the pool
+    into the closure yourself if you want both).
 
     Because the optimizer is heuristic, an SL−α computed for a pivot
     can come out cheaper than SL itself (it is also acceptable for the
@@ -104,6 +129,7 @@ val run :
 
 val run_pay_as_bid :
   ?select:(?banned:(int -> bool) -> problem -> selection option) ->
+  ?pool:Poc_util.Pool.t ->
   problem ->
   outcome option
 (** The naive alternative the paper's strategy-proofness argument is

@@ -49,7 +49,7 @@ type plan = {
   members : Member.t list;
 }
 
-let build config =
+let build ?pool config =
   if config.demand_fraction <= 0.0 then Error "demand_fraction must be positive"
   else begin
     let wan = Wan.generate ~params:config.params ~seed:config.seed () in
@@ -68,7 +68,7 @@ let build config =
       Poc_auction.Setup.problem ~margin:config.bid_margin wan matrix
         ~rule:config.rule
     in
-    match Vcg.run problem with
+    match Vcg.run ?pool problem with
     | None -> Error "no acceptable link selection for this traffic matrix"
     | Some outcome ->
       let in_sl = Hashtbl.create 256 in

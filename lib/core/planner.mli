@@ -34,10 +34,12 @@ type plan = {
   members : Member.t list;
 }
 
-val build : config -> (plan, string) result
+val build : ?pool:Poc_util.Pool.t -> config -> (plan, string) result
 (** Generates the WAN and matrix from the seed and runs the full
     mechanism.  [Error] when no acceptable selection exists (raise the
-    demand fraction or relax the rule). *)
+    demand fraction or relax the rule).  [?pool] parallelizes the
+    auction (see {!Poc_auction.Vcg}); the plan is identical with or
+    without it. *)
 
 val backbone_enabled : plan -> int -> bool
 (** Predicate over link ids: is this link part of the leased backbone? *)

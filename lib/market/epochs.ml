@@ -172,7 +172,7 @@ let strategy_of config bp =
   | Some s -> s
   | None -> Truthful
 
-let run (plan : Planner.plan) config =
+let run ?pool (plan : Planner.plan) config =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg msg);
@@ -235,7 +235,7 @@ let run (plan : Planner.plan) config =
     let select ?(banned = fun _ -> false) p =
       Vcg.select_greedy
         ~banned:(fun id -> banned id || Hashtbl.mem recalled id)
-        p
+        ?pool p
     in
     let volume = Matrix.total !matrix in
     let pool_nonempty =
@@ -266,7 +266,7 @@ let run (plan : Planner.plan) config =
     let auction_t0 = Clock.now_us () in
     (if not pool_nonempty then fail Empty_offer_pool
      else begin
-       match Vcg.run ~select problem with
+       match Vcg.run ~select ?pool problem with
        | None -> fail No_acceptable_selection
        | Some outcome ->
          results :=

@@ -63,10 +63,14 @@ val decode_result : string -> (epoch_result, string) result
 (** Inverse of {!encode_result}.  [Error] (never an exception) on a
     torn, truncated or checksum-corrupted record. *)
 
-val run : Poc_core.Planner.plan -> config -> epoch_result list
+val run :
+  ?pool:Poc_util.Pool.t -> Poc_core.Planner.plan -> config -> epoch_result list
 (** Replays [config.epochs] auctions over the plan's offer pool with
     evolving costs, recalls and demand.  Uses the plan's acceptability
-    rule. *)
+    rule.  The epoch loop owns no domains itself: the caller creates
+    the pool once (e.g. [Poc_util.Pool.with_pool]) and passes it down,
+    and every epoch's auction fans out over it.  Results are identical
+    with or without a pool. *)
 
 val supplier_hhi : Poc_auction.Vcg.outcome -> float
 (** Concentration of the POC's BP payments. *)

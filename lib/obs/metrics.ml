@@ -1,33 +1,47 @@
-module Counter = struct
-  type t = { mutable c : float }
+(* All instrument state is Atomic-backed so that increments issued
+   from pool worker domains (parallel Clarke pivots, chunked candidate
+   evaluation) are never lost.  Floats go through a CAS retry loop —
+   [Atomic.compare_and_set] compares the box we just read, so the loop
+   only retries when another domain actually raced us. *)
 
-  let inc t = t.c <- t.c +. 1.0
+let rec atomic_add_float a v =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. v)) then atomic_add_float a v
+
+let rec atomic_max_float a v =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then atomic_max_float a v
+
+module Counter = struct
+  type t = { c : float Atomic.t }
+
+  let inc t = atomic_add_float t.c 1.0
 
   let add t v =
     if v < 0.0 || Float.is_nan v then
       invalid_arg "Metrics.Counter.add: negative or NaN increment"
-    else t.c <- t.c +. v
+    else atomic_add_float t.c v
 
-  let value t = t.c
+  let value t = Atomic.get t.c
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  type t = { g : float Atomic.t }
 
-  let set t v = t.g <- v
+  let set t v = Atomic.set t.g v
 
-  let add t v = t.g <- t.g +. v
+  let add t v = atomic_add_float t.g v
 
-  let value t = t.g
+  let value t = Atomic.get t.g
 end
 
 module Histogram = struct
   type t = {
-    bnds : float array;  (* ascending upper bounds *)
-    counts : int array;  (* one per bound, plus overflow *)
-    mutable n : int;
-    mutable s : float;
-    mutable mx : float;
+    bnds : float array;          (* ascending upper bounds *)
+    counts : int Atomic.t array; (* one per bound, plus overflow *)
+    n : int Atomic.t;
+    s : float Atomic.t;
+    mx : float Atomic.t;
   }
 
   let make ~lo ~growth ~buckets =
@@ -38,10 +52,10 @@ module Histogram = struct
     if buckets < 1 then invalid_arg "Metrics.histogram: buckets must be >= 1";
     {
       bnds = Array.init buckets (fun i -> lo *. (growth ** float_of_int i));
-      counts = Array.make (buckets + 1) 0;
-      n = 0;
-      s = 0.0;
-      mx = neg_infinity;
+      counts = Array.init (buckets + 1) (fun _ -> Atomic.make 0);
+      n = Atomic.make 0;
+      s = Atomic.make 0.0;
+      mx = Atomic.make neg_infinity;
     }
 
   (* Index of the bucket covering [v]: the first bound strictly above
@@ -61,39 +75,40 @@ module Histogram = struct
     end
 
   let observe t v =
-    t.n <- t.n + 1;
-    if Float.is_finite v then t.s <- t.s +. v;
-    if v > t.mx then t.mx <- v;
-    let i = bucket_index t v in
-    t.counts.(i) <- t.counts.(i) + 1
+    Atomic.incr t.n;
+    if Float.is_finite v then atomic_add_float t.s v;
+    atomic_max_float t.mx v;
+    Atomic.incr t.counts.(bucket_index t v)
 
-  let count t = t.n
+  let count t = Atomic.get t.n
 
-  let sum t = t.s
+  let sum t = Atomic.get t.s
 
-  let max_observed t = t.mx
+  let max_observed t = Atomic.get t.mx
 
   let bounds t = Array.copy t.bnds
 
-  let bucket_counts t = Array.copy t.counts
+  let bucket_counts t = Array.map Atomic.get t.counts
 
   let percentile t q =
     if not (Float.is_finite q && q >= 0.0 && q <= 1.0) then
       invalid_arg "Metrics.Histogram.percentile: q must be in [0,1]";
-    if t.n = 0 then nan
+    let n = count t in
+    if n = 0 then nan
     else begin
       let rank =
-        let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
-        if r < 1 then 1 else if r > t.n then t.n else r
+        let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
       in
       let nb = Array.length t.bnds in
       let rec walk i cum =
-        let cum = cum + t.counts.(i) in
+        let cum = cum + Atomic.get t.counts.(i) in
         if cum >= rank || i = nb then i else walk (i + 1) cum
       in
       let b = walk 0 0 in
-      let upper = if b < nb then t.bnds.(b) else t.mx in
-      Float.min upper t.mx
+      let mx = max_observed t in
+      let upper = if b < nb then t.bnds.(b) else mx in
+      Float.min upper mx
     end
 
   let p50 t = percentile t 0.5
@@ -103,10 +118,10 @@ module Histogram = struct
   let p99 t = percentile t 0.99
 
   let reset t =
-    Array.fill t.counts 0 (Array.length t.counts) 0;
-    t.n <- 0;
-    t.s <- 0.0;
-    t.mx <- neg_infinity
+    Array.iter (fun c -> Atomic.set c 0) t.counts;
+    Atomic.set t.n 0;
+    Atomic.set t.s 0.0;
+    Atomic.set t.mx neg_infinity
 end
 
 type instrument =
@@ -114,11 +129,27 @@ type instrument =
   | G of Gauge.t
   | H of Histogram.t
 
-type registry = { tbl : (string, string option * instrument) Hashtbl.t }
+(* The registry table is guarded by a mutex: registration happens at
+   module-init time in practice, but nothing stops a worker domain from
+   registering, and reads (export, reset) must not observe a resize. *)
+type registry = {
+  tbl : (string, string option * instrument) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create_registry () = { tbl = Hashtbl.create 64 }
+let create_registry () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let default = create_registry ()
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  match f () with
+  | y ->
+    Mutex.unlock reg.lock;
+    y
+  | exception e ->
+    Mutex.unlock reg.lock;
+    raise e
 
 let valid_name name =
   name <> ""
@@ -134,30 +165,31 @@ let valid_name name =
 let register reg ?help name make_new match_kind =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
-  match Hashtbl.find_opt reg.tbl name with
-  | Some (_, inst) -> (
-    match match_kind inst with
-    | Some x -> x
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S already registered as a different kind"
-           name))
-  | None ->
-    let x, inst = make_new () in
-    Hashtbl.replace reg.tbl name (help, inst);
-    x
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.tbl name with
+      | Some (_, inst) -> (
+        match match_kind inst with
+        | Some x -> x
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a different kind"
+               name))
+      | None ->
+        let x, inst = make_new () in
+        Hashtbl.replace reg.tbl name (help, inst);
+        x)
 
 let counter ?help reg name =
   register reg ?help name
     (fun () ->
-      let c = { Counter.c = 0.0 } in
+      let c = { Counter.c = Atomic.make 0.0 } in
       (c, C c))
     (function C c -> Some c | G _ | H _ -> None)
 
 let gauge ?help reg name =
   register reg ?help name
     (fun () ->
-      let g = { Gauge.g = 0.0 } in
+      let g = { Gauge.g = Atomic.make 0.0 } in
       (g, G g))
     (function G g -> Some g | C _ | H _ -> None)
 
@@ -170,16 +202,20 @@ let histogram ?help ?(lo = 1e-6) ?(growth = 1.189207115002721)
     (function H h -> Some h | C _ | G _ -> None)
 
 let reset reg =
-  Hashtbl.iter
-    (fun _ (_, inst) ->
-      match inst with
-      | C c -> c.Counter.c <- 0.0
-      | G g -> g.Gauge.g <- 0.0
-      | H h -> Histogram.reset h)
-    reg.tbl
+  locked reg (fun () ->
+      Hashtbl.iter
+        (fun _ (_, inst) ->
+          match inst with
+          | C c -> Atomic.set c.Counter.c 0.0
+          | G g -> Atomic.set g.Gauge.g 0.0
+          | H h -> Histogram.reset h)
+        reg.tbl)
 
 let sorted reg =
-  Hashtbl.fold (fun name (help, inst) acc -> (name, help, inst) :: acc) reg.tbl []
+  locked reg (fun () ->
+      Hashtbl.fold
+        (fun name (help, inst) acc -> (name, help, inst) :: acc)
+        reg.tbl [])
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let histograms reg =
@@ -228,7 +264,7 @@ let to_prometheus reg =
           (Printf.sprintf "%s %s\n" name (fmt_num (Gauge.value g)))
       | H h ->
         meta name help "histogram";
-        let bnds = h.Histogram.bnds and counts = h.Histogram.counts in
+        let bnds = Histogram.bounds h and counts = Histogram.bucket_counts h in
         let cum = ref 0 in
         Array.iteri
           (fun i b ->

@@ -3,9 +3,17 @@
     Instruments register in a {!registry} by name; registering the same
     name twice returns the existing instrument (so module-level
     instruments in different libraries can share a series).  All
-    instruments are always on — an increment is one unboxed float store
-    — and none of them feeds back into simulation state, so metrics can
-    stay enabled even in runs whose output is diffed byte-for-byte.
+    instruments are always on — an increment is one atomic update — and
+    none of them feeds back into simulation state, so metrics can stay
+    enabled even in runs whose output is diffed byte-for-byte.
+
+    Every instrument is domain-safe: counters, gauges, and histogram
+    observation paths are [Atomic.t]-backed (float updates go through a
+    compare-and-set retry loop), and the registry table is
+    mutex-guarded, so increments issued concurrently from
+    [Poc_util.Pool] worker domains are never lost.  This is exactly
+    what lets the parallel auction path keep its work counters — the
+    two-domain hammer test in [test/test_obs.ml] pins it.
 
     Histograms use logarithmic buckets: boundaries [lo * growth^i],
     which give a constant {e relative} error across nine-plus decades
@@ -80,7 +88,9 @@ val default : registry
 
 val reset : registry -> unit
 (** Zero every instrument (registrations survive); for tests and for
-    isolating one run's readings from the previous run's. *)
+    isolating one run's readings from the previous run's.  Not atomic
+    with respect to concurrent observers: quiesce worker domains before
+    resetting if exact zeros matter. *)
 
 val counter : ?help:string -> registry -> string -> Counter.t
 

@@ -104,20 +104,21 @@ let pay_as_bid problem links =
 let scale_demands factor demands =
   List.map (fun (a, b, d) -> (a, b, d *. factor)) demands
 
-let try_step ~banned (problem : Vcg.problem) = function
+let try_step ~banned ?pool (problem : Vcg.problem) = function
   | Relax_demand f ->
     let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
     in
     let relaxed =
       { problem with Vcg.demands = scale_demands f problem.Vcg.demands }
     in
-    Option.map (fun o -> (o, f)) (Vcg.run ~select relaxed)
+    Option.map (fun o -> (o, f)) (Vcg.run ~select ?pool relaxed)
   | Step_down rule ->
     let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
     in
-    Option.map (fun o -> (o, 1.0)) (Vcg.run ~select { problem with Vcg.rule = rule })
+    Option.map (fun o -> (o, 1.0))
+      (Vcg.run ~select ?pool { problem with Vcg.rule = rule })
   | Connectivity_only ->
     Option.map
       (fun o -> (o, 1.0))
@@ -131,7 +132,7 @@ let try_step ~banned (problem : Vcg.problem) = function
     in
     Option.map (fun o -> (o, 1.0)) (pay_as_bid problem links)
 
-let engage ~banned config (problem : Vcg.problem) =
+let engage ~banned ?pool config (problem : Vcg.problem) =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg msg);
@@ -139,7 +140,7 @@ let engage ~banned config (problem : Vcg.problem) =
     | [] -> None
     | step :: rest -> (
       let attempts = attempts + 1 in
-      match try_step ~banned problem step with
+      match try_step ~banned ?pool problem step with
       | Some (outcome, demand_scale) ->
         Some { step; attempts; outcome; demand_scale }
       | None -> go attempts rest)

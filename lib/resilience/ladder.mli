@@ -47,8 +47,14 @@ val rungs : rule:Poc_auction.Acceptability.t -> config -> step list
 (** The ladder for a plan using [rule], truncated to [max_attempts]. *)
 
 val engage :
-  banned:(int -> bool) -> config -> Poc_auction.Vcg.problem -> engaged option
-(** Runs the ladder over the problem restricted to unbanned links. *)
+  banned:(int -> bool) ->
+  ?pool:Poc_util.Pool.t ->
+  config ->
+  Poc_auction.Vcg.problem ->
+  engaged option
+(** Runs the ladder over the problem restricted to unbanned links.
+    [?pool] parallelizes each rung's auction; the engaged rung and its
+    outcome are identical with or without it. *)
 
 val pay_as_bid :
   Poc_auction.Vcg.problem -> int list -> Poc_auction.Vcg.outcome option

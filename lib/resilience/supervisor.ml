@@ -286,7 +286,7 @@ let render_epochs report =
    disk before the loop moves on, and crash points in the schedule are
    honored (unless resuming: a resumed run never re-fires them). *)
 let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
-    ~honor_crashes ~state:st ~first_epoch ~prefix ~prefix_violations
+    ~honor_crashes ~state:st ~first_epoch ~prefix ~prefix_violations ?pool
     (plan : Planner.plan) ~(market : Epochs.config) ~schedule =
   let base_problem = plan.Planner.problem in
   let n_bps = Array.length base_problem.Vcg.bids in
@@ -376,7 +376,7 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
       || Hashtbl.mem st.gone id
     in
     let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) p
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
     in
     Metrics.Histogram.observe h_drift
       ((Clock.now_us () -. drift_t0) *. 1e-6);
@@ -385,13 +385,13 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     let auction_t0 = Clock.now_us () in
     (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
     let status, outcome_opt, ladder_attempts =
-      match Vcg.run ~select problem with
+      match Vcg.run ~select ?pool problem with
       | Some outcome -> (Healthy, Some outcome, 0)
       | None -> (
         let rung_budget =
           List.length (Ladder.rungs ~rule:problem.Vcg.rule ladder)
         in
-        match Ladder.engage ~banned ladder problem with
+        match Ladder.engage ~banned ?pool ladder problem with
         | Some e -> (Degraded e.Ladder.step, Some e.Ladder.outcome, e.Ladder.attempts)
         | None -> (
           match st.last_good with
@@ -587,7 +587,7 @@ let validate_or_raise ~ladder ~market =
   | Ok () -> ()
   | Error msg -> invalid_arg msg
 
-let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
+let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4) ?pool
     (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   if snapshot_every < 1 then
@@ -608,9 +608,9 @@ let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
   in
   run_span ~ladder ~journal:j ~snapshot_every ~honor_crashes:true
     ~state:(initial_state plan market) ~first_epoch:1 ~prefix:[]
-    ~prefix_violations:[] plan ~market ~schedule
+    ~prefix_violations:[] ?pool plan ~market ~schedule
 
-let resume ?(ladder = Ladder.default_config) ~journal:path
+let resume ?(ladder = Ladder.default_config) ~journal:path ?pool
     (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   match Journal.replay path with
@@ -657,7 +657,7 @@ let resume ?(ladder = Ladder.default_config) ~journal:path
       Ok
         (run_span ~ladder ~journal:(Some t)
            ~snapshot_every:h.Journal.snapshot_every ~honor_crashes:false
-           ~state ~first_epoch
+           ~state ~first_epoch ?pool
            ~prefix:
              (List.map (fun (rec_ : Journal.epoch_record) -> rec_.Journal.report)
                 prefix_records)

@@ -88,6 +88,7 @@ val run :
   ?ladder:Ladder.config ->
   ?journal:string ->
   ?snapshot_every:int ->
+  ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->
   market:Poc_market.Epochs.config ->
   schedule:Fault.schedule ->
@@ -96,11 +97,16 @@ val run :
     a bad market or ladder config; never raises on injected faults
     other than {!Injected_crash}.  [journal] durably records the run
     (see {!Journal}); [snapshot_every] (default 4, must be >= 1) sets
-    the snapshot cadence. *)
+    the snapshot cadence.  [pool] parallelizes every epoch's auction
+    and ladder rungs; the supervisor does not own the pool's lifecycle
+    (create it with [Poc_util.Pool.with_pool] around the whole run, so
+    an {!Injected_crash} unwinds through the pool teardown).  Reports
+    and journal bytes are identical at every pool size. *)
 
 val resume :
   ?ladder:Ladder.config ->
   journal:string ->
+  ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->
   market:Poc_market.Epochs.config ->
   schedule:Fault.schedule ->

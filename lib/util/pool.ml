@@ -1,0 +1,154 @@
+(* Fixed pool of worker domains with deterministic ordered map.
+
+   One job at a time: the submitter installs a job (an indexed closure
+   plus an atomic claim cursor), bumps a generation counter and wakes
+   the workers; each worker claims indices until the cursor runs past
+   the end, then reports back.  The submitter sleeps until every worker
+   has reported, so when [map] returns all slots are filled and the
+   mutex hand-off has published the workers' writes. *)
+
+(* Set on every worker domain so a nested submission from inside a job
+   runs inline instead of deadlocking on the (already busy) pool. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+type job = {
+  run : int -> unit; (* never raises: exceptions are captured per index *)
+  total : int;
+  next : int Atomic.t;
+}
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers wait here for a new generation *)
+  idle : Condition.t;  (* the submitter waits here for the job to drain *)
+  submit : Mutex.t;    (* serializes concurrent submitters *)
+  mutable generation : int;
+  mutable job : job option;
+  mutable active : int; (* workers still claiming for the current job *)
+  mutable stopped : bool;
+  mutable handles : unit Domain.t list;
+}
+
+let drain job =
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.total then begin
+      job.run i;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker t () =
+  Domain.DLS.set inside_worker true;
+  let seen = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stopped then Mutex.unlock t.mutex
+    else if t.generation = !seen then begin
+      Condition.wait t.work t.mutex;
+      loop ()
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      drain job;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.signal t.idle;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 0 then invalid_arg "Pool.create: negative size";
+  let t =
+    {
+      workers = n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      submit = Mutex.create ();
+      generation = 0;
+      job = None;
+      active = 0;
+      stopped = false;
+      handles = [];
+    }
+  in
+  t.handles <- List.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.workers
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run_inline ~total run =
+  for i = 0 to total - 1 do
+    run i
+  done
+
+let run_tasks t ~total run =
+  if total = 0 then ()
+  else if t.workers = 0 || total = 1 || Domain.DLS.get inside_worker then
+    run_inline ~total run
+  else begin
+    Mutex.lock t.submit;
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      Mutex.unlock t.submit;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    t.job <- Some { run; total; next = Atomic.make 0 };
+    t.active <- t.workers;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    while t.active > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    Mutex.unlock t.submit
+  end
+
+let map t f xs =
+  let total = Array.length xs in
+  if total = 0 then [||]
+  else begin
+    let out = Array.make total None in
+    let errs = Array.make total None in
+    run_tasks t ~total (fun i ->
+        match f xs.(i) with
+        | y -> out.(i) <- Some y
+        | exception e -> errs.(i) <- Some e);
+    Array.iter (function Some e -> raise e | None -> ()) errs;
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let handles = t.handles in
+  t.stopped <- true;
+  t.handles <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join handles
+
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let t = create jobs in
+    match f (Some t) with
+    | y ->
+      shutdown t;
+      y
+    | exception e ->
+      shutdown t;
+      raise e
+  end

@@ -1,0 +1,67 @@
+(** A fixed-size pool of OCaml 5 worker domains.
+
+    Spawning a domain costs a system thread plus a minor heap, so the
+    pool spawns its workers once and reuses them for every subsequent
+    job: {!map} hands the workers one array, blocks the submitting
+    domain until every element is processed, and returns the results
+    {e in input order}.  Work is claimed element-by-element through an
+    atomic cursor, so scheduling is dynamic, but because each result is
+    written to its own slot the output is deterministic whatever the
+    interleaving — [map pool f xs] equals [Array.map f xs] for any pure
+    [f] at any pool size, which is what lets the auction layer promise
+    byte-identical outcomes at every [--jobs] value.
+
+    Rules the caller must respect:
+
+    - [f] must be safe to run concurrently with itself: no mutation of
+      shared state other than [Atomic]-backed instruments
+      ([Poc_obs.Metrics] qualifies; [Poc_obs.Trace] spans do not —
+      keep tracing on the submitting domain).
+    - Jobs are submitted from any domain, one at a time (concurrent
+      submitters are serialized internally).  A submission made {e
+      from inside a worker} — e.g. a parallelized selector that calls
+      a parallelized sub-step — does not deadlock: it is detected and
+      run inline, sequentially, on that worker.
+    - Exceptions raised by [f] are caught per element and re-raised in
+      the submitting domain once the job finishes; when several
+      elements fail, the exception of the {e lowest} index wins, so
+      failure behaviour is deterministic too.
+
+    A pool of size 0 spawns no domains and runs everything inline,
+    giving callers a uniform code path for [--jobs 1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains ([n >= 0]; raises
+    [Invalid_argument] otherwise).  [create 0] is an inline pool: no
+    domains, {!map} degenerates to [Array.map].  The submitting domain
+    never executes job elements when [n > 0]; it blocks until the
+    workers drain the job, so [n] is the parallelism degree. *)
+
+val size : t -> int
+(** Number of worker domains ([0] for an inline pool). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    how many domains this machine runs well, used as the CLI's
+    [--jobs] default. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element of [xs] on the worker
+    domains and returns the results in input order.  Equals
+    [Array.map f xs] for pure [f].  Raises [Invalid_argument] if the
+    pool has been {!shutdown}. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent; the pool is unusable
+    afterwards.  Never call from inside a running job. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f (Some pool)] with a pool of
+    [jobs] workers when [jobs > 1], or [f None] when [jobs <= 1]
+    (serial semantics, zero domains), and guarantees {!shutdown} on
+    exit — including on exceptions. *)

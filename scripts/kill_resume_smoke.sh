@@ -42,4 +42,27 @@ if "$run" --resume "$workdir/journal-post_settle.bin" >/dev/null 2>&1; then
 fi
 echo "ok: completed journal refused"
 
+# The same crash/resume cycle through the domain pool: outputs and the
+# resumed journal must be byte-identical to the serial (--jobs 1) path.
+"$run" --jobs 2 > "$workdir/uninterrupted-jobs2.txt"
+if ! diff -u "$workdir/uninterrupted.txt" "$workdir/uninterrupted-jobs2.txt"; then
+  echo "FAIL: --jobs 2 run differs from serial run" >&2
+  exit 1
+fi
+
+journal="$workdir/journal-jobs2.bin"
+status=0
+"$run" --jobs 2 --journal "$journal" --crash "5:pre_settle" \
+  > "$workdir/crashed-jobs2.txt" 2>/dev/null || status=$?
+if [ "$status" -ne 10 ]; then
+  echo "FAIL(jobs2): expected crash exit code 10, got $status" >&2
+  exit 1
+fi
+"$run" --jobs 2 --resume "$journal" > "$workdir/resumed-jobs2.txt" 2>/dev/null
+if ! diff -u "$workdir/uninterrupted.txt" "$workdir/resumed-jobs2.txt"; then
+  echo "FAIL(jobs2): resumed output differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "ok: --jobs 2 crash/resume byte-identical to serial"
+
 echo "kill-and-resume smoke: all checks passed"

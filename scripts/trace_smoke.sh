@@ -74,4 +74,28 @@ for pair in market chaos; do
 done
 echo "ok: traced runs compute identical results to untraced runs"
 
+# The domain pool must be observation-invisible too: --jobs 2 runs
+# print the same results (and the same trace span names) as --jobs 1.
+"$cli" market --epochs 3 --sites 8 --bps 3 --jobs 2 \
+  --trace "$workdir/market-jobs2.json" > "$workdir/market-jobs2.txt"
+"$cli" chaos --epochs 8 --sites 8 --bps 3 --jobs 2 \
+  --trace "$workdir/chaos-jobs2.json" > "$workdir/chaos-jobs2.txt"
+for pair in market chaos; do
+  awk '/per-phase wall clock:/{exit} {print}' "$workdir/$pair-jobs2.txt" \
+    > "$workdir/$pair-jobs2.txt.head"
+  diff -u "$workdir/$pair-plain.txt.head" "$workdir/$pair-jobs2.txt.head"
+done
+python3 - "$workdir/market.json" "$workdir/market-jobs2.json" <<'EOF'
+import json, sys
+
+def span_names(path):
+    with open(path) as f:
+        return sorted({e["name"] for e in json.load(f)["traceEvents"]})
+
+serial, jobs2 = (span_names(p) for p in sys.argv[1:])
+assert serial == jobs2, f"span names diverge: {serial} vs {jobs2}"
+print("ok: --jobs 2 trace covers the same span names")
+EOF
+echo "ok: --jobs 2 runs compute identical results to serial runs"
+
 echo "trace smoke: all checks passed"

@@ -498,6 +498,41 @@ let qcheck_strategyproof_random =
         | Some misreport_outcome ->
           utility truthful_outcome >= utility misreport_outcome -. 1e-6))
 
+(* Shared pools for the parallel-determinism property: spawned once and
+   reused across every qcheck iteration (pools are cheap to reuse,
+   expensive to spawn 50×). *)
+let shared_pools =
+  lazy
+    (List.map
+       (fun jobs -> (jobs, Poc_util.Pool.create jobs))
+       [ 1; 2; 4; 8 ])
+
+let outcomes_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+  | Some (a : Vcg.outcome), Some (b : Vcg.outcome) ->
+    a.Vcg.selection.Vcg.selected = b.Vcg.selection.Vcg.selected
+    && a.Vcg.selection.Vcg.cost = b.Vcg.selection.Vcg.cost
+    && a.Vcg.total_payment = b.Vcg.total_payment
+    && Array.for_all2
+         (fun (x : Vcg.bp_result) (y : Vcg.bp_result) ->
+           x.Vcg.payment = y.Vcg.payment
+           && x.Vcg.pob = y.Vcg.pob
+           && x.Vcg.selected_links = y.Vcg.selected_links)
+         a.Vcg.bp_results b.Vcg.bp_results
+
+let qcheck_parallel_matches_serial =
+  QCheck.Test.make ~name:"Vcg.run ~pool identical to serial at any jobs"
+    ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let serial = Vcg.run problem in
+      List.for_all
+        (fun (_jobs, pool) -> outcomes_equal serial (Vcg.run ~pool problem))
+        (Lazy.force shared_pools))
+
 let suite =
   [
     Alcotest.test_case "additive bid" `Quick test_additive_bid;
@@ -537,4 +572,5 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_exact_beats_greedy;
     QCheck_alcotest.to_alcotest qcheck_individual_rationality;
     QCheck_alcotest.to_alcotest qcheck_strategyproof_random;
+    QCheck_alcotest.to_alcotest qcheck_parallel_matches_serial;
   ]

@@ -610,6 +610,67 @@ let test_journal_byte_identical_with_tracing () =
   Alcotest.(check bool) "journal is non-trivial" true
     (String.length untraced > 100)
 
+(* --- Atomic instruments under domain contention ------------------------ *)
+
+(* [domains] raw Domain.spawn hammering one instrument concurrently;
+   with the old plain-ref representation these tests lose increments
+   almost every run. *)
+let hammer ~domains ~iters f =
+  let handles = List.init domains (fun d -> Domain.spawn (fun () -> f d iters)) in
+  List.iter Domain.join handles
+
+let test_counter_no_lost_increments () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter reg "hammer_counter_total" in
+  let domains = 2 and iters = 50_000 in
+  hammer ~domains ~iters (fun _ n ->
+      for _ = 1 to n do
+        Metrics.Counter.inc c
+      done);
+  Alcotest.(check (float 0.0))
+    "every increment lands"
+    (float_of_int (domains * iters))
+    (Metrics.Counter.value c);
+  (* Counter.add races too. *)
+  hammer ~domains:4 ~iters:10_000 (fun _ n ->
+      for _ = 1 to n do
+        Metrics.Counter.add c 0.5
+      done);
+  Alcotest.(check (float 0.0))
+    "fractional adds land"
+    (float_of_int (domains * iters) +. (4.0 *. 10_000.0 *. 0.5))
+    (Metrics.Counter.value c)
+
+let test_histogram_no_lost_observations () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram ~lo:1e-3 ~growth:2.0 ~buckets:20 reg "hammer_hist" in
+  let domains = 2 and iters = 25_000 in
+  (* Each domain observes a distinct constant, so per-bucket counts are
+     predictable as well as the total. *)
+  hammer ~domains ~iters (fun d n ->
+      let v = 0.01 *. float_of_int (1 + d) in
+      for _ = 1 to n do
+        Metrics.Histogram.observe h v
+      done);
+  Alcotest.(check int) "count" (domains * iters) (Metrics.Histogram.count h);
+  let expect_sum = float_of_int iters *. (0.01 +. 0.02) in
+  Alcotest.(check (float 1e-6)) "sum" expect_sum (Metrics.Histogram.sum h);
+  Alcotest.(check (float 0.0)) "max" 0.02 (Metrics.Histogram.max_observed h);
+  let total_buckets =
+    Array.fold_left ( + ) 0 (Metrics.Histogram.bucket_counts h)
+  in
+  Alcotest.(check int) "bucket counts conserve" (domains * iters) total_buckets
+
+let test_gauge_add_no_lost_updates () =
+  let reg = Metrics.create_registry () in
+  let g = Metrics.gauge reg "hammer_gauge" in
+  hammer ~domains:2 ~iters:30_000 (fun d n ->
+      let delta = if d = 0 then 1.0 else -1.0 in
+      for _ = 1 to n do
+        Metrics.Gauge.add g delta
+      done);
+  Alcotest.(check (float 0.0)) "adds cancel exactly" 0.0 (Metrics.Gauge.value g)
+
 let suite =
   [
     Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
@@ -635,6 +696,12 @@ let suite =
     Alcotest.test_case "prometheus exposition format" `Quick
       test_prometheus_exposition;
     Alcotest.test_case "metrics JSON snapshot" `Quick test_metrics_json_snapshot;
+    Alcotest.test_case "counter loses no increments under domains" `Quick
+      test_counter_no_lost_increments;
+    Alcotest.test_case "histogram loses no observations under domains" `Quick
+      test_histogram_no_lost_observations;
+    Alcotest.test_case "gauge add loses no updates under domains" `Quick
+      test_gauge_add_no_lost_updates;
     Alcotest.test_case "supervised run trace covers every phase" `Slow
       test_supervised_run_trace_coverage;
     Alcotest.test_case "journal byte-identical with tracing on" `Slow

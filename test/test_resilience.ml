@@ -487,6 +487,27 @@ let test_resume_after_external_truncation () =
         Alcotest.(check string) "resumed run byte-identical"
           (render uninterrupted) (render resumed))
 
+let test_journal_byte_identical_under_pool () =
+  (* The tentpole determinism claim, pinned end-to-end: a journaled
+     chaos run through the domain pool produces the same journal bytes
+     and rendered report as the serial run. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let journal_of ?pool () =
+    with_tmp_journal (fun path ->
+        let report =
+          Supervisor.run ?pool plan ~journal:path ~market ~schedule
+        in
+        (render report, read_file path))
+  in
+  let serial_render, serial_bytes = journal_of () in
+  Poc_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let par_render, par_bytes = journal_of ?pool () in
+      Alcotest.(check string) "rendered report identical under jobs 4"
+        serial_render par_render;
+      Alcotest.(check string) "journal bytes identical under jobs 4"
+        serial_bytes par_bytes)
+
 let test_resume_rejects_mismatch_and_complete () =
   let plan = plan () in
   let schedule = compile_chaos plan in
@@ -591,6 +612,8 @@ let suite =
       test_journal_torn_and_corrupt_tails_truncate;
     Alcotest.test_case "resume after external truncation" `Slow
       test_resume_after_external_truncation;
+    Alcotest.test_case "journal bytes identical under domain pool" `Slow
+      test_journal_byte_identical_under_pool;
     Alcotest.test_case "resume refuses mismatched or complete journals" `Slow
       test_resume_rejects_mismatch_and_complete;
     Alcotest.test_case "replay refuses garbage and future versions" `Quick

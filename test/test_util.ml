@@ -336,6 +336,109 @@ let test_prng_state_roundtrip () =
   let replayed = List.init 50 (fun _ -> Prng.int64 b) in
   Alcotest.(check bool) "stream continues identically" true (rest = replayed)
 
+(* --- Pool: fixed-size domain pool -------------------------------------- *)
+
+module Pool = Poc_util.Pool
+
+let test_pool_map_ordered () =
+  let xs = Array.init 100 Fun.id in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let pool = Option.get pool in
+      let out = Pool.map pool (fun x -> x * x) xs in
+      Alcotest.(check bool)
+        "map equals Array.map" true
+        (out = Array.map (fun x -> x * x) xs))
+
+let test_pool_reuse () =
+  (* One pool, many jobs: workers are reused, results stay ordered. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let pool = Option.get pool in
+      for round = 1 to 20 do
+        let xs = Array.init (round * 7) (fun i -> i + round) in
+        let out = Pool.map pool (fun x -> x * 2) xs in
+        if out <> Array.map (fun x -> x * 2) xs then
+          Alcotest.failf "round %d diverged" round
+      done)
+
+let test_pool_inline_when_small () =
+  (* jobs <= 1 yields None (serial semantics), and a size-0 pool runs
+     inline with no domains. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check bool) "jobs=1 gives no pool" true (pool = None));
+  let p = Pool.create 0 in
+  Alcotest.(check int) "size 0" 0 (Pool.size p);
+  let out = Pool.map p string_of_int [| 1; 2; 3 |] in
+  Alcotest.(check bool) "inline map works" true (out = [| "1"; "2"; "3" |]);
+  Pool.shutdown p
+
+let test_pool_empty_input () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let pool = Option.get pool in
+      Alcotest.(check bool)
+        "empty array" true
+        (Pool.map pool Fun.id [||] = [||]);
+      Alcotest.(check bool) "empty list" true (Pool.map_list pool Fun.id [] = []))
+
+let test_pool_lowest_index_exception () =
+  (* Several elements raise; the submitter must see the lowest index's
+     exception, whatever the scheduling. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let pool = Option.get pool in
+      let xs = Array.init 64 Fun.id in
+      match
+        Pool.map pool
+          (fun x -> if x mod 10 = 3 then failwith (string_of_int x) else x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest failing index wins" "3" msg)
+
+let test_pool_nested_submission_inline () =
+  (* A parallelized function that itself submits to the same pool must
+     not deadlock: the inner submission runs inline on the worker. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let pool = Option.get pool in
+      let out =
+        Pool.map pool
+          (fun x ->
+            let inner = Pool.map pool (fun y -> y + x) [| 1; 2; 3 |] in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 8 Fun.id)
+      in
+      Alcotest.(check bool)
+        "nested results correct" true
+        (out = Array.init 8 (fun x -> 6 + (3 * x))))
+
+let test_pool_use_after_shutdown () =
+  let p = Pool.create 2 in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.map p Fun.id [| 1; 2 |] with
+  | _ -> Alcotest.fail "map after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_negative_size_rejected () =
+  match Pool.create (-1) with
+  | _ -> Alcotest.fail "negative size must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_deterministic_across_sizes () =
+  (* The same pure map at several pool sizes returns the same array. *)
+  let xs = Array.init 200 (fun i -> (i * 37) mod 101) in
+  let f x = (x * x) + 1 in
+  let expect = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let out =
+            match pool with
+            | None -> Array.map f xs
+            | Some p -> Pool.map p f xs
+          in
+          if out <> expect then Alcotest.failf "jobs=%d diverged" jobs))
+    [ 1; 2; 3; 4; 8 ]
+
 let suite =
   [
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
@@ -375,4 +478,19 @@ let suite =
     Alcotest.test_case "codec frames and torn tails" `Quick test_codec_frames;
     QCheck_alcotest.to_alcotest qcheck_codec_frame_roundtrip;
     Alcotest.test_case "prng state round-trip" `Quick test_prng_state_roundtrip;
+    Alcotest.test_case "pool map ordered" `Quick test_pool_map_ordered;
+    Alcotest.test_case "pool worker reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "pool inline when small" `Quick
+      test_pool_inline_when_small;
+    Alcotest.test_case "pool empty input" `Quick test_pool_empty_input;
+    Alcotest.test_case "pool lowest-index exception" `Quick
+      test_pool_lowest_index_exception;
+    Alcotest.test_case "pool nested submission runs inline" `Quick
+      test_pool_nested_submission_inline;
+    Alcotest.test_case "pool use after shutdown" `Quick
+      test_pool_use_after_shutdown;
+    Alcotest.test_case "pool negative size rejected" `Quick
+      test_pool_negative_size_rejected;
+    Alcotest.test_case "pool deterministic across sizes" `Quick
+      test_pool_deterministic_across_sizes;
   ]
