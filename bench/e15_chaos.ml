@@ -104,11 +104,12 @@ let run ~scale ~seed =
        cost of replaying the file back. *)
     Common.subheader "journal overhead";
     let path = Filename.temp_file "bench_journal" ".bin" in
+    let single_file_stats = ref None in
     Fun.protect
       ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
       (fun () ->
-        let journaled =
-          Common.timed "supervised run (journaled)" (fun () ->
+        let journaled, single_s =
+          Common.timed_s "supervised run (journaled)" (fun () ->
               Supervisor.run plan ~journal:path ~market ~schedule)
         in
         let replayed =
@@ -118,6 +119,8 @@ let run ~scale ~seed =
         match replayed with
         | Error msg -> Printf.printf "replay failed: %s\n" msg
         | Ok r ->
+          single_file_stats :=
+            Some (single_s, r.Poc_resilience.Journal.valid_bytes);
           Printf.printf
             "journal: %d bytes for %d epochs (%d records, snapshot every \
              %d); rendered output %s\n"
@@ -129,8 +132,84 @@ let run ~scale ~seed =
                = Supervisor.render_epochs report
              then "identical to the unjournaled run"
              else "DIVERGED from the unjournaled run"));
+    (* Rotation overhead: the same run against a segmented store at a
+       few byte budgets.  Tighter budgets rotate (and GC) more often;
+       the bytes left on disk shrink to the active window while the
+       wall clock should stay within noise of the single-file run. *)
+    Common.subheader "rotation overhead (segmented store)";
+    let bytes_on_disk dir =
+      Array.fold_left
+        (fun acc name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then acc
+          else acc + (Unix.stat p).Unix.st_size)
+        0 (Sys.readdir dir)
+    in
+    let rm_store dir =
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name ->
+            let p = Filename.concat dir name in
+            if not (Sys.is_directory p) then Sys.remove p)
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end
+    in
+    let seg_rows =
+      List.map
+        (fun budget ->
+          let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "bench_segstore_%d" budget)
+          in
+          Fun.protect
+            ~finally:(fun () -> rm_store dir)
+            (fun () ->
+              let journaled, dt =
+                Common.timed_s
+                  (Printf.sprintf "segmented run (budget %d)" budget)
+                  (fun () ->
+                    Supervisor.run plan ~journal:dir ~segment_bytes:budget
+                      ~market ~schedule)
+              in
+              let bytes = bytes_on_disk dir in
+              let live =
+                match Poc_resilience.Journal.replay dir with
+                | Ok r -> List.length r.Poc_resilience.Journal.live_segments
+                | Error _ -> 0
+              in
+              Printf.printf
+                "budget %6d: %.2f epochs/s, %d bytes on disk, %d live \
+                 segments; rendered output %s\n"
+                budget
+                (float_of_int market.Epochs.epochs /. dt)
+                bytes live
+                (if
+                   Supervisor.render_epochs journaled
+                   = Supervisor.render_epochs report
+                 then "identical"
+                 else "DIVERGED");
+              Printf.sprintf
+                "{\"budget\":%d,\"seconds\":%.3f,\"epochs_per_s\":%.3f,\"bytes_on_disk\":%d,\"live_segments\":%d}"
+                budget dt
+                (float_of_int market.Epochs.epochs /. dt)
+                bytes live))
+        [ 4096; 16384; 65536 ]
+    in
+    let rotation_json =
+      let single =
+        match !single_file_stats with
+        | Some (s, bytes) ->
+          Printf.sprintf "{\"seconds\":%.3f,\"bytes_on_disk\":%d}" s bytes
+        | None -> "null"
+      in
+      Printf.sprintf "{\"single_file\":%s,\"segmented\":[%s]}" single
+        (String.concat "," seg_rows)
+    in
     print_endline
       "expected shape: every epoch keeps a priced outcome (no blackout),\n\
      the recall wave degrades to a ladder rung and recovers the next\n\
      epoch, and the ledger nets to zero throughout.";
-    Common.write_metrics_artifact ~label:"e15" ()
+    Common.write_metrics_artifact ~extra:[ ("rotation", rotation_json) ]
+      ~label:"e15" ()

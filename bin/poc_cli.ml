@@ -7,6 +7,8 @@
      market    multi-epoch bandwidth-market simulation
      chaos     supervised market under injected faults, with a durable
                journal and crash/resume support
+     scrub     check and repair a run journal (segment classification,
+               tail truncation, quarantine)
      profile   run N supervised epochs and print per-phase latencies
      topology  describe a generated substrate
      baseline  describe the traditional-Internet comparator
@@ -22,6 +24,8 @@ module Vcg = Poc_auction.Vcg
 module Acc = Poc_auction.Acceptability
 module Wan = Poc_topology.Wan
 module Fault = Poc_resilience.Fault
+module Disk = Poc_resilience.Disk
+module Journal = Poc_resilience.Journal
 module Supervisor = Poc_resilience.Supervisor
 module Obs_log = Poc_obs.Log
 module Trace = Poc_obs.Trace
@@ -260,10 +264,22 @@ let resume_arg =
               it.  Fails with a clear error if the journal is corrupt, \
               complete, or was written under a different configuration.")
 
+let segment_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "segment-bytes" ] ~docv:"N"
+        ~doc:"Write the journal as a segmented store rotating past $(docv) \
+              bytes per segment; history older than the newest durable \
+              checkpoint is garbage-collected at rotation.  The default is \
+              a single append-only file.  $(b,--resume) detects the store \
+              kind automatically.")
+
 (* Run the supervised loop, honoring --journal/--resume.  Exit codes:
    10 for an injected crash (the journal is left ready to resume), 1
    for a journal that cannot be resumed. *)
-let run_supervised ~journal ~resume ?pool plan ~market ~schedule =
+let run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market ~schedule
+    =
   match resume with
   | Some path -> (
     match Supervisor.resume ~journal:path ?pool plan ~market ~schedule with
@@ -274,7 +290,7 @@ let run_supervised ~journal ~resume ?pool plan ~market ~schedule =
       Printf.eprintf "resume failed: %s\n" msg;
       exit 1)
   | None -> (
-    try Supervisor.run ?journal ?pool plan ~market ~schedule with
+    try Supervisor.run ?journal ?segment_bytes ?pool plan ~market ~schedule with
     | Supervisor.Injected_crash { epoch; phase } ->
       Printf.eprintf
         "injected crash at epoch %d (%s); finish the run with --resume\n" epoch
@@ -292,7 +308,8 @@ let print_supervised (report : Supervisor.report) =
     report.Supervisor.violations
 
 let market_cmd =
-  let run verbose seed sites bps epochs jobs journal resume trace metrics =
+  let run verbose seed sites bps epochs jobs journal resume segment_bytes trace
+      metrics =
     setup_logs verbose;
     setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -310,7 +327,8 @@ let market_cmd =
               exit 1
           in
           print_supervised
-            (run_supervised ~journal ~resume ?pool plan ~market ~schedule)
+            (run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market
+               ~schedule)
         else
           let results = Epochs.run ?pool plan market in
           List.iter
@@ -330,7 +348,8 @@ let market_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ journal_arg $ resume_arg $ segment_bytes_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
@@ -366,14 +385,52 @@ let chaos_cmd =
                 The process exits with code 10 and the journal is left \
                 ready for $(b,--resume).  Repeatable.")
   in
+  let disk_fault_conv =
+    (* EPOCH:PHASE:KIND[:ARG] — the fault kind may carry its own
+       colon-separated argument, so only the first two colons split. *)
+    let parse s =
+      match String.split_on_char ':' s with
+      | e :: p :: (_ :: _ as rest) -> (
+        let f = String.concat ":" rest in
+        match
+          (int_of_string_opt e, Fault.phase_of_string p, Disk.fault_of_string f)
+        with
+        | Some e, Some p, Ok f -> Ok (e, p, f)
+        | None, _, _ -> Error (`Msg (Printf.sprintf "bad epoch %S" e))
+        | _, None, _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "bad phase %S: expected pre_auction, pre_settle or post_settle"
+                 p))
+        | _, _, Error msg -> Error (`Msg msg))
+      | _ -> Error (`Msg "expected EPOCH:PHASE:KIND[:ARG]")
+    in
+    let print ppf (e, p, f) =
+      Format.fprintf ppf "%d:%s:%s" e (Fault.phase_to_string p)
+        (Disk.fault_to_string f)
+    in
+    Arg.conv (parse, print)
+  in
+  let disk_fault_arg =
+    Arg.(
+      value & opt_all disk_fault_conv []
+      & info [ "disk-fault" ] ~docv:"EPOCH:PHASE:KIND[:ARG]"
+          ~doc:"Inject a power-cut with storage damage at the given epoch \
+                and phase.  KIND is $(b,short_write)[:DROP], \
+                $(b,torn_rename), $(b,lying_fsync)[:DROP] or \
+                $(b,corrupt_byte)[:SEED].  The process exits with code 10; \
+                finish with $(b,--resume), running $(b,poc-cli scrub) first \
+                if the resume reports unreadable segments.  Repeatable.")
+  in
   let fault_seed_arg =
     Arg.(
       value & opt int 2020
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for compiling the fault schedule.")
   in
-  let run verbose seed sites bps epochs jobs fault_seed crashes journal resume
-      trace metrics =
+  let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
+      journal resume segment_bytes trace metrics =
     setup_logs verbose;
     setup_obs ~trace ~metrics;
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -393,6 +450,10 @@ let chaos_cmd =
       @ List.map
           (fun (at_epoch, phase) -> Fault.Crash { at_epoch; phase })
           crashes
+      @ List.map
+          (fun (at_epoch, phase, fault) ->
+            Fault.Storage { at_epoch; phase; fault })
+          disk_faults
     in
     let schedule =
       match Fault.compile plan.Planner.wan ~seed:fault_seed specs with
@@ -404,18 +465,58 @@ let chaos_cmd =
     let market = { Epochs.default_config with Epochs.epochs; seed } in
     Pool.with_pool ~jobs (fun pool ->
         print_supervised
-          (run_supervised ~journal ~resume ?pool plan ~market ~schedule));
+          (run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market
+             ~schedule));
     print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ jobs_arg $ fault_seed_arg $ crash_arg $ journal_arg $ resume_arg
-      $ trace_arg $ metrics_arg)
+      $ jobs_arg $ fault_seed_arg $ crash_arg $ disk_fault_arg $ journal_arg
+      $ resume_arg $ segment_bytes_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Supervised market under injected faults (journal + crash/resume)")
+    term
+
+(* --- scrub ------------------------------------------------------------------ *)
+
+let scrub_cmd =
+  let journal_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Journal to scrub: a single append-only file or a segmented \
+                store directory.")
+  in
+  let dry_run_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Classify every segment and print the report without \
+                modifying the store.")
+  in
+  let run verbose path dry_run =
+    setup_logs verbose;
+    match Journal.scrub ~dry_run path with
+    | Error msg ->
+      Printf.eprintf "scrub failed: %s\n" msg;
+      exit 1
+    | Ok report ->
+      print_string (Journal.scrub_to_json report);
+      (* Exit 0: the store resumes (possibly from an older checkpoint).
+         Exit 3: nothing durable survives — start the run over. *)
+      if not report.Journal.recovered then exit 3
+  in
+  let term = Term.(const run $ verbose_arg $ journal_pos $ dry_run_arg) in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Check and repair a run journal: classify each segment as clean, \
+             torn-tail, corrupt-interior or unreadable; truncate damage at \
+             the last good frame; quarantine unreadable segments; print a \
+             machine-readable JSON report.")
     term
 
 (* --- profile ---------------------------------------------------------------- *)
@@ -596,6 +697,6 @@ let () =
   let doc = "A Public Option for the Core — planning, auction and policy toolkit" in
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; profile_cmd;
-      topology_cmd; federation_cmd; availability_cmd; export_cmd;
+    [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; scrub_cmd;
+      profile_cmd; topology_cmd; federation_cmd; availability_cmd; export_cmd;
       baseline_cmd ]))

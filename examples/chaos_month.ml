@@ -16,9 +16,19 @@
    Durability flags (the kill-and-resume walkthrough in README.md):
 
      --journal PATH        write a crash-safe journal of the run
+     --segment-bytes N     journal as a segmented store (rotation past N
+                           bytes per segment, GC behind the newest
+                           checkpoint); default is one append-only file
      --crash EPOCH:PHASE   inject a process crash (phases: pre_auction,
                            pre_settle, post_settle); exits with code 10
+     --disk-fault EPOCH:PHASE:KIND[:ARG]
+                           power-cut with storage damage: short_write[:DROP],
+                           torn_rename, lying_fsync[:DROP],
+                           corrupt_byte[:SEED]; exits with code 10
      --resume PATH         recover from a journal and finish the run
+                           (store kind is detected automatically; run
+                           `poc-cli scrub` first if resume reports
+                           unreadable segments)
      --jobs N              worker domains for the auction layer
                            (default 1 = serial; outputs are identical
                            at every value)
@@ -37,8 +47,8 @@ module Supervisor = Poc_resilience.Supervisor
 
 let usage () =
   prerr_endline
-    "usage: chaos_month [--journal PATH] [--resume PATH] [--crash EPOCH:PHASE] \
-     [--jobs N]";
+    "usage: chaos_month [--journal PATH] [--segment-bytes N] [--resume PATH] \
+     [--crash EPOCH:PHASE] [--disk-fault EPOCH:PHASE:KIND[:ARG]] [--jobs N]";
   exit 2
 
 let parse_crash spec =
@@ -58,19 +68,52 @@ let parse_crash spec =
     | Some at_epoch, Some phase -> Fault.Crash { at_epoch; phase }
     | _ -> bad ())
 
+(* EPOCH:PHASE:KIND[:ARG]; the kind keeps any colons of its own. *)
+let parse_disk_fault spec =
+  let bad msg =
+    Printf.eprintf "bad --disk-fault %S: %s\n" spec msg;
+    exit 2
+  in
+  match String.split_on_char ':' spec with
+  | epoch :: phase :: (_ :: _ as rest) -> (
+    let kind = String.concat ":" rest in
+    match
+      ( int_of_string_opt epoch,
+        Fault.phase_of_string phase,
+        Poc_resilience.Disk.fault_of_string kind )
+    with
+    | Some at_epoch, Some phase, Ok fault ->
+      Fault.Storage { at_epoch; phase; fault }
+    | None, _, _ -> bad "EPOCH must be an integer"
+    | _, None, _ -> bad "PHASE must be pre_auction, pre_settle or post_settle"
+    | _, _, Error msg -> bad msg)
+  | _ -> bad "expected EPOCH:PHASE:KIND[:ARG]"
+
 let () =
   let journal = ref None and resume = ref None and crashes = ref [] in
-  let jobs = ref 1 in
+  let jobs = ref 1 and segment_bytes = ref None in
   let rec parse = function
     | [] -> ()
     | "--journal" :: path :: rest ->
       journal := Some path;
       parse rest
+    | "--segment-bytes" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        segment_bytes := Some n;
+        parse rest
+      | Some _ | None ->
+        Printf.eprintf "bad --segment-bytes %S: expected a positive integer\n"
+          n;
+        exit 2)
     | "--resume" :: path :: rest ->
       resume := Some path;
       parse rest
     | "--crash" :: spec :: rest ->
       crashes := parse_crash spec :: !crashes;
+      parse rest
+    | "--disk-fault" :: spec :: rest ->
+      crashes := parse_disk_fault spec :: !crashes;
       parse rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
@@ -134,7 +177,9 @@ let () =
               Printf.eprintf "resume failed: %s\n" msg;
               exit 1)
           | None -> (
-            try Supervisor.run ?journal:!journal ?pool plan ~market ~schedule
+            try
+              Supervisor.run ?journal:!journal ?segment_bytes:!segment_bytes
+                ?pool plan ~market ~schedule
             with Supervisor.Injected_crash { epoch; phase } ->
               Printf.eprintf
                 "injected crash at epoch %d (%s); journal retained for \

@@ -28,7 +28,7 @@ let per_pair_failure_scenario g ~enabled =
   Hashtbl.fold (fun _ (e : Graph.edge) acc -> e.id :: acc) best []
   |> List.sort compare
 
-let satisfied g ~demands ~enabled rule =
+let satisfied ?pool g ~demands ~enabled rule =
   match rule with
   | Handle_load ->
     let r = Router.route ~enabled g ~demands in
@@ -36,7 +36,7 @@ let satisfied g ~demands ~enabled rule =
   | Single_link_failure ->
     let base = Router.route ~enabled g ~demands in
     base.Router.feasible
-    && Router.survives_all_single_failures ~enabled g ~demands base
+    && Router.survives_all_single_failures ~enabled ?pool g ~demands base
   | Per_pair_failure ->
     let failed = per_pair_failure_scenario g ~enabled in
     let failed_tbl = Hashtbl.create (List.length failed) in

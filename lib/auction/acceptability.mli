@@ -28,13 +28,17 @@ val name : t -> string
 val all : t list
 
 val satisfied :
+  ?pool:Poc_util.Pool.t ->
   Poc_graph.Graph.t ->
   demands:Poc_mcf.Router.demand list ->
   enabled:(int -> bool) ->
   t ->
   bool
 (** [satisfied g ~demands ~enabled rule] decides whether the enabled
-    link set is acceptable under [rule]. *)
+    link set is acceptable under [rule].  [pool] fans the
+    Constraint #2 per-failure checks out across worker domains
+    ({!Poc_mcf.Router.survives_all_single_failures}); the verdict is
+    identical at every pool size. *)
 
 val per_pair_failure_scenario :
   Poc_graph.Graph.t -> enabled:(int -> bool) -> int list

@@ -153,9 +153,9 @@ let prune_limit_single_failure = 400
 
 let prune_limit_per_pair = 400
 
-let satisfied problem ~enabled =
+let satisfied ?pool problem ~enabled =
   Metrics.Counter.inc m_candidate_evals;
-  Acceptability.satisfied problem.graph ~demands:problem.demands ~enabled
+  Acceptability.satisfied ?pool problem.graph ~demands:problem.demands ~enabled
     problem.rule
 
 let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
@@ -208,7 +208,9 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
       ok
     | None ->
       Metrics.Counter.inc m_feas_misses;
-      let ok = satisfied problem ~enabled in
+      (* Nested submissions from a pool worker run inline, so passing
+         the pool down is safe wherever this evaluation happens. *)
+      let ok = satisfied ?pool problem ~enabled in
       Hashtbl.add feas_cache key ok;
       ok
   in

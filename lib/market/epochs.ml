@@ -123,6 +123,12 @@ let encode_result r =
 let decode_result s =
   match Codec.next_frame s ~pos:0 with
   | Codec.End | Codec.Torn -> Error "Epochs: torn or truncated result record"
+  | Codec.Frame { next; _ } when next <> String.length s ->
+    (* One record means one frame: bytes after it are either a framing
+       bug or a concatenated stream handed to the wrong decoder. *)
+    Error
+      (Printf.sprintf "Epochs: %d trailing bytes after the result record"
+         (String.length s - next))
   | Codec.Frame { payload; next = _ } -> (
     match
       let r = Codec.reader payload in

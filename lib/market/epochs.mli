@@ -61,7 +61,8 @@ val encode_result : epoch_result -> string
 
 val decode_result : string -> (epoch_result, string) result
 (** Inverse of {!encode_result}.  [Error] (never an exception) on a
-    torn, truncated or checksum-corrupted record. *)
+    torn, truncated or checksum-corrupted record, and on trailing
+    bytes after the record — one record is exactly one frame. *)
 
 val run :
   ?pool:Poc_util.Pool.t -> Poc_core.Planner.plan -> config -> epoch_result list

@@ -265,7 +265,8 @@ let survives_failure ?(enabled = fun _ -> true) g ~demands ~base ~failed_edge =
   | Some _ -> true
   | None -> false
 
-let survives_all_single_failures ?(enabled = fun _ -> true) g ~demands base =
+let survives_all_single_failures ?(enabled = fun _ -> true) ?pool g ~demands
+    base =
   ignore demands;
   let adj = build_adjacency g enabled in
   (* Most-loaded edges are the likeliest to be irreplaceable: check
@@ -274,9 +275,20 @@ let survives_all_single_failures ?(enabled = fun _ -> true) g ~demands base =
     used_edges base
     |> List.sort (fun a b -> compare base.usage.(b) base.usage.(a))
   in
-  List.for_all
-    (fun eid ->
-      match reroute_core ~adj ~enabled g ~base ~failed_edge:eid with
-      | Some _ -> true
-      | None -> false)
-    by_load_desc
+  let check eid =
+    match reroute_core ~adj ~enabled g ~base ~failed_edge:eid with
+    | Some _ -> true
+    | None -> false
+  in
+  match pool with
+  | None ->
+    (* The serial path short-circuits at the first irreplaceable edge. *)
+    List.for_all check by_load_desc
+  | Some p ->
+    (* Each per-edge check is pure over the shared base routing, so the
+       fan-out is safe; the verdict (a conjunction) is independent of
+       evaluation order, keeping outcomes identical at every pool
+       size.  The pooled path evaluates every edge — no short-circuit —
+       trading wasted work on infeasible sets for wall-clock on the
+       (common) feasible ones. *)
+    Poc_util.Pool.map_list p check by_load_desc |> List.for_all Fun.id

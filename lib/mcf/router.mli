@@ -76,9 +76,14 @@ val survives_failure :
 
 val survives_all_single_failures :
   ?enabled:(int -> bool) ->
+  ?pool:Poc_util.Pool.t ->
   Poc_graph.Graph.t ->
   demands:demand list ->
   routing ->
   bool
 (** True when the routing survives the failure of each used edge in
-    turn (unused edges cannot hurt and are skipped). *)
+    turn (unused edges cannot hurt and are skipped).  Each per-edge
+    check reroutes against the same immutable base, so with [pool] they
+    fan out across worker domains; the verdict is identical at every
+    pool size (the serial path short-circuits, the pooled path checks
+    every edge). *)

@@ -124,3 +124,9 @@ val to_json : registry -> string
 (** [{"counters":{..},"gauges":{..},"histograms":{name:
     {"count","sum","p50","p95","p99","max"}}}] — the perf-baseline
     artifact shape the bench harness records. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal (quotes,
+    backslashes, control characters).  Shared by every machine-readable
+    report in the tree ({!to_json}, the journal scrub report) so they
+    agree on escaping. *)

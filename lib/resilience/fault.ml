@@ -21,6 +21,7 @@ type spec =
   | Offer_shrinkage of { at_epoch : int; fraction : float }
   | Traffic_surge of { at_epoch : int; factor : float; duration : int }
   | Crash of { at_epoch : int; phase : phase }
+  | Storage of { at_epoch : int; phase : phase; fault : Disk.fault }
 
 type event =
   | Link_down of int
@@ -30,6 +31,7 @@ type event =
   | Surge of float
   | Surge_over of float
   | Crash_point of phase
+  | Disk_point of phase * Disk.fault
 
 type schedule = { timeline : (int * event) list }
 
@@ -73,7 +75,13 @@ let spec_problems (wan : Wan.t) specs =
         check
           (Float.is_finite factor && factor > 0.0)
           (where "factor must be positive")
-      | Crash { at_epoch; phase = _ } -> epoch at_epoch)
+      | Crash { at_epoch; phase = _ } -> epoch at_epoch
+      | Storage { at_epoch; phase = _; fault } -> (
+        epoch at_epoch;
+        match fault with
+        | Disk.Short_write { drop } | Disk.Lying_fsync { drop } ->
+          check (drop >= 1) (where "drop must be >= 1")
+        | Disk.Torn_rename | Disk.Corrupt_byte _ -> ()))
     specs;
   List.rev !bad
 
@@ -131,10 +139,13 @@ let compile wan ~seed specs =
         | Traffic_surge { at_epoch; factor; duration } ->
           emit at_epoch (Surge factor);
           emit (at_epoch + duration) (Surge_over factor)
-        (* No random draw: adding a Crash spec never perturbs the
-           links the other specs pick, so a crashed-and-resumed run is
-           comparable to the same schedule without the crash. *)
-        | Crash { at_epoch; phase } -> emit at_epoch (Crash_point phase))
+        (* No random draw: adding a Crash or Storage spec never
+           perturbs the links the other specs pick, so a
+           crashed-and-resumed run is comparable to the same schedule
+           without the crash.  (Corrupt_byte carries its own seed.) *)
+        | Crash { at_epoch; phase } -> emit at_epoch (Crash_point phase)
+        | Storage { at_epoch; phase; fault } ->
+          emit at_epoch (Disk_point (phase, fault)))
       specs;
     (* Stable sort keeps compile order within an epoch. *)
     Ok { timeline = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !timeline) }
@@ -156,6 +167,9 @@ let event_to_string = function
   | Surge f -> Printf.sprintf "surge(x%.2f)" f
   | Surge_over f -> Printf.sprintf "surge_over(x%.2f)" f
   | Crash_point phase -> Printf.sprintf "crash(%s)" (phase_to_string phase)
+  | Disk_point (phase, fault) ->
+    Printf.sprintf "disk(%s,%s)" (phase_to_string phase)
+      (Disk.fault_to_string fault)
 
 let describe schedule epoch =
   (* Mass events (a full-portfolio recall downs a hundred links at
@@ -169,13 +183,17 @@ let describe schedule epoch =
     | Surge _ -> "surge"
     | Surge_over _ -> "surge_over"
     | Crash_point _ -> "crash"
+    | Disk_point _ -> "disk"
   in
-  (* Crash points kill the process, they are not market faults: hiding
-     them here keeps the incident log of a crashed-and-resumed run
-     byte-identical to the same schedule run uninterrupted. *)
+  (* Crash and disk-fault points kill the process, they are not market
+     faults: hiding them here keeps the incident log of a
+     crashed-and-resumed run byte-identical to the same schedule run
+     uninterrupted. *)
   match
     at schedule epoch
-    |> List.filter (function Crash_point _ -> false | _ -> true)
+    |> List.filter (function
+         | Crash_point _ | Disk_point _ -> false
+         | _ -> true)
   with
   | [] -> "-"
   | evs ->

@@ -40,6 +40,13 @@ type spec =
           spec list never changes which links the other specs pick; a
           resumed run ignores crash points, so kill + resume is
           comparable to the same schedule without the crash. *)
+  | Storage of { at_epoch : int; phase : phase; fault : Disk.fault }
+      (** a {!Crash} that additionally damages the journal's disk state
+          the way real hardware does: the process dies at the given
+          point {e and} {!Disk.power_cut} applies the fault (short
+          write, torn rename, lying fsync, silent byte corruption).
+          Like [Crash], compiling one draws no randomness and a
+          resumed run ignores it. *)
 
 type event =
   | Link_down of int
@@ -49,6 +56,8 @@ type event =
   | Surge of float
   | Surge_over of float
   | Crash_point of phase (** process dies here (supervisor raises) *)
+  | Disk_point of phase * Disk.fault
+      (** process dies here after the disk fault's damage lands *)
 
 type schedule
 (** Concrete events keyed by epoch; immutable once compiled. *)
@@ -77,6 +86,6 @@ val describe : schedule -> int -> string
 (** All events at an epoch joined with ["; "]; ["-"] when none.  Runs
     of more than four events of the same kind are compressed to a
     count, e.g. ["link_down x139"], so mass recalls stay readable.
-    Crash points are omitted: they kill the process rather than the
-    market, and hiding them keeps a resumed run's incident log
-    byte-identical to an uninterrupted one. *)
+    Crash and disk-fault points are omitted: they kill the process
+    rather than the market, and hiding them keeps a resumed run's
+    incident log byte-identical to an uninterrupted one. *)

@@ -51,8 +51,30 @@ type header = {
   digest : int64;
 }
 
+type carry = {
+  at : snapshot;
+  carry_reports : epoch_report list;
+  carry_violations : violation list;
+}
+
 let version = 1
 let magic = 0x504F434A (* "POCJ" *)
+let manifest_name = "MANIFEST"
+let quarantine_name = "quarantine"
+let manifest_path dir = Filename.concat dir manifest_name
+let seg_name id = Printf.sprintf "%05d.seg" id
+let seg_path dir id = Filename.concat dir (seg_name id)
+
+let seg_id_of_name name =
+  if Filename.check_suffix name ".seg" then begin
+    let stem = Filename.chop_suffix name ".seg" in
+    if
+      String.length stem >= 5
+      && String.for_all (fun c -> c >= '0' && c <= '9') stem
+    then int_of_string_opt stem
+    else None
+  end
+  else None
 
 (* --- field codecs ------------------------------------------------------- *)
 
@@ -84,6 +106,26 @@ let get_phase r =
   | 2 -> Fault.Post_settle
   | n -> raise (Codec.Corrupt (Printf.sprintf "bad phase tag %d" n))
 
+let put_disk_fault w = function
+  | Disk.Short_write { drop } ->
+    Codec.put_u8 w 0;
+    Codec.put_int w drop
+  | Disk.Torn_rename -> Codec.put_u8 w 1
+  | Disk.Lying_fsync { drop } ->
+    Codec.put_u8 w 2;
+    Codec.put_int w drop
+  | Disk.Corrupt_byte { seed } ->
+    Codec.put_u8 w 3;
+    Codec.put_int w seed
+
+let get_disk_fault r =
+  match Codec.get_u8 r with
+  | 0 -> Disk.Short_write { drop = Codec.get_int r }
+  | 1 -> Disk.Torn_rename
+  | 2 -> Disk.Lying_fsync { drop = Codec.get_int r }
+  | 3 -> Disk.Corrupt_byte { seed = Codec.get_int r }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad disk-fault tag %d" n))
+
 let put_event w = function
   | Fault.Link_down id ->
     Codec.put_u8 w 0;
@@ -106,6 +148,10 @@ let put_event w = function
   | Fault.Crash_point phase ->
     Codec.put_u8 w 6;
     put_phase w phase
+  | Fault.Disk_point (phase, fault) ->
+    Codec.put_u8 w 7;
+    put_phase w phase;
+    put_disk_fault w fault
 
 let get_event r =
   match Codec.get_u8 r with
@@ -116,6 +162,10 @@ let get_event r =
   | 4 -> Fault.Surge (Codec.get_f64 r)
   | 5 -> Fault.Surge_over (Codec.get_f64 r)
   | 6 -> Fault.Crash_point (get_phase r)
+  | 7 ->
+    let phase = get_phase r in
+    let fault = get_disk_fault r in
+    Fault.Disk_point (phase, fault)
   | n -> raise (Codec.Corrupt (Printf.sprintf "bad event tag %d" n))
 
 let put_status w = function
@@ -199,6 +249,36 @@ let get_violation r =
   let detail = Codec.get_string r in
   { epoch; invariant; detail }
 
+let put_snapshot_body w (s : snapshot) =
+  Codec.put_int w s.at_epoch;
+  Codec.put_i64 w s.prng_state;
+  Codec.put_f64_array w s.cost_level;
+  Codec.put_list w Codec.put_int s.down;
+  Codec.put_list w Codec.put_int s.gone;
+  Codec.put_f64 w s.surge;
+  Codec.put_f64 w s.demand_scale;
+  Codec.put_option w
+    (fun w (ids, cost) ->
+      Codec.put_list w Codec.put_int ids;
+      Codec.put_f64 w cost)
+    s.last_good
+
+let get_snapshot_body r =
+  let at_epoch = Codec.get_int r in
+  let prng_state = Codec.get_i64 r in
+  let cost_level = Codec.get_f64_array r in
+  let down = Codec.get_list r Codec.get_int in
+  let gone = Codec.get_list r Codec.get_int in
+  let surge = Codec.get_f64 r in
+  let demand_scale = Codec.get_f64 r in
+  let last_good =
+    Codec.get_option r (fun r ->
+        let ids = Codec.get_list r Codec.get_int in
+        let cost = Codec.get_f64 r in
+        (ids, cost))
+  in
+  { at_epoch; prng_state; cost_level; down; gone; surge; demand_scale; last_good }
+
 (* --- digest ------------------------------------------------------------- *)
 
 let digest ~(market : Epochs.config) ~(ladder : Ladder.config) schedule =
@@ -223,16 +303,19 @@ let digest ~(market : Epochs.config) ~(ladder : Ladder.config) schedule =
   Codec.put_list w Codec.put_f64 ladder.Ladder.relax_factors;
   Codec.put_bool w ladder.Ladder.step_rules;
   Codec.put_int w ladder.Ladder.max_attempts;
-  (* Crash points are excluded: they kill the process, not the market,
-     and a resumed run ignores them — so a journal written under a
-     crash-injecting schedule can be resumed under the same schedule
-     with or without its [Crash] specs. *)
+  (* Crash and disk-fault points are excluded: they kill the process,
+     not the market, and a resumed run ignores them — so a journal
+     written under a crash-injecting schedule can be resumed under the
+     same schedule with or without its [Crash]/[Storage] specs. *)
   Codec.put_list w
     (fun w (epoch, ev) ->
       Codec.put_int w epoch;
       put_event w ev)
     (List.filter
-       (fun (_, ev) -> match ev with Fault.Crash_point _ -> false | _ -> true)
+       (fun (_, ev) ->
+         match ev with
+         | Fault.Crash_point _ | Fault.Disk_point _ -> false
+         | _ -> true)
        (Fault.events schedule));
   Int64.of_int (Codec.crc32 (Codec.contents w))
 
@@ -262,18 +345,7 @@ let epoch_payload (rec_ : epoch_record) =
 let snapshot_payload (s : snapshot) =
   let w = Codec.writer () in
   Codec.put_u8 w 2;
-  Codec.put_int w s.at_epoch;
-  Codec.put_i64 w s.prng_state;
-  Codec.put_f64_array w s.cost_level;
-  Codec.put_list w Codec.put_int s.down;
-  Codec.put_list w Codec.put_int s.gone;
-  Codec.put_f64 w s.surge;
-  Codec.put_f64 w s.demand_scale;
-  Codec.put_option w
-    (fun w (ids, cost) ->
-      Codec.put_list w Codec.put_int ids;
-      Codec.put_f64 w cost)
-    s.last_good;
+  put_snapshot_body w s;
   Codec.contents w
 
 let complete_payload incidents =
@@ -282,7 +354,35 @@ let complete_payload incidents =
   Codec.put_string w incidents;
   Codec.contents w
 
-(* --- writer ------------------------------------------------------------- *)
+let seg_header_payload (h : header) ~seg_id ~budget ~carry =
+  let w = Codec.writer () in
+  Codec.put_u8 w 4;
+  Codec.put_u32 w magic;
+  Codec.put_int w h.version;
+  Codec.put_int w seg_id;
+  Codec.put_int w budget;
+  Codec.put_int w h.market_seed;
+  Codec.put_int w h.market_epochs;
+  Codec.put_int w h.n_bps;
+  Codec.put_int w h.snapshot_every;
+  Codec.put_i64 w h.digest;
+  Codec.put_option w
+    (fun w c ->
+      put_snapshot_body w c.at;
+      Codec.put_list w put_report c.carry_reports;
+      Codec.put_list w put_violation c.carry_violations)
+    carry;
+  Codec.contents w
+
+let manifest_payload ids =
+  let w = Codec.writer () in
+  Codec.put_u8 w 5;
+  Codec.put_u32 w magic;
+  Codec.put_int w version;
+  Codec.put_list w Codec.put_int ids;
+  Codec.contents w
+
+(* --- metrics ------------------------------------------------------------ *)
 
 module Metrics = Poc_obs.Metrics
 
@@ -294,31 +394,146 @@ let m_flushes =
   Metrics.counter ~help:"Journal record flushes" Metrics.default
     "poc_journal_flushes_total"
 
-type t = { oc : out_channel }
+let m_rotations =
+  Metrics.counter ~help:"Journal segment rotations" Metrics.default
+    "poc_journal_rotations_total"
 
-let write_frame t payload =
-  let framed = Codec.frame payload in
-  Metrics.Counter.add m_bytes (float_of_int (String.length framed));
+let m_gc_segments =
+  Metrics.counter ~help:"Journal segments garbage-collected at rotation"
+    Metrics.default "poc_journal_gc_segments_total"
+
+let m_scrub_segments =
+  Metrics.counter ~help:"Journal segments examined by scrub" Metrics.default
+    "poc_scrub_segments_total"
+
+let m_scrub_records =
+  Metrics.counter ~help:"Checksum-valid records seen by scrub" Metrics.default
+    "poc_scrub_records_ok_total"
+
+let m_scrub_truncated =
+  Metrics.counter ~help:"Segments truncated by scrub" Metrics.default
+    "poc_scrub_truncated_total"
+
+let m_scrub_quarantined =
+  Metrics.counter ~help:"Segments quarantined by scrub" Metrics.default
+    "poc_scrub_quarantined_total"
+
+let m_scrub_bytes_dropped =
+  Metrics.counter ~help:"Damaged bytes removed by scrub" Metrics.default
+    "poc_scrub_bytes_dropped_total"
+
+(* --- writer ------------------------------------------------------------- *)
+
+type sink =
+  | File_sink of { file : Disk.file }
+  | Seg_sink of {
+      dir : string;
+      budget : int;
+      mutable seg_id : int;
+      mutable file : Disk.file;
+      mutable seg_bytes : int;
+      mutable live : int list;
+    }
+
+type t = { disk : Disk.t; header : header; sink : sink }
+
+let current_file t =
+  match t.sink with File_sink f -> f.file | Seg_sink s -> s.file
+
+let raw_append t s =
+  Metrics.Counter.add m_bytes (float_of_int (String.length s));
   Metrics.Counter.inc m_flushes;
-  output_string t.oc framed;
-  flush t.oc
+  let f = current_file t in
+  Disk.append t.disk f s;
+  Disk.sync t.disk f;
+  match t.sink with
+  | Seg_sink sg -> sg.seg_bytes <- sg.seg_bytes + String.length s
+  | File_sink _ -> ()
 
-let create path header =
-  let oc = open_out_bin path in
-  let t = { oc } in
-  write_frame t (header_payload header);
-  t
+let write_frame t payload = raw_append t (Codec.frame payload)
 
-let reopen path ~at =
-  let contents = In_channel.with_open_bin path In_channel.input_all in
-  if at < 0 || at > String.length contents then
-    invalid_arg
-      (Printf.sprintf "Journal.reopen: offset %d outside file of %d bytes" at
-         (String.length contents));
-  let oc = open_out_bin path in
-  output_string oc (String.sub contents 0 at);
-  flush oc;
-  { oc }
+let write_manifest disk dir ids =
+  Disk.write_file_atomic disk (manifest_path dir)
+    (Codec.frame (manifest_payload ids))
+
+let create ?disk ?segment_bytes path header =
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  match segment_bytes with
+  | None ->
+    let file = Disk.open_trunc disk path in
+    let t = { disk; header; sink = File_sink { file } } in
+    write_frame t (header_payload header);
+    t
+  | Some budget ->
+    if budget < 1 then
+      invalid_arg "Journal.create: segment_bytes must be >= 1";
+    Disk.mkdir_p disk path;
+    (* A fresh run claims the whole directory: stale segments, manifest
+       and quarantined files from a previous run are cleared. *)
+    Array.iter
+      (fun name ->
+        if
+          seg_id_of_name name <> None
+          || name = manifest_name
+          || name = manifest_name ^ ".tmp"
+        then Disk.remove disk (Filename.concat path name))
+      (Disk.readdir disk path);
+    let qdir = Filename.concat path quarantine_name in
+    if Disk.is_directory disk qdir then
+      Array.iter
+        (fun name ->
+          if seg_id_of_name name <> None then
+            Disk.remove disk (Filename.concat qdir name))
+        (Disk.readdir disk qdir);
+    let file = Disk.open_trunc disk (seg_path path 1) in
+    let t =
+      {
+        disk;
+        header;
+        sink =
+          Seg_sink
+            { dir = path; budget; seg_id = 1; file; seg_bytes = 0; live = [ 1 ] };
+      }
+    in
+    write_frame t (seg_header_payload header ~seg_id:1 ~budget ~carry:None);
+    write_manifest disk path [ 1 ];
+    t
+
+let wants_rotation t =
+  match t.sink with
+  | File_sink _ -> false
+  | Seg_sink s -> s.seg_bytes > s.budget
+
+let rotate t (c : carry) =
+  match t.sink with
+  | File_sink _ -> ()
+  | Seg_sink s ->
+    let next_id = s.seg_id + 1 in
+    let file = Disk.open_trunc t.disk (seg_path s.dir next_id) in
+    let framed =
+      Codec.frame
+        (seg_header_payload t.header ~seg_id:next_id ~budget:s.budget
+           ~carry:(Some c))
+    in
+    Metrics.Counter.add m_bytes (float_of_int (String.length framed));
+    Metrics.Counter.inc m_flushes;
+    Disk.append t.disk file framed;
+    Disk.sync t.disk file;
+    Disk.close_file t.disk s.file;
+    (* New segment durable before the manifest flips; old segments are
+       deleted only after the flip, so every crash point leaves either
+       the old manifest with its files intact (plus a harmless orphan)
+       or the new manifest with its files intact. *)
+    let dropped = List.filter (fun id -> id <> s.seg_id) s.live in
+    let live = [ s.seg_id; next_id ] in
+    write_manifest t.disk s.dir live;
+    List.iter (fun id -> Disk.remove t.disk (seg_path s.dir id)) dropped;
+    Metrics.Counter.inc m_rotations;
+    Metrics.Counter.add m_gc_segments (float_of_int (List.length dropped));
+    s.seg_id <- next_id;
+    s.file <- file;
+    s.seg_bytes <- String.length framed;
+    s.live <- live
 
 let append_epoch t rec_ = write_frame t (epoch_payload rec_)
 let append_snapshot t s = write_frame t (snapshot_payload s)
@@ -333,12 +548,9 @@ let append_torn t ~epoch =
   let partial = Codec.contents w in
   Codec.put_string w "unsettled epoch lost to the crash";
   let framed = Codec.frame (Codec.contents w) in
-  Metrics.Counter.add m_bytes (float_of_int (8 + String.length partial));
-  Metrics.Counter.inc m_flushes;
-  output_string t.oc (String.sub framed 0 (8 + String.length partial));
-  flush t.oc
+  raw_append t (String.sub framed 0 (8 + String.length partial))
 
-let close t = close_out t.oc
+let close t = Disk.close_file t.disk (current_file t)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -350,6 +562,12 @@ type replayed = {
   torn_tail : bool;
   valid_bytes : int;
   resume_offset : int;
+  prefix_reports : epoch_report list;
+  prefix_violations : violation list;
+  segmented : bool;
+  segment_bytes : int;
+  active_segment : int;
+  live_segments : int list;
 }
 
 let parse_header payload =
@@ -371,6 +589,39 @@ let parse_header payload =
       let digest = Codec.get_i64 r in
       Ok { version = v; market_seed; market_epochs; n_bps; snapshot_every; digest }
 
+let parse_seg_header payload =
+  let r = Codec.reader payload in
+  if Codec.get_u8 r <> 4 then Error "first record is not a segment header"
+  else if Codec.get_u32 r <> magic then
+    Error "bad magic: not a POC journal segment"
+  else
+    let v = Codec.get_int r in
+    if v <> version then
+      Error
+        (Printf.sprintf
+           "journal format version %d, but this build reads version %d" v
+           version)
+    else
+      let seg_id = Codec.get_int r in
+      let budget = Codec.get_int r in
+      let market_seed = Codec.get_int r in
+      let market_epochs = Codec.get_int r in
+      let n_bps = Codec.get_int r in
+      let snapshot_every = Codec.get_int r in
+      let digest = Codec.get_i64 r in
+      let carry =
+        Codec.get_option r (fun r ->
+            let at = get_snapshot_body r in
+            let carry_reports = Codec.get_list r get_report in
+            let carry_violations = Codec.get_list r get_violation in
+            { at; carry_reports; carry_violations })
+      in
+      Ok
+        ( { version = v; market_seed; market_epochs; n_bps; snapshot_every; digest },
+          seg_id,
+          budget,
+          carry )
+
 let parse_record payload =
   let r = Codec.reader payload in
   match Codec.get_u8 r with
@@ -380,27 +631,76 @@ let parse_record payload =
     let selected = Codec.get_list r Codec.get_int in
     let violations = Codec.get_list r get_violation in
     `Epoch { report; events; selected; violations }
-  | 2 ->
-    let at_epoch = Codec.get_int r in
-    let prng_state = Codec.get_i64 r in
-    let cost_level = Codec.get_f64_array r in
-    let down = Codec.get_list r Codec.get_int in
-    let gone = Codec.get_list r Codec.get_int in
-    let surge = Codec.get_f64 r in
-    let demand_scale = Codec.get_f64 r in
-    let last_good =
-      Codec.get_option r (fun r ->
-          let ids = Codec.get_list r Codec.get_int in
-          let cost = Codec.get_f64 r in
-          (ids, cost))
-    in
-    `Snapshot
-      { at_epoch; prng_state; cost_level; down; gone; surge; demand_scale; last_good }
+  | 2 -> `Snapshot (get_snapshot_body r)
   | 3 -> `Complete (Codec.get_string r)
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown record kind %d" n))
 
-let replay path =
-  match In_channel.with_open_bin path In_channel.input_all with
+(* Walk the record frames after a header ending at [start]; stops at
+   the first torn or unparseable frame. *)
+let scan_records data ~start =
+  let records = ref [] in
+  let snapshot = ref None in
+  let complete = ref None in
+  let torn = ref false in
+  let valid = ref start in
+  let resume = ref start in
+  let rec loop pos =
+    match Codec.next_frame data ~pos with
+    | End -> ()
+    | Torn -> torn := true
+    | Frame { payload; next } -> (
+      match parse_record payload with
+      | exception Codec.Corrupt _ -> torn := true
+      | `Epoch rec_ ->
+        records := rec_ :: !records;
+        valid := next;
+        loop next
+      | `Snapshot s ->
+        snapshot := Some s;
+        valid := next;
+        resume := next;
+        loop next
+      | `Complete incidents ->
+        complete := Some incidents;
+        valid := next;
+        loop next)
+  in
+  loop start;
+  (List.rev !records, !snapshot, !complete, !torn, !valid, !resume)
+
+let read_manifest disk dir =
+  match Disk.read_file disk (manifest_path dir) with
+  | exception Sys_error _ -> None
+  | data -> (
+    match Codec.next_frame data ~pos:0 with
+    | End | Torn -> None
+    | Frame { payload; next = _ } -> (
+      let parse r =
+        if Codec.get_u8 r <> 5 then None
+        else if Codec.get_u32 r <> magic then None
+        else if Codec.get_int r <> version then None
+        else Some (Codec.get_list r Codec.get_int)
+      in
+      match parse (Codec.reader payload) with
+      | exception Codec.Corrupt _ -> None
+      | ids -> ids))
+
+let seg_ids_on_disk disk dir =
+  Disk.readdir disk dir
+  |> Array.to_list
+  |> List.filter_map seg_id_of_name
+  |> List.sort_uniq compare
+
+let live_segment_ids disk dir =
+  match read_manifest disk dir with
+  | Some (_ :: _ as ids) -> List.sort_uniq compare ids
+  | Some [] | None ->
+    (* The manifest itself can be the casualty (a torn rename during
+       the very first rotation); fall back to what is on disk. *)
+    seg_ids_on_disk disk dir
+
+let replay_single disk path =
+  match Disk.read_file disk path with
   | exception Sys_error msg -> Error ("cannot read journal: " ^ msg)
   | data -> (
     match Codec.next_frame data ~pos:0 with
@@ -411,41 +711,406 @@ let replay path =
       | exception Codec.Corrupt _ -> Error "corrupt header: not a POC journal"
       | Error msg -> Error msg
       | Ok header ->
-        let records = ref [] in
-        let snapshot = ref None in
-        let complete = ref None in
-        let torn = ref false in
-        let valid = ref next in
-        let resume = ref next in
-        let rec loop pos =
-          match Codec.next_frame data ~pos with
-          | End -> ()
-          | Torn -> torn := true
-          | Frame { payload; next } -> (
-            match parse_record payload with
-            | exception Codec.Corrupt _ -> torn := true
-            | `Epoch rec_ ->
-              records := rec_ :: !records;
-              valid := next;
-              loop next
-            | `Snapshot s ->
-              snapshot := Some s;
-              valid := next;
-              resume := next;
-              loop next
-            | `Complete incidents ->
-              complete := Some incidents;
-              valid := next;
-              loop next)
+        let records, snapshot, complete, torn, valid, resume =
+          scan_records data ~start:next
         in
-        loop next;
         Ok
           {
             header;
-            records = List.rev !records;
-            snapshot = !snapshot;
-            complete = !complete;
-            torn_tail = !torn;
-            valid_bytes = !valid;
-            resume_offset = !resume;
+            records;
+            snapshot;
+            complete;
+            torn_tail = torn;
+            valid_bytes = valid;
+            resume_offset = resume;
+            prefix_reports = [];
+            prefix_violations = [];
+            segmented = false;
+            segment_bytes = 0;
+            active_segment = 0;
+            live_segments = [];
           }))
+
+let replay_segmented disk dir =
+  match live_segment_ids disk dir with
+  | [] -> Error "empty directory: not a segmented POC journal"
+  | live -> (
+    let active = List.fold_left max 0 live in
+    let path = seg_path dir active in
+    let unusable what =
+      Error
+        (Printf.sprintf
+           "segment %s has %s; run `poc-cli scrub` to quarantine it and fall \
+            back to the previous checkpoint"
+           (seg_name active) what)
+    in
+    match Disk.read_file disk path with
+    | exception Sys_error _ -> unusable "gone missing"
+    | data -> (
+      match Codec.next_frame data ~pos:0 with
+      | End | Torn -> unusable "an unreadable header"
+      | Frame { payload; next } -> (
+        match parse_seg_header payload with
+        | exception Codec.Corrupt _ -> unusable "a corrupt header"
+        | Error msg -> Error msg
+        | Ok (header, seg_id, budget, carry) ->
+          if seg_id <> active then
+            Error
+              (Printf.sprintf "segment %s claims to be segment %d"
+                 (seg_name active) seg_id)
+          else
+            let records, snap_rec, complete, torn, valid, resume =
+              scan_records data ~start:next
+            in
+            let snapshot =
+              match snap_rec with
+              | Some s -> Some s
+              | None -> Option.map (fun c -> c.at) carry
+            in
+            Ok
+              {
+                header;
+                records;
+                snapshot;
+                complete;
+                torn_tail = torn;
+                valid_bytes = valid;
+                resume_offset = resume;
+                prefix_reports =
+                  (match carry with Some c -> c.carry_reports | None -> []);
+                prefix_violations =
+                  (match carry with Some c -> c.carry_violations | None -> []);
+                segmented = true;
+                segment_bytes = budget;
+                active_segment = active;
+                live_segments = live;
+              })))
+
+let replay ?disk path =
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  if Disk.is_directory disk path then replay_segmented disk path
+  else replay_single disk path
+
+let reopen ?disk path (r : replayed) =
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  if not r.segmented then begin
+    let len = String.length (Disk.read_file disk path) in
+    if r.resume_offset < 0 || r.resume_offset > len then
+      invalid_arg
+        (Printf.sprintf "Journal.reopen: offset %d outside file of %d bytes"
+           r.resume_offset len);
+    Disk.truncate_file disk path r.resume_offset;
+    {
+      disk;
+      header = r.header;
+      sink = File_sink { file = Disk.open_append disk path };
+    }
+  end
+  else begin
+    let dir = path in
+    (* A crash mid-rotation leaves a fully-written segment N+1 whose
+       manifest flip never landed: an orphan.  Resume grows the store
+       from the manifest's view, so orphans (and any stale manifest
+       temp file) are deleted — the rotation will be replayed and
+       rewrite the same segment with the same bytes. *)
+    Disk.remove disk (manifest_path dir ^ ".tmp");
+    Array.iter
+      (fun name ->
+        match seg_id_of_name name with
+        | Some id when not (List.mem id r.live_segments) ->
+          Disk.remove disk (Filename.concat dir name)
+        | Some _ | None -> ())
+      (Disk.readdir disk dir);
+    Disk.truncate_file disk (seg_path dir r.active_segment) r.resume_offset;
+    write_manifest disk dir r.live_segments;
+    let file = Disk.open_append disk (seg_path dir r.active_segment) in
+    {
+      disk;
+      header = r.header;
+      sink =
+        Seg_sink
+          {
+            dir;
+            budget = r.segment_bytes;
+            seg_id = r.active_segment;
+            file;
+            seg_bytes = r.resume_offset;
+            live = r.live_segments;
+          };
+    }
+  end
+
+(* --- scrub -------------------------------------------------------------- *)
+
+type scrub_verdict =
+  | Scrub_clean
+  | Scrub_torn_tail
+  | Scrub_corrupt_interior
+  | Scrub_unreadable
+
+type scrub_action = Scrub_none | Scrub_truncated | Scrub_quarantined
+
+type segment_scrub = {
+  seg_id : int;
+  seg_path : string;
+  records_ok : int;
+  verdict : scrub_verdict;
+  action : scrub_action;
+  bytes_kept : int;
+  bytes_dropped : int;
+}
+
+type scrub_report = {
+  store : string;
+  store_segmented : bool;
+  applied : bool;
+  recovered : bool;
+  segments : segment_scrub list;
+}
+
+let verdict_to_string = function
+  | Scrub_clean -> "clean"
+  | Scrub_torn_tail -> "torn_tail"
+  | Scrub_corrupt_interior -> "corrupt_interior"
+  | Scrub_unreadable -> "unreadable"
+
+let action_to_string = function
+  | Scrub_none -> "none"
+  | Scrub_truncated -> "truncated"
+  | Scrub_quarantined -> "quarantined"
+
+(* Classify one segment (or single file): walk every frame after the
+   header; on the first bad one, the distinction that matters is
+   whether anything decodable follows.  Nothing after = the torn tail a
+   crash leaves (expected, truncate); valid frames after = a damaged
+   interior, i.e. silent corruption of committed history (truncate at
+   the damage and let resume fall back to the checkpoint before it). *)
+let classify data ~parse_first =
+  match Codec.next_frame data ~pos:0 with
+  | End | Torn -> (Scrub_unreadable, 0, 0)
+  | Frame { payload; next } ->
+    if not (parse_first payload) then (Scrub_unreadable, 0, 0)
+    else begin
+      let count = ref 0 in
+      let rec loop pos =
+        match Codec.next_frame data ~pos with
+        | End -> (Scrub_clean, !count, pos)
+        | Torn -> damaged pos
+        | Frame { payload; next } -> (
+          match parse_record payload with
+          | exception Codec.Corrupt _ -> damaged pos
+          | `Epoch _ | `Snapshot _ | `Complete _ ->
+            incr count;
+            loop next)
+      and damaged pos =
+        match Codec.resync data ~pos:(pos + 1) with
+        | Some _ -> (Scrub_corrupt_interior, !count, pos)
+        | None -> (Scrub_torn_tail, !count, pos)
+      in
+      loop next
+    end
+
+let header_parses payload =
+  match parse_header payload with
+  | Ok _ -> true
+  | Error _ -> false
+  | exception Codec.Corrupt _ -> false
+
+let seg_header_parses payload =
+  match parse_seg_header payload with
+  | Ok _ -> true
+  | Error _ -> false
+  | exception Codec.Corrupt _ -> false
+
+let count_scrub ~applied entries =
+  List.iter
+    (fun e ->
+      Metrics.Counter.inc m_scrub_segments;
+      Metrics.Counter.add m_scrub_records (float_of_int e.records_ok);
+      if applied then begin
+        (match e.action with
+        | Scrub_truncated -> Metrics.Counter.inc m_scrub_truncated
+        | Scrub_quarantined -> Metrics.Counter.inc m_scrub_quarantined
+        | Scrub_none -> ());
+        Metrics.Counter.add m_scrub_bytes_dropped
+          (float_of_int e.bytes_dropped)
+      end)
+    entries
+
+let scrub_file disk ~dry_run path =
+  match Disk.read_file disk path with
+  | exception Sys_error msg -> Error ("cannot read journal: " ^ msg)
+  | data ->
+    let total = String.length data in
+    let verdict, records_ok, keep = classify data ~parse_first:header_parses in
+    let entry =
+      match verdict with
+      | Scrub_clean ->
+        {
+          seg_id = 0;
+          seg_path = path;
+          records_ok;
+          verdict;
+          action = Scrub_none;
+          bytes_kept = total;
+          bytes_dropped = 0;
+        }
+      | Scrub_torn_tail | Scrub_corrupt_interior ->
+        {
+          seg_id = 0;
+          seg_path = path;
+          records_ok;
+          verdict;
+          action = Scrub_truncated;
+          bytes_kept = keep;
+          bytes_dropped = total - keep;
+        }
+      | Scrub_unreadable ->
+        (* A single file with a destroyed header has no predecessor to
+           fall back to; nothing to repair. *)
+        {
+          seg_id = 0;
+          seg_path = path;
+          records_ok;
+          verdict;
+          action = Scrub_none;
+          bytes_kept = total;
+          bytes_dropped = 0;
+        }
+    in
+    if (not dry_run) && entry.action = Scrub_truncated then
+      Disk.truncate_file disk path entry.bytes_kept;
+    count_scrub ~applied:(not dry_run) [ entry ];
+    Ok
+      {
+        store = path;
+        store_segmented = false;
+        applied = not dry_run;
+        recovered = verdict <> Scrub_unreadable;
+        segments = [ entry ];
+      }
+
+let scrub_dir disk ~dry_run dir =
+  match live_segment_ids disk dir with
+  | [] -> Error "empty directory: not a segmented POC journal"
+  | live ->
+    let entries =
+      List.map
+        (fun id ->
+          let path = seg_path dir id in
+          match Disk.read_file disk path with
+          | exception Sys_error _ ->
+            {
+              seg_id = id;
+              seg_path = path;
+              records_ok = 0;
+              verdict = Scrub_unreadable;
+              action = Scrub_quarantined;
+              bytes_kept = 0;
+              bytes_dropped = 0;
+            }
+          | data -> (
+            let total = String.length data in
+            let verdict, records_ok, keep =
+              classify data ~parse_first:seg_header_parses
+            in
+            match verdict with
+            | Scrub_clean ->
+              {
+                seg_id = id;
+                seg_path = path;
+                records_ok;
+                verdict;
+                action = Scrub_none;
+                bytes_kept = total;
+                bytes_dropped = 0;
+              }
+            | Scrub_torn_tail | Scrub_corrupt_interior ->
+              {
+                seg_id = id;
+                seg_path = path;
+                records_ok;
+                verdict;
+                action = Scrub_truncated;
+                bytes_kept = keep;
+                bytes_dropped = total - keep;
+              }
+            | Scrub_unreadable ->
+              {
+                seg_id = id;
+                seg_path = path;
+                records_ok;
+                verdict;
+                action = Scrub_quarantined;
+                bytes_kept = 0;
+                bytes_dropped = total;
+              }))
+        live
+    in
+    let keep_ids =
+      List.filter_map
+        (fun e -> if e.verdict = Scrub_unreadable then None else Some e.seg_id)
+        entries
+    in
+    if not dry_run then begin
+      List.iter
+        (fun e ->
+          match e.action with
+          | Scrub_truncated -> Disk.truncate_file disk e.seg_path e.bytes_kept
+          | Scrub_quarantined ->
+            if Disk.exists disk e.seg_path then begin
+              let qdir = Filename.concat dir quarantine_name in
+              Disk.mkdir_p disk qdir;
+              Disk.rename disk e.seg_path
+                (Filename.concat qdir (seg_name e.seg_id))
+            end
+          | Scrub_none -> ())
+        entries;
+      if keep_ids <> live then write_manifest disk dir keep_ids
+    end;
+    count_scrub ~applied:(not dry_run) entries;
+    Ok
+      {
+        store = dir;
+        store_segmented = true;
+        applied = not dry_run;
+        recovered = keep_ids <> [];
+        segments = entries;
+      }
+
+let scrub ?disk ?(dry_run = false) path =
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  if Disk.is_directory disk path then scrub_dir disk ~dry_run path
+  else scrub_file disk ~dry_run path
+
+let scrub_to_json (r : scrub_report) =
+  let esc = Poc_obs.Metrics.json_escape in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\"store\":\"%s\",\"mode\":\"%s\",\"applied\":%b,\"recovered\":%b"
+    (esc r.store)
+    (if r.store_segmented then "segmented" else "file")
+    r.applied r.recovered;
+  Buffer.add_string b ",\"segments\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"segment\":%d,\"path\":\"%s\",\"records_ok\":%d,\"verdict\":\"%s\",\"action\":\"%s\",\"bytes_kept\":%d,\"bytes_dropped\":%d}"
+        e.seg_id (esc e.seg_path) e.records_ok
+        (verdict_to_string e.verdict)
+        (action_to_string e.action)
+        e.bytes_kept e.bytes_dropped)
+    r.segments;
+  Buffer.add_string b "],\"quarantined\":[";
+  let quarantined =
+    List.filter_map
+      (fun e -> if e.action = Scrub_quarantined then Some e.seg_id else None)
+      r.segments
+  in
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int id))
+    quarantined;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

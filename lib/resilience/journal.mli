@@ -1,10 +1,11 @@
-(** Durable run journal for the supervised epoch loop.
+(** Durable run journal for the supervised epoch loop: a single
+    append-only file, or a segmented self-healing store.
 
     The settlement ledger and incident history are the non-regulatory
     accountability a public option offers; a process crash mid-month
-    must not erase them.  The journal is an append-only binary file of
-    length-prefixed, CRC-32-checksummed records (framing in
-    [Poc_util.Codec]), flushed after every epoch:
+    must not erase them.  Records are length-prefixed and
+    CRC-32-checksummed (framing in [Poc_util.Codec]) and flushed after
+    every epoch:
 
     - one {!header} record identifying the run (format version, market
       seed and horizon, a digest of market + ladder config and the
@@ -19,12 +20,43 @@
     - a completion record once the run finishes, carrying the rendered
       incident log.
 
+    {2 Segmented stores}
+
+    [create ~segment_bytes] writes the journal as a {e directory} of
+    [NNNNN.seg] files plus a checksummed [MANIFEST] (the live segment
+    ids, rewritten atomically via rename).  When the active segment
+    exceeds the byte budget the supervisor {!rotate}s: the next segment
+    opens with a {!carry} — a full snapshot plus the epoch reports and
+    violations accumulated so far — so {e every segment is
+    self-describing}: replay needs only the newest intact segment.
+    Rotation garbage-collects segments strictly older than the newest
+    durable checkpoint outside the active segment (the predecessor's
+    opening carry): the store holds at most the active segment and its
+    predecessor, the predecessor being the fall-back when scrub must
+    quarantine the active one.  Disk usage is bounded by roughly twice
+    the budget plus one carry, however long the run.
+
+    {2 Damage and repair}
+
     {!replay} validates checksums record by record and stops at the
     first torn or corrupted frame: everything before it is recovered,
     everything after it is discarded (and truncated away when the
-    journal is {!reopen}ed for resumption).  A torn tail is exactly
-    what a crash mid-write leaves behind, so recovery never trusts the
-    final record more than its checksum. *)
+    journal is {!reopen}ed for resumption) — truncation is anchored at
+    the last durable checkpoint (the last snapshot record, or the
+    segment's opening carry).  A torn tail is exactly what a crash
+    mid-write leaves behind, so recovery never trusts the final record
+    more than its checksum.
+
+    Real disks also flip bits in the {e middle} of committed records.
+    {!scrub} walks every segment and classifies each one: [Clean], a
+    [Torn_tail] (nothing decodable after the damage — truncated), a
+    [Corrupt_interior] (valid frames resume after the damage, i.e.
+    silent corruption of committed history — truncated at the first bad
+    byte, so resume falls back to the last checkpoint before it), or
+    [Unreadable] (the segment's own header/carry is gone — the segment
+    is quarantined into [quarantine/] and the store falls back to the
+    predecessor's checkpoint).  All file I/O flows through {!Disk}, so
+    the fault harness can inject the damage scrub repairs. *)
 
 type status =
   | Healthy
@@ -79,6 +111,17 @@ type header = {
   digest : int64;  (** {!digest} of market config + ladder + schedule *)
 }
 
+type carry = {
+  at : snapshot;  (** checkpoint the new segment opens from *)
+  carry_reports : epoch_report list;
+      (** every epoch report up to and including [at.at_epoch],
+          chronological — what a replay of the GC'd history would have
+          returned *)
+  carry_violations : violation list;
+}
+(** The carry-forward a rotation writes into the new segment's header,
+    making the segment self-describing: resume needs nothing older. *)
+
 val version : int
 (** Current journal format version. *)
 
@@ -90,20 +133,20 @@ val digest :
 (** Checksum binding a journal to the run that wrote it; resuming under
     a different market config, ladder config or fault schedule is
     refused with a clear error instead of silently diverging.  Crash
-    points are excluded from the digest, so the schedule that crashed a
-    run and the same schedule without its [Crash] specs digest
-    identically. *)
+    and storage-fault points are excluded from the digest, so the
+    schedule that crashed a run and the same schedule without its
+    [Crash]/[Storage] specs digest identically. *)
 
 type t
 (** An open journal being written.  Every append flushes. *)
 
-val create : string -> header -> t
-(** Truncate/create the file and write the header record. *)
-
-val reopen : string -> at:int -> t
-(** Reopen an existing journal for appending, first truncating it to
-    its initial [at] bytes (a {!replayed.resume_offset}).  Raises
-    [Sys_error] on an unreadable path. *)
+val create : ?disk:Disk.t -> ?segment_bytes:int -> string -> header -> t
+(** Truncate/create the store and write the header.  Without
+    [segment_bytes], [path] is a single file opened exactly as before.
+    With [segment_bytes] (the rotation budget, >= 1), [path] is a
+    directory: any previous segments in it are cleared, segment 00001
+    is opened with the run header and no carry, and the [MANIFEST] is
+    written. *)
 
 val append_epoch : t -> epoch_record -> unit
 val append_snapshot : t -> snapshot -> unit
@@ -113,20 +156,111 @@ val append_torn : t -> epoch:int -> unit
     auction and settlement leaves on disk.  Used by crash injection;
     {!replay} discards it. *)
 
+val wants_rotation : t -> bool
+(** True when the store is segmented and the active segment has grown
+    past its byte budget.  Always false for a single-file journal. *)
+
+val rotate : t -> carry -> unit
+(** Open segment [N+1] with [carry] in its header, sync it, switch the
+    manifest to [{N; N+1}] (atomic rename), then delete segments older
+    than [N].  A no-op on a single-file journal.  The caller (the
+    supervisor) supplies the carry because only it can snapshot the
+    live market state. *)
+
 val close : t -> unit
 
 type replayed = {
   header : header;
-  records : epoch_record list;  (** valid epoch records, chronological *)
-  snapshot : snapshot option;   (** last valid snapshot *)
+  records : epoch_record list;  (** valid epoch records, chronological;
+                                    for a segmented store, the active
+                                    segment's records (older history
+                                    lives in [prefix_reports]) *)
+  snapshot : snapshot option;   (** last durable checkpoint: the last
+                                    snapshot record, else the segment's
+                                    opening carry *)
   complete : string option;     (** rendered incident log, if finished *)
   torn_tail : bool;             (** a torn/corrupt suffix was discarded *)
   valid_bytes : int;            (** length of the valid prefix *)
   resume_offset : int;          (** truncation point for {!reopen}: end of
-                                    the last snapshot, or of the header *)
+                                    the last checkpoint *)
+  prefix_reports : epoch_report list;
+      (** epoch reports recovered from the carry ([[]] for single-file) *)
+  prefix_violations : violation list;
+  segmented : bool;
+  segment_bytes : int;          (** rotation budget; 0 for single-file *)
+  active_segment : int;         (** id of the segment replayed; 0 for
+                                    single-file *)
+  live_segments : int list;     (** manifest contents, ascending *)
 }
 
-val replay : string -> (replayed, string) result
-(** Read and validate a journal.  [Error] only on a missing/unreadable
-    file, a file that is not a POC journal, or a version mismatch;
-    torn or corrupted tails are truncated, never fatal. *)
+val reopen : ?disk:Disk.t -> string -> replayed -> t
+(** Reopen a replayed store for appending, first truncating the active
+    segment (or single file) to [resume_offset] — the end of the last
+    durable checkpoint.  For a segmented store this also deletes orphan
+    segments newer than the manifest's active one (a crash mid-rotation
+    leaves exactly that: the new segment created, the manifest rename
+    lost) and rewrites the manifest, so the on-disk state a resumed run
+    grows from is byte-identical to the uninterrupted run's at the same
+    epoch.  Raises [Sys_error] on an unreadable path. *)
+
+val replay : ?disk:Disk.t -> string -> (replayed, string) result
+(** Read and validate a journal — a single file, or a segmented store
+    directory (detected automatically).  For a segmented store only the
+    newest intact segment is read (its carry stands in for the GC'd
+    history); if the manifest itself is unreadable the directory is
+    scanned for segments instead.  [Error] on a missing/unreadable
+    store, a store that is not a POC journal, a version mismatch, or an
+    active segment whose header/carry is damaged (run {!scrub} to
+    quarantine it and fall back); torn or corrupted tails are
+    truncated, never fatal. *)
+
+(** {2 Scrub} *)
+
+type scrub_verdict =
+  | Scrub_clean
+  | Scrub_torn_tail         (** damage at the tail, nothing decodable after *)
+  | Scrub_corrupt_interior  (** valid frames resume after the damage *)
+  | Scrub_unreadable        (** header/carry damaged; segment unusable *)
+
+type scrub_action = Scrub_none | Scrub_truncated | Scrub_quarantined
+
+type segment_scrub = {
+  seg_id : int;       (** 0 for a single-file journal *)
+  seg_path : string;
+  records_ok : int;   (** checksum-valid, parseable records *)
+  verdict : scrub_verdict;
+  action : scrub_action;
+  bytes_kept : int;
+  bytes_dropped : int;
+}
+
+type scrub_report = {
+  store : string;
+  store_segmented : bool;
+  applied : bool;     (** false when [dry_run] *)
+  recovered : bool;   (** a resumable store remains after the scrub *)
+  segments : segment_scrub list;  (** ascending id; one entry for a file *)
+}
+
+val scrub : ?disk:Disk.t -> ?dry_run:bool -> string -> (scrub_report, string) result
+(** Walk every live segment (or the single file), classify each record,
+    and repair what can be repaired: torn tails and interior corruption
+    are truncated at the first bad byte (resume then falls back to the
+    last checkpoint at or before it), segments whose header/carry is
+    unreadable are moved to [quarantine/] and dropped from the
+    manifest, falling back to the predecessor's checkpoint.  With
+    [dry_run] nothing is modified; the report carries the actions that
+    {e would} be taken.  Progress is counted in [Poc_obs.Metrics]
+    ([poc_scrub_*]).  [Error] only when [path] is no journal at all. *)
+
+val scrub_to_json : scrub_report -> string
+(** Machine-readable report (one JSON object, trailing newline):
+    [{"store":..,"mode":"segmented"|"file","applied":..,"recovered":..,
+    "segments":[{"segment":..,"path":..,"records_ok":..,"verdict":..,
+    "action":..,"bytes_kept":..,"bytes_dropped":..}],"quarantined":[..]}]. *)
+
+val verdict_to_string : scrub_verdict -> string
+(** ["clean"], ["torn_tail"], ["corrupt_interior"], ["unreadable"]. *)
+
+val action_to_string : scrub_action -> string
+(** ["none"], ["truncated"], ["quarantined"]. *)

@@ -189,14 +189,19 @@ let phase_rank = function
   | Fault.Pre_settle -> 1
   | Fault.Post_settle -> 2
 
+(* Earliest process-killing point of the epoch, with the disk damage
+   (if any) it applies on the way down. *)
 let first_crash events =
   List.filter_map
-    (function Fault.Crash_point p -> Some p | _ -> None)
+    (function
+      | Fault.Crash_point p -> Some (p, None)
+      | Fault.Disk_point (p, f) -> Some (p, Some f)
+      | _ -> None)
     events
-  |> List.sort (fun a b -> compare (phase_rank a) (phase_rank b))
+  |> List.stable_sort (fun (a, _) (b, _) -> compare (phase_rank a) (phase_rank b))
   |> function
   | [] -> None
-  | p :: _ -> Some p
+  | x :: _ -> Some x
 
 let incidents_of ~schedule epochs =
   (* One incident per fault epoch absorbed while healthy, one per
@@ -285,7 +290,7 @@ let render_epochs report =
    execution picks up.  When [journal] is set every epoch is flushed to
    disk before the loop moves on, and crash points in the schedule are
    honored (unless resuming: a resumed run never re-fires them). *)
-let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
+let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
     ~honor_crashes ~state:st ~first_epoch ~prefix ~prefix_violations ?pool
     (plan : Planner.plan) ~(market : Epochs.config) ~schedule =
   let base_problem = plan.Planner.problem in
@@ -293,12 +298,21 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
   let reports = ref (List.rev prefix) in
   let violations = ref (List.rev prefix_violations) in
   let final_plan = ref None in
-  let crash epoch phase =
+  let crash epoch phase fault =
     Metrics.Counter.inc m_crashes;
     if Trace.enabled () then
       Trace.event "crash_injected"
-        ~attrs:[ ("phase", Trace.Str (Fault.phase_to_string phase)) ];
+        ~attrs:
+          (("phase", Trace.Str (Fault.phase_to_string phase))
+          ::
+          (match fault with
+          | Some f -> [ ("disk_fault", Trace.Str (Disk.fault_to_string f)) ]
+          | None -> []));
     (match journal with Some t -> Journal.close t | None -> ());
+    (* The disk damage lands after the handles close and before the
+       raise, so the next observer of the files is the resume/scrub
+       path — just as after a real power loss. *)
+    (match fault with Some f -> Disk.power_cut disk f | None -> ());
     raise (Injected_crash { epoch; phase })
   in
   for epoch = first_epoch to market.Epochs.epochs do
@@ -323,10 +337,12 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
           List.iter (fun id -> Hashtbl.replace st.gone id ()) ids
         | Fault.Surge f -> st.surge <- st.surge *. f
         | Fault.Surge_over f -> st.surge <- st.surge /. f
-        | Fault.Crash_point _ -> ())
+        | Fault.Crash_point _ | Fault.Disk_point _ -> ())
       events;
-    let crash_phase = if honor_crashes then first_crash events else None in
-    if crash_phase = Some Fault.Pre_auction then crash epoch Fault.Pre_auction;
+    let crash_info = if honor_crashes then first_crash events else None in
+    (match crash_info with
+    | Some (Fault.Pre_auction, fault) -> crash epoch Fault.Pre_auction fault
+    | _ -> ());
     let drift_sp = Trace.span "drift" in
     let drift_t0 = Clock.now_us () in
     (* Market drift: the same draws, in the same order, as Epochs.run,
@@ -428,11 +444,13 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     Metrics.Histogram.observe h_auction
       ((Clock.now_us () -. auction_t0) *. 1e-6);
     Trace.finish auction_sp;
-    (if crash_phase = Some Fault.Pre_settle then (
-       (* The auction decided but nothing settled: what hits the disk
-          is a record cut off mid-write. *)
-       (match journal with Some t -> Journal.append_torn t ~epoch | None -> ());
-       crash epoch Fault.Pre_settle));
+    (match crash_info with
+    | Some (Fault.Pre_settle, fault) ->
+      (* The auction decided but nothing settled: what hits the disk
+         is a record cut off mid-write. *)
+      (match journal with Some t -> Journal.append_torn t ~epoch | None -> ());
+      crash epoch Fault.Pre_settle fault
+    | _ -> ());
     (match status with
     | Healthy -> (
       match outcome_opt with
@@ -546,6 +564,18 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
         };
       if epoch mod snapshot_every = 0 && epoch < market.Epochs.epochs then
         Journal.append_snapshot t (snapshot_of_state ~epoch st);
+      (* Rotation is driven here, not inside the journal, because only
+         the supervisor can checkpoint the live market state for the
+         new segment's carry.  The trigger depends only on bytes
+         appended so far, so an uninterrupted run and a resumed one
+         rotate at the same epochs with the same carries. *)
+      if Journal.wants_rotation t && epoch < market.Epochs.epochs then
+        Journal.rotate t
+          {
+            Journal.at = snapshot_of_state ~epoch st;
+            carry_reports = List.rev !reports;
+            carry_violations = List.rev !violations;
+          };
       Metrics.Histogram.observe h_journal
         ((Clock.now_us () -. journal_t0) *. 1e-6);
       Trace.finish journal_sp
@@ -556,7 +586,9 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every
     end;
     Metrics.Counter.inc m_epochs;
     Metrics.Histogram.observe h_epoch ((Clock.now_us () -. ep_t0) *. 1e-6);
-    if crash_phase = Some Fault.Post_settle then crash epoch Fault.Post_settle;
+    (match crash_info with
+    | Some (Fault.Post_settle, fault) -> crash epoch Fault.Post_settle fault
+    | _ -> ());
     Trace.finish ep_sp
   done;
   let epochs = List.rev !reports in
@@ -587,15 +619,16 @@ let validate_or_raise ~ladder ~market =
   | Ok () -> ()
   | Error msg -> invalid_arg msg
 
-let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4) ?pool
-    (plan : Planner.plan) ~market ~schedule =
+let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
+    ?segment_bytes ?disk ?pool (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   if snapshot_every < 1 then
     invalid_arg "Supervisor: snapshot_every must be >= 1";
+  let disk = match disk with Some d -> d | None -> Disk.real () in
   let j =
     Option.map
       (fun path ->
-        Journal.create path
+        Journal.create ~disk ?segment_bytes path
           {
             Journal.version = Journal.version;
             market_seed = market.Epochs.seed;
@@ -606,14 +639,15 @@ let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4) ?pool
           })
       journal
   in
-  run_span ~ladder ~journal:j ~snapshot_every ~honor_crashes:true
+  run_span ~ladder ~journal:j ~snapshot_every ~disk ~honor_crashes:true
     ~state:(initial_state plan market) ~first_epoch:1 ~prefix:[]
     ~prefix_violations:[] ?pool plan ~market ~schedule
 
-let resume ?(ladder = Ladder.default_config) ~journal:path ?pool
+let resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
     (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
-  match Journal.replay path with
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  match Journal.replay ~disk path with
   | Error msg -> Error msg
   | Ok r ->
     let h = r.Journal.header in
@@ -653,16 +687,53 @@ let resume ?(ladder = Ladder.default_config) ~journal:path ?pool
               r.Journal.records )
         | None -> (initial_state plan market, 1, [])
       in
-      let t = Journal.reopen path ~at:r.Journal.resume_offset in
+      let t = Journal.reopen ~disk path r in
+      let prefix =
+        r.Journal.prefix_reports
+        @ List.map
+            (fun (rec_ : Journal.epoch_record) -> rec_.Journal.report)
+            prefix_records
+      in
+      let prefix_violations =
+        r.Journal.prefix_violations
+        @ List.concat_map
+            (fun (rec_ : Journal.epoch_record) -> rec_.Journal.violations)
+            prefix_records
+      in
+      (* A rotation torn by the power cut: the snapshot that triggered
+         it is the segment's last record and the segment is back over
+         budget (the new segment's manifest rename never landed, and
+         reopen deleted the orphan).  Redo the rotation here with the
+         same carry the interrupted run used, so the rebuilt store is
+         byte-identical to an uninterrupted one.  The last-record guard
+         keeps this from firing when the over-budget bytes are epoch
+         records after the snapshot — those re-rotate naturally when
+         their epochs re-run. *)
+      let ends_with_snapshot_record (s : Journal.snapshot) =
+        (* True only when the segment's own records run right up to the
+           snapshot that closes it — the torn-rotation shape.  A fresh
+           post-rotation segment also ends at its (carry) snapshot but
+           holds no records, and must not rotate again. *)
+        (not r.Journal.torn_tail)
+        && r.Journal.resume_offset = r.Journal.valid_bytes
+        && (match List.rev r.Journal.records with
+           | last :: _ -> last.Journal.report.epoch = s.Journal.at_epoch
+           | [] -> false)
+      in
+      (match r.Journal.snapshot with
+      | Some s
+        when Journal.wants_rotation t
+             && ends_with_snapshot_record s
+             && s.Journal.at_epoch < market.Epochs.epochs ->
+        Journal.rotate t
+          {
+            Journal.at = s;
+            carry_reports = prefix;
+            carry_violations = prefix_violations;
+          }
+      | _ -> ());
       Ok
         (run_span ~ladder ~journal:(Some t)
-           ~snapshot_every:h.Journal.snapshot_every ~honor_crashes:false
-           ~state ~first_epoch ?pool
-           ~prefix:
-             (List.map (fun (rec_ : Journal.epoch_record) -> rec_.Journal.report)
-                prefix_records)
-           ~prefix_violations:
-             (List.concat_map
-                (fun (rec_ : Journal.epoch_record) -> rec_.Journal.violations)
-                prefix_records)
-           plan ~market ~schedule)
+           ~snapshot_every:h.Journal.snapshot_every ~disk ~honor_crashes:false
+           ~state ~first_epoch ?pool ~prefix ~prefix_violations plan ~market
+           ~schedule)

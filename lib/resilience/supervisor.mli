@@ -22,12 +22,15 @@
 
     [run ~journal:path] additionally writes a crash-safe {!Journal}:
     one flushed record per epoch plus a carry-forward snapshot every
-    [snapshot_every] epochs.  If the process dies mid-run — including
-    at an injected {!Fault.Crash} point — {!resume} replays the
-    journal's valid prefix, restores the snapshot state, and continues
-    the run to completion.  The resumed report (epochs, incidents,
-    rendered strings) is byte-identical to an uninterrupted run with
-    the same seed and schedule. *)
+    [snapshot_every] epochs.  With [~segment_bytes] the journal is a
+    segmented store that rotates past the byte budget and
+    garbage-collects history older than the newest durable checkpoint
+    (see {!Journal}).  If the process dies mid-run — including at an
+    injected {!Fault.Crash} or {!Fault.Storage} point — {!resume}
+    replays the journal's valid prefix, restores the snapshot state,
+    and continues the run to completion.  The resumed report (epochs,
+    incidents, rendered strings) is byte-identical to an uninterrupted
+    run with the same seed and schedule. *)
 
 type status = Journal.status =
   | Healthy                    (** auction cleared under the plan's rule *)
@@ -78,16 +81,20 @@ type report = {
 }
 
 exception Injected_crash of { epoch : int; phase : Fault.phase }
-(** Raised by {!run} when the schedule contains a {!Fault.Crash} spec
-    and the loop reaches that epoch and phase.  The journal (if any) is
-    closed first, leaving on disk exactly what a real crash at that
-    point would: a clean prefix for [Pre_auction] and [Post_settle], a
-    torn final record for [Pre_settle]. *)
+(** Raised by {!run} when the schedule contains a {!Fault.Crash} or
+    {!Fault.Storage} spec and the loop reaches that epoch and phase.
+    The journal (if any) is closed first, leaving on disk exactly what
+    a real crash at that point would: a clean prefix for [Pre_auction]
+    and [Post_settle], a torn final record for [Pre_settle].  For a
+    [Storage] spec, {!Disk.power_cut} damages the on-disk journal state
+    after the close and before the raise. *)
 
 val run :
   ?ladder:Ladder.config ->
   ?journal:string ->
   ?snapshot_every:int ->
+  ?segment_bytes:int ->
+  ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->
   market:Poc_market.Epochs.config ->
@@ -97,28 +104,41 @@ val run :
     a bad market or ladder config; never raises on injected faults
     other than {!Injected_crash}.  [journal] durably records the run
     (see {!Journal}); [snapshot_every] (default 4, must be >= 1) sets
-    the snapshot cadence.  [pool] parallelizes every epoch's auction
-    and ladder rungs; the supervisor does not own the pool's lifecycle
-    (create it with [Poc_util.Pool.with_pool] around the whole run, so
-    an {!Injected_crash} unwinds through the pool teardown).  Reports
-    and journal bytes are identical at every pool size. *)
+    the snapshot cadence.  [segment_bytes] switches the journal to a
+    segmented store with that rotation budget — the supervisor rotates
+    after any epoch whose records pushed the active segment past the
+    budget, writing a carry checkpoint of the live state.  [disk]
+    substitutes a disk layer (the fault harness's hook); [Storage]
+    specs in the schedule damage it at crash time.  [pool] parallelizes
+    every epoch's auction and ladder rungs; the supervisor does not own
+    the pool's lifecycle (create it with [Poc_util.Pool.with_pool]
+    around the whole run, so an {!Injected_crash} unwinds through the
+    pool teardown).  Reports and journal bytes are identical at every
+    pool size. *)
 
 val resume :
   ?ladder:Ladder.config ->
   journal:string ->
+  ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->
   market:Poc_market.Epochs.config ->
   schedule:Fault.schedule ->
   (report, string) result
-(** Recover a crashed run from its journal and drive it to completion,
-    appending to the same file.  [Error] on an unreadable or corrupt
-    journal header, a config/seed/schedule mismatch with the journal's
-    digest, or a journal that already records a completed run.  Crash
-    points in [schedule] are {e not} re-fired on resume, so a resumed
-    run always finishes.  The returned report is byte-identical (via
-    {!render_epochs} / {!render_incidents}) to an uninterrupted [run]
-    with the same inputs. *)
+(** Recover a crashed run from its journal — single-file or segmented,
+    detected automatically — and drive it to completion, appending to
+    the same store.  Resumption restores the last durable checkpoint
+    (snapshot record or segment carry), truncates everything after it,
+    and deletes any orphan segment a crash mid-rotation left behind.
+    [Error] on an unreadable or corrupt journal header, a
+    config/seed/schedule mismatch with the journal's digest, a journal
+    that already records a completed run, or an active segment whose
+    header is damaged (run {!Journal.scrub} first to quarantine it and
+    fall back).  Crash and storage-fault points in [schedule] are
+    {e not} re-fired on resume, so a resumed run always finishes.  The
+    returned report is byte-identical (via {!render_epochs} /
+    {!render_incidents}) to an uninterrupted [run] with the same
+    inputs. *)
 
 val epochs_to_recovery : incident -> int option
 (** [recovery_epoch - start_epoch]; 0 means absorbed with no outage. *)

@@ -132,3 +132,19 @@ let next_frame data ~pos =
       let payload = String.sub data r.pos len in
       if crc32 payload <> crc then Torn
       else Frame { payload; next = r.pos + len }
+
+let resync data ~pos =
+  (* Empty frames are skipped: 8 zero bytes checksum as a valid
+     zero-length frame (CRC-32 of "" is 0), so a run of zeroed garbage
+     would otherwise "resync" to a phantom record. Every real record
+     carries at least a tag byte. *)
+  let total = String.length data in
+  let rec scan p =
+    if p + 8 > total then None
+    else
+      match next_frame data ~pos:p with
+      | Frame { payload; _ } when String.length payload > 0 -> Some p
+      | Frame _ | Torn -> scan (p + 1)
+      | End -> None
+  in
+  scan (max 0 pos)

@@ -75,3 +75,13 @@ val next_frame : string -> pos:int -> frame_result
 (** Scan one frame at [pos].  Returns {!Torn} (never raises) on a
     truncated header, a declared length running past the input, or a
     checksum mismatch. *)
+
+val resync : string -> pos:int -> int option
+(** [resync data ~pos] is the smallest offset at or after [pos] where a
+    whole, checksummed, non-empty frame begins, or [None] if no such
+    frame exists before the end of input.  Used by the journal scrubber
+    to distinguish a torn tail (nothing decodable follows the damage)
+    from interior corruption (valid records resume further on).
+    Zero-length frames are not resync points: 8 zero bytes checksum as
+    a valid empty frame, so zeroed garbage would otherwise read as a
+    phantom record. *)

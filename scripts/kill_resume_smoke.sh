@@ -2,16 +2,36 @@
 # Kill-and-resume smoke check: crash the journaled chaos month at every
 # injection phase, resume each journal, and require the resumed stdout
 # (epoch table, incident log, closing ledger) to be byte-identical to
-# an uninterrupted run.
+# an uninterrupted run.  The second half repeats the exercise against
+# the segmented store: rotation under a byte budget, a torn manifest
+# rename mid-rotation, a corrupt-byte power cut followed by scrub, and
+# byte-diffs of the store files themselves.
 set -eu
 
 cd "$(dirname "$0")/.."
-dune build examples/chaos_month.exe
+dune build examples/chaos_month.exe bin/poc_cli.exe
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
 run=_build/default/examples/chaos_month.exe
+cli=_build/default/bin/poc_cli.exe
+
+# Byte-compare two segmented stores: same file names, same contents.
+diff_stores() {
+  a=$1; b=$2; label=$3
+  if [ "$(ls "$a")" != "$(ls "$b")" ]; then
+    echo "FAIL($label): stores hold different file sets" >&2
+    exit 1
+  fi
+  for f in "$a"/*; do
+    [ -f "$f" ] || continue
+    if ! cmp -s "$f" "$b/$(basename "$f")"; then
+      echo "FAIL($label): store file $(basename "$f") differs" >&2
+      exit 1
+    fi
+  done
+}
 
 "$run" > "$workdir/uninterrupted.txt"
 
@@ -64,5 +84,85 @@ if ! diff -u "$workdir/uninterrupted.txt" "$workdir/resumed-jobs2.txt"; then
   exit 1
 fi
 echo "ok: --jobs 2 crash/resume byte-identical to serial"
+
+# --- Segmented store ---------------------------------------------------------
+
+budget=2048
+
+# Reference: an uninterrupted segmented run.  Its store is the byte
+# target every recovery below must reproduce.
+"$run" --journal "$workdir/seg-ref" --segment-bytes "$budget" \
+  > "$workdir/seg-uninterrupted.txt" 2>/dev/null
+if ! diff -u "$workdir/uninterrupted.txt" "$workdir/seg-uninterrupted.txt"; then
+  echo "FAIL(seg): segmented run output differs from single-file run" >&2
+  exit 1
+fi
+segs=$(ls "$workdir/seg-ref" | grep -c '\.seg$')
+if [ "$segs" -lt 2 ]; then
+  echo "FAIL(seg): expected rotation to leave >= 2 segments, got $segs" >&2
+  exit 1
+fi
+echo "ok: segmented run matches single-file output ($segs live segments)"
+
+# Crash mid-run (epoch 5 straddles the rotation at the epoch-4
+# snapshot), resume, and require the store byte-identical.
+for phase in pre_auction post_settle; do
+  store="$workdir/seg-crash-$phase"
+  status=0
+  "$run" --journal "$store" --segment-bytes "$budget" --crash "5:$phase" \
+    > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 10 ]; then
+    echo "FAIL(seg-$phase): expected crash exit code 10, got $status" >&2
+    exit 1
+  fi
+  "$run" --resume "$store" > "$workdir/seg-resumed-$phase.txt" 2>/dev/null
+  if ! diff -u "$workdir/uninterrupted.txt" "$workdir/seg-resumed-$phase.txt"; then
+    echo "FAIL(seg-$phase): resumed output differs" >&2
+    exit 1
+  fi
+  diff_stores "$workdir/seg-ref" "$store" "seg-$phase"
+  echo "ok: segmented crash at 5:$phase resumed byte-identical (store too)"
+done
+
+# A power cut that tears the manifest rename mid-rotation: the orphan
+# segment is discarded on resume and the rotation is redone, landing on
+# the same bytes.  Epoch 4 post_settle is right after the
+# snapshot-triggered rotation.
+store="$workdir/seg-torn-rename"
+status=0
+"$run" --journal "$store" --segment-bytes "$budget" \
+  --disk-fault "4:post_settle:torn_rename" > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 10 ]; then
+  echo "FAIL(torn-rename): expected crash exit code 10, got $status" >&2
+  exit 1
+fi
+"$run" --resume "$store" > "$workdir/seg-resumed-torn.txt" 2>/dev/null
+if ! diff -u "$workdir/uninterrupted.txt" "$workdir/seg-resumed-torn.txt"; then
+  echo "FAIL(torn-rename): resumed output differs" >&2
+  exit 1
+fi
+diff_stores "$workdir/seg-ref" "$store" "torn-rename"
+echo "ok: torn manifest rename mid-rotation resumed byte-identical"
+
+# A corrupt-byte power cut, then scrub, then resume.  The scrub report
+# is machine-readable JSON on stdout; exit 0 means the store resumes.
+store="$workdir/seg-corrupt"
+status=0
+"$run" --journal "$store" --segment-bytes "$budget" \
+  --disk-fault "6:pre_settle:corrupt_byte:99" > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 10 ]; then
+  echo "FAIL(corrupt): expected crash exit code 10, got $status" >&2
+  exit 1
+fi
+"$cli" scrub --dry-run "$store" > "$workdir/scrub-dry.json"
+grep -q '"mode":"segmented"' "$workdir/scrub-dry.json" || {
+  echo "FAIL(corrupt): scrub report not segmented JSON" >&2; exit 1; }
+"$cli" scrub "$store" > "$workdir/scrub.json"
+"$run" --resume "$store" > "$workdir/seg-resumed-corrupt.txt" 2>/dev/null
+if ! diff -u "$workdir/uninterrupted.txt" "$workdir/seg-resumed-corrupt.txt"; then
+  echo "FAIL(corrupt): resumed output differs after scrub" >&2
+  exit 1
+fi
+echo "ok: corrupt-byte power cut scrubbed and resumed identical"
 
 echo "kill-and-resume smoke: all checks passed"

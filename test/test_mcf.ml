@@ -153,6 +153,34 @@ let random_instance seed =
   done;
   (g, !demands)
 
+let test_survives_all_jobs_invariant () =
+  (* The per-failure checks fan out over a domain pool; the verdict
+     must not depend on the pool size (including no pool at all). *)
+  let cases = List.init 12 (fun i -> random_instance (1000 + (i * 37))) in
+  List.iter
+    (fun (g, demands) ->
+      let base = Router.route g ~demands in
+      let serial = Router.survives_all_single_failures g ~demands base in
+      Poc_util.Pool.with_pool ~jobs:4 (fun pool ->
+          let pooled =
+            Router.survives_all_single_failures ?pool g ~demands base
+          in
+          if pooled <> serial then
+            Alcotest.failf "verdict changed under a 4-worker pool (%b vs %b)"
+              pooled serial))
+    cases;
+  (* And on the hand-built instances with a known answer. *)
+  Poc_util.Pool.with_pool ~jobs:3 (fun pool ->
+      let g = Graph.create () in
+      Graph.add_nodes g 3;
+      ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:10.0);
+      ignore (Graph.add_edge g 1 2 ~weight:1.0 ~capacity:10.0);
+      ignore (Graph.add_edge g 2 0 ~weight:1.0 ~capacity:10.0);
+      let demands = [ (0, 1, 4.0); (1, 2, 4.0) ] in
+      let base = Router.route g ~demands in
+      Alcotest.(check bool) "triangle survives (pooled)" true
+        (Router.survives_all_single_failures ?pool g ~demands base))
+
 let qcheck_conservation =
   QCheck.Test.make ~name:"routed + unrouted = offered" ~count:60
     QCheck.(int_range 0 10_000)
@@ -211,6 +239,8 @@ let suite =
     Alcotest.test_case "triangle survives failures" `Quick
       test_survives_all_failures_triangle;
     Alcotest.test_case "chain does not survive" `Quick test_does_not_survive_on_chain;
+    Alcotest.test_case "failure sweep verdict is jobs-invariant" `Quick
+      test_survives_all_jobs_invariant;
     QCheck_alcotest.to_alcotest qcheck_conservation;
     QCheck_alcotest.to_alcotest qcheck_capacity_respected;
     QCheck_alcotest.to_alcotest qcheck_chunks_are_real_paths;

@@ -566,6 +566,364 @@ let test_replay_rejects_garbage_and_versions () =
         Alcotest.(check bool) "says it cannot read" true
           (contains msg "cannot read"))
 
+(* --- Segmented store: rotation, GC, disk faults, scrub --- *)
+
+module Disk = Poc_resilience.Disk
+
+let with_tmp_store f =
+  (* A fresh directory path for a segmented store.  Journal.create
+     mkdirs it; clean up everything including the quarantine subdir. *)
+  let path = Filename.temp_file "poc_segstore" "" in
+  Sys.remove path;
+  let rm_rf dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let rec go d =
+        Array.iter
+          (fun name ->
+            let p = Filename.concat d name in
+            if Sys.is_directory p then go p else Sys.remove p)
+          (Sys.readdir d);
+        Unix.rmdir d
+      in
+      go dir
+    end
+  in
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+(* Every file in the store (including quarantine/), name -> bytes, for
+   byte-identity checks between stores. *)
+let store_fingerprint dir =
+  let rec files prefix d =
+    Array.to_list (Sys.readdir d)
+    |> List.concat_map (fun name ->
+           let p = Filename.concat d name in
+           let rel = if prefix = "" then name else prefix ^ "/" ^ name in
+           if Sys.is_directory p then files rel p else [ (rel, read_file p) ])
+  in
+  List.sort compare (files "" dir)
+
+let segment_budget = 700
+
+let test_segmented_rotation_and_gc () =
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  with_tmp_store (fun dir ->
+      let _ =
+        Supervisor.run plan ~journal:dir ~segment_bytes:segment_budget ~market
+          ~schedule
+      in
+      match Journal.replay dir with
+      | Error msg -> Alcotest.failf "segmented replay failed: %s" msg
+      | Ok r ->
+        Alcotest.(check bool) "store detected as segmented" true
+          r.Journal.segmented;
+        Alcotest.(check int) "budget recorded in the segment header"
+          segment_budget r.Journal.segment_bytes;
+        Alcotest.(check bool) "rotation happened" true
+          (r.Journal.active_segment > 1);
+        Alcotest.(check bool) "GC keeps at most active + predecessor" true
+          (List.length r.Journal.live_segments <= 2);
+        (* The manifest and the directory agree: no orphan segments. *)
+        let on_disk =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun n -> Filename.check_suffix n ".seg")
+          |> List.length
+        in
+        Alcotest.(check int) "no orphan segment files"
+          (List.length r.Journal.live_segments)
+          on_disk;
+        Alcotest.(check bool) "completion survives rotation" true
+          (r.Journal.complete <> None))
+
+let test_segmented_crash_resume_byte_identical () =
+  (* The tentpole determinism claim on the segmented store: crash mid
+     run, resume, and both the rendered report and every byte of every
+     store file match an uninterrupted segmented run — including the
+     rotation points. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  with_tmp_store (fun ref_dir ->
+      let uninterrupted =
+        Supervisor.run plan ~journal:ref_dir ~segment_bytes:segment_budget
+          ~market ~schedule
+      in
+      let reference = store_fingerprint ref_dir in
+      List.iter
+        (fun (at_epoch, phase) ->
+          let crashing =
+            match
+              Fault.compile plan.Planner.wan ~seed:2020
+                (chaos_specs plan @ [ Fault.Crash { at_epoch; phase } ])
+            with
+            | Ok s -> s
+            | Error msg -> Alcotest.failf "crash schedule: %s" msg
+          in
+          with_tmp_store (fun dir ->
+              (match
+                 Supervisor.run plan ~journal:dir
+                   ~segment_bytes:segment_budget ~market ~schedule:crashing
+               with
+              | _ -> Alcotest.fail "expected an injected crash"
+              | exception Supervisor.Injected_crash _ -> ());
+              match Supervisor.resume ~journal:dir plan ~market ~schedule with
+              | Error msg ->
+                Alcotest.failf "resume at %d failed: %s" at_epoch msg
+              | Ok resumed ->
+                Alcotest.(check string)
+                  (Printf.sprintf "rendered identical (crash at %d)" at_epoch)
+                  (render uninterrupted) (render resumed);
+                Alcotest.(check bool)
+                  (Printf.sprintf "store byte-identical (crash at %d)" at_epoch)
+                  true
+                  (store_fingerprint dir = reference)))
+        (* Epoch 4 post_settle is immediately after a rotation (snapshot
+           cadence 4); epoch 5 pre_auction crosses the boundary; epoch 2
+           is before any snapshot or rotation. *)
+        [
+          (2, Fault.Post_settle);
+          (4, Fault.Post_settle);
+          (5, Fault.Pre_auction);
+          (6, Fault.Pre_settle);
+        ])
+
+let test_segmented_torn_rename_mid_rotation () =
+  (* A power cut whose rename never hit the directory entry: the
+     manifest still lists the old segments and the new segment is an
+     orphan.  Resume must delete the orphan, redo the rotation, and
+     land byte-identical. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  with_tmp_store (fun ref_dir ->
+      let uninterrupted =
+        Supervisor.run plan ~journal:ref_dir ~segment_bytes:segment_budget
+          ~market ~schedule
+      in
+      let reference = store_fingerprint ref_dir in
+      let faulty =
+        match
+          Fault.compile plan.Planner.wan ~seed:2020
+            (chaos_specs plan
+            @ [
+                (* Post_settle at epoch 4: the snapshot-triggered
+                   rotation has just renamed the manifest. *)
+                Fault.Storage
+                  {
+                    at_epoch = 4;
+                    phase = Fault.Post_settle;
+                    fault = Disk.Torn_rename;
+                  };
+              ])
+        with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "storage schedule: %s" msg
+      in
+      with_tmp_store (fun dir ->
+          (match
+             Supervisor.run plan ~journal:dir ~segment_bytes:segment_budget
+               ~market ~schedule:faulty
+           with
+          | _ -> Alcotest.fail "expected an injected crash"
+          | exception Supervisor.Injected_crash _ -> ());
+          match Supervisor.resume ~journal:dir plan ~market ~schedule with
+          | Error msg -> Alcotest.failf "resume after torn rename: %s" msg
+          | Ok resumed ->
+            Alcotest.(check string) "rendered identical after torn rename"
+              (render uninterrupted) (render resumed);
+            Alcotest.(check bool) "store byte-identical after torn rename" true
+              (store_fingerprint dir = reference)))
+
+let test_single_file_interior_corruption_anchor () =
+  (* Regression anchor for the single-file format: a byte flipped in
+     the middle of a committed region truncates the replay at the flip
+     — records before it survive, nothing after it is invented — and a
+     resume reproduces the uninterrupted run byte-for-byte. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let uninterrupted = Supervisor.run plan ~market ~schedule in
+  with_tmp_journal (fun path ->
+      let _ = Supervisor.run plan ~journal:path ~market ~schedule in
+      let clean = read_file path in
+      let full_records =
+        match Journal.replay path with
+        | Ok r -> List.length r.Journal.records
+        | Error msg -> Alcotest.failf "clean replay failed: %s" msg
+      in
+      let flip = String.length clean / 2 in
+      let corrupted = Bytes.of_string clean in
+      Bytes.set corrupted flip
+        (Char.chr (Char.code (Bytes.get corrupted flip) lxor 0x5A));
+      write_file path (Bytes.to_string corrupted);
+      (match Journal.replay path with
+      | Error msg -> Alcotest.failf "interior corruption must not be fatal: %s" msg
+      | Ok r ->
+        Alcotest.(check bool) "reads as torn at the flip" true
+          r.Journal.torn_tail;
+        Alcotest.(check bool) "records before the flip survive" true
+          (List.length r.Journal.records > 0);
+        Alcotest.(check bool) "records after the flip are dropped" true
+          (List.length r.Journal.records < full_records);
+        Alcotest.(check bool) "truncation lands before the flip" true
+          (r.Journal.resume_offset <= flip));
+      (* scrub agrees, and repairs in place *)
+      (match Journal.scrub path with
+      | Error msg -> Alcotest.failf "single-file scrub failed: %s" msg
+      | Ok report ->
+        Alcotest.(check bool) "single-file store" false
+          report.Journal.store_segmented;
+        Alcotest.(check bool) "scrub recovers" true report.Journal.recovered);
+      match Supervisor.resume ~journal:path plan ~market ~schedule with
+      | Error msg -> Alcotest.failf "resume after corruption failed: %s" msg
+      | Ok resumed ->
+        Alcotest.(check string) "resumed run byte-identical"
+          (render uninterrupted) (render resumed))
+
+let test_scrub_quarantine_falls_back () =
+  (* An unreadable active-segment header is the one damage replay
+     cannot truncate through.  scrub quarantines the segment and falls
+     back to the predecessor's checkpoint; the resumed run then redoes
+     the lost epochs and reports identically (byte-identity of the
+     store is NOT promised on this path — rotation timing shifts). *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let uninterrupted = Supervisor.run plan ~market ~schedule in
+  with_tmp_store (fun dir ->
+      let crashing =
+        match
+          Fault.compile plan.Planner.wan ~seed:2020
+            (chaos_specs plan
+            @ [ Fault.Crash { at_epoch = 6; phase = Fault.Post_settle } ])
+        with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "crash schedule: %s" msg
+      in
+      (match
+         Supervisor.run plan ~journal:dir ~segment_bytes:segment_budget ~market
+           ~schedule:crashing
+       with
+      | _ -> Alcotest.fail "expected an injected crash"
+      | exception Supervisor.Injected_crash _ -> ());
+      let live =
+        match Journal.replay dir with
+        | Ok r -> r.Journal.live_segments
+        | Error msg -> Alcotest.failf "replay before damage failed: %s" msg
+      in
+      Alcotest.(check bool) "two live segments before damage" true
+        (List.length live = 2);
+      let active =
+        Filename.concat dir
+          (Printf.sprintf "%05d.seg" (List.fold_left max 0 live))
+      in
+      let data = read_file active in
+      write_file active ("XXXXXXXXXXXX" ^ String.sub data 12 (String.length data - 12));
+      (match Supervisor.resume ~journal:dir plan ~market ~schedule with
+      | Ok _ -> Alcotest.fail "an unreadable header must refuse resume"
+      | Error msg ->
+        Alcotest.(check bool) "error points at scrub" true
+          (contains msg "scrub"));
+      (* dry run changes nothing *)
+      (match Journal.scrub ~dry_run:true dir with
+      | Error msg -> Alcotest.failf "dry-run scrub failed: %s" msg
+      | Ok report ->
+        Alcotest.(check bool) "dry run not applied" false report.Journal.applied;
+        Alcotest.(check bool) "file untouched by dry run" true
+          (Sys.file_exists active));
+      (match Journal.scrub dir with
+      | Error msg -> Alcotest.failf "scrub failed: %s" msg
+      | Ok report ->
+        Alcotest.(check bool) "applied" true report.Journal.applied;
+        Alcotest.(check bool) "recovered via predecessor" true
+          report.Journal.recovered;
+        let quarantined =
+          List.filter
+            (fun (s : Journal.segment_scrub) ->
+              s.Journal.action = Journal.Scrub_quarantined)
+            report.Journal.segments
+        in
+        Alcotest.(check int) "one segment quarantined" 1
+          (List.length quarantined);
+        Alcotest.(check bool) "json report mentions the quarantine" true
+          (contains (Journal.scrub_to_json report) "\"quarantined\":[")
+      );
+      Alcotest.(check bool) "segment moved into quarantine/" true
+        (Sys.file_exists
+           (Filename.concat (Filename.concat dir "quarantine")
+              (Filename.basename active)));
+      match Supervisor.resume ~journal:dir plan ~market ~schedule with
+      | Error msg -> Alcotest.failf "resume after scrub failed: %s" msg
+      | Ok resumed ->
+        Alcotest.(check string) "reports identical after fall-back"
+          (render uninterrupted) (render resumed))
+
+(* The acceptance matrix: every storage-fault kind at a random epoch,
+   phase and worker count either resumes to an identical report
+   directly, or scrub recovers and the second resume does — and a
+   scrub that reports unrecoverable is the only permitted dead end. *)
+let qcheck_storage_fault_matrix =
+  let plan_l = lazy (plan ()) in
+  let baseline =
+    lazy
+      (let plan = Lazy.force plan_l in
+       render (Supervisor.run plan ~market ~schedule:(compile_chaos plan)))
+  in
+  QCheck.Test.make ~name:"storage faults: resume or scrub, never divergence"
+    ~count:8
+    QCheck.(
+      quad (int_range 0 3) (int_range 1 1000) (int_range 2 7) (int_range 0 5))
+    (fun (kind, arg, at_epoch, phase_jobs) ->
+      let plan = Lazy.force plan_l in
+      let fault =
+        match kind with
+        | 0 -> Disk.Short_write { drop = 1 + (arg mod 32) }
+        | 1 -> Disk.Torn_rename
+        | 2 -> Disk.Lying_fsync { drop = 1 + (arg mod 32) }
+        | _ -> Disk.Corrupt_byte { seed = arg }
+      in
+      let phase =
+        match phase_jobs mod 3 with
+        | 0 -> Fault.Pre_auction
+        | 1 -> Fault.Pre_settle
+        | _ -> Fault.Post_settle
+      in
+      let jobs = if phase_jobs >= 3 then 4 else 1 in
+      let schedule = compile_chaos plan in
+      let faulty =
+        match
+          Fault.compile plan.Planner.wan ~seed:2020
+            (chaos_specs plan @ [ Fault.Storage { at_epoch; phase; fault } ])
+        with
+        | Ok s -> s
+        | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      in
+      with_tmp_store (fun dir ->
+          Poc_util.Pool.with_pool ~jobs (fun pool ->
+              (match
+                 Supervisor.run ?pool plan ~journal:dir
+                   ~segment_bytes:segment_budget ~market ~schedule:faulty
+               with
+              | _ -> QCheck.Test.fail_report "expected an injected crash"
+              | exception Supervisor.Injected_crash _ -> ());
+              let check_render (r : Supervisor.report) =
+                if render r <> Lazy.force baseline then
+                  QCheck.Test.fail_reportf
+                    "diverged (kind %d, epoch %d, jobs %d)" kind at_epoch jobs
+                else true
+              in
+              match Supervisor.resume ?pool ~journal:dir plan ~market ~schedule with
+              | Ok resumed -> check_render resumed
+              | Error _ -> (
+                match Journal.scrub dir with
+                | Error msg -> QCheck.Test.fail_reportf "scrub failed: %s" msg
+                | Ok report when not report.Journal.recovered ->
+                  true (* the permitted dead end: nothing durable left *)
+                | Ok _ -> (
+                  match
+                    Supervisor.resume ?pool ~journal:dir plan ~market ~schedule
+                  with
+                  | Ok resumed -> check_render resumed
+                  | Error msg ->
+                    QCheck.Test.fail_reportf
+                      "resume after recovering scrub failed: %s" msg)))))
+
 let suite =
   [
     Alcotest.test_case "fault validation lists every problem" `Quick
@@ -618,4 +976,15 @@ let suite =
       test_resume_rejects_mismatch_and_complete;
     Alcotest.test_case "replay refuses garbage and future versions" `Quick
       test_replay_rejects_garbage_and_versions;
+    Alcotest.test_case "segmented store rotates and GCs" `Slow
+      test_segmented_rotation_and_gc;
+    Alcotest.test_case "segmented crash/resume is byte-identical" `Slow
+      test_segmented_crash_resume_byte_identical;
+    Alcotest.test_case "torn rename mid-rotation resumes byte-identical" `Slow
+      test_segmented_torn_rename_mid_rotation;
+    Alcotest.test_case "single-file interior corruption anchors" `Slow
+      test_single_file_interior_corruption_anchor;
+    Alcotest.test_case "scrub quarantines and falls back a checkpoint" `Slow
+      test_scrub_quarantine_falls_back;
+    QCheck_alcotest.to_alcotest qcheck_storage_fault_matrix;
   ]

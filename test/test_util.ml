@@ -323,6 +323,76 @@ let qcheck_codec_frame_roundtrip =
         p = payload && next = 8 + String.length payload
       | Codec.End | Codec.Torn -> false)
 
+(* Decode a byte string as the journal does: complete frames until End
+   or Torn.  Returns the payloads and whether the tail was torn. *)
+let decode_all data =
+  let rec go pos acc =
+    match Codec.next_frame data ~pos with
+    | Codec.Frame { payload; next } -> go next (payload :: acc)
+    | Codec.End -> (List.rev acc, false)
+    | Codec.Torn -> (List.rev acc, true)
+  in
+  go 0 []
+
+let qcheck_codec_truncation_safe =
+  (* The property the whole durability story leans on: cutting a frame
+     stream at ANY byte offset yields exactly the records whose frames
+     are fully inside the prefix — never an exception, never a phantom
+     record, never a reordering. *)
+  QCheck.Test.make ~name:"truncation at every offset is safe" ~count:60
+    QCheck.(list_of_size (Gen.int_range 0 8) (string_of_size (Gen.int_range 0 40)))
+    (fun payloads ->
+      let data = String.concat "" (List.map Codec.frame payloads) in
+      let ok = ref true in
+      for cut = 0 to String.length data do
+        let prefix = String.sub data 0 cut in
+        match decode_all prefix with
+        | decoded, torn ->
+          (* Every decoded record must be a prefix of the original
+             sequence, in order... *)
+          let n = List.length decoded in
+          if n > List.length payloads then ok := false
+          else if decoded <> List.filteri (fun i _ -> i < n) payloads then
+            ok := false
+          else begin
+            (* ...and the split must be exact: a clean End only at a
+               frame boundary, Torn everywhere else. *)
+            let boundary =
+              List.fold_left (fun acc p -> acc + 8 + String.length p) 0
+                (List.filteri (fun i _ -> i < n) payloads)
+            in
+            if torn then begin
+              if cut = boundary then ok := false
+            end
+            else if cut <> boundary then ok := false
+          end
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let test_codec_resync () =
+  (* A run of zero bytes parses as valid empty frames (crc32 "" = 0);
+     resync must skip them and land on the first real record. *)
+  let real = Codec.frame "payload" in
+  let data = String.make 16 '\x00' ^ real in
+  (match Codec.resync data ~pos:0 with
+  | Some p -> (
+    Alcotest.(check int) "lands on the real frame" 16 p;
+    match Codec.next_frame data ~pos:p with
+    | Codec.Frame { payload; _ } ->
+      Alcotest.(check string) "payload intact" "payload" payload
+    | Codec.End | Codec.Torn -> Alcotest.fail "resync target unreadable")
+  | None -> Alcotest.fail "resync must find the embedded frame");
+  (* Corrupt interior: garbage then a real frame. *)
+  let data = "GARBAGE!" ^ real in
+  (match Codec.resync data ~pos:0 with
+  | Some 8 -> ()
+  | Some p -> Alcotest.failf "expected offset 8, got %d" p
+  | None -> Alcotest.fail "resync must skip garbage");
+  (* Nothing to find. *)
+  Alcotest.(check bool) "no frame gives None" true
+    (Codec.resync "no frames here, just text" ~pos:0 = None)
+
 let test_prng_state_roundtrip () =
   (* Persisting the cursor and restoring it must continue the same
      stream — the property journal snapshots rely on. *)
@@ -477,6 +547,9 @@ let suite =
     Alcotest.test_case "codec crc32 check vector" `Quick test_codec_crc32_vector;
     Alcotest.test_case "codec frames and torn tails" `Quick test_codec_frames;
     QCheck_alcotest.to_alcotest qcheck_codec_frame_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_codec_truncation_safe;
+    Alcotest.test_case "codec resync skips zero runs and garbage" `Quick
+      test_codec_resync;
     Alcotest.test_case "prng state round-trip" `Quick test_prng_state_roundtrip;
     Alcotest.test_case "pool map ordered" `Quick test_pool_map_ordered;
     Alcotest.test_case "pool worker reuse" `Quick test_pool_reuse;
