@@ -24,6 +24,7 @@ let experiments =
     ("e13", "retail pricing & last-mile congestion (extension)", E13_retail.run);
     ("e14", "incremental POC deployment (extension)", E14_transition.run);
     ("e15", "chaos: faults & graceful degradation (extension)", E15_chaos.run);
+    ("e16", "daemon serving capacity (extension)", E16_daemon.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

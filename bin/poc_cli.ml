@@ -9,6 +9,9 @@
                journal and crash/resume support
      scrub     check and repair a run journal (segment classification,
                tail truncation, quarantine)
+     serve     long-lived supervised market daemon (Unix-socket control
+               protocol, admission control, kill-under-load recovery)
+     ctl       client for a running serve daemon
      profile   run N supervised epochs and print per-phase latencies
      topology  describe a generated substrate
      baseline  describe the traditional-Internet comparator
@@ -58,23 +61,56 @@ let metrics_arg =
 
 (* Both files are written from at_exit so an injected crash (exit 10)
    still leaves a usable trace: set_sink force-finishes the spans the
-   crash cut open. *)
+   crash cut open.  SIGTERM/SIGINT get the same treatment — at_exit
+   never fires on a signal's default termination, so a killed run would
+   otherwise leave nothing behind.  Returns a mid-run flush the daemon
+   invokes continuously: it snapshots both sinks without detaching the
+   trace sink (Chrome.write re-renders the whole buffer, so the file is
+   complete, bracket-closed JSON after every call). *)
 let setup_obs ~trace ~metrics =
-  (match trace with
-  | None -> ()
-  | Some path ->
-    let chrome = Trace.Chrome.create () in
-    Trace.set_sink (Some (Trace.Chrome.sink chrome));
-    at_exit (fun () ->
-        Trace.set_sink None;
-        Trace.Chrome.write chrome path));
-  match metrics with
-  | None -> ()
-  | Some path ->
-    at_exit (fun () ->
+  let chrome =
+    Option.map
+      (fun path ->
+        let chrome = Trace.Chrome.create () in
+        Trace.set_sink (Some (Trace.Chrome.sink chrome));
+        (chrome, path))
+      trace
+  in
+  let write_metrics () =
+    Option.iter
+      (fun path ->
         Out_channel.with_open_bin path (fun oc ->
             Out_channel.output_string oc
               (Metrics.to_prometheus Metrics.default)))
+      metrics
+  in
+  let flush () =
+    Option.iter (fun (chrome, path) -> Trace.Chrome.write chrome path) chrome;
+    write_metrics ()
+  in
+  let finalized = ref false in
+  let finalize () =
+    if not !finalized then begin
+      finalized := true;
+      Option.iter
+        (fun (chrome, path) ->
+          Trace.set_sink None;
+          Trace.Chrome.write chrome path)
+        chrome;
+      write_metrics ()
+    end
+  in
+  at_exit finalize;
+  let on_signal signum =
+    finalize ();
+    exit (if signum = Sys.sigint then 130 else 143)
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle on_signal)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  flush
 
 let phase_of_metric name =
   let prefix = "poc_phase_" and suffix = "_seconds" in
@@ -311,7 +347,7 @@ let market_cmd =
   let run verbose seed sites bps epochs jobs journal resume segment_bytes trace
       metrics =
     setup_logs verbose;
-    setup_obs ~trace ~metrics;
+    let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
@@ -353,8 +389,8 @@ let market_cmd =
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
-let chaos_cmd =
-  let crash_conv =
+(* Fault-injection options, shared by chaos and serve. *)
+let crash_conv =
     let parse s =
       match String.index_opt s ':' with
       | None -> Error (`Msg "expected EPOCH:PHASE")
@@ -375,8 +411,8 @@ let chaos_cmd =
       Format.fprintf ppf "%d:%s" e (Fault.phase_to_string p)
     in
     Arg.conv (parse, print)
-  in
-  let crash_arg =
+
+let crash_arg =
     Arg.(
       value & opt_all crash_conv []
       & info [ "crash" ] ~docv:"EPOCH:PHASE"
@@ -384,8 +420,8 @@ let chaos_cmd =
                 ($(b,pre_auction), $(b,pre_settle) or $(b,post_settle)).  \
                 The process exits with code 10 and the journal is left \
                 ready for $(b,--resume).  Repeatable.")
-  in
-  let disk_fault_conv =
+
+let disk_fault_conv =
     (* EPOCH:PHASE:KIND[:ARG] — the fault kind may carry its own
        colon-separated argument, so only the first two colons split. *)
     let parse s =
@@ -411,8 +447,8 @@ let chaos_cmd =
         (Disk.fault_to_string f)
     in
     Arg.conv (parse, print)
-  in
-  let disk_fault_arg =
+
+let disk_fault_arg =
     Arg.(
       value & opt_all disk_fault_conv []
       & info [ "disk-fault" ] ~docv:"EPOCH:PHASE:KIND[:ARG]"
@@ -422,17 +458,26 @@ let chaos_cmd =
                 $(b,corrupt_byte)[:SEED].  The process exits with code 10; \
                 finish with $(b,--resume), running $(b,poc-cli scrub) first \
                 if the resume reports unreadable segments.  Repeatable.")
-  in
-  let fault_seed_arg =
-    Arg.(
-      value & opt int 2020
-      & info [ "fault-seed" ] ~docv:"SEED"
-          ~doc:"Seed for compiling the fault schedule.")
-  in
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 2020
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for compiling the fault schedule.")
+
+(* Crash + storage specs shared by chaos and serve; the stress specs
+   (bankruptcy, link failures, recalls) stay chaos-only. *)
+let injected_specs ~crashes ~disk_faults =
+  List.map (fun (at_epoch, phase) -> Fault.Crash { at_epoch; phase }) crashes
+  @ List.map
+      (fun (at_epoch, phase, fault) -> Fault.Storage { at_epoch; phase; fault })
+      disk_faults
+
+let chaos_cmd =
   let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
       journal resume segment_bytes trace metrics =
     setup_logs verbose;
-    setup_obs ~trace ~metrics;
+    let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let biggest =
@@ -447,13 +492,7 @@ let chaos_cmd =
       @ List.init n_bps (fun bp ->
             Fault.Capacity_recall
               { at_epoch = 5; bp; fraction = 1.0; duration = 1 })
-      @ List.map
-          (fun (at_epoch, phase) -> Fault.Crash { at_epoch; phase })
-          crashes
-      @ List.map
-          (fun (at_epoch, phase, fault) ->
-            Fault.Storage { at_epoch; phase; fault })
-          disk_faults
+      @ injected_specs ~crashes ~disk_faults
     in
     let schedule =
       match Fault.compile plan.Planner.wan ~seed:fault_seed specs with
@@ -519,12 +558,209 @@ let scrub_cmd =
              machine-readable JSON report.")
     term
 
+(* --- serve / ctl ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let root_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Daemon state directory: the segmented journal lives at \
+                $(docv)/store, the intake log at $(docv)/intake.log and the \
+                control socket at $(docv)/ctl.sock.  Created if missing.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Control socket path (default: $(b,ROOT)/ctl.sock).")
+  in
+  let serve_resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Recover the journal at $(b,ROOT)/store and the intake log, \
+                re-apply logged updates at their recorded epochs, and \
+                continue serving.  The recovered store is byte-identical to \
+                an uninterrupted run fed the same requests.")
+  in
+  let high_water_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "high-water" ] ~docv:"N"
+          ~doc:"Admission queue bound: past $(docv) queued updates, new ones \
+                answer BUSY with an escalating retry-after, unless they \
+                outrank (strictly higher priority) the lowest-priority \
+                queued update, which is then shed to admit them.")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"Serve the live Prometheus registry over HTTP on \
+                127.0.0.1:$(docv) ($(b,GET /metrics)).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close a connection that holds a partial request line longer \
+                than $(docv) seconds.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Journal snapshot cadence in epochs.")
+  in
+  let serve_segment_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "segment-bytes" ] ~docv:"N"
+          ~doc:"Rotation budget of the segmented store (the daemon always \
+                journals segmented).")
+  in
+  let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
+      root socket resume high_water metrics_port idle_timeout snapshot_every
+      segment_bytes trace metrics =
+    setup_logs verbose;
+    let flush = setup_obs ~trace ~metrics in
+    let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
+    let module Epochs = Poc_market.Epochs in
+    let market = { Epochs.default_config with Epochs.epochs; seed } in
+    let schedule =
+      match
+        Fault.compile plan.Planner.wan ~seed:fault_seed
+          (injected_specs ~crashes ~disk_faults)
+      with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "bad fault schedule: %s\n" msg;
+        exit 1
+    in
+    (try if not (Sys.file_exists root) then Sys.mkdir root 0o755
+     with Sys_error msg ->
+       Printf.eprintf "serve: cannot create %s: %s\n" root msg;
+       exit 1);
+    let store = Filename.concat root "store" in
+    let intake = Filename.concat root "intake.log" in
+    let socket =
+      Option.value socket ~default:(Filename.concat root "ctl.sock")
+    in
+    let disk = Poc_daemon.Engine.retrying_disk () in
+    let code =
+      Pool.with_pool ~jobs (fun pool ->
+          match
+            Poc_daemon.Engine.create ~snapshot_every
+              ~segment_bytes ~disk ?pool ~high_water ~resume ~store ~intake
+              plan ~market ~schedule
+          with
+          | Error msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            1
+          | Ok engine ->
+            Printf.eprintf "%s\nlistening on %s\n%!"
+              (Poc_daemon.Engine.banner engine)
+              socket;
+            Poc_daemon.Server.serve
+              { Poc_daemon.Server.socket_path = socket; metrics_port;
+                idle_timeout }
+              engine ~flush)
+    in
+    exit code
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
+      $ jobs_arg $ fault_seed_arg $ crash_arg $ disk_fault_arg $ root_arg
+      $ socket_arg $ serve_resume_arg $ high_water_arg $ metrics_port_arg
+      $ idle_timeout_arg $ snapshot_every_arg $ serve_segment_arg $ trace_arg
+      $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the market as a long-lived supervised daemon: line protocol \
+             (BID/MATRIX/EPOCH/STATUS/METRICS/SCRUB/QUIESCE/SHUTDOWN) over a \
+             Unix socket, bounded admission queue with backpressure and \
+             shedding, durable intake log, live Prometheus endpoint, and \
+             kill-under-load recovery via $(b,--resume).")
+    term
+
+let ctl_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's control socket.")
+  in
+  let commands_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"COMMAND"
+          ~doc:"Requests to send, one per argument (quote each).  With no \
+                arguments, requests are read from stdin, one per line.")
+  in
+  let run verbose socket commands =
+    setup_logs verbose;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "ctl: cannot connect to %s: %s\n" socket
+         (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let module Protocol = Poc_daemon.Protocol in
+    let failures = ref 0 in
+    let send line =
+      output_string oc (line ^ "\n");
+      Stdlib.flush oc;
+      let rec read_response () =
+        match input_line ic with
+        | resp ->
+          print_endline (Protocol.payload resp);
+          if Protocol.is_terminal resp then begin
+            if String.length resp >= 3 && String.sub resp 0 3 = "ERR" then
+              incr failures
+          end
+          else read_response ()
+        | exception End_of_file ->
+          (* The daemon died mid-request — the kill-under-load drill.
+             Distinct exit code so scripts can tell "refused" from
+             "gone". *)
+          prerr_endline "ctl: connection closed by daemon";
+          exit 4
+      in
+      read_response ()
+    in
+    (match commands with
+    | [] -> (
+      try
+        while true do
+          let line = input_line stdin in
+          if String.trim line <> "" then send line
+        done
+      with End_of_file -> ())
+    | cmds -> List.iter (fun c -> if String.trim c <> "" then send c) cmds);
+    if !failures > 0 then exit 2
+  in
+  let term = Term.(const run $ verbose_arg $ socket_arg $ commands_arg) in
+  Cmd.v
+    (Cmd.info "ctl"
+       ~doc:"Send control requests to a running $(b,poc-cli serve) daemon \
+             and print the responses.  Exits 2 if any request answered ERR, \
+             4 if the daemon vanished mid-request.")
+    term
+
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
   let run verbose seed sites bps epochs jobs rule trace metrics =
     setup_logs verbose;
-    setup_obs ~trace ~metrics;
+    let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule in
     let module Epochs = Poc_market.Epochs in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
@@ -698,5 +934,5 @@ let () =
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; scrub_cmd;
-      profile_cmd; topology_cmd; federation_cmd; availability_cmd; export_cmd;
-      baseline_cmd ]))
+      serve_cmd; ctl_cmd; profile_cmd; topology_cmd; federation_cmd;
+      availability_cmd; export_cmd; baseline_cmd ]))

@@ -1,0 +1,418 @@
+module Supervisor = Poc_resilience.Supervisor
+module Journal = Poc_resilience.Journal
+module Disk = Poc_resilience.Disk
+module Fault = Poc_resilience.Fault
+module Ladder = Poc_resilience.Ladder
+module Planner = Poc_core.Planner
+module Vcg = Poc_auction.Vcg
+module Epochs = Poc_market.Epochs
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+
+(* Service instruments.  Queue/backpressure gauges and counters carry
+   the daemon's whole observable story: STATUS reads them, the
+   Prometheus endpoint exports them, and the kill smoke asserts on
+   them. *)
+let g_queue =
+  Metrics.gauge ~help:"Live updates waiting for the next epoch"
+    Metrics.default "poc_daemon_queue_depth"
+
+let g_high_water =
+  Metrics.gauge ~help:"Admission queue bound" Metrics.default
+    "poc_daemon_queue_high_water"
+
+let g_next_epoch =
+  Metrics.gauge ~help:"Next epoch the daemon will run (0 = horizon done)"
+    Metrics.default "poc_daemon_next_epoch"
+
+let c_requests =
+  Metrics.counter ~help:"Control requests processed" Metrics.default
+    "poc_daemon_requests_total"
+
+let c_accepted =
+  Metrics.counter ~help:"Updates admitted and durably logged"
+    Metrics.default "poc_daemon_accepted_total"
+
+let c_applied =
+  Metrics.counter ~help:"Updates folded into an epoch" Metrics.default
+    "poc_daemon_applied_total"
+
+let c_shed =
+  Metrics.counter ~help:"Queued updates shed to admit higher priority"
+    Metrics.default "poc_daemon_shed_total"
+
+let c_rejected =
+  Metrics.counter ~help:"Updates rejected with BUSY backpressure"
+    Metrics.default "poc_daemon_rejected_total"
+
+let c_dup =
+  Metrics.counter ~help:"Duplicate seqs suppressed" Metrics.default
+    "poc_daemon_duplicates_total"
+
+let c_retries =
+  Metrics.counter ~help:"Transient disk errors retried with backoff"
+    Metrics.default "poc_daemon_disk_retries_total"
+
+let c_recoveries =
+  Metrics.counter ~help:"Journal resumes (startup --resume and in-place)"
+    Metrics.default "poc_daemon_recoveries_total"
+
+let h_request =
+  Metrics.histogram ~help:"Control request latency (seconds)"
+    Metrics.default "poc_daemon_request_seconds"
+
+let h_recovery =
+  Metrics.histogram ~help:"Time to recover from the journal (seconds)"
+    Metrics.default "poc_daemon_recovery_seconds"
+
+let retrying_disk ?policy ?(ops = Disk.real_ops) () =
+  Disk.with_ops
+    (Disk.retrying ?policy
+       ~on_retry:(fun ~op:_ ~attempt:_ ~delay:_ _ ->
+         Metrics.Counter.inc c_retries)
+       ops)
+
+type action = Continue | Stop of int
+
+type t = {
+  n_bps : int;
+  store : string;
+  market : Epochs.config;
+  admission : Supervisor.update Admission.t;
+  disk : Disk.t;
+  reresume : unit -> (Supervisor.loop, string) result;
+  mutable loop : Supervisor.loop;
+  mutable ilog : Intake.t;
+  (* Mirror of the intake log, newest first: the single source of truth
+     for which updates an epoch applies.  The admission queue only
+     bounds what is waiting; application always reads the mirror, so a
+     live run and a crash-resumed replay fold exactly the same updates
+     at exactly the same epochs. *)
+  mutable accepted_rev : Supervisor.update Admission.entry list;
+  shed_seqs : (int, unit) Hashtbl.t;
+  mutable quiesced : bool;
+  mutable flush : unit -> unit;
+}
+
+let set_queue_gauges t =
+  Metrics.Gauge.set g_queue (float_of_int (Admission.depth t.admission));
+  Metrics.Gauge.set g_next_epoch
+    (match Supervisor.next_epoch t.loop with
+    | Some e -> float_of_int e
+    | None -> 0.0)
+
+let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool
+    ?(high_water = 64) ?(resume = false) ~store ~intake plan ~market ~schedule
+    =
+  let disk = match disk with Some d -> d | None -> Disk.real () in
+  let n_bps = Array.length plan.Planner.problem.Vcg.bids in
+  let admission = Admission.create ~high_water () in
+  Metrics.Gauge.set g_high_water (float_of_int high_water);
+  let reresume () =
+    Supervisor.open_resume ?ladder ~journal:store ~disk ?pool plan ~market
+      ~schedule
+  in
+  let finish loop ilog accepted_rev shed_seqs =
+    let t =
+      {
+        n_bps;
+        store;
+        market;
+        admission;
+        disk;
+        reresume;
+        loop;
+        ilog;
+        accepted_rev;
+        shed_seqs;
+        quiesced = false;
+        flush = (fun () -> ());
+      }
+    in
+    set_queue_gauges t;
+    Ok t
+  in
+  if resume then
+    let t0 = Clock.now_us () in
+    match reresume () with
+    | Error _ as e -> e
+    | Ok loop -> (
+      match Intake.reopen ~disk intake with
+      | Error _ as e -> e
+      | Ok (ilog, records) ->
+        let shed_seqs = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Intake.record) ->
+            match r.displaces with
+            | Some s -> Hashtbl.replace shed_seqs s ()
+            | None -> ())
+          records;
+        let accepted = List.map (fun (r : Intake.record) -> r.entry) records in
+        List.iter
+          (fun (e : _ Admission.entry) ->
+            Admission.set_last_seq admission e.seq)
+          accepted;
+        (* Entries not yet folded into the restored state go back on
+           the queue so depth accounting (and backpressure) survive the
+           restart; their application still comes from the mirror. *)
+        let resume_next =
+          match Supervisor.next_epoch loop with
+          | Some e -> e
+          | None -> Supervisor.horizon loop + 1
+        in
+        List.iter
+          (fun (e : _ Admission.entry) ->
+            if e.apply_epoch >= resume_next && not (Hashtbl.mem shed_seqs e.seq)
+            then Admission.force admission e)
+          accepted;
+        (* Counters are process-local; restore the run-cumulative
+           accepted/shed/applied counts from the durable intake log so
+           STATUS and the Prometheus endpoint survive the restart. *)
+        Metrics.Counter.add c_accepted (float_of_int (List.length accepted));
+        Metrics.Counter.add c_shed
+          (float_of_int (Hashtbl.length shed_seqs));
+        Metrics.Counter.add c_applied
+          (float_of_int
+             (List.length
+                (List.filter
+                   (fun (e : _ Admission.entry) ->
+                     e.apply_epoch < resume_next
+                     && not (Hashtbl.mem shed_seqs e.seq))
+                   accepted)));
+        Metrics.Counter.inc c_recoveries;
+        Metrics.Histogram.observe h_recovery
+          ((Clock.now_us () -. t0) *. 1e-6);
+        finish loop ilog (List.rev accepted) shed_seqs)
+  else
+    let loop =
+      Supervisor.open_run ?ladder ~journal:store ~snapshot_every
+        ?segment_bytes ~disk ?pool plan ~market ~schedule
+    in
+    finish loop (Intake.create ~disk intake) [] (Hashtbl.create 64)
+
+let set_flush t f = t.flush <- f
+let next_epoch t = Supervisor.next_epoch t.loop
+let queue_depth t = Admission.depth t.admission
+
+let banner t =
+  Printf.sprintf
+    "poc daemon: store=%s next=%s horizon=%d queue=%d/%d market[%s]" t.store
+    (match next_epoch t with Some e -> string_of_int e | None -> "done")
+    (Supervisor.horizon t.loop)
+    (Admission.depth t.admission)
+    (Admission.high_water t.admission)
+    (Epochs.describe_config t.market)
+
+let suspend t =
+  (match Supervisor.next_epoch t.loop with
+  | Some _ -> Supervisor.suspend t.loop
+  | None -> ignore (Supervisor.finish t.loop));
+  Intake.close t.ilog;
+  t.flush ()
+
+(* --- request handlers ----------------------------------------------------- *)
+
+let admit t ~seq ~priority payload =
+  if t.quiesced then
+    ([ Printf.sprintf "ERR %d quiesced" seq ], Continue)
+  else
+    match Supervisor.next_epoch t.loop with
+    | None -> ([ Printf.sprintf "ERR %d horizon complete" seq ], Continue)
+    | Some next -> (
+      match Supervisor.validate_update ~n_bps:t.n_bps payload with
+      | Error msg -> ([ Printf.sprintf "ERR %d %s" seq msg ], Continue)
+      | Ok () -> (
+        let entry =
+          { Admission.seq; apply_epoch = next; priority; payload }
+        in
+        match Admission.offer t.admission entry with
+        | Admission.Duplicate ->
+          Metrics.Counter.inc c_dup;
+          ([ Printf.sprintf "DUP %d" seq ], Continue)
+        | Admission.Rejected { retry_after } ->
+          Metrics.Counter.inc c_rejected;
+          ([ Printf.sprintf "BUSY %d retry_after=%.3f" seq retry_after ],
+           Continue)
+        | Admission.Admitted { shed } -> (
+          let displaces =
+            Option.map (fun (v : _ Admission.entry) -> v.seq) shed
+          in
+          match Intake.append t.ilog { entry; displaces } with
+          | () ->
+            t.accepted_rev <- entry :: t.accepted_rev;
+            (match shed with
+            | Some v ->
+              Hashtbl.replace t.shed_seqs v.seq ();
+              Metrics.Counter.inc c_shed
+            | None -> ());
+            Metrics.Counter.inc c_accepted;
+            set_queue_gauges t;
+            let shed_part =
+              match shed with
+              | Some v -> Printf.sprintf " shed=%d" v.Admission.seq
+              | None -> ""
+            in
+            ([ Printf.sprintf "OK %d apply_epoch=%d queue=%d%s" seq next
+                 (Admission.depth t.admission)
+                 shed_part ],
+             Continue)
+          | exception Sys_error msg ->
+            (* The admission is not durable: undo it entirely so the
+               client can safely retry.  The victim (if any) was never
+               durably shed either — put it back. *)
+            Admission.drop t.admission ~seq;
+            (match shed with
+            | Some v -> Admission.force t.admission v
+            | None -> ());
+            set_queue_gauges t;
+            ([ Printf.sprintf
+                 "ERR %d not recorded (%s); retry with a fresh seq" seq msg ],
+             Continue))))
+
+let updates_for t e =
+  List.rev t.accepted_rev
+  |> List.filter_map (fun (en : _ Admission.entry) ->
+         if en.apply_epoch = e && not (Hashtbl.mem t.shed_seqs en.seq) then
+           Some en.payload
+         else None)
+
+let recover t cause =
+  let t0 = Clock.now_us () in
+  (try Supervisor.suspend t.loop with _ -> ());
+  match t.reresume () with
+  | Ok loop ->
+    t.loop <- loop;
+    Metrics.Counter.inc c_recoveries;
+    Metrics.Histogram.observe h_recovery ((Clock.now_us () -. t0) *. 1e-6);
+    set_queue_gauges t;
+    Ok (Supervisor.next_epoch loop)
+  | Error msg -> Error (Printf.sprintf "%s; resume failed: %s" cause msg)
+
+let run_epochs t n =
+  let lines = ref [] in
+  let ran = ref 0 in
+  let outcome = ref `Done in
+  (try
+     let k = ref n in
+     while !k > 0 && !outcome = `Done && next_epoch t <> None do
+       match next_epoch t with
+       | None -> k := 0
+       | Some e -> (
+         ignore (Admission.drain t.admission ~epoch:e);
+         let updates = updates_for t e in
+         match Supervisor.step ~updates t.loop with
+         | er ->
+           incr ran;
+           decr k;
+           Metrics.Counter.add c_applied (float_of_int (List.length updates));
+           set_queue_gauges t;
+           lines :=
+             Protocol.continuation
+               (Printf.sprintf
+                  "epoch %d status=%s spend=%.2f delivered=%.3f applied=%d"
+                  er.Supervisor.epoch
+                  (Supervisor.status_to_string er.Supervisor.status)
+                  er.Supervisor.spend er.Supervisor.delivered_fraction
+                  (List.length updates))
+             :: !lines
+         | exception (Supervisor.Injected_crash _ as exn) -> raise exn
+         | exception exn ->
+           outcome := `Recovering (Printexc.to_string exn))
+     done
+   with Supervisor.Injected_crash _ as exn -> raise exn);
+  let lines = List.rev !lines in
+  match !outcome with
+  | `Done ->
+    let next =
+      match next_epoch t with Some e -> string_of_int e | None -> "done"
+    in
+    (lines @ [ Printf.sprintf "OK epochs=%d next=%s" !ran next ], Continue)
+  | `Recovering cause -> (
+    match recover t cause with
+    | Ok next ->
+      let next =
+        match next with Some e -> string_of_int e | None -> "done"
+      in
+      ( lines
+        @ [ Printf.sprintf
+              "BUSY epoch retry_after=0.100 recovered next=%s cause=%s" next
+              (String.map (fun c -> if c = ' ' then '_' else c) cause) ],
+        Continue )
+    | Error msg -> (lines @ [ "ERR unrecoverable: " ^ msg ], Stop 1))
+
+let status_line t =
+  let next =
+    match next_epoch t with Some e -> string_of_int e | None -> "done"
+  in
+  Printf.sprintf
+    "STATUS ok next=%s horizon=%d queue=%d/%d last_seq=%d accepted=%.0f \
+     applied=%.0f shed=%.0f rejected=%.0f dup=%.0f recoveries=%.0f \
+     disk_retries=%.0f quiesced=%b market[%s]"
+    next
+    (Supervisor.horizon t.loop)
+    (Admission.depth t.admission)
+    (Admission.high_water t.admission)
+    (Admission.last_seq t.admission)
+    (Metrics.Counter.value c_accepted)
+    (Metrics.Counter.value c_applied)
+    (Metrics.Counter.value c_shed)
+    (Metrics.Counter.value c_rejected)
+    (Metrics.Counter.value c_dup)
+    (Metrics.Counter.value c_recoveries)
+    (Metrics.Counter.value c_retries)
+    t.quiesced
+    (Epochs.describe_config t.market)
+
+let dispatch t = function
+  | Protocol.Bid { seq; bp; factor; priority } ->
+    admit t ~seq ~priority (Supervisor.Scale_bid { bp; factor })
+  | Protocol.Matrix { seq; factor; priority } ->
+    admit t ~seq ~priority (Supervisor.Scale_demand { factor })
+  | Protocol.Epoch n -> run_epochs t n
+  | Protocol.Status -> ([ status_line t ], Continue)
+  | Protocol.Metrics_dump ->
+    let body = Metrics.to_prometheus Metrics.default in
+    let lines =
+      String.split_on_char '\n' body
+      |> List.filter (fun l -> l <> "")
+      |> List.map Protocol.continuation
+    in
+    (lines @ [ Printf.sprintf "OK metrics bytes=%d" (String.length body) ],
+     Continue)
+  | Protocol.Scrub -> (
+    match Journal.scrub ~disk:t.disk ~dry_run:true t.store with
+    | Ok report ->
+      let json_lines =
+        String.split_on_char '\n' (Journal.scrub_to_json report)
+        |> List.filter (fun l -> l <> "")
+        |> List.map Protocol.continuation
+      in
+      ( json_lines
+        @ [ Printf.sprintf "OK scrub recovered=%b" report.Journal.recovered ],
+        Continue )
+    | Error msg -> ([ "ERR scrub " ^ msg ], Continue))
+  | Protocol.Quiesce ->
+    t.quiesced <- true;
+    t.flush ();
+    ( [ Printf.sprintf "OK quiesced queue=%d" (Admission.depth t.admission) ],
+      Continue )
+  | Protocol.Shutdown -> (
+    match next_epoch t with
+    | None ->
+      ignore (Supervisor.finish t.loop);
+      Intake.close t.ilog;
+      t.flush ();
+      ([ "BYE complete" ], Stop 0)
+    | Some e ->
+      Supervisor.suspend t.loop;
+      Intake.close t.ilog;
+      t.flush ();
+      ([ Printf.sprintf "BYE resumable next=%d" e ], Stop 0))
+
+let handle t req =
+  let t0 = Clock.now_us () in
+  Metrics.Counter.inc c_requests;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.Histogram.observe h_request ((Clock.now_us () -. t0) *. 1e-6))
+    (fun () -> dispatch t req)

@@ -1,0 +1,85 @@
+(** The daemon's single-writer core: a {!Poc_resilience.Supervisor}
+    loop held open across requests, fronted by admission control and
+    the durable intake log — everything [poc-cli serve] does except the
+    socket.
+
+    The engine is deliberately transport-free so tests and benches can
+    drive the exact production request path ({!handle}) in-process.
+    One engine owns one supervised run: requests arrive strictly
+    sequentially (the server's event loop is the single writer), live
+    updates wait in the {!Admission} queue until the next [EPOCH]
+    request folds them into the market, and every admission is durable
+    in the {!Intake} log before the client sees [OK].
+
+    Recovery is layered:
+
+    - {e transient disk errors} retry with jittered exponential backoff
+      ({!retrying_disk}), counted in [poc_daemon_disk_retries_total];
+    - {e unexpected epoch failures} recover in place: the journal is
+      suspended, resumed from its last durable checkpoint, and the
+      client told [BUSY] — counted in [poc_daemon_recoveries_total];
+    - {e process death} (including SIGKILL) recovers on restart with
+      [resume:true]: the journal checkpoint plus the intake log's
+      re-applied updates reproduce the uninterrupted run byte for
+      byte;
+    - {e injected crashes} ([Supervisor.Injected_crash]) propagate to
+      the server, which exits 10 exactly like [poc-cli supervise]. *)
+
+module Supervisor = Poc_resilience.Supervisor
+module Disk = Poc_resilience.Disk
+module Fault = Poc_resilience.Fault
+module Ladder = Poc_resilience.Ladder
+
+type t
+
+type action =
+  | Continue
+  | Stop of int  (** close the service and exit with this code *)
+
+val create :
+  ?ladder:Ladder.config ->
+  ?snapshot_every:int ->
+  ?segment_bytes:int ->
+  ?disk:Disk.t ->
+  ?pool:Poc_util.Pool.t ->
+  ?high_water:int ->
+  ?resume:bool ->
+  store:string ->
+  intake:string ->
+  Poc_core.Planner.plan ->
+  market:Poc_market.Epochs.config ->
+  schedule:Fault.schedule ->
+  (t, string) result
+(** Open the supervised loop ([resume:false], the default, starts a
+    fresh journal at [store]; [resume:true] replays it and the intake
+    log, re-queues still-pending updates and restores the dedup floor).
+    Same validation failures as [Supervisor.open_run] surface as
+    [Invalid_argument]; resume problems as [Error]. *)
+
+val handle : t -> Protocol.request -> string list * action
+(** Process one request; returns the response lines (continuations
+    first, terminal last — see {!Protocol}) and what the server should
+    do next.  Counts the request and observes its latency.  Raises
+    [Supervisor.Injected_crash] when a scheduled crash fault fires
+    mid-[EPOCH]. *)
+
+val set_flush : t -> (unit -> unit) -> unit
+(** Install the observability flush hook ([QUIESCE] and [SHUTDOWN]
+    invoke it); defaults to a no-op. *)
+
+val next_epoch : t -> int option
+val queue_depth : t -> int
+
+val banner : t -> string
+(** One-line startup description (store, horizon, queue bound, market
+    config). *)
+
+val suspend : t -> unit
+(** Close the journal resumably and the intake log — the
+    signal-shutdown path when the server must exit without a client
+    [SHUTDOWN]. *)
+
+val retrying_disk : ?policy:Disk.retry_policy -> ?ops:Disk.ops -> unit -> Disk.t
+(** A disk whose transient [Sys_error]s retry under [policy] (default
+    {!Disk.default_retry_policy}), each retry counted in
+    [poc_daemon_disk_retries_total]. *)

@@ -1,0 +1,96 @@
+module Codec = Poc_util.Codec
+module Disk = Poc_resilience.Disk
+module Supervisor = Poc_resilience.Supervisor
+
+type record = {
+  entry : Supervisor.update Admission.entry;
+  displaces : int option;
+}
+
+type t = {
+  disk : Disk.t;
+  log_path : string;
+  mutable file : Disk.file;
+  mutable good : int;  (* bytes known durable *)
+}
+
+let encode ({ entry; displaces } : record) =
+  let w = Codec.writer () in
+  (match entry.Admission.payload with
+  | Supervisor.Scale_bid { bp; factor } ->
+    Codec.put_u8 w 0;
+    Codec.put_int w bp;
+    Codec.put_f64 w factor
+  | Supervisor.Scale_demand { factor } ->
+    Codec.put_u8 w 1;
+    Codec.put_f64 w factor);
+  Codec.put_int w entry.Admission.seq;
+  Codec.put_int w entry.Admission.apply_epoch;
+  Codec.put_int w entry.Admission.priority;
+  Codec.put_option w Codec.put_int displaces;
+  Codec.frame (Codec.contents w)
+
+let decode payload =
+  let r = Codec.reader payload in
+  let payload_of_tag tag =
+    match tag with
+    | 0 ->
+      let bp = Codec.get_int r in
+      let factor = Codec.get_f64 r in
+      Supervisor.Scale_bid { bp; factor }
+    | 1 ->
+      let factor = Codec.get_f64 r in
+      Supervisor.Scale_demand { factor }
+    | n -> raise (Codec.Corrupt (Printf.sprintf "intake record tag %d" n))
+  in
+  let payload = payload_of_tag (Codec.get_u8 r) in
+  let seq = Codec.get_int r in
+  let apply_epoch = Codec.get_int r in
+  let priority = Codec.get_int r in
+  let displaces = Codec.get_option r Codec.get_int in
+  { entry = { Admission.seq; apply_epoch; priority; payload }; displaces }
+
+let create ?(disk = Disk.real ()) log_path =
+  { disk; log_path; file = Disk.open_trunc disk log_path; good = 0 }
+
+let reopen ?(disk = Disk.real ()) log_path =
+  if not (Disk.exists disk log_path) then
+    Ok ({ disk; log_path; file = Disk.open_append disk log_path; good = 0 }, [])
+  else
+    let data = Disk.read_file disk log_path in
+    let rec walk pos acc =
+      match Codec.next_frame data ~pos with
+      | Codec.End -> Ok (pos, List.rev acc)
+      | Codec.Torn -> Ok (pos, List.rev acc)
+      | Codec.Frame { payload; next } -> (
+        match decode payload with
+        | r -> walk next (r :: acc)
+        | exception Codec.Corrupt msg ->
+          Error (Printf.sprintf "intake %s: undecodable record: %s" log_path msg))
+    in
+    match walk 0 [] with
+    | Error _ as e -> e
+    | Ok (valid, records) ->
+      if valid < String.length data then
+        Disk.truncate_file disk log_path valid;
+      Ok
+        ( { disk; log_path; file = Disk.open_append disk log_path; good = valid },
+          records )
+
+let append t r =
+  let bytes = encode r in
+  try
+    Disk.append t.disk t.file bytes;
+    Disk.sync t.disk t.file;
+    t.good <- t.good + String.length bytes
+  with Sys_error msg ->
+    (* Self-heal: never leave a torn frame mid-log while the process
+       lives.  Truncate back to the last durable record and reopen, so
+       the next append lands on a clean tail. *)
+    (try Disk.close_file t.disk t.file with Sys_error _ -> ());
+    (try Disk.truncate_file t.disk t.log_path t.good with Sys_error _ -> ());
+    t.file <- Disk.open_append t.disk t.log_path;
+    raise (Sys_error msg)
+
+let close t = try Disk.close_file t.disk t.file with Sys_error _ -> ()
+let path t = t.log_path

@@ -1,0 +1,50 @@
+(** The daemon's durable intake log: the exactly-once half of live
+    updates.
+
+    The supervisor deliberately does not journal live updates
+    ({!Poc_resilience.Supervisor.update}) — a resumed run must re-apply
+    the same updates at the same epochs to reproduce the same bytes.
+    The intake log records exactly that: one checksummed
+    {!Poc_util.Codec} frame per admitted update, flushed {e before} the
+    client sees [OK], carrying the entry, its apply-epoch and the seq of
+    any entry it displaced (shed) on the way in.  Displacement rides in
+    the same frame as the admission that caused it, so the two are
+    atomic on disk — a torn tail can never shed a victim while losing
+    its displacer.
+
+    On restart, {!reopen} replays the log (truncating a torn tail, the
+    bytes of an [OK] that never reached the client) and the engine
+    re-applies every surviving, unshed entry at its recorded epoch —
+    which, against the journal's restored checkpoint, reproduces the
+    uninterrupted run byte for byte.
+
+    A failed append self-heals: the channel is reopened and the file
+    truncated back to the last durable record before the error
+    propagates, so one bad write can never leave a torn frame in the
+    middle of the log. *)
+
+module Disk = Poc_resilience.Disk
+module Supervisor = Poc_resilience.Supervisor
+
+type record = {
+  entry : Supervisor.update Admission.entry;
+  displaces : int option;  (** seq shed to make room for this entry *)
+}
+
+type t
+
+val create : ?disk:Disk.t -> string -> t
+(** Fresh log at the path, truncating any previous contents. *)
+
+val reopen : ?disk:Disk.t -> string -> (t * record list, string) result
+(** Replay the surviving records (chronological), truncate any torn
+    tail, and open for append.  A missing file reopens as an empty log.
+    [Error] on an undecodable (checksum-valid but malformed) record —
+    version skew, not damage. *)
+
+val append : t -> record -> unit
+(** Append one frame and flush.  Raises [Sys_error] when the disk
+    refuses, after restoring the file to its last durable length. *)
+
+val close : t -> unit
+val path : t -> string

@@ -1,0 +1,100 @@
+type request =
+  | Bid of { seq : int; bp : int; factor : float; priority : int }
+  | Matrix of { seq : int; factor : float; priority : int }
+  | Epoch of int
+  | Status
+  | Metrics_dump
+  | Scrub
+  | Quiesce
+  | Shutdown
+
+let trim line =
+  let line = String.trim line in
+  (* String.trim already eats a trailing CR (it is whitespace), but be
+     explicit about the telnet-style client case. *)
+  if String.length line > 0 && line.[String.length line - 1] = '\r' then
+    String.sub line 0 (String.length line - 1)
+  else line
+
+let tokens line =
+  String.split_on_char ' ' (trim line) |> List.filter (fun s -> s <> "")
+
+let int_tok name s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let float_tok name s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ -> Error (Printf.sprintf "%s: must be finite" name)
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" name s)
+
+let ( let* ) = Result.bind
+
+let parse line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: args -> (
+    match (verb, args) with
+    | "BID", [ seq; bp; factor ] | "BID", [ seq; bp; factor; _ ] ->
+      let* seq = int_tok "seq" seq in
+      let* bp = int_tok "bp" bp in
+      let* factor = float_tok "factor" factor in
+      let* priority =
+        match args with
+        | [ _; _; _; p ] -> int_tok "priority" p
+        | _ -> Ok 0
+      in
+      Ok (Bid { seq; bp; factor; priority })
+    | "BID", _ -> Error "BID: expected <seq> <bp> <factor> [<priority>]"
+    | "MATRIX", [ seq; factor ] | "MATRIX", [ seq; factor; _ ] ->
+      let* seq = int_tok "seq" seq in
+      let* factor = float_tok "factor" factor in
+      let* priority =
+        match args with [ _; _; p ] -> int_tok "priority" p | _ -> Ok 0
+      in
+      Ok (Matrix { seq; factor; priority })
+    | "MATRIX", _ -> Error "MATRIX: expected <seq> <factor> [<priority>]"
+    | "EPOCH", [] -> Ok (Epoch 1)
+    | "EPOCH", [ n ] ->
+      let* n = int_tok "count" n in
+      if n >= 1 then Ok (Epoch n) else Error "EPOCH: count must be >= 1"
+    | "EPOCH", _ -> Error "EPOCH: expected at most one count"
+    | "STATUS", [] -> Ok Status
+    | "METRICS", [] -> Ok Metrics_dump
+    | "SCRUB", [] -> Ok Scrub
+    | "QUIESCE", [] -> Ok Quiesce
+    | "SHUTDOWN", [] -> Ok Shutdown
+    | ("STATUS" | "METRICS" | "SCRUB" | "QUIESCE" | "SHUTDOWN"), _ :: _ ->
+      Error (verb ^ ": takes no arguments")
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown request %S: expected BID, MATRIX, EPOCH, STATUS, METRICS, \
+            SCRUB, QUIESCE or SHUTDOWN"
+           verb))
+
+let render = function
+  | Bid { seq; bp; factor; priority } ->
+    Printf.sprintf "BID %d %d %.17g %d" seq bp factor priority
+  | Matrix { seq; factor; priority } ->
+    Printf.sprintf "MATRIX %d %.17g %d" seq factor priority
+  | Epoch n -> Printf.sprintf "EPOCH %d" n
+  | Status -> "STATUS"
+  | Metrics_dump -> "METRICS"
+  | Scrub -> "SCRUB"
+  | Quiesce -> "QUIESCE"
+  | Shutdown -> "SHUTDOWN"
+
+let is_terminal line =
+  not (String.length line >= 2 && line.[0] = '|' && line.[1] = ' ')
+
+let continuation payload =
+  if String.contains payload '\n' then
+    invalid_arg "Protocol.continuation: payload contains a newline";
+  "| " ^ payload
+
+let payload line =
+  if is_terminal line then line
+  else String.sub line 2 (String.length line - 2)

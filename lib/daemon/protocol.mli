@@ -1,0 +1,55 @@
+(** The daemon's line-oriented control protocol.
+
+    One request per line, ASCII, space-separated; one response per
+    request.  A response is zero or more {e continuation} lines, each
+    prefixed with ["| "], followed by exactly one {e terminal} line —
+    any line {e not} starting with ["| "].  Clients read until the
+    terminal line; no length prefixes, so a shell script with a [while
+    read] loop is a complete client.
+
+    Requests:
+
+    - [BID <seq> <bp> <factor> [<priority>]] — live re-bid: multiply BP
+      [bp]'s cost level by [factor] from the next epoch on.
+    - [MATRIX <seq> <factor> [<priority>]] — live traffic update:
+      multiply demand by [factor] from the next epoch on.
+    - [EPOCH [<n>]] — run up to [n] (default 1) supervised epochs.
+    - [STATUS] — one-line service summary.
+    - [METRICS] — Prometheus text exposition as continuation lines.
+    - [SCRUB] — dry-run journal scrub report (JSON).
+    - [QUIESCE] — stop admitting updates, flush observability sinks.
+    - [SHUTDOWN] — graceful stop: journal completed if the horizon is
+      done, suspended (resumable) otherwise.
+
+    [seq] is a client-chosen strictly-increasing sequence number — the
+    daemon's exactly-once dedup key.  Terminal lines begin with [OK],
+    [DUP], [BUSY], [ERR], [STATUS] or [BYE]. *)
+
+type request =
+  | Bid of { seq : int; bp : int; factor : float; priority : int }
+  | Matrix of { seq : int; factor : float; priority : int }
+  | Epoch of int
+  | Status
+  | Metrics_dump
+  | Scrub
+  | Quiesce
+  | Shutdown
+
+val parse : string -> (request, string) result
+(** Parse one request line (leading/trailing blanks and a trailing CR
+    tolerated).  [priority] defaults to 0; [EPOCH]'s count to 1.
+    [Error] names the offending token, never raises. *)
+
+val render : request -> string
+(** Canonical request line; [parse (render r) = Ok r]. *)
+
+val is_terminal : string -> bool
+(** Response framing predicate: a line not starting with ["| "]. *)
+
+val continuation : string -> string
+(** Prefix a payload line with ["| "].  The payload must not contain a
+    newline (raises [Invalid_argument]). *)
+
+val payload : string -> string
+(** Strip a continuation line's ["| "] prefix (identity on terminal
+    lines). *)

@@ -1,0 +1,189 @@
+module Supervisor = Poc_resilience.Supervisor
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+
+type config = {
+  socket_path : string;
+  metrics_port : int option;
+  idle_timeout : float;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  http : bool;
+  mutable since : float;  (* when the current partial line started *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let http_response body =
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    (String.length body) body
+
+(* Split off complete lines; the remainder stays buffered. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_string buf
+      (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+
+let serve cfg engine ~flush =
+  Engine.set_flush engine flush;
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen srv 16;
+  let http_srv =
+    Option.map
+      (fun port ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen s 16;
+        s)
+      cfg.metrics_port
+  in
+  let conns = ref [] in
+  let stop = ref false in
+  let old_term = ref Sys.Signal_default and old_int = ref Sys.Signal_default in
+  old_term := Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  old_int := Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let close_conn c =
+    conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let cleanup () =
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !conns;
+    (try Unix.close srv with Unix.Unix_error _ -> ());
+    Option.iter
+      (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+      http_srv;
+    (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+    Sys.set_signal Sys.sigterm !old_term;
+    Sys.set_signal Sys.sigint !old_int;
+    flush ()
+  in
+  let exit_code = ref None in
+  let handle_line c line =
+    if String.trim line <> "" then begin
+      let lines, action =
+        match Protocol.parse line with
+        | Error msg -> ([ "ERR parse: " ^ msg ], Engine.Continue)
+        | Ok req -> Engine.handle engine req
+      in
+      (try write_all c.fd (String.concat "\n" lines ^ "\n")
+       with Unix.Unix_error _ -> close_conn c);
+      match action with
+      | Engine.Continue -> ()
+      | Engine.Stop code -> exit_code := Some code
+    end
+  in
+  let serve_http fd =
+    (* Read whatever request head arrived; any GET gets the registry. *)
+    let b = Bytes.create 1024 in
+    (try ignore (Unix.read fd b 0 1024) with Unix.Unix_error _ -> ());
+    let body = Metrics.to_prometheus Metrics.default in
+    (try write_all fd (http_response body) with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  (try
+     while !exit_code = None && not !stop do
+       let fds =
+         (srv :: Option.to_list http_srv)
+         @ List.map (fun c -> c.fd) !conns
+       in
+       match Unix.select fds [] [] 0.25 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, _, _ ->
+         List.iter
+           (fun fd ->
+             if fd = srv then begin
+               let cfd, _ = Unix.accept srv in
+               conns :=
+                 { fd = cfd; buf = Buffer.create 256; http = false;
+                   since = Clock.now_us () }
+                 :: !conns
+             end
+             else if Some fd = http_srv then begin
+               let cfd, _ = Unix.accept (Option.get http_srv) in
+               conns :=
+                 { fd = cfd; buf = Buffer.create 256; http = true;
+                   since = Clock.now_us () }
+                 :: !conns
+             end
+             else
+               match List.find_opt (fun c -> c.fd = fd) !conns with
+               | None -> ()
+               | Some c when c.http ->
+                 conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+                 serve_http c.fd
+               | Some c -> (
+                 let b = Bytes.create 4096 in
+                 match Unix.read c.fd b 0 4096 with
+                 | 0 -> close_conn c
+                 | n ->
+                   Buffer.add_subbytes c.buf b 0 n;
+                   let lines = take_lines c.buf in
+                   if lines <> [] then c.since <- Clock.now_us ();
+                   List.iter
+                     (fun line ->
+                       if !exit_code = None then handle_line c line)
+                     lines;
+                   if Buffer.length c.buf > 0 then ()
+                   else c.since <- Clock.now_us ()
+                 | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+                   ->
+                   close_conn c))
+           readable;
+         (* Partial-line timeout: a stalled half request is refused so
+            one bad client cannot wedge the single-writer loop. *)
+         let now = Clock.now_us () in
+         List.iter
+           (fun c ->
+             if
+               (not c.http)
+               && Buffer.length c.buf > 0
+               && (now -. c.since) *. 1e-6 > cfg.idle_timeout
+             then begin
+               (try write_all c.fd "ERR timeout: partial request dropped\n"
+                with Unix.Unix_error _ -> ());
+               close_conn c
+             end)
+           !conns
+     done
+   with Supervisor.Injected_crash _ ->
+     (* The scheduled kill-under-load fault: the supervisor already
+        closed the journal resumably; leave with the supervise exit
+        code so the smoke's restart leg takes over. *)
+     exit_code := Some 10);
+  (match !exit_code with
+  | None ->
+    (* Signal-driven graceful shutdown: suspend resumably, like a
+       client SHUTDOWN. *)
+    (try Engine.suspend engine
+     with e ->
+       prerr_endline ("poc daemon: suspend failed: " ^ Printexc.to_string e));
+    exit_code := Some 0
+  | Some _ -> ());
+  cleanup ();
+  Option.get !exit_code

@@ -1,0 +1,33 @@
+(** The daemon's transport: a single-threaded [select] loop serving the
+    {!Protocol} over a Unix-domain socket, with an optional
+    Prometheus-text HTTP endpoint on loopback.
+
+    One event loop is the single writer into the {!Engine} — requests
+    from any number of connected clients are serialized in arrival
+    order, so the deterministic-epoch guarantees need no locking.
+    Responses follow the continuation/terminal framing of {!Protocol}.
+
+    Lifecycle: the loop runs until a client [SHUTDOWN] (exit 0 —
+    journal completed or suspended resumably by the engine), a SIGTERM
+    or SIGINT (graceful: same suspend path, observability sinks
+    flushed, exit 0), an injected crash fault (sinks flushed, exit 10,
+    store resumable — the kill-under-load drill), or an unrecoverable
+    store error (exit 1).  SIGKILL, by design, gets no handler: the
+    smoke test proves the store recovers anyway.
+
+    Slow-loris hygiene: a connection holding a partial request line
+    longer than [idle_timeout] is answered [ERR timeout] and closed.
+    Idle connections with no buffered bytes are left alone (monitoring
+    clients poll [STATUS] at leisure). *)
+
+type config = {
+  socket_path : string;
+  metrics_port : int option;  (** loopback HTTP [GET /metrics] *)
+  idle_timeout : float;       (** partial-request timeout, seconds *)
+}
+
+val serve : config -> Engine.t -> flush:(unit -> unit) -> int
+(** Run until shutdown; returns the process exit code.  [flush] is
+    installed as the engine's observability hook and additionally run
+    on every exit path, so killed runs still leave complete Prometheus
+    snapshots and well-formed trace JSON behind. *)

@@ -87,6 +87,14 @@ let validate_config config =
   | [] -> Ok ()
   | problems -> Error ("Epochs: " ^ String.concat "; " problems)
 
+let describe_config config =
+  Printf.sprintf
+    "epochs=%d seed=%d cost_trend=%g cost_volatility=%g demand_growth=%g \
+     strategies=%d"
+    config.epochs config.seed config.cost_trend config.cost_volatility
+    config.demand_growth
+    (List.length config.strategies)
+
 type failure = No_acceptable_selection | Empty_offer_pool
 
 let failure_name = function

@@ -35,6 +35,11 @@ val validate_config : config -> (unit, string) result
     message, e.g. ["Epochs: epochs must be positive; demand_growth
     must be positive"]. *)
 
+val describe_config : config -> string
+(** One-line, stable rendering of the config, e.g.
+    ["epochs=12 seed=1 cost_trend=-0.02 ..."] — the daemon's startup
+    banner and [STATUS] output use it. *)
+
 type failure =
   | No_acceptable_selection
       (** the offer pool is non-empty but no acceptable subset exists

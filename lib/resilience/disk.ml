@@ -66,6 +66,84 @@ let real_ops =
     is_directory = (fun path -> try Sys.is_directory path with Sys_error _ -> false);
   }
 
+(* --- transient-error retries --------------------------------------------- *)
+
+type retry_policy = {
+  retry_attempts : int;
+  retry_base_delay : float;
+  retry_multiplier : float;
+  retry_max_delay : float;
+  retry_jitter : float;
+  retry_seed : int;
+}
+
+let default_retry_policy =
+  {
+    retry_attempts = 4;
+    retry_base_delay = 0.005;
+    retry_multiplier = 2.0;
+    retry_max_delay = 0.25;
+    retry_jitter = 0.25;
+    retry_seed = 1;
+  }
+
+let retry_delays policy =
+  if policy.retry_attempts < 0 then
+    invalid_arg "Disk: retry_attempts must be >= 0";
+  if
+    (not (Float.is_finite policy.retry_base_delay))
+    || policy.retry_base_delay < 0.0
+  then invalid_arg "Disk: retry_base_delay must be finite and >= 0";
+  if policy.retry_multiplier < 1.0 then
+    invalid_arg "Disk: retry_multiplier must be >= 1";
+  if policy.retry_jitter < 0.0 || policy.retry_jitter > 1.0 then
+    invalid_arg "Disk: retry_jitter must be in [0,1]";
+  let rng = Prng.create policy.retry_seed in
+  List.init policy.retry_attempts (fun i ->
+      let backoff =
+        Float.min policy.retry_max_delay
+          (policy.retry_base_delay
+          *. (policy.retry_multiplier ** float_of_int i))
+      in
+      backoff *. (1.0 +. (policy.retry_jitter *. Prng.float rng)))
+
+let retrying ?(policy = default_retry_policy) ?(sleep = Unix.sleepf)
+    ?(on_retry = fun ~op:_ ~attempt:_ ~delay:_ _ -> ()) ops =
+  let delays = retry_delays policy in
+  (* One shared jittered-delay schedule, consumed op by op: each
+     transient failure anywhere on the disk advances the same
+     deterministic backoff sequence, which resets after any success —
+     the behaviour of a device that is either struggling or not. *)
+  let pending = ref delays in
+  let guard op f =
+    let rec attempt n =
+      match f () with
+      | v ->
+        pending := delays;
+        v
+      | exception Sys_error msg -> (
+        match !pending with
+        | [] -> raise (Sys_error msg)
+        | delay :: rest ->
+          pending := rest;
+          on_retry ~op ~attempt:n ~delay msg;
+          if delay > 0.0 then sleep delay;
+          attempt (n + 1))
+    in
+    attempt 1
+  in
+  {
+    open_append = (fun p -> guard "open_append" (fun () -> ops.open_append p));
+    open_trunc = (fun p -> guard "open_trunc" (fun () -> ops.open_trunc p));
+    read_file = (fun p -> guard "read_file" (fun () -> ops.read_file p));
+    rename = (fun a b -> guard "rename" (fun () -> ops.rename a b));
+    remove = (fun p -> guard "remove" (fun () -> ops.remove p));
+    mkdir = (fun p -> guard "mkdir" (fun () -> ops.mkdir p));
+    readdir = (fun p -> guard "readdir" (fun () -> ops.readdir p));
+    exists = ops.exists;
+    is_directory = ops.is_directory;
+  }
+
 type file = { path : string; oc : out_channel }
 
 (* Power-cut metadata: enough to model each fault as damage to the

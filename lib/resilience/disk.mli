@@ -65,6 +65,39 @@ type ops = {
 val real_ops : ops
 (** [Sys] / [In_channel] / [Out_channel] passthrough. *)
 
+type retry_policy = {
+  retry_attempts : int;      (** extra tries after the first failure (>= 0) *)
+  retry_base_delay : float;  (** seconds before the first retry (>= 0) *)
+  retry_multiplier : float;  (** exponential growth per retry (>= 1) *)
+  retry_max_delay : float;   (** backoff cap, pre-jitter *)
+  retry_jitter : float;      (** uniform multiplicative jitter in [0,1]:
+                                 each delay is scaled by 1 + jitter·u *)
+  retry_seed : int;          (** PRNG seed for the jitter draws *)
+}
+(** Jittered exponential backoff for transient I/O errors. *)
+
+val default_retry_policy : retry_policy
+(** 4 retries, 5 ms base doubling to a 250 ms cap, 25% jitter. *)
+
+val retrying :
+  ?policy:retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(op:string -> attempt:int -> delay:float -> string -> unit) ->
+  ops ->
+  ops
+(** Wrap a backend so every operation that raises [Sys_error] is
+    retried under [policy] with jittered exponential backoff before the
+    error propagates.  The delay schedule is drawn once from
+    [retry_seed] — deterministic — shared across operations and reset
+    on any success, so a persistently failing disk exhausts the budget
+    and re-raises while a transiently failing one recovers.  [on_retry]
+    fires before each sleep (the daemon counts these in
+    [poc_daemon_disk_retries_total]); [sleep] defaults to
+    [Unix.sleepf] and is substitutable for tests.  [exists] and
+    [is_directory] are passed through unretried (they return rather
+    than raise on missing paths).  Raises [Invalid_argument] on a
+    malformed policy. *)
+
 type t
 (** A disk: an {!ops} backend plus the fault-tracking metadata
     {!power_cut} consumes. *)

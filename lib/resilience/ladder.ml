@@ -136,16 +136,44 @@ let engage ~banned ?pool config (problem : Vcg.problem) =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg msg);
-  let rec go attempts = function
-    | [] -> None
-    | step :: rest -> (
-      let attempts = attempts + 1 in
-      match try_step ~banned ?pool problem step with
-      | Some (outcome, demand_scale) ->
-        Some { step; attempts; outcome; demand_scale }
-      | None -> go attempts rest)
+  let steps = rungs ~rule:problem.Vcg.rule config in
+  let winner_at i step (outcome, demand_scale) =
+    { step; attempts = i + 1; outcome; demand_scale }
   in
-  go 0 (rungs ~rule:problem.Vcg.rule config)
+  match pool with
+  | Some p
+    when Poc_util.Pool.size p > 0
+         && List.length steps > 1
+         && not (Poc_obs.Trace.enabled ()) ->
+    (* Rungs are independent pure attempts, so evaluate them all
+       speculatively across the pool and keep the first success in rung
+       order: worst-case degraded-epoch latency is the slowest single
+       rung, not the sum of every failed rung.  [attempts] stays the
+       winner's 1-based rung index, exactly what the serial walk
+       reports, so incident logs are identical at every pool size.
+       Tracing pins the serial walk: span stacks are submitting-domain
+       state, and the auction inside each rung opens spans. *)
+    let results =
+      Poc_util.Pool.map_list p
+        (fun step -> try_step ~banned ~pool:p problem step)
+        steps
+    in
+    let rec pick i steps results =
+      match (steps, results) with
+      | step :: _, Some r :: _ -> Some (winner_at i step r)
+      | _ :: steps, None :: results -> pick (i + 1) steps results
+      | _, _ -> None
+    in
+    pick 0 steps results
+  | Some _ | None ->
+    let rec go i = function
+      | [] -> None
+      | step :: rest -> (
+        match try_step ~banned ?pool problem step with
+        | Some r -> Some (winner_at i step r)
+        | None -> go (i + 1) rest)
+    in
+    go 0 steps
 
 let step_to_string = function
   | Relax_demand f -> Printf.sprintf "relax(%.2f)" f

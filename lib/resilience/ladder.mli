@@ -53,8 +53,15 @@ val engage :
   Poc_auction.Vcg.problem ->
   engaged option
 (** Runs the ladder over the problem restricted to unbanned links.
-    [?pool] parallelizes each rung's auction; the engaged rung and its
-    outcome are identical with or without it. *)
+    With [?pool] the rungs — independent pure attempts — are evaluated
+    {e speculatively in parallel}, one rung per worker, and the first
+    success in rung order wins; without it they are tried serially.
+    The engaged rung, its outcome and the reported [attempts] (the
+    winner's 1-based rung index) are identical with or without the
+    pool, at every pool size.  While a trace sink is installed the
+    serial walk is used regardless of [?pool] (span stacks are
+    submitting-domain state); this changes latency only, never the
+    result. *)
 
 val pay_as_bid :
   Poc_auction.Vcg.problem -> int list -> Poc_auction.Vcg.outcome option

@@ -1,4 +1,5 @@
 module Prng = Poc_util.Prng
+module Pool = Poc_util.Pool
 module Vcg = Poc_auction.Vcg
 module Bid = Poc_auction.Bid
 module Matrix = Poc_traffic.Matrix
@@ -285,19 +286,87 @@ let render_epochs report =
   in
   String.concat "\n" (header :: List.map line report.epochs) ^ "\n"
 
-(* The epoch loop proper.  [prefix] / [prefix_violations] are reports
-   recovered from a journal (resume); [first_epoch] is where live
-   execution picks up.  When [journal] is set every epoch is flushed to
-   disk before the loop moves on, and crash points in the schedule are
-   honored (unless resuming: a resumed run never re-fires them). *)
-let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
-    ~honor_crashes ~state:st ~first_epoch ~prefix ~prefix_violations ?pool
-    (plan : Planner.plan) ~(market : Epochs.config) ~schedule =
+(* A live-arriving market mutation, applied deterministically at the
+   top of the epoch it lands on (before scheduled faults and drift).
+   The daemon's admission queue feeds these in; durability is the
+   caller's problem — the supervisor journal never records them, so a
+   resumed run must re-apply the same updates at the same epochs (the
+   daemon's intake log exists for exactly that). *)
+type update =
+  | Scale_bid of { bp : int; factor : float }
+  | Scale_demand of { factor : float }
+
+let validate_update ~n_bps = function
+  | Scale_bid { bp; factor } ->
+    if bp < 0 || bp >= n_bps then
+      Error (Printf.sprintf "bid update: bp %d out of range [0,%d)" bp n_bps)
+    else if not (Float.is_finite factor) || factor <= 0.0 then
+      Error (Printf.sprintf "bid update: factor %g must be finite positive"
+               factor)
+    else Ok ()
+  | Scale_demand { factor } ->
+    if not (Float.is_finite factor) || factor <= 0.0 then
+      Error (Printf.sprintf "demand update: factor %g must be finite positive"
+               factor)
+    else Ok ()
+
+let apply_update st ~n_bps u =
+  (match validate_update ~n_bps u with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Supervisor: " ^ msg));
+  match u with
+  | Scale_bid { bp; factor } ->
+    st.cost_level.(bp) <- st.cost_level.(bp) *. factor
+  | Scale_demand { factor } -> st.surge <- st.surge *. factor
+
+(* An open supervised run, steppable one epoch at a time.  [run] and
+   [resume] below drive one of these end to end; the daemon keeps one
+   open across client requests instead.  [l_reports]/[l_violations]
+   accumulate in reverse chronological order and include any prefix
+   recovered from a journal on resume. *)
+type loop = {
+  l_ladder : Ladder.config;
+  l_journal : Journal.t option;
+  l_snapshot_every : int;
+  l_disk : Disk.t;
+  l_honor_crashes : bool;
+  l_state : state;
+  l_pool : Pool.t option;
+  l_plan : Planner.plan;
+  l_market : Epochs.config;
+  l_schedule : Fault.schedule;
+  mutable l_next : int;
+  mutable l_reports : epoch_report list;
+  mutable l_violations : violation list;
+  mutable l_final_plan : Planner.plan option;
+  mutable l_closed : bool;
+}
+
+let next_epoch loop =
+  if loop.l_closed || loop.l_next > loop.l_market.Epochs.epochs then None
+  else Some loop.l_next
+
+let horizon loop = loop.l_market.Epochs.epochs
+
+let progress loop = List.rev loop.l_reports
+
+(* Run one epoch of the supervised loop: apply live updates, then the
+   schedule's fault events, then the full market epoch (drift, auction
+   or ladder, routing, settlement, invariants), journaling and rotating
+   exactly as the monolithic loop did. *)
+let step ?(updates = []) loop =
+  let st = loop.l_state in
+  let plan = loop.l_plan in
+  let market = loop.l_market in
+  let schedule = loop.l_schedule in
+  let journal = loop.l_journal in
+  let pool = loop.l_pool in
+  let ladder = loop.l_ladder in
   let base_problem = plan.Planner.problem in
   let n_bps = Array.length base_problem.Vcg.bids in
-  let reports = ref (List.rev prefix) in
-  let violations = ref (List.rev prefix_violations) in
-  let final_plan = ref None in
+  if loop.l_closed then invalid_arg "Supervisor.step: loop is closed";
+  if loop.l_next > market.Epochs.epochs then
+    invalid_arg "Supervisor.step: horizon complete";
   let crash epoch phase fault =
     Metrics.Counter.inc m_crashes;
     if Trace.enabled () then
@@ -309,13 +378,16 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
           | Some f -> [ ("disk_fault", Trace.Str (Disk.fault_to_string f)) ]
           | None -> []));
     (match journal with Some t -> Journal.close t | None -> ());
+    loop.l_closed <- true;
     (* The disk damage lands after the handles close and before the
        raise, so the next observer of the files is the resume/scrub
        path — just as after a real power loss. *)
-    (match fault with Some f -> Disk.power_cut disk f | None -> ());
+    (match fault with Some f -> Disk.power_cut loop.l_disk f | None -> ());
     raise (Injected_crash { epoch; phase })
   in
-  for epoch = first_epoch to market.Epochs.epochs do
+  let epoch = loop.l_next in
+  begin
+    List.iter (fun u -> apply_update st ~n_bps u) updates;
     let ep_sp = Trace.span "epoch" in
     if Trace.enabled () then Trace.add_attr ep_sp "epoch" (Trace.Int epoch);
     let ep_t0 = Clock.now_us () in
@@ -339,7 +411,9 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
         | Fault.Surge_over f -> st.surge <- st.surge /. f
         | Fault.Crash_point _ | Fault.Disk_point _ -> ())
       events;
-    let crash_info = if honor_crashes then first_crash events else None in
+    let crash_info =
+      if loop.l_honor_crashes then first_crash events else None
+    in
     (match crash_info with
     | Some (Fault.Pre_auction, fault) -> crash epoch Fault.Pre_auction fault
     | _ -> ());
@@ -508,7 +582,7 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
           { plan with Planner.matrix = epoch_matrix; problem; outcome; routing }
         in
         let ledger = Settlement.of_plan pseudo () in
-        final_plan := Some pseudo;
+        loop.l_final_plan <- Some pseudo;
         (match Settlement.check ledger with
         | Ok () -> ()
         | Error msg -> violate "settlement-ledger" msg);
@@ -525,7 +599,9 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
            (Router.total_routed r) r.Router.enabled_capacity)
     | Some _ | None -> ());
     let epoch_violations = List.rev !epoch_violations in
-    List.iter (fun v -> violations := v :: !violations) epoch_violations;
+    List.iter
+      (fun v -> loop.l_violations <- v :: loop.l_violations)
+      epoch_violations;
     Metrics.Histogram.observe h_settlement
       ((Clock.now_us () -. settle_t0) *. 1e-6);
     Trace.finish settle_sp;
@@ -547,7 +623,7 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
         posted_price = posted;
       }
     in
-    reports := er :: !reports;
+    loop.l_reports <- er :: loop.l_reports;
     (match journal with
     | Some t ->
       let journal_sp = Trace.span "journal" in
@@ -562,8 +638,9 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
             | None -> []);
           violations = epoch_violations;
         };
-      if epoch mod snapshot_every = 0 && epoch < market.Epochs.epochs then
-        Journal.append_snapshot t (snapshot_of_state ~epoch st);
+      if
+        epoch mod loop.l_snapshot_every = 0 && epoch < market.Epochs.epochs
+      then Journal.append_snapshot t (snapshot_of_state ~epoch st);
       (* Rotation is driven here, not inside the journal, because only
          the supervisor can checkpoint the live market state for the
          new segment's carry.  The trigger depends only on bytes
@@ -573,8 +650,8 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
         Journal.rotate t
           {
             Journal.at = snapshot_of_state ~epoch st;
-            carry_reports = List.rev !reports;
-            carry_violations = List.rev !violations;
+            carry_reports = List.rev loop.l_reports;
+            carry_violations = List.rev loop.l_violations;
           };
       Metrics.Histogram.observe h_journal
         ((Clock.now_us () -. journal_t0) *. 1e-6);
@@ -589,27 +666,52 @@ let run_span ~ladder ~(journal : Journal.t option) ~snapshot_every ~disk
     (match crash_info with
     | Some (Fault.Post_settle, fault) -> crash epoch Fault.Post_settle fault
     | _ -> ());
-    Trace.finish ep_sp
-  done;
-  let epochs = List.rev !reports in
-  let incidents = incidents_of ~schedule epochs in
-  let report =
-    {
-      epochs;
-      incidents;
-      violations = List.rev !violations;
-      ladder_activations =
-        List.length
-          (List.filter (fun (er : epoch_report) -> er.status <> Healthy) epochs);
-      final_plan = !final_plan;
-    }
-  in
-  (match journal with
-  | Some t ->
+    Trace.finish ep_sp;
+    loop.l_next <- epoch + 1;
+    er
+  end
+
+let assemble_report loop =
+  let epochs = List.rev loop.l_reports in
+  let incidents = incidents_of ~schedule:loop.l_schedule epochs in
+  {
+    epochs;
+    incidents;
+    violations = List.rev loop.l_violations;
+    ladder_activations =
+      List.length
+        (List.filter (fun (er : epoch_report) -> er.status <> Healthy) epochs);
+    final_plan = loop.l_final_plan;
+  }
+
+let finish loop =
+  let report = assemble_report loop in
+  (match loop.l_journal with
+  | Some t when not loop.l_closed ->
     Journal.append_complete t ~incidents:(render_incidents report);
     Journal.close t
-  | None -> ());
+  | Some _ | None -> ());
+  loop.l_closed <- true;
   report
+
+(* Close the journal with {e no} completion record: the store stays
+   resumable.  The daemon's graceful shutdown mid-horizon uses this so
+   a later [serve --resume] picks the run back up. *)
+let suspend loop =
+  (match loop.l_journal with
+  | Some t when not loop.l_closed -> Journal.close t
+  | Some _ | None -> ());
+  loop.l_closed <- true
+
+let drive loop =
+  let rec go () =
+    match next_epoch loop with
+    | None -> finish loop
+    | Some _ ->
+      ignore (step loop);
+      go ()
+  in
+  go ()
 
 let validate_or_raise ~ladder ~market =
   (match Epochs.validate_config market with
@@ -619,7 +721,7 @@ let validate_or_raise ~ladder ~market =
   | Ok () -> ()
   | Error msg -> invalid_arg msg
 
-let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
+let open_run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
     ?segment_bytes ?disk ?pool (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   if snapshot_every < 1 then
@@ -639,11 +741,31 @@ let run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
           })
       journal
   in
-  run_span ~ladder ~journal:j ~snapshot_every ~disk ~honor_crashes:true
-    ~state:(initial_state plan market) ~first_epoch:1 ~prefix:[]
-    ~prefix_violations:[] ?pool plan ~market ~schedule
+  {
+    l_ladder = ladder;
+    l_journal = j;
+    l_snapshot_every = snapshot_every;
+    l_disk = disk;
+    l_honor_crashes = true;
+    l_state = initial_state plan market;
+    l_pool = pool;
+    l_plan = plan;
+    l_market = market;
+    l_schedule = schedule;
+    l_next = 1;
+    l_reports = [];
+    l_violations = [];
+    l_final_plan = None;
+    l_closed = false;
+  }
 
-let resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
+let run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool
+    (plan : Planner.plan) ~market ~schedule =
+  drive
+    (open_run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool plan
+       ~market ~schedule)
+
+let open_resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
     (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   let disk = match disk with Some d -> d | None -> Disk.real () in
@@ -733,7 +855,25 @@ let resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
           }
       | _ -> ());
       Ok
-        (run_span ~ladder ~journal:(Some t)
-           ~snapshot_every:h.Journal.snapshot_every ~disk ~honor_crashes:false
-           ~state ~first_epoch ?pool ~prefix ~prefix_violations plan ~market
-           ~schedule)
+        {
+          l_ladder = ladder;
+          l_journal = Some t;
+          l_snapshot_every = h.Journal.snapshot_every;
+          l_disk = disk;
+          l_honor_crashes = false;
+          l_state = state;
+          l_pool = pool;
+          l_plan = plan;
+          l_market = market;
+          l_schedule = schedule;
+          l_next = first_epoch;
+          l_reports = List.rev prefix;
+          l_violations = List.rev prefix_violations;
+          l_final_plan = None;
+          l_closed = false;
+        }
+
+let resume ?ladder ~journal ?disk ?pool (plan : Planner.plan) ~market ~schedule
+    =
+  Result.map drive
+    (open_resume ?ladder ~journal ?disk ?pool plan ~market ~schedule)

@@ -140,6 +140,95 @@ val resume :
     {!render_incidents}) to an uninterrupted [run] with the same
     inputs. *)
 
+(** {2 Steppable loops}
+
+    The daemon ([Poc_daemon]) keeps a supervised run open across client
+    requests instead of driving it end to end: {!open_run} /
+    {!open_resume} build the same loop {!run} / {!resume} drive
+    internally, {!step} executes exactly one epoch, and {!finish} /
+    {!suspend} close it.  [run plan ~market ~schedule] is precisely
+    [open_run ... |> step-until-done |> finish], so every byte-identity
+    guarantee above transfers to stepped execution. *)
+
+type loop
+(** An open supervised run.  Holds the live market state, the open
+    journal (if any), and the reports accumulated so far. *)
+
+type update =
+  | Scale_bid of { bp : int; factor : float }
+      (** multiply BP [bp]'s cost level (hence its next bids) by
+          [factor] — a live re-bid arriving between epochs *)
+  | Scale_demand of { factor : float }
+      (** multiply the demand level by [factor] — a live traffic-matrix
+          update.  Folds into the surge multiplier, so it lands in the
+          same snapshot state injected surges do. *)
+(** A live market mutation.  Updates are {e not} journaled by the
+    supervisor: a resumed run must re-apply the same updates at the
+    same epochs (the daemon's intake log records exactly that), and the
+    snapshot state (cost levels, surge) then matches bit-for-bit. *)
+
+val validate_update : n_bps:int -> update -> (unit, string) result
+(** [Error] on an out-of-range BP or a non-finite/non-positive factor;
+    {!step} raises [Invalid_argument] on the same condition. *)
+
+val open_run :
+  ?ladder:Ladder.config ->
+  ?journal:string ->
+  ?snapshot_every:int ->
+  ?segment_bytes:int ->
+  ?disk:Disk.t ->
+  ?pool:Poc_util.Pool.t ->
+  Poc_core.Planner.plan ->
+  market:Poc_market.Epochs.config ->
+  schedule:Fault.schedule ->
+  loop
+(** Validate configs, create the journal (when requested) and return a
+    loop positioned at epoch 1.  Same arguments and failure modes as
+    {!run}. *)
+
+val open_resume :
+  ?ladder:Ladder.config ->
+  journal:string ->
+  ?disk:Disk.t ->
+  ?pool:Poc_util.Pool.t ->
+  Poc_core.Planner.plan ->
+  market:Poc_market.Epochs.config ->
+  schedule:Fault.schedule ->
+  (loop, string) result
+(** Replay and reopen a crashed run's journal (same checks and
+    truncation semantics as {!resume}) and return a loop positioned at
+    the first epoch after the restored checkpoint, with the recovered
+    reports already accumulated. *)
+
+val next_epoch : loop -> int option
+(** The epoch the next {!step} will run; [None] when the horizon is
+    complete or the loop was closed. *)
+
+val horizon : loop -> int
+(** The run's total epoch count ([market.epochs]). *)
+
+val progress : loop -> epoch_report list
+(** Chronological reports accumulated so far (including any recovered
+    prefix). *)
+
+val step : ?updates:update list -> loop -> epoch_report
+(** Run one epoch: apply [updates] (in list order, before the epoch's
+    scheduled fault events and cost drift), then the full supervised
+    epoch — auction or ladder, routing, settlement, invariants, journal
+    append/snapshot/rotation.  Raises [Invalid_argument] on a closed or
+    complete loop or an invalid update, and {!Injected_crash} exactly
+    as {!run} does (the journal is closed first; the loop is dead
+    afterwards). *)
+
+val finish : loop -> report
+(** Assemble the final report; when the horizon is complete this also
+    writes the journal's completion record and closes it.  The loop is
+    closed afterwards. *)
+
+val suspend : loop -> unit
+(** Close the journal {e without} a completion record, leaving the
+    store resumable — the daemon's graceful shutdown mid-horizon. *)
+
 val epochs_to_recovery : incident -> int option
 (** [recovery_epoch - start_epoch]; 0 means absorbed with no outage. *)
 

@@ -1,0 +1,166 @@
+#!/bin/sh
+# Daemon kill-under-load smoke check: run `poc-cli serve`, accept live
+# bids, SIGKILL the daemon in the middle of an epoch batch while a
+# client hammers it with STATUS requests, restart with `serve
+# --resume`, and require (a) STATUS ok with a recovery counted, (b)
+# the recovery visible on the live Prometheus endpoint, and (c) the
+# finished store byte-identical to an uninterrupted reference run.
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build bin/poc_cli.exe
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+  for p in $pids; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+cli=_build/default/bin/poc_cli.exe
+common="--seed 7 --sites 16 --bps 5 --epochs 8"
+metrics_port=9857
+
+# The accepted updates: all take effect at epoch 1, before any epoch
+# runs, so the kill point cannot shift their apply-epochs.
+send_bids() {
+  "$cli" ctl --socket "$1" \
+    "BID 1 0 1.07 2" "MATRIX 2 1.04" "BID 3 1 0.95"
+}
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: daemon socket $1 never appeared" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# --- Reference: an uninterrupted serve session -------------------------------
+
+ref_root="$workdir/ref"
+ref_sock="$workdir/ref.sock"
+# shellcheck disable=SC2086  # $common is a flag list
+"$cli" serve --root "$ref_root" --socket "$ref_sock" $common \
+  > "$workdir/ref-serve.log" 2>&1 &
+ref_pid=$!
+pids="$pids $ref_pid"
+wait_for_socket "$ref_sock"
+
+send_bids "$ref_sock" > /dev/null
+"$cli" ctl --socket "$ref_sock" "EPOCH 6" "EPOCH 10" "SHUTDOWN" \
+  > "$workdir/ref-ctl.txt"
+wait "$ref_pid" || { echo "FAIL: reference daemon exited non-zero" >&2; exit 1; }
+pids=$(echo "$pids" | sed "s/ $ref_pid//")
+grep -q "BYE complete" "$workdir/ref-ctl.txt" || {
+  echo "FAIL: reference run did not complete" >&2; exit 1; }
+echo "ok: reference serve session completed"
+
+# --- Kill under load ---------------------------------------------------------
+
+root="$workdir/killed"
+sock="$workdir/killed.sock"
+# shellcheck disable=SC2086
+"$cli" serve --root "$root" --socket "$sock" --metrics-port "$metrics_port" \
+  $common > "$workdir/killed-serve.log" 2>&1 &
+daemon_pid=$!
+pids="$pids $daemon_pid"
+wait_for_socket "$sock"
+
+send_bids "$sock" > /dev/null
+
+# Load: one client drives a six-epoch batch, another floods read-only
+# STATUS requests.  SIGKILL lands mid-batch.
+"$cli" ctl --socket "$sock" "EPOCH 6" > /dev/null 2>&1 &
+epoch_pid=$!
+( while "$cli" ctl --socket "$sock" STATUS > /dev/null 2>&1; do :; done ) &
+status_pid=$!
+pids="$pids $status_pid"
+
+sleep 0.5
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null && {
+  echo "FAIL: daemon survived SIGKILL" >&2; exit 1; }
+pids=$(echo "$pids" | sed "s/ $daemon_pid//")
+wait "$epoch_pid" 2>/dev/null || true
+wait "$status_pid" 2>/dev/null || true
+pids=$(echo "$pids" | sed "s/ $status_pid//")
+echo "ok: daemon SIGKILLed under load"
+
+# --- Restart, verify liveness, finish the horizon ----------------------------
+
+# SIGKILL leaves the old socket file behind; clear it so the wait below
+# sees the resumed daemon's socket, not the corpse's.
+rm -f "$sock"
+
+# shellcheck disable=SC2086
+"$cli" serve --root "$root" --socket "$sock" --resume \
+  --metrics-port "$metrics_port" $common \
+  > "$workdir/resumed-serve.log" 2>&1 &
+daemon_pid=$!
+pids="$pids $daemon_pid"
+wait_for_socket "$sock"
+
+i=0
+until "$cli" ctl --socket "$sock" STATUS > "$workdir/resumed-status.txt" \
+  2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: resumed daemon never answered STATUS" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+grep -q "^STATUS ok" "$workdir/resumed-status.txt" || {
+  echo "FAIL: resumed daemon STATUS not ok" >&2
+  cat "$workdir/resumed-status.txt" >&2
+  exit 1
+}
+grep -q "recoveries=1" "$workdir/resumed-status.txt" || {
+  echo "FAIL: resumed STATUS does not count the recovery" >&2
+  cat "$workdir/resumed-status.txt" >&2
+  exit 1
+}
+
+# The same counters on the live Prometheus endpoint.
+curl -sf "http://127.0.0.1:$metrics_port/metrics" > "$workdir/metrics.txt" || {
+  echo "FAIL: metrics endpoint unreachable" >&2; exit 1; }
+grep -q "^poc_daemon_recoveries_total 1" "$workdir/metrics.txt" || {
+  echo "FAIL: poc_daemon_recoveries_total not 1 on the live endpoint" >&2
+  exit 1
+}
+grep -q "^poc_daemon_accepted_total 3" "$workdir/metrics.txt" || {
+  echo "FAIL: poc_daemon_accepted_total lost bids across the kill" >&2
+  exit 1
+}
+echo "ok: recovery visible over STATUS and the Prometheus endpoint"
+
+"$cli" ctl --socket "$sock" "EPOCH 10" "SHUTDOWN" > "$workdir/resumed-ctl.txt"
+wait "$daemon_pid" || { echo "FAIL: resumed daemon exited non-zero" >&2; exit 1; }
+pids=$(echo "$pids" | sed "s/ $daemon_pid//")
+grep -q "BYE complete" "$workdir/resumed-ctl.txt" || {
+  echo "FAIL: resumed run did not complete" >&2; exit 1; }
+
+# --- Byte-compare the stores -------------------------------------------------
+
+if [ "$(ls "$ref_root/store")" != "$(ls "$root/store")" ]; then
+  echo "FAIL: stores hold different file sets" >&2
+  exit 1
+fi
+for f in "$ref_root/store"/*; do
+  [ -f "$f" ] || continue
+  if ! cmp -s "$f" "$root/store/$(basename "$f")"; then
+    echo "FAIL: store file $(basename "$f") differs from the reference" >&2
+    exit 1
+  fi
+done
+cmp -s "$ref_root/intake.log" "$root/intake.log" || {
+  echo "FAIL: intake log differs from the reference" >&2; exit 1; }
+echo "ok: recovered store and intake log byte-identical to the reference"
+
+echo "daemon kill smoke: all checks passed"

@@ -1,0 +1,476 @@
+(* Daemon layer: protocol parsing, admission control, the durable
+   intake log, and the engine's kill-under-load recovery story. *)
+
+module Protocol = Poc_daemon.Protocol
+module Admission = Poc_daemon.Admission
+module Intake = Poc_daemon.Intake
+module Engine = Poc_daemon.Engine
+module Supervisor = Poc_resilience.Supervisor
+module Fault = Poc_resilience.Fault
+module Planner = Poc_core.Planner
+module Epochs = Poc_market.Epochs
+module Prng = Poc_util.Prng
+
+let plan () = Lazy.force Fixtures.small_plan
+let market = { Epochs.default_config with Epochs.epochs = 6; seed = 7 }
+
+let empty_schedule plan =
+  match Fault.compile plan.Planner.wan ~seed:2020 [] with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "empty schedule rejected: %s" msg
+
+let crash_schedule plan ~at_epoch ~phase =
+  match
+    Fault.compile plan.Planner.wan ~seed:2020
+      [ Fault.Crash { at_epoch; phase } ]
+  with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "crash schedule rejected: %s" msg
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let rec go d =
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if Sys.is_directory p then go p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    in
+    go dir
+  end
+  else if Sys.file_exists dir then Sys.remove dir
+
+(* A fresh daemon root: store directory path + intake path, cleaned up
+   afterwards. *)
+let with_tmp_root f =
+  let root = Filename.temp_file "poc_daemon" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf root with Sys_error _ -> ())
+    (fun () -> f (Filename.concat root "store") (Filename.concat root "intake.log"))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let store_bytes store =
+  (* One comparable string covering the whole store: a single journal
+     file as-is, a segmented store as every file, sorted. *)
+  if Sys.is_directory store then
+    Sys.readdir store |> Array.to_list |> List.sort compare
+    |> List.map (fun name ->
+           name ^ ":" ^ read_file (Filename.concat store name))
+    |> String.concat "\n"
+  else read_file store
+
+(* --- Protocol --- *)
+
+let test_protocol_roundtrip () =
+  let cases =
+    [
+      Protocol.Bid { seq = 3; bp = 1; factor = 1.05; priority = 2 };
+      Protocol.Matrix { seq = 9; factor = 0.97; priority = 0 };
+      Protocol.Epoch 4;
+      Protocol.Status;
+      Protocol.Metrics_dump;
+      Protocol.Scrub;
+      Protocol.Quiesce;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.parse (Protocol.render req) with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trips %S" (Protocol.render req))
+          true (req = req')
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+    cases;
+  (match Protocol.parse "  BID 1 0 1.1\r" with
+  | Ok (Protocol.Bid { priority = 0; _ }) -> ()
+  | _ -> Alcotest.fail "blanks/CR tolerated, priority defaults to 0");
+  match Protocol.parse "EPOCH" with
+  | Ok (Protocol.Epoch 1) -> ()
+  | _ -> Alcotest.fail "bare EPOCH defaults to one epoch"
+
+let test_protocol_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      ""; "NOPE"; "BID"; "BID x 0 1.1"; "BID 1 0 nan"; "EPOCH 0"; "EPOCH -2";
+      "STATUS now"; "MATRIX 1"; "BID 1 0 inf";
+    ]
+
+let test_protocol_framing () =
+  Alcotest.(check bool) "terminal" true (Protocol.is_terminal "OK 1");
+  Alcotest.(check bool) "continuation" false (Protocol.is_terminal "| x 1");
+  Alcotest.(check string) "payload strips" "x 1" (Protocol.payload "| x 1");
+  Alcotest.(check string) "wraps" "| x" (Protocol.continuation "x");
+  match Protocol.continuation "a\nb" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "newline payloads must be refused"
+
+(* --- Admission --- *)
+
+let entry ?(apply_epoch = 1) ?(priority = 0) seq =
+  { Admission.seq; apply_epoch; priority; payload = seq }
+
+let test_admission_bounds_and_backpressure () =
+  let q = Admission.create ~high_water:3 ~retry_base:0.05 ~retry_cap:0.2 () in
+  for s = 1 to 3 do
+    match Admission.offer q (entry s) with
+    | Admission.Admitted { shed = None } -> ()
+    | _ -> Alcotest.failf "seq %d should admit cleanly" s
+  done;
+  Alcotest.(check int) "full" 3 (Admission.depth q);
+  let retry i =
+    match Admission.offer q (entry (10 + i)) with
+    | Admission.Rejected { retry_after } -> retry_after
+    | _ -> Alcotest.fail "queue past high water must reject equals"
+  in
+  let r1 = retry 1 and r2 = retry 2 and r3 = retry 3 and r4 = retry 4 in
+  Alcotest.(check (float 1e-9)) "base retry" 0.05 r1;
+  Alcotest.(check (float 1e-9)) "doubles" 0.1 r2;
+  Alcotest.(check (float 1e-9)) "doubles again" 0.2 r3;
+  Alcotest.(check (float 1e-9)) "capped" 0.2 r4;
+  Alcotest.(check int) "depth never exceeded" 3 (Admission.depth q)
+
+let test_admission_sheds_lowest_priority_oldest () =
+  let q = Admission.create ~high_water:3 () in
+  ignore (Admission.offer q (entry ~priority:1 1));
+  ignore (Admission.offer q (entry ~priority:0 2));
+  ignore (Admission.offer q (entry ~priority:0 3));
+  (* Priority 0 ties between 2 and 3: the oldest (2) is the victim. *)
+  (match Admission.offer q (entry ~priority:2 4) with
+  | Admission.Admitted { shed = Some v } ->
+    Alcotest.(check int) "sheds oldest lowest-priority" 2 v.Admission.seq
+  | _ -> Alcotest.fail "higher priority must displace");
+  Alcotest.(check int) "still at high water" 3 (Admission.depth q);
+  (* The queue now holds priorities {1; 0; 2}.  An equal-priority offer
+     never displaces: strictly-greater only. *)
+  match Admission.offer q (entry ~priority:0 5) with
+  | Admission.Rejected _ -> ()
+  | _ -> Alcotest.fail "equal priority must not shed"
+
+let test_admission_dedup_and_drain () =
+  let q = Admission.create ~high_water:8 () in
+  ignore (Admission.offer q (entry ~apply_epoch:1 1));
+  ignore (Admission.offer q (entry ~apply_epoch:2 2));
+  (match Admission.offer q (entry 1) with
+  | Admission.Duplicate -> ()
+  | _ -> Alcotest.fail "replayed seq must answer Duplicate");
+  (match Admission.offer q (entry 2) with
+  | Admission.Duplicate -> ()
+  | _ -> Alcotest.fail "last_seq floor applies to every older seq");
+  let ready = Admission.drain q ~epoch:1 in
+  Alcotest.(check (list int)) "drains only due epochs" [ 1 ]
+    (List.map (fun (e : _ Admission.entry) -> e.Admission.seq) ready);
+  Alcotest.(check int) "rest stays queued" 1 (Admission.depth q);
+  Admission.drop q ~seq:2;
+  Alcotest.(check int) "drop removes" 0 (Admission.depth q);
+  Admission.force q (entry ~apply_epoch:9 7);
+  Alcotest.(check int) "force requeues" 1 (Admission.depth q);
+  match Admission.offer q (entry 7) with
+  | Admission.Duplicate -> ()
+  | _ -> Alcotest.fail "force raises the dedup floor"
+
+(* --- Intake --- *)
+
+let bid_entry seq ~apply_epoch ~bp ~factor =
+  {
+    Admission.seq;
+    apply_epoch;
+    priority = 0;
+    payload = Supervisor.Scale_bid { bp; factor };
+  }
+
+let test_intake_roundtrip_and_torn_tail () =
+  with_tmp_root (fun _store intake_path ->
+      let log = Intake.create intake_path in
+      let r1 = { Intake.entry = bid_entry 1 ~apply_epoch:1 ~bp:0 ~factor:1.5;
+                 displaces = None } in
+      let r2 =
+        {
+          Intake.entry =
+            {
+              Admission.seq = 2; apply_epoch = 2; priority = 3;
+              payload = Supervisor.Scale_demand { factor = 0.9 };
+            };
+          displaces = Some 1;
+        }
+      in
+      Intake.append log r1;
+      Intake.append log r2;
+      Intake.close log;
+      (match Intake.reopen intake_path with
+      | Error msg -> Alcotest.failf "reopen failed: %s" msg
+      | Ok (log, records) ->
+        Intake.close log;
+        Alcotest.(check bool) "records survive verbatim" true
+          (records = [ r1; r2 ]));
+      (* A torn tail — the bytes of an OK that never reached the client
+         — truncates silently; durable records survive. *)
+      let data = read_file intake_path in
+      Out_channel.with_open_bin intake_path (fun oc ->
+          Out_channel.output_string oc (data ^ "\x07garbage"));
+      match Intake.reopen intake_path with
+      | Error msg -> Alcotest.failf "torn reopen failed: %s" msg
+      | Ok (log, records) ->
+        Intake.close log;
+        Alcotest.(check int) "torn tail dropped, prefix kept" 2
+          (List.length records);
+        Alcotest.(check int) "file truncated to the durable prefix"
+          (String.length data)
+          (String.length (read_file intake_path)))
+
+let test_intake_missing_file_is_empty () =
+  with_tmp_root (fun _store intake_path ->
+      match Intake.reopen intake_path with
+      | Ok (log, []) -> Intake.close log
+      | Ok (_, _ :: _) -> Alcotest.fail "phantom records"
+      | Error msg -> Alcotest.failf "missing file must reopen empty: %s" msg)
+
+(* --- Engine --- *)
+
+let must_create = function
+  | Ok engine -> engine
+  | Error msg -> Alcotest.failf "engine create failed: %s" msg
+
+let req line =
+  match Protocol.parse line with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "bad test request %S: %s" line msg
+
+let drive engine lines =
+  List.concat_map
+    (fun line -> fst (Engine.handle engine (req line))) lines
+
+let client_script =
+  [
+    "BID 1 0 1.07 2"; "MATRIX 2 1.04"; "EPOCH 3"; "BID 3 1 0.95"; "EPOCH 3";
+    "SHUTDOWN";
+  ]
+
+let test_engine_completes_and_is_deterministic () =
+  let plan = plan () in
+  let run () =
+    with_tmp_root (fun store intake ->
+        let engine =
+          must_create
+            (Engine.create ~store ~intake plan ~market
+               ~schedule:(empty_schedule plan))
+        in
+        let lines = drive engine client_script in
+        (lines, store_bytes store))
+  in
+  let lines_a, bytes_a = run () in
+  let lines_b, bytes_b = run () in
+  Alcotest.(check (list string)) "responses are deterministic" lines_a lines_b;
+  Alcotest.(check bool) "store bytes are deterministic" true
+    (bytes_a = bytes_b);
+  Alcotest.(check bool) "horizon completed" true
+    (List.mem "BYE complete" lines_a);
+  match
+    List.find_opt
+      (fun l ->
+        String.length l >= 9 && String.sub l 0 9 = "| epoch 1")
+      lines_a
+  with
+  | Some l ->
+    Alcotest.(check bool) "epoch 1 folded both live updates" true
+      (String.length l > 9
+      && String.sub l (String.length l - 9) 9 = "applied=2")
+  | None -> Alcotest.fail "no epoch 1 report line"
+
+let test_engine_kill_under_load_resumes_byte_identical () =
+  let plan = plan () in
+  (* Reference: uninterrupted run, fault-free schedule. *)
+  let reference =
+    with_tmp_root (fun store intake ->
+        let engine =
+          must_create
+            (Engine.create ~store ~intake plan ~market
+               ~schedule:(empty_schedule plan))
+        in
+        ignore (drive engine client_script);
+        store_bytes store)
+  in
+  (* Crash leg: same requests, injected crash at epoch 5 pre_settle
+     kills the daemon mid-EPOCH; a fresh engine resumes the same store
+     and the surviving client re-drives the rest. *)
+  with_tmp_root (fun store intake ->
+      let schedule = crash_schedule plan ~at_epoch:5 ~phase:Fault.Pre_settle in
+      let engine =
+        must_create (Engine.create ~store ~intake plan ~market ~schedule)
+      in
+      (match
+         List.iter
+           (fun line -> ignore (Engine.handle engine (req line)))
+           client_script
+       with
+      | () -> Alcotest.fail "crash fault never fired"
+      | exception Supervisor.Injected_crash _ -> ());
+      (* The restart leg runs without the crash spec, exactly like
+         [serve --resume] after a kill. *)
+      let resumed =
+        must_create
+          (Engine.create ~resume:true ~store ~intake plan ~market
+             ~schedule:(empty_schedule plan))
+      in
+      let lines = drive resumed [ "STATUS"; "EPOCH 10"; "SHUTDOWN" ] in
+      Alcotest.(check bool) "resumed run completes" true
+        (List.mem "BYE complete" lines);
+      Alcotest.(check bool)
+        "store is byte-identical to the uninterrupted run" true
+        (store_bytes store = reference))
+
+let test_engine_refuses_after_horizon () =
+  let plan = plan () in
+  with_tmp_root (fun store intake ->
+      let engine =
+        must_create
+          (Engine.create ~store ~intake plan ~market
+             ~schedule:(empty_schedule plan))
+      in
+      ignore (drive engine [ "EPOCH 10" ]);
+      (match Engine.handle engine (req "BID 9 0 1.01") with
+      | [ line ], Engine.Continue ->
+        Alcotest.(check bool) "bids after the horizon answer ERR" true
+          (String.length line >= 3 && String.sub line 0 3 = "ERR")
+      | _ -> Alcotest.fail "unexpected response shape");
+      match Engine.handle engine (req "SHUTDOWN") with
+      | [ "BYE complete" ], Engine.Stop 0 -> ()
+      | _ -> Alcotest.fail "shutdown after horizon completes the journal")
+
+(* --- QCheck: random burst schedules --- *)
+
+(* One seeded client session: a burst of BID/MATRIX/EPOCH requests
+   against a small queue, horizon 4.  Used three ways: (a) depth never
+   exceeds the high-water mark and responses are deterministic given
+   the seed; (b) a crash mid-burst plus resume reproduces the
+   uninterrupted store byte for byte — accepted updates applied exactly
+   once, shed decisions replayed, not re-made. *)
+let burst_market = { Epochs.default_config with Epochs.epochs = 4; seed = 11 }
+
+let burst_script seed =
+  let rng = Prng.create seed in
+  let n_reqs = 14 + Prng.int rng 10 in
+  let seq = ref 0 in
+  let reqs =
+    List.init n_reqs (fun _ ->
+        let d = Prng.int rng 10 in
+        if d < 6 then begin
+          incr seq;
+          Printf.sprintf "BID %d %d %.4f %d" !seq (Prng.int rng 6)
+            (0.9 +. (0.2 *. Prng.float rng))
+            (Prng.int rng 4)
+        end
+        else if d < 7 then begin
+          incr seq;
+          Printf.sprintf "MATRIX %d %.4f %d" !seq
+            (0.95 +. (0.1 *. Prng.float rng))
+            (Prng.int rng 4)
+        end
+        else "EPOCH 1")
+  in
+  reqs @ [ "EPOCH 4"; "SHUTDOWN" ]
+
+let run_burst plan ~schedule ~crash_and_resume seed =
+  with_tmp_root (fun store intake ->
+      (* Checkpoint every epoch so a crash resumes at the epoch it
+         interrupted: later requests then land at the same apply-epochs
+         as in the uninterrupted run, making full-stream byte-identity
+         a meaningful property. *)
+      let mk ~resume ~schedule =
+        must_create
+          (Engine.create ~high_water:3 ~snapshot_every:1 ~resume ~store
+             ~intake plan ~market:burst_market ~schedule)
+      in
+      let engine = ref (mk ~resume:false ~schedule) in
+      let depth_ok = ref true in
+      let responses = ref [] in
+      let crashed = ref false in
+      List.iter
+        (fun line ->
+          let send () =
+            match Engine.handle !engine (req line) with
+            | lines, _ -> responses := List.rev_append lines !responses
+            | exception Supervisor.Injected_crash _ ->
+              crashed := true;
+              (* The client survives the daemon: restart crash-free,
+                 resume, and re-send the interrupted request. *)
+              engine := mk ~resume:true ~schedule:(empty_schedule plan);
+              let lines, _ = Engine.handle !engine (req line) in
+              responses := List.rev_append lines !responses
+          in
+          send ();
+          if Engine.queue_depth !engine > 3 then depth_ok := false)
+        (burst_script seed);
+      if crash_and_resume && not !crashed then
+        QCheck.Test.fail_report "crash fault never fired";
+      (List.rev !responses, store_bytes store, !depth_ok))
+
+let qcheck_burst_bounded_deterministic_exactly_once =
+  QCheck.Test.make ~name:"bursts: bounded queue, deterministic shed, \
+                          exactly-once across crash+resume"
+    ~count:4
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let plan = plan () in
+      let resp_a, bytes_a, depth_a =
+        run_burst plan ~schedule:(empty_schedule plan)
+          ~crash_and_resume:false seed
+      in
+      let resp_b, bytes_b, depth_b =
+        run_burst plan ~schedule:(empty_schedule plan)
+          ~crash_and_resume:false seed
+      in
+      if not (depth_a && depth_b) then
+        QCheck.Test.fail_report "queue exceeded its high-water mark";
+      if resp_a <> resp_b then
+        QCheck.Test.fail_report
+          "same seed produced different responses (shed not deterministic)";
+      if bytes_a <> bytes_b then
+        QCheck.Test.fail_report "same seed produced different stores";
+      let _, bytes_c, depth_c =
+        run_burst plan
+          ~schedule:
+            (crash_schedule plan ~at_epoch:3 ~phase:Fault.Pre_settle)
+          ~crash_and_resume:true seed
+      in
+      if not depth_c then
+        QCheck.Test.fail_report "queue exceeded its bound across resume";
+      if bytes_c <> bytes_a then
+        QCheck.Test.fail_report
+          "crash+resume store differs from uninterrupted run";
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "protocol round-trips" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects garbage" `Quick
+      test_protocol_rejects_garbage;
+    Alcotest.test_case "protocol response framing" `Quick
+      test_protocol_framing;
+    Alcotest.test_case "admission bounds the queue, escalates retry-after"
+      `Quick test_admission_bounds_and_backpressure;
+    Alcotest.test_case "admission sheds lowest-priority oldest" `Quick
+      test_admission_sheds_lowest_priority_oldest;
+    Alcotest.test_case "admission dedups and drains in order" `Quick
+      test_admission_dedup_and_drain;
+    Alcotest.test_case "intake round-trips and truncates torn tails" `Quick
+      test_intake_roundtrip_and_torn_tail;
+    Alcotest.test_case "intake reopens a missing file as empty" `Quick
+      test_intake_missing_file_is_empty;
+    Alcotest.test_case "engine completes deterministically" `Slow
+      test_engine_completes_and_is_deterministic;
+    Alcotest.test_case "kill under load resumes byte-identical" `Slow
+      test_engine_kill_under_load_resumes_byte_identical;
+    Alcotest.test_case "engine refuses bids after the horizon" `Slow
+      test_engine_refuses_after_horizon;
+    QCheck_alcotest.to_alcotest qcheck_burst_bounded_deterministic_exactly_once;
+  ]

@@ -14,5 +14,6 @@ let () =
       ("market", Test_market.suite);
       ("federation", Test_federation.suite);
       ("resilience", Test_resilience.suite);
+      ("daemon", Test_daemon.suite);
       ("obs", Test_obs.suite);
     ]

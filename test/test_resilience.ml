@@ -924,6 +924,146 @@ let qcheck_storage_fault_matrix =
                     QCheck.Test.fail_reportf
                       "resume after recovering scrub failed: %s" msg)))))
 
+(* --- Ladder under the domain pool --- *)
+
+let engaged_key = function
+  | None -> "none"
+  | Some e ->
+    Printf.sprintf "%s attempts=%d scale=%g pay=%.9f"
+      (Ladder.step_to_string e.Ladder.step)
+      e.Ladder.attempts e.Ladder.demand_scale
+      e.Ladder.outcome.Vcg.total_payment
+
+let test_ladder_engage_pool_invariant () =
+  (* Speculative parallel rung evaluation must pick the same rung, with
+     the same reported attempt count and the same priced outcome, as
+     the serial walk — at every pool size. *)
+  let plan = plan () in
+  let problem = plan.Planner.problem in
+  let virtuals = List.map fst problem.Vcg.virtual_prices in
+  let bans =
+    [
+      ("nothing banned", fun _ -> false);
+      (* Every real link gone: the early rungs all fail and the ladder
+         walks deep before (at most) external transit answers. *)
+      ("real links banned", fun id -> not (List.mem id virtuals));
+    ]
+  in
+  List.iter
+    (fun (label, banned) ->
+      let serial = Ladder.engage ~banned Ladder.default_config problem in
+      if label = "nothing banned" && serial = None then
+        Alcotest.fail "fixture should engage when nothing is banned";
+      List.iter
+        (fun jobs ->
+          Poc_util.Pool.with_pool ~jobs (fun pool ->
+              let par =
+                Ladder.engage ~banned ?pool Ladder.default_config problem
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s: jobs=%d matches serial" label jobs)
+                (engaged_key serial) (engaged_key par);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: jobs=%d outcome identical" label jobs)
+                true
+                (compare serial par = 0)))
+        [ 2; 4 ])
+    bans
+
+(* --- Disk.retrying: jittered backoff over transient I/O errors --- *)
+
+let retry_policy =
+  {
+    Disk.retry_attempts = 3;
+    retry_base_delay = 0.01;
+    retry_multiplier = 2.0;
+    retry_max_delay = 0.03;
+    retry_jitter = 0.25;
+    retry_seed = 42;
+  }
+
+(* Wrap [ops] with recording hooks and a fake sleep; returns the
+   wrapped ops plus the (op, attempt, delay) log and the slept delays,
+   both in call order once reversed. *)
+let record_retries ops =
+  let log = ref [] and sleeps = ref [] in
+  let wrapped =
+    Disk.retrying ~policy:retry_policy
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~on_retry:(fun ~op ~attempt ~delay _msg ->
+        log := (op, attempt, delay) :: !log)
+      ops
+  in
+  (wrapped, log, sleeps)
+
+let flaky_read ~failures =
+  let left = ref failures in
+  {
+    Disk.real_ops with
+    Disk.read_file =
+      (fun path ->
+        if !left > 0 then begin
+          decr left;
+          raise (Sys_error ("flaky: " ^ path))
+        end
+        else "payload:" ^ path);
+  }
+
+let test_disk_retry_recovers_transient_faults () =
+  let run () =
+    let wrapped, log, sleeps = record_retries (flaky_read ~failures:2) in
+    let v = wrapped.Disk.read_file "x" in
+    (v, List.rev !log, List.rev !sleeps)
+  in
+  let v, log, sleeps = run () in
+  Alcotest.(check string) "succeeds once the fault clears" "payload:x" v;
+  Alcotest.(check int) "one retry per transient failure" 2 (List.length log);
+  List.iteri
+    (fun i (op, attempt, delay) ->
+      Alcotest.(check string) "retried op" "read_file" op;
+      Alcotest.(check int) "attempts count up" (i + 1) attempt;
+      let backoff = Float.min 0.03 (0.01 *. (2.0 ** float_of_int i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d within the jitter band" (i + 1))
+        true
+        (delay >= backoff && delay <= backoff *. 1.25))
+    log;
+  Alcotest.(check bool) "slept exactly the reported delays" true
+    (sleeps = List.map (fun (_, _, d) -> d) log);
+  (* Same seed, fresh wrapper: the jitter schedule is deterministic. *)
+  let v', log', sleeps' = run () in
+  Alcotest.(check bool) "schedule is deterministic" true
+    (v' = v && log' = log && sleeps' = sleeps)
+
+let test_disk_retry_exhausts_then_raises () =
+  let wrapped, log, _ = record_retries (flaky_read ~failures:max_int) in
+  (match wrapped.Disk.read_file "y" with
+  | _ -> Alcotest.fail "a persistently failing disk must re-raise"
+  | exception Sys_error _ -> ());
+  Alcotest.(check int) "whole budget spent first" retry_policy.Disk.retry_attempts
+    (List.length !log)
+
+let test_disk_retry_schedule_resets_on_success () =
+  (* Fail, succeed, fail: the second failure restarts the backoff at
+     the base delay (same jitter draw) instead of continuing to climb. *)
+  let calls = ref 0 in
+  let ops =
+    {
+      Disk.real_ops with
+      Disk.read_file =
+        (fun _ ->
+          incr calls;
+          if !calls mod 2 = 1 then raise (Sys_error "flaky") else "ok");
+    }
+  in
+  let wrapped, log, _ = record_retries ops in
+  ignore (wrapped.Disk.read_file "a");
+  ignore (wrapped.Disk.read_file "b");
+  match List.rev !log with
+  | [ (_, 1, d1); (_, 1, d2) ] ->
+    Alcotest.(check (float 1e-12)) "backoff restarts at the base delay" d1 d2
+  | l -> Alcotest.failf "expected two first-attempt retries, got %d" (List.length l)
+
 let suite =
   [
     Alcotest.test_case "fault validation lists every problem" `Quick
@@ -987,4 +1127,12 @@ let suite =
     Alcotest.test_case "scrub quarantines and falls back a checkpoint" `Slow
       test_scrub_quarantine_falls_back;
     QCheck_alcotest.to_alcotest qcheck_storage_fault_matrix;
+    Alcotest.test_case "ladder engage is pool-invariant" `Slow
+      test_ladder_engage_pool_invariant;
+    Alcotest.test_case "disk retries recover transient faults" `Quick
+      test_disk_retry_recovers_transient_faults;
+    Alcotest.test_case "disk retries exhaust then raise" `Quick
+      test_disk_retry_exhausts_then_raises;
+    Alcotest.test_case "disk retry backoff resets on success" `Quick
+      test_disk_retry_schedule_resets_on_success;
   ]
