@@ -1,0 +1,95 @@
+(* E17 (extension) — chaos-fleet throughput: scenario-months per second
+   when whole seeded supervised runs are sharded across the domain
+   pool under the full crash × storage × degradation matrix.  Every
+   scenario pays for its own segmented journal, kill chain (scrub +
+   resume) and RESULT frame, so this is the end-to-end survival-study
+   rate, not a kernel number.  The aggregate JSON report is asserted
+   byte-identical across pool sizes while we are at it. *)
+
+module Fleet = Poc_fleet.Driver
+module Chaos_matrix = Poc_fleet.Chaos_matrix
+module Pool = Poc_util.Pool
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let rec go d =
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if Sys.is_directory p then go p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    in
+    go dir
+  end
+  else if Sys.file_exists dir then Sys.remove dir
+
+let run ~scale ~seed =
+  Common.header "E17 — chaos-fleet throughput: scenario-months/sec";
+  Common.reset_metrics ();
+  let months = match scale with Common.Paper -> 1000 | Common.Quick -> 48 in
+  let fleet_config store =
+    { (Fleet.default_config ~store) with Fleet.months; seed; topologies = 4 }
+  in
+  let rows =
+    List.map
+      (fun jobs ->
+        let store =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "poc_e17_fleet_j%d" jobs)
+        in
+        rm_rf store;
+        let (report, dt) =
+          Common.timed_s
+            (Printf.sprintf "fleet %d months, jobs=%d" months jobs)
+            (fun () ->
+              Pool.with_pool ~jobs (fun pool ->
+                  match Fleet.run ?pool (fleet_config store) with
+                  | Ok (Fleet.Finished report) -> report
+                  | Ok (Fleet.Interrupted _) ->
+                    failwith "bench fleet interrupted without kill-after"
+                  | Error msg -> failwith ("fleet failed: " ^ msg)))
+        in
+        rm_rf store;
+        (jobs, dt, float_of_int months /. dt, Fleet.report_to_json report))
+      [ 1; 4; 8 ]
+  in
+  let json_1 =
+    match rows with (_, _, _, j) :: _ -> j | [] -> assert false
+  in
+  let deterministic =
+    List.for_all (fun (_, _, _, j) -> String.equal j json_1) rows
+  in
+  Poc_util.Table.print
+    ~align:[ Poc_util.Table.Right; Poc_util.Table.Right; Poc_util.Table.Right ]
+    ~header:[ "jobs"; "seconds"; "months/s" ]
+    (List.map
+       (fun (jobs, dt, rate, _) ->
+         [ string_of_int jobs; Common.fmt ~decimals:1 dt;
+           Common.fmt ~decimals:2 rate ])
+       rows);
+  Printf.printf "aggregate report identical across pool sizes: %b\n"
+    deterministic;
+  let jobs_block =
+    String.concat ","
+      (List.map
+         (fun (jobs, dt, rate, _) ->
+           Printf.sprintf
+             "{\"jobs\":%d,\"seconds\":%.3f,\"months_per_s\":%.3f}" jobs dt
+             rate)
+         rows)
+  in
+  Common.write_metrics_artifact
+    ~extra:
+      [
+        ( "fleet_throughput",
+          Printf.sprintf
+            "{\"months\":%d,\"matrix\":\"%s\",\"deterministic\":%b,\"runs\":[%s]}"
+            months
+            (Chaos_matrix.spec_of_axes
+               { Chaos_matrix.with_crash = true; with_storage = true;
+                 with_degrade = true })
+            deterministic jobs_block );
+      ]
+    ~label:"e17" ()

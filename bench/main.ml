@@ -25,6 +25,7 @@ let experiments =
     ("e14", "incremental POC deployment (extension)", E14_transition.run);
     ("e15", "chaos: faults & graceful degradation (extension)", E15_chaos.run);
     ("e16", "daemon serving capacity (extension)", E16_daemon.run);
+    ("e17", "chaos-fleet throughput (extension)", E17_fleet.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

@@ -9,6 +9,9 @@
                journal and crash/resume support
      scrub     check and repair a run journal (segment classification,
                tail truncation, quarantine)
+     fleet     thousands of seeded scenario-months under the chaos matrix
+               (per-scenario journals under one store root, kill chains,
+               byte-deterministic aggregate survival/PoB report)
      serve     long-lived supervised market daemon (Unix-socket control
                protocol, admission control, kill-under-load recovery)
      ctl       client for a running serve daemon
@@ -30,6 +33,8 @@ module Fault = Poc_resilience.Fault
 module Disk = Poc_resilience.Disk
 module Journal = Poc_resilience.Journal
 module Supervisor = Poc_resilience.Supervisor
+module Fleet = Poc_fleet.Driver
+module Chaos_matrix = Poc_fleet.Chaos_matrix
 module Obs_log = Poc_obs.Log
 module Trace = Poc_obs.Trace
 module Metrics = Poc_obs.Metrics
@@ -558,6 +563,176 @@ let scrub_cmd =
              machine-readable JSON report.")
     term
 
+(* --- fleet ------------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let months_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "months" ] ~docv:"N"
+          ~doc:"Scenario-months in the fleet.  Each is an independent \
+                supervised market run with its own seeds, fault schedule \
+                and segmented journal.")
+  in
+  let matrix_arg =
+    Arg.(
+      value & opt string "full"
+      & info [ "matrix" ] ~docv:"SPEC"
+          ~doc:"Chaos matrix: $(b,none), $(b,full), or a $(b,+)-joined \
+                combination of $(b,crash) (process death at every epoch \
+                phase), $(b,storage) (power-cut disk faults of all four \
+                kinds) and $(b,degrade) (market-stress schedules).  Cells \
+                cycle over the fleet, baseline included.")
+  in
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"ROOT"
+          ~doc:"Fleet store root: a $(b,FLEET) manifest plus one segmented \
+                journal directory per scenario.  A fresh run requires a \
+                root with no manifest; $(b,--resume) requires one.")
+  in
+  let fleet_resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Finish an interrupted fleet: completed scenarios reload \
+                from their $(b,RESULT) frames, the rest re-run.  The \
+                aggregate report is byte-identical to an uninterrupted \
+                run.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:"Stop the fleet (exit 10) once $(docv) scenarios completed \
+                in this invocation — the smoke test's SIGKILL stand-in.")
+  in
+  let topologies_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "topologies" ] ~docv:"N"
+          ~doc:"Distinct topology seeds cycled across the fleet (plans are \
+                built once per topology).")
+  in
+  let fleet_sites_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "sites" ] ~docv:"N" ~doc:"Cities per scenario substrate.")
+  in
+  let fleet_bps_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "bps" ] ~docv:"N" ~doc:"Bandwidth providers per scenario.")
+  in
+  let fleet_epochs_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:"Market horizon per scenario (>= 4: the matrix places its \
+                crash mid-horizon and its storage fault on the last-but-one \
+                epoch).")
+  in
+  let fleet_segment_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "segment-bytes" ] ~docv:"N"
+          ~doc:"Journal rotation budget per scenario store.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Carry-forward snapshot cadence inside each scenario \
+                journal.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the aggregate report as JSON (exactly the bytes the \
+                determinism guarantee covers) instead of the human \
+                summary.")
+  in
+  let run verbose months matrix store resume kill_after topologies sites bps
+      epochs segment_bytes snapshot_every seed jobs json trace metrics =
+    setup_logs verbose;
+    let (_ : unit -> unit) = setup_obs ~trace ~metrics in
+    match Chaos_matrix.axes_of_spec matrix with
+    | Error msg ->
+      Printf.eprintf "bad --matrix: %s\n" msg;
+      exit 1
+    | Ok axes ->
+      let cfg =
+        {
+          Fleet.months;
+          axes;
+          seed;
+          topologies;
+          sites;
+          bps;
+          epochs;
+          segment_bytes;
+          snapshot_every;
+          store;
+        }
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          match Fleet.run ?pool ~resume ?kill_after cfg with
+          | Error msg ->
+            Printf.eprintf "fleet failed: %s\n" msg;
+            exit 1
+          | Ok (Fleet.Interrupted { completed_months }) ->
+            Printf.eprintf
+              "fleet stopped after %d scenario-months; finish with --resume\n"
+              completed_months;
+            exit 10
+          | Ok (Fleet.Finished report) ->
+            if json then print_string (Fleet.report_to_json report)
+            else print_string (Fleet.render report);
+            let unrecovered =
+              List.exists
+                (fun ((_ : Fleet.scenario), (o : Fleet.outcome)) ->
+                  not o.Fleet.completed)
+                report.Fleet.outcomes
+            in
+            if unrecovered then exit 3)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ months_arg $ matrix_arg $ store_arg
+      $ fleet_resume_arg $ kill_after_arg $ topologies_arg $ fleet_sites_arg
+      $ fleet_bps_arg $ fleet_epochs_arg $ fleet_segment_arg $ snapshot_arg
+      $ seed_arg $ jobs_arg $ json_arg $ trace_arg $ metrics_arg)
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "$(b,0) every scenario-month survived to its horizon.";
+      `P
+        "$(b,10) the fleet was stopped mid-run ($(b,--kill-after) or an \
+         external kill landed between scenarios); the store root resumes \
+         with $(b,--resume).  Mirrors $(b,chaos)'s injected-crash exit.";
+      `P
+        "$(b,3) at least one scenario could not be driven to its horizon \
+         even through scrub, resume and restart.  Mirrors $(b,scrub)'s \
+         unrecoverable-store exit.";
+      `P "$(b,1) bad configuration, unplannable topology, or store/manifest \
+          mismatch.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~man
+       ~doc:"Thousands of seeded scenario-months under the chaos matrix: \
+             whole supervised runs sharded across the domain pool, \
+             per-scenario segmented journals under one store root, kill \
+             chains (crash and power-cut faults survived via scrub + \
+             resume inside the run), and a byte-deterministic aggregate \
+             survival/PoB report at every $(b,--jobs) value.")
+    term
+
 (* --- serve / ctl ------------------------------------------------------------ *)
 
 let serve_cmd =
@@ -934,5 +1109,5 @@ let () =
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; scrub_cmd;
-      serve_cmd; ctl_cmd; profile_cmd; topology_cmd; federation_cmd;
-      availability_cmd; export_cmd; baseline_cmd ]))
+      fleet_cmd; serve_cmd; ctl_cmd; profile_cmd; topology_cmd;
+      federation_cmd; availability_cmd; export_cmd; baseline_cmd ]))

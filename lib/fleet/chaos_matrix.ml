@@ -1,0 +1,180 @@
+module Fault = Poc_resilience.Fault
+module Disk = Poc_resilience.Disk
+module Wan = Poc_topology.Wan
+
+type axes = {
+  with_crash : bool;
+  with_storage : bool;
+  with_degrade : bool;
+}
+
+let axes_of_spec spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "none" -> Ok { with_crash = false; with_storage = false; with_degrade = false }
+  | "full" -> Ok { with_crash = true; with_storage = true; with_degrade = true }
+  | s ->
+    let parts = String.split_on_char '+' s |> List.map String.trim in
+    List.fold_left
+      (fun acc part ->
+        match (acc, part) with
+        | (Error _ as e), _ -> e
+        | Ok a, "crash" -> Ok { a with with_crash = true }
+        | Ok a, "storage" -> Ok { a with with_storage = true }
+        | Ok a, "degrade" -> Ok { a with with_degrade = true }
+        | Ok _, other ->
+          Error
+            (Printf.sprintf
+               "bad matrix axis %S: expected none, full, or a +-joined \
+                combination of crash, storage, degrade"
+               other))
+      (Ok { with_crash = false; with_storage = false; with_degrade = false })
+      parts
+
+let spec_of_axes a =
+  let parts =
+    (if a.with_crash then [ "crash" ] else [])
+    @ (if a.with_storage then [ "storage" ] else [])
+    @ if a.with_degrade then [ "degrade" ] else []
+  in
+  match parts with [] -> "none" | _ :: _ -> String.concat "+" parts
+
+type crash_variant = C_none | C_at of Fault.phase
+
+type storage_variant =
+  | S_none
+  | S_short_write
+  | S_torn_rename
+  | S_lying_fsync
+  | S_corrupt_byte
+
+type degrade_variant = D_none | D_light | D_heavy | D_surge
+
+type cell = {
+  crash : crash_variant;
+  storage : storage_variant;
+  degrade : degrade_variant;
+}
+
+let crash_variants = function
+  | false -> [ C_none ]
+  | true ->
+    [
+      C_none;
+      C_at Fault.Pre_auction;
+      C_at Fault.Pre_settle;
+      C_at Fault.Post_settle;
+    ]
+
+let storage_variants = function
+  | false -> [ S_none ]
+  | true -> [ S_none; S_short_write; S_torn_rename; S_lying_fsync; S_corrupt_byte ]
+
+let degrade_variants = function
+  | false -> [ D_none ]
+  | true -> [ D_none; D_light; D_heavy; D_surge ]
+
+(* Degrade outermost, storage middle, crash innermost: a short fleet
+   still sweeps every crash phase before repeating a storage kind. *)
+let cells axes =
+  List.concat_map
+    (fun degrade ->
+      List.concat_map
+        (fun storage ->
+          List.map
+            (fun crash -> { crash; storage; degrade })
+            (crash_variants axes.with_crash))
+        (storage_variants axes.with_storage))
+    (degrade_variants axes.with_degrade)
+
+let cell_name cell =
+  let parts =
+    (match cell.crash with
+    | C_none -> []
+    | C_at p -> [ "crash_" ^ Fault.phase_to_string p ])
+    @ (match cell.storage with
+      | S_none -> []
+      | S_short_write -> [ "short_write" ]
+      | S_torn_rename -> [ "torn_rename" ]
+      | S_lying_fsync -> [ "lying_fsync" ]
+      | S_corrupt_byte -> [ "corrupt_byte" ])
+    @
+    match cell.degrade with
+    | D_none -> []
+    | D_light -> [ "light" ]
+    | D_heavy -> [ "heavy" ]
+    | D_surge -> [ "surge" ]
+  in
+  match parts with [] -> "plain" | _ :: _ -> String.concat "+" parts
+
+let has_kills cell = cell.crash <> C_none || cell.storage <> S_none
+
+let specs cell ~wan ~epochs ~salt =
+  if epochs < 4 then
+    invalid_arg "Chaos_matrix.specs: epochs must be >= 4 for the fault matrix";
+  let crash_epoch = max 2 (epochs / 2) in
+  let storage_epoch = epochs - 1 in
+  let stress =
+    match cell.degrade with
+    | D_none -> []
+    | D_light -> [ Fault.Link_failure { at_epoch = 2; count = 2; duration = 2 } ]
+    | D_heavy ->
+      let biggest =
+        match Wan.bps_by_size wan with b :: _ -> b | [] -> 0
+      in
+      let n_bps = Array.length wan.Wan.bps in
+      Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest }
+      :: List.init n_bps (fun bp ->
+             Fault.Capacity_recall
+               { at_epoch = 4; bp; fraction = 1.0; duration = 1 })
+    | D_surge ->
+      [
+        Fault.Traffic_surge { at_epoch = 2; factor = 2.5; duration = 2 };
+        Fault.Offer_shrinkage { at_epoch = 3; fraction = 0.25 };
+      ]
+  in
+  let crash =
+    match cell.crash with
+    | C_none -> []
+    | C_at phase -> [ Fault.Crash { at_epoch = crash_epoch; phase } ]
+  in
+  let storage =
+    match cell.storage with
+    | S_none -> []
+    | S_short_write ->
+      [
+        Fault.Storage
+          {
+            at_epoch = storage_epoch;
+            phase = Fault.Post_settle;
+            fault = Disk.Short_write { drop = 9 };
+          };
+      ]
+    | S_torn_rename ->
+      [
+        Fault.Storage
+          {
+            at_epoch = storage_epoch;
+            phase = Fault.Post_settle;
+            fault = Disk.Torn_rename;
+          };
+      ]
+    | S_lying_fsync ->
+      [
+        Fault.Storage
+          {
+            at_epoch = storage_epoch;
+            phase = Fault.Pre_settle;
+            fault = Disk.Lying_fsync { drop = 48 };
+          };
+      ]
+    | S_corrupt_byte ->
+      [
+        Fault.Storage
+          {
+            at_epoch = storage_epoch;
+            phase = Fault.Post_settle;
+            fault = Disk.Corrupt_byte { seed = 1 + salt };
+          };
+      ]
+  in
+  stress @ crash @ storage

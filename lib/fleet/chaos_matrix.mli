@@ -1,0 +1,91 @@
+(** Chaos-matrix generator: the cross of process-crash points, storage
+    faults and degradation schedules that the fleet driver assigns to
+    its scenario-months.
+
+    The paper's claims are about {e distributions} of market months, so
+    the fleet validates resilience the same way: a matrix of fault
+    templates ({!cell}s) is crossed over thousands of seeded scenarios,
+    one cell per scenario, cycling so every cell receives an even share
+    of the fleet.  Three axes, each independently enabled by {!axes}:
+
+    - {b crash} — a {!Poc_resilience.Fault.Crash} at every phase of a
+      mid-horizon epoch (the kill-and-resume drill);
+    - {b storage} — a {!Poc_resilience.Fault.Storage} power cut for each
+      of the four {!Poc_resilience.Disk.fault} kinds (short write, torn
+      rename, lying fsync, silent byte corruption) near the end of the
+      horizon, so the damaged store has history worth recovering;
+    - {b degrade} — market-stress schedules that drive the degradation
+      ladder: link failures, a bankruptcy plus a mass recall, and a
+      traffic surge with offer shrinkage.
+
+    Every axis includes its "none" variant, so an enabled matrix always
+    contains the undisturbed baseline cell and the cross is a true
+    product.  Cell lists and spec lists are pure data: the same axes
+    and horizon always produce the same cells in the same order. *)
+
+type axes = {
+  with_crash : bool;
+  with_storage : bool;
+  with_degrade : bool;
+}
+
+val axes_of_spec : string -> (axes, string) result
+(** Parse a [--matrix] spec: ["none"], ["full"] (all three axes), or
+    any ["+"]-joined combination of ["crash"], ["storage"] and
+    ["degrade"] (e.g. ["crash+degrade"]).  [Error] names the offending
+    token. *)
+
+val spec_of_axes : axes -> string
+(** Canonical rendering, the inverse of {!axes_of_spec} on canonical
+    input: ["none"], or the enabled axes joined with ["+"] in
+    crash/storage/degrade order. *)
+
+type crash_variant = C_none | C_at of Poc_resilience.Fault.phase
+
+type storage_variant =
+  | S_none
+  | S_short_write
+  | S_torn_rename
+  | S_lying_fsync
+  | S_corrupt_byte
+
+type degrade_variant = D_none | D_light | D_heavy | D_surge
+
+type cell = {
+  crash : crash_variant;
+  storage : storage_variant;
+  degrade : degrade_variant;
+}
+
+val cells : axes -> cell list
+(** The full cross product, "none" variants included, in a fixed order
+    (degrade outermost, storage middle, crash innermost — so short
+    fleets still sweep the crash axis first).  Never empty: disabled
+    axes contribute exactly their "none" variant, so [cells none_axes]
+    is the single undisturbed cell. *)
+
+val cell_name : cell -> string
+(** Stable, filesystem-safe name: the non-none variants joined with
+    ["+"] (e.g. ["crash_pre_settle+corrupt_byte+heavy"]), or ["plain"]
+    when every axis is at "none".  Unique across {!cells}. *)
+
+val has_kills : cell -> bool
+(** True when the cell contains a process-killing spec (crash or
+    storage), i.e. running it raises
+    [Poc_resilience.Supervisor.Injected_crash] at least once. *)
+
+val specs :
+  cell ->
+  wan:Poc_topology.Wan.t ->
+  epochs:int ->
+  salt:int ->
+  Poc_resilience.Fault.spec list
+(** Concrete fault specs for one scenario: the degradation schedule
+    (stress specs first), then the crash point at epoch
+    [max 2 (epochs / 2)], then the storage power cut at epoch
+    [epochs - 1] — distinct epochs, so a cell combining both axes fires
+    both kills in order across the fleet driver's resume chain.
+    [salt] (the scenario index) diversifies the [Corrupt_byte] seed so
+    corruption lands at different offsets across the fleet.  Requires
+    [epochs >= 4] (raises [Invalid_argument] otherwise) so the kill
+    epochs stay distinct and inside the horizon. *)

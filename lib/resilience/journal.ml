@@ -1112,5 +1112,5 @@ let scrub_to_json (r : scrub_report) =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (string_of_int id))
     quarantined;
-  Buffer.add_string b "]}\n";
+  Printf.bprintf b "],\"quarantined_count\":%d}\n" (List.length quarantined);
   Buffer.contents b

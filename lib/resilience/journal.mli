@@ -257,7 +257,11 @@ val scrub_to_json : scrub_report -> string
 (** Machine-readable report (one JSON object, trailing newline):
     [{"store":..,"mode":"segmented"|"file","applied":..,"recovered":..,
     "segments":[{"segment":..,"path":..,"records_ok":..,"verdict":..,
-    "action":..,"bytes_kept":..,"bytes_dropped":..}],"quarantined":[..]}]. *)
+    "action":..,"bytes_kept":..,"bytes_dropped":..}],"quarantined":[..],
+    "quarantined_count":..}].  ["store"] is the store root as given and
+    ["quarantined_count"] the number of quarantined segments, so
+    fleet-level tooling can aggregate scrub outcomes without re-parsing
+    paths or the segment array. *)
 
 val verdict_to_string : scrub_verdict -> string
 (** ["clean"], ["torn_tail"], ["corrupt_interior"], ["unreadable"]. *)

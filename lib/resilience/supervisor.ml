@@ -765,8 +765,8 @@ let run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool
     (open_run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool plan
        ~market ~schedule)
 
-let open_resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
-    (plan : Planner.plan) ~market ~schedule =
+let open_resume ?(ladder = Ladder.default_config) ?(honor_crashes = false)
+    ~journal:path ?disk ?pool (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   let disk = match disk with Some d -> d | None -> Disk.real () in
   match Journal.replay ~disk path with
@@ -860,7 +860,7 @@ let open_resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
           l_journal = Some t;
           l_snapshot_every = h.Journal.snapshot_every;
           l_disk = disk;
-          l_honor_crashes = false;
+          l_honor_crashes = honor_crashes;
           l_state = state;
           l_pool = pool;
           l_plan = plan;
@@ -873,7 +873,8 @@ let open_resume ?(ladder = Ladder.default_config) ~journal:path ?disk ?pool
           l_closed = false;
         }
 
-let resume ?ladder ~journal ?disk ?pool (plan : Planner.plan) ~market ~schedule
-    =
+let resume ?ladder ?honor_crashes ~journal ?disk ?pool (plan : Planner.plan)
+    ~market ~schedule =
   Result.map drive
-    (open_resume ?ladder ~journal ?disk ?pool plan ~market ~schedule)
+    (open_resume ?ladder ?honor_crashes ~journal ?disk ?pool plan ~market
+       ~schedule)

@@ -118,6 +118,7 @@ val run :
 
 val resume :
   ?ladder:Ladder.config ->
+  ?honor_crashes:bool ->
   journal:string ->
   ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
@@ -135,7 +136,12 @@ val resume :
     that already records a completed run, or an active segment whose
     header is damaged (run {!Journal.scrub} first to quarantine it and
     fall back).  Crash and storage-fault points in [schedule] are
-    {e not} re-fired on resume, so a resumed run always finishes.  The
+    {e not} re-fired on resume by default, so a resumed run always
+    finishes; [~honor_crashes:true] re-arms them, which is how the
+    fleet driver chains through a schedule carrying {e several} kill
+    points — it resumes with the already-fired specs dropped (the
+    journal digest ignores kill specs, so the recompiled schedule
+    still matches) and lets the next one fire.  The
     returned report is byte-identical (via {!render_epochs} /
     {!render_incidents}) to an uninterrupted [run] with the same
     inputs. *)
@@ -188,6 +194,7 @@ val open_run :
 
 val open_resume :
   ?ladder:Ladder.config ->
+  ?honor_crashes:bool ->
   journal:string ->
   ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
@@ -196,9 +203,9 @@ val open_resume :
   schedule:Fault.schedule ->
   (loop, string) result
 (** Replay and reopen a crashed run's journal (same checks and
-    truncation semantics as {!resume}) and return a loop positioned at
-    the first epoch after the restored checkpoint, with the recovered
-    reports already accumulated. *)
+    truncation semantics as {!resume}, including [honor_crashes])
+    and return a loop positioned at the first epoch after the restored
+    checkpoint, with the recovered reports already accumulated. *)
 
 val next_epoch : loop -> int option
 (** The epoch the next {!step} will run; [None] when the horizon is

@@ -14,6 +14,7 @@ let () =
       ("market", Test_market.suite);
       ("federation", Test_federation.suite);
       ("resilience", Test_resilience.suite);
+      ("fleet", Test_fleet.suite);
       ("daemon", Test_daemon.suite);
       ("obs", Test_obs.suite);
     ]

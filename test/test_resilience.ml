@@ -841,8 +841,13 @@ let test_scrub_quarantine_falls_back () =
         in
         Alcotest.(check int) "one segment quarantined" 1
           (List.length quarantined);
+        let json = Journal.scrub_to_json report in
         Alcotest.(check bool) "json report mentions the quarantine" true
-          (contains (Journal.scrub_to_json report) "\"quarantined\":[")
+          (contains json "\"quarantined\":[");
+        Alcotest.(check bool) "json report carries the store root" true
+          (contains json (Printf.sprintf "\"store\":\"%s\"" dir));
+        Alcotest.(check bool) "json report counts the quarantine" true
+          (contains json "\"quarantined_count\":1")
       );
       Alcotest.(check bool) "segment moved into quarantine/" true
         (Sys.file_exists
@@ -923,6 +928,83 @@ let qcheck_storage_fault_matrix =
                   | Error msg ->
                     QCheck.Test.fail_reportf
                       "resume after recovering scrub failed: %s" msg)))))
+
+(* Scrub is a repair, not a process: once the first pass has truncated
+   and quarantined, any later pass must find nothing to do — same
+   report every time, not a byte of the store touched.  The fleet
+   driver leans on this when it scrubs unconditionally after every
+   injected kill. *)
+let qcheck_scrub_idempotent =
+  let plan_l = lazy (plan ()) in
+  QCheck.Test.make ~name:"scrub twice: the second pass is a no-op" ~count:8
+    QCheck.(
+      quad (int_range 0 3) (int_range 1 1000) (int_range 2 7) (int_range 0 2))
+    (fun (kind, arg, at_epoch, phase_i) ->
+      let plan = Lazy.force plan_l in
+      let fault =
+        match kind with
+        | 0 -> Disk.Short_write { drop = 1 + (arg mod 32) }
+        | 1 -> Disk.Torn_rename
+        | 2 -> Disk.Lying_fsync { drop = 1 + (arg mod 32) }
+        | _ -> Disk.Corrupt_byte { seed = arg }
+      in
+      let phase =
+        match phase_i with
+        | 0 -> Fault.Pre_auction
+        | 1 -> Fault.Pre_settle
+        | _ -> Fault.Post_settle
+      in
+      let faulty =
+        match
+          Fault.compile plan.Planner.wan ~seed:2020
+            (chaos_specs plan @ [ Fault.Storage { at_epoch; phase; fault } ])
+        with
+        | Ok s -> s
+        | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      in
+      with_tmp_store (fun dir ->
+          (match
+             Supervisor.run plan ~journal:dir ~segment_bytes:segment_budget
+               ~market ~schedule:faulty
+           with
+          | _ -> QCheck.Test.fail_report "expected an injected crash"
+          | exception Supervisor.Injected_crash _ -> ());
+          match Journal.scrub dir with
+          | Error msg -> QCheck.Test.fail_reportf "first scrub failed: %s" msg
+          | Ok _ -> (
+            let settled = store_fingerprint dir in
+            match Journal.scrub dir with
+            | Error msg ->
+              QCheck.Test.fail_reportf "second scrub failed: %s" msg
+            | Ok second -> (
+              if
+                List.exists
+                  (fun (e : Journal.segment_scrub) ->
+                    e.Journal.action <> Journal.Scrub_none)
+                  second.Journal.segments
+              then
+                QCheck.Test.fail_reportf
+                  "second scrub still acted (kind %d, epoch %d)" kind at_epoch;
+              if store_fingerprint dir <> settled then
+                QCheck.Test.fail_reportf
+                  "second scrub changed the store (kind %d, epoch %d)" kind
+                  at_epoch;
+              match Journal.scrub dir with
+              | Error msg ->
+                QCheck.Test.fail_reportf "third scrub failed: %s" msg
+              | Ok third ->
+                if
+                  Journal.scrub_to_json third
+                  <> Journal.scrub_to_json second
+                then
+                  QCheck.Test.fail_reportf
+                    "repeat scrub reports differ (kind %d, epoch %d)" kind
+                    at_epoch;
+                if store_fingerprint dir <> settled then
+                  QCheck.Test.fail_reportf
+                    "third scrub changed the store (kind %d, epoch %d)" kind
+                    at_epoch;
+                true))))
 
 (* --- Ladder under the domain pool --- *)
 
@@ -1127,6 +1209,7 @@ let suite =
     Alcotest.test_case "scrub quarantines and falls back a checkpoint" `Slow
       test_scrub_quarantine_falls_back;
     QCheck_alcotest.to_alcotest qcheck_storage_fault_matrix;
+    QCheck_alcotest.to_alcotest qcheck_scrub_idempotent;
     Alcotest.test_case "ladder engage is pool-invariant" `Slow
       test_ladder_engage_pool_invariant;
     Alcotest.test_case "disk retries recover transient faults" `Quick
