@@ -1,0 +1,139 @@
+(* E18 (extension) — flight-recorder overhead: the supervised epoch
+   loop with the black-box recorder attached vs detached, on the same
+   plan, market, and chaos schedule.  Every epoch pays the recorder's
+   span/event/incident emissions plus the epoch-boundary flush of the
+   FLIGHT file, so the delta is the full always-on observability tax —
+   the number that justifies (or forbids) shipping the box enabled.
+   Reports epochs/s and per-epoch p99 for both modes into
+   BENCH_e18_metrics.json. *)
+
+module Planner = Poc_core.Planner
+module Epochs = Poc_market.Epochs
+module Wan = Poc_topology.Wan
+module Acc = Poc_auction.Acceptability
+module Fault = Poc_resilience.Fault
+module Supervisor = Poc_resilience.Supervisor
+module Black_box = Poc_resilience.Black_box
+module Metrics = Poc_obs.Metrics
+
+let chaos_specs (wan : Wan.t) =
+  let biggest = match Wan.bps_by_size wan with b :: _ -> b | [] -> 0 in
+  [
+    Fault.Bp_bankruptcy { at_epoch = 3; bp = biggest };
+    Fault.Link_failure { at_epoch = 3; count = 2; duration = 2 };
+    Fault.Capacity_recall { at_epoch = 5; bp = 0; fraction = 0.8; duration = 1 };
+  ]
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let rec go d =
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if Sys.is_directory p then go p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    in
+    go dir
+  end
+  else if Sys.file_exists dir then Sys.remove dir
+
+let run ~scale ~seed =
+  Common.header "E18 — flight recorder overhead: epochs/s, recorder on vs off";
+  Common.reset_metrics ();
+  let config =
+    match scale with
+    | Common.Paper -> Common.plan_config ~scale ~seed ~rule:Acc.Handle_load
+    | Common.Quick ->
+      Planner.scaled_config ~sites:16 ~bps:4
+        { Planner.default_config with Planner.seed; rule = Acc.Handle_load }
+  in
+  let epochs, rounds =
+    match scale with Common.Paper -> (12, 8) | Common.Quick -> (8, 3)
+  in
+  match Planner.build config with
+  | Error msg -> Printf.printf "planning failed: %s\n" msg
+  | Ok plan ->
+    let market =
+      { Epochs.default_config with Epochs.epochs; seed = seed + 2 }
+    in
+    let schedule () =
+      match
+        Fault.compile plan.Planner.wan ~seed:(seed + 3)
+          (chaos_specs plan.Planner.wan)
+      with
+      | Ok s -> s
+      | Error msg -> failwith ("bad chaos schedule: " ^ msg)
+    in
+    let bench_mode mode =
+      let h =
+        Metrics.histogram
+          ~help:"Supervised epoch wall time by recorder mode (seconds)"
+          ~labels:[ ("flight", mode) ]
+          Metrics.default "poc_bench_epoch_seconds"
+      in
+      let store =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "poc_e18_flight_%s" mode)
+      in
+      let total = ref 0.0 and stepped = ref 0 in
+      (* round 0 is an untimed warmup: the first supervised run pays
+         page-cache and allocator warmup that would otherwise bias
+         whichever mode runs first *)
+      for round = 0 to rounds do
+        rm_rf store;
+        let flight =
+          if mode = "on" then
+            Some (Black_box.create (Filename.concat store "FLIGHT"))
+          else None
+        in
+        let loop =
+          Supervisor.open_run ?flight plan ~journal:store ~segment_bytes:4096
+            ~market ~schedule:(schedule ())
+        in
+        let rec drive () =
+          match Supervisor.next_epoch loop with
+          | None -> ()
+          | Some _ ->
+            let t0 = Unix.gettimeofday () in
+            ignore (Supervisor.step loop);
+            let dt = Unix.gettimeofday () -. t0 in
+            if round > 0 then begin
+              Metrics.Histogram.observe h dt;
+              total := !total +. dt;
+              incr stepped
+            end;
+            drive ()
+        in
+        drive ();
+        ignore (Supervisor.finish loop);
+        Option.iter Black_box.close flight
+      done;
+      rm_rf store;
+      let rate = float_of_int !stepped /. !total in
+      (mode, rate, Metrics.Histogram.p99 h)
+    in
+    let off = bench_mode "off" in
+    let on = bench_mode "on" in
+    let rows = [ off; on ] in
+    Poc_util.Table.print
+      ~align:[ Poc_util.Table.Left; Poc_util.Table.Right; Poc_util.Table.Right ]
+      ~header:[ "recorder"; "epochs/s"; "p99 ms" ]
+      (List.map
+         (fun (mode, rate, p99) ->
+           [ mode; Common.fmt ~decimals:2 rate;
+             Common.fmt ~decimals:3 (1e3 *. p99) ])
+         rows);
+    let (_, rate_off, p99_off) = off and (_, rate_on, p99_on) = on in
+    let overhead_pct = 100.0 *. ((rate_off /. rate_on) -. 1.0) in
+    Printf.printf "recorder throughput overhead: %.2f%%\n" overhead_pct;
+    Common.write_metrics_artifact
+      ~extra:
+        [
+          ( "flight_overhead",
+            Printf.sprintf
+              "{\"epochs\":%d,\"rounds\":%d,\"off\":{\"epochs_per_s\":%.3f,\"p99_s\":%.6f},\"on\":{\"epochs_per_s\":%.3f,\"p99_s\":%.6f},\"overhead_pct\":%.3f}"
+              epochs rounds rate_off p99_off rate_on p99_on overhead_pct );
+        ]
+      ~label:"e18" ()

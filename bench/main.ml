@@ -26,6 +26,7 @@ let experiments =
     ("e15", "chaos: faults & graceful degradation (extension)", E15_chaos.run);
     ("e16", "daemon serving capacity (extension)", E16_daemon.run);
     ("e17", "chaos-fleet throughput (extension)", E17_fleet.run);
+    ("e18", "flight recorder overhead (extension)", E18_flight.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

@@ -9,6 +9,8 @@
                journal and crash/resume support
      scrub     check and repair a run journal (segment classification,
                tail truncation, quarantine)
+     forensics merge flight box, journal, scrub verdict and intake log
+               into one ordered crash timeline
      fleet     thousands of seeded scenario-months under the chaos matrix
                (per-scenario journals under one store root, kill chains,
                byte-deterministic aggregate survival/PoB report)
@@ -33,8 +35,10 @@ module Fault = Poc_resilience.Fault
 module Disk = Poc_resilience.Disk
 module Journal = Poc_resilience.Journal
 module Supervisor = Poc_resilience.Supervisor
+module Black_box = Poc_resilience.Black_box
 module Fleet = Poc_fleet.Driver
 module Chaos_matrix = Poc_fleet.Chaos_matrix
+module Forensics = Poc_forensics.Forensics
 module Obs_log = Poc_obs.Log
 module Trace = Poc_obs.Trace
 module Metrics = Poc_obs.Metrics
@@ -316,14 +320,37 @@ let segment_bytes_arg =
               a single append-only file.  $(b,--resume) detects the store \
               kind automatically.")
 
+let flight_arg =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:"Attach a black-box flight recorder: a bounded $(b,FLIGHT) \
+              file next to (inside, for a segmented store) the journal, \
+              flushed at every phase and fault point, readable after any \
+              crash with $(b,poc-cli forensics).  Journal bytes are \
+              identical with and without it.")
+
+(* Where a run's box lives; creation makes the parent directory, so a
+   fresh segmented store can receive its FLIGHT before the journal
+   opens the directory. *)
+let flight_box ~flight ~segmented path =
+  if not flight then None
+  else Some (Black_box.create (Forensics.flight_path_for_kind ~segmented path))
+
 (* Run the supervised loop, honoring --journal/--resume.  Exit codes:
    10 for an injected crash (the journal is left ready to resume), 1
    for a journal that cannot be resumed. *)
-let run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market ~schedule
-    =
+let run_supervised ~journal ~resume ?segment_bytes ?pool ?(flight = false) plan
+    ~market ~schedule =
   match resume with
   | Some path -> (
-    match Supervisor.resume ~journal:path ?pool plan ~market ~schedule with
+    let flight =
+      flight_box ~flight path
+        ~segmented:(Sys.file_exists path && Sys.is_directory path)
+    in
+    match
+      Supervisor.resume ~journal:path ?flight ?pool plan ~market ~schedule
+    with
     | Ok r ->
       Printf.eprintf "resumed from %s\n" path;
       r
@@ -331,8 +358,15 @@ let run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market ~schedule
       Printf.eprintf "resume failed: %s\n" msg;
       exit 1)
   | None -> (
-    try Supervisor.run ?journal ?segment_bytes ?pool plan ~market ~schedule with
-    | Supervisor.Injected_crash { epoch; phase } ->
+    let flight =
+      match journal with
+      | None -> None
+      | Some j -> flight_box ~flight ~segmented:(segment_bytes <> None) j
+    in
+    try
+      Supervisor.run ?journal ?flight ?segment_bytes ?pool plan ~market
+        ~schedule
+    with Supervisor.Injected_crash { epoch; phase } ->
       Printf.eprintf
         "injected crash at epoch %d (%s); finish the run with --resume\n" epoch
         (Fault.phase_to_string phase);
@@ -349,8 +383,8 @@ let print_supervised (report : Supervisor.report) =
     report.Supervisor.violations
 
 let market_cmd =
-  let run verbose seed sites bps epochs jobs journal resume segment_bytes trace
-      metrics =
+  let run verbose seed sites bps epochs jobs journal resume segment_bytes
+      flight trace metrics =
     setup_logs verbose;
     let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -368,8 +402,8 @@ let market_cmd =
               exit 1
           in
           print_supervised
-            (run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market
-               ~schedule)
+            (run_supervised ~journal ~resume ?segment_bytes ?pool ~flight plan
+               ~market ~schedule)
         else
           let results = Epochs.run ?pool plan market in
           List.iter
@@ -389,8 +423,8 @@ let market_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ segment_bytes_arg $ trace_arg
-      $ metrics_arg)
+      $ jobs_arg $ journal_arg $ resume_arg $ segment_bytes_arg $ flight_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
@@ -480,7 +514,7 @@ let injected_specs ~crashes ~disk_faults =
 
 let chaos_cmd =
   let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
-      journal resume segment_bytes trace metrics =
+      journal resume segment_bytes flight trace metrics =
     setup_logs verbose;
     let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -509,15 +543,15 @@ let chaos_cmd =
     let market = { Epochs.default_config with Epochs.epochs; seed } in
     Pool.with_pool ~jobs (fun pool ->
         print_supervised
-          (run_supervised ~journal ~resume ?segment_bytes ?pool plan ~market
-             ~schedule));
+          (run_supervised ~journal ~resume ?segment_bytes ?pool ~flight plan
+             ~market ~schedule));
     print_phase_table ()
   in
   let term =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
       $ jobs_arg $ fault_seed_arg $ crash_arg $ disk_fault_arg $ journal_arg
-      $ resume_arg $ segment_bytes_arg $ trace_arg $ metrics_arg)
+      $ resume_arg $ segment_bytes_arg $ flight_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -561,6 +595,63 @@ let scrub_cmd =
              torn-tail, corrupt-interior or unreadable; truncate damage at \
              the last good frame; quarantine unreadable segments; print a \
              machine-readable JSON report.")
+    term
+
+(* --- forensics -------------------------------------------------------------- *)
+
+let forensics_cmd =
+  let store_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE"
+          ~doc:"The dead run's journal: a single file, a segmented store \
+                directory, or a daemon $(b,ROOT)/store.  The flight box and \
+                intake log are found next to it automatically.")
+  in
+  let flight_path_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"PATH"
+          ~doc:"Flight box to read (default: $(b,STORE)/FLIGHT for a \
+                directory store, $(b,STORE).flight otherwise).")
+  in
+  let intake_path_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "intake" ] ~docv:"PATH"
+          ~doc:"Intake log to read (default: $(b,intake.log) next to \
+                $(b,STORE)).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the timeline as one JSON document.")
+  in
+  let run verbose store flight intake json =
+    setup_logs verbose;
+    match Forensics.analyze ?flight ?intake store with
+    | Error msg ->
+      Printf.eprintf "forensics: %s\n" msg;
+      exit 1
+    | Ok a ->
+      if json then print_string (Forensics.to_json a)
+      else print_string (Forensics.render a)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ store_pos $ flight_path_arg $ intake_path_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:"Reconstruct a crashed run's last moments: merge the flight \
+             recorder box, the journal's durable epoch records, a dry-run \
+             scrub verdict and the daemon intake log into one ordered \
+             incident timeline, naming the epoch and phase in flight when \
+             the process died.  Reads everything, modifies nothing.")
     term
 
 (* --- fleet ------------------------------------------------------------------ *)
@@ -657,7 +748,8 @@ let fleet_cmd =
                 summary.")
   in
   let run verbose months matrix store resume kill_after topologies sites bps
-      epochs segment_bytes snapshot_every seed jobs json trace metrics =
+      epochs segment_bytes snapshot_every seed jobs json flight trace metrics
+      =
     setup_logs verbose;
     let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     match Chaos_matrix.axes_of_spec matrix with
@@ -677,6 +769,7 @@ let fleet_cmd =
           segment_bytes;
           snapshot_every;
           store;
+          flight;
         }
       in
       Pool.with_pool ~jobs (fun pool ->
@@ -692,6 +785,15 @@ let fleet_cmd =
           | Ok (Fleet.Finished report) ->
             if json then print_string (Fleet.report_to_json report)
             else print_string (Fleet.render report);
+            (* Wall-clock rollup: a separate artifact, never part of
+               the byte-deterministic report above. *)
+            let rollup = Filename.concat store "LATENCY.json" in
+            (try
+               let oc = open_out rollup in
+               output_string oc (Fleet.latency_rollup_json cfg);
+               close_out oc
+             with Sys_error msg ->
+               Printf.eprintf "fleet: latency rollup not written: %s\n" msg);
             let unrecovered =
               List.exists
                 (fun ((_ : Fleet.scenario), (o : Fleet.outcome)) ->
@@ -705,7 +807,7 @@ let fleet_cmd =
       const run $ verbose_arg $ months_arg $ matrix_arg $ store_arg
       $ fleet_resume_arg $ kill_after_arg $ topologies_arg $ fleet_sites_arg
       $ fleet_bps_arg $ fleet_epochs_arg $ fleet_segment_arg $ snapshot_arg
-      $ seed_arg $ jobs_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ jobs_arg $ json_arg $ flight_arg $ trace_arg $ metrics_arg)
   in
   let man =
     [
@@ -800,7 +902,7 @@ let serve_cmd =
   in
   let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
       root socket resume high_water metrics_port idle_timeout snapshot_every
-      segment_bytes trace metrics =
+      segment_bytes flight trace metrics =
     setup_logs verbose;
     let flush = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
@@ -826,12 +928,20 @@ let serve_cmd =
       Option.value socket ~default:(Filename.concat root "ctl.sock")
     in
     let disk = Poc_daemon.Engine.retrying_disk () in
+    (* The daemon always journals segmented, so the box lives inside
+       the store directory; its own Disk keeps journal bytes
+       untouched. *)
+    let flight =
+      if flight then
+        Some (Black_box.create (Filename.concat store "FLIGHT"))
+      else None
+    in
     let code =
       Pool.with_pool ~jobs (fun pool ->
           match
             Poc_daemon.Engine.create ~snapshot_every
-              ~segment_bytes ~disk ?pool ~high_water ~resume ~store ~intake
-              plan ~market ~schedule
+              ~segment_bytes ~disk ?pool ?flight ~high_water ~resume ~store
+              ~intake plan ~market ~schedule
           with
           | Error msg ->
             Printf.eprintf "serve: %s\n" msg;
@@ -852,8 +962,8 @@ let serve_cmd =
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
       $ jobs_arg $ fault_seed_arg $ crash_arg $ disk_fault_arg $ root_arg
       $ socket_arg $ serve_resume_arg $ high_water_arg $ metrics_port_arg
-      $ idle_timeout_arg $ snapshot_every_arg $ serve_segment_arg $ trace_arg
-      $ metrics_arg)
+      $ idle_timeout_arg $ snapshot_every_arg $ serve_segment_arg $ flight_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1109,5 +1219,5 @@ let () =
   let info = Cmd.info "poc-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ plan_cmd; auction_cmd; econ_cmd; market_cmd; chaos_cmd; scrub_cmd;
-      fleet_cmd; serve_cmd; ctl_cmd; profile_cmd; topology_cmd;
+      forensics_cmd; fleet_cmd; serve_cmd; ctl_cmd; profile_cmd; topology_cmd;
       federation_cmd; availability_cmd; export_cmd; baseline_cmd ]))

@@ -8,6 +8,8 @@ module Vcg = Poc_auction.Vcg
 module Epochs = Poc_market.Epochs
 module Metrics = Poc_obs.Metrics
 module Clock = Poc_obs.Clock
+module Flight = Poc_obs.Flight
+module Black_box = Poc_resilience.Black_box
 
 (* Service instruments.  Queue/backpressure gauges and counters carry
    the daemon's whole observable story: STATUS reads them, the
@@ -65,6 +67,15 @@ let h_recovery =
   Metrics.histogram ~help:"Time to recover from the journal (seconds)"
     Metrics.default "poc_daemon_recovery_seconds"
 
+let h_settle =
+  Metrics.histogram
+    ~help:"Admission to settlement latency per applied update (seconds)"
+    Metrics.default "poc_daemon_settle_seconds"
+
+let g_flight_records =
+  Metrics.gauge ~help:"Flight recorder records retained (0 when off)"
+    Metrics.default "poc_daemon_flight_records"
+
 let retrying_disk ?policy ?(ops = Disk.real_ops) () =
   Disk.with_ops
     (Disk.retrying ?policy
@@ -90,6 +101,11 @@ type t = {
      at exactly the same epochs. *)
   mutable accepted_rev : Supervisor.update Admission.entry list;
   shed_seqs : (int, unit) Hashtbl.t;
+  fb : Black_box.t option;
+  (* Live admissions' Clock.now_us, keyed by seq: the settle histogram
+     attributes admission→settlement latency only to updates admitted
+     by this process (replayed intake entries have no admit instant). *)
+  admit_us : (int, float) Hashtbl.t;
   mutable quiesced : bool;
   mutable flush : unit -> unit;
 }
@@ -99,9 +115,14 @@ let set_queue_gauges t =
   Metrics.Gauge.set g_next_epoch
     (match Supervisor.next_epoch t.loop with
     | Some e -> float_of_int e
-    | None -> 0.0)
+    | None -> 0.0);
+  match t.fb with
+  | None -> ()
+  | Some b ->
+    Metrics.Gauge.set g_flight_records
+      (float_of_int (Flight.stored (Black_box.ring b)))
 
-let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool
+let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool ?flight
     ?(high_water = 64) ?(resume = false) ~store ~intake plan ~market ~schedule
     =
   let disk = match disk with Some d -> d | None -> Disk.real () in
@@ -109,8 +130,8 @@ let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool
   let admission = Admission.create ~high_water () in
   Metrics.Gauge.set g_high_water (float_of_int high_water);
   let reresume () =
-    Supervisor.open_resume ?ladder ~journal:store ~disk ?pool plan ~market
-      ~schedule
+    Supervisor.open_resume ?ladder ~journal:store ?flight ~disk ?pool plan
+      ~market ~schedule
   in
   let finish loop ilog accepted_rev shed_seqs =
     let t =
@@ -125,6 +146,8 @@ let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool
         ilog;
         accepted_rev;
         shed_seqs;
+        fb = flight;
+        admit_us = Hashtbl.create 64;
         quiesced = false;
         flush = (fun () -> ());
       }
@@ -185,7 +208,7 @@ let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool
         finish loop ilog (List.rev accepted) shed_seqs)
   else
     let loop =
-      Supervisor.open_run ?ladder ~journal:store ~snapshot_every
+      Supervisor.open_run ?ladder ~journal:store ?flight ~snapshot_every
         ?segment_bytes ~disk ?pool plan ~market ~schedule
     in
     finish loop (Intake.create ~disk intake) [] (Hashtbl.create 64)
@@ -246,6 +269,18 @@ let admit t ~seq ~priority payload =
               Metrics.Counter.inc c_shed
             | None -> ());
             Metrics.Counter.inc c_accepted;
+            Hashtbl.replace t.admit_us seq (Clock.now_us ());
+            (match t.fb with
+            | None -> ()
+            | Some b ->
+              Flight.emit (Black_box.ring b) ~epoch:next ~phase:"admission"
+                (Flight.Event
+                   {
+                     name = "admit";
+                     detail =
+                       Printf.sprintf "seq=%d apply_epoch=%d" seq next;
+                   });
+              Black_box.flush b);
             set_queue_gauges t;
             let shed_part =
               match shed with
@@ -269,12 +304,34 @@ let admit t ~seq ~priority payload =
                  "ERR %d not recorded (%s); retry with a fresh seq" seq msg ],
              Continue))))
 
-let updates_for t e =
+let entries_for t e =
   List.rev t.accepted_rev
-  |> List.filter_map (fun (en : _ Admission.entry) ->
-         if en.apply_epoch = e && not (Hashtbl.mem t.shed_seqs en.seq) then
-           Some en.payload
-         else None)
+  |> List.filter (fun (en : _ Admission.entry) ->
+         en.apply_epoch = e && not (Hashtbl.mem t.shed_seqs en.seq))
+
+(* Attribute admission→settlement latency to every update the epoch
+   just folded in: the settle histogram feeds the Prometheus endpoint,
+   and with a recorder attached each update leaves a metric record in
+   the flight box. *)
+let settle_applied t e entries =
+  let settled = Clock.now_us () in
+  List.iter
+    (fun (en : _ Admission.entry) ->
+      match Hashtbl.find_opt t.admit_us en.seq with
+      | None -> () (* admitted before a restart: no live admit instant *)
+      | Some admitted ->
+        Hashtbl.remove t.admit_us en.seq;
+        let dt = (settled -. admitted) *. 1e-6 in
+        Metrics.Histogram.observe h_settle dt;
+        (match t.fb with
+        | None -> ()
+        | Some b ->
+          Flight.emit (Black_box.ring b) ~epoch:e ~phase:"settlement"
+            (Flight.Metric { name = "admit_to_settle_s"; delta = dt })))
+    entries;
+  match t.fb with
+  | None -> ()
+  | Some b -> if entries <> [] then Black_box.flush b
 
 let recover t cause =
   let t0 = Clock.now_us () in
@@ -299,12 +356,16 @@ let run_epochs t n =
        | None -> k := 0
        | Some e -> (
          ignore (Admission.drain t.admission ~epoch:e);
-         let updates = updates_for t e in
+         let entries = entries_for t e in
+         let updates =
+           List.map (fun (en : _ Admission.entry) -> en.payload) entries
+         in
          match Supervisor.step ~updates t.loop with
          | er ->
            incr ran;
            decr k;
            Metrics.Counter.add c_applied (float_of_int (List.length updates));
+           settle_applied t e entries;
            set_queue_gauges t;
            lines :=
              Protocol.continuation
@@ -347,7 +408,7 @@ let status_line t =
   Printf.sprintf
     "STATUS ok next=%s horizon=%d queue=%d/%d last_seq=%d accepted=%.0f \
      applied=%.0f shed=%.0f rejected=%.0f dup=%.0f recoveries=%.0f \
-     disk_retries=%.0f quiesced=%b market[%s]"
+     disk_retries=%.0f flight=%s quiesced=%b market[%s]"
     next
     (Supervisor.horizon t.loop)
     (Admission.depth t.admission)
@@ -360,6 +421,10 @@ let status_line t =
     (Metrics.Counter.value c_dup)
     (Metrics.Counter.value c_recoveries)
     (Metrics.Counter.value c_retries)
+    (match t.fb with
+    | Some b ->
+      Printf.sprintf "on:%d" (Flight.stored (Black_box.ring b))
+    | None -> "off")
     t.quiesced
     (Epochs.describe_config t.market)
 

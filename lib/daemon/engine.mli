@@ -29,6 +29,7 @@ module Supervisor = Poc_resilience.Supervisor
 module Disk = Poc_resilience.Disk
 module Fault = Poc_resilience.Fault
 module Ladder = Poc_resilience.Ladder
+module Black_box = Poc_resilience.Black_box
 
 type t
 
@@ -42,6 +43,7 @@ val create :
   ?segment_bytes:int ->
   ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
+  ?flight:Black_box.t ->
   ?high_water:int ->
   ?resume:bool ->
   store:string ->
@@ -54,7 +56,17 @@ val create :
     fresh journal at [store]; [resume:true] replays it and the intake
     log, re-queues still-pending updates and restores the dedup floor).
     Same validation failures as [Supervisor.open_run] surface as
-    [Invalid_argument]; resume problems as [Error]. *)
+    [Invalid_argument]; resume problems as [Error].
+
+    [flight] attaches a black-box recorder, threaded into the
+    supervised loop exactly as [Supervisor.open_run ?flight] and
+    additionally fed by the request path: every durable admission
+    leaves an [admit] event, every applied update a
+    [admit_to_settle_s] metric record (also observed into
+    [poc_daemon_settle_seconds]), each flushed so a SIGKILL mid-epoch
+    leaves the in-flight request story on disk.  [STATUS] reports
+    [flight=on:<records>] / [flight=off] and the gauge
+    [poc_daemon_flight_records] mirrors it. *)
 
 val handle : t -> Protocol.request -> string list * action
 (** Process one request; returns the response lines (continuations

@@ -77,6 +77,21 @@ let reopen ?(disk = Disk.real ()) log_path =
         ( { disk; log_path; file = Disk.open_append disk log_path; good = valid },
           records )
 
+let read ?(disk = Disk.real ()) log_path =
+  match Disk.read_file disk log_path with
+  | exception Sys_error e -> Error e
+  | data ->
+    let rec walk pos acc =
+      match Codec.next_frame data ~pos with
+      | Codec.End -> Ok (List.rev acc, false)
+      | Codec.Torn -> Ok (List.rev acc, true)
+      | Codec.Frame { payload; next } -> (
+        match decode payload with
+        | r -> walk next (r :: acc)
+        | exception Codec.Corrupt _ -> Ok (List.rev acc, true))
+    in
+    walk 0 []
+
 let append t r =
   let bytes = encode r in
   try

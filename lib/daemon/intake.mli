@@ -42,6 +42,12 @@ val reopen : ?disk:Disk.t -> string -> (t * record list, string) result
     [Error] on an undecodable (checksum-valid but malformed) record —
     version skew, not damage. *)
 
+val read : ?disk:Disk.t -> string -> (record list * bool, string) result
+(** Read-only replay for forensics: the surviving records
+    (chronological) and whether a torn/undecodable tail was skipped.
+    Unlike {!reopen} the file is not modified and nothing is opened for
+    append.  [Error] only when the file cannot be read at all. *)
+
 val append : t -> record -> unit
 (** Append one frame and flush.  Raises [Sys_error] when the disk
     refuses, after restoring the file to its last durable length. *)

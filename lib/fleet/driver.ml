@@ -11,6 +11,8 @@ module Pool = Poc_util.Pool
 module Table = Poc_util.Table
 module Metrics = Poc_obs.Metrics
 module Trace = Poc_obs.Trace
+module Clock = Poc_obs.Clock
+module Black_box = Poc_resilience.Black_box
 
 (* --- instrumentation ----------------------------------------------------- *)
 
@@ -34,6 +36,16 @@ let m_loaded =
   Metrics.counter ~help:"Scenario RESULT frames loaded by a fleet resume"
     Metrics.default "poc_fleet_loaded_results_total"
 
+(* One labeled series per chaos-matrix cell: the fleet's latency story,
+   sliced the same way its survival story is.  Registration is
+   idempotent and the instruments are domain-safe, so pool workers
+   observe into them directly. *)
+let h_cell cell_name =
+  Metrics.histogram
+    ~help:"Scenario-month wall time by chaos-matrix cell (seconds)"
+    ~labels:[ ("cell", cell_name) ]
+    Metrics.default "poc_fleet_cell_seconds"
+
 (* --- config -------------------------------------------------------------- *)
 
 type config = {
@@ -47,6 +59,7 @@ type config = {
   segment_bytes : int;
   snapshot_every : int;
   store : string;
+  flight : bool;
 }
 
 let default_config ~store =
@@ -62,6 +75,7 @@ let default_config ~store =
     segment_bytes = 2048;
     snapshot_every = 2;
     store;
+    flight = false;
   }
 
 let validate cfg =
@@ -372,6 +386,9 @@ let decode_manifest ~store data =
                 segment_bytes;
                 snapshot_every;
                 store;
+                (* Observability, not fleet shape: the manifest neither
+                   records nor checks it. *)
+                flight = false;
               }
         end
       with Codec.Corrupt _ -> None
@@ -417,7 +434,7 @@ let add_recovery rc = function
    cap only guards against a spec that somehow re-fires. *)
 let max_attempts = 8
 
-let run_one cfg (scen : scenario) (plan : Planner.plan) =
+let run_one cfg ?flight (scen : scenario) (plan : Planner.plan) =
   let dir = Filename.concat cfg.store scen.id in
   let market = market_config cfg scen in
   let all_specs =
@@ -444,12 +461,13 @@ let run_one cfg (scen : scenario) (plan : Planner.plan) =
       match
         if fresh then
           `Report
-            (Supervisor.run ~journal:dir ~snapshot_every:cfg.snapshot_every
+            (Supervisor.run ~journal:dir ?flight
+               ~snapshot_every:cfg.snapshot_every
                ~segment_bytes:cfg.segment_bytes ~disk plan ~market ~schedule)
         else begin
           match
-            Supervisor.resume ~honor_crashes:true ~journal:dir ~disk plan
-              ~market ~schedule
+            Supervisor.resume ~honor_crashes:true ~journal:dir ?flight ~disk
+              plan ~market ~schedule
           with
           | Ok r -> `Report r
           | Error _ -> `Resume_failed
@@ -519,8 +537,8 @@ let run_one cfg (scen : scenario) (plan : Planner.plan) =
    store is a plain crashed journal, so plain resume recovers it; any
    failure (no store yet, nothing durable) falls back to a fresh run.
    Either path yields the uninterrupted report byte-for-byte. *)
-let run_one_resumed cfg (scen : scenario) (plan : Planner.plan) =
-  if Chaos_matrix.has_kills scen.cell then run_one cfg scen plan
+let run_one_resumed cfg ?flight (scen : scenario) (plan : Planner.plan) =
+  if Chaos_matrix.has_kills scen.cell then run_one cfg ?flight scen plan
   else begin
     let dir = Filename.concat cfg.store scen.id in
     let market = market_config cfg scen in
@@ -534,17 +552,17 @@ let run_one_resumed cfg (scen : scenario) (plan : Planner.plan) =
       | Error _ -> None
     in
     match schedule with
-    | None -> run_one cfg scen plan
+    | None -> run_one cfg ?flight scen plan
     | Some schedule -> (
       match
-        Supervisor.resume ~journal:dir ~disk:(Disk.real ()) plan ~market
-          ~schedule
+        Supervisor.resume ~journal:dir ?flight ~disk:(Disk.real ()) plan
+          ~market ~schedule
       with
       | Ok report ->
         Metrics.Counter.inc m_months;
         outcome_of_report ~kills:0 ~recovered:no_recoveries ~scrub_truncated:0
           ~scrub_quarantined:0 ~restarts:0 report
-      | Error _ -> run_one cfg scen plan)
+      | Error _ -> run_one cfg ?flight scen plan)
   end
 
 (* --- the fleet ------------------------------------------------------------ *)
@@ -654,10 +672,24 @@ let run ?pool ?(resume = false) ?kill_after cfg =
         let task i =
           let scen = scenarios.(i) in
           let plan = plans.(i mod cfg.topologies) in
-          let o =
-            if resume then run_one_resumed cfg scen plan
-            else run_one cfg scen plan
+          let flight =
+            if not cfg.flight then None
+            else
+              Some
+                (Black_box.create
+                   (Filename.concat
+                      (Filename.concat cfg.store scen.id)
+                      "FLIGHT"))
           in
+          let t0 = Clock.now_us () in
+          let o =
+            if resume then run_one_resumed cfg ?flight scen plan
+            else run_one cfg ?flight scen plan
+          in
+          Metrics.Histogram.observe
+            (h_cell (Chaos_matrix.cell_name scen.cell))
+            ((Clock.now_us () -. t0) *. 1e-6);
+          Option.iter Black_box.close flight;
           store_result (Disk.real ()) cfg scen o;
           o
         in
@@ -838,6 +870,34 @@ let report_to_json r =
         (fnum (mean_of ct ct.t_delivered))
         (fnum (mean_of ct ct.t_pob)))
     (cell_totals r);
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* Wall-clock rollup — deliberately {e not} part of [report_to_json],
+   whose bytes are pinned deterministic across [--jobs] and
+   kill + resume.  One entry per matrix cell in matrix order, read back
+   from the labeled [poc_fleet_cell_seconds] series (which
+   [Metrics.to_prometheus] exports as the same rollup in exposition
+   form). *)
+let latency_rollup_json cfg =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"cells\":[";
+  List.iteri
+    (fun i cell ->
+      if i > 0 then Buffer.add_char b ',';
+      let name = Chaos_matrix.cell_name cell in
+      let h = h_cell name in
+      let n = Metrics.Histogram.count h in
+      let q v = if n = 0 then "0" else fnum v in
+      Printf.bprintf b
+        "{\"cell\":\"%s\",\"months\":%d,\"sum_s\":%s,\"p50_s\":%s,\"p95_s\":%s,\"p99_s\":%s,\"max_s\":%s}"
+        (Metrics.json_escape name) n
+        (q (Metrics.Histogram.sum h))
+        (q (Metrics.Histogram.p50 h))
+        (q (Metrics.Histogram.p95 h))
+        (q (Metrics.Histogram.p99 h))
+        (q (Metrics.Histogram.max_observed h)))
+    (Chaos_matrix.cells cfg.axes);
   Buffer.add_string b "]}\n";
   Buffer.contents b
 

@@ -47,11 +47,18 @@ type config = {
   segment_bytes : int;     (** journal rotation budget per scenario *)
   snapshot_every : int;
   store : string;          (** fleet store root *)
+  flight : bool;           (** attach one flight recorder per scenario,
+                               persisted at [<store>/<id>/FLIGHT].  Not
+                               fleet shape: the manifest neither records
+                               nor checks it, and journal bytes and the
+                               aggregate report are identical either
+                               way. *)
 }
 
 val default_config : store:string -> config
 (** months 1000, full axes, seed 2020, 8 topologies, 16 sites, 5 BPs,
-    6 epochs, 2 KiB segments, snapshot every 2 epochs. *)
+    6 epochs, 2 KiB segments, snapshot every 2 epochs, no flight
+    recorders. *)
 
 val validate : config -> (unit, string) result
 (** Every offending field in one message, [Fault]-style. *)
@@ -147,3 +154,12 @@ val report_to_json : report -> string
 val render : report -> string
 (** Human summary: fleet header, survival and welfare lines, and a
     per-cell table. *)
+
+val latency_rollup_json : config -> string
+(** Per-cell wall-clock latency rollup, in matrix order:
+    [{"cells":[{"cell","months","sum_s","p50_s","p95_s","p99_s",
+    "max_s"}]}], read from the labeled [poc_fleet_cell_seconds]
+    histograms the fleet observes one scenario-month wall time each
+    into.  Wall-clock dependent by nature, so it is kept out of
+    {!report_to_json} (whose bytes stay deterministic); the same
+    series reach Prometheus via [Poc_obs.Metrics.to_prometheus]. *)

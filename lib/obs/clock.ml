@@ -1,20 +1,28 @@
-let origin_us = ref 0.0
+(* Both cells are read and advanced from pool workers as well as the
+   main domain, so they are atomics: [now_us] publishes its clamped
+   reading with a CAS loop that only ever moves the watermark forward,
+   and [reset_origin] writes the origin before zeroing the watermark so
+   a racing reader can observe a stale (small) watermark but never a
+   timestamp from the old origin epoch. *)
 
-let last_us = ref 0.0
+let origin_us = Atomic.make 0.0
+
+let last_us = Atomic.make 0.0
 
 let raw_us () = Unix.gettimeofday () *. 1e6
 
-let () =
-  origin_us := raw_us ();
-  last_us := 0.0
+let () = Atomic.set origin_us (raw_us ())
 
-let now_us () =
-  let t = raw_us () -. !origin_us in
-  if t > !last_us then last_us := t;
-  !last_us
+let rec advance t =
+  let seen = Atomic.get last_us in
+  if t <= seen then seen
+  else if Atomic.compare_and_set last_us seen t then t
+  else advance t
 
-let origin () = !origin_us
+let now_us () = advance (raw_us () -. Atomic.get origin_us)
+
+let origin () = Atomic.get origin_us
 
 let reset_origin () =
-  origin_us := raw_us ();
-  last_us := 0.0
+  Atomic.set origin_us (raw_us ());
+  Atomic.set last_us 0.0

@@ -2,7 +2,12 @@
 
     The OS clock can step backwards (NTP); trace viewers and latency
     histograms cannot.  [now_us] clamps so consecutive readings never
-    decrease, which is all the span model needs. *)
+    decrease, which is all the span model needs.
+
+    Domain-safe: the origin and the monotonic watermark are atomics
+    ([now_us] advances the watermark with a CAS loop), so pool workers
+    can timestamp concurrently with a [reset_origin] on the main
+    domain without tearing or going backwards. *)
 
 val now_us : unit -> float
 (** Microseconds since an arbitrary process-local origin; never

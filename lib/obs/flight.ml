@@ -1,0 +1,258 @@
+module Codec = Poc_util.Codec
+
+type kind =
+  | Span_open of { name : string }
+  | Span_close of { name : string; dur_us : float }
+  | Event of { name : string; detail : string }
+  | Incident of { incident : string; detail : string }
+  | Metric of { name : string; delta : float }
+
+type record = {
+  seq : int;
+  ts_us : float;
+  epoch : int;
+  phase : string;
+  kind : kind;
+}
+
+let version = 1
+
+let magic = "POCFLT"
+
+type t = {
+  cap : int;
+  slots : string array;  (* framed record bytes; "" = never written *)
+  mutable next : int;  (* next slot to overwrite *)
+  mutable total : int;  (* records ever emitted *)
+  mutable drained : int;  (* [seq] up to which the owner has drained *)
+  pending : Buffer.t;  (* frames since the last drain, unless wrapped *)
+  mu : Mutex.t;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    slots = Array.make capacity "";
+    next = 0;
+    total = 0;
+    drained = 0;
+    pending = Buffer.create 256;
+    mu = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* --- record encoding ----------------------------------------------------- *)
+
+let tag_of_kind = function
+  | Span_open _ -> 0
+  | Span_close _ -> 1
+  | Event _ -> 2
+  | Incident _ -> 3
+  | Metric _ -> 4
+
+let encode_record r =
+  let w = Codec.writer () in
+  Codec.put_u8 w (tag_of_kind r.kind);
+  Codec.put_int w r.seq;
+  Codec.put_f64 w r.ts_us;
+  Codec.put_int w r.epoch;
+  Codec.put_string w r.phase;
+  (match r.kind with
+  | Span_open { name } -> Codec.put_string w name
+  | Span_close { name; dur_us } ->
+    Codec.put_string w name;
+    Codec.put_f64 w dur_us
+  | Event { name; detail } ->
+    Codec.put_string w name;
+    Codec.put_string w detail
+  | Incident { incident; detail } ->
+    Codec.put_string w incident;
+    Codec.put_string w detail
+  | Metric { name; delta } ->
+    Codec.put_string w name;
+    Codec.put_f64 w delta);
+  Codec.frame (Codec.contents w)
+
+let decode_record payload =
+  let r = Codec.reader payload in
+  let tag = Codec.get_u8 r in
+  let seq = Codec.get_int r in
+  let ts_us = Codec.get_f64 r in
+  let epoch = Codec.get_int r in
+  let phase = Codec.get_string r in
+  let kind =
+    match tag with
+    | 0 -> Span_open { name = Codec.get_string r }
+    | 1 ->
+      let name = Codec.get_string r in
+      Span_close { name; dur_us = Codec.get_f64 r }
+    | 2 ->
+      let name = Codec.get_string r in
+      Event { name; detail = Codec.get_string r }
+    | 3 ->
+      let incident = Codec.get_string r in
+      Incident { incident; detail = Codec.get_string r }
+    | 4 ->
+      let name = Codec.get_string r in
+      Metric { name; delta = Codec.get_f64 r }
+    | n -> raise (Codec.Corrupt (Printf.sprintf "flight: unknown tag %d" n))
+  in
+  if not (Codec.at_end r) then
+    raise (Codec.Corrupt "flight: trailing bytes in record");
+  { seq; ts_us; epoch; phase; kind }
+
+(* --- ring ---------------------------------------------------------------- *)
+
+let emit t ?ts_us ~epoch ~phase kind =
+  let ts_us = match ts_us with Some t -> t | None -> Clock.now_us () in
+  locked t (fun () ->
+      let r = { seq = t.total; ts_us; epoch; phase; kind } in
+      let framed = encode_record r in
+      t.slots.(t.next) <- framed;
+      t.next <- (t.next + 1) mod t.cap;
+      t.total <- t.total + 1;
+      (* Once the undrained backlog exceeds the capacity an incremental
+         append can no longer be assembled from live slots; stop
+         buffering and let [drain] report the wrap. *)
+      if t.total - t.drained <= t.cap then Buffer.add_string t.pending framed
+      else Buffer.clear t.pending)
+
+let seq t = locked t (fun () -> t.total)
+
+let stored t = locked t (fun () -> min t.total t.cap)
+
+let dropped t = locked t (fun () -> max 0 (t.total - t.cap))
+
+let frame_payload framed =
+  match Codec.next_frame framed ~pos:0 with
+  | Codec.Frame { payload; _ } -> payload
+  | Codec.End | Codec.Torn -> raise (Codec.Corrupt "flight: bad slot frame")
+
+let records t =
+  locked t (fun () ->
+      let n = min t.total t.cap in
+      let out = ref [] in
+      for i = 1 to n do
+        let slot = (t.next + t.cap - i) mod t.cap in
+        out := decode_record (frame_payload t.slots.(slot)) :: !out
+      done;
+      !out)
+
+let pending_bytes t =
+  locked t (fun () ->
+      if t.total - t.drained > t.cap then 0 else Buffer.length t.pending)
+
+let drain t =
+  locked t (fun () ->
+      let backlog = t.total - t.drained in
+      t.drained <- t.total;
+      let bytes = Buffer.contents t.pending in
+      Buffer.clear t.pending;
+      if backlog = 0 then `Empty
+      else if backlog > t.cap then `Wrapped
+      else `Append bytes)
+
+(* --- on-disk image ------------------------------------------------------- *)
+
+let header_frame cap =
+  let w = Codec.writer () in
+  Codec.put_string w magic;
+  Codec.put_u32 w version;
+  Codec.put_int w cap;
+  Codec.frame (Codec.contents w)
+
+let image t =
+  locked t (fun () ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (header_frame t.cap);
+      let n = min t.total t.cap in
+      (* oldest -> newest *)
+      for i = n downto 1 do
+        let slot = (t.next + t.cap - i) mod t.cap in
+        Buffer.add_string buf t.slots.(slot)
+      done;
+      Buffer.contents buf)
+
+type image_data = {
+  img_capacity : int;
+  img_records : record list;
+  img_frames : int;
+  img_torn : bool;
+}
+
+let decode_header payload =
+  let r = Codec.reader payload in
+  let m = Codec.get_string r in
+  if m <> magic then Error "not a flight image"
+  else
+    let v = Codec.get_u32 r in
+    if v <> version then Error (Printf.sprintf "flight image version %d" v)
+    else
+      let cap = Codec.get_int r in
+      if cap < 1 || not (Codec.at_end r) then Error "bad flight header"
+      else Ok cap
+
+let decode_image data =
+  match Codec.next_frame data ~pos:0 with
+  | Codec.End -> Error "empty flight image"
+  | Codec.Torn -> Error "flight image header damaged"
+  | Codec.Frame { payload; next } -> (
+    match (try decode_header payload with Codec.Corrupt _ -> Error "bad flight header") with
+    | Error e -> Error e
+    | Ok cap ->
+      let recs = ref [] in
+      let frames = ref 0 in
+      let torn = ref false in
+      let pos = ref next in
+      let continue = ref true in
+      while !continue do
+        match Codec.next_frame data ~pos:!pos with
+        | Codec.End -> continue := false
+        | Codec.Torn ->
+          torn := true;
+          continue := false
+        | Codec.Frame { payload; next } -> (
+          match decode_record payload with
+          | r ->
+            incr frames;
+            recs := r :: !recs;
+            pos := next
+          | exception Codec.Corrupt _ ->
+            torn := true;
+            continue := false)
+      done;
+      (* Only the newest [cap] frames are the ring's contents; an
+         append-grown image legitimately holds more. *)
+      let keep = List.filteri (fun i _ -> i < cap) !recs in
+      Ok
+        {
+          img_capacity = cap;
+          img_records = List.rev keep;
+          img_frames = !frames;
+          img_torn = !torn;
+        })
+
+let valid_prefix data =
+  match Codec.next_frame data ~pos:0 with
+  | Codec.End | Codec.Torn -> 0
+  | Codec.Frame { payload; next } -> (
+    match (try decode_header payload with Codec.Corrupt _ -> Error "bad") with
+    | Error _ -> 0
+    | Ok _ ->
+      let pos = ref next in
+      let continue = ref true in
+      while !continue do
+        match Codec.next_frame data ~pos:!pos with
+        | Codec.End | Codec.Torn -> continue := false
+        | Codec.Frame { payload; next } -> (
+          match decode_record payload with
+          | _ -> pos := next
+          | exception Codec.Corrupt _ -> continue := false)
+      done;
+      !pos)

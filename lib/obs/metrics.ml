@@ -129,11 +129,20 @@ type instrument =
   | G of Gauge.t
   | H of Histogram.t
 
+(* One registered time series: a family (base) name, an optional sorted
+   label set distinguishing it from its siblings, and the instrument. *)
+type series = {
+  sr_base : string;
+  sr_labels : (string * string) list;  (* sorted by label name *)
+  sr_help : string option;
+  sr_inst : instrument;
+}
+
 (* The registry table is guarded by a mutex: registration happens at
    module-init time in practice, but nothing stops a worker domain from
    registering, and reads (export, reset) must not observe a resize. *)
 type registry = {
-  tbl : (string, string option * instrument) Hashtbl.t;
+  tbl : (string, series) Hashtbl.t;  (* keyed by the rendered series *)
   lock : Mutex.t;
 }
 
@@ -162,40 +171,105 @@ let valid_name name =
          | _ -> false)
        name
 
-let register reg ?help name make_new match_kind =
+let valid_label_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+(* Prometheus label-value escaping: backslash, double quote, newline. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let series_name base labels = base ^ render_labels labels
+
+let check_labels name labels =
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k);
+      if k = "le" then
+        invalid_arg
+          (Printf.sprintf "Metrics: label \"le\" on %S is reserved for \
+                           histogram buckets" name))
+    labels;
+  match dup labels with
+  | Some k ->
+    invalid_arg (Printf.sprintf "Metrics: duplicate label %S on %S" k name)
+  | None -> ()
+
+let register reg ?help ?(labels = []) name make_new match_kind =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  check_labels name labels;
+  let key = series_name name labels in
   locked reg (fun () ->
-      match Hashtbl.find_opt reg.tbl name with
-      | Some (_, inst) -> (
-        match match_kind inst with
+      match Hashtbl.find_opt reg.tbl key with
+      | Some s -> (
+        match match_kind s.sr_inst with
         | Some x -> x
         | None ->
           invalid_arg
             (Printf.sprintf "Metrics: %S already registered as a different kind"
-               name))
+               key))
       | None ->
+        (* All series of one family must share a kind: one # TYPE line
+           describes them all. *)
+        Hashtbl.iter
+          (fun _ s ->
+            if s.sr_base = name && match_kind s.sr_inst = None then
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics: %S already registered as a different kind" name))
+          reg.tbl;
         let x, inst = make_new () in
-        Hashtbl.replace reg.tbl name (help, inst);
+        Hashtbl.replace reg.tbl key
+          { sr_base = name; sr_labels = labels; sr_help = help; sr_inst = inst };
         x)
 
-let counter ?help reg name =
-  register reg ?help name
+let counter ?help ?labels reg name =
+  register reg ?help ?labels name
     (fun () ->
       let c = { Counter.c = Atomic.make 0.0 } in
       (c, C c))
     (function C c -> Some c | G _ | H _ -> None)
 
-let gauge ?help reg name =
-  register reg ?help name
+let gauge ?help ?labels reg name =
+  register reg ?help ?labels name
     (fun () ->
       let g = { Gauge.g = Atomic.make 0.0 } in
       (g, G g))
     (function G g -> Some g | C _ | H _ -> None)
 
-let histogram ?help ?(lo = 1e-6) ?(growth = 1.189207115002721)
+let histogram ?help ?labels ?(lo = 1e-6) ?(growth = 1.189207115002721)
     ?(buckets = 160) reg name =
-  register reg ?help name
+  register reg ?help ?labels name
     (fun () ->
       let h = Histogram.make ~lo ~growth ~buckets in
       (h, H h))
@@ -204,19 +278,25 @@ let histogram ?help ?(lo = 1e-6) ?(growth = 1.189207115002721)
 let reset reg =
   locked reg (fun () ->
       Hashtbl.iter
-        (fun _ (_, inst) ->
-          match inst with
+        (fun _ s ->
+          match s.sr_inst with
           | C c -> Atomic.set c.Counter.c 0.0
           | G g -> Atomic.set g.Gauge.g 0.0
           | H h -> Histogram.reset h)
         reg.tbl)
 
+(* Sorted by (family, series) so every family's series are contiguous
+   — one # HELP/# TYPE header, then its samples in label order.  Keyed
+   sorting alone would interleave families ("foo" < "foobar" < "foo{"). *)
+let sorted_series reg =
+  locked reg (fun () -> Hashtbl.fold (fun key s acc -> (key, s) :: acc) reg.tbl [])
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare a.sr_base b.sr_base with
+         | 0 -> compare ka kb
+         | c -> c)
+
 let sorted reg =
-  locked reg (fun () ->
-      Hashtbl.fold
-        (fun name (help, inst) acc -> (name, help, inst) :: acc)
-        reg.tbl [])
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  List.map (fun (key, s) -> (key, s.sr_help, s.sr_inst)) (sorted_series reg)
 
 let histograms reg =
   List.filter_map
@@ -242,28 +322,41 @@ let fmt_num v =
 
 let to_prometheus reg =
   let buf = Buffer.create 1024 in
-  let meta name help kind =
-    (match help with
-    | Some h ->
-      Buffer.add_string buf
-        (Printf.sprintf "# HELP %s %s\n" name
-           (String.map (function '\n' -> ' ' | c -> c) h))
-    | None -> ());
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  (* One # HELP/# TYPE header per family, before its first series; the
+     series of one family are contiguous in [sorted_series] order. *)
+  let last_family = ref None in
+  let meta base help kind =
+    if !last_family <> Some base then begin
+      last_family := Some base;
+      (match help with
+      | Some h ->
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" base
+             (String.map (function '\n' -> ' ' | c -> c) h))
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
   in
   List.iter
-    (fun (name, help, inst) ->
-      match inst with
+    (fun (_, s) ->
+      let base = s.sr_base in
+      let labels = s.sr_labels in
+      let lbl = render_labels labels in
+      match s.sr_inst with
       | C c ->
-        meta name help "counter";
+        meta base s.sr_help "counter";
         Buffer.add_string buf
-          (Printf.sprintf "%s %s\n" name (fmt_num (Counter.value c)))
+          (Printf.sprintf "%s%s %s\n" base lbl (fmt_num (Counter.value c)))
       | G g ->
-        meta name help "gauge";
+        meta base s.sr_help "gauge";
         Buffer.add_string buf
-          (Printf.sprintf "%s %s\n" name (fmt_num (Gauge.value g)))
+          (Printf.sprintf "%s%s %s\n" base lbl (fmt_num (Gauge.value g)))
       | H h ->
-        meta name help "histogram";
+        meta base s.sr_help "histogram";
+        (* The le label merges after any series labels. *)
+        let bucket_lbl le =
+          render_labels (labels @ [ ("le", le) ])
+        in
         let bnds = Histogram.bounds h and counts = Histogram.bucket_counts h in
         let cum = ref 0 in
         Array.iteri
@@ -271,18 +364,18 @@ let to_prometheus reg =
             if counts.(i) > 0 then begin
               cum := !cum + counts.(i);
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt_num b)
+                (Printf.sprintf "%s_bucket%s %d\n" base (bucket_lbl (fmt_num b))
                    !cum)
             end)
           bnds;
         Buffer.add_string buf
-          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name
+          (Printf.sprintf "%s_bucket%s %d\n" base (bucket_lbl "+Inf")
              (Histogram.count h));
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum %s\n" name (fmt_num (Histogram.sum h)));
+          (Printf.sprintf "%s_sum%s %s\n" base lbl (fmt_num (Histogram.sum h)));
         Buffer.add_string buf
-          (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
-    (sorted reg);
+          (Printf.sprintf "%s_count%s %d\n" base lbl (Histogram.count h)))
+    (sorted_series reg);
   Buffer.contents buf
 
 (* --- JSON snapshot ------------------------------------------------------ *)

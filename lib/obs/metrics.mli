@@ -92,12 +92,17 @@ val reset : registry -> unit
     with respect to concurrent observers: quiesce worker domains before
     resetting if exact zeros matter. *)
 
-val counter : ?help:string -> registry -> string -> Counter.t
+val counter :
+  ?help:string -> ?labels:(string * string) list -> registry -> string ->
+  Counter.t
 
-val gauge : ?help:string -> registry -> string -> Gauge.t
+val gauge :
+  ?help:string -> ?labels:(string * string) list -> registry -> string ->
+  Gauge.t
 
 val histogram :
   ?help:string ->
+  ?labels:(string * string) list ->
   ?lo:float ->
   ?growth:float ->
   ?buckets:int ->
@@ -107,13 +112,28 @@ val histogram :
 (** Defaults: [lo = 1e-6] (1µs expressed in seconds), [growth =
     2^(1/4)] (≤ 19% relative error), [buckets = 160] (covers to ~10^6
     s).  Requires [lo > 0], [growth > 1], [buckets >= 1].  Re-registering
-    an existing histogram ignores the bucket parameters. *)
+    an existing histogram ignores the bucket parameters.
+
+    {2 Labels}
+
+    [?labels] registers a {e labeled series} of the family [name]: the
+    fleet rollup registers one histogram per matrix cell as
+    [poc_fleet_cell_epochs_s{cell="crash..."}].  Labels are sorted by
+    name at registration (so the same set in any order names the same
+    series), label names must match [[a-zA-Z_][a-zA-Z0-9_]*], and
+    ["le"] is reserved for histogram buckets.  All series of one family
+    must be the same instrument kind — the exposition emits one
+    [# HELP]/[# TYPE] header per family, then every series, label
+    values escaped per the Prometheus text format (backslash, double
+    quote, newline).  An unlabeled registry's exposition is
+    byte-identical to what it was before labels existed. *)
 
 val histograms : registry -> (string * Histogram.t) list
-(** All registered histograms, sorted by name. *)
+(** All registered histograms, sorted by (family, series); labeled
+    series render as [name{label="value"}]. *)
 
 val counters : registry -> (string * Counter.t) list
-(** All registered counters, sorted by name. *)
+(** All registered counters, sorted like {!histograms}. *)
 
 val to_prometheus : registry -> string
 (** Prometheus text exposition.  Histogram bucket lines are emitted

@@ -63,6 +63,9 @@ let finish_all_open () =
     List.iter (fun o -> emit_record k o ~end_us:now) !stack;
     stack := []
 
+let flush_sink () =
+  match !current_sink with None -> () | Some k -> k.flush ()
+
 let set_sink s =
   finish_all_open ();
   (match !current_sink with Some k -> k.flush () | None -> ());
@@ -180,9 +183,6 @@ module Chrome = struct
 
   let create () = { recs = [] }
 
-  let sink t =
-    { emit = (fun r -> t.recs <- r :: t.recs); flush = (fun () -> ()) }
-
   let escape buf s =
     String.iter
       (fun c ->
@@ -278,4 +278,13 @@ module Chrome = struct
   let write t path =
     Out_channel.with_open_bin path (fun oc ->
         Out_channel.output_string oc (to_json t))
+
+  let sink ?path t =
+    {
+      emit = (fun r -> t.recs <- r :: t.recs);
+      flush =
+        (match path with
+        | None -> fun () -> ()
+        | Some p -> fun () -> write t p);
+    }
 end

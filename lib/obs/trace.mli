@@ -51,6 +51,15 @@ val set_sink : sink option -> unit
 
 val enabled : unit -> bool
 
+val flush_sink : unit -> unit
+(** Flush the installed sink {e in place} — without uninstalling it or
+    closing open spans.  The supervisor calls this on fault and
+    injected-crash paths so a SIGKILL'd or crashed run still leaves its
+    trace on disk rather than relying on [at_exit] (which a SIGKILL
+    never reaches).  A no-op when no sink is installed or the sink's
+    [flush] does nothing (give {!Chrome.sink} a [?path] to make flushes
+    persistent). *)
+
 type span
 
 val null_span : span
@@ -104,7 +113,11 @@ module Chrome : sig
 
   val create : unit -> t
 
-  val sink : t -> sink
+  val sink : ?path:string -> t -> sink
+  (** With [path], the sink's [flush] rewrites the Chrome JSON at
+      [path] — so {!flush_sink} on a crash path persists the trace
+      collected so far, and the final [set_sink None] rewrites it one
+      last time with the complete run. *)
 
   val to_json : t -> string
 

@@ -1,0 +1,66 @@
+(** Disk-backed persistence for the {!Poc_obs.Flight} recorder.
+
+    [Flight] rings and encodes; this module owns the file.  A box is a
+    single [FLIGHT] file (living next to — for a segmented store,
+    inside — the journal it narrates) that starts as a header-only
+    image and grows by incremental appends: every {!flush} drains the
+    ring's pending frames, appends them, and syncs, so the file is
+    durable at every epoch boundary and fault point without rewriting.
+    When the file outgrows its byte budget (or the ring wrapped past an
+    undrained backlog) the box compacts: the current ring image is
+    rewritten atomically via [Disk.write_file_atomic], bounding the
+    file at roughly the budget however long the run.
+
+    The box deliberately takes its {e own} {!Disk.t} (defaulting to a
+    fresh one over the real filesystem): sharing the journal's disk
+    would let flight appends perturb the power-cut fault-tracking
+    metadata (which file was last appended, which rename is pending)
+    and move where injected damage lands — violating the invariant that
+    journal bytes are identical with the recorder on and off.
+
+    A SIGKILL can cut an append short; {!load} tolerates the torn tail
+    (everything before it survives) and {!scrub} truncates the file to
+    its valid prefix, after which it re-reads byte-identically. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?rewrite_bytes:int -> ?disk:Disk.t -> string -> t
+(** Start a fresh box at [path]: atomically write a header-only image,
+    then append on every flush.  [capacity] is the ring's record count
+    (default 1024); [rewrite_bytes] the compaction budget in bytes
+    (default 262144).  [disk] defaults to a fresh [Disk.real ()]. *)
+
+val ring : t -> Poc_obs.Flight.t
+(** The ring to emit into. *)
+
+val path : t -> string
+
+val flush : t -> unit
+(** Drain the ring and persist: append + sync the new frames, or
+    compact to a fresh image when over budget or wrapped.  A no-op when
+    nothing was emitted since the last flush. *)
+
+val file_bytes : t -> int
+(** Current on-disk size the box believes it has (post-flush). *)
+
+val close : t -> unit
+(** Final {!flush}.  The box holds no open handles between flushes, so
+    there is nothing else to release. *)
+
+val load :
+  ?disk:Disk.t -> string -> (Poc_obs.Flight.image_data, string) result
+(** Read and decode a box file, tolerating a torn tail.  [Error] on a
+    missing file or a damaged header. *)
+
+type scrub_result = {
+  fb_bytes_kept : int;
+  fb_bytes_dropped : int;  (** 0 when the file was already clean *)
+  fb_records : int;  (** record frames in the kept prefix *)
+}
+
+val scrub : ?disk:Disk.t -> string -> (scrub_result, string) result
+(** Truncate [path] to its longest valid image prefix (header plus
+    whole record frames).  Idempotent: a second scrub keeps every byte.
+    [Error] on a missing file or a header too damaged to identify the
+    file as a flight image (nothing is modified then). *)

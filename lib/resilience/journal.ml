@@ -992,7 +992,22 @@ let scrub_file disk ~dry_run path =
 
 let scrub_dir disk ~dry_run dir =
   match live_segment_ids disk dir with
-  | [] -> Error "empty directory: not a segmented POC journal"
+  | [] ->
+    (* A previous scrub can quarantine every segment, leaving a store
+       with a quarantine/ subdirectory and nothing live.  Scrub must
+       stay idempotent across that dead end: recognise the store as an
+       already-scrubbed journal with nothing durable left rather than
+       refusing it. *)
+    if Disk.exists disk (Filename.concat dir quarantine_name) then
+      Ok
+        {
+          store = dir;
+          store_segmented = true;
+          applied = not dry_run;
+          recovered = false;
+          segments = [];
+        }
+    else Error "empty directory: not a segmented POC journal"
   | live ->
     let entries =
       List.map

@@ -11,6 +11,7 @@ module Wan = Poc_topology.Wan
 module Trace = Poc_obs.Trace
 module Metrics = Poc_obs.Metrics
 module Clock = Poc_obs.Clock
+module Flight = Poc_obs.Flight
 
 (* Phase histograms share names with the plain market loop where the
    phases coincide (drift, auction, whole epoch); routing, settlement
@@ -327,6 +328,7 @@ let apply_update st ~n_bps u =
 type loop = {
   l_ladder : Ladder.config;
   l_journal : Journal.t option;
+  l_flight : Black_box.t option;
   l_snapshot_every : int;
   l_disk : Disk.t;
   l_honor_crashes : bool;
@@ -367,6 +369,19 @@ let step ?(updates = []) loop =
   if loop.l_closed then invalid_arg "Supervisor.step: loop is closed";
   if loop.l_next > market.Epochs.epochs then
     invalid_arg "Supervisor.step: horizon complete";
+  (* Flight recording.  [fon] guards every emission so the disabled
+     path is one branch and allocates nothing; [femit ~flush:true] is
+     used at phase opens and epoch boundaries so a SIGKILL at any
+     instant leaves a black box naming the in-flight epoch and phase. *)
+  let fb = loop.l_flight in
+  let fon = fb <> None in
+  let femit ?(flush = false) ~epoch phase kind =
+    match fb with
+    | None -> ()
+    | Some b ->
+      Flight.emit (Black_box.ring b) ~epoch ~phase kind;
+      if flush then Black_box.flush b
+  in
   let crash epoch phase fault =
     Metrics.Counter.inc m_crashes;
     if Trace.enabled () then
@@ -377,17 +392,34 @@ let step ?(updates = []) loop =
           (match fault with
           | Some f -> [ ("disk_fault", Trace.Str (Disk.fault_to_string f)) ]
           | None -> []));
+    if fon then
+      femit ~flush:true ~epoch
+        (Fault.phase_to_string phase)
+        (Flight.Incident
+           {
+             incident = "crash";
+             detail =
+               (match fault with
+               | Some f -> "disk_fault:" ^ Disk.fault_to_string f
+               | None -> "injected");
+           });
+    (* The trace sink flushes in place on the way down: a crash run
+       keeps its complete trace instead of whatever at_exit salvages. *)
+    Trace.flush_sink ();
     (match journal with Some t -> Journal.close t | None -> ());
     loop.l_closed <- true;
     (* The disk damage lands after the handles close and before the
        raise, so the next observer of the files is the resume/scrub
-       path — just as after a real power loss. *)
+       path — just as after a real power loss.  The flight box rides
+       its own Disk.t, so the damage never lands on it. *)
     (match fault with Some f -> Disk.power_cut loop.l_disk f | None -> ());
     raise (Injected_crash { epoch; phase })
   in
   let epoch = loop.l_next in
+  let femit ?flush phase kind = femit ?flush ~epoch phase kind in
   begin
     List.iter (fun u -> apply_update st ~n_bps u) updates;
+    if fon then femit ~flush:true "epoch" (Flight.Span_open { name = "epoch" });
     let ep_sp = Trace.span "epoch" in
     if Trace.enabled () then Trace.add_attr ep_sp "epoch" (Trace.Int epoch);
     let ep_t0 = Clock.now_us () in
@@ -398,6 +430,10 @@ let step ?(updates = []) loop =
         if Trace.enabled () then
           Trace.event "fault"
             ~attrs:[ ("event", Trace.Str (Fault.event_to_string ev)) ];
+        if fon then
+          femit "faults"
+            (Flight.Event
+               { name = "fault"; detail = Fault.event_to_string ev });
         match ev with
         | Fault.Link_down id -> Hashtbl.replace st.down id ()
         | Fault.Link_up id -> Hashtbl.remove st.down id
@@ -417,6 +453,7 @@ let step ?(updates = []) loop =
     (match crash_info with
     | Some (Fault.Pre_auction, fault) -> crash epoch Fault.Pre_auction fault
     | _ -> ());
+    if fon then femit ~flush:true "drift" (Flight.Span_open { name = "drift" });
     let drift_sp = Trace.span "drift" in
     let drift_t0 = Clock.now_us () in
     (* Market drift: the same draws, in the same order, as Epochs.run,
@@ -471,6 +508,12 @@ let step ?(updates = []) loop =
     Metrics.Histogram.observe h_drift
       ((Clock.now_us () -. drift_t0) *. 1e-6);
     Trace.finish drift_sp;
+    if fon then
+      femit "drift"
+        (Flight.Span_close
+           { name = "drift"; dur_us = Clock.now_us () -. drift_t0 });
+    if fon then
+      femit ~flush:true "auction" (Flight.Span_open { name = "auction" });
     let auction_sp = Trace.span "auction" in
     let auction_t0 = Clock.now_us () in
     (* Auction; on failure, the ladder; then carry-forward; then blackout. *)
@@ -504,20 +547,48 @@ let step ?(updates = []) loop =
             [
               ("step", Trace.Str (Ladder.step_to_string step));
               ("attempts", Trace.Int ladder_attempts);
-            ]
+            ];
+      if fon then
+        femit ~flush:true "auction"
+          (Flight.Incident
+             {
+               incident = "ladder";
+               detail =
+                 Printf.sprintf "%s attempts=%d"
+                   (Ladder.step_to_string step)
+                   ladder_attempts;
+             })
     | Carried ->
       Metrics.Counter.inc m_ladder;
       if Trace.enabled () then
         Trace.event "carry_forward"
-          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ]
+          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ];
+      if fon then
+        femit ~flush:true "auction"
+          (Flight.Incident
+             {
+               incident = "carry_forward";
+               detail = Printf.sprintf "attempts=%d" ladder_attempts;
+             })
     | Blackout ->
       Metrics.Counter.inc m_ladder;
       if Trace.enabled () then
         Trace.event "blackout"
-          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ]);
+          ~attrs:[ ("attempts", Trace.Int ladder_attempts) ];
+      if fon then
+        femit ~flush:true "auction"
+          (Flight.Incident
+             {
+               incident = "blackout";
+               detail = Printf.sprintf "attempts=%d" ladder_attempts;
+             }));
     Metrics.Histogram.observe h_auction
       ((Clock.now_us () -. auction_t0) *. 1e-6);
     Trace.finish auction_sp;
+    if fon then
+      femit "auction"
+        (Flight.Span_close
+           { name = "auction"; dur_us = Clock.now_us () -. auction_t0 });
     (match crash_info with
     | Some (Fault.Pre_settle, fault) ->
       (* The auction decided but nothing settled: what hits the disk
@@ -533,6 +604,8 @@ let step ?(updates = []) loop =
     | Degraded _ | Carried | Blackout -> ());
     (* Delivered fraction: route the full (unrelaxed) demand over the
        surviving selected links. *)
+    if fon then
+      femit ~flush:true "routing" (Flight.Span_open { name = "routing" });
     let routing_sp = Trace.span "routing" in
     let routing_t0 = Clock.now_us () in
     let routing_opt, delivered =
@@ -555,6 +628,10 @@ let step ?(updates = []) loop =
     if Trace.enabled () then
       Trace.add_attr routing_sp "delivered_fraction" (Trace.Float delivered);
     Trace.finish routing_sp;
+    if fon then
+      femit "routing"
+        (Flight.Span_close
+           { name = "routing"; dur_us = Clock.now_us () -. routing_t0 });
     let spend =
       match outcome_opt with Some o -> o.Vcg.total_payment | None -> 0.0
     in
@@ -564,6 +641,8 @@ let step ?(updates = []) loop =
       | Some _ | None -> 0.0
     in
     (* Cross-layer invariants, checked every epoch. *)
+    if fon then
+      femit ~flush:true "settlement" (Flight.Span_open { name = "settlement" });
     let settle_sp = Trace.span "settlement" in
     let settle_t0 = Clock.now_us () in
     let epoch_violations = ref [] in
@@ -573,6 +652,10 @@ let step ?(updates = []) loop =
         Trace.event "violation"
           ~attrs:
             [ ("invariant", Trace.Str invariant); ("detail", Trace.Str detail) ];
+      if fon then
+        femit ~flush:true "settlement"
+          (Flight.Incident
+             { incident = "violation"; detail = invariant ^ ": " ^ detail });
       epoch_violations := { epoch; invariant; detail } :: !epoch_violations
     in
     let conservation, posted =
@@ -605,6 +688,10 @@ let step ?(updates = []) loop =
     Metrics.Histogram.observe h_settlement
       ((Clock.now_us () -. settle_t0) *. 1e-6);
     Trace.finish settle_sp;
+    if fon then
+      femit "settlement"
+        (Flight.Span_close
+           { name = "settlement"; dur_us = Clock.now_us () -. settle_t0 });
     let er =
       {
         epoch;
@@ -626,6 +713,8 @@ let step ?(updates = []) loop =
     loop.l_reports <- er :: loop.l_reports;
     (match journal with
     | Some t ->
+      if fon then
+        femit ~flush:true "journal" (Flight.Span_open { name = "journal" });
       let journal_sp = Trace.span "journal" in
       let journal_t0 = Clock.now_us () in
       Journal.append_epoch t
@@ -655,7 +744,11 @@ let step ?(updates = []) loop =
           };
       Metrics.Histogram.observe h_journal
         ((Clock.now_us () -. journal_t0) *. 1e-6);
-      Trace.finish journal_sp
+      Trace.finish journal_sp;
+      if fon then
+        femit "journal"
+          (Flight.Span_close
+             { name = "journal"; dur_us = Clock.now_us () -. journal_t0 })
     | None -> ());
     if Trace.enabled () then begin
       Trace.add_attr ep_sp "status" (Trace.Str (status_to_string status));
@@ -663,6 +756,12 @@ let step ?(updates = []) loop =
     end;
     Metrics.Counter.inc m_epochs;
     Metrics.Histogram.observe h_epoch ((Clock.now_us () -. ep_t0) *. 1e-6);
+    (* Epoch-boundary flush: the completed epoch's records are durable
+       before any post-settle crash fires or the next epoch opens. *)
+    if fon then
+      femit ~flush:true "epoch"
+        (Flight.Span_close
+           { name = "epoch"; dur_us = Clock.now_us () -. ep_t0 });
     (match crash_info with
     | Some (Fault.Post_settle, fault) -> crash epoch Fault.Post_settle fault
     | _ -> ());
@@ -691,6 +790,7 @@ let finish loop =
     Journal.append_complete t ~incidents:(render_incidents report);
     Journal.close t
   | Some _ | None -> ());
+  (match loop.l_flight with Some b -> Black_box.close b | None -> ());
   loop.l_closed <- true;
   report
 
@@ -701,6 +801,7 @@ let suspend loop =
   (match loop.l_journal with
   | Some t when not loop.l_closed -> Journal.close t
   | Some _ | None -> ());
+  (match loop.l_flight with Some b -> Black_box.close b | None -> ());
   loop.l_closed <- true
 
 let drive loop =
@@ -721,8 +822,9 @@ let validate_or_raise ~ladder ~market =
   | Ok () -> ()
   | Error msg -> invalid_arg msg
 
-let open_run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
-    ?segment_bytes ?disk ?pool (plan : Planner.plan) ~market ~schedule =
+let open_run ?(ladder = Ladder.default_config) ?journal ?flight
+    ?(snapshot_every = 4) ?segment_bytes ?disk ?pool (plan : Planner.plan)
+    ~market ~schedule =
   validate_or_raise ~ladder ~market;
   if snapshot_every < 1 then
     invalid_arg "Supervisor: snapshot_every must be >= 1";
@@ -744,6 +846,7 @@ let open_run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
   {
     l_ladder = ladder;
     l_journal = j;
+    l_flight = flight;
     l_snapshot_every = snapshot_every;
     l_disk = disk;
     l_honor_crashes = true;
@@ -759,14 +862,14 @@ let open_run ?(ladder = Ladder.default_config) ?journal ?(snapshot_every = 4)
     l_closed = false;
   }
 
-let run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool
+let run ?ladder ?journal ?flight ?snapshot_every ?segment_bytes ?disk ?pool
     (plan : Planner.plan) ~market ~schedule =
   drive
-    (open_run ?ladder ?journal ?snapshot_every ?segment_bytes ?disk ?pool plan
-       ~market ~schedule)
+    (open_run ?ladder ?journal ?flight ?snapshot_every ?segment_bytes ?disk
+       ?pool plan ~market ~schedule)
 
 let open_resume ?(ladder = Ladder.default_config) ?(honor_crashes = false)
-    ~journal:path ?disk ?pool (plan : Planner.plan) ~market ~schedule =
+    ~journal:path ?flight ?disk ?pool (plan : Planner.plan) ~market ~schedule =
   validate_or_raise ~ladder ~market;
   let disk = match disk with Some d -> d | None -> Disk.real () in
   match Journal.replay ~disk path with
@@ -858,6 +961,7 @@ let open_resume ?(ladder = Ladder.default_config) ?(honor_crashes = false)
         {
           l_ladder = ladder;
           l_journal = Some t;
+          l_flight = flight;
           l_snapshot_every = h.Journal.snapshot_every;
           l_disk = disk;
           l_honor_crashes = honor_crashes;
@@ -873,8 +977,8 @@ let open_resume ?(ladder = Ladder.default_config) ?(honor_crashes = false)
           l_closed = false;
         }
 
-let resume ?ladder ?honor_crashes ~journal ?disk ?pool (plan : Planner.plan)
-    ~market ~schedule =
+let resume ?ladder ?honor_crashes ~journal ?flight ?disk ?pool
+    (plan : Planner.plan) ~market ~schedule =
   Result.map drive
-    (open_resume ?ladder ?honor_crashes ~journal ?disk ?pool plan ~market
-       ~schedule)
+    (open_resume ?ladder ?honor_crashes ~journal ?flight ?disk ?pool plan
+       ~market ~schedule)

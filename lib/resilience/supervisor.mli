@@ -92,6 +92,7 @@ exception Injected_crash of { epoch : int; phase : Fault.phase }
 val run :
   ?ladder:Ladder.config ->
   ?journal:string ->
+  ?flight:Black_box.t ->
   ?snapshot_every:int ->
   ?segment_bytes:int ->
   ?disk:Disk.t ->
@@ -114,12 +115,23 @@ val run :
     the pool's lifecycle (create it with [Poc_util.Pool.with_pool]
     around the whole run, so an {!Injected_crash} unwinds through the
     pool teardown).  Reports and journal bytes are identical at every
-    pool size. *)
+    pool size.
+
+    [flight] attaches a black-box flight recorder ({!Black_box}): the
+    loop emits phase span opens/closes, fault events, ladder/violation/
+    crash incidents into its ring and flushes it at every phase open,
+    at each epoch boundary, and on every crash path — so a SIGKILL at
+    any instant leaves a readable box naming the in-flight epoch and
+    phase.  The recorder never touches the journal or its disk:
+    journal bytes are identical with and without it, and with it
+    absent ([None]) every emission site is a single untaken branch
+    (zero allocation). *)
 
 val resume :
   ?ladder:Ladder.config ->
   ?honor_crashes:bool ->
   journal:string ->
+  ?flight:Black_box.t ->
   ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->
@@ -180,6 +192,7 @@ val validate_update : n_bps:int -> update -> (unit, string) result
 val open_run :
   ?ladder:Ladder.config ->
   ?journal:string ->
+  ?flight:Black_box.t ->
   ?snapshot_every:int ->
   ?segment_bytes:int ->
   ?disk:Disk.t ->
@@ -196,6 +209,7 @@ val open_resume :
   ?ladder:Ladder.config ->
   ?honor_crashes:bool ->
   journal:string ->
+  ?flight:Black_box.t ->
   ?disk:Disk.t ->
   ?pool:Poc_util.Pool.t ->
   Poc_core.Planner.plan ->

@@ -4,6 +4,7 @@
    tracing never perturbs journaled output. *)
 
 module Trace = Poc_obs.Trace
+module Flight = Poc_obs.Flight
 module Metrics = Poc_obs.Metrics
 module Log = Poc_obs.Log
 module Clock = Poc_obs.Clock
@@ -671,6 +672,223 @@ let test_gauge_add_no_lost_updates () =
       done);
   Alcotest.(check (float 0.0)) "adds cancel exactly" 0.0 (Metrics.Gauge.value g)
 
+(* --- Flight recorder ring ----------------------------------------------- *)
+
+(* A deterministic kind per operation code, covering every constructor,
+   so the qcheck property can recompute what the ring should hold. *)
+let flight_kind_of_int i =
+  match i mod 5 with
+  | 0 -> Flight.Span_open { name = Printf.sprintf "phase%d" (i mod 7) }
+  | 1 ->
+    Flight.Span_close
+      { name = Printf.sprintf "phase%d" (i mod 7); dur_us = 1.5 *. float_of_int i }
+  | 2 -> Flight.Event { name = "ev"; detail = Printf.sprintf "detail %d" i }
+  | 3 -> Flight.Incident { incident = "fault"; detail = Printf.sprintf "f%d" i }
+  | _ -> Flight.Metric { name = "m"; delta = float_of_int i /. 3.0 }
+
+let flight_shape (r : Flight.record) = (r.Flight.seq, r.Flight.epoch, r.Flight.kind)
+
+let qcheck_flight_ring_replay =
+  QCheck.Test.make ~name:"flight ring replays the newest records in order"
+    ~count:300
+    QCheck.(pair (int_range 1 12) (small_list small_int))
+    (fun (capacity, ops) ->
+      let t = Flight.create ~capacity () in
+      List.iteri
+        (fun i op ->
+          Flight.emit t ~ts_us:(float_of_int i) ~epoch:(op mod 4) ~phase:"p"
+            (flight_kind_of_int op))
+        ops;
+      let n = List.length ops in
+      let kept = min n capacity in
+      if Flight.seq t <> n then
+        QCheck.Test.fail_reportf "seq %d after %d emissions" (Flight.seq t) n;
+      if Flight.stored t <> kept || Flight.dropped t <> n - kept then
+        QCheck.Test.fail_reportf "stored %d / dropped %d after %d emissions"
+          (Flight.stored t) (Flight.dropped t) n;
+      let expect =
+        List.filteri (fun i _ -> i >= n - kept) ops
+        |> List.mapi (fun j op -> (n - kept + j, op mod 4, flight_kind_of_int op))
+      in
+      if List.map flight_shape (Flight.records t) <> expect then
+        QCheck.Test.fail_report "ring contents diverge from the newest suffix";
+      (* and the full on-disk image round-trips exactly those records *)
+      match Flight.decode_image (Flight.image t) with
+      | Error e -> QCheck.Test.fail_reportf "image does not decode: %s" e
+      | Ok img ->
+        img.Flight.img_capacity = capacity
+        && (not img.Flight.img_torn)
+        && List.map flight_shape img.Flight.img_records = expect)
+
+let test_flight_drain_appends_compose () =
+  let t = Flight.create ~capacity:8 () in
+  let file = Buffer.create 256 in
+  Buffer.add_string file (Flight.image t);
+  let emit i =
+    Flight.emit t ~ts_us:(float_of_int i) ~epoch:i ~phase:"epoch"
+      (Flight.Event { name = "e"; detail = string_of_int i })
+  in
+  let flush () =
+    match Flight.drain t with
+    | `Empty -> ()
+    | `Append b -> Buffer.add_string file b
+    | `Wrapped ->
+      Buffer.clear file;
+      Buffer.add_string file (Flight.image t)
+  in
+  emit 0;
+  emit 1;
+  flush ();
+  emit 2;
+  flush ();
+  flush ();
+  (* image + incremental appends is itself a valid image *)
+  (match Flight.decode_image (Buffer.contents file) with
+  | Ok img ->
+    Alcotest.(check int) "three records on disk" 3
+      (List.length img.Flight.img_records);
+    Alcotest.(check bool) "composed image is clean" false img.Flight.img_torn
+  | Error e -> Alcotest.failf "composed image must decode: %s" e);
+  (* wrapping past an undrained backlog demands a rewrite *)
+  for i = 3 to 20 do
+    emit i
+  done;
+  (match Flight.drain t with
+  | `Wrapped -> ()
+  | `Empty | `Append _ -> Alcotest.fail "a wrapped backlog must demand a rewrite");
+  Alcotest.(check int) "pending resets after a wrap" 0 (Flight.pending_bytes t);
+  (* a torn tail loses exactly the damaged frame, never the history *)
+  let img = Flight.image t in
+  let cut = String.sub img 0 (String.length img - 3) in
+  match Flight.decode_image cut with
+  | Error e -> Alcotest.failf "a torn image must still decode: %s" e
+  | Ok d ->
+    Alcotest.(check bool) "tear detected" true d.Flight.img_torn;
+    Alcotest.(check int) "only the last frame lost" 7
+      (List.length d.Flight.img_records);
+    let keep = Flight.valid_prefix cut in
+    Alcotest.(check bool) "valid prefix strictly inside the cut" true
+      (keep > 0 && keep < String.length cut);
+    (match Flight.decode_image (String.sub cut 0 keep) with
+    | Ok d' -> Alcotest.(check bool) "prefix decodes clean" false d'.Flight.img_torn
+    | Error e -> Alcotest.failf "the valid prefix must decode: %s" e)
+
+(* --- Prometheus exposition conformance ----------------------------------- *)
+
+let starts_with prefix l = String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let test_prometheus_conformance () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter ~help:"total widgets" reg "poc_conf_total" in
+  Metrics.Counter.add c 2.0;
+  let nasty = "a\\b\"c\nd" in
+  let cl =
+    Metrics.counter ~help:"total widgets" ~labels:[ ("site", nasty) ] reg
+      "poc_conf_total"
+  in
+  Metrics.Counter.inc cl;
+  let g = Metrics.gauge ~help:"level" reg "poc_conf_level" in
+  Metrics.Gauge.set g (-3.5);
+  let h =
+    Metrics.histogram ~help:"lat" ~lo:1e-3 ~growth:10.0 ~buckets:3 reg
+      "poc_conf_seconds"
+  in
+  List.iter (Metrics.Histogram.observe h) [ 0.002; 0.05; 123.0 ];
+  let hl =
+    Metrics.histogram ~help:"lat" ~labels:[ ("cell", "crash|torn") ] ~lo:1e-3
+      ~growth:10.0 ~buckets:3 reg "poc_conf_seconds"
+  in
+  Metrics.Histogram.observe hl 0.004;
+  let text = Metrics.to_prometheus reg in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let idx pred =
+    let rec go i = function
+      | [] -> -1
+      | l :: _ when pred l -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 lines
+  in
+  let count pred = List.length (List.filter pred lines) in
+  (* one # HELP and one # TYPE per family, HELP first, then TYPE, then
+     every sample of the family contiguously — never interleaved *)
+  List.iter
+    (fun fam ->
+      let help = "# HELP " ^ fam ^ " " and ty = "# TYPE " ^ fam ^ " " in
+      Alcotest.(check int) (fam ^ ": one HELP") 1 (count (starts_with help));
+      Alcotest.(check int) (fam ^ ": one TYPE") 1 (count (starts_with ty));
+      let is_sample l =
+        (not (starts_with "#" l))
+        && (starts_with (fam ^ " ") l || starts_with (fam ^ "{") l
+           || starts_with (fam ^ "_bucket") l
+           || starts_with (fam ^ "_sum") l
+           || starts_with (fam ^ "_count") l)
+      in
+      let hi = idx (starts_with help) and ti = idx (starts_with ty) in
+      Alcotest.(check bool) (fam ^ ": HELP precedes TYPE") true (hi < ti);
+      let sample_idx =
+        List.mapi (fun i l -> (i, l)) lines
+        |> List.filter (fun (_, l) -> is_sample l)
+        |> List.map fst
+      in
+      Alcotest.(check bool) (fam ^ ": has samples") true (sample_idx <> []);
+      List.iter
+        (fun i -> Alcotest.(check bool) (fam ^ ": TYPE precedes samples") true (ti < i))
+        sample_idx;
+      let lo = List.hd sample_idx and hi_s = List.nth sample_idx (List.length sample_idx - 1) in
+      Alcotest.(check int)
+        (fam ^ ": samples are contiguous")
+        (List.length sample_idx)
+        (hi_s - lo + 1))
+    [ "poc_conf_level"; "poc_conf_seconds"; "poc_conf_total" ];
+  (* families are emitted in sorted order *)
+  let ti f = idx (starts_with ("# TYPE " ^ f ^ " ")) in
+  Alcotest.(check bool) "families sorted" true
+    (ti "poc_conf_level" < ti "poc_conf_seconds"
+    && ti "poc_conf_seconds" < ti "poc_conf_total");
+  (* label values escape backslash, quote, and newline *)
+  Alcotest.(check bool) "label escaping" true
+    (List.mem "poc_conf_total{site=\"a\\\\b\\\"c\\nd\"} 1" lines);
+  (* unlabeled buckets: cumulative, non-decreasing, +Inf-terminated *)
+  let bucket_counts prefix =
+    List.filter (starts_with prefix) lines
+    |> List.map (fun l ->
+           match String.rindex_opt l ' ' with
+           | Some i ->
+             ( l,
+               float_of_string
+                 (String.sub l (i + 1) (String.length l - i - 1)) )
+           | None -> Alcotest.failf "malformed sample %S" l)
+  in
+  let check_buckets prefix total =
+    let buckets = bucket_counts prefix in
+    Alcotest.(check bool) (prefix ^ ": at least +Inf") true (buckets <> []);
+    let rec cumulative prev = function
+      | [] -> ()
+      | (l, v) :: tl ->
+        Alcotest.(check bool) ("non-decreasing at " ^ l) true (v >= prev);
+        cumulative v tl
+    in
+    cumulative 0.0 buckets;
+    let last, last_v = List.nth buckets (List.length buckets - 1) in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (prefix ^ ": terminated by +Inf") true
+      (contains last "le=\"+Inf\"");
+    Alcotest.(check (float 0.0)) (prefix ^ ": +Inf equals count") total last_v
+  in
+  check_buckets "poc_conf_seconds_bucket{le=" 3.0;
+  check_buckets "poc_conf_seconds_bucket{cell=\"crash|torn\"" 1.0;
+  (* the labeled family still emits exactly one sum and count per series *)
+  Alcotest.(check int) "two sum lines (one per series)" 2
+    (count (starts_with "poc_conf_seconds_sum"));
+  Alcotest.(check int) "two count lines (one per series)" 2
+    (count (starts_with "poc_conf_seconds_count"))
+
 let suite =
   [
     Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
@@ -706,4 +924,9 @@ let suite =
       test_supervised_run_trace_coverage;
     Alcotest.test_case "journal byte-identical with tracing on" `Slow
       test_journal_byte_identical_with_tracing;
+    QCheck_alcotest.to_alcotest qcheck_flight_ring_replay;
+    Alcotest.test_case "flight drains compose into valid images" `Quick
+      test_flight_drain_appends_compose;
+    Alcotest.test_case "prometheus exposition conformance" `Quick
+      test_prometheus_conformance;
   ]

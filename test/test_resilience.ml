@@ -1125,6 +1125,98 @@ let test_disk_retry_exhausts_then_raises () =
   Alcotest.(check int) "whole budget spent first" retry_policy.Disk.retry_attempts
     (List.length !log)
 
+(* --- Black-box flight recorder persistence --- *)
+
+module Black_box = Poc_resilience.Black_box
+module Flight = Poc_obs.Flight
+
+let test_journal_byte_identical_with_flight () =
+  (* The tentpole invariant: attaching the flight recorder must not
+     move a single journal byte.  Same plan, same schedule, segmented
+     store; compare every store file except the FLIGHT box itself. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let journal_files dir =
+    store_fingerprint dir |> List.filter (fun (name, _) -> name <> "FLIGHT")
+  in
+  with_tmp_store (fun off_dir ->
+      let r_off =
+        Supervisor.run plan ~journal:off_dir ~segment_bytes:segment_budget
+          ~market ~schedule
+      in
+      with_tmp_store (fun on_dir ->
+          let box = Black_box.create (Filename.concat on_dir "FLIGHT") in
+          let r_on =
+            Supervisor.run plan ~journal:on_dir ~segment_bytes:segment_budget
+              ~market ~schedule ~flight:box
+          in
+          Black_box.close box;
+          Alcotest.(check string) "reports identical" (render r_off) (render r_on);
+          Alcotest.(check bool) "journal bytes identical with the recorder on"
+            true
+            (journal_files off_dir = journal_files on_dir);
+          match Black_box.load (Filename.concat on_dir "FLIGHT") with
+          | Error e -> Alcotest.failf "flight box unreadable: %s" e
+          | Ok img ->
+            Alcotest.(check bool) "box recorded the run" true
+              (img.Flight.img_records <> []);
+            Alcotest.(check bool) "box image is clean" false img.Flight.img_torn))
+
+let test_flight_box_disk_fault_scrub () =
+  (* A power cut tears the box's most recent append mid-frame; load
+     tolerates the tear, scrub truncates to the valid prefix, and after
+     the scrub the image re-reads byte-identically (a second scrub
+     keeps every byte). *)
+  with_tmp_store (fun dir ->
+      let disk = Disk.real () in
+      let path = Filename.concat dir "FLIGHT" in
+      let box = Black_box.create ~capacity:64 ~disk path in
+      let ring = Black_box.ring box in
+      for e = 0 to 5 do
+        for i = 0 to 3 do
+          Flight.emit ring
+            ~ts_us:(float_of_int ((4 * e) + i))
+            ~epoch:e ~phase:"epoch"
+            (Flight.Event { name = "tick"; detail = Printf.sprintf "%d.%d" e i })
+        done;
+        Black_box.flush box
+      done;
+      let intact = read_file path in
+      Disk.power_cut disk (Disk.Short_write { drop = 5 });
+      let torn = read_file path in
+      Alcotest.(check bool) "the fault removed bytes" true
+        (String.length torn < String.length intact);
+      (match Black_box.load ~disk path with
+      | Error e -> Alcotest.failf "a torn box must load: %s" e
+      | Ok img ->
+        Alcotest.(check bool) "tear detected" true img.Flight.img_torn;
+        Alcotest.(check int) "only the torn frame is lost" 23
+          (List.length img.Flight.img_records));
+      (match Black_box.scrub ~disk path with
+      | Error e -> Alcotest.failf "scrub: %s" e
+      | Ok r ->
+        Alcotest.(check bool) "scrub dropped the torn frame" true
+          (r.Black_box.fb_bytes_dropped > 0);
+        Alcotest.(check int) "kept prefix is exactly the file"
+          r.Black_box.fb_bytes_kept
+          (String.length (read_file path));
+        Alcotest.(check int) "records in the kept prefix" 23
+          r.Black_box.fb_records);
+      let scrubbed = read_file path in
+      (match Black_box.load ~disk path with
+      | Error e -> Alcotest.failf "a scrubbed box must load: %s" e
+      | Ok img ->
+        Alcotest.(check bool) "clean after scrub" false img.Flight.img_torn;
+        Alcotest.(check int) "history before the tear survives" 23
+          (List.length img.Flight.img_records));
+      match Black_box.scrub ~disk path with
+      | Error e -> Alcotest.failf "second scrub: %s" e
+      | Ok r ->
+        Alcotest.(check int) "idempotent: nothing more to drop" 0
+          r.Black_box.fb_bytes_dropped;
+        Alcotest.(check string) "byte-identical after re-scrub" scrubbed
+          (read_file path))
+
 let test_disk_retry_schedule_resets_on_success () =
   (* Fail, succeed, fail: the second failure restarts the backoff at
      the base delay (same jitter draw) instead of continuing to climb. *)
@@ -1218,4 +1310,8 @@ let suite =
       test_disk_retry_exhausts_then_raises;
     Alcotest.test_case "disk retry backoff resets on success" `Quick
       test_disk_retry_schedule_resets_on_success;
+    Alcotest.test_case "journal byte-identical with flight recorder" `Slow
+      test_journal_byte_identical_with_flight;
+    Alcotest.test_case "flight box survives disk fault + scrub" `Quick
+      test_flight_box_disk_fault_scrub;
   ]
