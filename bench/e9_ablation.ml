@@ -105,7 +105,7 @@ let run ~scale ~seed =
       let true_bid = exact_problem.Vcg.bids.(exact_bp) in
       let bids = Array.copy exact_problem.Vcg.bids in
       bids.(exact_bp) <- Bid.scale true_bid (1.0 +. factor);
-      match Vcg.run ~select:Vcg.select_exact { exact_problem with Vcg.bids } with
+      match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) { exact_problem with Vcg.bids } with
       | None -> nan
       | Some o ->
         let r = o.Vcg.bp_results.(exact_bp) in

@@ -27,6 +27,8 @@ let experiments =
     ("e16", "daemon serving capacity (extension)", E16_daemon.run);
     ("e17", "chaos-fleet throughput (extension)", E17_fleet.run);
     ("e18", "flight recorder overhead (extension)", E18_flight.run);
+    ("e19", "continent-scale feasibility: cache + repair (extension)",
+      E19_scale.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

@@ -382,10 +382,21 @@ let print_supervised (report : Supervisor.report) =
         v.Supervisor.epoch v.Supervisor.invariant v.Supervisor.detail)
     report.Supervisor.violations
 
+let no_feas_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-feas-cache" ]
+        ~doc:"Disable the shared feasibility/cost cache (see \
+              docs/SCALING.md).  Outcomes, payments and journal bytes \
+              are identical either way; only the \
+              $(b,poc_feascache_*_total) metrics and wall-clock time \
+              change.")
+
 let market_cmd =
   let run verbose seed sites bps epochs jobs journal resume segment_bytes
-      flight trace metrics =
+      flight trace metrics no_feas_cache =
     setup_logs verbose;
+    if no_feas_cache then Poc_auction.Feascache.set_enabled false;
     let (_ : unit -> unit) = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
@@ -424,7 +435,7 @@ let market_cmd =
     Term.(
       const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ epochs_arg
       $ jobs_arg $ journal_arg $ resume_arg $ segment_bytes_arg $ flight_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ no_feas_cache_arg)
   in
   Cmd.v (Cmd.info "market" ~doc:"Multi-epoch bandwidth market") term
 
@@ -1106,11 +1117,17 @@ let profile_cmd =
 (* --- topology ------------------------------------------------------------------ *)
 
 let topology_cmd =
-  let run verbose seed sites bps =
+  let run verbose seed sites bps scale =
     setup_logs verbose;
-    let cfg = config ~sites ~bps ~seed ~rule:Acc.Handle_load in
-    let wan = Wan.generate ~params:cfg.Planner.params ~seed () in
-    Printf.printf "%s\n\n" (Wan.summary wan);
+    let params =
+      if scale then Wan.scale_params
+      else (config ~sites ~bps ~seed ~rule:Acc.Handle_load).Planner.params
+    in
+    let t0 = Unix.gettimeofday () in
+    let wan = Wan.generate ~params ~seed () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%s\n" (Wan.summary wan);
+    Printf.printf "generated in %.1fs\n\n" dt;
     Array.iter
       (fun (bp : Wan.bp) ->
         Printf.printf "%-8s %3d sites, %4d links, share %5.1f%%\n" bp.Wan.bp_name
@@ -1119,7 +1136,17 @@ let topology_cmd =
           (100.0 *. bp.Wan.share))
       wan.Wan.bps
   in
-  let term = Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg) in
+  let scale_arg =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Generate the continent-scale preset (~10^5 offered links, \
+             ~100 BPs); $(b,--sites)/$(b,--bps) are ignored.")
+  in
+  let term =
+    Term.(const run $ verbose_arg $ seed_arg $ sites_arg $ bps_arg $ scale_arg)
+  in
   Cmd.v (Cmd.info "topology" ~doc:"Describe a generated substrate") term
 
 (* --- export ----------------------------------------------------------------------- *)

@@ -133,6 +133,42 @@ let selection_cost_with_table problem table links =
 let selection_cost problem links =
   selection_cost_with_table problem (ownership problem) links
 
+(* Canonical serialization of everything the cached functions can
+   depend on: graph shape and edge attributes (feasibility), bids and
+   virtual prices (cost), demands and rule (both).  Floats render
+   exactly via %h, so two problems share a digest only when the cached
+   functions agree on every enabled set. *)
+let problem_digest problem =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "poc-vcg-problem-v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "g:%d/%d\n"
+       (Graph.node_count problem.graph)
+       (Graph.edge_count problem.graph));
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "e%d:%d-%d:%h:%h\n" e.id e.u e.v e.weight e.capacity))
+    (Graph.edges problem.graph);
+  List.iter
+    (fun (a, z, d) ->
+      Buffer.add_string buf (Printf.sprintf "d%d-%d:%h\n" a z d))
+    problem.demands;
+  Buffer.add_string buf
+    (match problem.rule with
+    | Acceptability.Handle_load -> "rule:load\n"
+    | Acceptability.Single_link_failure -> "rule:single\n"
+    | Acceptability.Per_pair_failure -> "rule:pair\n");
+  Array.iteri
+    (fun bp bid ->
+      Buffer.add_string buf
+        (Printf.sprintf "b%d:%s\n" bp (Bid.fingerprint bid)))
+    problem.bids;
+  List.iter
+    (fun (id, p) -> Buffer.add_string buf (Printf.sprintf "v%d:%h\n" id p))
+    problem.virtual_prices;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* --- Greedy selection -------------------------------------------------
 
    The open algorithm, in stages:
@@ -159,7 +195,7 @@ let satisfied ?pool problem ~enabled =
     problem.rule
 
 let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
-    ?pool problem =
+    ?cache ?pool problem =
   let table = ownership problem in
   let m = Array.length table in
   let offered =
@@ -192,9 +228,12 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
   in
   (* Memo tables for the two pure functions of the enabled set that the
      pruning stages re-evaluate constantly: the acceptability probe and
-     the selection cost.  Keyed on the canonical bit-string of [in_set];
-     strictly local to this call, so hit/miss totals depend only on the
-     probe sequence — which is the same at every [--jobs] value. *)
+     the selection cost.  Keyed on the canonical bit-string of [in_set].
+     The call-local tables are checked first (no lock, no shard walk);
+     behind them sits the optional shared {!Feascache.t}, which carries
+     verdicts across calls — in particular across the Clarke pivots of
+     one settle loop.  Both layers memoize the same pure functions, so
+     results are identical with either, both, or neither. *)
   let key_of_set () =
     String.init m (fun i -> if in_set.(i) then '1' else '0')
   in
@@ -206,13 +245,20 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
     | Some ok ->
       Metrics.Counter.inc m_feas_hits;
       ok
-    | None ->
-      Metrics.Counter.inc m_feas_misses;
-      (* Nested submissions from a pool worker run inline, so passing
-         the pool down is safe wherever this evaluation happens. *)
-      let ok = satisfied ?pool problem ~enabled in
-      Hashtbl.add feas_cache key ok;
-      ok
+    | None -> (
+      match Option.bind cache (fun c -> Feascache.find_feas c key) with
+      | Some ok ->
+        Metrics.Counter.inc m_feas_hits;
+        Hashtbl.add feas_cache key ok;
+        ok
+      | None ->
+        Metrics.Counter.inc m_feas_misses;
+        (* Nested submissions from a pool worker run inline, so passing
+           the pool down is safe wherever this evaluation happens. *)
+        let ok = satisfied ?pool problem ~enabled in
+        Hashtbl.add feas_cache key ok;
+        Option.iter (fun c -> Feascache.add_feas c key ok) cache;
+        ok)
   in
   let check_prefix k =
     set_prefix k;
@@ -469,10 +515,16 @@ let optimize_from ~score ?(banned = fun _ -> false) ?init ?(light = false)
       let key = key_of_set () in
       match Hashtbl.find_opt cost_cache key with
       | Some c -> c
-      | None ->
-        let c = selection_cost_with_table problem table (current_links ()) in
-        Hashtbl.add cost_cache key c;
-        c
+      | None -> (
+        match Option.bind cache (fun c -> Feascache.find_cost c key) with
+        | Some c ->
+          Hashtbl.add cost_cache key c;
+          c
+        | None ->
+          let c = selection_cost_with_table problem table (current_links ()) in
+          Hashtbl.add cost_cache key c;
+          Option.iter (fun sc -> Feascache.add_cost sc key c) cache;
+          c)
     in
     let snapshot () = Array.copy in_set in
     let restore saved = Array.blit saved 0 in_set 0 m in
@@ -524,21 +576,22 @@ let unit_price_score problem price id =
 
 let absolute_price_score _problem price id = price id
 
-let select_greedy_single ~ranking ?banned ?pool problem =
+let select_greedy_single ~ranking ?banned ?cache ?pool problem =
   let score =
     match ranking with
     | `Unit_price -> unit_price_score
     | `Absolute_price -> absolute_price_score
   in
-  optimize_from ~score ?banned ?pool problem
+  optimize_from ~score ?banned ?cache ?pool problem
 
-let select_greedy ?banned ?pool problem =
+let select_greedy ?banned ?cache ?pool problem =
   (* The two arms are fully independent optimizations over immutable
      inputs, so they run concurrently when a pool is available; the
      fold keeps the serial tie-break (first arm wins ties). *)
   let candidates =
     pool_map_list pool
-      (fun ranking -> select_greedy_single ~ranking ?banned ?pool problem)
+      (fun ranking ->
+        select_greedy_single ~ranking ?banned ?cache ?pool problem)
       [ `Unit_price; `Absolute_price ]
     |> List.filter_map Fun.id
   in
@@ -550,15 +603,23 @@ let select_greedy ?banned ?pool problem =
          (fun best s -> if s.cost < best.cost then s else best)
          (List.hd candidates) (List.tl candidates))
 
-let select_warm ?banned ~base ?pool problem =
+let select_warm ?banned ~base ?cache ?pool problem =
   (* Light pruning: the base is already pruned, so only the repair
      additions and the links freed by the ban need attention. *)
   optimize_from ~score:unit_price_score ?banned ~init:base.selected ~light:true
-    ?pool problem
+    ?cache ?pool problem
 
 (* --- Exact selection (small instances) -------------------------------- *)
 
-let select_exact ?(banned = fun _ -> false) problem =
+let select_exact_limit = 22
+
+(* Masks per work item when the enumeration is sharded across a pool.
+   Fixed (not a function of the pool size) so the per-chunk evaluation
+   pattern — and with it every cached verdict — is the same at every
+   [--jobs] value. *)
+let select_exact_chunk = 1 lsl 16
+
+let select_exact ?(banned = fun _ -> false) ?cache ?pool problem =
   let table = ownership problem in
   let m = Array.length table in
   let offered =
@@ -568,39 +629,103 @@ let select_exact ?(banned = fun _ -> false) problem =
     |> Array.of_list
   in
   let n = Array.length offered in
-  if n > 20 then invalid_arg "Vcg.select_exact: more than 20 offered links";
-  let in_set = Array.make m false in
-  let enabled id = in_set.(id) in
-  let best = ref None in
-  for mask = 0 to (1 lsl n) - 1 do
-    Array.fill in_set 0 m false;
-    let links = ref [] in
-    for i = 0 to n - 1 do
-      if mask land (1 lsl i) <> 0 then begin
-        in_set.(offered.(i)) <- true;
-        links := offered.(i) :: !links
+  if n > select_exact_limit then
+    invalid_arg
+      (Printf.sprintf "Vcg.select_exact: more than %d offered links"
+         select_exact_limit);
+  (* Evaluate masks [lo, hi), keeping the cheapest acceptable subset;
+     ties go to the smallest mask.  That total order makes the scan an
+     associative minimum, so sharding the range across domains and
+     folding the per-shard winners in range order is bit-identical to
+     the serial scan. *)
+  let eval_range (lo, hi) =
+    let in_set = Array.make m false in
+    let enabled id = in_set.(id) in
+    let best = ref None in
+    for mask = lo to hi - 1 do
+      Array.fill in_set 0 m false;
+      let links = ref [] in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          in_set.(offered.(i)) <- true;
+          links := offered.(i) :: !links
+        end
+      done;
+      let links = List.sort compare !links in
+      let cost = selection_cost_with_table problem table links in
+      let better =
+        match !best with None -> true | Some (c, _, _) -> cost < c
+      in
+      if better then begin
+        let ok =
+          match cache with
+          | None -> satisfied problem ~enabled
+          | Some c -> (
+            let key =
+              String.init m (fun i -> if in_set.(i) then '1' else '0')
+            in
+            match Feascache.find_feas c key with
+            | Some ok -> ok
+            | None ->
+              let ok = satisfied problem ~enabled in
+              Feascache.add_feas c key ok;
+              ok)
+        in
+        if ok then best := Some (cost, mask, links)
       end
     done;
-    let links = List.sort compare !links in
-    let cost = selection_cost_with_table problem table links in
-    let better =
-      match !best with None -> true | Some (c, _) -> cost < c -. 1e-9
-    in
-    if better && satisfied problem ~enabled then best := Some (cost, links)
-  done;
-  match !best with
+    !best
+  in
+  let total = 1 lsl n in
+  let results =
+    match pool with
+    | Some p when total > select_exact_chunk ->
+      let nchunks = (total + select_exact_chunk - 1) / select_exact_chunk in
+      let ranges =
+        List.init nchunks (fun i ->
+            ( i * select_exact_chunk,
+              min total ((i + 1) * select_exact_chunk) ))
+      in
+      Pool.map_list p eval_range ranges
+    | Some _ | None -> [ eval_range (0, total) ]
+  in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, r -> r
+        | acc, None -> acc
+        | Some (c, mk, _), Some (c', mk', _) ->
+          if c' < c || (c' = c && mk' < mk) then r else acc)
+      None results
+  in
+  match best with
   | None -> None
-  | Some (cost, links) -> Some { selected = links; cost }
+  | Some (cost, _, links) -> Some { selected = links; cost }
 
 (* --- Full mechanism ---------------------------------------------------- *)
 
 let run ?select ?pool problem =
   Metrics.Counter.inc m_auctions;
   let sp = Trace.span "vcg.run" in
+  (* One shared cache per settle loop: the cold selection and every
+     Clarke pivot probe the same problem (only the banned set varies),
+     so verdicts and costs keyed on the enabled bit-string carry over.
+     Purely an evaluation-count optimization — outcomes are identical
+     with the cache disabled. *)
+  let cache =
+    if Feascache.enabled () then
+      Some (Feascache.create ~digest:(problem_digest problem))
+    else None
+  in
+  (* Fold worker-shard discoveries into the merged table whenever the
+     workers are known quiescent, so the next round reads them
+     lock-free. *)
+  let join_cache () = Option.iter Feascache.join cache in
   let cold =
     match select with
-    | Some s -> fun () -> s ?banned:None problem
-    | None -> fun () -> select_greedy ?pool problem
+    | Some s -> fun () -> s ?banned:None ?cache problem
+    | None -> fun () -> select_greedy ?cache ?pool problem
   in
   let cold () =
     let sel_sp = Trace.span "vcg.select" in
@@ -625,7 +750,7 @@ let run ?select ?pool problem =
     List.iter (fun id -> Hashtbl.replace mine id ()) (Bid.links problem.bids.(bp));
     let banned id = Hashtbl.mem mine id in
     match select with
-    | Some s -> s ?banned:(Some banned) problem
+    | Some s -> s ?banned:(Some banned) ?cache problem
     | None ->
       (* Two views of the world without α: repair the current SL
          (cheap, finds local substitutes) and re-derive from scratch
@@ -637,9 +762,10 @@ let run ?select ?pool problem =
         pool_map_list pool
           (fun pick -> pick ())
           [
-            (fun () -> select_warm ~banned ~base ?pool problem);
+            (fun () -> select_warm ~banned ~base ?cache ?pool problem);
             (fun () ->
-              select_greedy_single ~ranking:`Unit_price ~banned ?pool problem);
+              select_greedy_single ~ranking:`Unit_price ~banned ?cache ?pool
+                problem);
           ]
         |> List.filter_map Fun.id
       in
@@ -662,7 +788,9 @@ let run ?select ?pool problem =
     Trace.finish sp;
     result
   in
-  match cold () with
+  let cold_result = cold () in
+  join_cache ();
+  match cold_result with
   | None -> finish_with None
   | Some sl0 ->
     let table = ownership problem in
@@ -684,6 +812,7 @@ let run ?select ?pool problem =
           (fun bp -> (bp, without_selection current bp))
           (winners current)
       in
+      join_cache ();
       let best_improvement =
         List.fold_left
           (fun acc (_, s) ->
@@ -734,10 +863,15 @@ let run ?select ?pool problem =
     finish_with (Some { selection = sl; virtual_cost; bp_results; total_payment })
 
 let run_pay_as_bid ?select ?pool problem =
+  let cache =
+    if Feascache.enabled () then
+      Some (Feascache.create ~digest:(problem_digest problem))
+    else None
+  in
   let select =
     match select with
-    | Some s -> fun p -> s ?banned:None p
-    | None -> fun p -> select_greedy ?pool p
+    | Some s -> fun p -> s ?banned:None ?cache p
+    | None -> fun p -> select_greedy ?cache ?pool p
   in
   match select problem with
   | None -> None

@@ -71,18 +71,34 @@ val link_price : problem -> int -> float
 val selection_cost : problem -> int list -> float
 (** C(L): bid cost per BP of its share plus contracted virtual cost. *)
 
+val problem_digest : problem -> string
+(** Hex digest of a canonical serialization of the whole problem —
+    graph, demands, rule, bids, virtual prices, floats rendered exactly
+    — identifying it for {!Feascache}.  Two problems with equal digests
+    agree on the acceptability verdict and selection cost of every
+    enabled set, so cache entries keyed on (digest, enabled bit-string)
+    can never leak a stale value across problems. *)
+
 val owner_of_link : problem -> int -> int option
 (** BP owning the link; [None] for virtual links. *)
 
 val select_greedy :
-  ?banned:(int -> bool) -> ?pool:Poc_util.Pool.t -> problem -> selection option
+  ?banned:(int -> bool) ->
+  ?cache:Feascache.t ->
+  ?pool:Poc_util.Pool.t ->
+  problem ->
+  selection option
 (** Cheapest acceptable set found by the open greedy algorithm;
     [None] when even the full unbanned offer set is unacceptable.
-    With [?pool] the two ranking arms run concurrently. *)
+    With [?pool] the two ranking arms run concurrently.  [?cache]
+    (a {!Feascache.t} created for this problem's {!problem_digest})
+    shares feasibility verdicts and selection costs with other
+    selections over the same problem; it never changes the result. *)
 
 val select_greedy_single :
   ranking:[ `Unit_price | `Absolute_price ] ->
   ?banned:(int -> bool) ->
+  ?cache:Feascache.t ->
   ?pool:Poc_util.Pool.t ->
   problem ->
   selection option
@@ -93,6 +109,7 @@ val select_greedy_single :
 val select_warm :
   ?banned:(int -> bool) ->
   base:selection ->
+  ?cache:Feascache.t ->
   ?pool:Poc_util.Pool.t ->
   problem ->
   selection option
@@ -101,12 +118,26 @@ val select_warm :
     selections SL−α so that C(SL−α) − C(SL) measures α's replacement
     cost rather than optimizer noise. *)
 
-val select_exact : ?banned:(int -> bool) -> problem -> selection option
-(** Brute-force minimum over all subsets.  Raises [Invalid_argument]
-    when more than 20 links are offered. *)
+val select_exact :
+  ?banned:(int -> bool) ->
+  ?cache:Feascache.t ->
+  ?pool:Poc_util.Pool.t ->
+  problem ->
+  selection option
+(** Brute-force minimum over all subsets: cheapest acceptable subset,
+    ties broken by the smallest enumeration mask (a total order, so the
+    winner is independent of evaluation grouping).  With [?pool] the
+    mask range is sharded into fixed-size chunks across worker domains
+    and the per-chunk winners folded in range order — bit-identical to
+    the serial scan at every pool size.  Raises [Invalid_argument]
+    when more than 22 links are offered. *)
 
 val run :
-  ?select:(?banned:(int -> bool) -> problem -> selection option) ->
+  ?select:
+    (?banned:(int -> bool) ->
+    ?cache:Feascache.t ->
+    problem ->
+    selection option) ->
   ?pool:Poc_util.Pool.t ->
   problem ->
   outcome option
@@ -125,10 +156,21 @@ val run :
     BPs with an empty SLα receive 0.  If some SL−α is unacceptable
     (the paper assumes this away), that BP's payment is its bid cost
     (pivot clamped at 0) and the condition is reported via logs.
-    [None] when no acceptable selection exists at all. *)
+    [None] when no acceptable selection exists at all.
+
+    When {!Feascache.enabled}, [run] creates one {!Feascache.t} for the
+    problem and hands it to every selection — the cold one, each pivot,
+    and any caller-supplied [?select] (forward it to the [Vcg.select_*]
+    entry points to benefit) — merging worker shards at each pool-join
+    point.  The cache memoizes pure functions, so outcomes, payments,
+    and journal bytes are identical with it on or off. *)
 
 val run_pay_as_bid :
-  ?select:(?banned:(int -> bool) -> problem -> selection option) ->
+  ?select:
+    (?banned:(int -> bool) ->
+    ?cache:Feascache.t ->
+    problem ->
+    selection option) ->
   ?pool:Poc_util.Pool.t ->
   problem ->
   outcome option

@@ -2,86 +2,108 @@ type result = {
   value : float;
   cut_edges : int list;
   source_side : bool array;
-}
-
-type arc = {
-  dst : int;
-  edge_id : int;
-  mutable residual : float;
-  mutable rev : int; (* index of the reverse arc in the flat arc array *)
+  edge_flow : float array;
 }
 
 let always_enabled _ = true
 
+(* Flat Edmonds-Karp over Bigarray slabs.  Each enabled edge becomes an
+   arc pair: arc [2j] carries u->v, arc [2j+1] carries v->u, so the
+   partner of arc [ai] is [ai lxor 1].  Per-node arcs are visited in
+   reverse insertion order — the order the previous cons-list
+   implementation produced — keeping augmenting-path choices, and
+   therefore the reported cut, bit-identical. *)
 let max_flow ?(enabled = always_enabled) g s t =
   if s = t then invalid_arg "Flow.max_flow: source equals sink";
   let n = Graph.node_count g in
-  let adjacency = Array.make n [] in
-  let arcs = ref [] in
-  let arc_count = ref 0 in
-  let add_arc src dst edge_id cap =
-    let a = { dst; edge_id; residual = cap; rev = 0 } in
-    arcs := a :: !arcs;
-    adjacency.(src) <- !arc_count :: adjacency.(src);
-    incr arc_count;
-    !arc_count - 1
-  in
-  Array.iter
-    (fun (e : Graph.edge) ->
-      if enabled e.id then begin
-        (* Undirected edge: both directions get full capacity and each
-           arc is the other's reverse. *)
-        let a = add_arc e.u e.v e.id e.capacity in
-        let b = add_arc e.v e.u e.id e.capacity in
-        ignore a;
-        ignore b
-      end)
-    (Graph.edges g);
-  let arcs = Array.of_list (List.rev !arcs) in
-  (* Fix up reverse pointers: arcs were added in pairs. *)
-  let i = ref 0 in
-  while !i + 1 < Array.length arcs do
-    arcs.(!i).rev <- !i + 1;
-    arcs.(!i + 1).rev <- !i;
-    i := !i + 2
+  let m = Graph.edge_count g in
+  let sel = Array.make (max 1 m) (-1) in
+  let pairs = ref 0 in
+  for id = 0 to m - 1 do
+    if enabled id then begin
+      sel.(id) <- !pairs;
+      incr pairs
+    end
+  done;
+  let pairs = !pairs in
+  let arc_total = 2 * pairs in
+  let arc_dst = Sparse.int_slab_create arc_total in
+  let arc_res = Sparse.float_slab_create arc_total in
+  let pair_edge = Array.make (max 1 pairs) 0 in
+  let deg = Array.make n 0 in
+  for id = 0 to m - 1 do
+    if sel.(id) >= 0 then begin
+      let e = Graph.edge g id in
+      deg.(e.Graph.u) <- deg.(e.Graph.u) + 1;
+      deg.(e.Graph.v) <- deg.(e.Graph.v) + 1
+    end
+  done;
+  let row = Array.make (n + 1) 0 in
+  let acc = ref 0 in
+  for u = 0 to n - 1 do
+    row.(u) <- !acc;
+    acc := !acc + deg.(u)
+  done;
+  row.(n) <- !acc;
+  let order = Sparse.int_slab_create arc_total in
+  let cursor = Array.make n 0 in
+  for u = 0 to n - 1 do
+    cursor.(u) <- row.(u + 1)
+  done;
+  for id = 0 to m - 1 do
+    let j = sel.(id) in
+    if j >= 0 then begin
+      let e = Graph.edge g id in
+      pair_edge.(j) <- id;
+      arc_dst.{2 * j} <- e.Graph.v;
+      arc_dst.{(2 * j) + 1} <- e.Graph.u;
+      arc_res.{2 * j} <- e.Graph.capacity;
+      arc_res.{(2 * j) + 1} <- e.Graph.capacity;
+      (* Rows fill back-to-front while edges scan forward, so a
+         front-to-back row walk sees the newest arc first. *)
+      cursor.(e.Graph.u) <- cursor.(e.Graph.u) - 1;
+      order.{cursor.(e.Graph.u)} <- 2 * j;
+      cursor.(e.Graph.v) <- cursor.(e.Graph.v) - 1;
+      order.{cursor.(e.Graph.v)} <- (2 * j) + 1
+    end
   done;
   let total = ref 0.0 in
   let parent_arc = Array.make n (-1) in
+  let queue = Queue.create () in
   let rec bfs_augment () =
     Array.fill parent_arc 0 n (-1);
-    let queue = Queue.create () in
+    Queue.clear queue;
     Queue.push s queue;
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      let try_arc ai =
-        let a = arcs.(ai) in
-        if a.residual > 1e-12 && a.dst <> s && parent_arc.(a.dst) < 0 then begin
-          parent_arc.(a.dst) <- ai;
-          if a.dst = t then found := true else Queue.push a.dst queue
-        end
-      in
-      List.iter try_arc adjacency.(u)
+      let stop = row.(u + 1) in
+      let k = ref row.(u) in
+      while (not !found) && !k < stop do
+        let ai = order.{!k} in
+        let dst = arc_dst.{ai} in
+        if arc_res.{ai} > 1e-12 && dst <> s && parent_arc.(dst) < 0 then begin
+          parent_arc.(dst) <- ai;
+          if dst = t then found := true else Queue.push dst queue
+        end;
+        incr k
+      done
     done;
     if !found then begin
-      (* Find bottleneck along the path, then augment. *)
       let rec bottleneck node acc =
         if node = s then acc
         else begin
           let ai = parent_arc.(node) in
-          let a = arcs.(ai) in
-          let src = arcs.(a.rev).dst in
-          bottleneck src (Float.min acc a.residual)
+          bottleneck arc_dst.{ai lxor 1} (Float.min acc arc_res.{ai})
         end
       in
       let delta = bottleneck t infinity in
       let rec apply node =
         if node <> s then begin
           let ai = parent_arc.(node) in
-          let a = arcs.(ai) in
-          a.residual <- a.residual -. delta;
-          arcs.(a.rev).residual <- arcs.(a.rev).residual +. delta;
-          apply arcs.(a.rev).dst
+          arc_res.{ai} <- arc_res.{ai} -. delta;
+          arc_res.{ai lxor 1} <- arc_res.{ai lxor 1} +. delta;
+          apply arc_dst.{ai lxor 1}
         end
       in
       apply t;
@@ -92,29 +114,58 @@ let max_flow ?(enabled = always_enabled) g s t =
   bfs_augment ();
   (* Residual reachability from s gives the min cut. *)
   let source_side = Array.make n false in
-  let queue = Queue.create () in
+  Queue.clear queue;
   source_side.(s) <- true;
   Queue.push s queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    let visit ai =
-      let a = arcs.(ai) in
-      if a.residual > 1e-12 && not source_side.(a.dst) then begin
-        source_side.(a.dst) <- true;
-        Queue.push a.dst queue
+    for k = row.(u) to row.(u + 1) - 1 do
+      let ai = order.{k} in
+      let dst = arc_dst.{ai} in
+      if arc_res.{ai} > 1e-12 && not source_side.(dst) then begin
+        source_side.(dst) <- true;
+        Queue.push dst queue
       end
-    in
-    List.iter visit adjacency.(u)
+    done
   done;
   let cut_edges =
     Graph.fold_edges
       (fun e acc ->
-        if enabled e.id && source_side.(e.u) <> source_side.(e.v) then e.id :: acc
+        if enabled e.id && source_side.(e.u) <> source_side.(e.v) then
+          e.id :: acc
         else acc)
       g []
     |> List.sort compare
   in
-  { value = !total; cut_edges; source_side }
+  (* Residuals always satisfy fwd + back = 2·capacity, so the signed
+     u->v flow on edge j is (back - fwd) / 2. *)
+  let edge_flow = Array.make m 0.0 in
+  for j = 0 to pairs - 1 do
+    edge_flow.(pair_edge.(j)) <-
+      (arc_res.{(2 * j) + 1} -. arc_res.{2 * j}) /. 2.0
+  done;
+  { value = !total; cut_edges; source_side; edge_flow }
+
+let idle_eps = 1e-9
+
+let max_flow_without_edge ?(enabled = always_enabled) g s t ~prev ~edge =
+  if edge < 0 || edge >= Graph.edge_count g then
+    invalid_arg "Flow.max_flow_without_edge: unknown edge";
+  if Float.abs prev.edge_flow.(edge) <= idle_eps then begin
+    (* Exact fast path.  [prev]'s flow is feasible without [edge]
+       (the edge carries nothing), and every min-cut edge is saturated
+       at optimum, so a zero-flow cut edge has zero capacity and can be
+       dropped from the cut without changing its capacity.  Value and
+       cut therefore both survive the removal unchanged. *)
+    let edge_flow = Array.copy prev.edge_flow in
+    edge_flow.(edge) <- 0.0;
+    {
+      prev with
+      cut_edges = List.filter (fun id -> id <> edge) prev.cut_edges;
+      edge_flow;
+    }
+  end
+  else max_flow ~enabled:(fun id -> id <> edge && enabled id) g s t
 
 let cut_capacity g ids =
   List.fold_left (fun acc id -> acc +. (Graph.edge g id).capacity) 0.0 ids

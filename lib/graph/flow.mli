@@ -9,11 +9,34 @@ type result = {
   value : float;            (** max s-t flow value *)
   cut_edges : int list;     (** edge ids forming a minimum s-t cut *)
   source_side : bool array; (** node partition: true = source side *)
+  edge_flow : float array;  (** signed net flow per edge id, positive in
+                                the edge's [u]->[v] direction; [0.0] for
+                                disabled edges *)
 }
 
 val max_flow :
   ?enabled:(int -> bool) -> Graph.t -> Graph.node -> Graph.node -> result
-(** [max_flow g s t] by Edmonds-Karp.  Requires [s <> t]. *)
+(** [max_flow g s t] by Edmonds-Karp over flat Bigarray arc slabs.
+    Requires [s <> t]. *)
+
+val max_flow_without_edge :
+  ?enabled:(int -> bool) ->
+  Graph.t ->
+  Graph.node ->
+  Graph.node ->
+  prev:result ->
+  edge:int ->
+  result
+(** [max_flow_without_edge g s t ~prev ~edge] is
+    [max_flow g s t] with [edge] additionally disabled, given [prev] =
+    [max_flow ~enabled g s t] on the same graph and enabled set.  When
+    [prev] routed (numerically) nothing over [edge] the answer is
+    returned in O(cut + edges) without re-solving: the previous flow
+    remains feasible, and a min-cut edge is always saturated at
+    optimum, so a zero-flow cut edge has zero capacity and can be
+    dropped from the cut with its capacity — and hence the flow value —
+    unchanged.  Otherwise it falls back to a from-scratch solve.  The
+    result is exactly what [max_flow] would return, on either path. *)
 
 val cut_capacity : Graph.t -> int list -> float
 (** Total capacity of a set of edge ids. *)

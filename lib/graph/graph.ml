@@ -7,9 +7,13 @@ type t = {
   mutable edges : edge array;
   mutable edge_len : int;
   mutable adjacency : int list array; (* node -> incident edge ids *)
+  mutable version : int; (* bumped on every mutation; keys CSR caches *)
 }
 
-let create () = { nodes = 0; edges = [||]; edge_len = 0; adjacency = [||] }
+let create () =
+  { nodes = 0; edges = [||]; edge_len = 0; adjacency = [||]; version = 0 }
+
+let version g = g.version
 
 let grow_adjacency g n =
   let cap = Array.length g.adjacency in
@@ -23,6 +27,7 @@ let grow_adjacency g n =
 let add_node g =
   let id = g.nodes in
   g.nodes <- id + 1;
+  g.version <- g.version + 1;
   grow_adjacency g g.nodes;
   id
 
@@ -55,6 +60,7 @@ let add_edge g u v ~weight ~capacity =
   grow_edges g e;
   g.edges.(id) <- e;
   g.edge_len <- id + 1;
+  g.version <- g.version + 1;
   g.adjacency.(u) <- id :: g.adjacency.(u);
   g.adjacency.(v) <- id :: g.adjacency.(v);
   id
@@ -93,6 +99,7 @@ let copy g =
     edges = Array.copy g.edges;
     edge_len = g.edge_len;
     adjacency = Array.map (fun l -> l) (Array.copy g.adjacency);
+    version = g.version;
   }
 
 let pp ppf g =

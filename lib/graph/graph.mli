@@ -35,6 +35,12 @@ val add_edge : t -> node -> node -> weight:float -> capacity:float -> int
 val node_count : t -> int
 val edge_count : t -> int
 
+val version : t -> int
+(** Mutation counter: bumped by every {!add_node} / {!add_edge}.  Flat
+    compiled views of the graph ({!Sparse.of_graph}) key their caches
+    on (graph identity, version), so a stale view is never served after
+    the graph grows. *)
+
 val edge : t -> int -> edge
 (** Edge by id.  Raises [Invalid_argument] on an unknown id. *)
 

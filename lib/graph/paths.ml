@@ -14,29 +14,39 @@ let path_nodes ~src p =
 let dijkstra ?(enabled = always_enabled) g src =
   let n = Graph.node_count g in
   if src < 0 || src >= n then invalid_arg "Paths.dijkstra: unknown source";
+  let csr = Sparse.of_graph g in
+  let row = csr.Sparse.row_start in
+  let col = csr.Sparse.col in
+  let eid = csr.Sparse.eid in
+  let wt = csr.Sparse.weight in
   let dist = Array.make n infinity in
   let pred = Array.make n None in
   let settled = Array.make n false in
   let heap = Heap.create () in
   dist.(src) <- 0.0;
   Heap.push heap 0.0 src;
+  (* CSR half-edges per node are in ascending insertion order — the
+     same order Graph.neighbors yields — so results are bit-identical
+     with the list-based relaxation this replaces. *)
   let rec loop () =
     match Heap.pop heap with
     | None -> ()
     | Some (d, u) ->
       if not settled.(u) then begin
         settled.(u) <- true;
-        let relax (v, (e : Graph.edge)) =
-          if enabled e.id && not settled.(v) then begin
-            let nd = d +. e.weight in
+        let stop = row.{u + 1} in
+        for k = row.{u} to stop - 1 do
+          let id = eid.{k} in
+          let v = col.{k} in
+          if enabled id && not settled.(v) then begin
+            let nd = d +. wt.{k} in
             if nd < dist.(v) then begin
               dist.(v) <- nd;
-              pred.(v) <- Some e.id;
+              pred.(v) <- Some id;
               Heap.push heap nd v
             end
           end
-        in
-        List.iter relax (Graph.neighbors g u)
+        done
       end;
       loop ()
   in

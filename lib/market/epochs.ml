@@ -246,10 +246,10 @@ let run ?pool (plan : Planner.plan) config =
     Metrics.Histogram.observe h_drift
       ((Clock.now_us () -. drift_t0) *. 1e-6);
     Trace.finish drift_sp;
-    let select ?(banned = fun _ -> false) p =
+    let select ?(banned = fun _ -> false) ?cache p =
       Vcg.select_greedy
         ~banned:(fun id -> banned id || Hashtbl.mem recalled id)
-        ?pool p
+        ?cache ?pool p
     in
     let volume = Matrix.total !matrix in
     let pool_nonempty =

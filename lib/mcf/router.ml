@@ -1,4 +1,5 @@
 module Graph = Poc_graph.Graph
+module Sparse = Poc_graph.Sparse
 module Heap = Poc_graph.Heap
 module Metrics = Poc_obs.Metrics
 
@@ -23,6 +24,16 @@ let m_reroutes =
   Metrics.counter ~help:"Incremental single-edge re-route computations"
     Metrics.default "poc_router_reroutes_total"
 
+let m_toggle_repairs =
+  Metrics.counter
+    ~help:"Single-link toggles answered by repairing the base flow"
+    Metrics.default "poc_router_toggle_repairs_total"
+
+let m_toggle_scratch =
+  Metrics.counter
+    ~help:"Single-link toggles that fell back to a from-scratch solve"
+    Metrics.default "poc_router_toggle_scratch_total"
+
 type demand = int * int * float
 
 type chunk = { src : int; dst : int; gbps : float; edge_ids : int list }
@@ -35,6 +46,8 @@ type routing = {
   enabled_capacity : float;
 }
 
+type toggle = Remove of int | Add of int
+
 let eps = 1e-6
 
 let max_paths_per_demand = 64
@@ -46,9 +59,21 @@ let validate_demand n (a, b, d) =
 
 (* Congestion-aware Dijkstra on the residual graph: returns the edge-id
    path or None.  Weight of an edge is latency * (1 + alpha * u) where
-   u is current utilization, which spreads load before links saturate. *)
-let residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst =
+   u is current utilization, which spreads load before links saturate.
+   Runs over the compiled CSR; disabled edges carry zero residual, so
+   the residual gate excludes them without a per-visit predicate call,
+   and CSR neighbor order matches the list order the previous
+   implementation used, keeping path choices bit-identical. *)
+let residual_dijkstra ~(csr : Sparse.t) ~(buf : Sparse.Buf.buf) ~alpha n src
+    dst =
   Metrics.Counter.inc m_dijkstra;
+  let row = csr.Sparse.row_start in
+  let col = csr.Sparse.col in
+  let eids = csr.Sparse.eid in
+  let lat = csr.Sparse.weight in
+  let cap = csr.Sparse.capacity in
+  let residual = buf.Sparse.Buf.residual in
+  let usage = buf.Sparse.Buf.usage in
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
   let settled = Array.make n false in
@@ -62,33 +87,27 @@ let residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst =
     | Some (d, u) ->
       if not settled.(u) then begin
         settled.(u) <- true;
-        Array.iter
-          (fun (v, eid, latency) ->
-            if (not settled.(v)) && residual.(eid) > eps then begin
-              let cap = capacity.(eid) in
-              let util = if cap > 0.0 then usage.(eid) /. cap else 0.0 in
-              let w = latency *. (1.0 +. (alpha *. util)) in
-              let nd = d +. w in
-              if nd < dist.(v) then begin
-                dist.(v) <- nd;
-                pred.(v) <- eid;
-                Heap.push heap nd v
-              end
-            end)
-          adj.(u)
+        let stop = row.{u + 1} in
+        for k = row.{u} to stop - 1 do
+          let v = col.{k} in
+          let eid = eids.{k} in
+          if (not settled.(v)) && residual.{eid} > eps then begin
+            let c = cap.{eid} in
+            let util = if c > 0.0 then usage.{eid} /. c else 0.0 in
+            let w = lat.{k} *. (1.0 +. (alpha *. util)) in
+            let nd = d +. w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              pred.(v) <- eid;
+              Heap.push heap nd v
+            end
+          end
+        done
       end;
       loop ()
   in
   loop ();
   if dist.(dst) = infinity then None else Some pred
-
-let build_adjacency g enabled =
-  let n = Graph.node_count g in
-  Array.init n (fun u ->
-      Graph.neighbors g u
-      |> List.filter (fun (_, (e : Graph.edge)) -> enabled e.id)
-      |> List.map (fun (v, (e : Graph.edge)) -> (v, e.id, e.weight))
-      |> Array.of_list)
 
 let path_from_pred g pred src dst =
   let rec walk node acc =
@@ -103,27 +122,31 @@ let path_from_pred g pred src dst =
 
 (* Route one demand (possibly splitting) on the residual state.
    Returns the list of chunks created and the unrouted remainder. *)
-let route_one g ~adj ~residual ~usage ~capacity ~alpha (src, dst, gbps) =
+let route_one g ~csr ~(buf : Sparse.Buf.buf) ~alpha (src, dst, gbps) =
   let n = Graph.node_count g in
+  let residual = buf.Sparse.Buf.residual in
+  let usage = buf.Sparse.Buf.usage in
   let chunks = ref [] in
   let rec go remaining attempts =
     if remaining <= eps then 0.0
     else if attempts >= max_paths_per_demand then remaining
     else begin
-      match residual_dijkstra ~adj ~residual ~usage ~capacity ~alpha n src dst with
+      match residual_dijkstra ~csr ~buf ~alpha n src dst with
       | None -> remaining
       | Some pred ->
         let path = path_from_pred g pred src dst in
         let bottleneck =
-          List.fold_left (fun acc eid -> Float.min acc residual.(eid)) infinity path
+          List.fold_left
+            (fun acc eid -> Float.min acc residual.{eid})
+            infinity path
         in
         if bottleneck <= eps then remaining
         else begin
           let send = Float.min remaining bottleneck in
           List.iter
             (fun eid ->
-              residual.(eid) <- residual.(eid) -. send;
-              usage.(eid) <- usage.(eid) +. send)
+              residual.{eid} <- residual.{eid} -. send;
+              usage.{eid} <- usage.{eid} +. send)
             path;
           Metrics.Counter.inc m_paths;
           chunks := { src; dst; gbps = send; edge_ids = path } :: !chunks;
@@ -139,19 +162,16 @@ let route ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g ~demands =
   let n = Graph.node_count g in
   List.iter (validate_demand n) demands;
   let m = Graph.edge_count g in
-  let residual = Array.make m 0.0 in
-  let capacity = Array.make m 0.0 in
-  let usage = Array.make m 0.0 in
+  let csr = Sparse.of_graph g in
+  let buf = Sparse.Buf.create m in
   let enabled_capacity = ref 0.0 in
-  Array.iter
-    (fun (e : Graph.edge) ->
-      capacity.(e.id) <- e.capacity;
-      if enabled e.id then begin
-        residual.(e.id) <- e.capacity;
-        enabled_capacity := !enabled_capacity +. e.capacity
-      end)
-    (Graph.edges g);
-  let adj = build_adjacency g enabled in
+  for id = 0 to m - 1 do
+    if enabled id then begin
+      let c = csr.Sparse.capacity.{id} in
+      buf.Sparse.Buf.residual.{id} <- c;
+      enabled_capacity := !enabled_capacity +. c
+    end
+  done;
   let sorted =
     List.sort (fun (_, _, a) (_, _, b) -> compare b a) demands
   in
@@ -160,7 +180,7 @@ let route ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g ~demands =
   List.iter
     (fun ((src, dst, _) as demand) ->
       let chunks, leftover =
-        route_one g ~adj ~residual ~usage ~capacity ~alpha:congestion_alpha demand
+        route_one g ~csr ~buf ~alpha:congestion_alpha demand
       in
       all_chunks := List.rev_append chunks !all_chunks;
       if leftover > eps then unrouted := (src, dst, leftover) :: !unrouted)
@@ -169,7 +189,7 @@ let route ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g ~demands =
     feasible = !unrouted = [];
     chunks = Array.of_list (List.rev !all_chunks);
     unrouted = List.rev !unrouted;
-    usage;
+    usage = Sparse.Buf.usage_to_array buf;
     enabled_capacity = !enabled_capacity;
   }
 
@@ -188,29 +208,28 @@ let used_edges r =
   Array.iteri (fun eid u -> if u > eps then Hashtbl.replace tbl eid ()) r.usage;
   Hashtbl.fold (fun eid () acc -> eid :: acc) tbl [] |> List.sort compare
 
-(* Shared core: [adj] may be a prebuilt adjacency for the enabled set
-   {e including} the failed edge; the failed edge is excluded by
-   forcing its residual to zero, which the path search respects. *)
-let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
+(* Shared core: the compiled CSR covers the whole graph; the failed
+   edge and disabled edges are excluded by leaving their residual at
+   zero, which the path search respects. *)
+let reroute_core ~csr ?(enabled = fun _ -> true) g ~base ~failed_edge =
   Metrics.Counter.inc m_reroutes;
   let failed_capacity = (Graph.edge g failed_edge).capacity in
   if base.usage.(failed_edge) <= eps then
     (* Nothing crossed the edge: the routing is already valid without
        it; only the available capacity shrinks. *)
-    Some { base with enabled_capacity = base.enabled_capacity -. failed_capacity }
+    Some
+      { base with enabled_capacity = base.enabled_capacity -. failed_capacity }
   else begin
     let m = Graph.edge_count g in
-    let residual = Array.make m 0.0 in
-    let capacity = Array.make m 0.0 in
-    let usage = Array.make m 0.0 in
-    Array.iter
-      (fun (e : Graph.edge) ->
-        capacity.(e.id) <- e.capacity;
-        if enabled e.id && e.id <> failed_edge then begin
-          residual.(e.id) <- e.capacity -. base.usage.(e.id);
-          usage.(e.id) <- base.usage.(e.id)
-        end)
-      (Graph.edges g);
+    let buf = Sparse.Buf.create m in
+    let residual = buf.Sparse.Buf.residual in
+    let usage = buf.Sparse.Buf.usage in
+    for id = 0 to m - 1 do
+      if enabled id && id <> failed_edge then begin
+        residual.{id} <- (csr : Sparse.t).Sparse.capacity.{id} -. base.usage.(id);
+        usage.{id} <- base.usage.(id)
+      end
+    done;
     (* Give back the capacity held by chunks that crossed the failed
        edge, and collect their demand for re-routing. *)
     let affected = Hashtbl.create 16 in
@@ -221,8 +240,8 @@ let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
           List.iter
             (fun eid ->
               if eid <> failed_edge then begin
-                residual.(eid) <- residual.(eid) +. c.gbps;
-                usage.(eid) <- usage.(eid) -. c.gbps
+                residual.{eid} <- residual.{eid} +. c.gbps;
+                usage.{eid} <- usage.{eid} -. c.gbps
               end)
             c.edge_ids;
           let key = (c.src, c.dst) in
@@ -237,7 +256,7 @@ let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
       (fun (src, dst) gbps ->
         if !ok then begin
           let chunks, leftover =
-            route_one g ~adj ~residual ~usage ~capacity ~alpha:1.0 (src, dst, gbps)
+            route_one g ~csr ~buf ~alpha:1.0 (src, dst, gbps)
           in
           new_chunks := List.rev_append chunks !new_chunks;
           if leftover > eps then ok := false
@@ -250,14 +269,60 @@ let reroute_core ~adj ?(enabled = fun _ -> true) g ~base ~failed_edge =
           feasible = true;
           chunks = Array.of_list (List.rev_append !kept !new_chunks);
           unrouted = [];
-          usage;
+          usage = Sparse.Buf.usage_to_array buf;
           enabled_capacity = base.enabled_capacity -. failed_capacity;
         }
   end
 
 let reroute_without_edge ?(enabled = fun _ -> true) g ~base ~failed_edge =
-  let adj = build_adjacency g enabled in
-  reroute_core ~adj ~enabled g ~base ~failed_edge
+  let csr = Sparse.of_graph g in
+  reroute_core ~csr ~enabled g ~base ~failed_edge
+
+let route_toggle ?(enabled = fun _ -> true) ?(congestion_alpha = 1.0) g
+    ~demands ~base toggle =
+  let m = Graph.edge_count g in
+  let check_edge eid =
+    if eid < 0 || eid >= m then invalid_arg "Router.route_toggle: unknown edge"
+  in
+  match toggle with
+  | Remove eid ->
+    check_edge eid;
+    if not (enabled eid) then
+      invalid_arg "Router.route_toggle: Remove of a disabled edge";
+    let enabled' id = enabled id && id <> eid in
+    let repaired =
+      if base.feasible then begin
+        let csr = Sparse.of_graph g in
+        reroute_core ~csr ~enabled g ~base ~failed_edge:eid
+      end
+      else None
+    in
+    (match repaired with
+    | Some r ->
+      Metrics.Counter.inc m_toggle_repairs;
+      r
+    | None ->
+      Metrics.Counter.inc m_toggle_scratch;
+      route ~enabled:enabled' ~congestion_alpha g ~demands)
+  | Add eid ->
+    check_edge eid;
+    if enabled eid then
+      invalid_arg "Router.route_toggle: Add of an enabled edge";
+    let enabled' id = enabled id || id = eid in
+    if base.feasible then begin
+      (* The base flow never touches the new edge, so it stays valid
+         verbatim; only the available capacity grows. *)
+      Metrics.Counter.inc m_toggle_repairs;
+      {
+        base with
+        enabled_capacity =
+          base.enabled_capacity +. (Graph.edge g eid).capacity;
+      }
+    end
+    else begin
+      Metrics.Counter.inc m_toggle_scratch;
+      route ~enabled:enabled' ~congestion_alpha g ~demands
+    end
 
 let survives_failure ?(enabled = fun _ -> true) g ~demands ~base ~failed_edge =
   ignore demands;
@@ -268,7 +333,7 @@ let survives_failure ?(enabled = fun _ -> true) g ~demands ~base ~failed_edge =
 let survives_all_single_failures ?(enabled = fun _ -> true) ?pool g ~demands
     base =
   ignore demands;
-  let adj = build_adjacency g enabled in
+  let csr = Sparse.of_graph g in
   (* Most-loaded edges are the likeliest to be irreplaceable: check
      them first so infeasible sets fail fast. *)
   let by_load_desc =
@@ -276,7 +341,7 @@ let survives_all_single_failures ?(enabled = fun _ -> true) ?pool g ~demands
     |> List.sort (fun a b -> compare base.usage.(b) base.usage.(a))
   in
   let check eid =
-    match reroute_core ~adj ~enabled g ~base ~failed_edge:eid with
+    match reroute_core ~csr ~enabled g ~base ~failed_edge:eid with
     | Some _ -> true
     | None -> false
   in
@@ -285,10 +350,10 @@ let survives_all_single_failures ?(enabled = fun _ -> true) ?pool g ~demands
     (* The serial path short-circuits at the first irreplaceable edge. *)
     List.for_all check by_load_desc
   | Some p ->
-    (* Each per-edge check is pure over the shared base routing, so the
-       fan-out is safe; the verdict (a conjunction) is independent of
-       evaluation order, keeping outcomes identical at every pool
-       size.  The pooled path evaluates every edge — no short-circuit —
-       trading wasted work on infeasible sets for wall-clock on the
-       (common) feasible ones. *)
+    (* Each per-edge check is pure over the shared base routing and the
+       immutable CSR, so the fan-out is safe; the verdict (a
+       conjunction) is independent of evaluation order, keeping
+       outcomes identical at every pool size.  The pooled path
+       evaluates every edge — no short-circuit — trading wasted work on
+       infeasible sets for wall-clock on the (common) feasible ones. *)
     Poc_util.Pool.map_list p check by_load_desc |> List.for_all Fun.id

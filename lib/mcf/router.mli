@@ -31,6 +31,11 @@ type routing = {
   enabled_capacity : float;      (** total capacity of enabled edges *)
 }
 
+type toggle =
+  | Remove of int  (** disable this currently-enabled edge id *)
+  | Add of int     (** enable this currently-disabled edge id *)
+(** A single-link change to the enabled set, for {!route_toggle}. *)
+
 val route :
   ?enabled:(int -> bool) ->
   ?congestion_alpha:float ->
@@ -40,6 +45,39 @@ val route :
 (** [route g ~demands] routes every demand over the enabled subgraph.
     [congestion_alpha] (default 1.0) scales the utilization penalty in
     the path metric; 0 gives pure-latency shortest paths. *)
+
+val route_toggle :
+  ?enabled:(int -> bool) ->
+  ?congestion_alpha:float ->
+  Poc_graph.Graph.t ->
+  demands:demand list ->
+  base:routing ->
+  toggle ->
+  routing
+(** [route_toggle g ~demands ~base t] answers the routing question for
+    the enabled set with the single-link change [t] applied, reusing
+    [base] = [route ~enabled g ~demands] instead of re-solving:
+
+    - [Remove eid] drains the chunks crossing [eid] and re-routes only
+      the displaced commodities on the residual capacity
+      ({!reroute_without_edge}); if the repair does not fit it falls
+      back to a from-scratch {!route} on the reduced set.
+    - [Add eid] keeps a feasible [base] verbatim (the new link carries
+      nothing) and only grows [enabled_capacity]; an infeasible [base]
+      is re-solved from scratch with the extra link.
+
+    Because the fallback is exactly the from-scratch solve, the
+    feasibility verdict is a superset of {!route}'s: whenever the
+    from-scratch oracle says feasible, so does [route_toggle] (the
+    repair path can only add feasible answers the conservative
+    heuristic would have missed).  The returned routing is always valid
+    for the toggled enabled set — chunks use only enabled links,
+    capacities are respected, and a removed link carries nothing.
+    [enabled] must describe the set [base] was computed against:
+    [Remove] requires [enabled eid], [Add] requires [not (enabled eid)]
+    ([Invalid_argument] otherwise).  Repair-vs-fallback counts are
+    exported as [poc_router_toggle_repairs_total] /
+    [poc_router_toggle_scratch_total]. *)
 
 val max_utilization : Poc_graph.Graph.t -> routing -> float
 (** Highest usage/capacity ratio over enabled edges with capacity. *)

@@ -99,23 +99,23 @@ let pay_as_bid problem links =
   | [] -> None
   | _ :: _ ->
     let sel = selection_of problem links in
-    Vcg.run_pay_as_bid ~select:(fun ?banned:_ _ -> Some sel) problem
+    Vcg.run_pay_as_bid ~select:(fun ?banned:_ ?cache:_ _ -> Some sel) problem
 
 let scale_demands factor demands =
   List.map (fun (a, b, d) -> (a, b, d *. factor)) demands
 
 let try_step ~banned ?pool (problem : Vcg.problem) = function
   | Relax_demand f ->
-    let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
+    let select ?banned:(extra = fun _ -> false) ?cache p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?cache ?pool p
     in
     let relaxed =
       { problem with Vcg.demands = scale_demands f problem.Vcg.demands }
     in
     Option.map (fun o -> (o, f)) (Vcg.run ~select ?pool relaxed)
   | Step_down rule ->
-    let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
+    let select ?banned:(extra = fun _ -> false) ?cache p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?cache ?pool p
     in
     Option.map (fun o -> (o, 1.0))
       (Vcg.run ~select ?pool { problem with Vcg.rule = rule })

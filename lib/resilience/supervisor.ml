@@ -502,8 +502,8 @@ let step ?(updates = []) loop =
       Hashtbl.mem recalled id || Hashtbl.mem st.down id
       || Hashtbl.mem st.gone id
     in
-    let select ?banned:(extra = fun _ -> false) p =
-      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?pool p
+    let select ?banned:(extra = fun _ -> false) ?cache p =
+      Vcg.select_greedy ~banned:(fun id -> banned id || extra id) ?cache ?pool p
     in
     Metrics.Histogram.observe h_drift
       ((Clock.now_us () -. drift_t0) *. 1e-6);

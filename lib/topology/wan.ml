@@ -81,6 +81,27 @@ let default_params =
     external_premium = 3.0;
   }
 
+let scale_params =
+  {
+    n_sites = 480;
+    extent_km = 9000.0;
+    n_operators = 120;
+    n_bps = 100;
+    operator_min_sites = 40;
+    operator_max_sites = 90;
+    colocation_threshold = 11;
+    capacity_tiers =
+      [| (0.35, 100.0); (0.35, 200.0); (0.2, 400.0); (0.1, 800.0) |];
+    lease_fraction = 0.5;
+    stretch_limit = 1.5;
+    cost_fixed = 2_000.0;
+    cost_per_gbps_km = 0.45;
+    cost_noise = 0.08;
+    n_external_isps = 4;
+    external_attachments = 24;
+    external_premium = 3.0;
+  }
+
 (* Speed of light in fiber: roughly 200 km per millisecond. *)
 let latency_of_km km = Float.max 0.1 (km /. 200.0)
 

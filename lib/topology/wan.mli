@@ -78,6 +78,13 @@ val default_params : params
     20 BPs, BP link shares spanning roughly 2%-12%, and on the order
     of 4-5k offered logical links. *)
 
+val scale_params : params
+(** The ROADMAP's continent-scale preset: ~100 BPs over ~480 sites
+    producing on the order of 10^5 offered logical links — the regime
+    docs/SCALING.md and bench E19 exercise ([poc-cli topology
+    --scale]).  Generation stays deterministic per seed; expect a few
+    seconds and a few hundred MB at this size. *)
+
 val generate : ?params:params -> seed:int -> unit -> t
 (** Deterministic generation from a seed.  Guarantees: the offered-link
     graph over POC routers is connected, every BP owns at least one

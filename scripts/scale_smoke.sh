@@ -1,0 +1,81 @@
+#!/bin/sh
+# Continent-scale smoke check (docs/SCALING.md): the --scale topology
+# preset must actually reach the 10^5-link regime, the feasibility
+# cache must be invisible in outcomes (market results identical with
+# --no-feas-cache, at --jobs 1 and 4) while actually working (nonzero
+# hit rate in the Prometheus exposition), and a quick E19 run must
+# clear the >= 5x combined speedup bar with byte-identical cache
+# {on,off} x jobs {1,4} market outcomes.
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build bin/poc_cli.exe bench/main.exe
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+cli=_build/default/bin/poc_cli.exe
+
+# 1. The --scale preset generates an instance in the 10^5-link regime.
+"$cli" topology --scale > "$workdir/topo.txt"
+links=$(sed -n 's/.* BPs offering \([0-9]*\) logical links.*/\1/p' \
+  "$workdir/topo.txt")
+if [ -z "$links" ] || [ "$links" -lt 100000 ]; then
+  echo "FAIL: --scale preset offered only '${links:-?}' links (< 10^5)" >&2
+  exit 1
+fi
+echo "ok: --scale preset offers $links logical links"
+
+# 2. The cache changes no outcome at any --jobs value: everything above
+# the per-phase wall-clock table must be byte-identical across cache
+# {on,off} x jobs {1,4}.
+for jobs in 1 4; do
+  for mode in on off; do
+    flag=""
+    [ "$mode" = off ] && flag="--no-feas-cache"
+    # shellcheck disable=SC2086
+    "$cli" market --epochs 3 --sites 10 --bps 4 --jobs "$jobs" $flag \
+      --metrics "$workdir/market-$mode-$jobs.prom" \
+      > "$workdir/market-$mode-$jobs.txt"
+    awk '/per-phase wall clock:/{exit} {print}' \
+      "$workdir/market-$mode-$jobs.txt" > "$workdir/market-$mode-$jobs.head"
+  done
+done
+for f in "$workdir"/market-*.head; do
+  diff -u "$workdir/market-on-1.head" "$f"
+done
+echo "ok: market outcomes identical, cache {on,off} x jobs {1,4}"
+
+# 3. The cache is actually exercised: nonzero hits with it enabled,
+# zero with --no-feas-cache.
+hits_on=$(sed -n 's/^poc_feascache_hits_total \([0-9]*\)$/\1/p' \
+  "$workdir/market-on-1.prom")
+hits_off=$(sed -n 's/^poc_feascache_hits_total \([0-9]*\)$/\1/p' \
+  "$workdir/market-off-1.prom")
+if [ -z "$hits_on" ] || [ "$hits_on" -eq 0 ]; then
+  echo "FAIL: cache enabled but poc_feascache_hits_total = '${hits_on:-?}'" >&2
+  exit 1
+fi
+if [ "$hits_off" != "0" ]; then
+  echo "FAIL: --no-feas-cache but poc_feascache_hits_total = $hits_off" >&2
+  exit 1
+fi
+echo "ok: feasibility cache hit rate nonzero ($hits_on hits; 0 when disabled)"
+
+# 4. Quick E19: combined speedup >= 5x and the four-way byte identity.
+bench=$(pwd)/_build/default/bench/main.exe
+(cd "$workdir" && "$bench" e19) \
+  > "$workdir/e19.txt" 2>&1 || { cat "$workdir/e19.txt" >&2; exit 1; }
+grep -q "all four runs byte-identical: true" "$workdir/e19.txt"
+python3 - "$workdir/BENCH_e19_metrics.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+scale = doc["scale"]
+assert scale["speedup_combined"] >= 5.0, \
+    f"combined speedup {scale['speedup_combined']} < 5x"
+assert doc["identity"]["identical"] is True
+print(f"ok: E19 combined speedup {scale['speedup_combined']}x (>= 5x)")
+EOF
+
+echo "scale smoke: all checks passed"

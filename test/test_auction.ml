@@ -129,7 +129,7 @@ let test_greedy_feasible_and_close () =
 
 let test_vcg_payments_reference () =
   let problem, _, _, _, _, _, _ = reference_problem () in
-  match Vcg.run ~select:Vcg.select_exact problem with
+  match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
   | None -> Alcotest.fail "feasible instance"
   | Some outcome ->
     check_float "C(SL)" 190.0 outcome.Vcg.selection.cost;
@@ -146,7 +146,7 @@ let test_vcg_unselected_bp_gets_nothing () =
   let bids = Array.copy problem.Vcg.bids in
   bids.(1) <- Bid.scale bids.(1) 10.0;
   let problem = { problem with Vcg.bids } in
-  match Vcg.run ~select:Vcg.select_exact problem with
+  match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
   | None -> Alcotest.fail "feasible"
   | Some outcome ->
     Alcotest.(check (list int)) "bp0 sweeps" [ a; b ]
@@ -156,7 +156,7 @@ let test_vcg_unselected_bp_gets_nothing () =
 
 let test_individual_rationality_reference () =
   let problem, _, _, _, _, _, _ = reference_problem () in
-  match Vcg.run ~select:Vcg.select_exact problem with
+  match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
   | None -> Alcotest.fail "feasible"
   | Some outcome ->
     Array.iter
@@ -175,7 +175,7 @@ let test_strategyproofness_reference () =
     r.Vcg.payment -. Bid.cost true_bid r.Vcg.selected_links
   in
   let truthful =
-    match Vcg.run ~select:Vcg.select_exact problem with
+    match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
     | Some o -> utility o
     | None -> Alcotest.fail "feasible"
   in
@@ -184,7 +184,7 @@ let test_strategyproofness_reference () =
       let bids = Array.copy problem.Vcg.bids in
       bids.(0) <- Bid.scale true_bid factor;
       let misreport = { problem with Vcg.bids } in
-      match Vcg.run ~select:Vcg.select_exact misreport with
+      match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) misreport with
       | None -> Alcotest.fail "still feasible"
       | Some o ->
         Alcotest.(check bool)
@@ -250,7 +250,7 @@ let test_acceptability_names () =
 
 let test_withholding_unselected_links () =
   let problem, _, b, _, _, _, _ = reference_problem () in
-  let select ?banned p = Vcg.select_exact ?banned p in
+  let select ?banned ?cache p = Vcg.select_exact ?banned ?cache p in
   match Vcg.run ~select problem with
   | None -> Alcotest.fail "feasible"
   | Some outcome -> (
@@ -285,7 +285,7 @@ let test_collusion_greedy_path () =
 
 let test_pay_as_bid_reference () =
   let problem, _, _, _, _, _, _ = reference_problem () in
-  match Vcg.run_pay_as_bid ~select:Vcg.select_exact problem with
+  match Vcg.run_pay_as_bid ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
   | None -> Alcotest.fail "feasible"
   | Some o ->
     check_float "paid exactly the bids" 190.0 o.Vcg.total_payment;
@@ -364,7 +364,7 @@ let test_volume_discount_in_mechanism () =
   | Some sel ->
     Alcotest.(check (list int)) "bundle wins" [ a; b ] sel.Vcg.selected;
     check_float "discounted cost" 176.0 sel.Vcg.cost;
-    (match Vcg.run ~select:Vcg.select_exact problem with
+    (match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
     | None -> Alcotest.fail "mechanism"
     | Some o ->
       (* Pivot: without BP0 the best is {c,d} at 200 -> P0 = 176 + 24. *)
@@ -471,7 +471,7 @@ let qcheck_individual_rationality =
     QCheck.(int_range 0 10_000)
     (fun seed ->
       let problem = random_problem seed in
-      match Vcg.run ~select:Vcg.select_exact problem with
+      match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
       | None -> true
       | Some outcome ->
         Array.for_all
@@ -488,12 +488,12 @@ let qcheck_strategyproof_random =
         let r = o.Vcg.bp_results.(0) in
         r.Vcg.payment -. Bid.cost true_bid r.Vcg.selected_links
       in
-      match Vcg.run ~select:Vcg.select_exact problem with
+      match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) problem with
       | None -> true
       | Some truthful_outcome -> (
         let bids = Array.copy problem.Vcg.bids in
         bids.(0) <- Bid.scale true_bid factor;
-        match Vcg.run ~select:Vcg.select_exact { problem with Vcg.bids } with
+        match Vcg.run ~select:(fun ?banned ?cache p -> Vcg.select_exact ?banned ?cache p) { problem with Vcg.bids } with
         | None -> true
         | Some misreport_outcome ->
           utility truthful_outcome >= utility misreport_outcome -. 1e-6))
@@ -531,6 +531,59 @@ let qcheck_parallel_matches_serial =
       let serial = Vcg.run problem in
       List.for_all
         (fun (_jobs, pool) -> outcomes_equal serial (Vcg.run ~pool problem))
+        (Lazy.force shared_pools))
+
+(* The feasibility cache is pure memoization: disabling it (or changing
+   the pool size under it) must change no outcome. *)
+let qcheck_cache_off_matches_on =
+  QCheck.Test.make ~name:"Vcg.run identical with feascache on and off"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let with_cache on f =
+        let was = Poc_auction.Feascache.enabled () in
+        Poc_auction.Feascache.set_enabled on;
+        Fun.protect ~finally:(fun () ->
+            Poc_auction.Feascache.set_enabled was)
+          f
+      in
+      let cached = with_cache true (fun () -> Vcg.run problem) in
+      let uncached = with_cache false (fun () -> Vcg.run problem) in
+      let pools = Lazy.force shared_pools in
+      let pool4 = List.assoc 4 pools in
+      let cached4 = with_cache true (fun () -> Vcg.run ~pool:pool4 problem) in
+      let uncached4 =
+        with_cache false (fun () -> Vcg.run ~pool:pool4 problem)
+      in
+      outcomes_equal cached uncached
+      && outcomes_equal cached cached4
+      && outcomes_equal cached uncached4)
+
+(* An explicitly shared cache must also be outcome-invisible when
+   threaded through the exact selector across pool sizes. *)
+let qcheck_select_exact_pooled_matches_serial =
+  QCheck.Test.make ~name:"select_exact ~pool identical to serial" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let cache =
+        Poc_auction.Feascache.create ~digest:(Vcg.problem_digest problem)
+      in
+      let serial = Vcg.select_exact problem in
+      let selections_equal a b =
+        match (a, b) with
+        | None, None -> true
+        | Some _, None | None, Some _ -> false
+        | Some (x : Vcg.selection), Some y ->
+          x.Vcg.selected = y.Vcg.selected && x.Vcg.cost = y.Vcg.cost
+      in
+      List.for_all
+        (fun (_jobs, pool) ->
+          let pooled = Vcg.select_exact ~cache ~pool problem in
+          Poc_auction.Feascache.join cache;
+          let warm = Vcg.select_exact ~cache ~pool problem in
+          selections_equal serial pooled && selections_equal serial warm)
         (Lazy.force shared_pools))
 
 let suite =
@@ -573,4 +626,6 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_individual_rationality;
     QCheck_alcotest.to_alcotest qcheck_strategyproof_random;
     QCheck_alcotest.to_alcotest qcheck_parallel_matches_serial;
+    QCheck_alcotest.to_alcotest qcheck_cache_off_matches_on;
+    QCheck_alcotest.to_alcotest qcheck_select_exact_pooled_matches_serial;
   ]

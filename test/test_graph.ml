@@ -5,6 +5,7 @@ module Graph = Poc_graph.Graph
 module Heap = Poc_graph.Heap
 module Paths = Poc_graph.Paths
 module Flow = Poc_graph.Flow
+module Sparse = Poc_graph.Sparse
 module Prng = Poc_util.Prng
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -271,6 +272,81 @@ let qcheck_maxflow_bounded_by_degree_capacity =
       in
       r.Flow.value <= cap_at 0 +. 1e-9 && r.Flow.value <= cap_at 7 +. 1e-9)
 
+(* --- Sparse (CSR) ---------------------------------------------------------- *)
+
+let test_sparse_matches_neighbors () =
+  let g = random_graph 77 ~nodes:8 ~edges:12 in
+  let csr = Sparse.of_graph g in
+  Alcotest.(check int) "node count" (Graph.node_count g) csr.Sparse.nodes;
+  Alcotest.(check int) "edge count" (Graph.edge_count g) csr.Sparse.edges;
+  for u = 0 to Graph.node_count g - 1 do
+    let row =
+      List.init
+        (csr.Sparse.row_start.{u + 1} - csr.Sparse.row_start.{u})
+        (fun i ->
+          let k = csr.Sparse.row_start.{u} + i in
+          (csr.Sparse.col.{k}, csr.Sparse.eid.{k}, csr.Sparse.weight.{k}))
+    in
+    let adj =
+      List.map
+        (fun (v, (e : Graph.edge)) -> (v, e.Graph.id, e.Graph.weight))
+        (Graph.neighbors g u)
+    in
+    Alcotest.(check (list (triple int int (float 0.0))))
+      (Printf.sprintf "row %d equals Graph.neighbors order" u)
+      adj row
+  done
+
+let test_sparse_memoized_and_invalidated () =
+  let g = random_graph 78 ~nodes:6 ~edges:8 in
+  let a = Sparse.of_graph g in
+  let b = Sparse.of_graph g in
+  Alcotest.(check bool) "same compiled view reused" true (a == b);
+  ignore (Graph.add_edge g 0 1 ~weight:1.0 ~capacity:1.0);
+  let c = Sparse.of_graph g in
+  Alcotest.(check bool) "version bump rebuilds" true (not (a == c));
+  Alcotest.(check int) "rebuilt view sees the new edge"
+    (Graph.edge_count g) c.Sparse.edges
+
+(* max_flow_without_edge must agree exactly with a from-scratch solve,
+   on both its fast path (removed edge idle) and its fallback. *)
+let qcheck_incremental_flow_matches_scratch =
+  QCheck.Test.make ~name:"max_flow_without_edge = from-scratch max_flow"
+    ~count:80
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed ~nodes:8 ~edges:10 in
+      let m = Graph.edge_count g in
+      if m = 0 then true
+      else begin
+        let edge = seed * 19 mod m in
+        let prev = Flow.max_flow g 0 7 in
+        let inc = Flow.max_flow_without_edge g 0 7 ~prev ~edge in
+        let scratch = Flow.max_flow ~enabled:(fun id -> id <> edge) g 0 7 in
+        Float.abs (inc.Flow.value -. scratch.Flow.value) < 1e-6
+        && Float.abs inc.Flow.edge_flow.(edge) < 1e-9
+        && Float.abs
+             (inc.Flow.value -. Flow.cut_capacity g inc.Flow.cut_edges)
+           < 1e-6
+        && not (List.mem edge inc.Flow.cut_edges)
+      end)
+
+let qcheck_edge_flow_conserves =
+  QCheck.Test.make ~name:"edge_flow: net outflow at source = value" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed ~nodes:8 ~edges:10 in
+      let r = Flow.max_flow g 0 7 in
+      let net_out v =
+        List.fold_left
+          (fun acc (e : Graph.edge) ->
+            if e.Graph.u = v then acc +. r.Flow.edge_flow.(e.Graph.id)
+            else acc -. r.Flow.edge_flow.(e.Graph.id))
+          0.0 (Graph.incident g v)
+      in
+      Float.abs (net_out 0 -. r.Flow.value) < 1e-6
+      && Float.abs (net_out 7 +. r.Flow.value) < 1e-6)
+
 let suite =
   [
     Alcotest.test_case "graph basics" `Quick test_graph_basics;
@@ -296,4 +372,10 @@ let suite =
     Alcotest.test_case "max flow disconnected" `Quick test_max_flow_disconnected;
     QCheck_alcotest.to_alcotest qcheck_maxflow_equals_mincut;
     QCheck_alcotest.to_alcotest qcheck_maxflow_bounded_by_degree_capacity;
+    Alcotest.test_case "sparse CSR matches neighbors" `Quick
+      test_sparse_matches_neighbors;
+    Alcotest.test_case "sparse memo keyed on version" `Quick
+      test_sparse_memoized_and_invalidated;
+    QCheck_alcotest.to_alcotest qcheck_incremental_flow_matches_scratch;
+    QCheck_alcotest.to_alcotest qcheck_edge_flow_conserves;
   ]

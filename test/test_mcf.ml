@@ -222,6 +222,85 @@ let qcheck_chunks_are_real_paths =
           walk c.Router.src c.Router.edge_ids)
         r.Router.chunks)
 
+(* route_toggle: the incremental answer must be a superset verdict of
+   the from-scratch one (never misses a feasible set), always valid for
+   the toggled enabled set, and deterministic. *)
+let qcheck_toggle_remove_superset_and_valid =
+  QCheck.Test.make ~name:"route_toggle Remove: superset, valid, deterministic"
+    ~count:80
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, demands = random_instance seed in
+      let m = Graph.edge_count g in
+      let eid = seed * 13 mod m in
+      let base = Router.route g ~demands in
+      let toggled = Router.route_toggle g ~demands ~base (Router.Remove eid) in
+      let again = Router.route_toggle g ~demands ~base (Router.Remove eid) in
+      let scratch = Router.route ~enabled:(fun id -> id <> eid) g ~demands in
+      let superset = (not scratch.Router.feasible) || toggled.Router.feasible in
+      let removed_idle = Float.abs toggled.Router.usage.(eid) < 1e-9 in
+      let capacity_ok =
+        Graph.fold_edges
+          (fun e acc ->
+            acc && toggled.Router.usage.(e.Graph.id) <= e.capacity +. 1e-6)
+          g true
+      in
+      let offered =
+        List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 demands
+      in
+      let unrouted =
+        List.fold_left
+          (fun acc (_, _, d) -> acc +. d)
+          0.0 toggled.Router.unrouted
+      in
+      let conserves =
+        Float.abs (Router.total_routed toggled +. unrouted -. offered) < 1e-6
+      in
+      let deterministic =
+        toggled.Router.feasible = again.Router.feasible
+        && toggled.Router.usage = again.Router.usage
+      in
+      superset && removed_idle && capacity_ok && conserves && deterministic)
+
+let qcheck_toggle_add_superset =
+  QCheck.Test.make ~name:"route_toggle Add: superset of from-scratch" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, demands = random_instance seed in
+      let m = Graph.edge_count g in
+      let eid = seed * 17 mod m in
+      let enabled id = id <> eid in
+      let base = Router.route ~enabled g ~demands in
+      let toggled =
+        Router.route_toggle ~enabled g ~demands ~base (Router.Add eid)
+      in
+      let scratch = Router.route g ~demands in
+      let superset = (not scratch.Router.feasible) || toggled.Router.feasible in
+      let capacity_ok =
+        Graph.fold_edges
+          (fun e acc ->
+            acc && toggled.Router.usage.(e.Graph.id) <= e.capacity +. 1e-6)
+          g true
+      in
+      superset && capacity_ok)
+
+let test_toggle_preconditions () =
+  let g, e01, _, _ = chain_with_shortcut () in
+  let base = Router.route g ~demands:[ (0, 2, 1.0) ] in
+  Alcotest.check_raises "Remove of a disabled edge rejected"
+    (Invalid_argument "Router.route_toggle: Remove of a disabled edge")
+    (fun () ->
+      ignore
+        (Router.route_toggle
+           ~enabled:(fun id -> id <> e01)
+           g ~demands:[ (0, 2, 1.0) ] ~base (Router.Remove e01)));
+  Alcotest.check_raises "Add of an enabled edge rejected"
+    (Invalid_argument "Router.route_toggle: Add of an enabled edge")
+    (fun () ->
+      ignore
+        (Router.route_toggle g ~demands:[ (0, 2, 1.0) ] ~base
+           (Router.Add e01)))
+
 let suite =
   [
     Alcotest.test_case "simple route" `Quick test_simple_route;
@@ -241,7 +320,11 @@ let suite =
     Alcotest.test_case "chain does not survive" `Quick test_does_not_survive_on_chain;
     Alcotest.test_case "failure sweep verdict is jobs-invariant" `Quick
       test_survives_all_jobs_invariant;
+    Alcotest.test_case "route_toggle preconditions" `Quick
+      test_toggle_preconditions;
     QCheck_alcotest.to_alcotest qcheck_conservation;
     QCheck_alcotest.to_alcotest qcheck_capacity_respected;
     QCheck_alcotest.to_alcotest qcheck_chunks_are_real_paths;
+    QCheck_alcotest.to_alcotest qcheck_toggle_remove_superset_and_valid;
+    QCheck_alcotest.to_alcotest qcheck_toggle_add_superset;
   ]

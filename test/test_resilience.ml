@@ -508,6 +508,37 @@ let test_journal_byte_identical_under_pool () =
       Alcotest.(check string) "journal bytes identical under jobs 4"
         serial_bytes par_bytes)
 
+let test_journal_byte_identical_with_feascache () =
+  (* The feasibility cache must be journal-invisible: a journaled chaos
+     run with the cache enabled (the default) writes the same bytes and
+     renders the same report as one with it disabled — serially and
+     through a pool. *)
+  let plan = plan () in
+  let schedule = compile_chaos plan in
+  let journal_of ?pool ~cache () =
+    let was = Poc_auction.Feascache.enabled () in
+    Poc_auction.Feascache.set_enabled cache;
+    Fun.protect ~finally:(fun () -> Poc_auction.Feascache.set_enabled was)
+      (fun () ->
+        with_tmp_journal (fun path ->
+            let report =
+              Supervisor.run ?pool plan ~journal:path ~market ~schedule
+            in
+            (render report, read_file path)))
+  in
+  let on_render, on_bytes = journal_of ~cache:true () in
+  let off_render, off_bytes = journal_of ~cache:false () in
+  Alcotest.(check string) "rendered report identical cache on/off" on_render
+    off_render;
+  Alcotest.(check string) "journal bytes identical cache on/off" on_bytes
+    off_bytes;
+  Poc_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let pooled_render, pooled_bytes = journal_of ?pool ~cache:true () in
+      Alcotest.(check string) "report identical, cache on + jobs 4" on_render
+        pooled_render;
+      Alcotest.(check string) "journal bytes identical, cache on + jobs 4"
+        on_bytes pooled_bytes)
+
 let test_resume_rejects_mismatch_and_complete () =
   let plan = plan () in
   let schedule = compile_chaos plan in
@@ -1286,6 +1317,8 @@ let suite =
       test_resume_after_external_truncation;
     Alcotest.test_case "journal bytes identical under domain pool" `Slow
       test_journal_byte_identical_under_pool;
+    Alcotest.test_case "journal bytes identical with feascache" `Slow
+      test_journal_byte_identical_with_feascache;
     Alcotest.test_case "resume refuses mismatched or complete journals" `Slow
       test_resume_rejects_mismatch_and_complete;
     Alcotest.test_case "replay refuses garbage and future versions" `Quick
