@@ -29,6 +29,8 @@ let experiments =
     ("e18", "flight recorder overhead (extension)", E18_flight.run);
     ("e19", "continent-scale feasibility: cache + repair (extension)",
       E19_scale.run);
+    ("e20", "multi-run daemon: concurrent runs + fault isolation (extension)",
+      E20_multirun.run);
     ("micro", "Bechamel kernel micro-benchmarks", Micro.run);
   ]
 

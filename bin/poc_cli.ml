@@ -911,60 +911,73 @@ let serve_cmd =
           ~doc:"Rotation budget of the segmented store (the daemon always \
                 journals segmented).")
   in
+  let runs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Open $(docv) concurrent runs at startup (run 0 at \
+                $(b,ROOT), further runs under $(b,ROOT)/runs/).  Clients \
+                address them with the $(b,RUN <id>) prefix or the binary \
+                framed protocol; more runs open live via $(b,OPEN).")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:"Upper bound on concurrently open runs; $(b,OPEN) past it \
+                answers BUSY.")
+  in
+  let fault_run_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-run" ] ~docv:"ID"
+          ~doc:"The run whose schedule carries the injected \
+                $(b,--crash-at)/$(b,--disk-fault) specs (default run 0); \
+                every other run gets a fault-free schedule — the \
+                fault-isolation drill.")
+  in
+  let attempt_cap_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempt-cap" ] ~docv:"N"
+          ~doc:"Restart-with-backoff attempts a failing run gets before it \
+                is quarantined (store left intact for $(b,forensics), \
+                requests answered GONE).")
+  in
   let run verbose seed sites bps epochs jobs fault_seed crashes disk_faults
       root socket resume high_water metrics_port idle_timeout snapshot_every
-      segment_bytes flight trace metrics =
+      segment_bytes flight trace metrics runs max_runs fault_run attempt_cap =
     setup_logs verbose;
     let flush = setup_obs ~trace ~metrics in
     let plan = build_plan ~sites ~bps ~seed ~rule:Acc.Handle_load in
     let module Epochs = Poc_market.Epochs in
     let market = { Epochs.default_config with Epochs.epochs; seed } in
-    let schedule =
-      match
-        Fault.compile plan.Planner.wan ~seed:fault_seed
-          (injected_specs ~crashes ~disk_faults)
-      with
-      | Ok s -> s
-      | Error msg ->
-        Printf.eprintf "bad fault schedule: %s\n" msg;
-        exit 1
-    in
+    let fault_specs = injected_specs ~crashes ~disk_faults in
     (try if not (Sys.file_exists root) then Sys.mkdir root 0o755
      with Sys_error msg ->
        Printf.eprintf "serve: cannot create %s: %s\n" root msg;
        exit 1);
-    let store = Filename.concat root "store" in
-    let intake = Filename.concat root "intake.log" in
     let socket =
       Option.value socket ~default:(Filename.concat root "ctl.sock")
-    in
-    let disk = Poc_daemon.Engine.retrying_disk () in
-    (* The daemon always journals segmented, so the box lives inside
-       the store directory; its own Disk keeps journal bytes
-       untouched. *)
-    let flight =
-      if flight then
-        Some (Black_box.create (Filename.concat store "FLIGHT"))
-      else None
     in
     let code =
       Pool.with_pool ~jobs (fun pool ->
           match
-            Poc_daemon.Engine.create ~snapshot_every
-              ~segment_bytes ~disk ?pool ?flight ~high_water ~resume ~store
-              ~intake plan ~market ~schedule
+            Poc_daemon.Registry.create ~snapshot_every ~segment_bytes ?pool
+              ~flight ~high_water ~attempt_cap ~resume ~runs ~max_runs
+              ~fault_run ~fault_specs ~fault_seed ~root plan ~market ()
           with
           | Error msg ->
             Printf.eprintf "serve: %s\n" msg;
             1
-          | Ok engine ->
+          | Ok registry ->
             Printf.eprintf "%s\nlistening on %s\n%!"
-              (Poc_daemon.Engine.banner engine)
+              (Poc_daemon.Registry.banner registry)
               socket;
             Poc_daemon.Server.serve
               { Poc_daemon.Server.socket_path = socket; metrics_port;
                 idle_timeout }
-              engine ~flush)
+              registry ~flush)
     in
     exit code
   in
@@ -974,15 +987,20 @@ let serve_cmd =
       $ jobs_arg $ fault_seed_arg $ crash_arg $ disk_fault_arg $ root_arg
       $ socket_arg $ serve_resume_arg $ high_water_arg $ metrics_port_arg
       $ idle_timeout_arg $ snapshot_every_arg $ serve_segment_arg $ flight_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ runs_arg $ max_runs_arg $ fault_run_arg
+      $ attempt_cap_arg)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the market as a long-lived supervised daemon: line protocol \
-             (BID/MATRIX/EPOCH/STATUS/METRICS/SCRUB/QUIESCE/SHUTDOWN) over a \
-             Unix socket, bounded admission queue with backpressure and \
-             shedding, durable intake log, live Prometheus endpoint, and \
-             kill-under-load recovery via $(b,--resume).")
+       ~doc:"Run the market as a long-lived multi-run daemon: a supervised \
+             run registry (per-run journal, intake log and failure domain; \
+             failing runs restart with backoff, then quarantine) behind the \
+             line protocol (RUN-prefixed \
+             BID/MATRIX/EPOCH/STATUS/METRICS/SCRUB/QUIESCE/SHUTDOWN plus \
+             OPEN/CLOSE/RUNS) and a checksummed binary framed protocol on \
+             the same socket, bounded admission queues with backpressure \
+             and shedding, live Prometheus endpoint, and kill-under-load \
+             recovery via $(b,--resume).")
     term
 
 let ctl_cmd =
@@ -999,56 +1017,235 @@ let ctl_cmd =
           ~doc:"Requests to send, one per argument (quote each).  With no \
                 arguments, requests are read from stdin, one per line.")
   in
-  let run verbose socket commands =
+  let run_id_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "run" ] ~docv:"ID"
+          ~doc:"Address plain requests to run $(docv) by prefixing \
+                $(b,RUN ID); lines already carrying a $(b,RUN) prefix or a \
+                registry verb ($(b,OPEN)/$(b,CLOSE)/$(b,RUNS)) pass \
+                through unchanged.")
+  in
+  let binary_arg =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Speak the checksummed binary framed protocol instead of the \
+                line protocol (same requests, parsed locally and framed).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up (exit 6) when the daemon holds a response open \
+                longer than $(docv) seconds — a wedged daemon cannot hang \
+                ctl.")
+  in
+  let busy_retries_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "busy-retries" ] ~docv:"N"
+          ~doc:"Re-send a request answered BUSY up to $(docv) times, \
+                sleeping the daemon's escalating retry_after plus local \
+                jitter between attempts.")
+  in
+  let run verbose socket run_id binary timeout busy_retries commands =
     setup_logs verbose;
+    let module Protocol = Poc_daemon.Protocol in
+    let module Framing = Poc_daemon.Framing in
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX socket)
      with Unix.Unix_error (e, _, _) ->
        Printf.eprintf "ctl: cannot connect to %s: %s\n" socket
          (Unix.error_message e);
        exit 1);
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    let module Protocol = Poc_daemon.Protocol in
-    let failures = ref 0 in
-    let send line =
-      output_string oc (line ^ "\n");
-      Stdlib.flush oc;
+    let write_all s =
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let rec go off =
+        if off < n then go (off + Unix.write fd b off (n - off))
+      in
+      try go 0
+      with Unix.Unix_error _ ->
+        prerr_endline "ctl: connection closed by daemon";
+        exit 4
+    in
+    let buf = Buffer.create 256 in
+    let pending : Poc_daemon.Framing.item Queue.t = Queue.create () in
+    (* Deadline-bounded reads: ctl never blocks past --timeout on a
+       wedged socket. *)
+    let fill deadline =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then `Timeout
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+        | [], _, _ -> `Timeout
+        | _ -> (
+          let b = Bytes.create 4096 in
+          match Unix.read fd b 0 4096 with
+          | 0 -> `Eof
+          | n ->
+            Buffer.add_subbytes buf b 0 n;
+            `Again
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+            `Eof)
+    in
+    let die_timeout () =
+      Printf.eprintf "ctl: timed out after %.1fs\n" timeout;
+      exit 6
+    and die_eof () =
+      (* The daemon died mid-request — the kill-under-load drill.
+         Distinct exit code so scripts can tell "refused" from
+         "gone". *)
+      prerr_endline "ctl: connection closed by daemon";
+      exit 4
+    in
+    (* One response element: a line (line protocol) or a reply frame. *)
+    let rec next_line deadline =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+        String.sub s 0 i
+      | None -> (
+        match fill deadline with
+        | `Again -> next_line deadline
+        | `Timeout -> die_timeout ()
+        | `Eof -> die_eof ())
+    in
+    let rec next_reply deadline =
+      match Queue.take_opt pending with
+      | Some (Framing.Reply r) -> r
+      | Some (Framing.Msg _) -> next_reply deadline (* daemons don't ask *)
+      | None -> (
+        let s = Buffer.contents buf in
+        let { Framing.items; consumed; dropped = _ } =
+          Framing.decode_stream s ~pos:0
+        in
+        if consumed > 0 then begin
+          Buffer.clear buf;
+          Buffer.add_substring buf s consumed (String.length s - consumed)
+        end;
+        List.iter (fun i -> Queue.add i pending) items;
+        if not (Queue.is_empty pending) then next_reply deadline
+        else
+          match fill deadline with
+          | `Again -> next_reply deadline
+          | `Timeout -> die_timeout ()
+          | `Eof -> die_eof ())
+    in
+    (* Deterministic-enough client jitter: decorrelates a herd of
+       retrying ctls without threading a seed through the CLI. *)
+    let jstate = ref ((Unix.getpid () * 2654435761) land 0x3FFFFFFF) in
+    let jitter () =
+      jstate := ((!jstate * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int (!jstate land 0xFFFF) /. 65536.0
+    in
+    let retry_after line =
+      String.split_on_char ' ' line
+      |> List.find_map (fun tok ->
+             if String.length tok > 12 && String.sub tok 0 12 = "retry_after="
+             then
+               float_of_string_opt
+                 (String.sub tok 12 (String.length tok - 12))
+             else None)
+    in
+    let failures = ref 0 and gone = ref false in
+    let scope line =
+      match run_id with
+      | None -> line
+      | Some id -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | ("RUN" | "OPEN" | "CLOSE" | "RUNS") :: _ -> line
+        | _ -> Printf.sprintf "RUN %d %s" id line)
+    in
+    let has_prefix p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    let rec send attempt line =
+      (if binary then
+         (* Parse errors were rejected before the first attempt, so this
+            cannot fail here. *)
+         match Protocol.parse_command line with
+         | Error msg -> failwith ("ctl: parse: " ^ msg)
+         | Ok cmd -> write_all (Framing.encode_msg (Framing.of_command cmd))
+       else write_all (line ^ "\n"));
+      let deadline = Unix.gettimeofday () +. timeout in
       let rec read_response () =
-        match input_line ic with
-        | resp ->
-          print_endline (Protocol.payload resp);
-          if Protocol.is_terminal resp then begin
-            if String.length resp >= 3 && String.sub resp 0 3 = "ERR" then
-              incr failures
-          end
-          else read_response ()
-        | exception End_of_file ->
-          (* The daemon died mid-request — the kill-under-load drill.
-             Distinct exit code so scripts can tell "refused" from
-             "gone". *)
-          prerr_endline "ctl: connection closed by daemon";
-          exit 4
+        let text, final =
+          if binary then
+            let r = next_reply deadline in
+            (r.Framing.line, r.Framing.final)
+          else
+            let l = next_line deadline in
+            (Protocol.payload l, Protocol.is_terminal l)
+        in
+        print_endline text;
+        if not final then read_response ()
+        else if has_prefix "BUSY" text && attempt < busy_retries then begin
+          let delay = Option.value (retry_after text) ~default:0.05 in
+          Unix.sleepf (delay *. (1.0 +. (0.25 *. jitter ())));
+          send (attempt + 1) line
+        end
+        else begin
+          if has_prefix "ERR" text then incr failures;
+          if has_prefix "GONE" text then gone := true
+        end
       in
       read_response ()
+    in
+    let send line =
+      if binary then (
+        (* An unparseable line never reached the wire: nothing to read. *)
+        match Protocol.parse_command line with
+        | Error msg ->
+          Printf.eprintf "ctl: parse: %s\n" msg;
+          incr failures
+        | Ok _ -> send 0 line)
+      else send 0 line
     in
     (match commands with
     | [] -> (
       try
         while true do
           let line = input_line stdin in
-          if String.trim line <> "" then send line
+          if String.trim line <> "" then send (scope line)
         done
       with End_of_file -> ())
-    | cmds -> List.iter (fun c -> if String.trim c <> "" then send c) cmds);
-    if !failures > 0 then exit 2
+    | cmds ->
+      List.iter (fun c -> if String.trim c <> "" then send (scope c)) cmds);
+    if !gone then exit 5 else if !failures > 0 then exit 2
   in
-  let term = Term.(const run $ verbose_arg $ socket_arg $ commands_arg) in
+  let term =
+    Term.(
+      const run $ verbose_arg $ socket_arg $ run_id_arg $ binary_arg
+      $ timeout_arg $ busy_retries_arg $ commands_arg)
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "$(b,0) every request answered OK (BUSY responses that cleared \
+          within $(b,--busy-retries) count as OK).";
+      `P "$(b,2) at least one request answered ERR.";
+      `P "$(b,4) the daemon vanished mid-request (connection closed).";
+      `P "$(b,5) at least one request answered GONE: the addressed run is \
+          quarantined or closed.  Its store is intact — inspect it with \
+          $(b,poc-cli forensics).";
+      `P "$(b,6) the daemon held a response open past $(b,--timeout).";
+      `P "$(b,1) could not connect to the socket.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "ctl"
+    (Cmd.info "ctl" ~man
        ~doc:"Send control requests to a running $(b,poc-cli serve) daemon \
-             and print the responses.  Exits 2 if any request answered ERR, \
-             4 if the daemon vanished mid-request.")
+             and print the responses.  Requests may address any run \
+             ($(b,--run), a $(b,RUN <id>) prefix, or $(b,--binary) frames); \
+             BUSY answers retry with the daemon's escalating retry-after \
+             plus client-side jitter.")
     term
 
 (* --- profile ---------------------------------------------------------------- *)

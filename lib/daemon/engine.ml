@@ -123,15 +123,16 @@ let set_queue_gauges t =
       (float_of_int (Flight.stored (Black_box.ring b)))
 
 let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool ?flight
-    ?(high_water = 64) ?(resume = false) ~store ~intake plan ~market ~schedule
-    =
+    ?(high_water = 64) ?(resume = false) ?(honor_crashes = false) ~store
+    ~intake plan ~market ~schedule =
   let disk = match disk with Some d -> d | None -> Disk.real () in
   let n_bps = Array.length plan.Planner.problem.Vcg.bids in
   let admission = Admission.create ~high_water () in
   Metrics.Gauge.set g_high_water (float_of_int high_water);
+  let intake_retry ~attempt:_ ~delay:_ _ = Metrics.Counter.inc c_retries in
   let reresume () =
-    Supervisor.open_resume ?ladder ~journal:store ?flight ~disk ?pool plan
-      ~market ~schedule
+    Supervisor.open_resume ?ladder ~honor_crashes ~journal:store ?flight ~disk
+      ?pool plan ~market ~schedule
   in
   let finish loop ilog accepted_rev shed_seqs =
     let t =
@@ -160,7 +161,7 @@ let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool ?flight
     match reresume () with
     | Error _ as e -> e
     | Ok loop -> (
-      match Intake.reopen ~disk intake with
+      match Intake.reopen ~disk ~on_retry:intake_retry intake with
       | Error _ as e -> e
       | Ok (ilog, records) ->
         let shed_seqs = Hashtbl.create 64 in
@@ -211,7 +212,9 @@ let create ?ladder ?(snapshot_every = 4) ?segment_bytes ?disk ?pool ?flight
       Supervisor.open_run ?ladder ~journal:store ?flight ~snapshot_every
         ?segment_bytes ~disk ?pool plan ~market ~schedule
     in
-    finish loop (Intake.create ~disk intake) [] (Hashtbl.create 64)
+    finish loop
+      (Intake.create ~disk ~on_retry:intake_retry intake)
+      [] (Hashtbl.create 64)
 
 let set_flush t f = t.flush <- f
 let next_epoch t = Supervisor.next_epoch t.loop
@@ -232,6 +235,18 @@ let suspend t =
   | None -> ignore (Supervisor.finish t.loop));
   Intake.close t.ilog;
   t.flush ()
+
+(* Best-effort teardown of a run whose loop may already be dead (an
+   [Injected_crash] closes the journal and kills the loop before the
+   registry sees the exception): release what is still open and never
+   raise. *)
+let abandon t =
+  (try
+     match Supervisor.next_epoch t.loop with
+     | Some _ -> Supervisor.suspend t.loop
+     | None -> ignore (Supervisor.finish t.loop)
+   with _ -> ());
+  try Intake.close t.ilog with _ -> ()
 
 (* --- request handlers ----------------------------------------------------- *)
 

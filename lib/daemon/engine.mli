@@ -46,6 +46,7 @@ val create :
   ?flight:Black_box.t ->
   ?high_water:int ->
   ?resume:bool ->
+  ?honor_crashes:bool ->
   store:string ->
   intake:string ->
   Poc_core.Planner.plan ->
@@ -57,6 +58,13 @@ val create :
     log, re-queues still-pending updates and restores the dedup floor).
     Same validation failures as [Supervisor.open_run] surface as
     [Invalid_argument]; resume problems as [Error].
+
+    [honor_crashes] (default false) re-arms the schedule's not-yet-fired
+    crash/storage specs on every resume path — startup [resume:true] and
+    the in-place recovery after an epoch failure — exactly as
+    [Supervisor.resume ~honor_crashes:true].  The registry's
+    restart-with-backoff sets it so a retried run walks the remainder of
+    its kill chain instead of silently disarming it.
 
     [flight] attaches a black-box recorder, threaded into the
     supervised loop exactly as [Supervisor.open_run ?flight] and
@@ -90,6 +98,13 @@ val suspend : t -> unit
 (** Close the journal resumably and the intake log — the
     signal-shutdown path when the server must exit without a client
     [SHUTDOWN]. *)
+
+val abandon : t -> unit
+(** Best-effort {!suspend} for a run whose loop may already be dead
+    (after [Supervisor.Injected_crash] the journal is closed and the
+    loop unusable): closes whatever is still open, swallows every
+    error, never raises.  The registry calls this before marking a run
+    [Failing]. *)
 
 val retrying_disk : ?policy:Disk.retry_policy -> ?ops:Disk.ops -> unit -> Disk.t
 (** A disk whose transient [Sys_error]s retry under [policy] (default

@@ -1,0 +1,213 @@
+module Codec = Poc_util.Codec
+
+let magic = '\xB1'
+let max_payload = 1 lsl 20
+
+type msg =
+  | Open of { run : int option; epochs : int option; seed : int option }
+  | Bid of { run : int; seq : int; bp : int; factor : float; priority : int }
+  | Matrix of { run : int; seq : int; factor : float; priority : int }
+  | Epoch of { run : int; count : int }
+  | Status of { run : int }
+  | Scrub of { run : int }
+  | Close of { run : int }
+  | Runs
+  | Metrics
+  | Quiesce
+  | Shutdown
+
+type reply = { run : int; final : bool; line : string }
+type item = Msg of msg | Reply of reply
+
+let to_command : msg -> Protocol.command = function
+  | Open { run; epochs; seed } -> Protocol.Open_run { run; epochs; seed }
+  | Bid { run; seq; bp; factor; priority } ->
+    Protocol.Scoped { run; req = Protocol.Bid { seq; bp; factor; priority } }
+  | Matrix { run; seq; factor; priority } ->
+    Protocol.Scoped { run; req = Protocol.Matrix { seq; factor; priority } }
+  | Epoch { run; count } -> Protocol.Scoped { run; req = Protocol.Epoch count }
+  | Status { run } -> Protocol.Scoped { run; req = Protocol.Status }
+  | Scrub { run } -> Protocol.Scoped { run; req = Protocol.Scrub }
+  | Close { run } -> Protocol.Close_run { run }
+  | Runs -> Protocol.List_runs
+  | Metrics -> Protocol.Scoped { run = 0; req = Protocol.Metrics_dump }
+  | Quiesce -> Protocol.Scoped { run = 0; req = Protocol.Quiesce }
+  | Shutdown -> Protocol.Scoped { run = 0; req = Protocol.Shutdown }
+
+let of_command : Protocol.command -> msg = function
+  | Protocol.Scoped { run; req } -> (
+    match req with
+    | Protocol.Bid { seq; bp; factor; priority } ->
+      Bid { run; seq; bp; factor; priority }
+    | Protocol.Matrix { seq; factor; priority } ->
+      Matrix { run; seq; factor; priority }
+    | Protocol.Epoch count -> Epoch { run; count }
+    | Protocol.Status -> Status { run }
+    | Protocol.Scrub -> Scrub { run }
+    | Protocol.Metrics_dump -> Metrics
+    | Protocol.Quiesce -> Quiesce
+    | Protocol.Shutdown -> Shutdown)
+  | Protocol.Open_run { run; epochs; seed } -> Open { run; epochs; seed }
+  | Protocol.Close_run { run } -> Close { run }
+  | Protocol.List_runs -> Runs
+
+(* Wire tags.  1..11 are requests, 64/65 replies; gaps left for
+   future verbs so old decoders drop (rather than misread) new ones. *)
+let tag_open = 1
+let tag_bid = 2
+let tag_matrix = 3
+let tag_epoch = 4
+let tag_status = 5
+let tag_scrub = 6
+let tag_close = 7
+let tag_runs = 8
+let tag_metrics = 9
+let tag_quiesce = 10
+let tag_shutdown = 11
+let tag_reply_more = 64
+let tag_reply_final = 65
+
+let encode_payload item =
+  let w = Codec.writer () in
+  (match item with
+  | Msg (Open { run; epochs; seed }) ->
+    Codec.put_u8 w tag_open;
+    Codec.put_option w Codec.put_int run;
+    Codec.put_option w Codec.put_int epochs;
+    Codec.put_option w Codec.put_int seed
+  | Msg (Bid { run; seq; bp; factor; priority }) ->
+    Codec.put_u8 w tag_bid;
+    Codec.put_int w run;
+    Codec.put_int w seq;
+    Codec.put_int w bp;
+    Codec.put_f64 w factor;
+    Codec.put_int w priority
+  | Msg (Matrix { run; seq; factor; priority }) ->
+    Codec.put_u8 w tag_matrix;
+    Codec.put_int w run;
+    Codec.put_int w seq;
+    Codec.put_f64 w factor;
+    Codec.put_int w priority
+  | Msg (Epoch { run; count }) ->
+    Codec.put_u8 w tag_epoch;
+    Codec.put_int w run;
+    Codec.put_int w count
+  | Msg (Status { run }) ->
+    Codec.put_u8 w tag_status;
+    Codec.put_int w run
+  | Msg (Scrub { run }) ->
+    Codec.put_u8 w tag_scrub;
+    Codec.put_int w run
+  | Msg (Close { run }) ->
+    Codec.put_u8 w tag_close;
+    Codec.put_int w run
+  | Msg Runs -> Codec.put_u8 w tag_runs
+  | Msg Metrics -> Codec.put_u8 w tag_metrics
+  | Msg Quiesce -> Codec.put_u8 w tag_quiesce
+  | Msg Shutdown -> Codec.put_u8 w tag_shutdown
+  | Reply { run; final; line } ->
+    Codec.put_u8 w (if final then tag_reply_final else tag_reply_more);
+    Codec.put_int w run;
+    Codec.put_string w line);
+  Codec.contents w
+
+let encode item =
+  let framed = Codec.frame (encode_payload item) in
+  let b = Buffer.create (String.length framed + 1) in
+  Buffer.add_char b magic;
+  Buffer.add_string b framed;
+  Buffer.contents b
+
+let encode_msg m = encode (Msg m)
+let encode_reply r = encode (Reply r)
+
+let decode_payload payload =
+  let r = Codec.reader payload in
+  let tag = Codec.get_u8 r in
+  let item =
+    if tag = tag_open then
+      let run = Codec.get_option r Codec.get_int in
+      let epochs = Codec.get_option r Codec.get_int in
+      let seed = Codec.get_option r Codec.get_int in
+      Msg (Open { run; epochs; seed })
+    else if tag = tag_bid then
+      let run = Codec.get_int r in
+      let seq = Codec.get_int r in
+      let bp = Codec.get_int r in
+      let factor = Codec.get_f64 r in
+      let priority = Codec.get_int r in
+      Msg (Bid { run; seq; bp; factor; priority })
+    else if tag = tag_matrix then
+      let run = Codec.get_int r in
+      let seq = Codec.get_int r in
+      let factor = Codec.get_f64 r in
+      let priority = Codec.get_int r in
+      Msg (Matrix { run; seq; factor; priority })
+    else if tag = tag_epoch then
+      let run = Codec.get_int r in
+      let count = Codec.get_int r in
+      Msg (Epoch { run; count })
+    else if tag = tag_status then Msg (Status { run = Codec.get_int r })
+    else if tag = tag_scrub then Msg (Scrub { run = Codec.get_int r })
+    else if tag = tag_close then Msg (Close { run = Codec.get_int r })
+    else if tag = tag_runs then Msg Runs
+    else if tag = tag_metrics then Msg Metrics
+    else if tag = tag_quiesce then Msg Quiesce
+    else if tag = tag_shutdown then Msg Shutdown
+    else if tag = tag_reply_more || tag = tag_reply_final then
+      let run = Codec.get_int r in
+      let line = Codec.get_string r in
+      Reply { run; final = tag = tag_reply_final; line }
+    else raise (Codec.Corrupt (Printf.sprintf "framing tag %d" tag))
+  in
+  if not (Codec.at_end r) then
+    raise (Codec.Corrupt "framing: trailing bytes in payload");
+  item
+
+type progress = { items : item list; consumed : int; dropped : int }
+
+(* A complete-but-corrupt frame at [pos] (checksum mismatch, or a
+   length field past [max_payload]) is distinguished from one still in
+   flight: only the former abandons the frame and rescans for the next
+   magic byte.  [Codec.next_frame] answers [Torn] for both, so peek at
+   the header ourselves. *)
+let frame_is_corrupt data ~pos =
+  let total = String.length data in
+  if pos + 8 > total then false (* header still in flight *)
+  else
+    let b i = Char.code data.[pos + i] in
+    let len = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    if len > max_payload then true
+    else pos + 8 + len <= total (* whole frame present yet still Torn: CRC *)
+
+let decode_stream data ~pos =
+  let total = String.length data in
+  let resync_from p =
+    match String.index_from_opt data p magic with
+    | Some j -> j
+    | None -> total
+  in
+  let rec go pos items dropped =
+    if pos >= total then { items = List.rev items; consumed = pos; dropped }
+    else if data.[pos] <> magic then
+      (* Garbage between frames: skip to the next candidate magic. *)
+      go (resync_from (pos + 1)) items (dropped + 1)
+    else
+      match Codec.next_frame ~max_payload data ~pos:(pos + 1) with
+      | Codec.Frame { payload; next } -> (
+        match decode_payload payload with
+        | item -> go next (item :: items) dropped
+        | exception Codec.Corrupt _ ->
+          (* Checksum-valid but undecodable (version skew or a garbled
+             tag): drop the one frame, keep the connection. *)
+          go next items (dropped + 1))
+      | Codec.End | Codec.Torn ->
+        if frame_is_corrupt data ~pos:(pos + 1) then
+          (* Garbled in transit: abandon this frame and hunt for the
+             next magic byte — one bad frame, not a dead connection. *)
+          go (resync_from (pos + 1)) items (dropped + 1)
+        else
+          (* Incomplete: wait for more bytes from this offset. *)
+          { items = List.rev items; consumed = pos; dropped }
+  in
+  go pos [] 0

@@ -10,6 +10,9 @@ type record = {
 type t = {
   disk : Disk.t;
   log_path : string;
+  retry : Disk.retry_policy;
+  sleep : float -> unit;
+  on_retry : attempt:int -> delay:float -> string -> unit;
   mutable file : Disk.file;
   mutable good : int;  (* bytes known durable *)
 }
@@ -50,12 +53,26 @@ let decode payload =
   let displaces = Codec.get_option r Codec.get_int in
   { entry = { Admission.seq; apply_epoch; priority; payload }; displaces }
 
-let create ?(disk = Disk.real ()) log_path =
-  { disk; log_path; file = Disk.open_trunc disk log_path; good = 0 }
+let make ~disk ~retry ~sleep ~on_retry ~log_path ~file ~good =
+  (* Validate the policy eagerly so a malformed one fails at open, not
+     at the first transient fault. *)
+  ignore (Disk.retry_delays retry : float list);
+  { disk; log_path; retry; sleep; on_retry; file; good }
 
-let reopen ?(disk = Disk.real ()) log_path =
+let create ?(disk = Disk.real ()) ?(retry = Disk.default_retry_policy)
+    ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ())
+    log_path =
+  make ~disk ~retry ~sleep ~on_retry ~log_path
+    ~file:(Disk.open_trunc disk log_path) ~good:0
+
+let reopen ?(disk = Disk.real ()) ?(retry = Disk.default_retry_policy)
+    ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ())
+    log_path =
+  let make file good =
+    make ~disk ~retry ~sleep ~on_retry ~log_path ~file ~good
+  in
   if not (Disk.exists disk log_path) then
-    Ok ({ disk; log_path; file = Disk.open_append disk log_path; good = 0 }, [])
+    Ok (make (Disk.open_append disk log_path) 0, [])
   else
     let data = Disk.read_file disk log_path in
     let rec walk pos acc =
@@ -73,9 +90,7 @@ let reopen ?(disk = Disk.real ()) log_path =
     | Ok (valid, records) ->
       if valid < String.length data then
         Disk.truncate_file disk log_path valid;
-      Ok
-        ( { disk; log_path; file = Disk.open_append disk log_path; good = valid },
-          records )
+      Ok (make (Disk.open_append disk log_path) valid, records)
 
 let read ?(disk = Disk.real ()) log_path =
   match Disk.read_file disk log_path with
@@ -92,20 +107,41 @@ let read ?(disk = Disk.real ()) log_path =
     in
     walk 0 []
 
+(* Self-heal after a failed append: never leave a torn frame mid-log
+   while the process lives.  Truncate back to the last durable record
+   and reopen, so the next attempt lands on a clean tail. *)
+let heal t =
+  (try Disk.close_file t.disk t.file with Sys_error _ -> ());
+  (try Disk.truncate_file t.disk t.log_path t.good with Sys_error _ -> ());
+  t.file <- Disk.open_append t.disk t.log_path
+
 let append t r =
   let bytes = encode r in
-  try
+  let try_once () =
     Disk.append t.disk t.file bytes;
     Disk.sync t.disk t.file;
     t.good <- t.good + String.length bytes
-  with Sys_error msg ->
-    (* Self-heal: never leave a torn frame mid-log while the process
-       lives.  Truncate back to the last durable record and reopen, so
-       the next append lands on a clean tail. *)
-    (try Disk.close_file t.disk t.file with Sys_error _ -> ());
-    (try Disk.truncate_file t.disk t.log_path t.good with Sys_error _ -> ());
-    t.file <- Disk.open_append t.disk t.log_path;
-    raise (Sys_error msg)
+  in
+  (* The fsync-before-OK path rides the same jittered-backoff
+     discipline as [Disk.retrying]: a transiently failing device (a
+     lying fsync caught by the flush, a short write surfacing as
+     [Sys_error]) heals and retries instead of failing the admission;
+     a persistently failing one exhausts the schedule and re-raises
+     with the log restored to its last durable length. *)
+  let rec go attempt = function
+    | delays -> (
+      match try_once () with
+      | () -> ()
+      | exception Sys_error msg -> (
+        heal t;
+        match delays with
+        | [] -> raise (Sys_error msg)
+        | delay :: rest ->
+          t.on_retry ~attempt ~delay msg;
+          if delay > 0.0 then t.sleep delay;
+          go (attempt + 1) rest))
+  in
+  go 1 (Disk.retry_delays t.retry)
 
 let close t = try Disk.close_file t.disk t.file with Sys_error _ -> ()
 let path t = t.log_path

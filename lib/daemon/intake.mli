@@ -18,10 +18,14 @@
     which, against the journal's restored checkpoint, reproduces the
     uninterrupted run byte for byte.
 
-    A failed append self-heals: the channel is reopened and the file
-    truncated back to the last durable record before the error
-    propagates, so one bad write can never leave a torn frame in the
-    middle of the log. *)
+    A failed append self-heals and retries: the channel is reopened and
+    the file truncated back to the last durable record, then the append
+    is retried under the same deterministic jittered-backoff schedule
+    {!Poc_resilience.Disk.retrying} uses ([retry], default
+    {!Poc_resilience.Disk.default_retry_policy}) — so a transient fault
+    on the fsync-before-OK path costs latency, not the admission.  Only
+    a persistently failing disk exhausts the schedule and raises, and
+    even then no torn frame is left mid-log. *)
 
 module Disk = Poc_resilience.Disk
 module Supervisor = Poc_resilience.Supervisor
@@ -33,10 +37,26 @@ type record = {
 
 type t
 
-val create : ?disk:Disk.t -> string -> t
-(** Fresh log at the path, truncating any previous contents. *)
+val create :
+  ?disk:Disk.t ->
+  ?retry:Disk.retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  string ->
+  t
+(** Fresh log at the path, truncating any previous contents.
+    [on_retry] fires before each append-retry sleep (the daemon counts
+    these in [poc_daemon_disk_retries_total]); [sleep] defaults to
+    [Unix.sleepf] and is substitutable for tests.  Raises
+    [Invalid_argument] on a malformed [retry] policy. *)
 
-val reopen : ?disk:Disk.t -> string -> (t * record list, string) result
+val reopen :
+  ?disk:Disk.t ->
+  ?retry:Disk.retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  string ->
+  (t * record list, string) result
 (** Replay the surviving records (chronological), truncate any torn
     tail, and open for append.  A missing file reopens as an empty log.
     [Error] on an undecodable (checksum-valid but malformed) record —
@@ -49,8 +69,10 @@ val read : ?disk:Disk.t -> string -> (record list * bool, string) result
     append.  [Error] only when the file cannot be read at all. *)
 
 val append : t -> record -> unit
-(** Append one frame and flush.  Raises [Sys_error] when the disk
-    refuses, after restoring the file to its last durable length. *)
+(** Append one frame and flush, retrying transient failures under the
+    log's retry policy.  Raises [Sys_error] only when the disk refuses
+    persistently (the whole backoff schedule exhausted), after
+    restoring the file to its last durable length. *)
 
 val close : t -> unit
 val path : t -> string

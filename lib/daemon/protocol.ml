@@ -75,6 +75,58 @@ let parse line =
             SCRUB, QUIESCE or SHUTDOWN"
            verb))
 
+(* --- run-addressed command layer ------------------------------------------ *)
+
+type command =
+  | Scoped of { run : int; req : request }
+  | Open_run of { run : int option; epochs : int option; seed : int option }
+  | Close_run of { run : int }
+  | List_runs
+
+let parse_open args =
+  let* epochs =
+    match args with
+    | [] -> Ok None
+    | e :: _ -> Result.map Option.some (int_tok "epochs" e)
+  in
+  let* seed =
+    match args with
+    | [ _; s ] | [ _; s; _ ] -> Result.map Option.some (int_tok "seed" s)
+    | _ :: _ :: _ :: _ -> Error "OPEN: expected [<epochs> [<seed>]]"
+    | _ -> Ok None
+  in
+  match args with
+  | _ :: _ :: _ :: _ -> Error "OPEN: expected [<epochs> [<seed>]]"
+  | _ -> Ok (Open_run { run = None; epochs; seed })
+
+let parse_command line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | "RUN" :: id :: rest -> (
+    let* run = int_tok "run" id in
+    if run < 0 then Error "RUN: id must be >= 0"
+    else
+      match rest with
+      | [] -> Error "RUN: expected a request after the id"
+      | "OPEN" :: args -> (
+        match parse_open args with
+        | Ok (Open_run o) -> Ok (Open_run { o with run = Some run })
+        | other -> other)
+      | _ ->
+        let* req = parse (String.concat " " rest) in
+        Ok (Scoped { run; req }))
+  | [ "RUN" ] -> Error "RUN: expected <id> <request>"
+  | "OPEN" :: args -> parse_open args
+  | [ "CLOSE"; id ] ->
+    let* run = int_tok "run" id in
+    Ok (Close_run { run })
+  | "CLOSE" :: _ -> Error "CLOSE: expected exactly one run id"
+  | [ "RUNS" ] -> Ok List_runs
+  | "RUNS" :: _ -> Error "RUNS: takes no arguments"
+  | _ ->
+    let* req = parse line in
+    Ok (Scoped { run = 0; req })
+
 let render = function
   | Bid { seq; bp; factor; priority } ->
     Printf.sprintf "BID %d %d %.17g %d" seq bp factor priority
@@ -86,6 +138,25 @@ let render = function
   | Scrub -> "SCRUB"
   | Quiesce -> "QUIESCE"
   | Shutdown -> "SHUTDOWN"
+
+let render_command = function
+  | Scoped { run = 0; req } -> render req
+  | Scoped { run; req } -> Printf.sprintf "RUN %d %s" run (render req)
+  | Open_run { run; epochs; seed } ->
+    let prefix =
+      match run with None -> "" | Some id -> Printf.sprintf "RUN %d " id
+    in
+    let args =
+      match (epochs, seed) with
+      | None, None -> ""
+      | Some e, None -> Printf.sprintf " %d" e
+      | Some e, Some s -> Printf.sprintf " %d %d" e s
+      | None, Some _ ->
+        invalid_arg "Protocol.render_command: OPEN seed without epochs"
+    in
+    prefix ^ "OPEN" ^ args
+  | Close_run { run } -> Printf.sprintf "CLOSE %d" run
+  | List_runs -> "RUNS"
 
 let is_terminal line =
   not (String.length line >= 2 && line.[0] = '|' && line.[1] = ' ')

@@ -35,10 +35,37 @@ type request =
   | Quiesce
   | Shutdown
 
+type command =
+  | Scoped of { run : int; req : request }
+      (** [request] addressed to one run; a bare request line is run 0,
+          the daemon's root run. *)
+  | Open_run of { run : int option; epochs : int option; seed : int option }
+      (** [OPEN [<epochs> [<seed>]]] — open a fresh run; [RUN <id> OPEN
+          …] opens it at a specific id, otherwise the registry picks
+          the next free one.  [epochs]/[seed] default to the daemon's
+          base market config. *)
+  | Close_run of { run : int }  (** [CLOSE <id>] — finish and detach *)
+  | List_runs  (** [RUNS] — one continuation line per run *)
+      (** The multi-run command layer over {!request}: every request
+          line may carry a [RUN <id>] prefix addressing one run of the
+          registry.  [Scoped] requests with [Quiesce]/[Shutdown]/
+          [Metrics_dump] remain daemon-wide regardless of the prefix. *)
+
 val parse : string -> (request, string) result
 (** Parse one request line (leading/trailing blanks and a trailing CR
     tolerated).  [priority] defaults to 0; [EPOCH]'s count to 1.
     [Error] names the offending token, never raises. *)
+
+val parse_command : string -> (command, string) result
+(** Parse one command line: a {!request} with an optional [RUN <id>]
+    prefix, or one of the registry verbs [OPEN]/[CLOSE]/[RUNS].  A bare
+    request parses as [Scoped { run = 0; _ }], keeping every pre-multi-
+    run client valid. *)
+
+val render_command : command -> string
+(** Canonical command line; [parse_command (render_command c) = Ok c],
+    with the run-0 scope rendered bare (so old daemons still parse
+    it). *)
 
 val render : request -> string
 (** Canonical request line; [parse (render r) = Ok r]. *)

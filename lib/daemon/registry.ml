@@ -1,0 +1,709 @@
+module Supervisor = Poc_resilience.Supervisor
+module Journal = Poc_resilience.Journal
+module Disk = Poc_resilience.Disk
+module Fault = Poc_resilience.Fault
+module Black_box = Poc_resilience.Black_box
+module Planner = Poc_core.Planner
+module Epochs = Poc_market.Epochs
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+module Codec = Poc_util.Codec
+
+type run_state =
+  | Starting
+  | Serving
+  | Failing of { attempts : int; retry_at_us : float; cause : string }
+  | Quarantined of { cause : string }
+  | Closed
+
+let state_name = function
+  | Starting -> "starting"
+  | Serving -> "serving"
+  | Failing _ -> "failing"
+  | Quarantined _ -> "quarantined"
+  | Closed -> "closed"
+
+let state_names = [ "starting"; "serving"; "failing"; "quarantined"; "closed" ]
+
+type run_info = {
+  id : int;
+  state : run_state;
+  next_epoch : int option;
+  horizon : int;
+  queue : int;
+}
+
+type slot = {
+  sid : int;
+  dir : string;
+  store : string;
+  intake : string;
+  m : Epochs.config;
+  mutable specs : Fault.spec list;  (* not-yet-fired kill specs *)
+  mutable engine : Engine.t option;
+  mutable state : run_state;
+  mutable failures : int;  (* cumulative; drives the quarantine cap *)
+}
+
+type t = {
+  root : string;
+  plan : Planner.plan;
+  base_market : Epochs.config;
+  snapshot_every : int;
+  segment_bytes : int;
+  pool : Poc_util.Pool.t option;
+  flight : bool;
+  high_water : int;
+  attempt_cap : int;
+  delays : float array;  (* restart backoff schedule, from retry_policy *)
+  fault_seed : int;
+  fault_run : int;
+  fault_specs : Fault.spec list;
+  disk_for : run:int -> Disk.t;
+  max_runs : int;
+  slots : (int, slot) Hashtbl.t;
+  mutable flush : unit -> unit;
+}
+
+(* --- layout ---------------------------------------------------------------- *)
+
+(* Run 0 lives at the root itself ([root/store], [root/intake.log]) so
+   every pre-multi-run artifact — the kill smoke's byte compares,
+   [poc-cli forensics] defaults, --resume of an old root — keeps
+   working unchanged.  Runs above 0 get their own directory. *)
+let run_dir root id =
+  if id = 0 then root
+  else Filename.concat root (Printf.sprintf "runs/%05d" id)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* --- instruments ----------------------------------------------------------- *)
+
+let run_state_gauge id name =
+  Metrics.gauge ~help:"Run lifecycle state (1 = the run's current state)"
+    ~labels:[ ("run", string_of_int id); ("state", name) ]
+    Metrics.default "poc_daemon_run_state"
+
+let c_run_failures =
+  Metrics.counter ~help:"Per-run failures absorbed by the registry"
+    Metrics.default "poc_daemon_run_failures_total"
+
+let c_run_restarts =
+  Metrics.counter ~help:"Failing runs successfully scrubbed and resumed"
+    Metrics.default "poc_daemon_run_restarts_total"
+
+let c_quarantines =
+  Metrics.counter ~help:"Runs escalated to quarantine at the attempt cap"
+    Metrics.default "poc_daemon_run_quarantines_total"
+
+let set_state_gauges slot =
+  let current = state_name slot.state in
+  List.iter
+    (fun name ->
+      Metrics.Gauge.set (run_state_gauge slot.sid name)
+        (if name = current then 1.0 else 0.0))
+    state_names
+
+(* --- the root manifest ----------------------------------------------------- *)
+
+(* [root/RUNS]: an append-only frame log of run lifecycle facts — which
+   ids are open (and with what horizon/seed), which closed, which were
+   quarantined.  It is the daemon's resume root: a restart replays it
+   to learn what to bring back.  Torn tails are tolerated exactly like
+   every other frame log in the tree. *)
+
+type manifest_event =
+  | M_opened of { run : int; epochs : int; seed : int }
+  | M_closed of { run : int }
+  | M_quarantined of { run : int; reason : string }
+
+let manifest_path root = Filename.concat root "RUNS"
+
+let encode_event ev =
+  let w = Codec.writer () in
+  (match ev with
+  | M_opened { run; epochs; seed } ->
+    Codec.put_u8 w 1;
+    Codec.put_int w run;
+    Codec.put_int w epochs;
+    Codec.put_int w seed
+  | M_closed { run } ->
+    Codec.put_u8 w 2;
+    Codec.put_int w run
+  | M_quarantined { run; reason } ->
+    Codec.put_u8 w 3;
+    Codec.put_int w run;
+    Codec.put_string w reason);
+  Codec.frame (Codec.contents w)
+
+let decode_event payload =
+  let r = Codec.reader payload in
+  match Codec.get_u8 r with
+  | 1 ->
+    let run = Codec.get_int r in
+    let epochs = Codec.get_int r in
+    let seed = Codec.get_int r in
+    M_opened { run; epochs; seed }
+  | 2 -> M_closed { run = Codec.get_int r }
+  | 3 ->
+    let run = Codec.get_int r in
+    let reason = Codec.get_string r in
+    M_quarantined { run; reason }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "manifest tag %d" n))
+
+let manifest_append t ev =
+  let oc =
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644 (manifest_path t.root)
+  in
+  output_string oc (encode_event ev);
+  Stdlib.flush oc;
+  close_out oc
+
+let manifest_read root =
+  let path = manifest_path root in
+  if not (Sys.file_exists path) then []
+  else
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let rec walk pos acc =
+      match Codec.next_frame data ~pos with
+      | Codec.End | Codec.Torn -> List.rev acc
+      | Codec.Frame { payload; next } -> (
+        match decode_event payload with
+        | ev -> walk next (ev :: acc)
+        | exception Codec.Corrupt _ -> List.rev acc)
+    in
+    walk 0 []
+
+(* --- engine lifecycle ------------------------------------------------------ *)
+
+let spec_fired ~epoch ~phase = function
+  | Fault.Crash { at_epoch; phase = p } -> at_epoch = epoch && p = phase
+  | Fault.Storage { at_epoch; phase = p; _ } -> at_epoch = epoch && p = phase
+  | _ -> false
+
+let compile_schedule t specs =
+  match Fault.compile t.plan.Planner.wan ~seed:t.fault_seed specs with
+  | Ok s -> Ok s
+  | Error msg -> Error ("fault schedule: " ^ msg)
+
+(* Open (or resume) a slot's engine.  A fresh [Disk.t] per attempt: a
+   storage fault damages the disk it was armed on, never the next
+   attempt's (the fleet driver's discipline). *)
+let start_slot t slot ~resume ~honor_crashes =
+  match compile_schedule t slot.specs with
+  | Error _ as e -> e
+  | Ok schedule -> (
+    let resume =
+      resume && (Sys.file_exists slot.store || Sys.file_exists slot.intake)
+    in
+    let disk = t.disk_for ~run:slot.sid in
+    let flight =
+      if t.flight then
+        Some (Black_box.create (Filename.concat slot.store "FLIGHT"))
+      else None
+    in
+    match
+      Engine.create ~snapshot_every:t.snapshot_every
+        ~segment_bytes:t.segment_bytes ~disk ?pool:t.pool ?flight
+        ~high_water:t.high_water ~resume ~honor_crashes ~store:slot.store
+        ~intake:slot.intake t.plan ~market:slot.m ~schedule
+    with
+    | Error _ as e -> e
+    | Ok engine ->
+      Engine.set_flush engine t.flush;
+      slot.engine <- Some engine;
+      slot.state <- Serving;
+      set_state_gauges slot;
+      Ok engine)
+
+let delay_for t failures =
+  if Array.length t.delays = 0 then 0.0
+  else t.delays.(min (failures - 1) (Array.length t.delays - 1))
+
+(* Record one failure of a run: release the engine, then either arm a
+   backoff retry or — past the attempt cap — quarantine, leaving the
+   store intact for offline forensics.  Returns the terminal line for
+   whichever client was unlucky enough to be attached. *)
+let fail_slot t slot ~now_us ~cause =
+  (match slot.engine with Some e -> Engine.abandon e | None -> ());
+  slot.engine <- None;
+  slot.failures <- slot.failures + 1;
+  Metrics.Counter.inc c_run_failures;
+  if slot.failures > t.attempt_cap then begin
+    slot.state <- Quarantined { cause };
+    Metrics.Counter.inc c_quarantines;
+    manifest_append t (M_quarantined { run = slot.sid; reason = cause });
+    set_state_gauges slot;
+    Printf.sprintf "GONE run=%d quarantined after %d failures: %s" slot.sid
+      slot.failures cause
+  end
+  else begin
+    let d = delay_for t slot.failures in
+    slot.state <-
+      Failing { attempts = slot.failures; retry_at_us = now_us +. (d *. 1e6);
+                cause };
+    set_state_gauges slot;
+    Printf.sprintf "BUSY run=%d retry_after=%.3f failing attempts=%d cause=%s"
+      slot.sid d slot.failures
+      (String.map (fun c -> if c = ' ' then '_' else c) cause)
+  end
+
+(* A due retry: scrub the store (a storage fault's damage must be
+   truncated or quarantined before resume will touch it), then resume
+   with the not-yet-fired kill specs re-armed. *)
+let retry_slot t slot ~now_us =
+  let resumable =
+    match Journal.scrub ~disk:(Disk.real ()) slot.store with
+    | Ok rep -> rep.Journal.recovered
+    | Error _ -> false
+    | exception Sys_error _ -> false
+  in
+  if not resumable then
+    ignore
+      (fail_slot t slot ~now_us ~cause:"scrub found no resumable store"
+        : string)
+  else
+    match
+      start_slot t slot ~resume:true ~honor_crashes:(slot.specs <> [])
+    with
+    | Ok _ -> Metrics.Counter.inc c_run_restarts
+    | Error msg ->
+      ignore (fail_slot t slot ~now_us ~cause:("resume failed: " ^ msg)
+              : string)
+
+let tick t ~now_us =
+  Hashtbl.iter
+    (fun _ slot ->
+      match slot.state with
+      | Failing { retry_at_us; _ } when now_us >= retry_at_us ->
+        retry_slot t slot ~now_us
+      | _ -> ())
+    t.slots
+
+(* --- construction ---------------------------------------------------------- *)
+
+let slots_sorted t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.slots []
+  |> List.sort (fun a b -> compare a.sid b.sid)
+
+let make_slot t id ~epochs ~seed =
+  let dir = run_dir t.root id in
+  mkdir_p dir;
+  {
+    sid = id;
+    dir;
+    store = Filename.concat dir "store";
+    intake = Filename.concat dir "intake.log";
+    m = { t.base_market with Epochs.epochs; seed };
+    specs = (if id = t.fault_run then t.fault_specs else []);
+    engine = None;
+    state = Starting;
+    failures = 0;
+  }
+
+let open_count t =
+  Hashtbl.fold
+    (fun _ s n ->
+      match s.state with
+      | Serving | Failing _ | Starting -> n + 1
+      | Quarantined _ | Closed -> n)
+    t.slots 0
+
+let create ?(snapshot_every = 4) ?(segment_bytes = 65536) ?pool
+    ?(flight = false) ?(high_water = 64) ?(attempt_cap = 3)
+    ?(retry_policy = Disk.default_retry_policy)
+    ?disk_for ?(resume = false) ?(runs = 1) ?(max_runs = 8) ?(fault_run = 0)
+    ?(fault_specs = []) ?(fault_seed = 2020) ~root plan ~market () =
+  let problems =
+    List.filter_map
+      (fun (msg, ok) -> if ok then None else Some msg)
+      [
+        ("runs must be >= 1", runs >= 1);
+        ("max-runs must be >= 1", max_runs >= 1);
+        ("runs must be <= max-runs", runs <= max_runs);
+        ("attempt-cap must be >= 0", attempt_cap >= 0);
+      ]
+  in
+  if problems <> [] then Error (String.concat "; " problems)
+  else
+    let delays =
+      match Disk.retry_delays retry_policy with
+      | ds -> Array.of_list ds
+      | exception Invalid_argument msg -> invalid_arg msg
+    in
+    let t =
+      {
+        root;
+        plan;
+        base_market = market;
+        snapshot_every;
+        segment_bytes;
+        pool;
+        flight;
+        high_water;
+        attempt_cap;
+        delays;
+        fault_seed;
+        fault_run;
+        fault_specs;
+        disk_for =
+          (match disk_for with
+          | Some f -> f
+          | None -> fun ~run:_ -> Engine.retrying_disk ());
+        max_runs;
+        slots = Hashtbl.create 8;
+        flush = (fun () -> ());
+      }
+    in
+    mkdir_p root;
+    if resume then begin
+      (* Fold the manifest into the final per-run fact.  An old root
+         written before the manifest existed resumes as run 0 under the
+         base market config. *)
+      let events = manifest_read root in
+      let opened = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          match ev with
+          | M_opened { run; epochs; seed } ->
+            Hashtbl.replace opened run (`Open (epochs, seed))
+          | M_closed { run } -> Hashtbl.replace opened run `Closed
+          | M_quarantined { run; reason } ->
+            Hashtbl.replace opened run (`Quarantined reason))
+        events;
+      if Hashtbl.length opened = 0 then
+        if Sys.file_exists (Filename.concat root "store") then
+          Hashtbl.replace opened 0
+            (`Open (market.Epochs.epochs, market.Epochs.seed));
+      if Hashtbl.length opened = 0 then
+        Error (Printf.sprintf "%s: nothing to resume" root)
+      else begin
+        let now_us = Clock.now_us () in
+        Hashtbl.iter
+          (fun id fact ->
+            match fact with
+            | `Closed -> ()
+            | `Quarantined reason ->
+              let slot =
+                make_slot t id ~epochs:market.Epochs.epochs
+                  ~seed:market.Epochs.seed
+              in
+              slot.state <- Quarantined { cause = reason };
+              slot.failures <- t.attempt_cap + 1;
+              Hashtbl.replace t.slots id slot;
+              set_state_gauges slot
+            | `Open (epochs, seed) -> (
+              let slot = make_slot t id ~epochs ~seed in
+              Hashtbl.replace t.slots id slot;
+              match
+                start_slot t slot ~resume:true
+                  ~honor_crashes:(slot.specs <> [])
+              with
+              | Ok _ -> ()
+              | Error msg ->
+                (* A run whose horizon already completed has nothing to
+                   resume; close it rather than spinning the retry
+                   ladder against an immutable store. *)
+                let completed =
+                  let lower = String.lowercase_ascii msg in
+                  let has needle =
+                    let nl = String.length needle and ll = String.length lower in
+                    let rec at i =
+                      i + nl <= ll
+                      && (String.sub lower i nl = needle || at (i + 1))
+                    in
+                    at 0
+                  in
+                  has "complete"
+                in
+                if completed then begin
+                  slot.state <- Closed;
+                  manifest_append t (M_closed { run = id });
+                  set_state_gauges slot
+                end
+                else
+                  ignore
+                    (fail_slot t slot ~now_us
+                       ~cause:("startup resume failed: " ^ msg)
+                      : string)))
+          opened;
+        if Hashtbl.length t.slots = 0 then
+          Error (Printf.sprintf "%s: every recorded run is closed" root)
+        else Ok t
+      end
+    end
+    else begin
+      (* A fresh daemon is a fresh world: truncate the manifest and
+         open [runs] runs under the base config. *)
+      (try Sys.remove (manifest_path root) with Sys_error _ -> ());
+      let rec open_ids id err =
+        match err with
+        | Some _ -> err
+        | None ->
+          if id >= runs then None
+          else
+            let slot =
+              make_slot t id ~epochs:market.Epochs.epochs
+                ~seed:market.Epochs.seed
+            in
+            Hashtbl.replace t.slots id slot;
+            (match start_slot t slot ~resume:false ~honor_crashes:false with
+            | Ok _ ->
+              manifest_append t
+                (M_opened
+                   { run = id; epochs = market.Epochs.epochs;
+                     seed = market.Epochs.seed });
+              open_ids (id + 1) None
+            | Error msg ->
+              Some (Printf.sprintf "run %d: %s" id msg))
+      in
+      match open_ids 0 None with Some msg -> Error msg | None -> Ok t
+    end
+
+let set_flush t f =
+  t.flush <- f;
+  Hashtbl.iter
+    (fun _ s -> match s.engine with Some e -> Engine.set_flush e f | None -> ())
+    t.slots
+
+let banner t =
+  let per_run =
+    slots_sorted t
+    |> List.map (fun s ->
+           Printf.sprintf "run %d: %s" s.sid
+             (match s.engine with
+             | Some e -> Engine.banner e
+             | None -> state_name s.state))
+    |> String.concat "\n"
+  in
+  Printf.sprintf "poc daemon: root=%s runs=%d/%d market[%s]\n%s" t.root
+    (open_count t) t.max_runs
+    (Epochs.describe_config t.base_market)
+    per_run
+
+let run_info s =
+  {
+    id = s.sid;
+    state = s.state;
+    next_epoch =
+      (match s.engine with Some e -> Engine.next_epoch e | None -> None);
+    horizon = s.m.Epochs.epochs;
+    queue = (match s.engine with Some e -> Engine.queue_depth e | None -> 0);
+  }
+
+let runs t = List.map run_info (slots_sorted t)
+let state_of t id = Option.map (fun s -> s.state) (Hashtbl.find_opt t.slots id)
+let store_path t id = Option.map (fun s -> s.store) (Hashtbl.find_opt t.slots id)
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let describe_info i =
+  Printf.sprintf "run=%d state=%s next=%s horizon=%d queue=%d" i.id
+    (state_name i.state)
+    (match (i.state, i.next_epoch) with
+    | (Serving | Starting), Some e -> string_of_int e
+    | (Serving | Starting), None -> "done"
+    | _ -> "-")
+    i.horizon i.queue
+
+let list_runs t =
+  let lines = List.map (fun s -> describe_info (run_info s)) (slots_sorted t) in
+  ( List.map Protocol.continuation lines
+    @ [ Printf.sprintf "OK runs=%d max=%d" (List.length lines) t.max_runs ],
+    Engine.Continue )
+
+let open_run t ~run ~epochs ~seed =
+  let id =
+    match run with
+    | Some id -> id
+    | None ->
+      1 + Hashtbl.fold (fun id _ acc -> max id acc) t.slots (-1)
+  in
+  if Hashtbl.mem t.slots id then
+    ([ Printf.sprintf "ERR run %d already exists" id ], Engine.Continue)
+  else if open_count t >= t.max_runs then
+    ( [ Printf.sprintf "BUSY open retry_after=1.000 at max-runs=%d" t.max_runs ],
+      Engine.Continue )
+  else begin
+    let epochs = Option.value epochs ~default:t.base_market.Epochs.epochs in
+    let seed = Option.value seed ~default:t.base_market.Epochs.seed in
+    let slot = make_slot t id ~epochs ~seed in
+    Hashtbl.replace t.slots id slot;
+    match start_slot t slot ~resume:false ~honor_crashes:false with
+    | Ok engine ->
+      manifest_append t (M_opened { run = id; epochs; seed });
+      ( [ Printf.sprintf "OK run=%d opened next=%s horizon=%d" id
+            (match Engine.next_epoch engine with
+            | Some e -> string_of_int e
+            | None -> "done")
+            epochs ],
+        Engine.Continue )
+    | Error msg ->
+      Hashtbl.remove t.slots id;
+      ([ Printf.sprintf "ERR open run %d: %s" id msg ], Engine.Continue)
+  end
+
+let close_run t ~run =
+  match Hashtbl.find_opt t.slots run with
+  | None -> ([ Printf.sprintf "ERR run %d unknown" run ], Engine.Continue)
+  | Some slot -> (
+    match slot.state with
+    | Closed -> ([ Printf.sprintf "GONE run=%d closed" run ], Engine.Continue)
+    | Quarantined { cause } ->
+      ( [ Printf.sprintf "GONE run=%d quarantined: %s" run cause ],
+        Engine.Continue )
+    | Starting | Serving | Failing _ ->
+      (match slot.engine with Some e -> Engine.suspend e | None -> ());
+      slot.engine <- None;
+      slot.state <- Closed;
+      manifest_append t (M_closed { run });
+      set_state_gauges slot;
+      ([ Printf.sprintf "OK run=%d closed" run ], Engine.Continue))
+
+let metrics_dump () =
+  let body = Metrics.to_prometheus Metrics.default in
+  let lines =
+    String.split_on_char '\n' body
+    |> List.filter (fun l -> l <> "")
+    |> List.map Protocol.continuation
+  in
+  ( lines @ [ Printf.sprintf "OK metrics bytes=%d" (String.length body) ],
+    Engine.Continue )
+
+let quiesce_all t =
+  let queue = ref 0 in
+  let n = ref 0 in
+  List.iter
+    (fun slot ->
+      match slot.engine with
+      | Some e ->
+        ignore (Engine.handle e Protocol.Quiesce : string list * Engine.action);
+        incr n;
+        queue := !queue + Engine.queue_depth e
+      | None -> ())
+    (slots_sorted t);
+  t.flush ();
+  ( [ Printf.sprintf "OK quiesced runs=%d queue=%d" !n !queue ],
+    Engine.Continue )
+
+let shutdown_all t =
+  let serving = List.filter (fun s -> s.engine <> None) (slots_sorted t) in
+  let all_done =
+    List.for_all
+      (fun s ->
+        match s.engine with
+        | Some e -> Engine.next_epoch e = None
+        | None -> true)
+      serving
+  in
+  let earliest =
+    List.filter_map
+      (fun s -> Option.bind s.engine Engine.next_epoch)
+      serving
+    |> List.fold_left (fun acc e -> match acc with
+         | None -> Some e
+         | Some a -> Some (min a e)) None
+  in
+  List.iter
+    (fun s ->
+      match s.engine with
+      | Some e ->
+        (* A completed horizon closes for good — record it so a restart
+           does not try to resume an immutable store. *)
+        if Engine.next_epoch e = None then begin
+          manifest_append t (M_closed { run = s.sid });
+          s.state <- Closed
+        end;
+        Engine.suspend e;
+        s.engine <- None;
+        set_state_gauges s
+      | None -> ())
+    serving;
+  t.flush ();
+  let line =
+    if all_done then Printf.sprintf "BYE complete runs=%d" (List.length serving)
+    else
+      Printf.sprintf "BYE resumable next=%s runs=%d"
+        (match earliest with Some e -> string_of_int e | None -> "done")
+        (List.length serving)
+  in
+  ([ line ], Engine.Stop 0)
+
+let route t ~now_us run req =
+  match Hashtbl.find_opt t.slots run with
+  | None -> ([ Printf.sprintf "ERR run %d unknown" run ], Engine.Continue)
+  | Some slot -> (
+    match slot.state with
+    | Closed -> ([ Printf.sprintf "GONE run=%d closed" run ], Engine.Continue)
+    | Quarantined { cause } ->
+      ( [ Printf.sprintf "GONE run=%d quarantined: %s" run cause ],
+        Engine.Continue )
+    | Failing { retry_at_us; attempts; _ } ->
+      let remaining = Float.max 0.001 ((retry_at_us -. now_us) *. 1e-6) in
+      ( [ Printf.sprintf "BUSY run=%d retry_after=%.3f failing attempts=%d" run
+            remaining attempts ],
+        Engine.Continue )
+    | Starting ->
+      ([ Printf.sprintf "BUSY run=%d retry_after=0.050 starting" run ],
+       Engine.Continue)
+    | Serving -> (
+      let engine = Option.get slot.engine in
+      match Engine.handle engine req with
+      | lines, Engine.Continue -> (lines, Engine.Continue)
+      | lines, Engine.Stop _ ->
+        (* The engine's unrecoverable-error path (SHUTDOWN never reaches
+           a single run): that run fails; the daemon does not. *)
+        ignore
+          (fail_slot t slot ~now_us ~cause:"engine declared unrecoverable"
+            : string);
+        (lines, Engine.Continue)
+      | exception Supervisor.Injected_crash { epoch; phase } ->
+        (* The per-run failure domain: the crash consumed its spec, the
+           loop is dead, the journal is closed (and, for a storage spec,
+           damaged).  Absorb it here — other runs keep settling. *)
+        slot.specs <-
+          List.filter (fun sp -> not (spec_fired ~epoch ~phase sp)) slot.specs;
+        let line =
+          fail_slot t slot ~now_us
+            ~cause:
+              (Printf.sprintf "injected crash epoch=%d phase=%s" epoch
+                 (Fault.phase_to_string phase))
+        in
+        ([ line ], Engine.Continue)))
+
+let dispatch t cmd =
+  let now_us = Clock.now_us () in
+  match cmd with
+  | Protocol.List_runs -> list_runs t
+  | Protocol.Open_run { run; epochs; seed } -> open_run t ~run ~epochs ~seed
+  | Protocol.Close_run { run } -> close_run t ~run
+  | Protocol.Scoped { req = Protocol.Shutdown; _ } -> shutdown_all t
+  | Protocol.Scoped { req = Protocol.Quiesce; _ } -> quiesce_all t
+  | Protocol.Scoped { req = Protocol.Metrics_dump; _ } -> metrics_dump ()
+  | Protocol.Scoped { run; req } -> route t ~now_us run req
+
+let suspend_all t =
+  List.iter
+    (fun s ->
+      match s.engine with
+      | Some e ->
+        if Engine.next_epoch e = None then begin
+          manifest_append t (M_closed { run = s.sid });
+          s.state <- Closed
+        end;
+        (try Engine.suspend e
+         with e ->
+           prerr_endline
+             (Printf.sprintf "poc daemon: run %d suspend failed: %s" s.sid
+                (Printexc.to_string e)));
+        s.engine <- None
+      | None -> ())
+    (slots_sorted t);
+  t.flush ()

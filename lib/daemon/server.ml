@@ -8,11 +8,18 @@ type config = {
   idle_timeout : float;
 }
 
+(* A connection speaks exactly one protocol, discriminated by its first
+   byte: {!Framing.magic} (0xB1, outside ASCII) opens the binary framed
+   protocol, anything else the line protocol.  The choice is sticky for
+   the connection's lifetime. *)
+type mode = Undecided | Line | Frames
+
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   http : bool;
-  mutable since : float;  (* when the current partial line started *)
+  mutable mode : mode;
+  mutable since : float;  (* when the current partial request started *)
 }
 
 let write_all fd s =
@@ -44,8 +51,16 @@ let take_lines buf =
       (String.sub s (last + 1) (String.length s - last - 1));
     String.split_on_char '\n' (String.sub s 0 last)
 
-let serve cfg engine ~flush =
-  Engine.set_flush engine flush;
+(* Which run a framed reply concerns: the command's target, or -1 for
+   daemon-scope replies (RUNS, an OPEN with no explicit id). *)
+let reply_run = function
+  | Protocol.Scoped { run; req = _ } -> run
+  | Protocol.Open_run { run; _ } -> Option.value run ~default:(-1)
+  | Protocol.Close_run { run } -> run
+  | Protocol.List_runs -> -1
+
+let serve cfg registry ~flush =
+  Registry.set_flush registry flush;
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX cfg.socket_path);
@@ -84,19 +99,55 @@ let serve cfg engine ~flush =
     flush ()
   in
   let exit_code = ref None in
+  let respond c ~run lines =
+    try
+      match c.mode with
+      | Frames ->
+        let rec emit = function
+          | [] -> ()
+          | [ last ] ->
+            write_all c.fd
+              (Framing.encode_reply { Framing.run; final = true; line = last })
+          | l :: rest ->
+            write_all c.fd
+              (Framing.encode_reply { Framing.run; final = false; line = l });
+            emit rest
+        in
+        emit (if lines = [] then [ "ERR empty response" ] else lines)
+      | Line | Undecided -> write_all c.fd (String.concat "\n" lines ^ "\n")
+    with Unix.Unix_error _ -> close_conn c
+  in
+  let run_command c cmd =
+    let lines, action = Registry.dispatch registry cmd in
+    respond c ~run:(reply_run cmd) lines;
+    match action with
+    | Engine.Continue -> ()
+    | Engine.Stop code -> exit_code := Some code
+  in
   let handle_line c line =
-    if String.trim line <> "" then begin
-      let lines, action =
-        match Protocol.parse line with
-        | Error msg -> ([ "ERR parse: " ^ msg ], Engine.Continue)
-        | Ok req -> Engine.handle engine req
-      in
-      (try write_all c.fd (String.concat "\n" lines ^ "\n")
-       with Unix.Unix_error _ -> close_conn c);
-      match action with
-      | Engine.Continue -> ()
-      | Engine.Stop code -> exit_code := Some code
-    end
+    if String.trim line <> "" then
+      match Protocol.parse_command line with
+      | Error msg -> respond c ~run:(-1) [ "ERR parse: " ^ msg ]
+      | Ok cmd -> run_command c cmd
+  in
+  let drain_frames c =
+    let data = Buffer.contents c.buf in
+    let { Framing.items; consumed; dropped = _ } =
+      Framing.decode_stream data ~pos:0
+    in
+    if consumed > 0 then begin
+      Buffer.clear c.buf;
+      Buffer.add_substring c.buf data consumed (String.length data - consumed)
+    end;
+    List.iter
+      (fun item ->
+        if !exit_code = None then
+          match item with
+          | Framing.Msg m -> run_command c (Framing.to_command m)
+          | Framing.Reply _ ->
+            (* Clients do not send replies; drop, keep the connection. *)
+            ())
+      items
   in
   let serve_http fd =
     (* Read whatever request head arrived; any GET gets the registry. *)
@@ -112,7 +163,7 @@ let serve cfg engine ~flush =
          (srv :: Option.to_list http_srv)
          @ List.map (fun c -> c.fd) !conns
        in
-       match Unix.select fds [] [] 0.25 with
+       (match Unix.select fds [] [] 0.25 with
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | readable, _, _ ->
          List.iter
@@ -121,14 +172,14 @@ let serve cfg engine ~flush =
                let cfd, _ = Unix.accept srv in
                conns :=
                  { fd = cfd; buf = Buffer.create 256; http = false;
-                   since = Clock.now_us () }
+                   mode = Undecided; since = Clock.now_us () }
                  :: !conns
              end
              else if Some fd = http_srv then begin
                let cfd, _ = Unix.accept (Option.get http_srv) in
                conns :=
                  { fd = cfd; buf = Buffer.create 256; http = true;
-                   since = Clock.now_us () }
+                   mode = Line; since = Clock.now_us () }
                  :: !conns
              end
              else
@@ -143,46 +194,67 @@ let serve cfg engine ~flush =
                  | 0 -> close_conn c
                  | n ->
                    Buffer.add_subbytes c.buf b 0 n;
-                   let lines = take_lines c.buf in
-                   if lines <> [] then c.since <- Clock.now_us ();
-                   List.iter
-                     (fun line ->
-                       if !exit_code = None then handle_line c line)
-                     lines;
-                   if Buffer.length c.buf > 0 then ()
-                   else c.since <- Clock.now_us ()
+                   if c.mode = Undecided && Buffer.length c.buf > 0 then
+                     c.mode <-
+                       (if Buffer.nth c.buf 0 = Framing.magic then Frames
+                        else Line);
+                   (match c.mode with
+                   | Frames ->
+                     let before = Buffer.length c.buf in
+                     drain_frames c;
+                     if Buffer.length c.buf < before then
+                       c.since <- Clock.now_us ()
+                   | Line | Undecided ->
+                     let lines = take_lines c.buf in
+                     if lines <> [] then c.since <- Clock.now_us ();
+                     List.iter
+                       (fun line ->
+                         if !exit_code = None then handle_line c line)
+                       lines);
+                   if Buffer.length c.buf = 0 then c.since <- Clock.now_us ()
                  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
                    ->
                    close_conn c))
-           readable;
-         (* Partial-line timeout: a stalled half request is refused so
-            one bad client cannot wedge the single-writer loop. *)
-         let now = Clock.now_us () in
-         List.iter
-           (fun c ->
-             if
-               (not c.http)
-               && Buffer.length c.buf > 0
-               && (now -. c.since) *. 1e-6 > cfg.idle_timeout
-             then begin
-               (try write_all c.fd "ERR timeout: partial request dropped\n"
-                with Unix.Unix_error _ -> ());
-               close_conn c
-             end)
-           !conns
+           readable);
+       (* Drive due restart-with-backoff retries for failing runs. *)
+       if !exit_code = None then
+         Registry.tick registry ~now_us:(Clock.now_us ());
+       (* Partial-request timeout: a stalled half request (line or
+          frame) is refused so one bad client cannot wedge the
+          single-writer loop. *)
+       let now = Clock.now_us () in
+       List.iter
+         (fun c ->
+           if
+             (not c.http)
+             && Buffer.length c.buf > 0
+             && (now -. c.since) *. 1e-6 > cfg.idle_timeout
+           then begin
+             (try
+                match c.mode with
+                | Frames ->
+                  write_all c.fd
+                    (Framing.encode_reply
+                       { Framing.run = -1; final = true;
+                         line = "ERR timeout: partial request dropped" })
+                | Line | Undecided ->
+                  write_all c.fd "ERR timeout: partial request dropped\n"
+              with Unix.Unix_error _ -> ());
+             close_conn c
+           end)
+         !conns
      done
    with Supervisor.Injected_crash _ ->
-     (* The scheduled kill-under-load fault: the supervisor already
-        closed the journal resumably; leave with the supervise exit
-        code so the smoke's restart leg takes over. *)
+     (* Last resort only: the registry absorbs injected crashes inside
+        run dispatch.  One escaping anyway (a fault firing outside any
+        run scope) exits like [poc-cli supervise] so a restart leg can
+        take over. *)
      exit_code := Some 10);
   (match !exit_code with
   | None ->
-    (* Signal-driven graceful shutdown: suspend resumably, like a
-       client SHUTDOWN. *)
-    (try Engine.suspend engine
-     with e ->
-       prerr_endline ("poc daemon: suspend failed: " ^ Printexc.to_string e));
+    (* Signal-driven graceful shutdown: suspend every run resumably,
+       like a client SHUTDOWN. *)
+    Registry.suspend_all registry;
     exit_code := Some 0
   | Some _ -> ());
   cleanup ();

@@ -1,24 +1,33 @@
 (** The daemon's transport: a single-threaded [select] loop serving the
-    {!Protocol} over a Unix-domain socket, with an optional
+    {!Registry} over a Unix-domain socket, with an optional
     Prometheus-text HTTP endpoint on loopback.
 
-    One event loop is the single writer into the {!Engine} — requests
-    from any number of connected clients are serialized in arrival
-    order, so the deterministic-epoch guarantees need no locking.
-    Responses follow the continuation/terminal framing of {!Protocol}.
+    One event loop is the single writer into every run's engine —
+    requests from any number of connected clients are serialized in
+    arrival order, so the deterministic-epoch guarantees need no
+    locking.  Each select round also {!Registry.tick}s the registry,
+    driving failing runs' restart-with-backoff retries.
 
-    Lifecycle: the loop runs until a client [SHUTDOWN] (exit 0 —
-    journal completed or suspended resumably by the engine), a SIGTERM
-    or SIGINT (graceful: same suspend path, observability sinks
-    flushed, exit 0), an injected crash fault (sinks flushed, exit 10,
-    store resumable — the kill-under-load drill), or an unrecoverable
-    store error (exit 1).  SIGKILL, by design, gets no handler: the
-    smoke test proves the store recovers anyway.
+    Connections speak either protocol, discriminated by their first
+    byte: {!Framing.magic} opens the binary framed protocol (one
+    checksummed frame per message, replies mirrored as framed
+    continuation/terminal lines, corrupt frames dropped with resync —
+    never a dropped connection), anything else the {!Protocol} line
+    protocol with its continuation/terminal framing.
 
-    Slow-loris hygiene: a connection holding a partial request line
-    longer than [idle_timeout] is answered [ERR timeout] and closed.
-    Idle connections with no buffered bytes are left alone (monitoring
-    clients poll [STATUS] at leisure). *)
+    Lifecycle: the loop runs until a client [SHUTDOWN] (exit 0 — every
+    run's journal completed or suspended resumably), a SIGTERM or
+    SIGINT (graceful: same suspend path, observability sinks flushed,
+    exit 0), or an injected crash escaping the registry's per-run
+    isolation (exit 10 — a last resort; run-scoped crashes are absorbed
+    as [Failing]/[Quarantined] transitions).  SIGKILL, by design, gets
+    no handler: the multi-run smoke proves every non-quarantined run
+    recovers anyway.
+
+    Slow-loris hygiene: a connection holding a partial request (line or
+    frame) longer than [idle_timeout] is answered [ERR timeout] and
+    closed.  Idle connections with no buffered bytes are left alone
+    (monitoring clients poll [STATUS] at leisure). *)
 
 type config = {
   socket_path : string;
@@ -26,8 +35,8 @@ type config = {
   idle_timeout : float;       (** partial-request timeout, seconds *)
 }
 
-val serve : config -> Engine.t -> flush:(unit -> unit) -> int
+val serve : config -> Registry.t -> flush:(unit -> unit) -> int
 (** Run until shutdown; returns the process exit code.  [flush] is
-    installed as the engine's observability hook and additionally run
+    installed as the registry's observability hook and additionally run
     on every exit path, so killed runs still leave complete Prometheus
     snapshots and well-formed trace JSON behind. *)

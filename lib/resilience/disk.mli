@@ -79,6 +79,15 @@ type retry_policy = {
 val default_retry_policy : retry_policy
 (** 4 retries, 5 ms base doubling to a 250 ms cap, 25% jitter. *)
 
+val retry_delays : retry_policy -> float list
+(** The policy's concrete jittered-backoff schedule: one delay per
+    retry attempt, drawn deterministically from [retry_seed].  This is
+    exactly the sequence {!retrying} sleeps through; it is exported so
+    other layers needing the same discipline — the intake log's append
+    retry, the run registry's restart backoff — share one schedule
+    shape instead of reinventing it.  Raises [Invalid_argument] on a
+    malformed policy. *)
+
 val retrying :
   ?policy:retry_policy ->
   ?sleep:(float -> unit) ->

@@ -119,7 +119,7 @@ type frame_result =
   | End
   | Torn
 
-let next_frame data ~pos =
+let next_frame ?max_payload data ~pos =
   let total = String.length data in
   if pos >= total then End
   else if pos + 8 > total then Torn
@@ -127,7 +127,8 @@ let next_frame data ~pos =
     let r = { data; pos } in
     let len = get_u32 r in
     let crc = get_u32 r in
-    if r.pos + len > total then Torn
+    if (match max_payload with Some m -> len > m | None -> false) then Torn
+    else if r.pos + len > total then Torn
     else
       let payload = String.sub data r.pos len in
       if crc32 payload <> crc then Torn

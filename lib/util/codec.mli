@@ -71,10 +71,13 @@ type frame_result =
   | End   (** clean end of input *)
   | Torn  (** bytes remain but no whole, checksummed frame does *)
 
-val next_frame : string -> pos:int -> frame_result
+val next_frame : ?max_payload:int -> string -> pos:int -> frame_result
 (** Scan one frame at [pos].  Returns {!Torn} (never raises) on a
     truncated header, a declared length running past the input, or a
-    checksum mismatch. *)
+    checksum mismatch.  [max_payload] additionally bounds the declared
+    length: a longer frame reads as {!Torn} without waiting for (or
+    allocating) its payload — the guard network readers need against a
+    garbage length field announcing a multi-gigabyte frame. *)
 
 val resync : string -> pos:int -> int option
 (** [resync data ~pos] is the smallest offset at or after [pos] where a

@@ -7,6 +7,7 @@ module Intake = Poc_daemon.Intake
 module Engine = Poc_daemon.Engine
 module Supervisor = Poc_resilience.Supervisor
 module Fault = Poc_resilience.Fault
+module Disk = Poc_resilience.Disk
 module Planner = Poc_core.Planner
 module Epochs = Poc_market.Epochs
 module Prng = Poc_util.Prng
@@ -346,6 +347,313 @@ let test_engine_refuses_after_horizon () =
       | [ "BYE complete" ], Engine.Stop 0 -> ()
       | _ -> Alcotest.fail "shutdown after horizon completes the journal")
 
+(* --- Intake: fsync-before-OK retry under deterministic faults --- *)
+
+(* A disk whose channels can be made to fail on flush: an out_channel
+   over a read-only fd buffers writes silently and raises [Sys_error]
+   at the first flush — exactly how a lying fsync or a dying device
+   surfaces on the fsync-before-OK path. *)
+let broken_channel () =
+  Unix.out_channel_of_descr (Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0)
+
+let flaky_disk ~fail_first_opens =
+  let opens = ref 0 in
+  let pick real path =
+    incr opens;
+    if !opens <= fail_first_opens then broken_channel () else real path
+  in
+  Poc_resilience.Disk.with_ops
+    {
+      Poc_resilience.Disk.real_ops with
+      open_append = pick Poc_resilience.Disk.real_ops.open_append;
+      open_trunc = pick Poc_resilience.Disk.real_ops.open_trunc;
+    }
+
+let test_intake_append_retries_transient_fault () =
+  with_tmp_root (fun _store intake_path ->
+      let retries = ref [] in
+      let slept = ref [] in
+      let policy =
+        { Disk.default_retry_policy with Disk.retry_attempts = 3; retry_seed = 5 }
+      in
+      (* The very first channel (create's open_trunc) is broken: the
+         first append buffers fine, then the flush raises.  [heal]
+         reopens — a real channel this time — and the retry lands. *)
+      let log =
+        Intake.create ~disk:(flaky_disk ~fail_first_opens:1) ~retry:policy
+          ~sleep:(fun d -> slept := d :: !slept)
+          ~on_retry:(fun ~attempt ~delay msg ->
+            retries := (attempt, delay, msg) :: !retries)
+          intake_path
+      in
+      let r = { Intake.entry = bid_entry 1 ~apply_epoch:1 ~bp:0 ~factor:1.5;
+                displaces = None } in
+      Intake.append log r;
+      Intake.close log;
+      Alcotest.(check int) "exactly one retry healed the fault" 1
+        (List.length !retries);
+      (* The retry rode the policy's deterministic jittered schedule —
+         the same delays [Disk.retrying] would sleep. *)
+      let expected = Disk.retry_delays policy in
+      (match (!retries, !slept) with
+      | [ (1, d, _) ], [ s ] ->
+        Alcotest.(check (float 1e-9)) "first schedule delay" (List.hd expected) d;
+        Alcotest.(check (float 1e-9)) "slept that delay" d s
+      | _ -> Alcotest.fail "unexpected retry/sleep shape");
+      (* The record is durable: a clean reopen replays it. *)
+      match Intake.reopen intake_path with
+      | Ok (log, [ r' ]) ->
+        Intake.close log;
+        Alcotest.(check bool) "record survived the fault" true (r = r')
+      | Ok (_, rs) ->
+        Alcotest.failf "expected 1 record, got %d" (List.length rs)
+      | Error msg -> Alcotest.failf "reopen failed: %s" msg)
+
+let test_intake_append_exhausts_on_persistent_fault () =
+  with_tmp_root (fun _store intake_path ->
+      let retries = ref 0 in
+      let policy =
+        { Disk.default_retry_policy with Disk.retry_attempts = 2 }
+      in
+      (* Every channel this disk hands out is broken: the schedule
+         exhausts and the append re-raises — but only after [heal]
+         restored the log to its last durable length (here: empty). *)
+      let log =
+        Intake.create ~disk:(flaky_disk ~fail_first_opens:max_int)
+          ~retry:policy
+          ~sleep:(fun _ -> ())
+          ~on_retry:(fun ~attempt:_ ~delay:_ _ -> incr retries)
+          intake_path
+      in
+      let r = { Intake.entry = bid_entry 1 ~apply_epoch:1 ~bp:0 ~factor:1.5;
+                displaces = None } in
+      (match Intake.append log r with
+      | () -> Alcotest.fail "append must raise once the schedule exhausts"
+      | exception Sys_error _ -> ());
+      Alcotest.(check int) "every scheduled retry was attempted" 2 !retries;
+      Intake.close log;
+      (* No torn frame mid-log: whatever exists replays cleanly empty. *)
+      match Intake.reopen intake_path with
+      | Ok (log, []) -> Intake.close log
+      | Ok (_, _ :: _) -> Alcotest.fail "phantom records after exhaustion"
+      | Error msg -> Alcotest.failf "reopen after exhaustion failed: %s" msg)
+
+(* --- Protocol: run-addressed commands --- *)
+
+let cmd line =
+  match Protocol.parse_command line with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "bad test command %S: %s" line msg
+
+let test_command_parse_and_roundtrip () =
+  (* A bare request is run 0; RUN <id> prefixes any request; the
+     registry verbs parse to their own constructors. *)
+  (match cmd "STATUS" with
+  | Protocol.Scoped { run = 0; req = Protocol.Status } -> ()
+  | _ -> Alcotest.fail "bare request must scope to run 0");
+  (match cmd "RUN 3 BID 1 0 1.07 2" with
+  | Protocol.Scoped { run = 3; req = Protocol.Bid { seq = 1; _ } } -> ()
+  | _ -> Alcotest.fail "RUN prefix must scope the request");
+  (match cmd "OPEN" with
+  | Protocol.Open_run { run = None; epochs = None; seed = None } -> ()
+  | _ -> Alcotest.fail "bare OPEN");
+  (match cmd "OPEN 12 99" with
+  | Protocol.Open_run { run = None; epochs = Some 12; seed = Some 99 } -> ()
+  | _ -> Alcotest.fail "OPEN epochs seed");
+  (match cmd "RUN 5 OPEN 8" with
+  | Protocol.Open_run { run = Some 5; epochs = Some 8; seed = None } -> ()
+  | _ -> Alcotest.fail "RUN id OPEN epochs");
+  (match cmd "CLOSE 2" with
+  | Protocol.Close_run { run = 2 } -> ()
+  | _ -> Alcotest.fail "CLOSE id");
+  (match cmd "RUNS" with
+  | Protocol.List_runs -> ()
+  | _ -> Alcotest.fail "RUNS");
+  (* Round-trip law: parse . render = id on every command shape. *)
+  List.iter
+    (fun c ->
+      match Protocol.parse_command (Protocol.render_command c) with
+      | Ok c' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trips %S" (Protocol.render_command c))
+          true (c = c')
+      | Error msg -> Alcotest.failf "re-parse failed: %s" msg)
+    [
+      Protocol.Scoped { run = 0; req = Protocol.Status };
+      Protocol.Scoped { run = 7; req = Protocol.Epoch 2 };
+      Protocol.Scoped
+        { run = 1;
+          req = Protocol.Bid { seq = 4; bp = 2; factor = 1.05; priority = 1 } };
+      Protocol.Open_run { run = None; epochs = None; seed = None };
+      Protocol.Open_run { run = Some 3; epochs = Some 9; seed = Some 41 };
+      Protocol.Close_run { run = 6 };
+      Protocol.List_runs;
+    ];
+  (* Rejections: malformed ids, OPEN arity, RUNS arguments. *)
+  List.iter
+    (fun line ->
+      match Protocol.parse_command line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "RUN"; "RUN 2"; "RUN x STATUS"; "RUN -1 STATUS"; "OPEN 1 2 3"; "CLOSE";
+      "CLOSE 1 2"; "RUNS please";
+    ]
+
+(* --- Framing: the binary protocol --- *)
+
+module Framing = Poc_daemon.Framing
+
+let all_msgs =
+  [
+    Framing.Open { run = None; epochs = None; seed = None };
+    Framing.Open { run = Some 2; epochs = Some 9; seed = Some 41 };
+    Framing.Bid { run = 1; seq = 7; bp = 3; factor = 1.0625; priority = 2 };
+    Framing.Matrix { run = 0; seq = 9; factor = 0.97; priority = 1 };
+    Framing.Epoch { run = 3; count = 4 };
+    Framing.Status { run = 2 };
+    Framing.Scrub { run = 0 };
+    Framing.Close { run = 5 };
+    Framing.Runs;
+    Framing.Metrics;
+    Framing.Quiesce;
+    Framing.Shutdown;
+  ]
+
+let decode_all data =
+  let { Framing.items; consumed; dropped } =
+    Framing.decode_stream data ~pos:0
+  in
+  (items, consumed, dropped)
+
+let test_framing_every_type_roundtrips () =
+  List.iter
+    (fun m ->
+      let wire = Framing.encode_msg m in
+      (match decode_all wire with
+      | [ Framing.Msg m' ], consumed, 0 ->
+        Alcotest.(check bool) "message round-trips" true (m = m');
+        Alcotest.(check int) "fully consumed" (String.length wire) consumed
+      | _ -> Alcotest.fail "unexpected decode shape");
+      (* The command mapping is a bijection on messages. *)
+      Alcotest.(check bool) "command mapping round-trips" true
+        (Framing.of_command (Framing.to_command m) = m))
+    all_msgs;
+  (* Replies, including daemon-scope (-1) and continuation frames. *)
+  List.iter
+    (fun r ->
+      let wire = Framing.encode_reply r in
+      match decode_all wire with
+      | [ Framing.Reply r' ], _, 0 ->
+        Alcotest.(check bool) "reply round-trips" true (r = r')
+      | _ -> Alcotest.fail "unexpected reply decode shape")
+    [
+      { Framing.run = 0; final = true; line = "OK 1" };
+      { Framing.run = 4; final = false; line = "| epoch 3 settled" };
+      { Framing.run = -1; final = true; line = "ERR parse: nope" };
+      { Framing.run = 2; final = true; line = "" };
+    ]
+
+let qcheck_framing_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let run = int_range 0 999 in
+      oneof
+        [
+          map3
+            (fun run (seq, bp) (factor, priority) ->
+              Framing.Bid { run; seq; bp; factor; priority })
+            run
+            (pair (int_range 0 100_000) (int_range 0 64))
+            (pair (float_range 0.5 2.0) (int_range 0 7));
+          map3
+            (fun run seq (factor, priority) ->
+              Framing.Matrix { run; seq; factor; priority })
+            run (int_range 0 100_000)
+            (pair (float_range 0.5 2.0) (int_range 0 7));
+          map2 (fun run count -> Framing.Epoch { run; count }) run
+            (int_range 1 50);
+          map3
+            (fun run epochs seed ->
+              Framing.Open
+                {
+                  run = (if run mod 2 = 0 then Some run else None);
+                  epochs;
+                  seed;
+                })
+            run
+            (opt (int_range 1 100))
+            (opt (int_range 0 1000));
+          map (fun run -> Framing.Status { run }) run;
+          map (fun run -> Framing.Scrub { run }) run;
+          map (fun run -> Framing.Close { run }) run;
+          oneofl [ Framing.Runs; Framing.Metrics; Framing.Quiesce;
+                   Framing.Shutdown ];
+        ])
+  in
+  QCheck.Test.make ~name:"framing: random messages round-trip bit-exactly"
+    ~count:200
+    (QCheck.make gen)
+    (fun m ->
+      (* [Open] renders seed without epochs unrepresentably in the line
+         protocol, but the frame codec must still carry it. *)
+      match decode_all (Framing.encode_msg m) with
+      | [ Framing.Msg m' ], _, 0 -> m = m'
+      | _ -> false)
+
+let test_framing_rejects_every_truncation () =
+  let wire =
+    Framing.encode_msg
+      (Framing.Bid { run = 2; seq = 11; bp = 1; factor = 1.125; priority = 3 })
+  in
+  for len = 0 to String.length wire - 1 do
+    let items, consumed, dropped = decode_all (String.sub wire 0 len) in
+    if items <> [] then
+      Alcotest.failf "truncation at %d decoded a phantom message" len;
+    if consumed <> 0 then
+      Alcotest.failf "truncation at %d consumed %d bytes" len consumed;
+    if dropped <> 0 then
+      Alcotest.failf "truncation at %d dropped a frame still in flight" len
+  done;
+  (* The same bytes, completed, decode: a torn frame waits, never
+     poisons. *)
+  match decode_all wire with
+  | [ Framing.Msg _ ], _, 0 -> ()
+  | _ -> Alcotest.fail "completed frame must decode"
+
+let test_framing_resyncs_after_corruption () =
+  let a =
+    Framing.encode_msg
+      (Framing.Bid { run = 0; seq = 1; bp = 0; factor = 1.07; priority = 2 })
+  in
+  let b = Framing.encode_msg (Framing.Status { run = 1 }) in
+  (* Flip a payload byte of [a]: its checksum fails, the decoder drops
+     the frame and resyncs at [b]'s magic — one garbled frame costs
+     that frame, not the connection. *)
+  let corrupt = Bytes.of_string (a ^ b) in
+  Bytes.set corrupt 9 (Char.chr (Char.code (Bytes.get corrupt 9) lxor 0x5A));
+  (match decode_all (Bytes.to_string corrupt) with
+  | [ Framing.Msg (Framing.Status { run = 1 }) ], consumed, dropped ->
+    Alcotest.(check int) "resync consumed everything"
+      (String.length a + String.length b)
+      consumed;
+    Alcotest.(check bool) "the corrupt frame was counted" true (dropped >= 1)
+  | _ -> Alcotest.fail "corruption must cost one frame, not the stream");
+  (* An absurd declared length (4 GiB) reads as corruption — not an
+     allocation — and the decoder still finds the next frame. *)
+  let huge = Bytes.of_string (a ^ b) in
+  for i = 1 to 4 do Bytes.set huge i '\xFF' done;
+  (match decode_all (Bytes.to_string huge) with
+  | [ Framing.Msg (Framing.Status { run = 1 }) ], _, dropped ->
+    Alcotest.(check bool) "oversized frame dropped" true (dropped >= 1)
+  | _ -> Alcotest.fail "oversized length must not stall the stream");
+  (* Inter-frame garbage (a line-protocol client gone astray) is
+     skipped to the next magic byte. *)
+  match decode_all ("STATUS\n" ^ b) with
+  | [ Framing.Msg (Framing.Status { run = 1 }) ], _, dropped ->
+    Alcotest.(check bool) "garbage counted" true (dropped >= 1)
+  | _ -> Alcotest.fail "garbage prefix must not stall the stream"
+
 (* --- QCheck: random burst schedules --- *)
 
 (* One seeded client session: a burst of BID/MATRIX/EPOCH requests
@@ -466,6 +774,19 @@ let suite =
       test_intake_roundtrip_and_torn_tail;
     Alcotest.test_case "intake reopens a missing file as empty" `Quick
       test_intake_missing_file_is_empty;
+    Alcotest.test_case "intake append retries a transient fault" `Quick
+      test_intake_append_retries_transient_fault;
+    Alcotest.test_case "intake append exhausts on a persistent fault" `Quick
+      test_intake_append_exhausts_on_persistent_fault;
+    Alcotest.test_case "commands parse, scope and round-trip" `Quick
+      test_command_parse_and_roundtrip;
+    Alcotest.test_case "framing round-trips every frame type" `Quick
+      test_framing_every_type_roundtrips;
+    QCheck_alcotest.to_alcotest qcheck_framing_roundtrip;
+    Alcotest.test_case "framing rejects every truncation" `Quick
+      test_framing_rejects_every_truncation;
+    Alcotest.test_case "framing resyncs after corruption" `Quick
+      test_framing_resyncs_after_corruption;
     Alcotest.test_case "engine completes deterministically" `Slow
       test_engine_completes_and_is_deterministic;
     Alcotest.test_case "kill under load resumes byte-identical" `Slow

@@ -16,5 +16,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("fleet", Test_fleet.suite);
       ("daemon", Test_daemon.suite);
+      ("registry", Test_registry.suite);
       ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,314 @@
+(* The multi-run registry: per-run fault isolation, restart-with-backoff,
+   quarantine at the attempt cap, and manifest-driven resume.
+
+   The pinned invariant: four concurrent runs, a crash + storage fault
+   injected into run 2 only — runs 0, 1 and 3 finish byte-identical to
+   a single-run reference at every --jobs, run 2 ends quarantined with
+   its store intact, and a SIGKILL-style restart mid-incident brings
+   every non-quarantined run back byte-identically while run 2 stays
+   quarantined. *)
+
+module Registry = Poc_daemon.Registry
+module Protocol = Poc_daemon.Protocol
+module Engine = Poc_daemon.Engine
+module Fault = Poc_resilience.Fault
+module Disk = Poc_resilience.Disk
+module Planner = Poc_core.Planner
+module Epochs = Poc_market.Epochs
+module Metrics = Poc_obs.Metrics
+module Clock = Poc_obs.Clock
+module Pool = Poc_util.Pool
+
+let plan () = Lazy.force Fixtures.small_plan
+let market = { Epochs.default_config with Epochs.epochs = 6; seed = 7 }
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let rec go d =
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if Sys.is_directory p then go p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    in
+    go dir
+  end
+  else if Sys.file_exists dir then Sys.remove dir
+
+let with_tmp_root f =
+  let root = Filename.temp_file "poc_registry" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf root with Sys_error _ -> ())
+    (fun () -> f root)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let store_bytes store =
+  if Sys.is_directory store then
+    Sys.readdir store |> Array.to_list |> List.sort compare
+    |> List.map (fun name ->
+           name ^ ":" ^ read_file (Filename.concat store name))
+    |> String.concat "\n"
+  else read_file store
+
+let must_create = function
+  | Ok reg -> reg
+  | Error msg -> Alcotest.failf "registry create failed: %s" msg
+
+let cmd line =
+  match Protocol.parse_command line with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "bad test command %S: %s" line msg
+
+let dispatch reg line = fst (Registry.dispatch reg (cmd line))
+
+(* An injected now far past any armed backoff: every Failing run's
+   retry is due. *)
+let far_future () = Clock.now_us () +. 3.6e9
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* The client script every run receives, in two halves: the incident
+   (run 2's crash fires during the first EPOCH 3) happens inside the
+   first; the second finishes the 6-epoch horizon. *)
+let first_half = [ "BID 1 0 1.07 2"; "MATRIX 2 1.04"; "EPOCH 3" ]
+let second_half = [ "BID 3 1 0.95"; "EPOCH 3" ]
+
+let run_2_specs =
+  [
+    Fault.Crash { at_epoch = 3; phase = Fault.Pre_settle };
+    Fault.Storage
+      { at_epoch = 4; phase = Fault.Pre_settle;
+        fault = Disk.Lying_fsync { drop = 64 } };
+  ]
+
+(* The single-run reference: same script, no faults, no concurrency. *)
+let reference_bytes () =
+  with_tmp_root (fun root ->
+      let reg =
+        must_create
+          (Registry.create ~root (plan ()) ~market ())
+      in
+      List.iter
+        (fun l -> ignore (dispatch reg l))
+        (first_half @ second_half);
+      ignore (dispatch reg "SHUTDOWN");
+      store_bytes (Filename.concat root "store"))
+
+let drive_all reg runs line =
+  List.iter
+    (fun r -> ignore (dispatch reg (Printf.sprintf "RUN %d %s" r line)))
+    runs
+
+(* Drive the four-run incident on an open registry: returns after run 2
+   is quarantined and runs 0/1/3 completed their horizons. *)
+let drive_incident reg =
+  List.iter (drive_all reg [ 0; 1; 2; 3 ]) first_half;
+  (match Registry.state_of reg 2 with
+  | Some (Registry.Failing _) -> ()
+  | _ -> Alcotest.fail "run 2 must be Failing after the injected crash");
+  (* While failing, scoped requests answer BUSY with a retry-after. *)
+  (match dispatch reg "RUN 2 STATUS" with
+  | [ line ] ->
+    Alcotest.(check bool) "failing answers BUSY" true (has_prefix "BUSY" line)
+  | _ -> Alcotest.fail "unexpected BUSY shape");
+  (* The backoff expires; the registry scrubs + resumes run 2 with the
+     storage fault re-armed. *)
+  Registry.tick reg ~now_us:(far_future ());
+  (match Registry.state_of reg 2 with
+  | Some Registry.Serving -> ()
+  | _ -> Alcotest.fail "run 2 must be Serving after the due retry");
+  List.iter (drive_all reg [ 0; 1; 2; 3 ]) second_half;
+  (* Run 2 lost its pre-crash progress and restarted from epoch 1, so
+     its client keeps driving it toward the horizon — and epoch 4 trips
+     the armed storage fault: failure #2 breaches the attempt cap of 1
+     and quarantines the run. *)
+  ignore (dispatch reg "RUN 2 EPOCH 3");
+  match Registry.state_of reg 2 with
+  | Some (Registry.Quarantined _) -> ()
+  | _ -> Alcotest.fail "run 2 must be Quarantined past the attempt cap"
+
+let test_fault_isolation_quarantine jobs () =
+  let reference = reference_bytes () in
+  with_tmp_root (fun root ->
+      Pool.with_pool ~jobs (fun pool ->
+          let reg =
+            must_create
+              (Registry.create ?pool ~attempt_cap:1 ~runs:4 ~fault_run:2
+                 ~fault_specs:run_2_specs ~root (plan ()) ~market ())
+          in
+          drive_incident reg;
+          (* Quarantine is terminal: scoped requests answer GONE. *)
+          (match dispatch reg "RUN 2 STATUS" with
+          | [ line ] ->
+            Alcotest.(check bool) "quarantined answers GONE" true
+              (has_prefix "GONE" line)
+          | _ -> Alcotest.fail "unexpected GONE shape");
+          (* The state is exported on the labeled gauge. *)
+          let prom = Metrics.to_prometheus Metrics.default in
+          let has needle =
+            let nl = String.length needle and pl = String.length prom in
+            let rec at i =
+              i + nl <= pl && (String.sub prom i nl = needle || at (i + 1))
+            in
+            at 0
+          in
+          Alcotest.(check bool) "run-state gauge exported" true
+            (has "poc_daemon_run_state{run=\"2\",state=\"quarantined\"} 1");
+          (* Other runs kept settling: BUSY/GONE never leaked to them. *)
+          (match dispatch reg "RUN 1 STATUS" with
+          | [ line ] ->
+            Alcotest.(check bool) "run 1 still serving" true
+              (has_prefix "STATUS ok" line)
+          | _ -> Alcotest.fail "unexpected STATUS shape");
+          ignore (dispatch reg "SHUTDOWN");
+          (* The fault-isolation invariant: the healthy runs are
+             byte-identical to the single-run reference. *)
+          List.iter
+            (fun r ->
+              match Registry.store_path reg r with
+              | Some store ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "run %d byte-identical at jobs=%d" r jobs)
+                  true
+                  (store_bytes store = reference)
+              | None -> Alcotest.failf "run %d has no store" r)
+            [ 0; 1; 3 ];
+          (* Run 2's store survives quarantine, forensics-readable. *)
+          match Registry.store_path reg 2 with
+          | Some store ->
+            Alcotest.(check bool) "quarantined store intact" true
+              (Sys.file_exists store && store_bytes store <> "")
+          | None -> Alcotest.fail "run 2 lost its store"))
+
+let test_kill_and_restart_mid_incident () =
+  let reference = reference_bytes () in
+  with_tmp_root (fun root ->
+      let reg1 =
+        must_create
+          (Registry.create ~attempt_cap:1 ~runs:4 ~fault_run:2
+             ~fault_specs:run_2_specs ~root (plan ()) ~market ())
+      in
+      (* First half everywhere; run 2 crashes, retries, then trips the
+         storage fault and quarantines — while runs 0/1/3 sit mid-
+         horizon with an admitted-but-unapplied bid in their intakes. *)
+      List.iter (drive_all reg1 [ 0; 1; 2; 3 ]) first_half;
+      Registry.tick reg1 ~now_us:(far_future ());
+      drive_all reg1 [ 0; 1; 2; 3 ] "BID 3 1 0.95";
+      (* Run 2 restarted from epoch 1: two EPOCH batches reach epoch 4,
+         where the armed storage fault quarantines it. *)
+      ignore (dispatch reg1 "RUN 2 EPOCH 3");
+      ignore (dispatch reg1 "RUN 2 EPOCH 3");
+      (match Registry.state_of reg1 2 with
+      | Some (Registry.Quarantined _) -> ()
+      | _ -> Alcotest.fail "run 2 must be Quarantined before the kill");
+      (* SIGKILL: no suspend, no flush — the registry is simply
+         abandoned mid-incident.  ([reg1] stays referenced below so no
+         finalizer can touch the files while the successor owns them.) *)
+      let reg2 =
+        must_create
+          (Registry.create ~resume:true ~attempt_cap:1 ~root (plan ())
+             ~market ())
+      in
+      (* Quarantine is durable: the manifest brings run 2 back
+         quarantined, not serving. *)
+      (match Registry.state_of reg2 2 with
+      | Some (Registry.Quarantined _) -> ()
+      | _ -> Alcotest.fail "quarantine must survive the restart");
+      (match dispatch reg2 "RUN 2 STATUS" with
+      | [ line ] ->
+        Alcotest.(check bool) "still GONE after restart" true
+          (has_prefix "GONE" line)
+      | _ -> Alcotest.fail "unexpected GONE shape");
+      (* The survivors resume — from their last durable checkpoint, so
+         possibly re-running earlier epochs — and finish their
+         horizons. *)
+      drive_all reg2 [ 0; 1; 3 ] "EPOCH 6";
+      ignore (dispatch reg2 "SHUTDOWN");
+      List.iter
+        (fun r ->
+          match Registry.store_path reg2 r with
+          | Some store ->
+            Alcotest.(check bool)
+              (Printf.sprintf "run %d byte-identical across the kill" r)
+              true
+              (store_bytes store = reference)
+          | None -> Alcotest.failf "run %d has no store" r)
+        [ 0; 1; 3 ];
+      ignore (Sys.opaque_identity reg1))
+
+let test_open_close_runs_lifecycle () =
+  with_tmp_root (fun root ->
+      let reg =
+        must_create
+          (Registry.create ~runs:1 ~max_runs:2 ~root (plan ()) ~market ())
+      in
+      (* OPEN a second run with its own horizon and seed. *)
+      (match dispatch reg "OPEN 4 99" with
+      | [ line ] ->
+        Alcotest.(check bool) "open answers OK" true
+          (has_prefix "OK run=1 opened" line)
+      | _ -> Alcotest.fail "unexpected OPEN shape");
+      (* At max-runs, OPEN answers BUSY, not an error. *)
+      (match dispatch reg "OPEN" with
+      | [ line ] ->
+        Alcotest.(check bool) "open at cap answers BUSY" true
+          (has_prefix "BUSY open" line)
+      | _ -> Alcotest.fail "unexpected BUSY shape");
+      (* RUNS lists both with states. *)
+      (match dispatch reg "RUNS" with
+      | lines ->
+        Alcotest.(check int) "one line per run + terminal" 3
+          (List.length lines));
+      (* Requests route by RUN id; the second run answers. *)
+      (match dispatch reg "RUN 1 STATUS" with
+      | [ line ] ->
+        Alcotest.(check bool) "run 1 serves" true
+          (has_prefix "STATUS ok" line)
+      | _ -> Alcotest.fail "unexpected STATUS shape");
+      (* CLOSE is terminal: later requests answer GONE, and the slot
+         frees capacity for a new OPEN. *)
+      (match dispatch reg "CLOSE 1" with
+      | [ line ] ->
+        Alcotest.(check bool) "close answers OK" true
+          (has_prefix "OK run=1 closed" line)
+      | _ -> Alcotest.fail "unexpected CLOSE shape");
+      (match dispatch reg "RUN 1 STATUS" with
+      | [ line ] ->
+        Alcotest.(check bool) "closed answers GONE" true
+          (has_prefix "GONE" line)
+      | _ -> Alcotest.fail "unexpected GONE shape");
+      match dispatch reg "OPEN" with
+      | [ line ] ->
+        Alcotest.(check bool) "capacity freed" true
+          (has_prefix "OK run=2 opened" line)
+      | _ -> Alcotest.fail "unexpected reopen shape")
+
+let test_unknown_run_answers_err () =
+  with_tmp_root (fun root ->
+      let reg =
+        must_create (Registry.create ~root (plan ()) ~market ())
+      in
+      match dispatch reg "RUN 9 STATUS" with
+      | [ line ] ->
+        Alcotest.(check bool) "unknown run answers ERR" true
+          (has_prefix "ERR" line)
+      | _ -> Alcotest.fail "unexpected ERR shape")
+
+let suite =
+  [
+    Alcotest.test_case "open/close/runs lifecycle" `Slow
+      test_open_close_runs_lifecycle;
+    Alcotest.test_case "unknown run answers ERR" `Slow
+      test_unknown_run_answers_err;
+    Alcotest.test_case "fault isolation + quarantine (jobs=1)" `Slow
+      (test_fault_isolation_quarantine 1);
+    Alcotest.test_case "fault isolation + quarantine (jobs=2)" `Slow
+      (test_fault_isolation_quarantine 2);
+    Alcotest.test_case "kill + restart mid-incident" `Slow
+      test_kill_and_restart_mid_incident;
+  ]
